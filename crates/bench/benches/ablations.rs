@@ -1,0 +1,49 @@
+//! Ablation benches: the design-choice sweeps of
+//! `incmr_experiments::ablations`, timed at mini scale. The rendered
+//! sweep tables print once before timing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incmr_bench::mini;
+use incmr_experiments::ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let cal = mini();
+    println!(
+        "{}",
+        ablations::render_rows(
+            "Evaluation interval (LA, single user)",
+            &ablations::eval_interval_sweep(&cal, &[1_000, 4_000, 16_000]),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_rows(
+            "Tasks per heartbeat (LA, homogeneous)",
+            &ablations::heartbeat_batch_sweep(&cal, &[1, 4, 16]),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_rows(
+            "Adaptive vs static policies",
+            &ablations::adaptive_vs_static(&cal),
+        )
+    );
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("eval_interval_one_point"), |b| {
+        b.iter(|| black_box(ablations::eval_interval_sweep(&cal, &[4_000])))
+    });
+    g.bench_function(BenchmarkId::from_parameter("fair_delay_one_point"), |b| {
+        b.iter(|| black_box(ablations::fair_delay_sweep(&cal, &[15])))
+    });
+    g.bench_function(BenchmarkId::from_parameter("replication_r3"), |b| {
+        b.iter(|| black_box(ablations::replication_sweep(&cal, &[Some(3)])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figure 4 bench: planting the matching-record distribution across the
+//! 5× dataset's 40 partitions, per skew level — at the paper's full size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incmr_experiments::{fig4, Calibration};
+
+fn bench_fig4(c: &mut Criterion) {
+    let cal = Calibration::paper();
+    let panels = fig4::run(&cal, 42);
+    println!("{}", fig4::render_figure(&panels));
+
+    let mut g = c.benchmark_group("fig4");
+    // run() generates all three skew panels; one benchmark id covers them.
+    g.bench_with_input(BenchmarkId::new("plant_5x", "all_skews"), &(), |b, _| {
+        b.iter(|| black_box(fig4::run(&cal, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

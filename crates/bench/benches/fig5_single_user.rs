@@ -1,0 +1,39 @@
+//! Figure 5 bench: one single-user sampling job per policy on a 5×
+//! moderately-skewed dataset (mini windows). Criterion's comparison across
+//! policy ids mirrors the figure's per-policy series; the full grid is
+//! printed once before timing.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incmr_bench::mini;
+use incmr_core::{build_sampling_job, Policy, SampleMode};
+use incmr_data::SkewLevel;
+use incmr_experiments::fig5;
+use incmr_mapreduce::{FifoScheduler, MrRuntime, ScanMode};
+
+fn run_one(cal: &incmr_experiments::Calibration, policy: Policy) -> f64 {
+    let (ns, ds) = cal.build_world(5, SkewLevel::Moderate, 5);
+    let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+    let (spec, driver) = build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 9);
+    let id = rt.submit(spec, driver);
+    rt.run_until_idle();
+    rt.job_result(id).response_time().as_secs_f64()
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let cal = mini();
+    let grid = fig5::run(&cal);
+    println!("{}", fig5::render_figure(&cal, &grid));
+
+    let mut g = c.benchmark_group("fig5/single_user_job");
+    g.sample_size(10);
+    for policy in Policy::table1() {
+        g.bench_with_input(BenchmarkId::from_parameter(&policy.name), &policy, |b, p| {
+            b.iter(|| black_box(run_one(&cal, p.clone())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

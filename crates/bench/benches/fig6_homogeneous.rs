@@ -1,0 +1,37 @@
+//! Figure 6 bench: a miniature homogeneous multi-user workload per policy
+//! (uniform skew). Prints the mini-scale throughput/resource table once,
+//! then times one steady-state run per policy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incmr_bench::mini;
+use incmr_core::Policy;
+use incmr_data::SkewLevel;
+use incmr_experiments::fig6;
+use incmr_mapreduce::{FifoScheduler, MrRuntime};
+use incmr_workload::{run_workload, WorkloadSpec};
+
+fn run_one(cal: &incmr_experiments::Calibration, policy: Policy) -> f64 {
+    let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 77);
+    let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
+    let spec = WorkloadSpec::homogeneous(datasets, cal.k, policy, cal.warmup, cal.measure, 11);
+    run_workload(&mut rt, &spec).sampling_jobs_per_hour()
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let cal = mini();
+    let result = fig6::run_with_skews(&cal, &[SkewLevel::Zero]);
+    println!("{}", fig6::render_figure(&result));
+
+    let mut g = c.benchmark_group("fig6/homogeneous_workload");
+    g.sample_size(10);
+    for policy in Policy::table1() {
+        g.bench_with_input(BenchmarkId::from_parameter(&policy.name), &policy, |b, p| {
+            b.iter(|| black_box(run_one(&cal, p.clone())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

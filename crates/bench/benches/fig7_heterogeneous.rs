@@ -1,0 +1,33 @@
+//! Figure 7 bench: miniature heterogeneous workloads (FIFO scheduler),
+//! Hadoop vs LA for the sampling class at a 0.5 user fraction.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incmr_bench::mini;
+use incmr_core::Policy;
+use incmr_experiments::fig7::{render_figure, run_hetero};
+use incmr_mapreduce::FifoScheduler;
+
+fn bench_fig7(c: &mut Criterion) {
+    let cal = mini();
+    let result = run_hetero(&cal, &[0.25, 0.75], &[Policy::hadoop(), Policy::la()], "fifo", || {
+        Box::new(FifoScheduler::new())
+    });
+    println!("{}", render_figure("FIGURE 7 (mini)", &result));
+
+    let mut g = c.benchmark_group("fig7/heterogeneous_fifo");
+    g.sample_size(10);
+    for policy in [Policy::hadoop(), Policy::la()] {
+        g.bench_with_input(BenchmarkId::from_parameter(&policy.name), &policy, |b, p| {
+            b.iter(|| {
+                black_box(run_hetero(&cal, &[0.5], std::slice::from_ref(p), "fifo", || {
+                    Box::new(FifoScheduler::new())
+                }))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 8 bench: the miniature heterogeneous workload under the Fair
+//! Scheduler vs FIFO — Criterion's two series mirror the scheduler-impact
+//! comparison of Section V-F.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use incmr_bench::mini;
+use incmr_core::Policy;
+use incmr_experiments::fig7::run_hetero;
+use incmr_experiments::fig8;
+use incmr_mapreduce::{FairScheduler, FifoScheduler, TaskScheduler};
+
+fn bench_fig8(c: &mut Criterion) {
+    let cal = mini();
+    let result = fig8::run_with(&cal, &[0.5], &[Policy::hadoop(), Policy::la()]);
+    println!("{}", fig8::render_figure(&result));
+
+    let mut g = c.benchmark_group("fig8/scheduler");
+    g.sample_size(10);
+    type SchedFactory = fn() -> Box<dyn TaskScheduler>;
+    let factories: [(&str, SchedFactory); 2] = [
+        ("fifo", || Box::new(FifoScheduler::new())),
+        ("fair", || Box::new(FairScheduler::paper_default())),
+    ];
+    for (name, factory) in factories {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &factory, |b, f| {
+            b.iter(|| black_box(run_hetero(&cal, &[0.5], &[Policy::la()], "bench", *f)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table I–III regenerators as benchmarks (they are cheap; timing them
+//! guards against regressions in dataset planning and policy rendering).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use incmr_bench::mini;
+use incmr_experiments::{table1, table2, table3};
+
+fn bench_tables(c: &mut Criterion) {
+    let cal = mini();
+    println!("{}", table1::render_table());
+    println!("{}", table2::render_table(&cal));
+    println!("{}", table3::render_table(&cal));
+
+    c.bench_function("table1/render", |b| b.iter(|| black_box(table1::render_table())));
+    c.bench_function("table2/compute", |b| b.iter(|| black_box(table2::run(&cal))));
+    c.bench_function("table3/plan_and_measure", |b| b.iter(|| black_box(table3::run(&cal))));
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! # incmr-bench
+//!
+//! Criterion benchmark harness. One bench target per paper artefact
+//! (`table*`, `fig*`) plus micro-benchmarks of the simulation kernel.
+//!
+//! The figure benches time miniature (but regime-preserving) versions of
+//! each experiment — full paper-shape runs live in
+//! `cargo run --release -p incmr-experiments --bin repro`. Each figure
+//! bench prints its mini-scale series once before timing, so `cargo bench`
+//! output doubles as a smoke reproduction.
+
+use incmr_experiments::Calibration;
+use incmr_simkit::SimDuration;
+
+/// A miniature calibration for benchmark iterations: same task-size regime
+/// as the paper (750 k-record partitions), but few users/partitions and a
+/// short measurement window so one iteration is well under a second.
+pub fn mini() -> Calibration {
+    let mut cal = Calibration::quick();
+    cal.scales = vec![2, 5];
+    cal.seeds = vec![1];
+    cal.users = 3;
+    cal.multi_user_scale = 6;
+    cal.warmup = SimDuration::from_mins(3);
+    cal.measure = SimDuration::from_mins(10);
+    cal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mini_is_small_but_same_regime() {
+        let m = mini();
+        assert_eq!(m.records_per_partition, Calibration::paper().records_per_partition);
+        assert!(m.users < Calibration::paper().users);
+        assert!(m.measure < Calibration::paper().measure);
+    }
+}

@@ -1,0 +1,266 @@
+//! Runtime policy adaptation — the paper's future work, implemented.
+//!
+//! "As part of future work, it could be interesting to implement a more
+//! flexible model wherein a job could decide and change the policy at
+//! runtime, based on the discovered characteristics of the input data
+//! together with the existing load on the cluster." (Section VII)
+//!
+//! [`AdaptiveDriver`] holds a *ladder* of policies ordered from most to
+//! least aggressive and re-selects a rung at every evaluation from the
+//! observed cluster utilisation:
+//!
+//! * a mostly-idle cluster gets the aggressive rung (the paper's
+//!   single-user result: aggressive wins when resources would otherwise
+//!   idle);
+//! * a busy cluster gets the conservative rung (the paper's multi-user
+//!   result: conservative policies maximise shared throughput);
+//! * in between, the middle rung.
+//!
+//! The work-threshold gate and grab limit always come from the *current*
+//! rung, so a job that started aggressively on an idle cluster backs off
+//! as co-tenants arrive — and vice versa.
+
+use incmr_dfs::BlockId;
+use incmr_mapreduce::{ClusterStatus, GrowthDirective, GrowthDriver, JobProgress};
+use incmr_simkit::SimDuration;
+
+use crate::input_provider::{InputProvider, InputResponse};
+use crate::policy::Policy;
+
+/// Utilisation thresholds separating the ladder's rungs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveThresholds {
+    /// Below this busy-slot fraction the aggressive rung is used.
+    pub idle_below: f64,
+    /// At or above this busy-slot fraction the conservative rung is used.
+    pub busy_above: f64,
+}
+
+impl Default for AdaptiveThresholds {
+    fn default() -> Self {
+        AdaptiveThresholds {
+            idle_below: 1.0 / 3.0,
+            busy_above: 2.0 / 3.0,
+        }
+    }
+}
+
+/// A growth driver that re-selects its policy each evaluation.
+pub struct AdaptiveDriver {
+    provider: Box<dyn InputProvider>,
+    ladder: Vec<Policy>,
+    thresholds: AdaptiveThresholds,
+    total_input_splits: u32,
+    completed_at_last_invocation: u32,
+    invocations: u64,
+    current_rung: usize,
+    switches: u64,
+}
+
+impl AdaptiveDriver {
+    /// Adapt over a ladder of policies ordered most- to least-aggressive.
+    ///
+    /// # Panics
+    /// Panics on an empty ladder.
+    pub fn new(
+        provider: Box<dyn InputProvider>,
+        ladder: Vec<Policy>,
+        thresholds: AdaptiveThresholds,
+        total_input_splits: u32,
+    ) -> Self {
+        assert!(!ladder.is_empty(), "adaptive ladder needs at least one policy");
+        AdaptiveDriver {
+            provider,
+            ladder,
+            thresholds,
+            total_input_splits,
+            completed_at_last_invocation: 0,
+            invocations: 0,
+            current_rung: 0,
+            switches: 0,
+        }
+    }
+
+    /// The paper-flavoured default ladder: HA on an idle cluster, MA in the
+    /// mid range, LA under load.
+    pub fn paper_ladder(provider: Box<dyn InputProvider>, total_input_splits: u32) -> Self {
+        AdaptiveDriver::new(
+            provider,
+            vec![Policy::ha(), Policy::ma(), Policy::la()],
+            AdaptiveThresholds::default(),
+            total_input_splits,
+        )
+    }
+
+    /// The policy currently in force.
+    pub fn current_policy(&self) -> &Policy {
+        &self.ladder[self.current_rung]
+    }
+
+    /// How many times the rung changed so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    fn select_rung(&self, cluster: &ClusterStatus) -> usize {
+        let busy = if cluster.total_map_slots == 0 {
+            1.0
+        } else {
+            cluster.occupied_map_slots as f64 / cluster.total_map_slots as f64
+        };
+        let last = self.ladder.len() - 1;
+        if busy < self.thresholds.idle_below {
+            0
+        } else if busy >= self.thresholds.busy_above {
+            last
+        } else {
+            last / 2
+        }
+    }
+
+    fn adapt(&mut self, cluster: &ClusterStatus) {
+        let rung = self.select_rung(cluster);
+        if rung != self.current_rung {
+            self.current_rung = rung;
+            self.switches += 1;
+        }
+    }
+}
+
+impl GrowthDriver for AdaptiveDriver {
+    fn initial_input(&mut self, cluster: &ClusterStatus) -> Vec<BlockId> {
+        self.adapt(cluster);
+        let grab = self
+            .current_policy()
+            .grab_limit
+            .evaluate(cluster.total_map_slots, cluster.available_map_slots());
+        self.provider.initial_input(cluster, grab)
+    }
+
+    fn evaluate(&mut self, progress: &JobProgress, cluster: &ClusterStatus) -> GrowthDirective {
+        self.adapt(cluster);
+        let policy = self.current_policy();
+        let threshold = policy.work_threshold_splits(self.total_input_splits);
+        let new_work = progress.splits_completed.saturating_sub(self.completed_at_last_invocation);
+        if self.invocations > 0 && new_work < threshold && progress.splits_running + progress.splits_pending > 0 {
+            return GrowthDirective::Wait;
+        }
+        self.invocations += 1;
+        self.completed_at_last_invocation = progress.splits_completed;
+        let grab = self
+            .current_policy()
+            .grab_limit
+            .evaluate(cluster.total_map_slots, cluster.available_map_slots());
+        match self.provider.next_input(progress, cluster, grab) {
+            InputResponse::EndOfInput => GrowthDirective::EndOfInput,
+            InputResponse::InputAvailable(blocks) => GrowthDirective::AddInput(blocks),
+            InputResponse::NoInputAvailable => GrowthDirective::Wait,
+        }
+    }
+
+    fn evaluation_interval(&self) -> SimDuration {
+        self.current_policy().evaluation_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling_provider::SamplingInputProvider;
+
+    fn blocks(n: u32) -> Vec<BlockId> {
+        (0..n).map(BlockId).collect()
+    }
+
+    fn status(total: u32, occupied: u32) -> ClusterStatus {
+        ClusterStatus {
+            total_map_slots: total,
+            occupied_map_slots: occupied,
+            running_jobs: 1,
+            queued_map_tasks: 0,
+        }
+    }
+
+    fn driver(n: u32, k: u64) -> AdaptiveDriver {
+        AdaptiveDriver::paper_ladder(Box::new(SamplingInputProvider::new(blocks(n), k, 1)), n)
+    }
+
+    #[test]
+    fn rung_selection_tracks_utilisation() {
+        let d = driver(40, 100);
+        assert_eq!(d.select_rung(&status(40, 0)), 0, "idle → aggressive");
+        assert_eq!(d.select_rung(&status(40, 20)), 1, "half busy → middle");
+        assert_eq!(d.select_rung(&status(40, 40)), 2, "saturated → conservative");
+        assert_eq!(d.select_rung(&status(0, 0)), 2, "degenerate cluster counts as busy");
+    }
+
+    #[test]
+    fn initial_grab_matches_selected_rung() {
+        // Idle: HA grab = max(0.5*40, 40) = 40 → all 30 splits.
+        let mut d = driver(30, 1_000_000);
+        assert_eq!(d.initial_input(&status(40, 0)).len(), 30);
+        assert_eq!(d.current_policy().name, "HA");
+        // Saturated: LA grab = 0.1*TS = 4 (AS = 0).
+        let mut d = driver(30, 1_000_000);
+        assert_eq!(d.initial_input(&status(40, 40)).len(), 4);
+        assert_eq!(d.current_policy().name, "LA");
+    }
+
+    #[test]
+    fn rung_switches_are_counted() {
+        let mut d = driver(40, 1_000_000);
+        let _ = d.initial_input(&status(40, 0)); // HA
+        assert_eq!(d.switches(), 0, "starting rung is not a switch");
+        let p = incmr_mapreduce::JobProgress {
+            job: incmr_mapreduce::JobId(0),
+            splits_added: 40,
+            splits_completed: 10,
+            splits_running: 0,
+            splits_pending: 0,
+            records_processed: 10_000,
+            map_output_records: 10,
+        };
+        let _ = d.evaluate(&p, &status(40, 40)); // now saturated → LA
+        assert_eq!(d.current_policy().name, "LA");
+        assert_eq!(d.switches(), 1);
+        let _ = d.evaluate(&p, &status(40, 0)); // idle again → HA
+        assert_eq!(d.switches(), 2);
+    }
+
+    #[test]
+    fn interval_follows_the_current_rung() {
+        let mut ladder = vec![Policy::ha(), Policy::la()];
+        ladder[0].evaluation_interval = SimDuration::from_secs(2);
+        ladder[1].evaluation_interval = SimDuration::from_secs(8);
+        let mut d = AdaptiveDriver::new(
+            Box::new(SamplingInputProvider::new(blocks(10), 5, 1)),
+            ladder,
+            AdaptiveThresholds::default(),
+            10,
+        );
+        let _ = d.initial_input(&status(40, 0));
+        assert_eq!(d.evaluation_interval(), SimDuration::from_secs(2));
+        let p = incmr_mapreduce::JobProgress {
+            job: incmr_mapreduce::JobId(0),
+            splits_added: 10,
+            splits_completed: 1,
+            splits_running: 0,
+            splits_pending: 0,
+            records_processed: 100,
+            map_output_records: 0,
+        };
+        let _ = d.evaluate(&p, &status(40, 40));
+        assert_eq!(d.evaluation_interval(), SimDuration::from_secs(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_ladder_panics() {
+        let _ = AdaptiveDriver::new(
+            Box::new(SamplingInputProvider::new(blocks(1), 1, 1)),
+            vec![],
+            AdaptiveThresholds::default(),
+            1,
+        );
+    }
+}

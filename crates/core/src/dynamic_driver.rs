@@ -1,0 +1,204 @@
+//! The JobClient-side evaluation loop for dynamic jobs (paper Section IV).
+//!
+//! "As the job progresses, the JobClient, at regular intervals of time
+//! (EvaluationInterval), retrieves all information regarding the status of
+//! the job and the load on the cluster from the JobTracker. If the job has
+//! made sufficient progress, as required by the policy, the JobClient
+//! invokes the Input Provider…"
+//!
+//! [`DynamicDriver`] adapts an [`InputProvider`] plus a [`Policy`] to the
+//! framework's [`GrowthDriver`] hook:
+//!
+//! * the **evaluation interval** comes from the policy;
+//! * the **work threshold** gates provider invocations — if fewer new
+//!   partitions completed since the last invocation than the threshold
+//!   requires, the driver waits without consulting the provider;
+//! * the **grab limit** is evaluated against the live cluster status
+//!   (`TS`, `AS`) and passed to the provider to bound each increment.
+
+use incmr_dfs::BlockId;
+use incmr_mapreduce::{ClusterStatus, GrowthDirective, GrowthDriver, JobProgress};
+use incmr_simkit::SimDuration;
+
+use crate::input_provider::{InputProvider, InputResponse};
+use crate::policy::Policy;
+
+/// Adapter: `InputProvider` + `Policy` → `GrowthDriver`.
+pub struct DynamicDriver {
+    provider: Box<dyn InputProvider>,
+    policy: Policy,
+    total_input_splits: u32,
+    completed_at_last_invocation: u32,
+    invocations: u64,
+}
+
+impl DynamicDriver {
+    /// Wrap a provider under a policy. `total_input_splits` is the size of
+    /// the job's complete candidate input (the base for the work-threshold
+    /// percentage).
+    pub fn new(provider: Box<dyn InputProvider>, policy: Policy, total_input_splits: u32) -> Self {
+        DynamicDriver {
+            provider,
+            policy,
+            total_input_splits,
+            completed_at_last_invocation: 0,
+            invocations: 0,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// How many times the Input Provider has actually been consulted
+    /// (excluding threshold-gated skips).
+    pub fn provider_invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    fn grab_limit(&self, cluster: &ClusterStatus) -> u64 {
+        self.policy
+            .grab_limit
+            .evaluate(cluster.total_map_slots, cluster.available_map_slots())
+    }
+}
+
+impl GrowthDriver for DynamicDriver {
+    fn initial_input(&mut self, cluster: &ClusterStatus) -> Vec<BlockId> {
+        let grab = self.grab_limit(cluster);
+        self.provider.initial_input(cluster, grab)
+    }
+
+    fn evaluate(&mut self, progress: &JobProgress, cluster: &ClusterStatus) -> GrowthDirective {
+        // Work-threshold gate: "Between successive evaluations, if a job
+        // has not done enough new work in terms of finishing new map tasks,
+        // it may not be worthwhile for the input provider to re-evaluate."
+        let threshold = self.policy.work_threshold_splits(self.total_input_splits);
+        let new_work = progress.splits_completed.saturating_sub(self.completed_at_last_invocation);
+        // The gate applies between invocations, not before the first one —
+        // and never blocks once the target could already be met (checking
+        // that is the provider's job, which is cheap; the paper's gate
+        // exists to avoid pointless re-estimation).
+        if self.invocations > 0 && new_work < threshold && progress.splits_running + progress.splits_pending > 0 {
+            return GrowthDirective::Wait;
+        }
+        self.invocations += 1;
+        self.completed_at_last_invocation = progress.splits_completed;
+        let grab = self.grab_limit(cluster);
+        match self.provider.next_input(progress, cluster, grab) {
+            InputResponse::EndOfInput => GrowthDirective::EndOfInput,
+            InputResponse::InputAvailable(blocks) => GrowthDirective::AddInput(blocks),
+            InputResponse::NoInputAvailable => GrowthDirective::Wait,
+        }
+    }
+
+    fn evaluation_interval(&self) -> SimDuration {
+        self.policy.evaluation_interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling_provider::SamplingInputProvider;
+    use incmr_mapreduce::JobId;
+
+    fn blocks(n: u32) -> Vec<BlockId> {
+        (0..n).map(BlockId).collect()
+    }
+
+    fn status(total: u32, available: u32) -> ClusterStatus {
+        ClusterStatus {
+            total_map_slots: total,
+            occupied_map_slots: total - available,
+            running_jobs: 1,
+            queued_map_tasks: 0,
+        }
+    }
+
+    fn progress(added: u32, completed: u32, records: u64, matches: u64) -> JobProgress {
+        JobProgress {
+            job: JobId(0),
+            splits_added: added,
+            splits_completed: completed,
+            splits_running: added - completed,
+            splits_pending: 0,
+            records_processed: records,
+            map_output_records: matches,
+        }
+    }
+
+    fn driver(policy: Policy, n_splits: u32, k: u64) -> DynamicDriver {
+        DynamicDriver::new(
+            Box::new(SamplingInputProvider::new(blocks(n_splits), k, 1)),
+            policy,
+            n_splits,
+        )
+    }
+
+    #[test]
+    fn initial_grab_follows_policy_and_cluster() {
+        // C on an idle 40-slot cluster: 0.1*40 = 4 splits.
+        let mut d = driver(Policy::conservative(), 40, 100);
+        assert_eq!(d.initial_input(&status(40, 40)).len(), 4);
+        // Hadoop: everything.
+        let mut d = driver(Policy::hadoop(), 40, 100);
+        assert_eq!(d.initial_input(&status(40, 40)).len(), 40);
+        // HA under full load: max(0.5*40, 0) = 20.
+        let mut d = driver(Policy::ha(), 40, 100);
+        assert_eq!(d.initial_input(&status(40, 0)).len(), 20);
+    }
+
+    #[test]
+    fn work_threshold_gates_provider_invocations() {
+        // LA: 10% of 40 splits = 4 completions required between invocations.
+        let mut d = driver(Policy::la(), 40, 1_000_000);
+        let _ = d.initial_input(&status(40, 40)); // 8 splits (0.2*40)
+        // First evaluation always consults the provider.
+        let _ = d.evaluate(&progress(8, 1, 1_000, 1), &status(40, 32));
+        assert_eq!(d.provider_invocations(), 1);
+        // Only 2 new completions since: gated.
+        let dir = d.evaluate(&progress(8, 3, 3_000, 3), &status(40, 32));
+        assert_eq!(dir, GrowthDirective::Wait);
+        assert_eq!(d.provider_invocations(), 1);
+        // 5 new completions: invoked again.
+        let _ = d.evaluate(&progress(8, 6, 6_000, 6), &status(40, 34));
+        assert_eq!(d.provider_invocations(), 2);
+    }
+
+    #[test]
+    fn gate_lifts_when_nothing_is_outstanding() {
+        // Even below the threshold, a job with no running/pending maps must
+        // consult the provider or it would stall forever.
+        let mut d = driver(Policy::conservative(), 40, 1_000_000);
+        let _ = d.initial_input(&status(40, 40));
+        let _ = d.evaluate(&progress(4, 1, 1_000, 1), &status(40, 40));
+        let before = d.provider_invocations();
+        let dir = d.evaluate(&progress(4, 4, 4_000, 4), &status(40, 40));
+        assert_eq!(d.provider_invocations(), before + 1);
+        assert!(matches!(dir, GrowthDirective::AddInput(_)));
+    }
+
+    #[test]
+    fn k_reached_propagates_end_of_input() {
+        let mut d = driver(Policy::ha(), 40, 10);
+        let _ = d.initial_input(&status(40, 40));
+        let dir = d.evaluate(&progress(40, 10, 10_000, 50), &status(40, 30));
+        assert_eq!(dir, GrowthDirective::EndOfInput);
+    }
+
+    #[test]
+    fn evaluation_interval_comes_from_policy() {
+        let d = driver(Policy::ma(), 40, 10);
+        assert_eq!(d.evaluation_interval(), Policy::ma().evaluation_interval);
+    }
+
+    #[test]
+    fn hadoop_policy_ends_input_immediately_after_grabbing_all() {
+        let mut d = driver(Policy::hadoop(), 40, 10);
+        assert_eq!(d.initial_input(&status(40, 40)).len(), 40);
+        let dir = d.evaluate(&progress(40, 0, 0, 0), &status(40, 0));
+        assert_eq!(dir, GrowthDirective::EndOfInput, "pool exhausted");
+    }
+}

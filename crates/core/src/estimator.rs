@@ -1,0 +1,202 @@
+//! Runtime selectivity and split-size estimation (paper Section IV).
+//!
+//! "Given the number of input records processed so far and the number of
+//! matching records found among them, the Input Provider estimates the
+//! predicate selectivity for the input data. … given the splits and the
+//! total input records processed so far, the Input Provider computes the
+//! expected number of records in each split."
+//!
+//! The estimator is intentionally naive — a running ratio — because that is
+//! what the paper uses, and its failure modes under skew (over/under
+//! estimation, Section V-B) are part of the behaviour being reproduced.
+
+use incmr_mapreduce::JobProgress;
+
+/// Running estimates derived from completed map tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SelectivityEstimator {
+    records_processed: u64,
+    matches_found: u64,
+    splits_completed: u32,
+}
+
+/// A projection of how much more input a sampling job needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProgressEstimate {
+    /// Not a single map task has completed — nothing to extrapolate from.
+    NoData,
+    /// Data has been processed but no matches found; the selectivity
+    /// estimate is zero and the required additional input is unbounded.
+    NoMatchesYet,
+    /// A usable estimate.
+    Estimate {
+        /// Estimated predicate selectivity (matches / records).
+        selectivity: f64,
+        /// Estimated records per split.
+        records_per_split: f64,
+        /// Expected matches still to arrive from splits already scheduled
+        /// but not yet completed.
+        expected_from_outstanding: f64,
+        /// Additional splits (beyond those scheduled) estimated necessary
+        /// to reach the target; zero if the outstanding work should
+        /// already suffice.
+        additional_splits_needed: u64,
+    },
+}
+
+impl SelectivityEstimator {
+    /// An empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb the progress report of the current evaluation. Progress is
+    /// cumulative, so this *replaces* state rather than accumulating.
+    pub fn update(&mut self, progress: &JobProgress) {
+        self.records_processed = progress.records_processed;
+        self.matches_found = progress.map_output_records;
+        self.splits_completed = progress.splits_completed;
+    }
+
+    /// Estimated selectivity, if any data has been seen.
+    pub fn selectivity(&self) -> Option<f64> {
+        (self.records_processed > 0).then(|| self.matches_found as f64 / self.records_processed as f64)
+    }
+
+    /// Estimated records per split, if any split has completed.
+    pub fn records_per_split(&self) -> Option<f64> {
+        (self.splits_completed > 0).then(|| self.records_processed as f64 / self.splits_completed as f64)
+    }
+
+    /// Project what is needed to reach `k` total matches, given
+    /// `outstanding_splits` scheduled-but-incomplete splits.
+    pub fn project(&self, k: u64, outstanding_splits: u32) -> ProgressEstimate {
+        let (Some(selectivity), Some(records_per_split)) = (self.selectivity(), self.records_per_split()) else {
+            return ProgressEstimate::NoData;
+        };
+        if selectivity <= 0.0 {
+            return ProgressEstimate::NoMatchesYet;
+        }
+        let expected_from_outstanding = outstanding_splits as f64 * records_per_split * selectivity;
+        let projected_total = self.matches_found as f64 + expected_from_outstanding;
+        let additional_splits_needed = if projected_total >= k as f64 {
+            0
+        } else {
+            let additional_matches = k as f64 - projected_total;
+            let additional_records = additional_matches / selectivity;
+            (additional_records / records_per_split).ceil() as u64
+        };
+        ProgressEstimate::Estimate {
+            selectivity,
+            records_per_split,
+            expected_from_outstanding,
+            additional_splits_needed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_mapreduce::JobId;
+
+    fn progress(completed: u32, records: u64, matches: u64) -> JobProgress {
+        JobProgress {
+            job: JobId(0),
+            splits_added: completed,
+            splits_completed: completed,
+            splits_running: 0,
+            splits_pending: 0,
+            records_processed: records,
+            map_output_records: matches,
+        }
+    }
+
+    #[test]
+    fn no_data_before_any_completion() {
+        let e = SelectivityEstimator::new();
+        assert_eq!(e.selectivity(), None);
+        assert_eq!(e.records_per_split(), None);
+        assert_eq!(e.project(100, 5), ProgressEstimate::NoData);
+    }
+
+    #[test]
+    fn zero_matches_is_flagged() {
+        let mut e = SelectivityEstimator::new();
+        e.update(&progress(4, 4_000, 0));
+        assert_eq!(e.selectivity(), Some(0.0));
+        assert_eq!(e.project(100, 0), ProgressEstimate::NoMatchesYet);
+    }
+
+    #[test]
+    fn straightforward_estimate() {
+        let mut e = SelectivityEstimator::new();
+        // 10 splits done, 1000 records each, 1% selectivity → 100 matches.
+        e.update(&progress(10, 10_000, 100));
+        assert_eq!(e.selectivity(), Some(0.01));
+        assert_eq!(e.records_per_split(), Some(1_000.0));
+        // Want 400 matches total; 5 outstanding splits are expected to add
+        // 50; so 250 more matches ≈ 25_000 records ≈ 25 splits.
+        let ProgressEstimate::Estimate {
+            expected_from_outstanding,
+            additional_splits_needed,
+            ..
+        } = e.project(400, 5)
+        else {
+            panic!("expected estimate");
+        };
+        assert!((expected_from_outstanding - 50.0).abs() < 1e-9);
+        assert_eq!(additional_splits_needed, 25);
+    }
+
+    #[test]
+    fn outstanding_work_can_cover_the_target() {
+        let mut e = SelectivityEstimator::new();
+        e.update(&progress(10, 10_000, 100));
+        let ProgressEstimate::Estimate {
+            additional_splits_needed,
+            ..
+        } = e.project(150, 10)
+        else {
+            panic!();
+        };
+        assert_eq!(additional_splits_needed, 0, "100 found + 100 expected ≥ 150");
+    }
+
+    #[test]
+    fn target_already_met_needs_nothing() {
+        let mut e = SelectivityEstimator::new();
+        e.update(&progress(10, 10_000, 500));
+        let ProgressEstimate::Estimate {
+            additional_splits_needed,
+            ..
+        } = e.project(400, 0)
+        else {
+            panic!();
+        };
+        assert_eq!(additional_splits_needed, 0);
+    }
+
+    #[test]
+    fn update_replaces_rather_than_accumulates() {
+        let mut e = SelectivityEstimator::new();
+        e.update(&progress(10, 10_000, 100));
+        e.update(&progress(20, 20_000, 100));
+        assert_eq!(e.selectivity(), Some(0.005));
+    }
+
+    #[test]
+    fn fractional_needs_round_up() {
+        let mut e = SelectivityEstimator::new();
+        e.update(&progress(10, 10_000, 100)); // sel 1%, 1000 rec/split
+        // Need 5 more matches → 500 records → 0.5 split → 1.
+        let ProgressEstimate::Estimate {
+            additional_splits_needed,
+            ..
+        } = e.project(105, 0)
+        else {
+            panic!();
+        };
+        assert_eq!(additional_splits_needed, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! The Input Provider abstraction (paper Section III-A).
+//!
+//! "An Input Provider contains the logic for making dynamic decisions
+//! regarding the intake of input by the job. The Input Provider is provided
+//! by the job in addition to the map and reduce logic."
+//!
+//! The provider is initialised with the complete set of input partitions
+//! and is then consulted — with job-progress and cluster-load statistics —
+//! whenever the framework's evaluation loop decides it is worth asking. It
+//! answers with one of the three responses of the paper's Figure 3.
+
+use incmr_dfs::BlockId;
+use incmr_mapreduce::{ClusterStatus, JobProgress};
+
+/// The three possible responses of an Input Provider (paper Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputResponse {
+    /// The job does not need to process additional input; in-flight maps
+    /// finish and the job proceeds to the shuffle/reduce phase.
+    EndOfInput,
+    /// These additional partitions should be processed next.
+    InputAvailable(Vec<BlockId>),
+    /// "Wait and see": postpone the decision to the next evaluation.
+    NoInputAvailable,
+}
+
+/// Job-supplied logic controlling intake of input.
+///
+/// `grab_limit` on both methods is the policy's bound on how many
+/// partitions may be claimed in a single step ("Both the initial input and
+/// any subsequent increment (if required) is limited by the GrabLimit, as
+/// defined for the policy in use", Section IV).
+pub trait InputProvider {
+    /// The partitions to process first, at job submission.
+    fn initial_input(&mut self, cluster: &ClusterStatus, grab_limit: u64) -> Vec<BlockId>;
+
+    /// Reassess progress and decide on further input.
+    fn next_input(&mut self, progress: &JobProgress, cluster: &ClusterStatus, grab_limit: u64) -> InputResponse;
+
+    /// Partitions not yet handed to the job (introspection / testing).
+    fn remaining(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn responses_compare() {
+        assert_eq!(InputResponse::EndOfInput, InputResponse::EndOfInput);
+        assert_ne!(
+            InputResponse::NoInputAvailable,
+            InputResponse::InputAvailable(vec![BlockId(1)])
+        );
+    }
+}

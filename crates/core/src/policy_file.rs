@@ -1,0 +1,432 @@
+//! The policy registry file — our equivalent of the paper's `policy.xml`
+//! ("The available policies are defined in a policy.xml file", Section IV).
+//!
+//! The format is a small XML subset, exactly expressive enough for Table I
+//! plus user-defined policies:
+//!
+//! ```xml
+//! <policies>
+//!   <policy name="LA">
+//!     <workThreshold>10</workThreshold>
+//!     <grabLimit>(AS > 0) ? 0.2*AS : 0.1*TS</grabLimit>
+//!     <evaluationInterval>4000</evaluationInterval>
+//!   </policy>
+//! </policies>
+//! ```
+//!
+//! `grabLimit` accepts: `Infinity`, numbers, `TS`, `AS`, `f*TS`, `f*AS`,
+//! `max(a, b)`, `min(a, b)`, and the conditional `(AS > 0) ? a : b`.
+//! `evaluationInterval` is in milliseconds and defaults to the paper's 4 s.
+
+use std::fmt;
+
+use incmr_simkit::SimDuration;
+
+use crate::policy::{GrabLimit, Policy, PAPER_EVALUATION_INTERVAL};
+
+/// Errors from parsing a policy file or a grab-limit expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyFileError {
+    /// What went wrong, human-readable.
+    pub message: String,
+}
+
+impl PolicyFileError {
+    fn new(message: impl Into<String>) -> Self {
+        PolicyFileError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for PolicyFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy file error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PolicyFileError {}
+
+/// Parse a complete policy file into its policies, in document order.
+pub fn parse_policy_file(text: &str) -> Result<Vec<Policy>, PolicyFileError> {
+    let mut parser = XmlishParser::new(text);
+    parser.expect_open("policies")?;
+    let mut policies = Vec::new();
+    while parser.peek_open("policy") {
+        policies.push(parse_policy(&mut parser)?);
+    }
+    parser.expect_close("policies")?;
+    if policies.is_empty() {
+        return Err(PolicyFileError::new("no <policy> entries"));
+    }
+    Ok(policies)
+}
+
+fn parse_policy(parser: &mut XmlishParser) -> Result<Policy, PolicyFileError> {
+    let attrs = parser.expect_open("policy")?;
+    let name = attrs
+        .iter()
+        .find(|(k, _)| k == "name")
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| PolicyFileError::new("<policy> requires a name attribute"))?;
+    let mut work_threshold = 0.0;
+    let mut grab: Option<GrabLimit> = None;
+    let mut interval = PAPER_EVALUATION_INTERVAL;
+    loop {
+        if parser.peek_close("policy") {
+            break;
+        }
+        let (tag, body) = parser.leaf_element()?;
+        match tag.as_str() {
+            "workThreshold" => {
+                work_threshold = body
+                    .trim()
+                    .parse()
+                    .map_err(|_| PolicyFileError::new(format!("bad workThreshold: {body:?}")))?;
+            }
+            "grabLimit" => grab = Some(parse_grab_limit(&body)?),
+            "evaluationInterval" => {
+                let ms: u64 = body
+                    .trim()
+                    .parse()
+                    .map_err(|_| PolicyFileError::new(format!("bad evaluationInterval: {body:?}")))?;
+                interval = SimDuration::from_millis(ms);
+            }
+            other => return Err(PolicyFileError::new(format!("unknown element <{other}>"))),
+        }
+    }
+    parser.expect_close("policy")?;
+    let grab_limit = grab.ok_or_else(|| PolicyFileError::new(format!("policy {name} lacks <grabLimit>")))?;
+    Ok(Policy {
+        name,
+        evaluation_interval: interval,
+        work_threshold_pct: work_threshold,
+        grab_limit,
+    })
+}
+
+/// Parse a grab-limit expression (see module docs for the grammar).
+pub fn parse_grab_limit(text: &str) -> Result<GrabLimit, PolicyFileError> {
+    let mut p = ExprParser {
+        rest: text.trim(),
+        full: text,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if !p.rest.is_empty() {
+        return Err(PolicyFileError::new(format!(
+            "trailing input {:?} in grab limit {:?}",
+            p.rest, p.full
+        )));
+    }
+    Ok(e)
+}
+
+struct ExprParser<'a> {
+    rest: &'a str,
+    full: &'a str,
+}
+
+impl<'a> ExprParser<'a> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(token) {
+            self.rest = r;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), PolicyFileError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(PolicyFileError::new(format!(
+                "expected {token:?} at {:?} in {:?}",
+                self.rest, self.full
+            )))
+        }
+    }
+
+    fn expr(&mut self) -> Result<GrabLimit, PolicyFileError> {
+        self.skip_ws();
+        // Conditional: "(AS > 0) ? a : b"
+        if self.eat("(") {
+            self.expect("AS")?;
+            self.expect(">")?;
+            self.expect("0")?;
+            self.expect(")")?;
+            self.expect("?")?;
+            let then = self.expr()?;
+            self.expect(":")?;
+            let otherwise = self.expr()?;
+            return Ok(GrabLimit::IfAvailable(Box::new(then), Box::new(otherwise)));
+        }
+        if self.eat("Infinity") {
+            return Ok(GrabLimit::Infinity);
+        }
+        if self.eat("max(") {
+            let a = self.expr()?;
+            self.expect(",")?;
+            let b = self.expr()?;
+            self.expect(")")?;
+            return Ok(GrabLimit::Max(Box::new(a), Box::new(b)));
+        }
+        if self.eat("min(") {
+            let a = self.expr()?;
+            self.expect(",")?;
+            let b = self.expr()?;
+            self.expect(")")?;
+            return Ok(GrabLimit::Min(Box::new(a), Box::new(b)));
+        }
+        if self.eat("TS") {
+            return Ok(GrabLimit::FracTotal(1.0));
+        }
+        if self.eat("AS") {
+            return Ok(GrabLimit::FracAvailable(1.0));
+        }
+        // Number, optionally "* TS" / "* AS".
+        let num = self.number()?;
+        self.skip_ws();
+        if self.eat("*") {
+            self.skip_ws();
+            if self.eat("TS") {
+                return Ok(GrabLimit::FracTotal(num));
+            }
+            if self.eat("AS") {
+                return Ok(GrabLimit::FracAvailable(num));
+            }
+            return Err(PolicyFileError::new(format!(
+                "expected TS or AS after '*' in {:?}",
+                self.full
+            )));
+        }
+        Ok(GrabLimit::Const(num))
+    }
+
+    fn number(&mut self) -> Result<f64, PolicyFileError> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_digit() && *c != '.')
+            .map(|(i, _)| i)
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(PolicyFileError::new(format!(
+                "expected a number at {:?} in {:?}",
+                self.rest, self.full
+            )));
+        }
+        let (num, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        num.parse()
+            .map_err(|_| PolicyFileError::new(format!("bad number {num:?} in {:?}", self.full)))
+    }
+}
+
+/// Minimal XML-subset reader: open/close tags with optional `name="…"`
+/// attributes and text leaves. No escaping, comments, or self-closing tags
+/// — policy files don't need them.
+struct XmlishParser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> XmlishParser<'a> {
+    fn new(text: &'a str) -> Self {
+        XmlishParser { rest: text }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn peek_open(&mut self, tag: &str) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(&format!("<{tag}")) && !self.rest.starts_with("</")
+    }
+
+    fn peek_close(&mut self, tag: &str) -> bool {
+        self.skip_ws();
+        self.rest.starts_with(&format!("</{tag}>"))
+    }
+
+    fn expect_open(&mut self, tag: &str) -> Result<Vec<(String, String)>, PolicyFileError> {
+        self.skip_ws();
+        let Some(r) = self.rest.strip_prefix(&format!("<{tag}")) else {
+            return Err(PolicyFileError::new(format!(
+                "expected <{tag}> at {:?}",
+                truncated(self.rest)
+            )));
+        };
+        let close = r
+            .find('>')
+            .ok_or_else(|| PolicyFileError::new(format!("unclosed <{tag}>")))?;
+        let attr_text = &r[..close];
+        self.rest = &r[close + 1..];
+        let mut attrs = Vec::new();
+        for part in attr_text.split_whitespace() {
+            let Some((k, v)) = part.split_once('=') else {
+                return Err(PolicyFileError::new(format!("malformed attribute {part:?}")));
+            };
+            let v = v.trim_matches('"');
+            attrs.push((k.to_string(), v.to_string()));
+        }
+        Ok(attrs)
+    }
+
+    fn expect_close(&mut self, tag: &str) -> Result<(), PolicyFileError> {
+        self.skip_ws();
+        let closing = format!("</{tag}>");
+        if let Some(r) = self.rest.strip_prefix(closing.as_str()) {
+            self.rest = r;
+            Ok(())
+        } else {
+            Err(PolicyFileError::new(format!(
+                "expected {closing} at {:?}",
+                truncated(self.rest)
+            )))
+        }
+    }
+
+    /// Read `<tag>text</tag>` and return `(tag, text)`.
+    fn leaf_element(&mut self) -> Result<(String, String), PolicyFileError> {
+        self.skip_ws();
+        let Some(r) = self.rest.strip_prefix('<') else {
+            return Err(PolicyFileError::new(format!(
+                "expected an element at {:?}",
+                truncated(self.rest)
+            )));
+        };
+        let close = r
+            .find('>')
+            .ok_or_else(|| PolicyFileError::new("unclosed element"))?;
+        let tag = r[..close].to_string();
+        if tag.contains(' ') || tag.starts_with('/') {
+            return Err(PolicyFileError::new(format!("unexpected tag <{tag}>")));
+        }
+        let rest = &r[close + 1..];
+        let closing = format!("</{tag}>");
+        let end = rest
+            .find(closing.as_str())
+            .ok_or_else(|| PolicyFileError::new(format!("missing {closing}")))?;
+        let body = rest[..end].to_string();
+        self.rest = &rest[end + closing.len()..];
+        Ok((tag, body))
+    }
+}
+
+fn truncated(s: &str) -> String {
+    s.chars().take(32).collect()
+}
+
+/// The built-in Table I policies rendered as a policy file — used as the
+/// default registry and as a parser round-trip fixture.
+pub fn builtin_policy_file() -> String {
+    let mut out = String::from("<policies>\n");
+    for p in Policy::table1() {
+        out.push_str(&format!(
+            "  <policy name=\"{}\">\n    <workThreshold>{}</workThreshold>\n    <grabLimit>{}</grabLimit>\n    <evaluationInterval>{}</evaluationInterval>\n  </policy>\n",
+            p.name,
+            p.work_threshold_pct,
+            p.grab_limit,
+            p.evaluation_interval.as_millis(),
+        ));
+    }
+    out.push_str("</policies>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_file_round_trips_table1() {
+        let parsed = parse_policy_file(&builtin_policy_file()).unwrap();
+        assert_eq!(parsed, Policy::table1());
+    }
+
+    #[test]
+    fn parses_a_custom_policy() {
+        let text = r#"
+            <policies>
+              <policy name="gentle">
+                <workThreshold>7.5</workThreshold>
+                <grabLimit>min(4, 0.05*TS)</grabLimit>
+                <evaluationInterval>2000</evaluationInterval>
+              </policy>
+            </policies>
+        "#;
+        let ps = parse_policy_file(text).unwrap();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].name, "gentle");
+        assert_eq!(ps[0].work_threshold_pct, 7.5);
+        assert_eq!(ps[0].evaluation_interval, SimDuration::from_secs(2));
+        assert_eq!(ps[0].grab_limit.evaluate(200, 0), 4);
+        assert_eq!(ps[0].grab_limit.evaluate(40, 0), 2);
+    }
+
+    #[test]
+    fn interval_defaults_to_four_seconds() {
+        let text = r#"<policies><policy name="x"><grabLimit>AS</grabLimit></policy></policies>"#;
+        let ps = parse_policy_file(text).unwrap();
+        assert_eq!(ps[0].evaluation_interval, SimDuration::from_secs(4));
+        assert_eq!(ps[0].work_threshold_pct, 0.0);
+    }
+
+    #[test]
+    fn grab_limit_expressions() {
+        assert_eq!(parse_grab_limit("Infinity").unwrap(), GrabLimit::Infinity);
+        assert_eq!(parse_grab_limit("12").unwrap(), GrabLimit::Const(12.0));
+        assert_eq!(parse_grab_limit("0.5*TS").unwrap(), GrabLimit::FracTotal(0.5));
+        assert_eq!(parse_grab_limit(" 0.1 * AS ").unwrap(), GrabLimit::FracAvailable(0.1));
+        assert_eq!(
+            parse_grab_limit("max(0.5*TS, AS)").unwrap(),
+            Policy::ha().grab_limit
+        );
+        assert_eq!(
+            parse_grab_limit("(AS > 0) ? 0.5*AS : 0.2*TS").unwrap(),
+            Policy::ma().grab_limit
+        );
+    }
+
+    #[test]
+    fn expression_errors_are_reported() {
+        assert!(parse_grab_limit("").is_err());
+        assert!(parse_grab_limit("max(1").is_err());
+        assert!(parse_grab_limit("0.5*XS").is_err());
+        assert!(parse_grab_limit("AS AS").is_err());
+        assert!(parse_grab_limit("(TS > 0) ? 1 : 2").is_err(), "only AS may be tested");
+    }
+
+    #[test]
+    fn file_errors_are_reported() {
+        assert!(parse_policy_file("<policies></policies>").is_err(), "empty registry");
+        assert!(parse_policy_file("<policy name=\"x\"></policy>").is_err(), "missing root");
+        let no_name = r#"<policies><policy><grabLimit>AS</grabLimit></policy></policies>"#;
+        assert!(parse_policy_file(no_name).is_err());
+        let no_grab = r#"<policies><policy name="x"><workThreshold>1</workThreshold></policy></policies>"#;
+        let err = parse_policy_file(no_grab).unwrap_err();
+        assert!(err.to_string().contains("grabLimit"), "{err}");
+        let unknown = r#"<policies><policy name="x"><grabLimit>AS</grabLimit><nope>1</nope></policy></policies>"#;
+        assert!(parse_policy_file(unknown).is_err());
+    }
+
+    #[test]
+    fn multiple_policies_in_order() {
+        let text = r#"
+            <policies>
+              <policy name="a"><grabLimit>1</grabLimit></policy>
+              <policy name="b"><grabLimit>2</grabLimit></policy>
+            </policies>
+        "#;
+        let names: Vec<String> = parse_policy_file(text).unwrap().into_iter().map(|p| p.name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The predicate-based-sampling map and reduce logic — Algorithms 1 and 2
+//! of the paper.
+//!
+//! * **Map** (Algorithm 1): scan every record of the split; while fewer
+//!   than `k` matches have been found *by this task*, emit each record
+//!   satisfying the predicate under a dummy key. Each map task caps at `k`
+//!   because "it is possible that none of the other map tasks output any
+//!   desirable results".
+//! * **Reduce** (Algorithm 2): the single reduce task receives every
+//!   emitted value under the dummy key and outputs the first `k` (or all,
+//!   if fewer). The footnote's "random k instead, to get more random
+//!   results" variant is [`SampleMode::RandomK`], implemented as a
+//!   reservoir sample.
+
+use incmr_data::{Predicate, Record};
+use incmr_mapreduce::{MapResult, Mapper, Reducer, SplitData};
+use incmr_simkit::rng::DetRng;
+use rand::Rng;
+
+/// The dummy key all sampling map outputs share, forcing a single reduce
+/// group.
+pub const DUMMY_KEY: &str = "__k_dummy__";
+
+/// How the reducer trims an over-full candidate list down to `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleMode {
+    /// Take the first `k` values (paper Algorithm 2).
+    FirstK,
+    /// Reservoir-sample `k` values with the given seed (paper footnote 1).
+    RandomK {
+        /// Seed for the reservoir's RNG.
+        seed: u64,
+    },
+}
+
+/// Algorithm 1: the sampling map function.
+#[derive(Debug, Clone)]
+pub struct SamplingMapper {
+    predicate: Predicate,
+    k: u64,
+    projection: Vec<usize>,
+}
+
+impl SamplingMapper {
+    /// A mapper emitting up to `k` records matching `predicate` per split.
+    pub fn new(predicate: Predicate, k: u64) -> Self {
+        Self::with_projection(predicate, k, Vec::new())
+    }
+
+    /// Like [`SamplingMapper::new`], additionally projecting each emitted
+    /// record down to the given column indices (map-side projection, as the
+    /// paper's `SELECT ORDERKEY, PARTKEY, SUPPKEY` template implies). An
+    /// empty projection keeps whole records.
+    pub fn with_projection(predicate: Predicate, k: u64, projection: Vec<usize>) -> Self {
+        assert!(k > 0, "sample size must be positive");
+        SamplingMapper {
+            predicate,
+            k,
+            projection,
+        }
+    }
+
+    /// The predicate being evaluated.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    fn emit(&self, r: &Record) -> (String, Record) {
+        let value = if self.projection.is_empty() {
+            r.clone()
+        } else {
+            r.project(&self.projection)
+        };
+        (DUMMY_KEY.to_string(), value)
+    }
+}
+
+impl Mapper for SamplingMapper {
+    fn run(&self, data: &SplitData) -> MapResult {
+        match data {
+            // Full mode: the real Algorithm 1 loop — scan everything,
+            // evaluate the predicate, emit while found < k.
+            SplitData::Records(records) => {
+                let mut pairs = Vec::new();
+                for record in records {
+                    if (pairs.len() as u64) < self.k && self.predicate.eval(record) {
+                        pairs.push(self.emit(record));
+                    }
+                }
+                MapResult {
+                    pairs,
+                    records_read: records.len() as u64,
+                    ..MapResult::default()
+                }
+            }
+            // Planted mode: `matches` are by construction exactly the
+            // records the predicate accepts, in scan order; the cap and the
+            // counters behave identically. Overflow beyond k is accounted
+            // (it would be shuffled in Hadoop) but not materialised.
+            SplitData::Planted { total_records, matches } => {
+                debug_assert!(matches.iter().all(|r| self.predicate.eval(r)), "planted contract violated");
+                let keep = (self.k as usize).min(matches.len());
+                let pairs = matches[..keep].iter().map(|r| self.emit(r)).collect();
+                MapResult {
+                    pairs,
+                    records_read: *total_records,
+                    ..MapResult::default()
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm 2: the sampling reduce function.
+#[derive(Debug, Clone)]
+pub struct SamplingReducer {
+    k: u64,
+    mode: SampleMode,
+}
+
+impl SamplingReducer {
+    /// A reducer producing a sample of at most `k` values.
+    pub fn new(k: u64, mode: SampleMode) -> Self {
+        assert!(k > 0, "sample size must be positive");
+        SamplingReducer { k, mode }
+    }
+}
+
+impl Reducer for SamplingReducer {
+    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>) {
+        let k = self.k as usize;
+        if values.len() <= k {
+            output.extend(values.iter().map(|v| (key.to_string(), v.clone())));
+            return;
+        }
+        match self.mode {
+            SampleMode::FirstK => {
+                output.extend(values[..k].iter().map(|v| (key.to_string(), v.clone())));
+            }
+            SampleMode::RandomK { seed } => {
+                // Vitter's Algorithm R over the value list.
+                let mut rng = DetRng::seed_from(seed);
+                let mut reservoir: Vec<&Record> = values[..k].iter().collect();
+                for (i, v) in values.iter().enumerate().skip(k) {
+                    let j = rng.gen_range(0..=i);
+                    if j < k {
+                        reservoir[j] = v;
+                    }
+                }
+                output.extend(reservoir.into_iter().map(|v| (key.to_string(), v.clone())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_data::{Value,
+        lineitem::{col, LineItemFactory},
+        generator::{RecordFactory, SplitGenerator, SplitSpec},
+    };
+
+    fn factory() -> LineItemFactory {
+        LineItemFactory::new(col::QUANTITY, Value::Int(200))
+    }
+
+    fn full_split(records: u64, matching: u64, seed: u64) -> SplitData {
+        let f = factory();
+        SplitData::Records(SplitGenerator::new(&f, SplitSpec::new(records, matching, seed)).full_iter().collect())
+    }
+
+    fn planted_split(records: u64, matching: u64, seed: u64) -> SplitData {
+        let f = factory();
+        SplitData::Planted {
+            total_records: records,
+            matches: SplitGenerator::new(&f, SplitSpec::new(records, matching, seed)).planted_matches(),
+        }
+    }
+
+    #[test]
+    fn full_mode_emits_matches_under_dummy_key() {
+        let m = SamplingMapper::new(factory().predicate(), 100);
+        let out = m.run(&full_split(1_000, 17, 3));
+        assert_eq!(out.pairs.len(), 17);
+        assert_eq!(out.records_read, 1_000, "Algorithm 1 scans the whole split");
+        assert!(out.pairs.iter().all(|(k, _)| k == DUMMY_KEY));
+        assert!(out.pairs.iter().all(|(_, r)| m.predicate().eval(r)));
+    }
+
+    #[test]
+    fn map_output_caps_at_k_per_task() {
+        let m = SamplingMapper::new(factory().predicate(), 5);
+        let out = m.run(&full_split(1_000, 17, 3));
+        assert_eq!(out.pairs.len(), 5);
+        assert_eq!(out.records_read, 1_000);
+    }
+
+    #[test]
+    fn projection_is_applied_map_side() {
+        let m = SamplingMapper::with_projection(factory().predicate(), 100, vec![col::ORDERKEY, col::SUPPKEY]);
+        for data in [full_split(1_000, 9, 4), planted_split(1_000, 9, 4)] {
+            let out = m.run(&data);
+            assert_eq!(out.pairs.len(), 9);
+            assert!(out.pairs.iter().all(|(_, r)| r.arity() == 2));
+        }
+    }
+
+    #[test]
+    fn planted_mode_matches_full_mode() {
+        let m = SamplingMapper::new(factory().predicate(), 8);
+        let a = m.run(&full_split(2_000, 30, 7));
+        let b = m.run(&planted_split(2_000, 30, 7));
+        assert_eq!(a.records_read, b.records_read);
+        assert_eq!(a.pairs, b.pairs);
+    }
+
+    fn recs(n: u64) -> Vec<Record> {
+        (0..n).map(|i| Record::new(vec![Value::Int(i as i64)])).collect()
+    }
+
+    #[test]
+    fn reduce_passes_small_lists_through() {
+        let r = SamplingReducer::new(10, SampleMode::FirstK);
+        let mut out = Vec::new();
+        r.reduce(DUMMY_KEY, &recs(4), &mut out);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn reduce_first_k_takes_a_prefix() {
+        let r = SamplingReducer::new(3, SampleMode::FirstK);
+        let mut out = Vec::new();
+        r.reduce(DUMMY_KEY, &recs(10), &mut out);
+        let got: Vec<i64> = out
+            .iter()
+            .map(|(_, rec)| match rec.get(0) {
+                Value::Int(v) => *v,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reduce_random_k_is_seeded_and_k_sized() {
+        let r = SamplingReducer::new(5, SampleMode::RandomK { seed: 9 });
+        let values = recs(100);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        r.reduce(DUMMY_KEY, &values, &mut a);
+        r.reduce(DUMMY_KEY, &values, &mut b);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a, b, "same seed, same sample");
+        let r2 = SamplingReducer::new(5, SampleMode::RandomK { seed: 10 });
+        let mut c = Vec::new();
+        r2.reduce(DUMMY_KEY, &values, &mut c);
+        assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn reservoir_is_approximately_uniform() {
+        // Sample 1 of 4 many times; each element should appear ~25%.
+        let values = recs(4);
+        let mut counts = [0u32; 4];
+        for seed in 0..4_000 {
+            let r = SamplingReducer::new(1, SampleMode::RandomK { seed });
+            let mut out = Vec::new();
+            r.reduce(DUMMY_KEY, &values, &mut out);
+            let Value::Int(v) = out[0].1.get(0) else { panic!() };
+            counts[*v as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (800..=1_200).contains(&c),
+                "reservoir badly skewed: {counts:?}"
+            );
+        }
+    }
+}

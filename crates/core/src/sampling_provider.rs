@@ -1,0 +1,258 @@
+//! The Input Provider for predicate-based sampling (paper Section IV).
+//!
+//! Behaviour, step by step:
+//!
+//! * splits are handed out **uniformly at random** from the unprocessed
+//!   pool ("The initial input and each subsequent increment (if required)
+//!   is chosen randomly with a uniform distribution from the set of
+//!   un-processed input partitions. This is done to introduce randomness in
+//!   the produced sample");
+//! * at each evaluation, if the produced map outputs already reach the
+//!   required sample size `k`, respond **end of input**;
+//! * otherwise estimate selectivity and records-per-split from completed
+//!   maps, account for the **expected output of scheduled-but-unfinished
+//!   maps**, and request exactly the estimated number of additional splits
+//!   — capped by the policy's grab limit;
+//! * if nothing can be estimated yet (no completed maps), **wait**;
+//! * if data was processed but no matches found, the estimate is unusable —
+//!   explore by requesting up to the grab limit, but never fewer than one
+//!   split (a zero grab would otherwise livelock a matchless job; DESIGN.md
+//!   deviation note).
+
+use incmr_dfs::BlockId;
+use incmr_mapreduce::{ClusterStatus, JobProgress};
+use incmr_simkit::rng::DetRng;
+use rand::Rng;
+
+use crate::estimator::{ProgressEstimate, SelectivityEstimator};
+use crate::input_provider::{InputProvider, InputResponse};
+
+/// Input Provider implementing the paper's sampling logic.
+pub struct SamplingInputProvider {
+    k: u64,
+    pool: Vec<BlockId>,
+    estimator: SelectivityEstimator,
+    rng: DetRng,
+}
+
+impl SamplingInputProvider {
+    /// Create a provider over the job's complete input, targeting `k`
+    /// sample records. `seed` drives the random split selection.
+    pub fn new(all_splits: Vec<BlockId>, k: u64, seed: u64) -> Self {
+        assert!(k > 0, "sample size must be positive");
+        SamplingInputProvider {
+            k,
+            pool: all_splits,
+            estimator: SelectivityEstimator::new(),
+            rng: DetRng::seed_from(seed),
+        }
+    }
+
+    /// The target sample size.
+    pub fn sample_size(&self) -> u64 {
+        self.k
+    }
+
+    /// Draw up to `n` splits uniformly at random from the unprocessed pool.
+    fn draw(&mut self, n: u64) -> Vec<BlockId> {
+        let take = (n.min(self.pool.len() as u64)) as usize;
+        for i in 0..take {
+            let j = self.rng.gen_range(i..self.pool.len());
+            self.pool.swap(i, j);
+        }
+        self.pool.drain(..take).collect()
+    }
+}
+
+impl InputProvider for SamplingInputProvider {
+    fn initial_input(&mut self, _cluster: &ClusterStatus, grab_limit: u64) -> Vec<BlockId> {
+        // At least one split, or the job would never produce statistics
+        // (DESIGN.md: "initial grab" deviation).
+        self.draw(grab_limit.max(1))
+    }
+
+    fn next_input(&mut self, progress: &JobProgress, _cluster: &ClusterStatus, grab_limit: u64) -> InputResponse {
+        // Enough output already produced: stop consuming input.
+        if progress.map_output_records >= self.k {
+            return InputResponse::EndOfInput;
+        }
+        // Input exhausted: nothing more to add — the sample will simply be
+        // smaller than requested.
+        if self.pool.is_empty() {
+            return InputResponse::EndOfInput;
+        }
+        self.estimator.update(progress);
+        let outstanding = progress.splits_running + progress.splits_pending;
+        match self.estimator.project(self.k, outstanding) {
+            ProgressEstimate::NoData => InputResponse::NoInputAvailable,
+            ProgressEstimate::NoMatchesYet => {
+                // Selectivity looks like zero so far; explore as widely as
+                // the policy allows — but always at least one split, or a
+                // zero grab limit (policy C on a saturated cluster) would
+                // leave a matchless job spinning forever with nothing
+                // outstanding (DESIGN.md deviation note).
+                let drawn = self.draw(grab_limit.max(1));
+                if drawn.is_empty() {
+                    InputResponse::NoInputAvailable
+                } else {
+                    InputResponse::InputAvailable(drawn)
+                }
+            }
+            ProgressEstimate::Estimate {
+                additional_splits_needed,
+                ..
+            } => {
+                if additional_splits_needed == 0 {
+                    // Outstanding maps are expected to cover k: wait and see.
+                    return InputResponse::NoInputAvailable;
+                }
+                let want = additional_splits_needed.min(grab_limit);
+                let drawn = self.draw(want);
+                if drawn.is_empty() {
+                    InputResponse::NoInputAvailable
+                } else {
+                    InputResponse::InputAvailable(drawn)
+                }
+            }
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_mapreduce::JobId;
+
+    fn blocks(n: u32) -> Vec<BlockId> {
+        (0..n).map(BlockId).collect()
+    }
+
+    fn status() -> ClusterStatus {
+        ClusterStatus {
+            total_map_slots: 40,
+            occupied_map_slots: 0,
+            running_jobs: 1,
+            queued_map_tasks: 0,
+        }
+    }
+
+    fn progress(added: u32, completed: u32, records: u64, matches: u64) -> JobProgress {
+        JobProgress {
+            job: JobId(0),
+            splits_added: added,
+            splits_completed: completed,
+            splits_running: added - completed,
+            splits_pending: 0,
+            records_processed: records,
+            map_output_records: matches,
+        }
+    }
+
+    #[test]
+    fn initial_input_respects_grab_limit_and_randomizes() {
+        let mut p = SamplingInputProvider::new(blocks(100), 10, 1);
+        let first = p.initial_input(&status(), 10);
+        assert_eq!(first.len(), 10);
+        assert_eq!(p.remaining(), 90);
+        // Different seed → different draw.
+        let mut q = SamplingInputProvider::new(blocks(100), 10, 2);
+        let other = q.initial_input(&status(), 10);
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn initial_input_grabs_at_least_one_even_at_zero_limit() {
+        let mut p = SamplingInputProvider::new(blocks(10), 10, 1);
+        assert_eq!(p.initial_input(&status(), 0).len(), 1);
+    }
+
+    #[test]
+    fn k_reached_means_end_of_input() {
+        let mut p = SamplingInputProvider::new(blocks(10), 100, 1);
+        p.initial_input(&status(), 4);
+        let r = p.next_input(&progress(4, 2, 2_000, 150), &status(), 8);
+        assert_eq!(r, InputResponse::EndOfInput);
+    }
+
+    #[test]
+    fn exhausted_pool_means_end_of_input() {
+        let mut p = SamplingInputProvider::new(blocks(4), 1_000, 1);
+        p.initial_input(&status(), 10); // takes everything
+        assert_eq!(p.remaining(), 0);
+        let r = p.next_input(&progress(4, 4, 4_000, 2), &status(), 8);
+        assert_eq!(r, InputResponse::EndOfInput);
+    }
+
+    #[test]
+    fn waits_when_no_map_has_completed() {
+        let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
+        p.initial_input(&status(), 4);
+        let r = p.next_input(&progress(4, 0, 0, 0), &status(), 8);
+        assert_eq!(r, InputResponse::NoInputAvailable);
+    }
+
+    #[test]
+    fn waits_when_outstanding_maps_should_cover_k() {
+        let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
+        p.initial_input(&status(), 10);
+        // 5 of 10 done: 5000 records, 60 matches; 5 outstanding expected to
+        // add ~60 more → projected 120 ≥ k=100 → wait.
+        let r = p.next_input(&progress(10, 5, 5_000, 60), &status(), 8);
+        assert_eq!(r, InputResponse::NoInputAvailable);
+        assert_eq!(p.remaining(), 30, "no splits consumed while waiting");
+    }
+
+    #[test]
+    fn requests_estimated_number_of_splits() {
+        let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
+        p.initial_input(&status(), 4);
+        // All 4 done: 4000 records, 20 matches → sel 0.5%, 1000 rec/split.
+        // Need 80 more matches → 16000 records → 16 splits; grab cap 20.
+        let r = p.next_input(&progress(4, 4, 4_000, 20), &status(), 20);
+        let InputResponse::InputAvailable(got) = r else { panic!("expected input") };
+        assert_eq!(got.len(), 16);
+    }
+
+    #[test]
+    fn grab_limit_caps_the_request() {
+        let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
+        p.initial_input(&status(), 4);
+        let r = p.next_input(&progress(4, 4, 4_000, 20), &status(), 5);
+        let InputResponse::InputAvailable(got) = r else { panic!() };
+        assert_eq!(got.len(), 5, "16 wanted, 5 allowed");
+    }
+
+    #[test]
+    fn zero_selectivity_explores_at_grab_limit() {
+        let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
+        p.initial_input(&status(), 4);
+        let r = p.next_input(&progress(4, 4, 4_000, 0), &status(), 12);
+        let InputResponse::InputAvailable(got) = r else { panic!() };
+        assert_eq!(got.len(), 12);
+    }
+
+    #[test]
+    fn drawn_splits_never_repeat() {
+        let mut p = SamplingInputProvider::new(blocks(50), 1_000_000, 3);
+        let mut seen = std::collections::HashSet::new();
+        for b in p.initial_input(&status(), 20) {
+            assert!(seen.insert(b));
+        }
+        while let InputResponse::InputAvailable(bs) = p.next_input(&progress(20, 20, 20_000, 1), &status(), 7) {
+            for b in bs {
+                assert!(seen.insert(b), "split handed out twice");
+            }
+        }
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be positive")]
+    fn zero_k_panics() {
+        let _ = SamplingInputProvider::new(blocks(1), 0, 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! End-to-end dataset construction: place a partitioned LINEITEM file on the
+//! DFS and plan, per split, how many predicate-matching records it holds.
+//!
+//! Mirrors Table II of the paper: LINEITEM generated at scales 5–100, evenly
+//! distributed across the 40 disks with no replication; a scale unit is
+//! 6 M rows (TPC-H SF1 ≈ 6.0 M LINEITEM rows) in 8 partitions, so 5× → 30 M
+//! rows in 40 partitions, 100× → 600 M rows in 800 partitions.
+
+use std::collections::HashMap;
+
+use incmr_dfs::{BlockId, BlockSpec, FileId, Namespace, PlacementPolicy};
+use incmr_simkit::rng::DetRng;
+
+use crate::generator::SplitSpec;
+use crate::lineitem::LineItemFactory;
+use crate::queries::{PaperPredicate, SkewLevel, PAPER_SELECTIVITY};
+use crate::skew;
+
+/// LINEITEM rows per scale unit (TPC-H SF1).
+pub const ROWS_PER_SCALE: u64 = 6_000_000;
+
+/// Input partitions per scale unit (5× → 40 partitions, matching the paper's
+/// "5x input gets partitioned into 40 partitions when stored in HDFS").
+pub const PARTITIONS_PER_SCALE: u32 = 8;
+
+/// Modelled on-disk bytes per LINEITEM row (dbgen text rows average ≈126 B).
+pub const ROW_BYTES: u64 = 126;
+
+/// Everything needed to lay a dataset out and plant its matches.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// DFS file name (unique per dataset copy).
+    pub name: String,
+    /// Number of input partitions (= splits = blocks).
+    pub partitions: u32,
+    /// Records per partition.
+    pub records_per_partition: u64,
+    /// Skew of the matching-record distribution.
+    pub skew: SkewLevel,
+    /// Overall fraction of records that match the predicate.
+    pub selectivity: f64,
+    /// Root seed for this dataset's contents.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The paper's configuration at a given TPC-H scale (5, 10, 20, 40,
+    /// 100), with selectivity 0.05%.
+    pub fn paper_scale(name: &str, scale: u32, skew: SkewLevel, seed: u64) -> Self {
+        assert!(scale > 0);
+        DatasetSpec {
+            name: name.to_string(),
+            partitions: scale * PARTITIONS_PER_SCALE,
+            records_per_partition: ROWS_PER_SCALE / PARTITIONS_PER_SCALE as u64,
+            skew,
+            selectivity: PAPER_SELECTIVITY,
+            seed,
+        }
+    }
+
+    /// A small configuration for tests and examples.
+    pub fn small(name: &str, partitions: u32, records_per_partition: u64, skew: SkewLevel, seed: u64) -> Self {
+        assert!(partitions > 0 && records_per_partition > 0);
+        DatasetSpec {
+            name: name.to_string(),
+            partitions,
+            records_per_partition,
+            skew,
+            selectivity: PAPER_SELECTIVITY,
+            seed,
+        }
+    }
+
+    /// Total records across all partitions.
+    pub fn total_records(&self) -> u64 {
+        self.partitions as u64 * self.records_per_partition
+    }
+
+    /// Total matching records implied by the selectivity (rounded).
+    pub fn total_matching(&self) -> u64 {
+        (self.total_records() as f64 * self.selectivity).round() as u64
+    }
+}
+
+/// One split's plan: which DFS block it is and what it contains.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitPlan {
+    /// The DFS block backing this split.
+    pub block: BlockId,
+    /// Its contents (records, planted matches, seed).
+    pub spec: SplitSpec,
+}
+
+/// A materialised (planned) dataset: the DFS file plus per-split plans.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    spec: DatasetSpec,
+    file: FileId,
+    plans: Vec<SplitPlan>,
+    by_block: HashMap<BlockId, usize>,
+}
+
+impl Dataset {
+    /// Create the DFS file and plant matching records per the skew spec.
+    ///
+    /// # Panics
+    /// Panics if the DFS file name already exists (datasets are created once
+    /// per experiment) — construction errors here are programming bugs, not
+    /// runtime conditions.
+    pub fn build(
+        namespace: &mut Namespace,
+        spec: DatasetSpec,
+        placement: &mut dyn PlacementPolicy,
+        rng: &mut DetRng,
+    ) -> Dataset {
+        let mut skew_rng = rng.fork_named("skew");
+        let counts = skew::assign_matching(
+            spec.total_matching(),
+            spec.partitions as usize,
+            spec.skew.z(),
+            &mut skew_rng,
+        );
+        let capacity = vec![spec.records_per_partition; spec.partitions as usize];
+        let counts = skew::cap_to_capacity(counts, &capacity, &mut skew_rng);
+
+        let block_specs: Vec<BlockSpec> = (0..spec.partitions)
+            .map(|_| BlockSpec {
+                bytes: spec.records_per_partition * ROW_BYTES,
+                records: spec.records_per_partition,
+            })
+            .collect();
+        let mut place_rng = rng.fork_named("placement");
+        let file = namespace
+            .create_file(&spec.name, &block_specs, placement, &mut place_rng)
+            .expect("dataset file name must be unique");
+
+        let seed_root = DetRng::seed_from(spec.seed);
+        let plans: Vec<SplitPlan> = namespace
+            .blocks_of(file)
+            .iter()
+            .enumerate()
+            .map(|(i, &block)| SplitPlan {
+                block,
+                spec: SplitSpec::new(spec.records_per_partition, counts[i], seed_root.fork(i as u64).seed()),
+            })
+            .collect();
+        let by_block = plans.iter().enumerate().map(|(i, p)| (p.block, i)).collect();
+        Dataset {
+            spec,
+            file,
+            plans,
+            by_block,
+        }
+    }
+
+    /// The spec this dataset was built from.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// The backing DFS file.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// All split plans, in block order.
+    pub fn splits(&self) -> &[SplitPlan] {
+        &self.plans
+    }
+
+    /// The plan for a specific block.
+    ///
+    /// # Panics
+    /// Panics if the block does not belong to this dataset.
+    pub fn plan(&self, block: BlockId) -> &SplitPlan {
+        &self.plans[self.by_block[&block]]
+    }
+
+    /// Whether a block belongs to this dataset.
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.by_block.contains_key(&block)
+    }
+
+    /// Matching-record count per partition (Figure 4's series).
+    pub fn matching_counts(&self) -> Vec<u64> {
+        self.plans.iter().map(|p| p.spec.matching).collect()
+    }
+
+    /// Total planted matching records.
+    pub fn total_matching(&self) -> u64 {
+        self.plans.iter().map(|p| p.spec.matching).sum()
+    }
+
+    /// The record factory for this dataset's experiment predicate.
+    pub fn factory(&self) -> LineItemFactory {
+        PaperPredicate::for_skew(self.spec.skew).factory()
+    }
+}
+
+/// One row of Table II: properties of a generated dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// TPC-H scale.
+    pub scale: u32,
+    /// Total LINEITEM rows.
+    pub rows: u64,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Number of input partitions in the DFS.
+    pub partitions: u32,
+}
+
+/// Compute Table II for the paper's scales (5, 10, 20, 40, 100).
+pub fn table2(scales: &[u32]) -> Vec<Table2Row> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let rows = scale as u64 * ROWS_PER_SCALE;
+            Table2Row {
+                scale,
+                rows,
+                bytes: rows * ROW_BYTES,
+                partitions: scale * PARTITIONS_PER_SCALE,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_dfs::{ClusterTopology, EvenRoundRobin};
+
+    fn build(skew: SkewLevel, seed: u64) -> (Namespace, Dataset) {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(seed);
+        let spec = DatasetSpec::paper_scale("lineitem_5x", 5, skew, seed);
+        let ds = Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng);
+        (ns, ds)
+    }
+
+    #[test]
+    fn paper_scale_5x_matches_table2() {
+        let spec = DatasetSpec::paper_scale("t", 5, SkewLevel::Zero, 1);
+        assert_eq!(spec.partitions, 40);
+        assert_eq!(spec.total_records(), 30_000_000);
+        assert_eq!(spec.total_matching(), 15_000);
+    }
+
+    #[test]
+    fn table2_rows() {
+        let t = table2(&[5, 10, 20, 40, 100]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t[0].rows, 30_000_000);
+        assert_eq!(t[0].partitions, 40);
+        assert_eq!(t[4].rows, 600_000_000);
+        assert_eq!(t[4].partitions, 800);
+        assert!(t[4].bytes > 70 * 1024 * 1024 * 1024u64, "100x should be ~75 GB");
+    }
+
+    #[test]
+    fn build_places_one_block_per_disk_at_5x() {
+        let (ns, ds) = build(SkewLevel::Zero, 1);
+        assert_eq!(ds.splits().len(), 40);
+        assert!(ns.blocks_per_disk().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn zero_skew_plants_evenly() {
+        let (_, ds) = build(SkewLevel::Zero, 1);
+        assert_eq!(ds.matching_counts(), vec![375u64; 40]);
+        assert_eq!(ds.total_matching(), 15_000);
+    }
+
+    #[test]
+    fn high_skew_plants_a_heavy_partition() {
+        let (_, ds) = build(SkewLevel::High, 2);
+        let counts = ds.matching_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 15_000);
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 8_000, "z=2 heavy partition holds most matches, got {max}");
+    }
+
+    #[test]
+    fn plan_lookup_by_block() {
+        let (_, ds) = build(SkewLevel::Moderate, 3);
+        for p in ds.splits() {
+            assert!(ds.contains(p.block));
+            assert_eq!(ds.plan(p.block).block, p.block);
+        }
+        assert_eq!(ds.total_matching(), 15_000);
+    }
+
+    #[test]
+    fn split_seeds_are_distinct() {
+        let (_, ds) = build(SkewLevel::Zero, 4);
+        let mut seeds: Vec<u64> = ds.splits().iter().map(|p| p.spec.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 40);
+    }
+
+    #[test]
+    fn same_seed_same_plan_different_seed_different_plan() {
+        let (_, a) = build(SkewLevel::High, 7);
+        let (_, b) = build(SkewLevel::High, 7);
+        let (_, c) = build(SkewLevel::High, 8);
+        assert_eq!(a.matching_counts(), b.matching_counts());
+        assert_ne!(a.matching_counts(), c.matching_counts());
+    }
+}

@@ -1,0 +1,220 @@
+//! The TPC-H `LINEITEM` table: schema, natural column generators, and the
+//! record factory used to *plant* predicate-matching records.
+//!
+//! The paper derives its evaluation dataset from LINEITEM and then rewrites
+//! records so that, for each experiment predicate, exactly the planted
+//! records match and everything else is guaranteed not to (Section V-B:
+//! "we then modified the other records in each partition accordingly to
+//! ensure that the remaining records contained random values not satisfying
+//! the predicate"). [`LineItemFactory`] implements that construction: the
+//! natural generators draw from the TPC-H value domains, and matching
+//! records override one *sentinel column* with a value outside its natural
+//! domain.
+
+use incmr_simkit::rng::DetRng;
+use rand::Rng;
+
+use crate::generator::RecordFactory;
+use crate::predicate::Predicate;
+use crate::schema::{ColumnType, Schema};
+use crate::value::{Record, Value};
+
+/// Column indices within the LINEITEM schema, by name.
+pub mod col {
+    /// `L_ORDERKEY`
+    pub const ORDERKEY: usize = 0;
+    /// `L_PARTKEY`
+    pub const PARTKEY: usize = 1;
+    /// `L_SUPPKEY`
+    pub const SUPPKEY: usize = 2;
+    /// `L_LINENUMBER`
+    pub const LINENUMBER: usize = 3;
+    /// `L_QUANTITY`
+    pub const QUANTITY: usize = 4;
+    /// `L_EXTENDEDPRICE`
+    pub const EXTENDEDPRICE: usize = 5;
+    /// `L_DISCOUNT`
+    pub const DISCOUNT: usize = 6;
+    /// `L_TAX`
+    pub const TAX: usize = 7;
+    /// `L_RETURNFLAG`
+    pub const RETURNFLAG: usize = 8;
+    /// `L_LINESTATUS`
+    pub const LINESTATUS: usize = 9;
+    /// `L_SHIPDATE`
+    pub const SHIPDATE: usize = 10;
+    /// `L_SHIPMODE`
+    pub const SHIPMODE: usize = 11;
+}
+
+/// The LINEITEM schema (a 12-column subset of TPC-H's 16; the dropped
+/// columns are free-text comments that no paper experiment touches — their
+/// bytes are accounted for in [`crate::dataset::ROW_BYTES`]).
+pub fn schema() -> Schema {
+    Schema::new(vec![
+        ("L_ORDERKEY", ColumnType::Int),
+        ("L_PARTKEY", ColumnType::Int),
+        ("L_SUPPKEY", ColumnType::Int),
+        ("L_LINENUMBER", ColumnType::Int),
+        ("L_QUANTITY", ColumnType::Int),
+        ("L_EXTENDEDPRICE", ColumnType::Float),
+        ("L_DISCOUNT", ColumnType::Float),
+        ("L_TAX", ColumnType::Float),
+        ("L_RETURNFLAG", ColumnType::Str),
+        ("L_LINESTATUS", ColumnType::Str),
+        ("L_SHIPDATE", ColumnType::Date),
+        ("L_SHIPMODE", ColumnType::Str),
+    ])
+}
+
+const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
+const LINE_STATUS: [&str; 2] = ["O", "F"];
+const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Natural value domains: quantity 1–50, discount 0.00–0.10, tax 0.00–0.08,
+/// dates within 7 years of the epoch (all per the TPC-H spec).
+fn natural_record(rng: &mut DetRng) -> Record {
+    let quantity = rng.gen_range(1..=50i64);
+    let price_per_unit = rng.gen_range(900.0..=105_000.0f64) / 100.0;
+    Record::new(vec![
+        Value::Int(rng.gen_range(1..=6_000_000)),
+        Value::Int(rng.gen_range(1..=200_000)),
+        Value::Int(rng.gen_range(1..=10_000)),
+        Value::Int(rng.gen_range(1..=7)),
+        Value::Int(quantity),
+        Value::Float((quantity as f64 * price_per_unit * 100.0).round() / 100.0),
+        Value::Float(rng.gen_range(0..=10i64) as f64 / 100.0),
+        Value::Float(rng.gen_range(0..=8i64) as f64 / 100.0),
+        Value::Str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())].to_string()),
+        Value::Str(LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())].to_string()),
+        Value::Date(rng.gen_range(0..2557)),
+        Value::Str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string()),
+    ])
+}
+
+/// A record factory that plants matches by overriding one sentinel column
+/// with an out-of-domain value.
+#[derive(Debug, Clone)]
+pub struct LineItemFactory {
+    sentinel_column: usize,
+    sentinel_value: Value,
+}
+
+impl LineItemFactory {
+    /// Factory whose matching records carry `value` in `column`.
+    ///
+    /// # Panics
+    /// Panics if `value` lies inside the column's natural domain (that
+    /// would break the planted/natural separation) or the column is
+    /// unknown.
+    pub fn new(column: usize, value: Value) -> Self {
+        let s = schema();
+        assert!(column < s.arity(), "sentinel column out of range");
+        let ok = match (column, &value) {
+            (col::QUANTITY, Value::Int(v)) => !(1..=50).contains(v),
+            (col::DISCOUNT, Value::Float(v)) => !(0.0..=0.10).contains(v),
+            (col::TAX, Value::Float(v)) => !(0.0..=0.08).contains(v),
+            (col::SHIPMODE, Value::Str(v)) => !SHIP_MODES.contains(&v.as_str()),
+            _ => panic!("unsupported sentinel column {column}"),
+        };
+        assert!(ok, "sentinel value {value} is inside the natural domain");
+        LineItemFactory {
+            sentinel_column: column,
+            sentinel_value: value,
+        }
+    }
+
+    /// The sentinel column index.
+    pub fn sentinel_column(&self) -> usize {
+        self.sentinel_column
+    }
+}
+
+impl RecordFactory for LineItemFactory {
+    fn schema(&self) -> Schema {
+        schema()
+    }
+
+    fn predicate(&self) -> Predicate {
+        Predicate::eq(self.sentinel_column, self.sentinel_value.clone())
+    }
+
+    fn matching(&self, rng: &mut DetRng) -> Record {
+        let mut values = natural_record(rng).values().to_vec();
+        values[self.sentinel_column] = self.sentinel_value.clone();
+        Record::new(values)
+    }
+
+    fn filler(&self, rng: &mut DetRng) -> Record {
+        natural_record(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_twelve_named_columns() {
+        let s = schema();
+        assert_eq!(s.arity(), 12);
+        assert_eq!(s.index_of("l_quantity"), Some(col::QUANTITY));
+        assert_eq!(s.index_of("L_SHIPMODE"), Some(col::SHIPMODE));
+    }
+
+    #[test]
+    fn matching_records_satisfy_predicate_fillers_do_not() {
+        let f = LineItemFactory::new(col::QUANTITY, Value::Int(200));
+        let p = f.predicate();
+        let mut rng = DetRng::seed_from(1);
+        for _ in 0..500 {
+            assert!(p.eval(&f.matching(&mut rng)));
+            assert!(!p.eval(&f.filler(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn float_sentinels_work_exactly() {
+        let f = LineItemFactory::new(col::DISCOUNT, Value::Float(0.99));
+        let p = f.predicate();
+        let mut rng = DetRng::seed_from(2);
+        for _ in 0..500 {
+            assert!(p.eval(&f.matching(&mut rng)));
+            assert!(!p.eval(&f.filler(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn natural_values_stay_in_domain() {
+        let f = LineItemFactory::new(col::TAX, Value::Float(0.77));
+        let mut rng = DetRng::seed_from(3);
+        for _ in 0..200 {
+            let r = f.filler(&mut rng);
+            let Value::Int(q) = *r.get(col::QUANTITY) else { panic!() };
+            assert!((1..=50).contains(&q));
+            let Value::Float(d) = *r.get(col::DISCOUNT) else { panic!() };
+            assert!((0.0..=0.10).contains(&d));
+            let Value::Float(t) = *r.get(col::TAX) else { panic!() };
+            assert!((0.0..=0.08).contains(&t));
+        }
+    }
+
+    #[test]
+    fn records_match_schema_types() {
+        let s = schema();
+        let f = LineItemFactory::new(col::QUANTITY, Value::Int(200));
+        let mut rng = DetRng::seed_from(4);
+        for r in [f.matching(&mut rng), f.filler(&mut rng)] {
+            assert_eq!(r.arity(), s.arity());
+            for (i, v) in r.values().iter().enumerate() {
+                assert!(s.field(i).ty.admits(v), "column {i} got {}", v.type_name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the natural domain")]
+    fn in_domain_sentinel_panics() {
+        let _ = LineItemFactory::new(col::QUANTITY, Value::Int(25));
+    }
+}

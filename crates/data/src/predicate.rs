@@ -1,0 +1,243 @@
+//! Predicate AST and evaluator.
+//!
+//! This is what a `WHERE` clause compiles to, and what the sampling mapper
+//! evaluates against every scanned record (paper Algorithm 1). The AST is
+//! deliberately small — comparisons, `BETWEEN`, and boolean connectives —
+//! matching the predicates the paper's evaluation uses, but composable
+//! enough for arbitrary selection queries.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::schema::Schema;
+use crate::value::{Record, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator to an ordering result. Incomparable values (type
+    /// mismatch, NaN) fail every comparison, per SQL's unknown semantics
+    /// collapsed to false.
+    pub fn test(&self, ord: Option<Ordering>) -> bool {
+        let Some(ord) = ord else { return false };
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over records. Columns are referenced by index
+/// (resolved against a schema by the query front end).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the empty `WHERE` clause).
+    True,
+    /// `column <op> literal`
+    Compare {
+        /// Column index.
+        column: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        literal: Value,
+    },
+    /// `column BETWEEN low AND high` (inclusive).
+    Between {
+        /// Column index.
+        column: usize,
+        /// Lower bound (inclusive).
+        low: Value,
+        /// Upper bound (inclusive).
+        high: Value,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Convenience constructor for `column = literal`.
+    pub fn eq(column: usize, literal: Value) -> Self {
+        Predicate::Compare {
+            column,
+            op: CmpOp::Eq,
+            literal,
+        }
+    }
+
+    /// Evaluate against a record.
+    pub fn eval(&self, record: &Record) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Compare { column, op, literal } => op.test(record.get(*column).compare(literal)),
+            Predicate::Between { column, low, high } => {
+                let v = record.get(*column);
+                CmpOp::Ge.test(v.compare(low)) && CmpOp::Le.test(v.compare(high))
+            }
+            Predicate::And(a, b) => a.eval(record) && b.eval(record),
+            Predicate::Or(a, b) => a.eval(record) || b.eval(record),
+            Predicate::Not(a) => !a.eval(record),
+        }
+    }
+
+    /// Largest column index referenced, if any (for arity validation).
+    pub fn max_column(&self) -> Option<usize> {
+        match self {
+            Predicate::True => None,
+            Predicate::Compare { column, .. } | Predicate::Between { column, .. } => Some(*column),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.max_column().max(b.max_column()),
+            Predicate::Not(a) => a.max_column(),
+        }
+    }
+
+    /// Render with column names from a schema.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> PredicateDisplay<'a> {
+        PredicateDisplay { pred: self, schema }
+    }
+}
+
+/// Helper for schema-aware rendering of predicates.
+pub struct PredicateDisplay<'a> {
+    pred: &'a Predicate,
+    schema: &'a Schema,
+}
+
+impl fmt::Display for PredicateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |c: usize| self.schema.field(c).name.as_str();
+        match self.pred {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Compare { column, op, literal } => write!(f, "{} {op} {literal}", name(*column)),
+            Predicate::Between { column, low, high } => {
+                write!(f, "{} BETWEEN {low} AND {high}", name(*column))
+            }
+            Predicate::And(a, b) => write!(f, "({} AND {})", a.display(self.schema), b.display(self.schema)),
+            Predicate::Or(a, b) => write!(f, "({} OR {})", a.display(self.schema), b.display(self.schema)),
+            Predicate::Not(a) => write!(f, "NOT {}", a.display(self.schema)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnType;
+
+    fn rec(q: i64, d: f64) -> Record {
+        Record::new(vec![Value::Int(q), Value::Float(d)])
+    }
+
+    #[test]
+    fn comparisons() {
+        let p = Predicate::Compare {
+            column: 0,
+            op: CmpOp::Ge,
+            literal: Value::Int(10),
+        };
+        assert!(p.eval(&rec(10, 0.0)));
+        assert!(p.eval(&rec(11, 0.0)));
+        assert!(!p.eval(&rec(9, 0.0)));
+    }
+
+    #[test]
+    fn between_is_inclusive() {
+        let p = Predicate::Between {
+            column: 1,
+            low: Value::Float(0.05),
+            high: Value::Float(0.07),
+        };
+        assert!(p.eval(&rec(0, 0.05)));
+        assert!(p.eval(&rec(0, 0.07)));
+        assert!(!p.eval(&rec(0, 0.071)));
+    }
+
+    #[test]
+    fn connectives() {
+        let a = Predicate::eq(0, Value::Int(1));
+        let b = Predicate::eq(1, Value::Float(0.5));
+        let and = Predicate::And(Box::new(a.clone()), Box::new(b.clone()));
+        let or = Predicate::Or(Box::new(a.clone()), Box::new(b.clone()));
+        let not = Predicate::Not(Box::new(a.clone()));
+        assert!(and.eval(&rec(1, 0.5)));
+        assert!(!and.eval(&rec(1, 0.4)));
+        assert!(or.eval(&rec(1, 0.4)));
+        assert!(or.eval(&rec(2, 0.5)));
+        assert!(!or.eval(&rec(2, 0.4)));
+        assert!(not.eval(&rec(2, 0.0)));
+        assert!(Predicate::True.eval(&rec(0, 0.0)));
+    }
+
+    #[test]
+    fn type_mismatch_fails_comparison() {
+        let p = Predicate::eq(0, Value::Str("x".into()));
+        assert!(!p.eval(&rec(1, 0.0)));
+        // But Ne on incomparable values is also false (SQL unknown).
+        let p = Predicate::Compare {
+            column: 0,
+            op: CmpOp::Ne,
+            literal: Value::Str("x".into()),
+        };
+        assert!(!p.eval(&rec(1, 0.0)));
+    }
+
+    #[test]
+    fn max_column_spans_the_tree() {
+        let p = Predicate::And(
+            Box::new(Predicate::eq(3, Value::Int(0))),
+            Box::new(Predicate::Not(Box::new(Predicate::eq(7, Value::Int(0))))),
+        );
+        assert_eq!(p.max_column(), Some(7));
+        assert_eq!(Predicate::True.max_column(), None);
+    }
+
+    #[test]
+    fn display_uses_schema_names() {
+        let s = Schema::new(vec![("qty", ColumnType::Int), ("disc", ColumnType::Float)]);
+        let p = Predicate::And(
+            Box::new(Predicate::eq(0, Value::Int(5))),
+            Box::new(Predicate::Between {
+                column: 1,
+                low: Value::Float(0.01),
+                high: Value::Float(0.02),
+            }),
+        );
+        assert_eq!(p.display(&s).to_string(), "(qty = 5 AND disc BETWEEN 0.01 AND 0.02)");
+    }
+}

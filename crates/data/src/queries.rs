@@ -1,0 +1,147 @@
+//! The paper's experiment predicates — Table III.
+//!
+//! "Corresponding to each degree of skew (z = 0, 1, 2), we chose an
+//! arbitrary column and formed a corresponding predicate. … The overall
+//! selectivity of the dataset to each predicate was fixed at 0.05%"
+//! (Section V-B). The concrete columns/values are our instantiation (the
+//! paper does not print them); what matters — one column per skew level,
+//! equality predicates, 0.05% selectivity — is preserved.
+
+use std::fmt;
+
+use crate::lineitem::{col, LineItemFactory};
+use crate::predicate::Predicate;
+use crate::value::Value;
+
+/// Degree of skew in the distribution of matching records across input
+/// partitions (the Zipf exponent of Section V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SkewLevel {
+    /// z = 0 — matching records spread evenly.
+    Zero,
+    /// z = 1 — moderate skew.
+    Moderate,
+    /// z = 2 — high skew.
+    High,
+}
+
+impl SkewLevel {
+    /// The Zipf exponent.
+    pub fn z(self) -> f64 {
+        match self {
+            SkewLevel::Zero => 0.0,
+            SkewLevel::Moderate => 1.0,
+            SkewLevel::High => 2.0,
+        }
+    }
+
+    /// All levels, in paper order.
+    pub fn all() -> [SkewLevel; 3] {
+        [SkewLevel::Zero, SkewLevel::Moderate, SkewLevel::High]
+    }
+}
+
+impl fmt::Display for SkewLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SkewLevel::Zero => "zero (z=0)",
+            SkewLevel::Moderate => "moderate (z=1)",
+            SkewLevel::High => "high (z=2)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The overall predicate selectivity fixed across all experiments (0.05%).
+pub const PAPER_SELECTIVITY: f64 = 0.0005;
+
+/// One row of Table III: the predicate associated with a skew level.
+#[derive(Debug, Clone)]
+pub struct PaperPredicate {
+    /// Skew level this predicate's matches are distributed with.
+    pub skew: SkewLevel,
+    /// Human-readable SQL form (as it appears in the Hive query template).
+    pub sql: &'static str,
+    /// Sentinel column index in the LINEITEM schema.
+    pub column: usize,
+    /// Sentinel value.
+    pub value: Value,
+}
+
+impl PaperPredicate {
+    /// The predicate used for a given skew level.
+    pub fn for_skew(skew: SkewLevel) -> PaperPredicate {
+        match skew {
+            SkewLevel::Zero => PaperPredicate {
+                skew,
+                sql: "L_QUANTITY = 200",
+                column: col::QUANTITY,
+                value: Value::Int(200),
+            },
+            SkewLevel::Moderate => PaperPredicate {
+                skew,
+                sql: "L_DISCOUNT = 0.99",
+                column: col::DISCOUNT,
+                value: Value::Float(0.99),
+            },
+            SkewLevel::High => PaperPredicate {
+                skew,
+                sql: "L_TAX = 0.77",
+                column: col::TAX,
+                value: Value::Float(0.77),
+            },
+        }
+    }
+
+    /// The record factory that plants matches for this predicate.
+    pub fn factory(&self) -> LineItemFactory {
+        LineItemFactory::new(self.column, self.value.clone())
+    }
+
+    /// The evaluable predicate AST.
+    pub fn predicate(&self) -> Predicate {
+        Predicate::eq(self.column, self.value.clone())
+    }
+
+    /// All of Table III.
+    pub fn table3() -> Vec<PaperPredicate> {
+        SkewLevel::all().into_iter().map(PaperPredicate::for_skew).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_simkit::rng::DetRng;
+
+    #[test]
+    fn exponents_match_levels() {
+        assert_eq!(SkewLevel::Zero.z(), 0.0);
+        assert_eq!(SkewLevel::Moderate.z(), 1.0);
+        assert_eq!(SkewLevel::High.z(), 2.0);
+        assert_eq!(SkewLevel::all().len(), 3);
+    }
+
+    #[test]
+    fn table3_has_one_distinct_column_per_level() {
+        use crate::generator::RecordFactory;
+        let rows = PaperPredicate::table3();
+        assert_eq!(rows.len(), 3);
+        let mut cols: Vec<usize> = rows.iter().map(|r| r.column).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(cols.len(), 3, "each skew level uses its own column");
+        // Each predicate's factory plants records that its own predicate accepts.
+        let mut rng = DetRng::seed_from(1);
+        for row in &rows {
+            let f = row.factory();
+            assert!(row.predicate().eval(&f.matching(&mut rng)));
+            assert!(!row.predicate().eval(&f.filler(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn selectivity_constant_is_half_a_permille() {
+        assert_eq!(PAPER_SELECTIVITY, 0.0005);
+    }
+}

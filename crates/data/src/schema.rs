@@ -1,0 +1,157 @@
+//! Column schemas: names, types, and name→index resolution.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Days since the TPC-H epoch.
+    Date,
+}
+
+impl ColumnType {
+    /// Whether a runtime value inhabits this type.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Float, Value::Float(_))
+                | (ColumnType::Float, Value::Int(_)) // ints coerce to float
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Date, Value::Date(_))
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ColumnType::Int => "INT",
+            ColumnType::Float => "FLOAT",
+            ColumnType::Str => "STRING",
+            ColumnType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column: a name and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (matched case-insensitively).
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    /// Panics on duplicate (case-insensitive) column names.
+    pub fn new(fields: Vec<(&str, ColumnType)>) -> Self {
+        let fields: Vec<Field> = fields
+            .into_iter()
+            .map(|(name, ty)| Field {
+                name: name.to_string(),
+                ty,
+            })
+            .collect();
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert!(
+                    !f.name.eq_ignore_ascii_case(&g.name),
+                    "duplicate column name: {}",
+                    f.name
+                );
+            }
+        }
+        Schema { fields }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// The field at a position.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Resolve a column name (case-insensitive) to its index.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fld.name, fld.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_is_case_insensitive() {
+        let s = Schema::new(vec![("L_ORDERKEY", ColumnType::Int), ("l_comment", ColumnType::Str)]);
+        assert_eq!(s.index_of("l_orderkey"), Some(0));
+        assert_eq!(s.index_of("L_COMMENT"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn admits_checks_types_with_int_to_float_coercion() {
+        assert!(ColumnType::Int.admits(&Value::Int(1)));
+        assert!(!ColumnType::Int.admits(&Value::Float(1.0)));
+        assert!(ColumnType::Float.admits(&Value::Int(1)));
+        assert!(ColumnType::Float.admits(&Value::Float(1.0)));
+        assert!(ColumnType::Date.admits(&Value::Date(0)));
+        assert!(!ColumnType::Str.admits(&Value::Int(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![("a", ColumnType::Int), ("A", ColumnType::Str)]);
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::new(vec![("a", ColumnType::Int)]);
+        assert_eq!(s.to_string(), "(a INT)");
+    }
+}

@@ -1,0 +1,190 @@
+//! Zipfian assignment of matching records to input partitions — the
+//! generator behind the paper's Figure 4.
+//!
+//! "For every matching record, we draw its containing input partition from
+//! the described Zipfian, thus resulting in a skew" (Section V-B). The rank
+//! ordering is a property of the Zipf distribution, not of partition ids, so
+//! after drawing counts per *rank* we assign ranks to physical partitions by
+//! a seeded random permutation — the heavy partition can be anywhere on the
+//! cluster, which is what makes uniform-random split selection by the Input
+//! Provider meaningful.
+
+use incmr_simkit::dist::Zipf;
+use incmr_simkit::rng::DetRng;
+use rand::Rng;
+
+/// Distribute `total_matching` records over `partitions` partitions with
+/// Zipf exponent `z`.
+///
+/// * `z == 0` reproduces the paper's "equal number of matching records in
+///   each partition" exactly (deterministic even split), not a uniform
+///   multinomial draw.
+/// * `z > 0` draws each record's partition independently from
+///   `Zipf(partitions, z)` and then permutes ranks onto partitions.
+///
+/// The returned vector has one count per partition and always sums to
+/// `total_matching`.
+pub fn assign_matching(total_matching: u64, partitions: usize, z: f64, rng: &mut DetRng) -> Vec<u64> {
+    assert!(partitions > 0, "need at least one partition");
+    if z == 0.0 {
+        return Zipf::even_counts(total_matching, partitions);
+    }
+    let zipf = Zipf::new(partitions, z);
+    let by_rank = zipf.sample_counts(total_matching, rng);
+    // Permute ranks onto physical partitions.
+    let perm: Vec<usize> = rng.sample_without_replacement(&(0..partitions).collect::<Vec<_>>(), partitions);
+    let mut by_partition = vec![0u64; partitions];
+    for (rank_idx, &count) in by_rank.iter().enumerate() {
+        by_partition[perm[rank_idx]] = count;
+    }
+    by_partition
+}
+
+/// Cap per-partition matching counts at that partition's record capacity,
+/// reassigning any overflow to the least-loaded partitions (round-robin by
+/// spare capacity). Needed at extreme skew where a Zipf head could exceed a
+/// partition's size.
+pub fn cap_to_capacity(mut counts: Vec<u64>, capacity: &[u64], rng: &mut DetRng) -> Vec<u64> {
+    assert_eq!(counts.len(), capacity.len());
+    let mut overflow = 0u64;
+    for (c, &cap) in counts.iter_mut().zip(capacity) {
+        if *c > cap {
+            overflow += *c - cap;
+            *c = cap;
+        }
+    }
+    while overflow > 0 {
+        // Find partitions with spare room; spread the overflow randomly.
+        let spare: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] < capacity[i]).collect();
+        assert!(!spare.is_empty(), "matching records exceed total dataset capacity");
+        let i = spare[rng.gen_range(0..spare.len())];
+        let room = capacity[i] - counts[i];
+        let take = room.min(overflow);
+        counts[i] += take;
+        overflow -= take;
+    }
+    counts
+}
+
+/// Summary statistics of a skew assignment, used by the Figure 4 regenerator
+/// and its tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewSummary {
+    /// Largest per-partition count.
+    pub max: u64,
+    /// Number of partitions with zero matching records.
+    pub empty_partitions: usize,
+    /// Fraction of all matches held by the single heaviest partition.
+    pub top_share: f64,
+}
+
+/// Compute summary statistics for an assignment.
+pub fn summarize(counts: &[u64]) -> SkewSummary {
+    let total: u64 = counts.iter().sum();
+    let max = counts.iter().copied().max().unwrap_or(0);
+    SkewSummary {
+        max,
+        empty_partitions: counts.iter().filter(|&&c| c == 0).count(),
+        top_share: if total == 0 { 0.0 } else { max as f64 / total as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOTAL: u64 = 15_000; // 5x scale, 0.05% selectivity (paper Fig. 4)
+    const PARTS: usize = 40;
+
+    #[test]
+    fn zero_skew_is_exactly_even() {
+        let mut rng = DetRng::seed_from(1);
+        let counts = assign_matching(TOTAL, PARTS, 0.0, &mut rng);
+        assert_eq!(counts, vec![375u64; 40]);
+    }
+
+    #[test]
+    fn totals_are_preserved_for_all_z() {
+        for &z in &[0.0, 1.0, 2.0] {
+            let mut rng = DetRng::seed_from(7);
+            let counts = assign_matching(TOTAL, PARTS, z, &mut rng);
+            assert_eq!(counts.iter().sum::<u64>(), TOTAL, "z = {z}");
+            assert_eq!(counts.len(), PARTS);
+        }
+    }
+
+    #[test]
+    fn moderate_skew_top_partition_matches_paper_ballpark() {
+        // Paper: z=1 puts ~3128 of 15000 in one partition (expected 23.4%).
+        let mut rng = DetRng::seed_from(42);
+        let counts = assign_matching(TOTAL, PARTS, 1.0, &mut rng);
+        let s = summarize(&counts);
+        assert!(
+            (0.20..=0.27).contains(&s.top_share),
+            "top share {} out of the z=1 ballpark",
+            s.top_share
+        );
+    }
+
+    #[test]
+    fn high_skew_concentrates_in_one_partition() {
+        // Paper: z=2 puts ~8700 of 15000 in one partition (expected 61.7%).
+        let mut rng = DetRng::seed_from(42);
+        let counts = assign_matching(TOTAL, PARTS, 2.0, &mut rng);
+        let s = summarize(&counts);
+        assert!(
+            (0.55..=0.68).contains(&s.top_share),
+            "top share {} out of the z=2 ballpark",
+            s.top_share
+        );
+        // The light half of the partitions together hold almost nothing.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        let tail: u64 = sorted[..PARTS / 2].iter().sum();
+        assert!(
+            (tail as f64) < 0.05 * TOTAL as f64,
+            "bottom half holds {tail} of {TOTAL}; z=2 should starve it"
+        );
+    }
+
+    #[test]
+    fn heavy_rank_lands_on_random_partition() {
+        let pos = |seed: u64| {
+            let mut rng = DetRng::seed_from(seed);
+            let counts = assign_matching(TOTAL, PARTS, 2.0, &mut rng);
+            counts.iter().enumerate().max_by_key(|(_, &c)| c).unwrap().0
+        };
+        let positions: Vec<usize> = (0..8).map(pos).collect();
+        let mut distinct = positions.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 1, "heavy partition should move across seeds: {positions:?}");
+    }
+
+    #[test]
+    fn capping_preserves_total_and_respects_capacity() {
+        let mut rng = DetRng::seed_from(3);
+        let counts = vec![100, 0, 0, 0];
+        let capacity = vec![30, 40, 40, 40];
+        let capped = cap_to_capacity(counts, &capacity, &mut rng);
+        assert_eq!(capped.iter().sum::<u64>(), 100);
+        for (c, cap) in capped.iter().zip(&capacity) {
+            assert!(c <= cap);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed total dataset capacity")]
+    fn impossible_capacity_panics() {
+        let mut rng = DetRng::seed_from(3);
+        let _ = cap_to_capacity(vec![100], &[10], &mut rng);
+    }
+
+    #[test]
+    fn summarize_empty() {
+        let s = summarize(&[0, 0]);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.top_share, 0.0);
+        assert_eq!(s.empty_partitions, 2);
+    }
+}

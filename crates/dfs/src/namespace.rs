@@ -1,0 +1,319 @@
+//! The DFS namespace: files, their blocks, and block locations.
+//!
+//! Blocks are the unit the MapReduce framework schedules over — each block is
+//! one *input split*, processed by one map task. A block records its byte
+//! length and record count (what the cost model and the Input Provider's
+//! records-per-split estimate need), plus its replica locations (what the
+//! scheduler's locality logic needs).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use incmr_simkit::rng::DetRng;
+
+use crate::placement::PlacementPolicy;
+use crate::topology::{ClusterTopology, NodeId};
+use crate::DiskId;
+
+/// A file in the namespace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileId(pub u32);
+
+/// A block (= input split), globally unique across all files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "file{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{}", self.0)
+    }
+}
+
+/// Size description of one block at file-creation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Length in bytes (drives I/O cost).
+    pub bytes: u64,
+    /// Number of records contained (drives CPU cost and selectivity math).
+    pub records: u64,
+}
+
+/// A stored block: its file, position within the file, size, and replicas.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Globally-unique id.
+    pub id: BlockId,
+    /// Owning file.
+    pub file: FileId,
+    /// Index of this block within its file.
+    pub index: u32,
+    /// Length in bytes.
+    pub bytes: u64,
+    /// Number of records.
+    pub records: u64,
+    /// Disks holding a replica (never empty).
+    pub locations: Vec<DiskId>,
+}
+
+/// A file: a name and an ordered list of blocks.
+#[derive(Debug, Clone)]
+pub struct DfsFile {
+    /// Globally-unique id.
+    pub id: FileId,
+    /// Namespace path (unique).
+    pub name: String,
+    /// Blocks in file order.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Errors from namespace operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// A file with this name already exists.
+    DuplicateName(String),
+    /// Lookup of an unknown file name.
+    NoSuchFile(String),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::DuplicateName(n) => write!(f, "file already exists: {n}"),
+            DfsError::NoSuchFile(n) => write!(f, "no such file: {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// The filesystem namespace plus the topology it is laid out on.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    topology: ClusterTopology,
+    files: Vec<DfsFile>,
+    blocks: Vec<Block>,
+    by_name: HashMap<String, FileId>,
+}
+
+impl Namespace {
+    /// An empty namespace on the given topology.
+    pub fn new(topology: ClusterTopology) -> Self {
+        Namespace {
+            topology,
+            files: Vec::new(),
+            blocks: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The topology this namespace is laid out on.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// Create a file from block specs, placing each block with `policy`.
+    pub fn create_file(
+        &mut self,
+        name: &str,
+        specs: &[BlockSpec],
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut DetRng,
+    ) -> Result<FileId, DfsError> {
+        if self.by_name.contains_key(name) {
+            return Err(DfsError::DuplicateName(name.to_string()));
+        }
+        let file_id = FileId(self.files.len() as u32);
+        let mut block_ids = Vec::with_capacity(specs.len());
+        for (index, spec) in specs.iter().enumerate() {
+            let locations = policy.place(index, &self.topology, rng);
+            assert!(!locations.is_empty(), "placement returned no replicas");
+            let id = BlockId(self.blocks.len() as u32);
+            self.blocks.push(Block {
+                id,
+                file: file_id,
+                index: index as u32,
+                bytes: spec.bytes,
+                records: spec.records,
+                locations,
+            });
+            block_ids.push(id);
+        }
+        self.files.push(DfsFile {
+            id: file_id,
+            name: name.to_string(),
+            blocks: block_ids,
+        });
+        self.by_name.insert(name.to_string(), file_id);
+        Ok(file_id)
+    }
+
+    /// Look up a file by name.
+    pub fn file_by_name(&self, name: &str) -> Result<&DfsFile, DfsError> {
+        self.by_name
+            .get(name)
+            .map(|id| &self.files[id.0 as usize])
+            .ok_or_else(|| DfsError::NoSuchFile(name.to_string()))
+    }
+
+    /// A file's metadata.
+    ///
+    /// # Panics
+    /// Panics on an id not issued by this namespace.
+    pub fn file(&self, id: FileId) -> &DfsFile {
+        &self.files[id.0 as usize]
+    }
+
+    /// A block's metadata.
+    ///
+    /// # Panics
+    /// Panics on an id not issued by this namespace.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Block ids of a file, in file order.
+    pub fn blocks_of(&self, file: FileId) -> &[BlockId] {
+        &self.file(file).blocks
+    }
+
+    /// True if some replica of `block` lives on a disk of `node`.
+    pub fn is_local(&self, block: BlockId, node: NodeId) -> bool {
+        self.block(block)
+            .locations
+            .iter()
+            .any(|&d| self.topology.node_of(d) == node)
+    }
+
+    /// A replica disk of `block` on `node`, if any (the disk a local map
+    /// task would read from).
+    pub fn local_replica(&self, block: BlockId, node: NodeId) -> Option<DiskId> {
+        self.block(block)
+            .locations
+            .iter()
+            .copied()
+            .find(|&d| self.topology.node_of(d) == node)
+    }
+
+    /// The first replica (used for remote reads — with replication 1 it is
+    /// the only copy).
+    pub fn primary_replica(&self, block: BlockId) -> DiskId {
+        self.block(block).locations[0]
+    }
+
+    /// Total number of blocks across all files.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Blocks stored per disk — the load-balance view used to validate the
+    /// "evenly distributed across the disks" requirement.
+    pub fn blocks_per_disk(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.topology.num_disks() as usize];
+        for b in &self.blocks {
+            for d in &b.locations {
+                counts[d.0 as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::EvenRoundRobin;
+
+    fn specs(n: usize) -> Vec<BlockSpec> {
+        (0..n)
+            .map(|i| BlockSpec {
+                bytes: 1000 + i as u64,
+                records: 10 + i as u64,
+            })
+            .collect()
+    }
+
+    fn ns_with_file(n_blocks: usize) -> (Namespace, FileId) {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(1);
+        let id = ns
+            .create_file("t", &specs(n_blocks), &mut EvenRoundRobin::new(), &mut rng)
+            .unwrap();
+        (ns, id)
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let (ns, id) = ns_with_file(5);
+        assert_eq!(ns.file_by_name("t").unwrap().id, id);
+        assert_eq!(ns.blocks_of(id).len(), 5);
+        assert_eq!(ns.num_blocks(), 5);
+        let b = ns.block(ns.blocks_of(id)[3]);
+        assert_eq!(b.bytes, 1003);
+        assert_eq!(b.records, 13);
+        assert_eq!(b.index, 3);
+        assert_eq!(b.file, id);
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let (mut ns, _) = ns_with_file(1);
+        let mut rng = DetRng::seed_from(2);
+        let err = ns
+            .create_file("t", &specs(1), &mut EvenRoundRobin::new(), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, DfsError::DuplicateName("t".into()));
+    }
+
+    #[test]
+    fn missing_file_lookup_errors() {
+        let (ns, _) = ns_with_file(1);
+        assert!(matches!(ns.file_by_name("nope"), Err(DfsError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn locality_matches_placement() {
+        let (ns, id) = ns_with_file(40);
+        // Round-robin from disk 0: block i lives on disk i, node i/4.
+        let blocks = ns.blocks_of(id).to_vec();
+        assert!(ns.is_local(blocks[0], NodeId(0)));
+        assert!(!ns.is_local(blocks[0], NodeId(1)));
+        assert!(ns.is_local(blocks[7], NodeId(1)));
+        assert_eq!(ns.local_replica(blocks[7], NodeId(1)), Some(DiskId(7)));
+        assert_eq!(ns.local_replica(blocks[7], NodeId(2)), None);
+        assert_eq!(ns.primary_replica(blocks[7]), DiskId(7));
+    }
+
+    #[test]
+    fn even_layout_balances_disks() {
+        let (ns, _) = ns_with_file(80);
+        assert!(ns.blocks_per_disk().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn multiple_files_get_distinct_blocks() {
+        let (mut ns, a) = ns_with_file(3);
+        let mut rng = DetRng::seed_from(3);
+        let b = ns
+            .create_file("u", &specs(2), &mut EvenRoundRobin::new(), &mut rng)
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(ns.num_files(), 2);
+        assert_eq!(ns.num_blocks(), 5);
+        let all: Vec<u32> = ns.blocks_of(a).iter().chain(ns.blocks_of(b)).map(|b| b.0).collect();
+        let mut dedup = all.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

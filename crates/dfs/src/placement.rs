@@ -1,0 +1,173 @@
+//! Block-placement policies.
+//!
+//! Where a block's replicas land determines both load balance across disks
+//! and the achievable scheduling locality. The paper "desired a balanced
+//! distribution of load across the 40 disks and hence required the input
+//! data to be evenly distributed across the disks with no replication"
+//! (Section V-B) — that is [`EvenRoundRobin`]. [`RandomPlacement`] (with
+//! optional replication) is provided for ablations.
+
+use incmr_simkit::rng::DetRng;
+
+use crate::topology::{ClusterTopology, DiskId};
+
+/// Chooses the disks that will hold each block of a file.
+pub trait PlacementPolicy {
+    /// Replica locations for the `index`-th block of a file. Must return at
+    /// least one disk and no duplicates.
+    fn place(&mut self, index: usize, topology: &ClusterTopology, rng: &mut DetRng) -> Vec<DiskId>;
+}
+
+/// Deterministic round-robin over all disks, single replica — the paper's
+/// even, unreplicated layout. Consecutive blocks land on consecutive disks,
+/// so any 40-block file covers all 40 disks exactly once.
+#[derive(Debug, Clone, Default)]
+pub struct EvenRoundRobin {
+    cursor: u32,
+}
+
+impl EvenRoundRobin {
+    /// Start placing at disk 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start placing at a specific disk offset (lets multiple dataset copies
+    /// interleave instead of stacking their first blocks on disk 0).
+    pub fn starting_at(offset: u32) -> Self {
+        EvenRoundRobin { cursor: offset }
+    }
+}
+
+impl PlacementPolicy for EvenRoundRobin {
+    fn place(&mut self, _index: usize, topology: &ClusterTopology, _rng: &mut DetRng) -> Vec<DiskId> {
+        let disk = DiskId(self.cursor % topology.num_disks());
+        self.cursor = self.cursor.wrapping_add(1);
+        vec![disk]
+    }
+}
+
+/// Places every block on one fixed disk — a pathological layout used to
+/// exercise remote-read paths and hotspot behaviour in tests and
+/// ablations.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedPlacement {
+    disk: DiskId,
+}
+
+impl PinnedPlacement {
+    /// Pin all blocks to `disk`.
+    pub fn new(disk: DiskId) -> Self {
+        PinnedPlacement { disk }
+    }
+}
+
+impl PlacementPolicy for PinnedPlacement {
+    fn place(&mut self, _index: usize, topology: &ClusterTopology, _rng: &mut DetRng) -> Vec<DiskId> {
+        assert!(self.disk.0 < topology.num_disks(), "pinned disk out of range");
+        vec![self.disk]
+    }
+}
+
+/// Uniform-random placement with `replication` distinct replicas (HDFS-like
+/// when `replication = 3`, modulo rack awareness).
+#[derive(Debug, Clone)]
+pub struct RandomPlacement {
+    replication: u8,
+}
+
+impl RandomPlacement {
+    /// Placement with the given replica count.
+    ///
+    /// # Panics
+    /// Panics if `replication` is zero.
+    pub fn new(replication: u8) -> Self {
+        assert!(replication > 0, "need at least one replica");
+        RandomPlacement { replication }
+    }
+}
+
+impl PlacementPolicy for RandomPlacement {
+    fn place(&mut self, _index: usize, topology: &ClusterTopology, rng: &mut DetRng) -> Vec<DiskId> {
+        let all: Vec<DiskId> = topology.disks().collect();
+        rng.sample_without_replacement(&all, self.replication as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_all_disks_evenly() {
+        let topo = ClusterTopology::paper_cluster();
+        let mut policy = EvenRoundRobin::new();
+        let mut rng = DetRng::seed_from(1);
+        let mut per_disk = vec![0u32; topo.num_disks() as usize];
+        for i in 0..80 {
+            let loc = policy.place(i, &topo, &mut rng);
+            assert_eq!(loc.len(), 1);
+            per_disk[loc[0].0 as usize] += 1;
+        }
+        assert!(per_disk.iter().all(|&c| c == 2), "80 blocks over 40 disks = 2 each");
+    }
+
+    #[test]
+    fn round_robin_offset_shifts_start() {
+        let topo = ClusterTopology::paper_cluster();
+        let mut rng = DetRng::seed_from(1);
+        let mut p = EvenRoundRobin::starting_at(39);
+        assert_eq!(p.place(0, &topo, &mut rng), vec![DiskId(39)]);
+        assert_eq!(p.place(1, &topo, &mut rng), vec![DiskId(0)]);
+    }
+
+    #[test]
+    fn random_placement_gives_distinct_replicas() {
+        let topo = ClusterTopology::paper_cluster();
+        let mut policy = RandomPlacement::new(3);
+        let mut rng = DetRng::seed_from(7);
+        for i in 0..50 {
+            let mut loc = policy.place(i, &topo, &mut rng);
+            assert_eq!(loc.len(), 3);
+            loc.sort();
+            loc.dedup();
+            assert_eq!(loc.len(), 3, "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn random_placement_is_deterministic_under_seed() {
+        let topo = ClusterTopology::paper_cluster();
+        let run = |seed| {
+            let mut policy = RandomPlacement::new(2);
+            let mut rng = DetRng::seed_from(seed);
+            (0..10).map(|i| policy.place(i, &topo, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replication_panics() {
+        let _ = RandomPlacement::new(0);
+    }
+
+    #[test]
+    fn pinned_placement_concentrates_everything() {
+        let topo = ClusterTopology::paper_cluster();
+        let mut p = PinnedPlacement::new(DiskId(17));
+        let mut rng = DetRng::seed_from(1);
+        for i in 0..20 {
+            assert_eq!(p.place(i, &topo, &mut rng), vec![DiskId(17)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned disk out of range")]
+    fn pinned_out_of_range_panics() {
+        let topo = ClusterTopology::new(1, 1, 1);
+        let mut rng = DetRng::seed_from(1);
+        PinnedPlacement::new(DiskId(5)).place(0, &topo, &mut rng);
+    }
+}

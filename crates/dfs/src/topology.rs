@@ -1,0 +1,156 @@
+//! Physical cluster topology: nodes and their disks.
+//!
+//! The paper's testbed is "a 10-node IBM x3650 cluster … four cores, 12GB of
+//! RAM, and four 300GB hard disks … a total of 40 cores and 40 disks"
+//! (Section V-A). [`ClusterTopology::paper_cluster`] builds exactly that.
+
+use std::fmt;
+
+/// A cluster node (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+/// A disk, addressed globally across the cluster (0-based).
+///
+/// Disk `d` belongs to node `d / disks_per_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DiskId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+/// Shape of the cluster hardware: how many nodes, and disks/cores per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterTopology {
+    nodes: u16,
+    disks_per_node: u8,
+    cores_per_node: u8,
+}
+
+impl ClusterTopology {
+    /// A topology with the given shape.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn new(nodes: u16, disks_per_node: u8, cores_per_node: u8) -> Self {
+        assert!(nodes > 0 && disks_per_node > 0 && cores_per_node > 0);
+        ClusterTopology {
+            nodes,
+            disks_per_node,
+            cores_per_node,
+        }
+    }
+
+    /// The paper's 10-node, 4-disk, 4-core testbed (Section V-A).
+    pub fn paper_cluster() -> Self {
+        ClusterTopology::new(10, 4, 4)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Disks attached to each node.
+    pub fn disks_per_node(&self) -> u8 {
+        self.disks_per_node
+    }
+
+    /// CPU cores per node.
+    pub fn cores_per_node(&self) -> u8 {
+        self.cores_per_node
+    }
+
+    /// Total disks in the cluster.
+    pub fn num_disks(&self) -> u32 {
+        self.nodes as u32 * self.disks_per_node as u32
+    }
+
+    /// Total cores in the cluster.
+    pub fn num_cores(&self) -> u32 {
+        self.nodes as u32 * self.cores_per_node as u32
+    }
+
+    /// The node a disk is attached to.
+    ///
+    /// # Panics
+    /// Panics if the disk id is out of range.
+    pub fn node_of(&self, disk: DiskId) -> NodeId {
+        assert!(disk.0 < self.num_disks(), "disk {disk} out of range");
+        NodeId((disk.0 / self.disks_per_node as u32) as u16)
+    }
+
+    /// Iterator over the disks of a node.
+    ///
+    /// # Panics
+    /// Panics if the node id is out of range.
+    pub fn disks_of(&self, node: NodeId) -> impl Iterator<Item = DiskId> {
+        assert!(node.0 < self.nodes, "node {node} out of range");
+        let base = node.0 as u32 * self.disks_per_node as u32;
+        (base..base + self.disks_per_node as u32).map(DiskId)
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes).map(NodeId)
+    }
+
+    /// Iterator over all disk ids.
+    pub fn disks(&self) -> impl Iterator<Item = DiskId> {
+        (0..self.num_disks()).map(DiskId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let t = ClusterTopology::paper_cluster();
+        assert_eq!(t.num_nodes(), 10);
+        assert_eq!(t.num_disks(), 40);
+        assert_eq!(t.num_cores(), 40);
+    }
+
+    #[test]
+    fn disk_to_node_mapping() {
+        let t = ClusterTopology::new(3, 4, 2);
+        assert_eq!(t.node_of(DiskId(0)), NodeId(0));
+        assert_eq!(t.node_of(DiskId(3)), NodeId(0));
+        assert_eq!(t.node_of(DiskId(4)), NodeId(1));
+        assert_eq!(t.node_of(DiskId(11)), NodeId(2));
+    }
+
+    #[test]
+    fn disks_of_node_are_its_own() {
+        let t = ClusterTopology::new(3, 4, 2);
+        let disks: Vec<_> = t.disks_of(NodeId(1)).collect();
+        assert_eq!(disks, vec![DiskId(4), DiskId(5), DiskId(6), DiskId(7)]);
+        for d in disks {
+            assert_eq!(t.node_of(d), NodeId(1));
+        }
+    }
+
+    #[test]
+    fn iterators_cover_everything() {
+        let t = ClusterTopology::new(2, 3, 1);
+        assert_eq!(t.nodes().count(), 2);
+        assert_eq!(t.disks().count(), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_disk_panics() {
+        ClusterTopology::new(1, 1, 1).node_of(DiskId(5));
+    }
+}

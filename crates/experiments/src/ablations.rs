@@ -1,0 +1,335 @@
+//! Ablations of the design choices DESIGN.md calls out — each isolates one
+//! knob the paper discusses qualitatively and measures its effect:
+//!
+//! * [`eval_interval_sweep`] — Section III-B: "Evaluating progress at
+//!   longer time intervals may result in unnecessary waits by the job";
+//!   shorter intervals cost more evaluations.
+//! * [`heartbeat_batch_sweep`] — Hadoop's tasks-per-heartbeat assignment
+//!   cap: the launch-rate ceiling behind the paper's low slot occupancies.
+//! * [`fair_delay_sweep`] — delay scheduling's locality/occupancy knob
+//!   (Section V-F).
+//! * [`replication_sweep`] — the paper uses replication 1; HDFS defaults
+//!   to 3, which buys scheduling locality.
+//! * [`adaptive_vs_static`] — the paper's future work: runtime policy
+//!   switching, compared against the fixed Table I policies on both an
+//!   idle and a loaded cluster.
+
+
+use incmr_core::{build_adaptive_sampling_job, build_sampling_job, Policy, SampleMode};
+use incmr_data::SkewLevel;
+use incmr_mapreduce::{FairScheduler, FifoScheduler, MrRuntime, ScanMode};
+use incmr_simkit::SimDuration;
+use incmr_workload::{run_workload, UserClass, UserSpec, WorkloadSpec};
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// A generic ablation row: the knob's value plus measured outcomes.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Human-readable knob setting.
+    pub setting: String,
+    /// Named measurements for this setting.
+    pub measures: Vec<(&'static str, f64)>,
+}
+
+/// Render ablation rows as a table.
+pub fn render_rows(title: &str, rows: &[AblationRow]) -> String {
+    let header: Vec<&str> = std::iter::once("setting")
+        .chain(rows.first().map(|r| r.measures.iter().map(|(n, _)| *n).collect::<Vec<_>>()).unwrap_or_default())
+        .collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            std::iter::once(r.setting.clone())
+                .chain(r.measures.iter().map(|(_, v)| render::f1(*v)))
+                .collect()
+        })
+        .collect();
+    render::table(title, &header, &body)
+}
+
+/// Single-user response time and partitions processed as the LA policy's
+/// evaluation interval varies.
+pub fn eval_interval_sweep(cal: &Calibration, intervals_ms: &[u64]) -> Vec<AblationRow> {
+    intervals_ms
+        .iter()
+        .map(|&ms| {
+            let (ns, ds) = cal.build_world(10, SkewLevel::Moderate, 31);
+            let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+            let mut policy = Policy::la();
+            policy.evaluation_interval = SimDuration::from_millis(ms);
+            let (spec, driver) = build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 3);
+            let id = rt.submit(spec, driver);
+            rt.run_until_idle();
+            let r = rt.job_result(id);
+            AblationRow {
+                setting: format!("{}ms", ms),
+                measures: vec![
+                    ("response_s", r.response_time().as_secs_f64()),
+                    ("partitions", r.splits_processed as f64),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Multi-user throughput and occupancy as the tasks-per-heartbeat
+/// assignment cap varies (LA policy, uniform skew).
+pub fn heartbeat_batch_sweep(cal: &Calibration, batches: &[u32]) -> Vec<AblationRow> {
+    batches
+        .iter()
+        .map(|&batch| {
+            let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 41);
+            let mut cost = cal.cost;
+            cost.maps_per_heartbeat = batch;
+            let mut rt = MrRuntime::new(cal.cluster_multi, cost, ns, Box::new(FifoScheduler::new()));
+            let spec = WorkloadSpec::homogeneous(datasets, cal.k, Policy::la(), cal.warmup, cal.measure, 5);
+            let report = run_workload(&mut rt, &spec);
+            AblationRow {
+                setting: format!("{batch}/heartbeat"),
+                measures: vec![
+                    ("jobs_per_h", report.sampling_jobs_per_hour()),
+                    ("occupancy_pct", report.metrics.slot_occupancy_pct),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Heterogeneous-workload locality and occupancy as the Fair Scheduler's
+/// locality delay varies.
+pub fn fair_delay_sweep(cal: &Calibration, delays_s: &[u64]) -> Vec<AblationRow> {
+    delays_s
+        .iter()
+        .map(|&delay| {
+            let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 43);
+            let mut rt = MrRuntime::new(
+                cal.cluster_multi,
+                cal.cost,
+                ns,
+                Box::new(FairScheduler::new(SimDuration::from_secs(delay))),
+            );
+            let sampling_users = cal.users / 2;
+            let spec = WorkloadSpec::heterogeneous(
+                datasets,
+                sampling_users,
+                cal.k,
+                Policy::la(),
+                cal.warmup,
+                cal.measure,
+                7,
+            );
+            let report = run_workload(&mut rt, &spec);
+            AblationRow {
+                setting: format!("{delay}s"),
+                measures: vec![
+                    ("locality_pct", report.metrics.locality_pct),
+                    ("occupancy_pct", report.metrics.slot_occupancy_pct),
+                    ("total_jobs_per_h", report.total_jobs_per_hour()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Locality and throughput under replication 1 (the paper's layout) vs 3
+/// (the HDFS default), FIFO scheduler, heterogeneous workload.
+pub fn replication_sweep(cal: &Calibration, factors: &[Option<u8>]) -> Vec<AblationRow> {
+    factors
+        .iter()
+        .map(|&replication| {
+            let (ns, datasets) = cal.build_copies_with(SkewLevel::Zero, 47, replication);
+            let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
+            let sampling_users = cal.users / 2;
+            let spec = WorkloadSpec::heterogeneous(
+                datasets,
+                sampling_users,
+                cal.k,
+                Policy::la(),
+                cal.warmup,
+                cal.measure,
+                9,
+            );
+            let report = run_workload(&mut rt, &spec);
+            AblationRow {
+                setting: match replication {
+                    None => "even, r=1".to_string(),
+                    Some(r) => format!("random, r={r}"),
+                },
+                measures: vec![
+                    ("locality_pct", report.metrics.locality_pct),
+                    ("total_jobs_per_h", report.total_jobs_per_hour()),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// The future-work experiment: runtime-adaptive policy selection vs the
+/// fixed Table I policies, on an idle cluster (single-job response time)
+/// and under a shared load (homogeneous throughput).
+pub fn adaptive_vs_static(cal: &Calibration) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    // Idle: one job, response time.
+    let idle = |label: &str, adaptive: bool, policy: Policy| {
+        let (ns, ds) = cal.build_world(10, SkewLevel::Moderate, 51);
+        let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+        let id = if adaptive {
+            let (spec, driver) = build_adaptive_sampling_job(&ds, cal.k, ScanMode::Planted, SampleMode::FirstK, 3);
+            rt.submit(spec, driver)
+        } else {
+            let (spec, driver) = build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 3);
+            rt.submit(spec, driver)
+        };
+        rt.run_until_idle();
+        let r = rt.job_result(id);
+        AblationRow {
+            setting: format!("idle/{label}"),
+            measures: vec![
+                ("response_s", r.response_time().as_secs_f64()),
+                ("partitions", r.splits_processed as f64),
+            ],
+        }
+    };
+    // Loaded: homogeneous multi-user workload, sampling throughput.
+    let loaded = |label: &str, class: UserClass| {
+        let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 53);
+        let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
+        let users = datasets.into_iter().map(|dataset| UserSpec { class: class.clone(), dataset }).collect();
+        let spec = WorkloadSpec {
+            users,
+            warmup: cal.warmup,
+            measure: cal.measure,
+            scan_mode: ScanMode::Planted,
+            seed: 13,
+        };
+        let report = run_workload(&mut rt, &spec);
+        AblationRow {
+            setting: format!("loaded/{label}"),
+            measures: vec![
+                ("response_s", report.sampling_response_secs.mean()),
+                ("partitions", report.sampling_splits_processed.mean()),
+            ],
+        }
+    };
+
+    rows.push(idle("adaptive", true, Policy::la()));
+    for p in [Policy::ha(), Policy::la(), Policy::conservative()] {
+        rows.push(idle(&p.name.clone(), false, p));
+    }
+    rows.push(loaded(
+        "adaptive",
+        UserClass::AdaptiveSampling {
+            k: cal.k,
+            sample_mode: SampleMode::FirstK,
+        },
+    ));
+    for p in [Policy::ha(), Policy::la(), Policy::conservative()] {
+        rows.push(loaded(
+            &p.name.clone(),
+            UserClass::Sampling {
+                k: cal.k,
+                policy: p,
+                sample_mode: SampleMode::FirstK,
+            },
+        ));
+    }
+    rows
+}
+
+/// Run every ablation at sensible sweep points and render them all.
+pub fn render_all(cal: &Calibration) -> String {
+    let mut out = String::from("ABLATIONS\n\n");
+    out.push_str(&render_rows(
+        "Evaluation interval (LA, single user, z=1, 10x)",
+        &eval_interval_sweep(cal, &[1_000, 4_000, 16_000, 64_000]),
+    ));
+    out.push('\n');
+    out.push_str(&render_rows(
+        "Tasks per heartbeat (LA, homogeneous workload)",
+        &heartbeat_batch_sweep(cal, &[1, 4, 16]),
+    ));
+    out.push('\n');
+    out.push_str(&render_rows(
+        "Fair-scheduler locality delay (heterogeneous workload)",
+        &fair_delay_sweep(cal, &[0, 3, 15, 45]),
+    ));
+    out.push('\n');
+    out.push_str(&render_rows(
+        "Block replication (heterogeneous workload, FIFO)",
+        &replication_sweep(cal, &[None, Some(3)]),
+    ));
+    out.push('\n');
+    out.push_str(&render_rows(
+        "Adaptive policy vs static (future work)",
+        &adaptive_vs_static(cal),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        let mut c = Calibration::quick();
+        c.users = 3;
+        c.multi_user_scale = 6;
+        c.warmup = SimDuration::from_mins(3);
+        c.measure = SimDuration::from_mins(12);
+        c
+    }
+
+    #[test]
+    fn longer_eval_intervals_cost_response_time() {
+        let rows = eval_interval_sweep(&cal(), &[1_000, 64_000]);
+        let fast = rows[0].measures[0].1;
+        let slow = rows[1].measures[0].1;
+        assert!(slow > fast, "64s interval ({slow}) should respond slower than 1s ({fast})");
+    }
+
+    #[test]
+    fn heartbeat_batching_raises_occupancy() {
+        let rows = heartbeat_batch_sweep(&cal(), &[1, 16]);
+        let occ1 = rows[0].measures[1].1;
+        let occ16 = rows[1].measures[1].1;
+        assert!(
+            occ16 >= occ1,
+            "16/heartbeat occupancy ({occ16}) below 1/heartbeat ({occ1})"
+        );
+    }
+
+    #[test]
+    fn replication_buys_locality() {
+        let rows = replication_sweep(&cal(), &[None, Some(3)]);
+        let r1 = rows[0].measures[0].1;
+        let r3 = rows[1].measures[0].1;
+        assert!(r3 >= r1, "replication-3 locality ({r3}) below replication-1 ({r1})");
+    }
+
+    #[test]
+    fn adaptive_tracks_the_best_static_policy() {
+        let rows = adaptive_vs_static(&cal());
+        let get = |setting: &str, idx: usize| {
+            rows.iter()
+                .find(|r| r.setting == setting)
+                .unwrap_or_else(|| panic!("missing row {setting}"))
+                .measures[idx]
+                .1
+        };
+        // Idle: the adaptive ladder behaves aggressively — far better than C.
+        assert!(get("idle/adaptive", 0) < get("idle/C", 0));
+        // Loaded: the adaptive ladder backs off — processes fewer
+        // partitions per job than always-HA.
+        assert!(get("loaded/adaptive", 1) <= get("loaded/HA", 1));
+    }
+
+    #[test]
+    fn rendering_includes_every_section() {
+        // Smoke-render with tiny sweeps (reuses cached worlds per call).
+        let c = cal();
+        let out = render_rows("T", &eval_interval_sweep(&c, &[4_000]));
+        assert!(out.contains("4000ms"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p incmr-experiments --bin repro            # everything, paper shape
+//! cargo run --release -p incmr-experiments --bin repro -- --quick # scaled-down suite
+//! cargo run --release -p incmr-experiments --bin repro -- fig5    # one artefact
+//! ```
+//!
+//! Artefact names: `table1 table2 table3 fig4 fig5 fig6 fig7 fig8`.
+
+use incmr_experiments::{ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, table1, table2, table3};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cal = if quick { Calibration::quick() } else { Calibration::paper() };
+    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let all = [
+        "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "estimator",
+    ];
+    let chosen: Vec<&str> = if selected.is_empty() { all.to_vec() } else { selected };
+
+    for name in &chosen {
+        match *name {
+            "table1" => println!("{}", table1::render_table()),
+            "table2" => println!("{}", table2::render_table(&cal)),
+            "table3" => println!("{}", table3::render_table(&cal)),
+            "fig4" => {
+                // Figure 4 always uses the paper's partition counts — it is
+                // cheap — but honours the calibration's record counts.
+                let panels = fig4::run(&cal, 42);
+                println!("{}", fig4::render_figure(&panels));
+            }
+            "fig5" => {
+                eprintln!("[fig5] single-user grid: {} scales x 3 skews x 5 policies x {} seeds…",
+                    cal.scales.len(), cal.seeds.len());
+                let r = fig5::run(&cal);
+                println!("{}", fig5::render_figure(&cal, &r));
+            }
+            "fig6" => {
+                eprintln!("[fig6] homogeneous workload: 5 policies x 2 skews…");
+                let r = fig6::run(&cal);
+                println!("{}", fig6::render_figure(&r));
+            }
+            "fig7" => {
+                eprintln!("[fig7] heterogeneous workload (FIFO): 4 fractions x 5 policies…");
+                let r = fig7::run(&cal);
+                println!("{}", fig7::render_figure("FIGURE 7 — HETEROGENEOUS WORKLOAD", &r));
+            }
+            "fig8" => {
+                eprintln!("[fig8] heterogeneous workload (Fair + FIFO baseline)…");
+                let r = fig8::run(&cal);
+                println!("{}", fig8::render_figure(&r));
+            }
+            "ablations" => {
+                eprintln!("[ablations] design-choice sweeps…");
+                println!("{}", ablations::render_all(&cal));
+            }
+            "estimator" => {
+                let points = incmr_experiments::estimator_accuracy::run(
+                    &cal,
+                    &[0.05, 0.1, 0.25, 0.5, 0.75, 1.0],
+                    &cal.seeds,
+                );
+                println!("{}", incmr_experiments::estimator_accuracy::render_table(&points));
+            }
+            other => {
+                eprintln!("unknown artefact {other:?}; expected one of {all:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Shared experiment parameters and world-building helpers.
+//!
+//! [`Calibration::paper`] mirrors Section V-A/B: a 10-node cluster (4 map
+//! slots per node single-user, 16 multi-user), LINEITEM at scales 5–100
+//! (750 k records per partition, 8 partitions per scale unit), selectivity
+//! 0.05%, sample size k = 10 000, averages over 5 seeded runs, 10
+//! closed-loop users on private 100× dataset copies.
+//!
+//! [`Calibration::quick`] preserves the *relationships* that drive the
+//! results (matches-per-partition vs `k`, task cost vs evaluation interval,
+//! queued tasks vs slots) at a fraction of the size, so the full suite runs
+//! in seconds. In particular `k` is chosen to require ≈27 partitions of
+//! uniform data — the same fraction the paper's k = 10 000 requires of its
+//! 375-matches-per-partition datasets.
+
+use std::rc::Rc;
+
+use incmr_data::{Dataset, DatasetSpec, SkewLevel};
+use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+use incmr_mapreduce::{ClusterConfig, CostModel};
+use incmr_simkit::rng::DetRng;
+use incmr_simkit::SimDuration;
+
+/// All knobs an experiment needs.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Cluster for single-user runs (Figure 5).
+    pub cluster_single: ClusterConfig,
+    /// Cluster for multi-user runs (Figures 6–8).
+    pub cluster_multi: ClusterConfig,
+    /// The physical cost model.
+    pub cost: CostModel,
+    /// Records per input partition.
+    pub records_per_partition: u64,
+    /// Partitions per scale unit.
+    pub partitions_per_scale: u32,
+    /// Required sample size `k`.
+    pub k: u64,
+    /// Dataset scales for Figure 5 / Table II.
+    pub scales: Vec<u32>,
+    /// Seeds to average over ("All numbers are averages taken over 5 runs").
+    pub seeds: Vec<u64>,
+    /// Multi-user count (10 in the paper).
+    pub users: usize,
+    /// Scale of each user's dataset copy (100 in the paper).
+    pub multi_user_scale: u32,
+    /// Workload warm-up discarded from measurements.
+    pub warmup: SimDuration,
+    /// Workload measurement window.
+    pub measure: SimDuration,
+}
+
+impl Calibration {
+    /// The paper's parameters.
+    pub fn paper() -> Self {
+        Calibration {
+            cluster_single: ClusterConfig::paper_single_user(),
+            cluster_multi: ClusterConfig::paper_multi_user(),
+            cost: CostModel::paper_default(),
+            records_per_partition: 750_000,
+            partitions_per_scale: 8,
+            k: 10_000,
+            scales: vec![5, 10, 20, 40, 100],
+            seeds: vec![101, 102, 103, 104, 105],
+            users: 10,
+            multi_user_scale: 100,
+            // The paper runs "sufficiently long … to obtain steady state";
+            // in the simulator a 15 min warm-up + 1 h window yields tens to
+            // hundreds of completions per configuration, which is steady
+            // enough while keeping the 70-configuration suite tractable.
+            warmup: SimDuration::from_mins(15),
+            measure: SimDuration::from_hours(1),
+        }
+    }
+
+    /// A scaled-down configuration preserving the paper's structural
+    /// relationships; runs the whole suite in seconds.
+    pub fn quick() -> Self {
+        Calibration {
+            cluster_single: ClusterConfig::paper_single_user(),
+            cluster_multi: ClusterConfig::paper_multi_user(),
+            cost: CostModel::paper_default(),
+            // Partition size, k, and hence per-task cost match the paper:
+            // tasks must dwarf the heartbeat and evaluation intervals for
+            // the dynamics to be in the right regime, and simulated task
+            // time is nearly free. What shrinks is the number of
+            // partitions, users, seeds, and the measurement window.
+            records_per_partition: 750_000,
+            partitions_per_scale: 8,
+            k: 10_000,
+            scales: vec![5, 10, 20],
+            seeds: vec![201, 202],
+            users: 4,
+            // 96 partitions per copy: k needs ≈28% of a copy, so dynamic
+            // policies save real work while Hadoop still saturates slots.
+            multi_user_scale: 12,
+            warmup: SimDuration::from_mins(6),
+            measure: SimDuration::from_mins(30),
+        }
+    }
+
+    /// Matches planted per partition at the paper's 0.05% selectivity.
+    pub fn matches_per_partition(&self) -> u64 {
+        (self.records_per_partition as f64 * incmr_data::queries::PAPER_SELECTIVITY).round() as u64
+    }
+
+    /// Build one dataset world: a fresh namespace holding a single dataset
+    /// at `scale` with the given skew.
+    pub fn build_world(&self, scale: u32, skew: SkewLevel, seed: u64) -> (Namespace, Rc<Dataset>) {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(seed);
+        let spec = DatasetSpec {
+            name: format!("lineitem_{scale}x_{skew:?}_{seed}"),
+            partitions: scale * self.partitions_per_scale,
+            records_per_partition: self.records_per_partition,
+            skew,
+            selectivity: incmr_data::queries::PAPER_SELECTIVITY,
+            seed,
+        };
+        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        (ns, ds)
+    }
+
+    /// Build a multi-user world: `users` private copies of the dataset in
+    /// one namespace, placements interleaved across disks.
+    pub fn build_copies(&self, skew: SkewLevel, seed: u64) -> (Namespace, Vec<Rc<Dataset>>) {
+        self.build_copies_with(skew, seed, None)
+    }
+
+    /// Like [`Calibration::build_copies`], with an optional replication
+    /// factor: `None` uses the paper's even, unreplicated layout;
+    /// `Some(r)` places `r` random replicas per block (the replication
+    /// ablation).
+    pub fn build_copies_with(
+        &self,
+        skew: SkewLevel,
+        seed: u64,
+        replication: Option<u8>,
+    ) -> (Namespace, Vec<Rc<Dataset>>) {
+        use incmr_dfs::{PlacementPolicy, RandomPlacement};
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let root = DetRng::seed_from(seed);
+        let copies = (0..self.users)
+            .map(|u| {
+                let mut rng = root.fork(u as u64);
+                let spec = DatasetSpec {
+                    name: format!("copy{u}_{skew:?}_{seed}"),
+                    partitions: self.multi_user_scale * self.partitions_per_scale,
+                    records_per_partition: self.records_per_partition,
+                    skew,
+                    selectivity: incmr_data::queries::PAPER_SELECTIVITY,
+                    seed: root.fork(1000 + u as u64).seed(),
+                };
+                let mut placement: Box<dyn PlacementPolicy> = match replication {
+                    None => Box::new(EvenRoundRobin::starting_at((u * 13) as u32)),
+                    Some(r) => Box::new(RandomPlacement::new(r)),
+                };
+                Rc::new(Dataset::build(&mut ns, spec, placement.as_mut(), &mut rng))
+            })
+            .collect();
+        (ns, copies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_matches_section_v() {
+        let c = Calibration::paper();
+        assert_eq!(c.k, 10_000);
+        assert_eq!(c.matches_per_partition(), 375);
+        assert_eq!(c.scales, vec![5, 10, 20, 40, 100]);
+        assert_eq!(c.seeds.len(), 5, "averages over 5 runs");
+        assert_eq!(c.users, 10);
+        assert_eq!(c.cluster_single.total_map_slots(), 40);
+        assert_eq!(c.cluster_multi.total_map_slots(), 160);
+    }
+
+    #[test]
+    fn quick_preserves_the_partition_fraction() {
+        let c = Calibration::quick();
+        // k / matches-per-partition ≈ 27, like the paper's 10000/375.
+        let needed = c.k as f64 / c.matches_per_partition() as f64;
+        assert!((26.0..=28.0).contains(&needed), "needed = {needed}");
+    }
+
+    #[test]
+    fn build_world_shapes() {
+        let c = Calibration::quick();
+        let (ns, ds) = c.build_world(5, SkewLevel::Zero, 1);
+        assert_eq!(ds.splits().len(), 40);
+        assert_eq!(ns.num_blocks(), 40);
+        assert_eq!(ds.total_matching(), 40 * c.matches_per_partition());
+    }
+
+    #[test]
+    fn build_copies_are_private_and_coresident() {
+        let c = Calibration::quick();
+        let (ns, copies) = c.build_copies(SkewLevel::Zero, 2);
+        assert_eq!(copies.len(), c.users);
+        assert_eq!(
+            ns.num_blocks(),
+            c.users * (c.multi_user_scale * c.partitions_per_scale) as usize
+        );
+        // Distinct content seeds per copy.
+        let mut seeds: Vec<u64> = copies.iter().map(|d| d.splits()[0].spec.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), c.users);
+    }
+}

@@ -1,0 +1,162 @@
+//! Selectivity-estimation accuracy under skew — quantifying the paper's
+//! Section V-B discussion:
+//!
+//! "Under a skewed distribution of matching records across the partitions,
+//! the Input Provider can make significant error(s) in estimating the
+//! selectivity. … In the case of an under-estimation, the Input Provider
+//! may add more than the required amount of input … an over-estimation may
+//! produce insufficient results and require the Input Provider to add
+//! additional input many times."
+//!
+//! The experiment replays the provider's estimator over a uniformly-random
+//! partition order (exactly how the sampling provider draws splits) and
+//! records the relative selectivity-estimate error after each fraction of
+//! the input, per skew level, averaged over seeds.
+
+use incmr_data::SkewLevel;
+use incmr_simkit::rng::DetRng;
+use incmr_simkit::stats::OnlineStats;
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// Mean relative error of the selectivity estimate after processing a
+/// given fraction of the partitions.
+#[derive(Debug, Clone)]
+pub struct ErrorCurvePoint {
+    /// Fraction of partitions processed (0, 1].
+    pub fraction: f64,
+    /// Mean relative error per skew level, in [`SkewLevel::all`] order.
+    pub mean_rel_error: [f64; 3],
+}
+
+/// Compute the error curves at the given fractions, averaged over seeds.
+pub fn run(cal: &Calibration, fractions: &[f64], seeds: &[u64]) -> Vec<ErrorCurvePoint> {
+    let mut points: Vec<ErrorCurvePoint> = fractions
+        .iter()
+        .map(|&fraction| ErrorCurvePoint {
+            fraction,
+            mean_rel_error: [0.0; 3],
+        })
+        .collect();
+
+    for (skew_idx, skew) in SkewLevel::all().into_iter().enumerate() {
+        let mut stats: Vec<OnlineStats> = fractions.iter().map(|_| OnlineStats::new()).collect();
+        for &seed in seeds {
+            let (_, ds) = cal.build_world(5, skew, seed);
+            let counts = ds.matching_counts();
+            let n = counts.len();
+            let records_per = cal.records_per_partition as f64;
+            let true_selectivity = ds.total_matching() as f64 / (n as f64 * records_per);
+            // Uniformly-random processing order (the provider's draw).
+            let mut order: Vec<usize> = (0..n).collect();
+            let mut rng = DetRng::seed_from(seed ^ 0xE571_A70E);
+            let shuffled = rng.sample_without_replacement(&order, n);
+            order = shuffled;
+            // Replay the running estimate.
+            let mut matches = 0u64;
+            for (processed, &p) in order.iter().enumerate() {
+                matches += counts[p];
+                let frac = (processed + 1) as f64 / n as f64;
+                let estimate = matches as f64 / ((processed + 1) as f64 * records_per);
+                for (fi, &f) in fractions.iter().enumerate() {
+                    // Record at the first processed count reaching each fraction.
+                    if (frac * n as f64).round() as usize == (f * n as f64).round() as usize {
+                        let rel = (estimate - true_selectivity).abs() / true_selectivity;
+                        stats[fi].push(rel);
+                    }
+                }
+            }
+        }
+        for (fi, s) in stats.iter().enumerate() {
+            points[fi].mean_rel_error[skew_idx] = s.mean();
+        }
+    }
+    points
+}
+
+/// Render the error curves as a table.
+pub fn render_table(points: &[ErrorCurvePoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}%", p.fraction * 100.0),
+                format!("{:.1}%", p.mean_rel_error[0] * 100.0),
+                format!("{:.1}%", p.mean_rel_error[1] * 100.0),
+                format!("{:.1}%", p.mean_rel_error[2] * 100.0),
+            ]
+        })
+        .collect();
+    render::table(
+        "SELECTIVITY-ESTIMATE ERROR vs INPUT FRACTION (mean |rel. error|, 5x)",
+        &["processed", "z=0", "z=1", "z=2"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<ErrorCurvePoint> {
+        run(
+            &Calibration::quick(),
+            &[0.1, 0.25, 0.5, 1.0],
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+        )
+    }
+
+    #[test]
+    fn zero_skew_estimates_are_exact() {
+        // With an exactly even distribution, every prefix gives the true
+        // selectivity.
+        for p in points() {
+            assert!(p.mean_rel_error[0] < 1e-9, "z=0 error at {}: {}", p.fraction, p.mean_rel_error[0]);
+        }
+    }
+
+    #[test]
+    fn skew_inflates_early_estimation_error() {
+        let ps = points();
+        let early = &ps[0];
+        assert!(
+            early.mean_rel_error[2] > early.mean_rel_error[0] + 0.1,
+            "z=2 early error ({}) should dwarf z=0 ({})",
+            early.mean_rel_error[2],
+            early.mean_rel_error[0]
+        );
+        assert!(
+            early.mean_rel_error[2] > early.mean_rel_error[1],
+            "error grows with skew"
+        );
+    }
+
+    #[test]
+    fn error_vanishes_at_full_input() {
+        let ps = points();
+        let last = ps.last().unwrap();
+        for err in last.mean_rel_error {
+            assert!(err < 1e-9, "estimate over all input is exact, got {err}");
+        }
+    }
+
+    #[test]
+    fn error_decreases_with_coverage_under_skew() {
+        let ps = points();
+        assert!(
+            ps[0].mean_rel_error[2] > ps[2].mean_rel_error[2],
+            "more input, better estimate: {} vs {}",
+            ps[0].mean_rel_error[2],
+            ps[2].mean_rel_error[2]
+        );
+    }
+
+    #[test]
+    fn rendering_has_all_fractions() {
+        let out = render_table(&points());
+        for f in ["10%", "25%", "50%", "100%"] {
+            assert!(out.contains(f), "{out}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Figure 4 — distribution of matching records across the 40 partitions of
+//! the 5× dataset, for z = 0, 1, 2.
+//!
+//! Paper reference points: 15 000 matching records total; z = 0 gives an
+//! equal count per partition; z = 1 puts ≈3 100 in the heaviest partition;
+//! z = 2 puts ≈8 700–9 300 there.
+
+use incmr_data::skew::{summarize, SkewSummary};
+use incmr_data::SkewLevel;
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// One panel of Figure 4.
+#[derive(Debug, Clone)]
+pub struct Fig4Panel {
+    /// Skew level.
+    pub skew: SkewLevel,
+    /// Matching records per partition, sorted descending (the paper plots
+    /// by rank).
+    pub counts_desc: Vec<u64>,
+    /// Summary statistics.
+    pub summary: SkewSummary,
+}
+
+/// Generate the three panels at the paper's 5× scale (this experiment is
+/// cheap, so it always runs at full size regardless of calibration —
+/// except that `records_per_partition` scales the total match count).
+pub fn run(cal: &Calibration, seed: u64) -> Vec<Fig4Panel> {
+    SkewLevel::all()
+        .into_iter()
+        .map(|skew| {
+            let (_, ds) = cal.build_world(5, skew, seed);
+            let mut counts = ds.matching_counts();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let summary = summarize(&counts);
+            Fig4Panel {
+                skew,
+                counts_desc: counts,
+                summary,
+            }
+        })
+        .collect()
+}
+
+/// Render the three panels as bar charts over partition rank.
+pub fn render_figure(panels: &[Fig4Panel]) -> String {
+    let mut out = String::from("FIGURE 4 — DISTRIBUTION OF MATCHING RECORDS ACROSS PARTITIONS (5x)\n");
+    for p in panels {
+        let total: u64 = p.counts_desc.iter().sum();
+        out.push('\n');
+        let items: Vec<(String, f64)> = p
+            .counts_desc
+            .iter()
+            .take(10)
+            .enumerate()
+            .map(|(i, &c)| (format!("rank {:>2}", i + 1), c as f64))
+            .collect();
+        out.push_str(&render::bars(
+            &format!(
+                "skew {} — total {total}, top partition {} ({:.1}% of matches), {} empty partitions",
+                p.skew,
+                p.summary.max,
+                p.summary.top_share * 100.0,
+                p.summary.empty_partitions
+            ),
+            &items,
+            "records",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_panels() -> Vec<Fig4Panel> {
+        run(&Calibration::paper(), 42)
+    }
+
+    #[test]
+    fn totals_are_fifteen_thousand_at_paper_scale() {
+        for p in paper_panels() {
+            assert_eq!(p.counts_desc.iter().sum::<u64>(), 15_000, "{}", p.skew);
+            assert_eq!(p.counts_desc.len(), 40);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_flat_at_375() {
+        let p = &paper_panels()[0];
+        assert!(p.counts_desc.iter().all(|&c| c == 375));
+    }
+
+    #[test]
+    fn moderate_skew_top_partition_near_paper_value() {
+        // Paper: 3128 in the top partition (expected 23.4% of 15000 = 3506).
+        let p = &paper_panels()[1];
+        assert!(
+            (3_000..=4_000).contains(&p.summary.max),
+            "z=1 top partition = {}",
+            p.summary.max
+        );
+    }
+
+    #[test]
+    fn high_skew_top_partition_near_paper_value() {
+        // Paper: 8700 of 15000 in a single partition (expected 9253).
+        let p = &paper_panels()[2];
+        assert!(
+            (8_200..=10_200).contains(&p.summary.max),
+            "z=2 top partition = {}",
+            p.summary.max
+        );
+    }
+
+    #[test]
+    fn rendering_contains_three_panels() {
+        let out = render_figure(&paper_panels());
+        assert_eq!(out.matches("skew ").count(), 3);
+        assert!(out.contains("rank  1"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Figure 5 — single-user workload: response time as a function of dataset
+//! size and skew for each policy (panels a–c), and the number of
+//! partitions processed per job (panel d, shown for moderate skew).
+//!
+//! Expected shape (Section V-C): the Hadoop policy's response time grows
+//! with input size and is skew-independent; HA/MA are the best dynamic
+//! policies on an otherwise-idle cluster; conservatism (LA, C) costs the
+//! most under high skew; partitions processed are maximal under Hadoop and
+//! shrink as policies get less aggressive.
+
+use incmr_core::{build_sampling_job, Policy, SampleMode};
+use incmr_data::SkewLevel;
+use incmr_mapreduce::{FifoScheduler, MrRuntime, ScanMode};
+use incmr_simkit::rng::splitmix64;
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// One measured point (averaged over the calibration's seeds).
+#[derive(Debug, Clone)]
+pub struct Fig5Cell {
+    /// Data skew of the dataset.
+    pub skew: SkewLevel,
+    /// Dataset scale.
+    pub scale: u32,
+    /// Policy name.
+    pub policy: String,
+    /// Mean job response time, seconds.
+    pub response_secs: f64,
+    /// Mean partitions processed per job (panel d).
+    pub partitions: f64,
+}
+
+/// The complete Figure 5 grid.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// All measured cells.
+    pub cells: Vec<Fig5Cell>,
+}
+
+impl Fig5Result {
+    /// Look up one cell.
+    ///
+    /// # Panics
+    /// Panics if the combination was not part of the run.
+    pub fn get(&self, skew: SkewLevel, scale: u32, policy: &str) -> &Fig5Cell {
+        self.cells
+            .iter()
+            .find(|c| c.skew == skew && c.scale == scale && c.policy == policy)
+            .unwrap_or_else(|| panic!("no cell for {skew:?}/{scale}/{policy}"))
+    }
+}
+
+/// Run the full grid: skews × scales × policies, averaged over seeds.
+pub fn run(cal: &Calibration) -> Fig5Result {
+    let mut cells = Vec::new();
+    for skew in SkewLevel::all() {
+        for &scale in &cal.scales {
+            for policy in Policy::table1() {
+                let mut resp = 0.0;
+                let mut parts = 0.0;
+                for &seed in &cal.seeds {
+                    let (ns, ds) = cal.build_world(scale, skew, seed);
+                    let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+                    let job_seed = splitmix64(seed ^ splitmix64(scale as u64));
+                    let (spec, driver) =
+                        build_sampling_job(&ds, cal.k, policy.clone(), ScanMode::Planted, SampleMode::FirstK, job_seed);
+                    let id = rt.submit(spec, driver);
+                    rt.run_until_idle();
+                    let r = rt.job_result(id);
+                    resp += r.response_time().as_secs_f64();
+                    parts += r.splits_processed as f64;
+                }
+                let n = cal.seeds.len() as f64;
+                cells.push(Fig5Cell {
+                    skew,
+                    scale,
+                    policy: policy.name.clone(),
+                    response_secs: resp / n,
+                    partitions: parts / n,
+                });
+            }
+        }
+    }
+    Fig5Result { cells }
+}
+
+/// Render all four panels.
+pub fn render_figure(cal: &Calibration, result: &Fig5Result) -> String {
+    let policies: Vec<String> = Policy::table1().into_iter().map(|p| p.name).collect();
+    let mut out = String::from("FIGURE 5 — SINGLE-USER WORKLOAD\n");
+    for (panel, skew) in [('a', SkewLevel::Zero), ('b', SkewLevel::Moderate), ('c', SkewLevel::High)] {
+        let rows: Vec<Vec<String>> = cal
+            .scales
+            .iter()
+            .map(|&scale| {
+                let mut row = vec![format!("{scale}x")];
+                for p in &policies {
+                    row.push(render::f1(result.get(skew, scale, p).response_secs));
+                }
+                row
+            })
+            .collect();
+        let header: Vec<&str> = std::iter::once("scale").chain(policies.iter().map(|s| s.as_str())).collect();
+        out.push('\n');
+        out.push_str(&render::table(
+            &format!("({panel}) response time (s), skew {skew}"),
+            &header,
+            &rows,
+        ));
+    }
+    // Panel (d): partitions processed, moderate skew.
+    let rows: Vec<Vec<String>> = cal
+        .scales
+        .iter()
+        .map(|&scale| {
+            let mut row = vec![format!("{scale}x")];
+            for p in &policies {
+                row.push(render::f1(result.get(SkewLevel::Moderate, scale, p).partitions));
+            }
+            row
+        })
+        .collect();
+    let header: Vec<&str> = std::iter::once("scale").chain(policies.iter().map(|s| s.as_str())).collect();
+    out.push('\n');
+    out.push_str(&render::table(
+        "(d) partitions processed per job, moderate skew",
+        &header,
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_result() -> (Calibration, Fig5Result) {
+        let mut cal = Calibration::quick();
+        cal.seeds = vec![301]; // one seed keeps the test fast
+        let r = run(&cal);
+        (cal, r)
+    }
+
+    #[test]
+    fn hadoop_response_grows_with_scale_and_ignores_skew() {
+        let (cal, r) = quick_result();
+        let smallest = *cal.scales.first().unwrap();
+        let largest = *cal.scales.last().unwrap();
+        let small = r.get(SkewLevel::Zero, smallest, "Hadoop").response_secs;
+        let large = r.get(SkewLevel::Zero, largest, "Hadoop").response_secs;
+        assert!(large > small * 2.0, "Hadoop: {small}s @ {smallest}x vs {large}s @ {largest}x");
+        // Skew independence: z=0 vs z=2 within 10%.
+        let z0 = r.get(SkewLevel::Zero, largest, "Hadoop").response_secs;
+        let z2 = r.get(SkewLevel::High, largest, "Hadoop").response_secs;
+        assert!((z0 - z2).abs() / z0 < 0.10, "Hadoop skew-dependent: {z0} vs {z2}");
+    }
+
+    #[test]
+    fn hadoop_processes_all_partitions_dynamics_fewer() {
+        let (cal, r) = quick_result();
+        let largest = *cal.scales.last().unwrap();
+        let total = (largest * cal.partitions_per_scale) as f64;
+        assert_eq!(r.get(SkewLevel::Moderate, largest, "Hadoop").partitions, total);
+        for p in ["HA", "MA", "LA", "C"] {
+            let parts = r.get(SkewLevel::Moderate, largest, p).partitions;
+            assert!(parts < total, "{p} should process fewer than {total}, got {parts}");
+        }
+    }
+
+    #[test]
+    fn ha_beats_hadoop_at_the_largest_scale() {
+        let (cal, r) = quick_result();
+        let largest = *cal.scales.last().unwrap();
+        for skew in SkewLevel::all() {
+            let hadoop = r.get(skew, largest, "Hadoop").response_secs;
+            let ha = r.get(skew, largest, "HA").response_secs;
+            assert!(ha < hadoop, "{skew}: HA {ha}s vs Hadoop {hadoop}s");
+        }
+    }
+
+    #[test]
+    fn conservatism_hurts_most_under_high_skew() {
+        let (cal, r) = quick_result();
+        let largest = *cal.scales.last().unwrap();
+        let c_high = r.get(SkewLevel::High, largest, "C").response_secs;
+        let ha_high = r.get(SkewLevel::High, largest, "HA").response_secs;
+        assert!(c_high > ha_high, "C ({c_high}) should trail HA ({ha_high}) at high skew");
+    }
+
+    #[test]
+    fn rendering_contains_all_panels() {
+        let (cal, r) = quick_result();
+        let out = render_figure(&cal, &r);
+        for p in ["(a)", "(b)", "(c)", "(d)"] {
+            assert!(out.contains(p), "missing {p}");
+        }
+    }
+}

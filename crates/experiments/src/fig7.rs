@@ -1,0 +1,223 @@
+//! Figure 7 — heterogeneous multi-user workload under the default (FIFO)
+//! scheduler: per-class throughput as the fraction of Sampling-class users
+//! varies from 0.2 to 0.8, for each policy used by the Sampling class.
+//!
+//! Expected shape (Section V-E): Sampling-class throughput rises with its
+//! user fraction; Non-Sampling-class throughput is lowest when the
+//! Sampling class runs the Hadoop policy and rises markedly (3×–8× in the
+//! paper) when it shifts to conservative policies (LA/C).
+
+use incmr_core::Policy;
+use incmr_data::SkewLevel;
+use incmr_mapreduce::{FifoScheduler, MrRuntime, TaskScheduler};
+use incmr_workload::{run_workload, WorkloadSpec};
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// One measured heterogeneous configuration.
+#[derive(Debug, Clone)]
+pub struct HeteroCell {
+    /// Fraction of users in the Sampling class.
+    pub fraction: f64,
+    /// The policy the Sampling class runs.
+    pub policy: String,
+    /// Sampling-class throughput, jobs/hour.
+    pub sampling_jph: f64,
+    /// Non-Sampling-class throughput, jobs/hour.
+    pub non_sampling_jph: f64,
+    /// Map-task data locality over the window, percent.
+    pub locality_pct: f64,
+    /// Mean map-slot occupancy over the window, percent.
+    pub occupancy_pct: f64,
+}
+
+/// Results for one scheduler.
+#[derive(Debug, Clone)]
+pub struct HeteroResult {
+    /// Which scheduler ran.
+    pub scheduler: &'static str,
+    /// All cells.
+    pub cells: Vec<HeteroCell>,
+}
+
+impl HeteroResult {
+    /// Look up one cell.
+    ///
+    /// # Panics
+    /// Panics if the combination was not run.
+    pub fn get(&self, fraction: f64, policy: &str) -> &HeteroCell {
+        self.cells
+            .iter()
+            .find(|c| (c.fraction - fraction).abs() < 1e-9 && c.policy == policy)
+            .unwrap_or_else(|| panic!("no cell for {fraction}/{policy}"))
+    }
+
+    /// Mean locality across all cells (the Section V-F statistic).
+    pub fn mean_locality_pct(&self) -> f64 {
+        incmr_simkit::stats::mean(&self.cells.iter().map(|c| c.locality_pct).collect::<Vec<_>>())
+    }
+
+    /// Mean slot occupancy across all cells.
+    pub fn mean_occupancy_pct(&self) -> f64 {
+        incmr_simkit::stats::mean(&self.cells.iter().map(|c| c.occupancy_pct).collect::<Vec<_>>())
+    }
+}
+
+/// The paper's sampling-class fractions.
+pub fn paper_fractions() -> Vec<f64> {
+    vec![0.2, 0.4, 0.6, 0.8]
+}
+
+/// Shared heterogeneous-workload runner, parameterised by scheduler
+/// (Figure 7 uses FIFO; Figure 8 re-runs with the Fair Scheduler).
+pub fn run_hetero<F>(
+    cal: &Calibration,
+    fractions: &[f64],
+    policies: &[Policy],
+    scheduler_name: &'static str,
+    make_scheduler: F,
+) -> HeteroResult
+where
+    F: Fn() -> Box<dyn TaskScheduler>,
+{
+    let mut cells = Vec::new();
+    for &fraction in fractions {
+        let sampling_users = ((cal.users as f64) * fraction).round() as usize;
+        for policy in policies {
+            // "The predicate used for sampling jobs corresponds to a
+            // uniform distribution of the matching records."
+            let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 9_000 + (fraction * 10.0) as u64);
+            let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, make_scheduler());
+            let spec = WorkloadSpec::heterogeneous(
+                datasets,
+                sampling_users,
+                cal.k,
+                policy.clone(),
+                cal.warmup,
+                cal.measure,
+                13,
+            );
+            let report = run_workload(&mut rt, &spec);
+            cells.push(HeteroCell {
+                fraction,
+                policy: policy.name.clone(),
+                sampling_jph: report.sampling_jobs_per_hour(),
+                non_sampling_jph: report.non_sampling_jobs_per_hour(),
+                locality_pct: report.metrics.locality_pct,
+                occupancy_pct: report.metrics.slot_occupancy_pct,
+            });
+        }
+    }
+    HeteroResult {
+        scheduler: scheduler_name,
+        cells,
+    }
+}
+
+/// Run Figure 7: all fractions × all policies on FIFO.
+pub fn run(cal: &Calibration) -> HeteroResult {
+    run_hetero(cal, &paper_fractions(), &Policy::table1(), "fifo", || {
+        Box::new(FifoScheduler::new())
+    })
+}
+
+/// Render panels (a) and (b) of a heterogeneous result.
+pub fn render_figure(title: &str, result: &HeteroResult) -> String {
+    let mut out = format!("{title} (scheduler: {})\n", result.scheduler);
+    let policies: Vec<String> = {
+        let mut seen = Vec::new();
+        for c in &result.cells {
+            if !seen.contains(&c.policy) {
+                seen.push(c.policy.clone());
+            }
+        }
+        seen
+    };
+    let fractions: Vec<f64> = {
+        let mut seen = Vec::new();
+        for c in &result.cells {
+            if !seen.iter().any(|f: &f64| (f - c.fraction).abs() < 1e-9) {
+                seen.push(c.fraction);
+            }
+        }
+        seen
+    };
+    for (panel, class) in [("(a) Sampling class", true), ("(b) Non-Sampling class", false)] {
+        let rows: Vec<Vec<String>> = fractions
+            .iter()
+            .map(|&f| {
+                let mut row = vec![format!("{f:.1}")];
+                for p in &policies {
+                    let c = result.get(f, p);
+                    row.push(render::f1(if class { c.sampling_jph } else { c.non_sampling_jph }));
+                }
+                row
+            })
+            .collect();
+        let header: Vec<&str> = std::iter::once("fraction").chain(policies.iter().map(|s| s.as_str())).collect();
+        out.push('\n');
+        out.push_str(&render::table(&format!("{panel}: throughput (jobs/hour)"), &header, &rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_result() -> HeteroResult {
+        // Two fractions × two poles of the policy spectrum keeps this fast.
+        run_hetero(
+            &Calibration::quick(),
+            &[0.25, 0.75],
+            &[Policy::hadoop(), Policy::la()],
+            "fifo",
+            || Box::new(FifoScheduler::new()),
+        )
+    }
+
+    #[test]
+    fn sampling_throughput_rises_with_its_fraction() {
+        let r = quick_result();
+        for p in ["Hadoop", "LA"] {
+            let lo = r.get(0.25, p).sampling_jph;
+            let hi = r.get(0.75, p).sampling_jph;
+            assert!(hi > lo, "{p}: {lo} → {hi}");
+        }
+    }
+
+    #[test]
+    fn non_sampling_class_benefits_from_conservative_sampling() {
+        let r = quick_result();
+        for &f in &[0.25, 0.75] {
+            let hadoop = r.get(f, "Hadoop").non_sampling_jph;
+            let la = r.get(f, "LA").non_sampling_jph;
+            assert!(
+                la > hadoop,
+                "fraction {f}: non-sampling under LA ({la}) should beat Hadoop ({hadoop})"
+            );
+        }
+    }
+
+    #[test]
+    fn boost_grows_with_sampling_fraction() {
+        // The paper: 3x improvement at 20% sampling users, 8x at 80%.
+        let r = quick_result();
+        let boost = |f: f64| r.get(f, "LA").non_sampling_jph / r.get(f, "Hadoop").non_sampling_jph.max(1e-9);
+        assert!(
+            boost(0.75) > boost(0.25),
+            "boost at 0.75 ({}) should exceed boost at 0.25 ({})",
+            boost(0.75),
+            boost(0.25)
+        );
+    }
+
+    #[test]
+    fn rendering_has_both_panels() {
+        let out = render_figure("FIGURE 7", &quick_result());
+        assert!(out.contains("(a) Sampling class"));
+        assert!(out.contains("(b) Non-Sampling class"));
+        assert!(out.contains("fifo"));
+    }
+}

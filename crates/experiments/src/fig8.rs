@@ -1,0 +1,111 @@
+//! Figure 8 — the heterogeneous workload re-run under the Fair Scheduler,
+//! plus the Section V-F locality / slot-occupancy comparison.
+//!
+//! Expected shape: the per-class trends of Figure 7 persist (conservative
+//! sampling policies help both classes), but overall throughput *falls*
+//! relative to FIFO, because delay scheduling trades slot occupancy for
+//! locality — the paper measured Fair at 88% locality / 18% occupancy vs
+//! FIFO's 57% / 44%.
+
+use incmr_core::Policy;
+use incmr_mapreduce::{FairScheduler, FifoScheduler};
+
+use crate::calibration::Calibration;
+use crate::fig7::{paper_fractions, run_hetero, HeteroResult};
+use crate::render;
+
+/// The Figure 8 bundle: Fair-Scheduler results plus the FIFO baseline for
+/// the scheduler-impact comparison.
+#[derive(Debug, Clone)]
+pub struct Fig8Result {
+    /// Heterogeneous workload under the Fair Scheduler.
+    pub fair: HeteroResult,
+    /// The same workload under FIFO (Figure 7's data, re-used for the
+    /// locality/occupancy table).
+    pub fifo: HeteroResult,
+}
+
+/// Run Figure 8 at full paper shape.
+pub fn run(cal: &Calibration) -> Fig8Result {
+    run_with(cal, &paper_fractions(), &Policy::table1())
+}
+
+/// Run with custom fractions/policies (tests use a reduced grid).
+pub fn run_with(cal: &Calibration, fractions: &[f64], policies: &[Policy]) -> Fig8Result {
+    let fair = run_hetero(cal, fractions, policies, "fair", || {
+        Box::new(FairScheduler::paper_default())
+    });
+    let fifo = run_hetero(cal, fractions, policies, "fifo", || Box::new(FifoScheduler::new()));
+    Fig8Result { fair, fifo }
+}
+
+/// Render the figure plus the scheduler-impact table.
+pub fn render_figure(result: &Fig8Result) -> String {
+    let mut out = crate::fig7::render_figure("FIGURE 8 — HETEROGENEOUS WORKLOAD", &result.fair);
+    out.push('\n');
+    let rows = vec![
+        vec![
+            "FIFO (default)".to_string(),
+            render::f1(result.fifo.mean_locality_pct()),
+            render::f1(result.fifo.mean_occupancy_pct()),
+        ],
+        vec![
+            "Fair".to_string(),
+            render::f1(result.fair.mean_locality_pct()),
+            render::f1(result.fair.mean_occupancy_pct()),
+        ],
+    ];
+    out.push_str(&render::table(
+        "Scheduler impact (Section V-F)",
+        &["Scheduler", "Locality (%)", "Slot occupancy (%)"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_result() -> Fig8Result {
+        run_with(&Calibration::quick(), &[0.5], &[Policy::hadoop(), Policy::la()])
+    }
+
+    #[test]
+    fn fair_scheduler_raises_locality() {
+        let r = quick_result();
+        assert!(
+            r.fair.mean_locality_pct() > r.fifo.mean_locality_pct(),
+            "fair {}% vs fifo {}%",
+            r.fair.mean_locality_pct(),
+            r.fifo.mean_locality_pct()
+        );
+    }
+
+    #[test]
+    fn fair_scheduler_lowers_occupancy() {
+        let r = quick_result();
+        assert!(
+            r.fair.mean_occupancy_pct() < r.fifo.mean_occupancy_pct(),
+            "fair {}% vs fifo {}%",
+            r.fair.mean_occupancy_pct(),
+            r.fifo.mean_occupancy_pct()
+        );
+    }
+
+    #[test]
+    fn per_class_trends_persist_under_fair() {
+        let r = quick_result();
+        let hadoop = r.fair.get(0.5, "Hadoop").non_sampling_jph;
+        let la = r.fair.get(0.5, "LA").non_sampling_jph;
+        assert!(la > hadoop, "LA ({la}) vs Hadoop ({hadoop}) under Fair");
+    }
+
+    #[test]
+    fn rendering_has_the_scheduler_table() {
+        let out = render_figure(&quick_result());
+        assert!(out.contains("Scheduler impact"));
+        assert!(out.contains("FIFO (default)"));
+        assert!(out.contains("Fair"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # incmr-experiments
+//!
+//! Regenerators for every table and figure in the paper's evaluation
+//! (Section V). Each module runs the corresponding experiment on the
+//! simulated cluster and renders output shaped like the paper's artefact:
+//!
+//! | module | paper artefact |
+//! |--------|----------------|
+//! | [`table1`] | Table I — policies for incremental processing |
+//! | [`table2`] | Table II — properties of the generated datasets |
+//! | [`table3`] | Table III — predicates per skew level |
+//! | [`fig4`]   | Figure 4 — matching-record distribution across partitions |
+//! | [`fig5`]   | Figure 5 — single-user response times + partitions processed |
+//! | [`fig6`]   | Figure 6 — homogeneous multi-user throughput and resource usage |
+//! | [`fig7`]   | Figure 7 — heterogeneous workload, default (FIFO) scheduler |
+//! | [`fig8`]   | Figure 8 — heterogeneous workload, Fair Scheduler (+ locality) |
+//!
+//! Every experiment takes a [`calibration::Calibration`]: `paper()` mirrors
+//! the paper's parameters (scales 5–100, k = 10 000, 10 users, …);
+//! `quick()` shrinks datasets and windows so the whole suite runs in
+//! seconds (used by tests and Criterion benches). Absolute numbers differ
+//! from the paper's physical testbed; the *shape* — orderings, trends,
+//! crossovers — is what these reproduce (see EXPERIMENTS.md).
+
+pub mod ablations;
+pub mod calibration;
+pub mod estimator_accuracy;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod render;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use calibration::Calibration;

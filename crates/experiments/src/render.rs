@@ -1,0 +1,121 @@
+//! Plain-text rendering: fixed-width tables and simple bar series, so the
+//! regenerators print artefacts readable next to the paper's figures.
+
+/// Render a fixed-width table. `header` and every row must have the same
+/// number of cells.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    assert!(rows.iter().all(|r| r.len() == header.len()), "ragged table rows");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:>w$} "))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a horizontal bar chart of labelled values (used for Figure 4's
+/// distributions and the throughput figures).
+pub fn bars(title: &str, items: &[(String, f64)], unit: &str) -> String {
+    let max = items.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (label, value) in items {
+        let filled = if max > 0.0 {
+            ((value / max) * 40.0).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$} |{:<40}| {value:>10.1} {unit}\n",
+            "#".repeat(filled)
+        ));
+    }
+    out
+}
+
+/// Format a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a float with two decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "T",
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].contains("name"));
+        assert!(lines[2].starts_with('-'));
+        assert_eq!(lines[3].len(), lines[4].len(), "rows align");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = table("T", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = bars(
+            "B",
+            &[("x".into(), 10.0), ("y".into(), 5.0)],
+            "u",
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        let hashes = |s: &str| s.matches('#').count();
+        assert_eq!(hashes(lines[1]), 40, "max bar is full width");
+        assert_eq!(hashes(lines[2]), 20);
+    }
+
+    #[test]
+    fn bars_of_zeros_do_not_divide_by_zero() {
+        let out = bars("B", &[("x".into(), 0.0)], "u");
+        assert!(out.contains("0.0 u"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f1(1.26), "1.3");
+        assert_eq!(f2(1.256), "1.26");
+    }
+}

@@ -1,0 +1,72 @@
+//! Table I — the policies for incremental processing of input.
+//!
+//! Regenerated from code (the policies *are* the implementation), so any
+//! drift between the library and the paper's table is caught by the tests
+//! here.
+
+use incmr_core::Policy;
+
+use crate::render;
+
+/// The Table I policies.
+pub fn run() -> Vec<Policy> {
+    Policy::table1()
+}
+
+/// Render Table I in the paper's layout.
+pub fn render_table() -> String {
+    let rows: Vec<Vec<String>> = run()
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                description(&p.name).to_string(),
+                if p.name == "Hadoop" {
+                    "-".to_string()
+                } else {
+                    format!("{}", p.work_threshold_pct)
+                },
+                p.grab_limit.to_string(),
+            ]
+        })
+        .collect();
+    render::table(
+        "TABLE I — POLICIES FOR INCREMENTAL PROCESSING OF INPUT",
+        &["Policy", "Description", "Work Threshold (% Total Input Size)", "Grab Limit"],
+        &rows,
+    )
+}
+
+fn description(name: &str) -> &'static str {
+    match name {
+        "Hadoop" => "Hadoop's default behaviour",
+        "HA" => "Highly Aggressive policy",
+        "MA" => "Mid Aggressive policy",
+        "LA" => "Less Aggressive policy",
+        "C" => "Conservative policy",
+        _ => "user-defined policy",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_five_policies_in_paper_order() {
+        let out = render_table();
+        let body: Vec<&str> = out.lines().skip(3).collect();
+        assert_eq!(body.len(), 5);
+        assert!(body[0].contains("Hadoop") && body[0].contains("Infinity"));
+        assert!(body[1].contains("HA") && body[1].contains("max(0.5*TS, AS)"));
+        assert!(body[2].contains("MA") && body[2].contains("(AS > 0) ? 0.5*AS : 0.2*TS"));
+        assert!(body[3].contains("LA") && body[3].contains("(AS > 0) ? 0.2*AS : 0.1*TS"));
+        assert!(body[4].contains("0.1*AS"));
+    }
+
+    #[test]
+    fn work_thresholds_match_the_paper() {
+        let wts: Vec<f64> = run().iter().map(|p| p.work_threshold_pct).collect();
+        assert_eq!(wts, vec![0.0, 0.0, 5.0, 10.0, 15.0]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Table II — properties of the generated datasets (Section V-B):
+//! LINEITEM at scales 5–100, row counts, on-disk size, and partition
+//! counts under the even-across-40-disks layout.
+
+use incmr_data::dataset::{table2, Table2Row};
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// Compute Table II for the calibration's scales.
+pub fn run(cal: &Calibration) -> Vec<Table2Row> {
+    table2(&cal.scales)
+}
+
+/// Render in the paper's layout.
+pub fn render_table(cal: &Calibration) -> String {
+    let rows: Vec<Vec<String>> = run(cal)
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x", r.scale),
+                format!("{}", r.rows),
+                format!("{:.1}", r.bytes as f64 / (1024.0 * 1024.0 * 1024.0)),
+                format!("{}", r.partitions),
+            ]
+        })
+        .collect();
+    render::table(
+        "TABLE II — PROPERTIES OF THE GENERATED DATASETS",
+        &["Scale", "Rows", "Size (GB)", "Partitions"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scales_reproduce_known_cells() {
+        let rows = run(&Calibration::paper());
+        assert_eq!(rows.len(), 5);
+        // "With 5x input … 30 million records … 40 partitions."
+        assert_eq!(rows[0].rows, 30_000_000);
+        assert_eq!(rows[0].partitions, 40);
+        assert_eq!(rows[4].rows, 600_000_000);
+        assert_eq!(rows[4].partitions, 800);
+    }
+
+    #[test]
+    fn rendering_contains_all_scales() {
+        let out = render_table(&Calibration::paper());
+        for s in ["5x", "10x", "20x", "40x", "100x"] {
+            assert!(out.contains(s), "missing {s}:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Table III — the predicate used for each degree of skew, with the
+//! overall selectivity fixed at 0.05% (Section V-B). Verified end-to-end:
+//! the regenerator builds a small dataset per skew level and checks the
+//! realised selectivity of the planted data.
+
+use incmr_data::queries::PaperPredicate;
+#[cfg(test)]
+use incmr_data::queries::PAPER_SELECTIVITY;
+use incmr_data::SkewLevel;
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// One row of Table III with the realised (measured) selectivity.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The predicate definition.
+    pub predicate: PaperPredicate,
+    /// Selectivity measured on a generated dataset.
+    pub realized_selectivity: f64,
+}
+
+/// Build Table III, measuring realised selectivity on small generated
+/// datasets.
+pub fn run(cal: &Calibration) -> Vec<Table3Row> {
+    SkewLevel::all()
+        .into_iter()
+        .map(|skew| {
+            let (_, ds) = cal.build_world(1, skew, 0xBEEF + skew.z() as u64);
+            let realized = ds.total_matching() as f64 / ds.spec().total_records() as f64;
+            Table3Row {
+                predicate: PaperPredicate::for_skew(skew),
+                realized_selectivity: realized,
+            }
+        })
+        .collect()
+}
+
+/// Render in the paper's layout.
+pub fn render_table(cal: &Calibration) -> String {
+    let rows: Vec<Vec<String>> = run(cal)
+        .iter()
+        .map(|r| {
+            vec![
+                r.predicate.skew.to_string(),
+                r.predicate.sql.to_string(),
+                format!("{:.4}%", r.realized_selectivity * 100.0),
+            ]
+        })
+        .collect();
+    render::table(
+        "TABLE III — PREDICATES AND ASSOCIATED SKEW",
+        &["Skew", "Predicate", "Selectivity"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selectivity_is_five_hundredths_of_a_percent() {
+        for row in run(&Calibration::quick()) {
+            assert!(
+                (row.realized_selectivity - PAPER_SELECTIVITY).abs() < 1e-5,
+                "{:?}: realised {}",
+                row.predicate.skew,
+                row.realized_selectivity
+            );
+        }
+    }
+
+    #[test]
+    fn three_rows_with_distinct_predicates() {
+        let rows = run(&Calibration::quick());
+        assert_eq!(rows.len(), 3);
+        let mut sqls: Vec<&str> = rows.iter().map(|r| r.predicate.sql).collect();
+        sqls.dedup();
+        assert_eq!(sqls.len(), 3);
+    }
+
+    #[test]
+    fn rendering_mentions_each_skew_level() {
+        let out = render_table(&Calibration::quick());
+        assert!(out.contains("zero (z=0)"));
+        assert!(out.contains("moderate (z=1)"));
+        assert!(out.contains("high (z=2)"));
+    }
+}

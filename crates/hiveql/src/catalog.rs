@@ -1,0 +1,82 @@
+//! The table catalog: names → planned datasets.
+//!
+//! All tables are LINEITEM-shaped (the paper evaluates on LINEITEM copies);
+//! what varies per table is the backing dataset — its scale, skew, and seed.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use incmr_data::{lineitem, Dataset, Schema};
+
+/// Maps table names (case-insensitive) to datasets.
+#[derive(Default)]
+pub struct Catalog {
+    tables: HashMap<String, Rc<Dataset>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table. Replaces any existing registration of the name.
+    pub fn register(&mut self, name: &str, dataset: Rc<Dataset>) {
+        self.tables.insert(name.to_ascii_lowercase(), dataset);
+    }
+
+    /// Resolve a table name.
+    pub fn resolve(&self, name: &str) -> Option<&Rc<Dataset>> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// The schema of a table (LINEITEM for all current tables).
+    pub fn schema(&self, name: &str) -> Option<Schema> {
+        self.resolve(name).map(|_| lineitem::schema())
+    }
+
+    /// Registered table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_data::{DatasetSpec, SkewLevel};
+    use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+    use incmr_simkit::rng::DetRng;
+
+    fn dataset(name: &str) -> Rc<Dataset> {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(1);
+        Rc::new(Dataset::build(
+            &mut ns,
+            DatasetSpec::small(name, 4, 100, SkewLevel::Zero, 1),
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ))
+    }
+
+    #[test]
+    fn register_and_resolve_case_insensitively() {
+        let mut c = Catalog::new();
+        c.register("LineItem", dataset("li"));
+        assert!(c.resolve("LINEITEM").is_some());
+        assert!(c.resolve("lineitem").is_some());
+        assert!(c.resolve("other").is_none());
+        assert_eq!(c.table_names(), vec!["lineitem"]);
+    }
+
+    #[test]
+    fn schema_is_lineitem() {
+        let mut c = Catalog::new();
+        c.register("t", dataset("li2"));
+        let s = c.schema("T").unwrap();
+        assert!(s.index_of("L_TAX").is_some());
+        assert!(c.schema("missing").is_none());
+    }
+}

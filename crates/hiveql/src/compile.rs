@@ -1,0 +1,471 @@
+//! The query compiler: AST → (dynamic) MapReduce job.
+//!
+//! This is the paper's Hive modification (Section IV): "We have modified
+//! the Hive compiler so that the constructed JobConf has the dynamic.job
+//! flag set to true and the dynamic.input.provider parameter set to the
+//! class name for the class that implements the Input Provider interface."
+//!
+//! Plan selection:
+//!
+//! * `SELECT … WHERE p LIMIT k` → a **dynamic sampling job** (Algorithms
+//!   1–2, `SamplingInputProvider`, the session's configured policy);
+//! * `SELECT … [WHERE p]` without `LIMIT` → a **static scan job** over the
+//!   entire table.
+//!
+//! In `Planted` scan mode, only the table's planted experiment predicate
+//! can be evaluated (the data generator materialises matches for that
+//! predicate alone); the compiler rejects any other `WHERE` clause with
+//! [`CompileError::PredicateNotPlanted`]. `Full` mode evaluates arbitrary
+//! predicates over real records.
+
+use std::fmt;
+use std::rc::Rc;
+
+use incmr_core::{build_sampling_job_with, Policy, SampleMode};
+use incmr_core::scan::ScanMapper;
+use incmr_data::generator::RecordFactory;
+use incmr_data::{predicate, ColumnType, Dataset, Schema, Value};
+use incmr_mapreduce::{keys, GrowthDriver, IdentityReducer, JobConf, JobSpec, ScanMode, StaticDriver};
+
+use crate::ast::{CmpOp, Expr, Literal, Projection, Query};
+use crate::catalog::Catalog;
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The `FROM` table is not in the catalog.
+    UnknownTable(String),
+    /// A column is not in the table schema.
+    UnknownColumn(String),
+    /// A literal's type does not match its column's type.
+    TypeMismatch {
+        /// The column involved.
+        column: String,
+        /// Its declared type.
+        expected: ColumnType,
+        /// The literal that failed.
+        literal: String,
+    },
+    /// In planted scan mode, only the table's experiment predicate is
+    /// evaluable.
+    PredicateNotPlanted {
+        /// The predicate the dataset was planted with.
+        planted: String,
+    },
+    /// An aggregate function was applied to a non-numeric column.
+    NonNumericAggregate {
+        /// The aggregate expression.
+        agg: String,
+    },
+    /// `LIMIT` with aggregates is meaningless in this subset (the result
+    /// is always a single row).
+    AggregateWithLimit,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            CompileError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            CompileError::TypeMismatch {
+                column,
+                expected,
+                literal,
+            } => write!(f, "column {column} is {expected}, literal {literal} does not fit"),
+            CompileError::PredicateNotPlanted { planted } => write!(
+                f,
+                "planted scan mode can only evaluate the dataset's experiment predicate ({planted}); \
+                 use Full scan mode for ad-hoc predicates"
+            ),
+            CompileError::NonNumericAggregate { agg } => {
+                write!(f, "{agg} requires a numeric column")
+            }
+            CompileError::AggregateWithLimit => {
+                write!(f, "LIMIT with aggregates is not supported (the result is one row)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// What kind of job a query compiled to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPlan {
+    /// Dynamic predicate-based sampling with the given `k` and policy name.
+    DynamicSampling {
+        /// Required sample size.
+        k: u64,
+        /// Policy controlling growth.
+        policy: String,
+    },
+    /// A conventional full-input scan.
+    StaticScan,
+    /// A full-input scan feeding whole-table aggregates.
+    AggregateScan {
+        /// Rendered aggregate list, e.g. `COUNT(*), AVG(L_QUANTITY)`.
+        aggregates: String,
+    },
+}
+
+/// A compiled, ready-to-submit job.
+pub struct CompiledQuery {
+    /// The job spec (conf, mapper, reducer, input format).
+    pub spec: JobSpec,
+    /// The growth driver to submit alongside.
+    pub driver: Box<dyn GrowthDriver>,
+    /// What was planned (for `EXPLAIN` and tests).
+    pub plan: JobPlan,
+    /// Resolved projection column indices (empty = all columns).
+    pub projection: Vec<usize>,
+}
+
+impl fmt::Debug for CompiledQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledQuery")
+            .field("plan", &self.plan)
+            .field("projection", &self.projection)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CompiledQuery {
+    /// Human-readable plan description (the `EXPLAIN` output).
+    pub fn explain(&self) -> String {
+        match &self.plan {
+            JobPlan::DynamicSampling { k, policy } => format!(
+                "Dynamic MapReduce job: predicate-based sampling\n  sample size (k): {k}\n  policy: {policy}\n  input provider: SamplingInputProvider\n  map: SamplingMapper (emit ≤ k matches per split under dummy key)\n  reduce: SamplingReducer (first k of the candidate list)"
+            ),
+            JobPlan::StaticScan => "Static MapReduce job: full select-project scan\n  map: ScanMapper\n  reduce: identity".to_string(),
+            JobPlan::AggregateScan { aggregates } => format!(
+                "Static MapReduce job: whole-table aggregation\n  aggregates: {aggregates}\n  map: AggMapper (one partial per split)\n  reduce: AggReducer (merge partials, emit one row)"
+            ),
+        }
+    }
+}
+
+fn resolve_column(schema: &Schema, name: &str) -> Result<usize, CompileError> {
+    schema
+        .index_of(name)
+        .ok_or_else(|| CompileError::UnknownColumn(name.to_string()))
+}
+
+fn lower_literal(schema: &Schema, column: usize, lit: &Literal, column_name: &str) -> Result<Value, CompileError> {
+    let ty = schema.field(column).ty;
+    let value = match (ty, lit) {
+        (ColumnType::Int, Literal::Int(v)) => Value::Int(*v),
+        (ColumnType::Float, Literal::Float(v)) => Value::Float(*v),
+        (ColumnType::Float, Literal::Int(v)) => Value::Float(*v as f64),
+        (ColumnType::Str, Literal::Str(s)) => Value::Str(s.clone()),
+        // Dates are written as integer day offsets from the TPC-H epoch.
+        (ColumnType::Date, Literal::Int(v)) if *v >= 0 => Value::Date(*v as u32),
+        _ => {
+            return Err(CompileError::TypeMismatch {
+                column: column_name.to_string(),
+                expected: ty,
+                literal: lit.to_string(),
+            })
+        }
+    };
+    Ok(value)
+}
+
+fn lower_cmp_op(op: CmpOp) -> predicate::CmpOp {
+    match op {
+        CmpOp::Eq => predicate::CmpOp::Eq,
+        CmpOp::Ne => predicate::CmpOp::Ne,
+        CmpOp::Lt => predicate::CmpOp::Lt,
+        CmpOp::Le => predicate::CmpOp::Le,
+        CmpOp::Gt => predicate::CmpOp::Gt,
+        CmpOp::Ge => predicate::CmpOp::Ge,
+    }
+}
+
+/// Lower a surface expression to an executable predicate against a schema.
+pub fn lower_expr(schema: &Schema, expr: &Expr) -> Result<predicate::Predicate, CompileError> {
+    Ok(match expr {
+        Expr::Cmp { column, op, literal } => {
+            let idx = resolve_column(schema, column)?;
+            predicate::Predicate::Compare {
+                column: idx,
+                op: lower_cmp_op(*op),
+                literal: lower_literal(schema, idx, literal, column)?,
+            }
+        }
+        Expr::Between { column, low, high } => {
+            let idx = resolve_column(schema, column)?;
+            predicate::Predicate::Between {
+                column: idx,
+                low: lower_literal(schema, idx, low, column)?,
+                high: lower_literal(schema, idx, high, column)?,
+            }
+        }
+        Expr::And(a, b) => predicate::Predicate::And(
+            Box::new(lower_expr(schema, a)?),
+            Box::new(lower_expr(schema, b)?),
+        ),
+        Expr::Or(a, b) => predicate::Predicate::Or(
+            Box::new(lower_expr(schema, a)?),
+            Box::new(lower_expr(schema, b)?),
+        ),
+        Expr::Not(a) => predicate::Predicate::Not(Box::new(lower_expr(schema, a)?)),
+    })
+}
+
+fn resolve_projection(schema: &Schema, projection: &Projection) -> Result<Vec<usize>, CompileError> {
+    match projection {
+        Projection::Star | Projection::Aggregates(_) => Ok(Vec::new()),
+        Projection::Columns(names) => names.iter().map(|n| resolve_column(schema, n)).collect(),
+    }
+}
+
+fn resolve_aggregates(schema: &Schema, aggs: &[crate::ast::AggExpr]) -> Result<Vec<crate::agg::ResolvedAgg>, CompileError> {
+    use crate::ast::AggFunc;
+    aggs.iter()
+        .map(|a| {
+            let column = match &a.column {
+                None => None,
+                Some(name) => {
+                    let idx = resolve_column(schema, name)?;
+                    let numeric = matches!(
+                        schema.field(idx).ty,
+                        ColumnType::Int | ColumnType::Float | ColumnType::Date
+                    );
+                    if a.func != AggFunc::Count && !numeric {
+                        return Err(CompileError::NonNumericAggregate { agg: a.to_string() });
+                    }
+                    Some(idx)
+                }
+            };
+            Ok(crate::agg::ResolvedAgg { func: a.func, column })
+        })
+        .collect()
+}
+
+/// Compile a query against a catalog under the session's policy, scan mode,
+/// and sample mode. `seed` drives the sampling provider's random split
+/// selection.
+pub fn compile_query(
+    query: &Query,
+    catalog: &Catalog,
+    policy: &Policy,
+    scan_mode: ScanMode,
+    sample_mode: SampleMode,
+    seed: u64,
+) -> Result<CompiledQuery, CompileError> {
+    let dataset: &Rc<Dataset> = catalog
+        .resolve(&query.table)
+        .ok_or_else(|| CompileError::UnknownTable(query.table.clone()))?;
+    let schema = catalog.schema(&query.table).expect("resolved tables have schemas");
+    let projection = resolve_projection(&schema, &query.projection)?;
+    let predicate = match &query.predicate {
+        Some(expr) => lower_expr(&schema, expr)?,
+        None => predicate::Predicate::True,
+    };
+    // Planted-mode evaluability check.
+    if scan_mode == ScanMode::Planted {
+        let planted = dataset.factory().predicate();
+        if predicate != planted {
+            return Err(CompileError::PredicateNotPlanted {
+                planted: planted.display(&schema).to_string(),
+            });
+        }
+    }
+
+    // Aggregate queries compile to a static scan-aggregate job.
+    if let Projection::Aggregates(aggs) = &query.projection {
+        if query.limit.is_some() {
+            return Err(CompileError::AggregateWithLimit);
+        }
+        let resolved = resolve_aggregates(&schema, aggs)?;
+        let rendered = aggs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ");
+        let conf = JobConf::new().with(keys::JOB_NAME, format!("agg-{}", query.table));
+        let spec = JobSpec {
+            conf,
+            input_format: Rc::new(incmr_mapreduce::DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
+            mapper: Rc::new(crate::agg::AggMapper::new(predicate, resolved.clone())),
+            reducer: Rc::new(crate::agg::AggReducer::new(resolved)),
+        };
+        let blocks = dataset.splits().iter().map(|p| p.block).collect();
+        return Ok(CompiledQuery {
+            spec,
+            driver: Box::new(StaticDriver::new(blocks)),
+            plan: JobPlan::AggregateScan { aggregates: rendered },
+            projection,
+        });
+    }
+
+    match query.limit {
+        Some(k) => {
+            let (spec, driver) = build_sampling_job_with(
+                dataset,
+                predicate,
+                projection.clone(),
+                k,
+                policy.clone(),
+                scan_mode,
+                sample_mode,
+                seed,
+            );
+            Ok(CompiledQuery {
+                spec,
+                driver,
+                plan: JobPlan::DynamicSampling {
+                    k,
+                    policy: policy.name.clone(),
+                },
+                projection,
+            })
+        }
+        None => {
+            let conf = JobConf::new().with(keys::JOB_NAME, format!("scan-{}", query.table));
+            let materialize = scan_mode == ScanMode::Full;
+            let spec = JobSpec {
+                conf,
+                input_format: Rc::new(incmr_mapreduce::DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
+                mapper: Rc::new(ScanMapper::new(predicate, projection.clone(), materialize)),
+                reducer: Rc::new(IdentityReducer),
+            };
+            let blocks = dataset.splits().iter().map(|p| p.block).collect();
+            Ok(CompiledQuery {
+                spec,
+                driver: Box::new(StaticDriver::new(blocks)),
+                plan: JobPlan::StaticScan,
+                projection,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::Statement;
+    use incmr_data::{DatasetSpec, SkewLevel};
+    use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+    use incmr_simkit::rng::DetRng;
+
+    fn catalog() -> Catalog {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(1);
+        // SkewLevel::High plants on L_TAX = 0.77.
+        let ds = Rc::new(Dataset::build(
+            &mut ns,
+            DatasetSpec::small("li", 8, 200, SkewLevel::High, 1),
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
+        let mut c = Catalog::new();
+        c.register("lineitem", ds);
+        c
+    }
+
+    fn query(sql: &str) -> Query {
+        match parse(sql).unwrap() {
+            Statement::Select(q) => q,
+            _ => panic!(),
+        }
+    }
+
+    fn compile(sql: &str, mode: ScanMode) -> Result<CompiledQuery, CompileError> {
+        compile_query(
+            &query(sql),
+            &catalog(),
+            &Policy::la(),
+            mode,
+            SampleMode::FirstK,
+            1,
+        )
+    }
+
+    #[test]
+    fn limit_query_compiles_to_dynamic_sampling() {
+        let c = compile(
+            "SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 100",
+            ScanMode::Planted,
+        )
+        .unwrap();
+        assert_eq!(
+            c.plan,
+            JobPlan::DynamicSampling {
+                k: 100,
+                policy: "LA".into()
+            }
+        );
+        assert!(c.spec.conf.get_bool(keys::DYNAMIC_JOB));
+        assert_eq!(c.spec.conf.get(keys::DYNAMIC_JOB_POLICY), Some("LA"));
+        assert_eq!(c.projection.len(), 3);
+        assert!(c.explain().contains("SamplingInputProvider"));
+    }
+
+    #[test]
+    fn no_limit_compiles_to_static_scan() {
+        let c = compile("SELECT * FROM LINEITEM WHERE L_TAX = 0.77", ScanMode::Planted).unwrap();
+        assert_eq!(c.plan, JobPlan::StaticScan);
+        assert!(!c.spec.conf.get_bool(keys::DYNAMIC_JOB));
+        assert!(c.explain().contains("full select-project scan"));
+    }
+
+    #[test]
+    fn unknown_table_and_column_errors() {
+        assert_eq!(
+            compile("SELECT * FROM nope LIMIT 1", ScanMode::Full).unwrap_err(),
+            CompileError::UnknownTable("nope".into())
+        );
+        assert_eq!(
+            compile("SELECT bogus FROM lineitem LIMIT 1", ScanMode::Full).unwrap_err(),
+            CompileError::UnknownColumn("bogus".into())
+        );
+        assert!(matches!(
+            compile("SELECT * FROM lineitem WHERE bogus = 1 LIMIT 1", ScanMode::Full).unwrap_err(),
+            CompileError::UnknownColumn(_)
+        ));
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let err = compile("SELECT * FROM lineitem WHERE L_QUANTITY = 'x' LIMIT 1", ScanMode::Full).unwrap_err();
+        assert!(matches!(err, CompileError::TypeMismatch { .. }));
+        assert!(err.to_string().contains("L_QUANTITY"));
+    }
+
+    #[test]
+    fn int_coerces_to_float_column() {
+        let c = compile("SELECT * FROM lineitem WHERE L_DISCOUNT = 0 LIMIT 1", ScanMode::Full).unwrap();
+        assert!(matches!(c.plan, JobPlan::DynamicSampling { .. }));
+    }
+
+    #[test]
+    fn planted_mode_rejects_foreign_predicates() {
+        let err = compile(
+            "SELECT * FROM lineitem WHERE L_QUANTITY = 200 LIMIT 10",
+            ScanMode::Planted,
+        )
+        .unwrap_err();
+        let CompileError::PredicateNotPlanted { planted } = err else {
+            panic!("wrong error: {err:?}")
+        };
+        assert!(planted.contains("L_TAX"), "planted predicate named: {planted}");
+        // The planted predicate itself is fine.
+        assert!(compile("SELECT * FROM lineitem WHERE L_TAX = 0.77 LIMIT 10", ScanMode::Planted).is_ok());
+        // Full mode takes anything well-typed.
+        assert!(compile("SELECT * FROM lineitem WHERE L_QUANTITY = 200 LIMIT 10", ScanMode::Full).is_ok());
+    }
+
+    #[test]
+    fn between_and_connectives_lower() {
+        let c = compile(
+            "SELECT * FROM lineitem WHERE L_QUANTITY BETWEEN 1 AND 10 AND NOT L_SHIPMODE = 'AIR' LIMIT 5",
+            ScanMode::Full,
+        )
+        .unwrap();
+        assert!(matches!(c.plan, JobPlan::DynamicSampling { .. }));
+    }
+
+    #[test]
+    fn date_columns_take_integer_day_offsets() {
+        assert!(compile("SELECT * FROM lineitem WHERE L_SHIPDATE < 100 LIMIT 5", ScanMode::Full).is_ok());
+        assert!(compile("SELECT * FROM lineitem WHERE L_SHIPDATE = 'x' LIMIT 5", ScanMode::Full).is_err());
+    }
+}

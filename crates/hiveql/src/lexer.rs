@@ -1,0 +1,287 @@
+//! Tokeniser for the HiveQL subset. Keywords are case-insensitive;
+//! identifiers keep their original spelling (column resolution is
+//! case-insensitive anyway).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognised by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Star => write!(f, "*"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semi => write!(f, ";"),
+        }
+    }
+}
+
+/// A lexing failure, with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub position: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise a statement.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        position: i,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(&b'=') => {
+                    tokens.push(Token::Le);
+                    i += 2;
+                }
+                Some(&b'>') => {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        position: i,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|&b| b.is_ascii_digit() || b == b'.')) =>
+            {
+                // There is no binary minus in this grammar, so a leading
+                // '-' always signs a numeric literal.
+                let start = i;
+                let mut j = if c == '-' { i + 1 } else { i };
+                let mut saw_dot = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !saw_dot)) {
+                    if bytes[j] == b'.' {
+                        saw_dot = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                let token = if saw_dot {
+                    Token::Float(text.parse().map_err(|_| LexError {
+                        position: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| LexError {
+                        position: start,
+                        message: format!("bad int literal {text:?}"),
+                    })?)
+                };
+                tokens.push(token);
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenises_the_paper_query() {
+        let toks = lex("SELECT ORDERKEY, PARTKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Ident("ORDERKEY".into()));
+        assert_eq!(toks[2], Token::Comma);
+        assert!(toks.contains(&Token::Float(0.77)));
+        assert!(toks.contains(&Token::Int(10_000)));
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a = 1 b != 2 c <> 3 d < 4 e <= 5 f > 6 g >= 7").unwrap();
+        assert!(toks.contains(&Token::Eq));
+        assert_eq!(toks.iter().filter(|t| **t == Token::Ne).count(), 2);
+        assert!(toks.contains(&Token::Lt));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Gt));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn strings_and_stars_and_parens() {
+        let toks = lex("SELECT * FROM t WHERE (x = 'REG AIR');").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Str("REG AIR".into())));
+        assert!(toks.contains(&Token::LParen));
+        assert_eq!(*toks.last().unwrap(), Token::Semi);
+    }
+
+    #[test]
+    fn dotted_identifiers_for_set_keys() {
+        let toks = lex("SET dynamic.job.policy = LA").unwrap();
+        assert_eq!(toks[1], Token::Ident("dynamic.job.policy".into()));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("a = 'oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.position, 4);
+        assert!(lex("a # b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn leading_dot_float() {
+        let toks = lex("x = .5").unwrap();
+        assert!(toks.contains(&Token::Float(0.5)));
+    }
+
+    #[test]
+    fn negative_literals() {
+        let toks = lex("x = -5 AND y = -0.25").unwrap();
+        assert!(toks.contains(&Token::Int(-5)));
+        assert!(toks.contains(&Token::Float(-0.25)));
+        // A bare '-' is still an error (no arithmetic in this grammar).
+        assert!(lex("x = - 5").is_err());
+    }
+}

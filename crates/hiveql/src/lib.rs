@@ -1,0 +1,35 @@
+//! # incmr-hiveql
+//!
+//! A miniature HiveQL front end, playing the role of the paper's modified
+//! Hive 0.5.0 compiler (Section IV): queries of the form
+//!
+//! ```sql
+//! SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM
+//! WHERE L_TAX = 0.77 LIMIT 10000
+//! ```
+//!
+//! compile to a **dynamic** MapReduce job whose `JobConf` carries
+//! `dynamic.job = true`, the configured `dynamic.job.policy`, and the
+//! sampling Input Provider — exactly the compilation path the paper adds to
+//! Hive. Queries without a `LIMIT` compile to conventional static scan
+//! jobs.
+//!
+//! Like Hive, the policy is *not* part of the query syntax ("the Hive
+//! syntax does not allow specifying the policy as part of the query");
+//! users pick it with `SET dynamic.job.policy = LA;` on the session.
+
+pub mod agg;
+pub mod ast;
+pub mod catalog;
+pub mod compile;
+pub mod lexer;
+pub mod parser;
+pub mod session;
+
+pub use agg::{AggMapper, AggReducer, ResolvedAgg};
+pub use ast::{AggExpr, AggFunc, Expr, Literal, Projection, Query, Statement};
+pub use catalog::Catalog;
+pub use compile::{compile_query, CompileError, CompiledQuery, JobPlan};
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse, ParseError};
+pub use session::{QueryOutput, Session, SessionError};

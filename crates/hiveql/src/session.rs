@@ -1,0 +1,416 @@
+//! An interactive-style session: the moral equivalent of the Hive CLI in
+//! the paper's deployment.
+//!
+//! "Hive does allow setting of configuration parameters explicitly from the
+//! command line interface. The end-user is currently required to choose
+//! amongst the configured policies (which are listed in the policy.xml
+//! file) by setting the dynamic.job.policy parameter accordingly."
+//!
+//! ```text
+//! SET dynamic.job.policy = LA;
+//! SELECT L_ORDERKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000;
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use incmr_core::{parse_policy_file, Policy, SampleMode};
+use incmr_data::Record;
+use incmr_mapreduce::{keys, JobId, MrRuntime, ScanMode};
+use incmr_simkit::SimDuration;
+
+use crate::catalog::Catalog;
+use crate::compile::{compile_query, CompileError};
+use crate::parser::{parse, ParseError};
+use crate::ast::{ShowKind, Statement};
+
+/// Errors surfaced to the session user.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic/compilation error.
+    Compile(CompileError),
+    /// `SET dynamic.job.policy` named an unregistered policy.
+    UnknownPolicy {
+        /// The requested name.
+        requested: String,
+        /// Names that are registered.
+        available: Vec<String>,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Compile(e) => write!(f, "{e}"),
+            SessionError::UnknownPolicy { requested, available } => {
+                write!(f, "unknown policy {requested:?}; available: {}", available.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<CompileError> for SessionError {
+    fn from(e: CompileError) -> Self {
+        SessionError::Compile(e)
+    }
+}
+
+/// The outcome of executing one statement.
+#[derive(Debug)]
+pub enum QueryOutput {
+    /// A query ran to completion.
+    Rows {
+        /// The completed job.
+        job: JobId,
+        /// Result rows (values only; the dummy key is dropped).
+        rows: Vec<Record>,
+        /// Input partitions actually processed.
+        splits_processed: u32,
+        /// Records scanned across all map tasks.
+        records_processed: u64,
+        /// Submission-to-completion latency in simulated time.
+        response_time: SimDuration,
+    },
+    /// `EXPLAIN` output.
+    Explained(String),
+    /// `SHOW …` output: one line per item.
+    Listing(Vec<String>),
+    /// A `SET` was applied.
+    SetOk {
+        /// The key.
+        key: String,
+        /// The value.
+        value: String,
+    },
+}
+
+/// A session: catalog + runtime + settings.
+pub struct Session {
+    runtime: MrRuntime,
+    catalog: Catalog,
+    policies: Vec<Policy>,
+    policy: Policy,
+    scan_mode: ScanMode,
+    sample_mode: SampleMode,
+    settings: HashMap<String, String>,
+    next_seed: u64,
+}
+
+impl Session {
+    /// A session over a runtime and catalog, with the built-in Table I
+    /// policies registered and `LA` (the paper's best all-rounder) active.
+    pub fn new(runtime: MrRuntime, catalog: Catalog) -> Self {
+        Session {
+            runtime,
+            catalog,
+            policies: Policy::table1(),
+            policy: Policy::la(),
+            scan_mode: ScanMode::Planted,
+            sample_mode: SampleMode::FirstK,
+            settings: HashMap::new(),
+            next_seed: 0x5E55_10F1,
+        }
+    }
+
+    /// Use `Full` scan mode: every record is materialised and arbitrary
+    /// predicates are evaluable (small datasets / examples).
+    pub fn with_full_scan(mut self) -> Self {
+        self.scan_mode = ScanMode::Full;
+        self
+    }
+
+    /// Replace the policy registry from a policy-file text (the
+    /// `policy.xml` equivalent). The active policy is reset to the first
+    /// entry.
+    pub fn load_policies(&mut self, file_text: &str) -> Result<(), incmr_core::PolicyFileError> {
+        let policies = parse_policy_file(file_text)?;
+        self.policy = policies[0].clone();
+        self.policies = policies;
+        Ok(())
+    }
+
+    /// The currently active policy.
+    pub fn active_policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Mutable access to the underlying runtime (metrics, clock).
+    pub fn runtime_mut(&mut self) -> &mut MrRuntime {
+        &mut self.runtime
+    }
+
+    /// Read access to the underlying runtime.
+    pub fn runtime(&self) -> &MrRuntime {
+        &self.runtime
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute one statement to completion.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, SessionError> {
+        match parse(sql)? {
+            Statement::Set { key, value } => {
+                if key.eq_ignore_ascii_case(keys::DYNAMIC_JOB_POLICY) {
+                    let found = self.policies.iter().find(|p| p.name == value).cloned();
+                    match found {
+                        Some(p) => self.policy = p,
+                        None => {
+                            return Err(SessionError::UnknownPolicy {
+                                requested: value,
+                                available: self.policies.iter().map(|p| p.name.clone()).collect(),
+                            })
+                        }
+                    }
+                }
+                self.settings.insert(key.clone(), value.clone());
+                Ok(QueryOutput::SetOk { key, value })
+            }
+            Statement::Show(kind) => {
+                let items = match kind {
+                    ShowKind::Tables => self.catalog.table_names(),
+                    ShowKind::Policies => self
+                        .policies
+                        .iter()
+                        .map(|p| format!("{p}{}", if p.name == self.policy.name { "  (active)" } else { "" }))
+                        .collect(),
+                };
+                Ok(QueryOutput::Listing(items))
+            }
+            Statement::Explain(query) => {
+                let compiled = compile_query(
+                    &query,
+                    &self.catalog,
+                    &self.policy,
+                    self.scan_mode,
+                    self.sample_mode,
+                    self.next_seed,
+                )?;
+                Ok(QueryOutput::Explained(compiled.explain()))
+            }
+            Statement::Select(query) => {
+                self.next_seed = self.next_seed.wrapping_add(1);
+                let compiled = compile_query(
+                    &query,
+                    &self.catalog,
+                    &self.policy,
+                    self.scan_mode,
+                    self.sample_mode,
+                    self.next_seed,
+                )?;
+                let job = self.runtime.submit(compiled.spec, compiled.driver);
+                // Block until this job (and anything ahead of it) completes.
+                while !self.runtime.is_complete(job) {
+                    assert!(self.runtime.step(), "runtime drained before job completion");
+                }
+                let result = self.runtime.job_result(job);
+                let rows = result.output.iter().map(|(_, r)| r.clone()).collect();
+                Ok(QueryOutput::Rows {
+                    job,
+                    rows,
+                    splits_processed: result.splits_processed,
+                    records_processed: result.records_processed,
+                    response_time: result.response_time(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    use incmr_data::{Dataset, DatasetSpec, SkewLevel};
+    use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+    use incmr_mapreduce::{ClusterConfig, CostModel, FifoScheduler};
+    use incmr_simkit::rng::DetRng;
+
+    fn session(skew: SkewLevel) -> Session {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(9);
+        let ds = Rc::new(Dataset::build(
+            &mut ns,
+            DatasetSpec::small("lineitem", 20, 2_000, skew, 9),
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
+        let mut catalog = Catalog::new();
+        catalog.register("lineitem", ds);
+        let rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        Session::new(rt, catalog)
+    }
+
+    #[test]
+    fn sampling_query_returns_k_rows() {
+        // 20×2000 records at 0.05% → 20 matches; ask for 10.
+        let mut s = session(SkewLevel::High);
+        let out = s
+            .execute("SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10")
+            .unwrap();
+        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        assert_eq!(rows.len(), 10);
+        assert!(rows.iter().all(|r| r.arity() == 3), "projection applied");
+    }
+
+    #[test]
+    fn set_policy_changes_compilation() {
+        let mut s = session(SkewLevel::High);
+        assert_eq!(s.active_policy().name, "LA");
+        let out = s.execute("SET dynamic.job.policy = C;").unwrap();
+        assert!(matches!(out, QueryOutput::SetOk { .. }));
+        assert_eq!(s.active_policy().name, "C");
+        let QueryOutput::Explained(plan) = s
+            .execute("EXPLAIN SELECT * FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 5")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan.contains("policy: C"), "{plan}");
+    }
+
+    #[test]
+    fn unknown_policy_lists_available() {
+        let mut s = session(SkewLevel::High);
+        let err = s.execute("SET dynamic.job.policy = turbo").unwrap_err();
+        let SessionError::UnknownPolicy { available, .. } = err else { panic!() };
+        assert!(available.contains(&"Hadoop".into()));
+    }
+
+    #[test]
+    fn full_mode_supports_ad_hoc_predicates() {
+        let mut s = session(SkewLevel::High).with_full_scan();
+        let out = s
+            .execute("SELECT L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY <= 25 AND L_SHIPMODE = 'AIR' LIMIT 7")
+            .unwrap();
+        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        assert_eq!(rows.len(), 7, "plenty of natural records satisfy this");
+    }
+
+    #[test]
+    fn scan_without_limit_reads_everything() {
+        let mut s = session(SkewLevel::Zero);
+        let out = s.execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200").unwrap();
+        let QueryOutput::Rows {
+            splits_processed,
+            records_processed,
+            ..
+        } = out
+        else {
+            panic!()
+        };
+        assert_eq!(splits_processed, 20);
+        assert_eq!(records_processed, 40_000);
+    }
+
+    #[test]
+    fn custom_policy_file_can_be_loaded() {
+        let mut s = session(SkewLevel::High);
+        s.load_policies(
+            r#"<policies>
+                 <policy name="tiny"><workThreshold>1</workThreshold><grabLimit>1</grabLimit></policy>
+               </policies>"#,
+        )
+        .unwrap();
+        assert_eq!(s.active_policy().name, "tiny");
+        let err = s.execute("SET dynamic.job.policy = LA").unwrap_err();
+        assert!(matches!(err, SessionError::UnknownPolicy { .. }), "registry was replaced");
+    }
+
+    #[test]
+    fn aggregate_query_returns_one_row() {
+        // 20×2000 records; count matches of the planted predicate.
+        let mut s = session(SkewLevel::High);
+        let out = s
+            .execute("SELECT COUNT(*), AVG(L_QUANTITY), MIN(L_TAX), MAX(L_TAX) FROM lineitem WHERE L_TAX = 0.77")
+            .unwrap();
+        let QueryOutput::Rows { rows, splits_processed, .. } = out else { panic!() };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(splits_processed, 20, "aggregates scan everything");
+        let row = &rows[0];
+        assert_eq!(row.get(0), &incmr_data::Value::Int(20), "0.05% of 40k records");
+        let incmr_data::Value::Float(avg_q) = row.get(1) else { panic!() };
+        assert!((1.0..=50.0).contains(avg_q), "average quantity in domain: {avg_q}");
+        assert_eq!(row.get(2), &incmr_data::Value::Float(0.77));
+        assert_eq!(row.get(3), &incmr_data::Value::Float(0.77));
+    }
+
+    #[test]
+    fn aggregate_explain_and_errors() {
+        let mut s = session(SkewLevel::High);
+        let QueryOutput::Explained(plan) = s
+            .execute("EXPLAIN SELECT COUNT(*) FROM lineitem WHERE L_TAX = 0.77")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(plan.contains("whole-table aggregation"), "{plan}");
+        let err = s
+            .execute("SELECT COUNT(*) FROM lineitem WHERE L_TAX = 0.77 LIMIT 5")
+            .unwrap_err();
+        assert!(err.to_string().contains("LIMIT with aggregates"));
+        let err = s
+            .execute("SELECT SUM(L_SHIPMODE) FROM lineitem WHERE L_TAX = 0.77")
+            .unwrap_err();
+        assert!(err.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn show_statements_list_tables_and_policies() {
+        let mut s = session(SkewLevel::High);
+        let QueryOutput::Listing(tables) = s.execute("SHOW TABLES").unwrap() else { panic!() };
+        assert_eq!(tables, vec!["lineitem"]);
+        let QueryOutput::Listing(policies) = s.execute("SHOW POLICIES;").unwrap() else { panic!() };
+        assert_eq!(policies.len(), 5);
+        assert!(policies.iter().any(|p| p.starts_with("LA") && p.ends_with("(active)")));
+        assert!(s.execute("SHOW NONSENSE").is_err());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut s = session(SkewLevel::High);
+        assert!(matches!(s.execute("SELEKT *"), Err(SessionError::Parse(_))));
+        assert!(matches!(
+            s.execute("SELECT * FROM nope LIMIT 1"),
+            Err(SessionError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn successive_queries_share_the_simulated_cluster() {
+        let mut s = session(SkewLevel::Zero);
+        let QueryOutput::Rows { response_time: t1, .. } =
+            s.execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 5").unwrap()
+        else {
+            panic!()
+        };
+        let now_after_first = s.runtime().now();
+        assert!(now_after_first.as_millis() > 0);
+        let QueryOutput::Rows { .. } =
+            s.execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 5").unwrap()
+        else {
+            panic!()
+        };
+        assert!(s.runtime().now() > now_after_first, "clock advances across queries");
+        assert!(t1 > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,189 @@
+//! `JobConf` — the primary interface for describing a job, mirroring
+//! Hadoop's `JobConf` (paper Section IV).
+//!
+//! A `JobConf` is a string key→value map with typed accessors. The paper
+//! extends Hadoop's parameter set with three keys, re-exported here as
+//! constants: [`keys::DYNAMIC_JOB`], [`keys::DYNAMIC_JOB_POLICY`], and
+//! [`keys::DYNAMIC_INPUT_PROVIDER`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Well-known configuration keys.
+pub mod keys {
+    /// Human-readable job name.
+    pub const JOB_NAME: &str = "mapred.job.name";
+    /// Boolean flag, set true for dynamic jobs (paper Section IV).
+    pub const DYNAMIC_JOB: &str = "dynamic.job";
+    /// Name of the policy controlling a dynamic job's growth.
+    pub const DYNAMIC_JOB_POLICY: &str = "dynamic.job.policy";
+    /// Class name of the Input Provider implementation.
+    pub const DYNAMIC_INPUT_PROVIDER: &str = "dynamic.input.provider";
+    /// Required sample size `k` for sampling jobs.
+    pub const SAMPLING_K: &str = "sampling.size.k";
+    /// Number of reduce tasks (the sampling job uses 1).
+    pub const NUM_REDUCE_TASKS: &str = "mapred.reduce.tasks";
+}
+
+/// A job's configuration: an ordered string map with typed accessors.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobConf {
+    entries: BTreeMap<String, String>,
+}
+
+/// Error returned when a typed accessor cannot parse a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfError {
+    /// The key being read.
+    pub key: String,
+    /// The raw value that failed to parse.
+    pub value: String,
+    /// The type that was requested.
+    pub wanted: &'static str,
+}
+
+impl fmt::Display for ConfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conf key {}={:?} is not a valid {}", self.key, self.value, self.wanted)
+    }
+}
+
+impl std::error::Error for ConfError {}
+
+impl JobConf {
+    /// An empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a key (builder style).
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Set a key.
+    pub fn set(&mut self, key: &str, value: impl fmt::Display) {
+        self.entries.insert(key.to_string(), value.to_string());
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.entries.get(key).map(String::as_str)
+    }
+
+    /// Boolean lookup; absent keys default to `false`, matching Hadoop's
+    /// `getBoolean` semantics for flags like `dynamic.job`.
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.get(key).map(|v| v.eq_ignore_ascii_case("true")).unwrap_or(false)
+    }
+
+    /// Integer lookup with a default for absent keys.
+    pub fn get_u64_or(&self, key: &str, default: u64) -> Result<u64, ConfError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ConfError {
+                key: key.to_string(),
+                value: v.to_string(),
+                wanted: "u64",
+            }),
+        }
+    }
+
+    /// Float lookup with a default for absent keys.
+    pub fn get_f64_or(&self, key: &str, default: f64) -> Result<f64, ConfError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ConfError {
+                key: key.to_string(),
+                value: v.to_string(),
+                wanted: "f64",
+            }),
+        }
+    }
+
+    /// Iterate entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of set keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no keys are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for JobConf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let conf = JobConf::new()
+            .with(keys::JOB_NAME, "sample")
+            .with(keys::DYNAMIC_JOB, true)
+            .with(keys::SAMPLING_K, 10_000);
+        assert_eq!(conf.get(keys::JOB_NAME), Some("sample"));
+        assert!(conf.get_bool(keys::DYNAMIC_JOB));
+        assert_eq!(conf.get_u64_or(keys::SAMPLING_K, 0).unwrap(), 10_000);
+        assert_eq!(conf.len(), 3);
+        assert!(!conf.is_empty());
+    }
+
+    #[test]
+    fn absent_keys_use_defaults() {
+        let conf = JobConf::new();
+        assert!(!conf.get_bool(keys::DYNAMIC_JOB));
+        assert_eq!(conf.get_u64_or("x", 7).unwrap(), 7);
+        assert_eq!(conf.get_f64_or("y", 0.5).unwrap(), 0.5);
+        assert!(conf.is_empty());
+    }
+
+    #[test]
+    fn bad_values_report_errors() {
+        let conf = JobConf::new().with("n", "abc");
+        let err = conf.get_u64_or("n", 0).unwrap_err();
+        assert_eq!(err.key, "n");
+        assert_eq!(err.wanted, "u64");
+        assert!(err.to_string().contains("abc"));
+        assert!(conf.get_f64_or("n", 0.0).is_err());
+    }
+
+    #[test]
+    fn bool_parsing_is_case_insensitive_and_strict() {
+        let conf = JobConf::new().with("a", "TRUE").with("b", "1");
+        assert!(conf.get_bool("a"));
+        assert!(!conf.get_bool("b"), "only the literal 'true' counts");
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut conf = JobConf::new().with("k", "1");
+        conf.set("k", "2");
+        assert_eq!(conf.get("k"), Some("2"));
+        assert_eq!(conf.len(), 1);
+    }
+
+    #[test]
+    fn display_renders_sorted_lines() {
+        let conf = JobConf::new().with("b", 2).with("a", 1);
+        assert_eq!(conf.to_string(), "a=1\nb=2");
+    }
+}

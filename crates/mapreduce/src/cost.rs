@@ -1,0 +1,118 @@
+//! The cost model that converts work (bytes, records) into simulated time.
+//!
+//! The paper reports wall-clock numbers from a physical 10-node cluster; we
+//! substitute a calibrated model (see DESIGN.md). Only *relative* behaviour
+//! needs to survive the substitution: task durations scale linearly with
+//! split size, disk and CPU are shared resources, remote reads cost extra,
+//! and task/job fixed overheads are non-trivial (JVM start-up in Hadoop).
+//!
+//! Defaults are chosen so a 94.5 MB / 750 k-record split takes ≈20 s on an
+//! otherwise idle node — in the range of real Hadoop-0.20 map tasks.
+
+/// Cost-model parameters. All rates are per simulated second.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Sequential-read bandwidth of one disk (bytes/s), shared
+    /// processor-style among concurrent readers.
+    pub disk_bw_bytes_per_sec: f64,
+    /// Effective bandwidth of a remote (non-local) block fetch (bytes/s);
+    /// applied as a fixed post-read transfer stage per task.
+    pub network_bw_bytes_per_sec: f64,
+    /// Map-side CPU cost per record, in core-microseconds. CPU is shared
+    /// among a node's running tasks via its core count.
+    pub map_cpu_us_per_record: f64,
+    /// Fixed per-map-task start-up cost (task launch, JVM reuse), ms.
+    pub map_task_overhead_ms: u64,
+    /// Reduce-side CPU cost per input record, core-microseconds.
+    pub reduce_cpu_us_per_record: f64,
+    /// Fixed per-reduce overhead (shuffle setup, sort, commit), ms.
+    pub reduce_overhead_ms: u64,
+    /// Per-TaskTracker heartbeat interval, ms. Hadoop 0.20 uses 3 s on
+    /// small clusters; tasks are only assigned at heartbeats, so freed
+    /// slots stay observably free in between.
+    pub heartbeat_ms: u64,
+    /// Map tasks assignable per tracker heartbeat. Hadoop 0.20 assigns
+    /// **one** — the launch-rate ceiling behind the paper's low measured
+    /// slot occupancies (44% FIFO / 18% Fair on 16-slot nodes).
+    pub maps_per_heartbeat: u32,
+}
+
+impl CostModel {
+    /// The calibrated defaults used by all experiments.
+    pub fn paper_default() -> Self {
+        CostModel {
+            disk_bw_bytes_per_sec: 60.0 * 1024.0 * 1024.0,
+            network_bw_bytes_per_sec: 30.0 * 1024.0 * 1024.0,
+            map_cpu_us_per_record: 25.0,
+            map_task_overhead_ms: 1_000,
+            reduce_cpu_us_per_record: 50.0,
+            reduce_overhead_ms: 2_000,
+            heartbeat_ms: 3_000,
+            // Stock 0.20 assigns one map per heartbeat; the paper's tuned
+            // Facebook-era deployment sustains more (16 slots per node
+            // would otherwise be unreachable) — 4 keeps the cluster
+            // slot-limited under load while slots stay observably free
+            // between heartbeats.
+            maps_per_heartbeat: 4,
+        }
+    }
+
+    /// Map CPU work for a split, in core-microseconds.
+    pub fn map_cpu_work_us(&self, records: u64) -> f64 {
+        records as f64 * self.map_cpu_us_per_record
+    }
+
+    /// Extra transfer time for a non-local read, in ms.
+    pub fn remote_transfer_ms(&self, bytes: u64) -> u64 {
+        ((bytes as f64 / self.network_bw_bytes_per_sec) * 1000.0).ceil() as u64
+    }
+
+    /// Total reduce duration for the given shuffle volume, in ms.
+    pub fn reduce_duration_ms(&self, shuffle_bytes: u64, input_records: u64) -> u64 {
+        let transfer = (shuffle_bytes as f64 / self.network_bw_bytes_per_sec) * 1000.0;
+        let cpu = input_records as f64 * self.reduce_cpu_us_per_record / 1000.0;
+        self.reduce_overhead_ms + (transfer + cpu).ceil() as u64
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_takes_roughly_twenty_seconds() {
+        let c = CostModel::paper_default();
+        let records = 750_000u64;
+        let bytes = records * 126;
+        let io_s = bytes as f64 / c.disk_bw_bytes_per_sec;
+        let cpu_s = c.map_cpu_work_us(records) / 1e6;
+        let total = c.map_task_overhead_ms as f64 / 1000.0 + io_s + cpu_s;
+        assert!(
+            (15.0..=30.0).contains(&total),
+            "split cost {total}s drifted out of the calibrated range"
+        );
+    }
+
+    #[test]
+    fn remote_transfer_scales_with_bytes() {
+        let c = CostModel::paper_default();
+        assert_eq!(c.remote_transfer_ms(0), 0);
+        let one = c.remote_transfer_ms(30 * 1024 * 1024);
+        assert!((990..=1010).contains(&one), "30MB at 30MB/s ≈ 1s, got {one}ms");
+        assert!(c.remote_transfer_ms(60 * 1024 * 1024) > one);
+    }
+
+    #[test]
+    fn reduce_duration_includes_overhead() {
+        let c = CostModel::paper_default();
+        let d = c.reduce_duration_ms(0, 0);
+        assert_eq!(d, c.reduce_overhead_ms);
+        assert!(c.reduce_duration_ms(30 * 1024 * 1024, 10_000) > d);
+    }
+}

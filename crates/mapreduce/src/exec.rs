@@ -1,0 +1,204 @@
+//! Execution interfaces: what user code plugs into the framework.
+//!
+//! Mirrors Hadoop's black-box contract (paper Section II-A): the framework
+//! knows nothing about what a [`Mapper`] or [`Reducer`] does — it feeds the
+//! mapper a split's data and collects `(key, value)` pairs. Keys are
+//! strings (the sampling job uses a single dummy key so all candidates meet
+//! in one reduce group); values are [`Record`]s.
+//!
+//! [`InputFormat`] abstracts where split data comes from.
+//! [`DatasetInputFormat`] binds it to an `incmr-data` dataset with a chosen
+//! [`ScanMode`] — `Full` materialises every record, `Planted` only the
+//! predicate-matching ones (see the `incmr-data::generator` docs for why
+//! the two are interchangeable).
+
+use std::rc::Rc;
+
+use incmr_data::{Dataset, Record, SplitGenerator};
+use incmr_dfs::BlockId;
+
+/// The contents of one input split as handed to a mapper.
+#[derive(Debug, Clone)]
+pub enum SplitData {
+    /// Every record, in position order.
+    Records(Vec<Record>),
+    /// Only the records known to match the dataset's planted predicate,
+    /// plus the total count the split holds.
+    Planted {
+        /// Total records in the split (matching + filler).
+        total_records: u64,
+        /// The matching records, in scan order.
+        matches: Vec<Record>,
+    },
+}
+
+impl SplitData {
+    /// Total records this split represents.
+    pub fn total_records(&self) -> u64 {
+        match self {
+            SplitData::Records(rs) => rs.len() as u64,
+            SplitData::Planted { total_records, .. } => *total_records,
+        }
+    }
+}
+
+/// How a [`DatasetInputFormat`] materialises split contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Generate and hand over every record (tests, small examples).
+    Full,
+    /// Generate only the planted matches (large simulated runs).
+    Planted,
+}
+
+/// Source of split contents, keyed by DFS block.
+pub trait InputFormat {
+    /// Materialise the contents of `block`.
+    fn read(&self, block: BlockId) -> SplitData;
+}
+
+/// Reads splits from a planned [`Dataset`].
+pub struct DatasetInputFormat {
+    dataset: Rc<Dataset>,
+    mode: ScanMode,
+}
+
+impl DatasetInputFormat {
+    /// Bind to a dataset with the given scan mode.
+    pub fn new(dataset: Rc<Dataset>, mode: ScanMode) -> Self {
+        DatasetInputFormat { dataset, mode }
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &Rc<Dataset> {
+        &self.dataset
+    }
+}
+
+impl InputFormat for DatasetInputFormat {
+    fn read(&self, block: BlockId) -> SplitData {
+        let plan = self.dataset.plan(block);
+        let factory = self.dataset.factory();
+        let generator = SplitGenerator::new(&factory, plan.spec);
+        match self.mode {
+            ScanMode::Full => SplitData::Records(generator.full_iter().collect()),
+            ScanMode::Planted => SplitData::Planted {
+                total_records: plan.spec.records,
+                matches: generator.planted_matches(),
+            },
+        }
+    }
+}
+
+/// Output of one map task.
+///
+/// Besides materialised pairs, a mapper may report *unmaterialised* output:
+/// records that exist for accounting purposes (output counts, shuffle
+/// volume) but whose contents nobody downstream will look at. Large scan
+/// jobs use this so that simulating them does not hold millions of records
+/// in memory; the reduce phase still sees the correct record counts and
+/// byte volumes.
+#[derive(Debug, Clone, Default)]
+pub struct MapResult {
+    /// Emitted `(key, value)` pairs.
+    pub pairs: Vec<(String, Record)>,
+    /// Records scanned (feeds selectivity estimation).
+    pub records_read: u64,
+    /// Output records accounted but not materialised.
+    pub unmaterialized_outputs: u64,
+    /// Bytes of unmaterialised output (for shuffle-volume modelling).
+    pub unmaterialized_bytes: u64,
+}
+
+impl MapResult {
+    /// Total output records, materialised or not.
+    pub fn total_outputs(&self) -> u64 {
+        self.pairs.len() as u64 + self.unmaterialized_outputs
+    }
+
+    /// Total output bytes, materialised or not.
+    pub fn total_output_bytes(&self) -> u64 {
+        let materialized: u64 = self.pairs.iter().map(|(k, v)| k.len() as u64 + v.width()).sum();
+        materialized + self.unmaterialized_bytes
+    }
+}
+
+/// User map logic. Invoked once per split.
+pub trait Mapper {
+    /// Process a split and return emitted pairs plus counters.
+    fn run(&self, data: &SplitData) -> MapResult;
+}
+
+/// User reduce logic. Invoked once per distinct key with all of that key's
+/// values, in map-completion order.
+pub trait Reducer {
+    /// Produce output pairs for one key group.
+    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>);
+}
+
+/// The identity reducer: passes every value through unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityReducer;
+
+impl Reducer for IdentityReducer {
+    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>) {
+        output.extend(values.iter().map(|v| (key.to_string(), v.clone())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_data::{DatasetSpec, SkewLevel, Value};
+    use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+    use incmr_simkit::rng::DetRng;
+
+    fn small_dataset() -> (Namespace, Rc<Dataset>) {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(11);
+        let spec = DatasetSpec::small("t", 8, 500, SkewLevel::Moderate, 11);
+        let ds = Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng);
+        (ns, Rc::new(ds))
+    }
+
+    #[test]
+    fn full_and_planted_modes_agree_on_matches() {
+        let (_, ds) = small_dataset();
+        let pred = ds.factory();
+        let full = DatasetInputFormat::new(Rc::clone(&ds), ScanMode::Full);
+        let planted = DatasetInputFormat::new(Rc::clone(&ds), ScanMode::Planted);
+        use incmr_data::generator::RecordFactory;
+        let p = pred.predicate();
+        for plan in ds.splits() {
+            let SplitData::Records(all) = full.read(plan.block) else { panic!() };
+            let SplitData::Planted { total_records, matches } = planted.read(plan.block) else {
+                panic!()
+            };
+            assert_eq!(total_records, all.len() as u64);
+            let filtered: Vec<&Record> = all.iter().filter(|r| p.eval(r)).collect();
+            assert_eq!(filtered.len(), matches.len());
+            assert!(filtered.iter().zip(&matches).all(|(a, b)| *a == b));
+        }
+    }
+
+    #[test]
+    fn split_data_total_records() {
+        let d = SplitData::Records(vec![Record::new(vec![Value::Int(1)])]);
+        assert_eq!(d.total_records(), 1);
+        let d = SplitData::Planted {
+            total_records: 99,
+            matches: vec![],
+        };
+        assert_eq!(d.total_records(), 99);
+    }
+
+    #[test]
+    fn identity_reducer_passes_values_through() {
+        let r = IdentityReducer;
+        let vals = vec![Record::new(vec![Value::Int(1)]), Record::new(vec![Value::Int(2)])];
+        let mut out = Vec::new();
+        r.reduce("k", &vals, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(k, _)| k == "k"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Job-level public types: identifiers, specs, progress reports, growth
+//! drivers, and results.
+//!
+//! The key extension over stock Hadoop is the [`GrowthDriver`] hook — the
+//! runtime-side half of the paper's *Input Provider* mechanism (Section
+//! III-A). A job is submitted together with a driver; the driver supplies
+//! the initial splits and is then re-evaluated at its chosen interval until
+//! it declares end-of-input. Stock Hadoop behaviour ("all input up front")
+//! is the trivial [`StaticDriver`].
+
+use std::fmt;
+use std::rc::Rc;
+
+use incmr_dfs::BlockId;
+use incmr_simkit::SimDuration;
+
+use crate::cluster::ClusterStatus;
+use crate::conf::JobConf;
+use crate::exec::{InputFormat, Mapper, Reducer};
+use incmr_data::Record;
+
+/// Identifier of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+/// Identifier of a map task within its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job_{:04}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m_{:06}", self.0)
+    }
+}
+
+/// Everything needed to run a job: configuration plus the user's black-box
+/// logic. Cloning is cheap (shared `Rc`s).
+#[derive(Clone)]
+pub struct JobSpec {
+    /// Job configuration.
+    pub conf: JobConf,
+    /// Source of split contents.
+    pub input_format: Rc<dyn InputFormat>,
+    /// Map logic.
+    pub mapper: Rc<dyn Mapper>,
+    /// Reduce logic.
+    pub reducer: Rc<dyn Reducer>,
+}
+
+/// Progress statistics for one job, as passed to its [`GrowthDriver`] at
+/// each evaluation (paper: "statistics about the output produced by
+/// finished mappers, the status of the job").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// The job being reported on.
+    pub job: JobId,
+    /// Splits added to the job so far (scheduled or done).
+    pub splits_added: u32,
+    /// Splits whose map task has completed.
+    pub splits_completed: u32,
+    /// Map tasks currently executing.
+    pub splits_running: u32,
+    /// Map tasks waiting for a slot.
+    pub splits_pending: u32,
+    /// Records scanned by completed map tasks.
+    pub records_processed: u64,
+    /// Output pairs produced by completed map tasks.
+    pub map_output_records: u64,
+}
+
+/// A growth driver's directive after an evaluation (Figure 3 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GrowthDirective {
+    /// "End of input": no further input will be added; once the scheduled
+    /// maps finish, the job proceeds to the reduce phase.
+    EndOfInput,
+    /// "Input available": schedule these additional splits.
+    AddInput(Vec<BlockId>),
+    /// "No input available": wait and reassess at the next evaluation.
+    Wait,
+}
+
+/// Runtime-side hook controlling a job's intake of input.
+pub trait GrowthDriver {
+    /// Splits to schedule at submission time.
+    fn initial_input(&mut self, cluster: &ClusterStatus) -> Vec<BlockId>;
+
+    /// Periodic evaluation. The runtime calls this every
+    /// [`GrowthDriver::evaluation_interval`] until it returns
+    /// [`GrowthDirective::EndOfInput`].
+    fn evaluate(&mut self, progress: &JobProgress, cluster: &ClusterStatus) -> GrowthDirective;
+
+    /// How often to evaluate.
+    fn evaluation_interval(&self) -> SimDuration;
+}
+
+/// The stock-Hadoop driver: all splits up front, immediately end-of-input.
+pub struct StaticDriver {
+    splits: Vec<BlockId>,
+}
+
+impl StaticDriver {
+    /// Drive a job over exactly these splits.
+    pub fn new(splits: Vec<BlockId>) -> Self {
+        StaticDriver { splits }
+    }
+}
+
+impl GrowthDriver for StaticDriver {
+    fn initial_input(&mut self, _cluster: &ClusterStatus) -> Vec<BlockId> {
+        std::mem::take(&mut self.splits)
+    }
+
+    fn evaluate(&mut self, _progress: &JobProgress, _cluster: &ClusterStatus) -> GrowthDirective {
+        GrowthDirective::EndOfInput
+    }
+
+    fn evaluation_interval(&self) -> SimDuration {
+        // Immaterial: the first evaluation already ends input.
+        SimDuration::from_secs(1)
+    }
+}
+
+/// Final accounting for a completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job.
+    pub job: JobId,
+    /// When it was submitted.
+    pub submit_time: incmr_simkit::SimTime,
+    /// When its reduce committed.
+    pub finish_time: incmr_simkit::SimTime,
+    /// Splits (partitions) actually processed — the paper's Figure 5(d)
+    /// resource-usage metric.
+    pub splits_processed: u32,
+    /// Records scanned across all map tasks.
+    pub records_processed: u64,
+    /// Map output pairs fed to the reduce phase.
+    pub map_output_records: u64,
+    /// Map tasks that read their split from a local disk.
+    pub local_tasks: u32,
+    /// Failed map-task attempts (nonzero only under fault injection).
+    pub task_failures: u32,
+    /// True if the job was aborted after a task exhausted its attempts;
+    /// `output` is empty in that case.
+    pub failed: bool,
+    /// Final reduce output.
+    pub output: Vec<(String, Record)>,
+}
+
+impl JobResult {
+    /// Submission-to-completion latency.
+    pub fn response_time(&self) -> SimDuration {
+        self.finish_time - self.submit_time
+    }
+
+    /// Fraction of map tasks that were data-local.
+    pub fn locality(&self) -> f64 {
+        if self.splits_processed == 0 {
+            0.0
+        } else {
+            self.local_tasks as f64 / self.splits_processed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_simkit::SimTime;
+
+    fn status() -> ClusterStatus {
+        ClusterStatus {
+            total_map_slots: 40,
+            occupied_map_slots: 0,
+            running_jobs: 0,
+            queued_map_tasks: 0,
+        }
+    }
+
+    #[test]
+    fn static_driver_hands_over_everything_then_ends() {
+        let blocks = vec![BlockId(0), BlockId(1), BlockId(2)];
+        let mut d = StaticDriver::new(blocks.clone());
+        assert_eq!(d.initial_input(&status()), blocks);
+        let p = JobProgress {
+            job: JobId(0),
+            splits_added: 3,
+            splits_completed: 0,
+            splits_running: 3,
+            splits_pending: 0,
+            records_processed: 0,
+            map_output_records: 0,
+        };
+        assert_eq!(d.evaluate(&p, &status()), GrowthDirective::EndOfInput);
+    }
+
+    #[test]
+    fn job_result_derivations() {
+        let r = JobResult {
+            job: JobId(1),
+            submit_time: SimTime::from_secs(10),
+            finish_time: SimTime::from_secs(70),
+            splits_processed: 10,
+            records_processed: 1000,
+            map_output_records: 5,
+            local_tasks: 7,
+            task_failures: 0,
+            failed: false,
+            output: vec![],
+        };
+        assert_eq!(r.response_time(), SimDuration::from_secs(60));
+        assert!((r.locality() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn locality_of_empty_job_is_zero() {
+        let r = JobResult {
+            job: JobId(1),
+            submit_time: SimTime::ZERO,
+            finish_time: SimTime::ZERO,
+            splits_processed: 0,
+            records_processed: 0,
+            map_output_records: 0,
+            local_tasks: 0,
+            task_failures: 0,
+            failed: false,
+            output: vec![],
+        };
+        assert_eq!(r.locality(), 0.0);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(JobId(7).to_string(), "job_0007");
+        assert_eq!(TaskId(12).to_string(), "m_000012");
+    }
+}

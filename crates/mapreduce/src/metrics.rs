@@ -1,0 +1,139 @@
+//! Cluster-wide resource metrics, mirroring the instrumentation of the
+//! paper's multi-user experiments: "we monitored the CPU utilization (%)
+//! and disk reads (Kbs/sec) at 30 second intervals on each node of the
+//! cluster … averaged over the 40 cores and 40 disks" (Section V-D), plus
+//! the locality % and slot-occupancy % measurements of Section V-F.
+
+use incmr_simkit::stats::{Sampled, TimeWeighted};
+use incmr_simkit::{SimDuration, SimTime};
+
+/// Collects resource-usage series during a run.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    start: SimTime,
+    cpu: Sampled,
+    disk: Sampled,
+    occupied_slots: TimeWeighted,
+    total_cores: u32,
+    total_disks: u32,
+    total_slots: u32,
+    local_assignments: u64,
+    total_assignments: u64,
+}
+
+/// Aggregated report at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsReport {
+    /// Mean CPU utilisation across all cores, percent.
+    pub cpu_util_pct: f64,
+    /// Mean disk-read rate per disk, KB/s.
+    pub disk_kb_per_sec: f64,
+    /// Percent of map tasks that read their split locally.
+    pub locality_pct: f64,
+    /// Mean percent of map slots occupied.
+    pub slot_occupancy_pct: f64,
+}
+
+impl ClusterMetrics {
+    /// Start collecting at `start` on a cluster with the given capacities,
+    /// sampling resource counters every `interval` (the paper uses 30 s).
+    pub fn new(start: SimTime, total_cores: u32, total_disks: u32, total_slots: u32, interval: SimDuration) -> Self {
+        ClusterMetrics {
+            start,
+            cpu: Sampled::new(start, interval),
+            disk: Sampled::new(start, interval),
+            occupied_slots: TimeWeighted::new(start, 0.0),
+            total_cores,
+            total_disks,
+            total_slots,
+            local_assignments: 0,
+            total_assignments: 0,
+        }
+    }
+
+    /// Report cumulative resource totals (core-µs of CPU work drained,
+    /// bytes read from disk) as of `now`.
+    pub fn observe(&mut self, now: SimTime, cpu_core_us_total: f64, disk_bytes_total: f64) {
+        self.cpu.observe(now, cpu_core_us_total);
+        self.disk.observe(now, disk_bytes_total);
+    }
+
+    /// Record a change in the number of occupied map slots.
+    pub fn slots_delta(&mut self, now: SimTime, delta: f64) {
+        self.occupied_slots.add(now, delta);
+    }
+
+    /// Record one task assignment and whether it was data-local.
+    pub fn record_assignment(&mut self, local: bool) {
+        self.total_assignments += 1;
+        if local {
+            self.local_assignments += 1;
+        }
+    }
+
+    /// Number of assignments recorded so far.
+    pub fn assignments(&self) -> u64 {
+        self.total_assignments
+    }
+
+    /// Produce the aggregate report as of `now`.
+    pub fn report(&self, now: SimTime) -> MetricsReport {
+        let cpu_capacity_us_per_sec = self.total_cores as f64 * 1e6;
+        MetricsReport {
+            cpu_util_pct: 100.0 * self.cpu.mean_rate() / cpu_capacity_us_per_sec,
+            disk_kb_per_sec: self.disk.mean_rate() / 1024.0 / self.total_disks as f64,
+            locality_pct: if self.total_assignments == 0 {
+                0.0
+            } else {
+                100.0 * self.local_assignments as f64 / self.total_assignments as f64
+            },
+            slot_occupancy_pct: 100.0 * self.occupied_slots.mean(now) / self.total_slots as f64,
+        }
+    }
+
+    /// When collection started.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_and_disk_rates_normalise_to_capacity() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 40, 40, 40, SimDuration::from_secs(30));
+        // 60 s at 20 cores fully busy = 20 × 60 × 1e6 core-us.
+        // 60 s of disk reads at 10 MB/s aggregate.
+        m.observe(SimTime::from_secs(60), 20.0 * 60.0 * 1e6, 10.0 * 1024.0 * 1024.0 * 60.0);
+        let r = m.report(SimTime::from_secs(60));
+        assert!((r.cpu_util_pct - 50.0).abs() < 1e-6, "20 of 40 cores = 50%, got {}", r.cpu_util_pct);
+        assert!((r.disk_kb_per_sec - 256.0).abs() < 1e-6, "10MB/s over 40 disks = 256KB/s/disk");
+    }
+
+    #[test]
+    fn locality_percent() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        for i in 0..10 {
+            m.record_assignment(i < 7);
+        }
+        assert!((m.report(SimTime::from_secs(1)).locality_pct - 70.0).abs() < 1e-9);
+        assert_eq!(m.assignments(), 10);
+    }
+
+    #[test]
+    fn locality_of_no_assignments_is_zero() {
+        let m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        assert_eq!(m.report(SimTime::from_secs(1)).locality_pct, 0.0);
+    }
+
+    #[test]
+    fn slot_occupancy_is_time_weighted() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 10, SimDuration::from_secs(30));
+        m.slots_delta(SimTime::ZERO, 10.0); // full from t=0
+        m.slots_delta(SimTime::from_secs(50), -10.0); // idle from t=50
+        let r = m.report(SimTime::from_secs(100));
+        assert!((r.slot_occupancy_pct - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1114 @@
+//! The discrete-event MapReduce runtime: JobTracker, TaskTrackers, and the
+//! physical model, in one deterministic event loop.
+//!
+//! ## Execution model
+//!
+//! A submitted job's [`GrowthDriver`] supplies its initial splits; each
+//! split becomes a pending map task. At every *scheduling point* (submit,
+//! input added, task finished, heartbeat) the pluggable [`TaskScheduler`]
+//! matches free map slots to pending tasks. A running map task passes
+//! through three stages, each modelled on shared resources:
+//!
+//! 1. **start-up overhead** — fixed delay (Hadoop task launch),
+//! 2. **disk read** — a flow of `split-bytes` on the source disk's
+//!    processor-sharing resource; non-local reads add a network transfer,
+//! 3. **CPU** — a flow of `records × cost` core-µs on the node's shared
+//!    CPU resource.
+//!
+//! Map *semantics* (the user's mapper over real records) execute eagerly at
+//! dispatch; the stages only decide *when* the results land. Dynamic jobs
+//! are re-evaluated every `EvaluationInterval`; once the driver declares
+//! end-of-input and all scheduled maps finish, the map outputs are hash-
+//! partitioned by key into `mapred.reduce.tasks` reduce tasks (one for the
+//! paper's sampling jobs), which queue for per-node reduce slots and
+//! complete the job when the last one commits.
+//!
+//! Everything — including the schedulers' tie-breaking — is deterministic,
+//! so a run is a pure function of configuration and seeds.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use incmr_dfs::{BlockId, Namespace, NodeId};
+use incmr_simkit::resource::{FlowId, PsResource};
+use incmr_simkit::{EventId, Sim, SimDuration, SimTime};
+
+use crate::cluster::{ClusterConfig, ClusterStatus};
+use crate::conf::keys;
+use crate::cost::CostModel;
+use crate::exec::MapResult;
+use crate::job::{GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, TaskId};
+use crate::metrics::ClusterMetrics;
+use crate::scheduler::{SchedJob, SchedView, TaskScheduler};
+use crate::trace::{TraceEvent, TraceKind};
+use incmr_data::Record;
+
+/// Conf key bounding how many map-output records a job materialises (the
+/// rest are tracked as counts/bytes only). Sampling jobs set this to `k`.
+pub const MATERIALIZE_CAP_KEY: &str = "mapred.job.materialize.cap";
+
+/// Interval at which resource counters are folded into metrics series (the
+/// paper samples at 30 s).
+const METRICS_INTERVAL: SimDuration = SimDuration::from_secs(30);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    Heartbeat { node: u16 },
+    OverheadDone { job: JobId, task: TaskId },
+    DiskWake { disk: u32 },
+    NetworkDone { job: JobId, task: TaskId },
+    CpuWake { node: u16 },
+    EvalTick { job: JobId },
+    ReduceDone { job: JobId, reduce: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Pending,
+    Running { node: NodeId, local: bool },
+    Done,
+}
+
+struct TaskEntry {
+    block: BlockId,
+    state: TaskState,
+    result: Option<MapResult>,
+    attempts: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReduceState {
+    Pending,
+    Running { node: NodeId },
+    Done,
+}
+
+/// One reduce task: its hash partition of the map outputs plus its modeled
+/// shuffle share.
+struct ReduceEntry {
+    state: ReduceState,
+    key_order: Vec<String>,
+    groups: HashMap<String, Vec<Record>>,
+    shuffle_bytes: u64,
+    input_records: u64,
+    output: Vec<(String, Record)>,
+}
+
+/// FNV-1a — the deterministic key-partitioning hash (Hadoop uses
+/// `key.hashCode() % R`; any stable hash preserves the semantics).
+fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fault-injection configuration: each map-task attempt fails with
+/// `probability`, and a task that fails `max_attempts` times fails its job
+/// (Hadoop's `mapred.map.max.attempts` semantics, default 4).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Per-attempt failure probability in `[0, 1)`.
+    pub probability: f64,
+    /// Attempts allowed per task before the job is failed.
+    pub max_attempts: u32,
+    /// Seed for the (deterministic) failure draws.
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    Map,
+    Reduce,
+    Done,
+}
+
+struct JobEntry {
+    id: JobId,
+    spec: JobSpec,
+    driver: Box<dyn GrowthDriver>,
+    tasks: Vec<TaskEntry>,
+    known_blocks: HashSet<BlockId>,
+    pending: Vec<TaskId>,
+    /// Per-node index of pending tasks whose split has a replica on that
+    /// node (lazily cleaned — entries may reference dispatched tasks).
+    pending_by_node: Vec<Vec<TaskId>>,
+    running: u32,
+    completed: u32,
+    end_of_input: bool,
+    phase: JobPhase,
+    submit_seq: u64,
+    submit_time: SimTime,
+    records_processed: u64,
+    map_output_records: u64,
+    shuffle_bytes: u64,
+    local_tasks: u32,
+    task_failures: u32,
+    materialize_cap: u64,
+    map_outputs: Vec<(String, Record)>,
+    reduce_tasks: u32,
+    reduces: Vec<ReduceEntry>,
+    reduces_done: u32,
+    result: Option<JobResult>,
+}
+
+impl JobEntry {
+    fn progress(&self) -> JobProgress {
+        JobProgress {
+            job: self.id,
+            splits_added: self.tasks.len() as u32,
+            splits_completed: self.completed,
+            splits_running: self.running,
+            splits_pending: self.pending.len() as u32,
+            records_processed: self.records_processed,
+            map_output_records: self.map_output_records,
+        }
+    }
+}
+
+struct NodeState {
+    free_slots: u32,
+    free_reduce_slots: u32,
+    cpu: PsResource,
+    cpu_flows: HashMap<FlowId, (JobId, TaskId)>,
+    cpu_wake: Option<EventId>,
+}
+
+struct DiskState {
+    res: PsResource,
+    flows: HashMap<FlowId, (JobId, TaskId)>,
+    wake: Option<EventId>,
+}
+
+/// The simulated MapReduce cluster: submit jobs, run the clock, collect
+/// results and metrics.
+pub struct MrRuntime {
+    cfg: ClusterConfig,
+    cost: CostModel,
+    namespace: Namespace,
+    scheduler: Box<dyn TaskScheduler>,
+    sim: Sim<Event>,
+    jobs: Vec<JobEntry>,
+    nodes: Vec<NodeState>,
+    disks: Vec<DiskState>,
+    completed: VecDeque<JobId>,
+    /// Reduce tasks waiting for a reduce slot, in creation order.
+    pending_reduces: VecDeque<(JobId, u32)>,
+    metrics: ClusterMetrics,
+    /// Resource totals snapshotted at the last `reset_metrics`, subtracted
+    /// from cumulative counters so metrics windows restart cleanly.
+    metrics_base: (f64, f64),
+    /// Number of per-node heartbeat chains currently self-perpetuating.
+    heartbeats_live: u32,
+    active_jobs: u32,
+    faults: Option<(FaultPlan, incmr_simkit::rng::DetRng)>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+impl MrRuntime {
+    /// Build a runtime over a populated namespace.
+    pub fn new(cfg: ClusterConfig, cost: CostModel, namespace: Namespace, scheduler: Box<dyn TaskScheduler>) -> Self {
+        let topo = cfg.topology;
+        assert_eq!(
+            topo, *namespace.topology(),
+            "namespace must be laid out on the runtime's topology"
+        );
+        let nodes = (0..topo.num_nodes())
+            .map(|_| NodeState {
+                free_slots: cfg.map_slots_per_node,
+                free_reduce_slots: cfg.reduce_slots_per_node,
+                cpu: PsResource::new(topo.cores_per_node() as f64 * 1e6),
+                cpu_flows: HashMap::new(),
+                cpu_wake: None,
+            })
+            .collect();
+        let disks = (0..topo.num_disks())
+            .map(|_| DiskState {
+                res: PsResource::new(cost.disk_bw_bytes_per_sec),
+                flows: HashMap::new(),
+                wake: None,
+            })
+            .collect();
+        let metrics = ClusterMetrics::new(
+            SimTime::ZERO,
+            topo.num_cores(),
+            topo.num_disks(),
+            cfg.total_map_slots(),
+            METRICS_INTERVAL,
+        );
+        MrRuntime {
+            cfg,
+            cost,
+            namespace,
+            scheduler,
+            sim: Sim::new(),
+            jobs: Vec::new(),
+            nodes,
+            disks,
+            completed: VecDeque::new(),
+            pending_reduces: VecDeque::new(),
+            metrics,
+            metrics_base: (0.0, 0.0),
+            heartbeats_live: 0,
+            active_jobs: 0,
+            faults: None,
+            trace: None,
+        }
+    }
+
+    /// Start recording a [`TraceEvent`] timeline (see [`crate::trace`]).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Drain the recorded trace (empty if tracing was never enabled);
+    /// tracing stays enabled with a fresh buffer.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match self.trace.take() {
+            Some(events) => {
+                self.trace = Some(Vec::new());
+                events
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn record(&mut self, kind: TraceKind) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent {
+                time: self.sim.now(),
+                kind,
+            });
+        }
+    }
+
+    /// Disable fault injection (test helper).
+    #[doc(hidden)]
+    pub fn faults_off_for_test(&mut self) {
+        self.faults = None;
+    }
+
+    /// Enable deterministic fault injection for subsequent map tasks.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        assert!((0.0..1.0).contains(&plan.probability), "probability must be in [0, 1)");
+        assert!(plan.max_attempts > 0);
+        let rng = incmr_simkit::rng::DetRng::seed_from(plan.seed);
+        self.faults = Some((plan, rng));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The namespace (read access for callers building job inputs).
+    pub fn namespace(&self) -> &Namespace {
+        &self.namespace
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// The cost model in effect.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Point-in-time cluster load snapshot (what Input Providers receive).
+    pub fn cluster_status(&self) -> ClusterStatus {
+        let free: u32 = self.nodes.iter().map(|n| n.free_slots).sum();
+        let queued = self
+            .jobs
+            .iter()
+            .filter(|j| j.phase == JobPhase::Map)
+            .map(|j| j.pending.len() as u32)
+            .sum();
+        ClusterStatus {
+            total_map_slots: self.cfg.total_map_slots(),
+            occupied_map_slots: self.cfg.total_map_slots() - free,
+            running_jobs: self.active_jobs,
+            queued_map_tasks: queued,
+        }
+    }
+
+    /// Submit a job with its growth driver. Takes effect immediately (at
+    /// the current simulated time).
+    pub fn submit(&mut self, spec: JobSpec, mut driver: Box<dyn GrowthDriver>) -> JobId {
+        let id = JobId(self.jobs.len() as u32);
+        let materialize_cap = spec
+            .conf
+            .get_u64_or(MATERIALIZE_CAP_KEY, u64::MAX)
+            .expect("materialize cap must be numeric");
+        let reduce_tasks = spec
+            .conf
+            .get_u64_or(keys::NUM_REDUCE_TASKS, 1)
+            .expect("reduce task count must be numeric")
+            .max(1) as u32;
+        let status = self.cluster_status();
+        let initial = driver.initial_input(&status);
+        let interval = driver.evaluation_interval();
+        let num_nodes = self.cfg.topology.num_nodes() as usize;
+        let entry = JobEntry {
+            id,
+            spec,
+            driver,
+            tasks: Vec::new(),
+            known_blocks: HashSet::new(),
+            pending: Vec::new(),
+            pending_by_node: vec![Vec::new(); num_nodes],
+            running: 0,
+            completed: 0,
+            end_of_input: false,
+            phase: JobPhase::Map,
+            submit_seq: id.0 as u64,
+            submit_time: self.sim.now(),
+            records_processed: 0,
+            map_output_records: 0,
+            shuffle_bytes: 0,
+            local_tasks: 0,
+            task_failures: 0,
+            materialize_cap,
+            map_outputs: Vec::new(),
+            reduce_tasks,
+            reduces: Vec::new(),
+            reduces_done: 0,
+            result: None,
+        };
+        self.jobs.push(entry);
+        self.active_jobs += 1;
+        self.record(TraceKind::JobSubmitted { job: id });
+        self.add_input(id, initial);
+        // First evaluation happens immediately: static drivers end their
+        // input here; dynamic providers typically wait for statistics. The
+        // initial tasks launch at the nodes' next heartbeats, as in Hadoop.
+        self.evaluate_job(id);
+        if !self.job(id).end_of_input {
+            self.sim.schedule_after(interval, Event::EvalTick { job: id });
+        }
+        self.ensure_heartbeats();
+        id
+    }
+
+    /// Process a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, ev)) = self.sim.pop() else {
+            return false;
+        };
+        self.handle(ev);
+        true
+    }
+
+    /// Run until no events remain (all submitted jobs completed).
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock passes `limit` or the queue drains.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(t) = self.sim.peek_time() {
+            if t > limit {
+                break;
+            }
+            self.step();
+        }
+        self.sim.advance_to(limit);
+    }
+
+    /// Run until some job completes; returns it, or `None` if the queue
+    /// drained first.
+    pub fn run_until_any_completion(&mut self) -> Option<JobId> {
+        loop {
+            if let Some(done) = self.completed.pop_front() {
+                return Some(done);
+            }
+            if !self.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Drain the completed-jobs queue.
+    pub fn take_completed(&mut self) -> Vec<JobId> {
+        self.completed.drain(..).collect()
+    }
+
+    /// The result of a completed job.
+    ///
+    /// # Panics
+    /// Panics if the job has not completed.
+    pub fn job_result(&self, id: JobId) -> &JobResult {
+        self.job(id).result.as_ref().expect("job not yet complete")
+    }
+
+    /// Whether a job has completed.
+    pub fn is_complete(&self, id: JobId) -> bool {
+        self.job(id).phase == JobPhase::Done
+    }
+
+    /// Release a completed job's bulky state (result output records, task
+    /// tables, reduce buffers), keeping only the scalar accounting in its
+    /// [`JobResult`]. Long-running closed-loop drivers call this after
+    /// reading a result so memory stays bounded by *active* jobs.
+    ///
+    /// # Panics
+    /// Panics if the job has not completed.
+    pub fn release_job_result(&mut self, id: JobId) {
+        let job = self.job_mut(id);
+        assert!(job.phase == JobPhase::Done, "cannot release a live job");
+        if let Some(result) = &mut job.result {
+            result.output = Vec::new();
+        }
+        job.tasks = Vec::new();
+        job.pending_by_node = Vec::new();
+        job.known_blocks = HashSet::new();
+        job.reduces = Vec::new();
+        job.map_outputs = Vec::new();
+    }
+
+    /// Live progress for a job (any phase).
+    pub fn job_progress(&self, id: JobId) -> JobProgress {
+        self.job(id).progress()
+    }
+
+    /// The metrics collector.
+    pub fn metrics(&self) -> &ClusterMetrics {
+        &self.metrics
+    }
+
+    /// Restart metrics collection at the current instant (used to discard
+    /// a workload's warm-up phase). Slot occupancy restarts at the current
+    /// occupancy level; locality counters restart at zero.
+    pub fn reset_metrics(&mut self) {
+        let now = self.sim.now();
+        let occupied = (self.cfg.total_map_slots() - self.nodes.iter().map(|n| n.free_slots).sum::<u32>()) as f64;
+        // Note the resource cumulative totals restart too: we snapshot the
+        // current totals and subtract them at observe time.
+        let mut fresh = ClusterMetrics::new(
+            now,
+            self.cfg.topology.num_cores(),
+            self.cfg.topology.num_disks(),
+            self.cfg.total_map_slots(),
+            METRICS_INTERVAL,
+        );
+        fresh.slots_delta(now, occupied);
+        self.metrics_base = self.resource_totals();
+        self.metrics = fresh;
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn job(&self, id: JobId) -> &JobEntry {
+        &self.jobs[id.0 as usize]
+    }
+
+    fn job_mut(&mut self, id: JobId) -> &mut JobEntry {
+        &mut self.jobs[id.0 as usize]
+    }
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::Heartbeat { node } => self.on_heartbeat(node),
+            Event::OverheadDone { job, task } => self.on_overhead_done(job, task),
+            Event::DiskWake { disk } => self.on_disk_wake(disk),
+            Event::NetworkDone { job, task } => self.start_cpu(job, task),
+            Event::CpuWake { node } => self.on_cpu_wake(node),
+            Event::EvalTick { job } => self.on_eval_tick(job),
+            Event::ReduceDone { job, reduce } => self.on_reduce_done(job, reduce),
+        }
+    }
+
+    /// Start one self-perpetuating heartbeat chain per node (staggered, as
+    /// real TaskTrackers are). Chains expire when no jobs remain active.
+    fn ensure_heartbeats(&mut self) {
+        if self.heartbeats_live > 0 {
+            return;
+        }
+        let n = self.nodes.len() as u64;
+        for node in 0..self.nodes.len() as u16 {
+            let stagger = self.cost.heartbeat_ms * (node as u64 + 1) / n;
+            self.sim
+                .schedule_after(SimDuration::from_millis(stagger), Event::Heartbeat { node });
+        }
+        self.heartbeats_live = self.nodes.len() as u32;
+    }
+
+    fn resource_totals(&mut self) -> (f64, f64) {
+        let now = self.sim.now();
+        let cpu: f64 = self.nodes.iter_mut().map(|n| n.cpu.drained_total(now)).sum();
+        let disk: f64 = self.disks.iter_mut().map(|d| d.res.drained_total(now)).sum();
+        (cpu, disk)
+    }
+
+    fn observe_metrics(&mut self) {
+        let now = self.sim.now();
+        let (cpu, disk) = self.resource_totals();
+        let (cpu0, disk0) = self.metrics_base;
+        self.metrics.observe(now, cpu - cpu0, disk - disk0);
+    }
+
+    fn on_heartbeat(&mut self, node: u16) {
+        if self.active_jobs == 0 {
+            self.heartbeats_live -= 1;
+            return;
+        }
+        if node == 0 {
+            self.observe_metrics();
+        }
+        self.schedule_node(node);
+        self.assign_reduce(node);
+        self.sim
+            .schedule_after(SimDuration::from_millis(self.cost.heartbeat_ms), Event::Heartbeat { node });
+    }
+
+    fn add_input(&mut self, id: JobId, blocks: Vec<BlockId>) {
+        let added = blocks.len() as u32;
+        if added > 0 {
+            self.record(TraceKind::InputAdded { job: id, splits: added });
+        }
+        // Resolve replica nodes before borrowing the job mutably.
+        let located: Vec<(BlockId, Vec<NodeId>)> = blocks
+            .into_iter()
+            .map(|b| {
+                let nodes = self
+                    .namespace
+                    .block(b)
+                    .locations
+                    .iter()
+                    .map(|&d| self.namespace.topology().node_of(d))
+                    .collect();
+                (b, nodes)
+            })
+            .collect();
+        let job = self.job_mut(id);
+        debug_assert!(job.phase == JobPhase::Map, "input added after map phase");
+        for (block, nodes) in located {
+            if !job.known_blocks.insert(block) {
+                // Drivers must not add a split twice; ignore defensively.
+                debug_assert!(false, "driver re-added block {block}");
+                continue;
+            }
+            let task = TaskId(job.tasks.len() as u32);
+            job.tasks.push(TaskEntry {
+                block,
+                state: TaskState::Pending,
+                result: None,
+                attempts: 0,
+            });
+            job.pending.push(task);
+            for node in nodes {
+                job.pending_by_node[node.0 as usize].push(task);
+            }
+        }
+    }
+
+    fn evaluate_job(&mut self, id: JobId) {
+        let job = self.job(id);
+        if job.phase != JobPhase::Map || job.end_of_input {
+            return;
+        }
+        let progress = job.progress();
+        let status = self.cluster_status();
+        let directive = self.job_mut(id).driver.evaluate(&progress, &status);
+        match directive {
+            GrowthDirective::EndOfInput => {
+                self.job_mut(id).end_of_input = true;
+                self.record(TraceKind::EndOfInput { job: id });
+                self.maybe_begin_reduce(id);
+            }
+            GrowthDirective::AddInput(blocks) => {
+                // New tasks launch at upcoming node heartbeats.
+                self.add_input(id, blocks);
+            }
+            GrowthDirective::Wait => {}
+        }
+    }
+
+    fn on_eval_tick(&mut self, id: JobId) {
+        if self.job(id).phase != JobPhase::Map || self.job(id).end_of_input {
+            return;
+        }
+        self.evaluate_job(id);
+        let job = self.job(id);
+        if job.phase == JobPhase::Map && !job.end_of_input {
+            let interval = job.driver.evaluation_interval();
+            self.sim.schedule_after(interval, Event::EvalTick { job: id });
+        }
+    }
+
+    /// Offer one node's heartbeat to the scheduler: at most
+    /// `maps_per_heartbeat` launches on that node (Hadoop 0.20 semantics).
+    fn schedule_node(&mut self, node: u16) {
+        let per_heartbeat = self
+            .scheduler
+            .maps_per_heartbeat()
+            .unwrap_or(self.cost.maps_per_heartbeat);
+        let cap = self.nodes[node as usize].free_slots.min(per_heartbeat);
+        if cap == 0 {
+            return;
+        }
+        let mut free_slots = vec![0u32; self.nodes.len()];
+        free_slots[node as usize] = cap;
+        self.schedule_with(free_slots);
+    }
+
+    fn schedule_with(&mut self, free_slots: Vec<u32>) {
+        let free_total: u32 = free_slots.iter().sum();
+        if free_total == 0 {
+            return;
+        }
+        // The head window only needs enough tasks to fill every free slot;
+        // the small margin keeps behaviour stable when lists race.
+        let head_cap = free_total as usize + 8;
+        let mut sched_jobs = Vec::new();
+        let namespace = &self.namespace;
+        for job in &mut self.jobs {
+            if job.phase != JobPhase::Map || job.pending.is_empty() {
+                continue;
+            }
+            let head: Vec<TaskId> = job.pending.iter().copied().take(head_cap).collect();
+            let head_replica_less: Vec<bool> = head
+                .iter()
+                .map(|t| namespace.block(job.tasks[t.0 as usize].block).locations.is_empty())
+                .collect();
+            let mut local_by_node = vec![Vec::new(); free_slots.len()];
+            for (node_idx, &free) in free_slots.iter().enumerate() {
+                if free == 0 {
+                    continue;
+                }
+                // Lazily drop dispatched tasks from this node's index, then
+                // expose enough local candidates to fill its slots.
+                let list = &mut job.pending_by_node[node_idx];
+                list.retain(|t| job.tasks[t.0 as usize].state == TaskState::Pending);
+                local_by_node[node_idx] = list.iter().copied().take(free as usize + 4).collect();
+            }
+            sched_jobs.push(SchedJob {
+                job: job.id,
+                submit_seq: job.submit_seq,
+                running: job.running,
+                pending_total: job.pending.len() as u32,
+                head,
+                head_replica_less,
+                local_by_node,
+            });
+        }
+        if sched_jobs.is_empty() {
+            return;
+        }
+        let view = SchedView {
+            now: self.sim.now(),
+            free_slots,
+            jobs: sched_jobs,
+        };
+        let assignments = self.scheduler.assign(&view);
+        #[cfg(debug_assertions)]
+        {
+            let mut free = view.free_slots.clone();
+            let mut seen = HashSet::new();
+            for a in &assignments {
+                assert!(free[a.node.0 as usize] > 0, "scheduler over-assigned {:?}", a.node);
+                free[a.node.0 as usize] -= 1;
+                assert!(seen.insert((a.job, a.task)), "duplicate assignment");
+            }
+        }
+        for a in assignments {
+            self.dispatch(a.job, a.task, a.node);
+        }
+    }
+
+    fn dispatch(&mut self, id: JobId, task: TaskId, node: NodeId) {
+        let now = self.sim.now();
+        let block = self.job(id).tasks[task.0 as usize].block;
+        let local = self.namespace.is_local(block, node);
+        // Execute the user's map function eagerly; the result lands when
+        // the modelled stages complete.
+        let data = self.job(id).spec.input_format.read(block);
+        let result = self.job(id).spec.mapper.run(&data);
+        {
+            let job = self.job_mut(id);
+            let pos = job
+                .pending
+                .iter()
+                .position(|&t| t == task)
+                .expect("dispatched task must be pending");
+            job.pending.remove(pos);
+            let entry = &mut job.tasks[task.0 as usize];
+            debug_assert_eq!(entry.state, TaskState::Pending);
+            entry.state = TaskState::Running { node, local };
+            entry.result = Some(result);
+            entry.attempts += 1;
+            job.running += 1;
+        }
+        let n = &mut self.nodes[node.0 as usize];
+        assert!(n.free_slots > 0, "dispatch to a full node");
+        n.free_slots -= 1;
+        self.metrics.slots_delta(now, 1.0);
+        self.metrics.record_assignment(local);
+        self.record(TraceKind::MapStarted { job: id, task, node, local });
+        self.sim.schedule_after(
+            SimDuration::from_millis(self.cost.map_task_overhead_ms),
+            Event::OverheadDone { job: id, task },
+        );
+    }
+
+    fn on_overhead_done(&mut self, id: JobId, task: TaskId) {
+        let now = self.sim.now();
+        let (block, node, local) = {
+            let entry = &self.job(id).tasks[task.0 as usize];
+            let TaskState::Running { node, local } = entry.state else {
+                panic!("overhead completed for a non-running task");
+            };
+            (entry.block, node, local)
+        };
+        let disk = if local {
+            self.namespace
+                .local_replica(block, node)
+                .expect("local task has a local replica")
+        } else {
+            self.namespace.primary_replica(block)
+        };
+        let bytes = self.namespace.block(block).bytes as f64;
+        let d = &mut self.disks[disk.0 as usize];
+        let flow = d.res.add_flow(now, bytes);
+        d.flows.insert(flow, (id, task));
+        self.refresh_disk_wake(disk.0);
+    }
+
+    fn refresh_disk_wake(&mut self, disk: u32) {
+        let now = self.sim.now();
+        let d = &mut self.disks[disk as usize];
+        if let Some(old) = d.wake.take() {
+            self.sim.cancel(old);
+        }
+        if let Some(at) = d.res.next_completion(now) {
+            d.wake = Some(self.sim.schedule_at(at, Event::DiskWake { disk }));
+        }
+    }
+
+    fn on_disk_wake(&mut self, disk: u32) {
+        let now = self.sim.now();
+        self.disks[disk as usize].wake = None;
+        self.disks[disk as usize].res.advance(now);
+        let done = self.disks[disk as usize].res.take_completed();
+        for flow in done {
+            let (id, task) = self.disks[disk as usize]
+                .flows
+                .remove(&flow)
+                .expect("completed flow is registered");
+            let entry = &self.job(id).tasks[task.0 as usize];
+            let TaskState::Running { local, .. } = entry.state else {
+                panic!("disk read completed for a non-running task");
+            };
+            if local {
+                self.start_cpu(id, task);
+            } else {
+                let bytes = self.namespace.block(entry.block).bytes;
+                let transfer = self.cost.remote_transfer_ms(bytes);
+                self.sim
+                    .schedule_after(SimDuration::from_millis(transfer), Event::NetworkDone { job: id, task });
+            }
+        }
+        self.refresh_disk_wake(disk);
+    }
+
+    fn start_cpu(&mut self, id: JobId, task: TaskId) {
+        let now = self.sim.now();
+        let entry = &self.job(id).tasks[task.0 as usize];
+        let TaskState::Running { node, .. } = entry.state else {
+            panic!("cpu stage for a non-running task");
+        };
+        let records = self.namespace.block(entry.block).records;
+        let work = self.cost.map_cpu_work_us(records);
+        let n = &mut self.nodes[node.0 as usize];
+        let flow = n.cpu.add_flow(now, work);
+        n.cpu_flows.insert(flow, (id, task));
+        self.refresh_cpu_wake(node.0);
+    }
+
+    fn refresh_cpu_wake(&mut self, node: u16) {
+        let now = self.sim.now();
+        let n = &mut self.nodes[node as usize];
+        if let Some(old) = n.cpu_wake.take() {
+            self.sim.cancel(old);
+        }
+        if let Some(at) = n.cpu.next_completion(now) {
+            n.cpu_wake = Some(self.sim.schedule_at(at, Event::CpuWake { node }));
+        }
+    }
+
+    fn on_cpu_wake(&mut self, node: u16) {
+        let now = self.sim.now();
+        self.nodes[node as usize].cpu_wake = None;
+        self.nodes[node as usize].cpu.advance(now);
+        let done = self.nodes[node as usize].cpu.take_completed();
+        for flow in done {
+            let (id, task) = self.nodes[node as usize]
+                .cpu_flows
+                .remove(&flow)
+                .expect("completed cpu flow is registered");
+            self.finish_map_task(id, task);
+        }
+        self.refresh_cpu_wake(node);
+    }
+
+    fn finish_map_task(&mut self, id: JobId, task: TaskId) {
+        let now = self.sim.now();
+        // Fault injection: decide whether this attempt fails before its
+        // results are applied.
+        if let Some((plan, rng)) = &mut self.faults {
+            use rand::Rng;
+            if rng.gen_range(0.0..1.0) < plan.probability {
+                let max = plan.max_attempts;
+                self.fail_map_attempt(id, task, max);
+                return;
+            }
+        }
+        let (node, local, result) = {
+            let job = self.job_mut(id);
+            let entry = &mut job.tasks[task.0 as usize];
+            let TaskState::Running { node, local } = entry.state else {
+                panic!("finishing a non-running task");
+            };
+            entry.state = TaskState::Done;
+            (node, local, entry.result.take().expect("result computed at dispatch"))
+        };
+        if self.job(id).phase == JobPhase::Done {
+            // The job already failed; late attempts just release their slot.
+            self.nodes[node.0 as usize].free_slots += 1;
+            self.metrics.slots_delta(now, -1.0);
+            return;
+        }
+        {
+            let job = self.job_mut(id);
+            job.running -= 1;
+            job.completed += 1;
+            job.records_processed += result.records_read;
+            job.map_output_records += result.total_outputs();
+            job.shuffle_bytes += result.total_output_bytes();
+            if local {
+                job.local_tasks += 1;
+            }
+            let room = (job.materialize_cap as usize).saturating_sub(job.map_outputs.len());
+            let keep = result.pairs.len().min(room);
+            job.map_outputs.extend(result.pairs.into_iter().take(keep));
+        }
+        self.nodes[node.0 as usize].free_slots += 1;
+        self.metrics.slots_delta(now, -1.0);
+        self.record(TraceKind::MapFinished { job: id, task });
+        self.maybe_begin_reduce(id);
+        // Note: no scheduling here. As in Hadoop, freed slots are re-assigned
+        // at the next TaskTracker heartbeat, so slots are observably free in
+        // between — which is what lets Input Providers ever see `AS > 0` on
+        // a busy cluster.
+    }
+
+    /// A map attempt failed: release its slot, and either requeue the task
+    /// or — past the attempt limit — fail the whole job.
+    fn fail_map_attempt(&mut self, id: JobId, task: TaskId, max_attempts: u32) {
+        let now = self.sim.now();
+        let (node, attempts, block) = {
+            let job = self.job_mut(id);
+            let entry = &mut job.tasks[task.0 as usize];
+            let TaskState::Running { node, .. } = entry.state else {
+                panic!("failing a non-running task");
+            };
+            entry.state = TaskState::Pending;
+            entry.result = None;
+            (node, entry.attempts, entry.block)
+        };
+        self.nodes[node.0 as usize].free_slots += 1;
+        self.metrics.slots_delta(now, -1.0);
+        self.record(TraceKind::MapFailed { job: id, task, attempt: attempts });
+        if self.job(id).phase == JobPhase::Done {
+            return; // job already failed; nothing more to do
+        }
+        let replica_nodes: Vec<NodeId> = self
+            .namespace
+            .block(block)
+            .locations
+            .iter()
+            .map(|&d| self.namespace.topology().node_of(d))
+            .collect();
+        let job = self.job_mut(id);
+        job.running -= 1;
+        job.task_failures += 1;
+        if attempts >= max_attempts {
+            self.fail_job(id);
+            return;
+        }
+        // Requeue for another attempt (back of the queue, like Hadoop).
+        job.pending.push(task);
+        for n in replica_nodes {
+            job.pending_by_node[n.0 as usize].push(task);
+        }
+    }
+
+    fn fail_job(&mut self, id: JobId) {
+        let now = self.sim.now();
+        let job = self.job_mut(id);
+        debug_assert!(job.phase != JobPhase::Done);
+        job.phase = JobPhase::Done;
+        job.result = Some(JobResult {
+            job: id,
+            submit_time: job.submit_time,
+            finish_time: now,
+            splits_processed: job.completed,
+            records_processed: job.records_processed,
+            map_output_records: job.map_output_records,
+            local_tasks: job.local_tasks,
+            task_failures: job.task_failures,
+            failed: true,
+            output: Vec::new(),
+        });
+        self.record(TraceKind::JobCompleted { job: id, failed: true });
+        self.active_jobs -= 1;
+        self.completed.push_back(id);
+    }
+
+    /// Transition to the reduce phase once end-of-input is declared and
+    /// every scheduled map has finished: partition the map outputs by key
+    /// hash into `reduce_tasks` reduce tasks and queue them for reduce
+    /// slots.
+    fn maybe_begin_reduce(&mut self, id: JobId) {
+        let job = self.job(id);
+        if job.phase != JobPhase::Map || !job.end_of_input || job.running > 0 || !job.pending.is_empty() {
+            return;
+        }
+        let job = self.job_mut(id);
+        job.phase = JobPhase::Reduce;
+        let r = job.reduce_tasks;
+        let outputs = std::mem::take(&mut job.map_outputs);
+        let mut reduces: Vec<ReduceEntry> = (0..r)
+            .map(|_| ReduceEntry {
+                state: ReduceState::Pending,
+                key_order: Vec::new(),
+                groups: HashMap::new(),
+                shuffle_bytes: 0,
+                input_records: 0,
+                output: Vec::new(),
+            })
+            .collect();
+        // Distribute materialised pairs by key hash, tracking each
+        // partition's exact byte/record share.
+        for (key, value) in outputs {
+            let p = (fnv1a(&key) % r as u64) as usize;
+            let entry = &mut reduces[p];
+            entry.shuffle_bytes += key.len() as u64 + value.width();
+            entry.input_records += 1;
+            let group = entry.groups.entry(key.clone()).or_default();
+            if group.is_empty() {
+                entry.key_order.push(key);
+            }
+            group.push(value);
+        }
+        // Unmaterialised output (counts/bytes only) spreads evenly.
+        let materialized_bytes: u64 = reduces.iter().map(|e| e.shuffle_bytes).sum();
+        let materialized_records: u64 = reduces.iter().map(|e| e.input_records).sum();
+        let extra_bytes = job.shuffle_bytes.saturating_sub(materialized_bytes);
+        let extra_records = job.map_output_records.saturating_sub(materialized_records);
+        for (i, entry) in reduces.iter_mut().enumerate() {
+            let i = i as u64;
+            entry.shuffle_bytes += extra_bytes / r as u64 + u64::from(i < extra_bytes % r as u64);
+            entry.input_records += extra_records / r as u64 + u64::from(i < extra_records % r as u64);
+        }
+        job.reduces = reduces;
+        for i in 0..r {
+            self.pending_reduces.push_back((id, i));
+        }
+    }
+
+    /// Offer one reduce launch on `node` (one per heartbeat, like maps in
+    /// stock Hadoop). Reduce placement is not locality-sensitive — inputs
+    /// arrive over the network from every mapper anyway.
+    fn assign_reduce(&mut self, node: u16) {
+        if self.nodes[node as usize].free_reduce_slots == 0 {
+            return;
+        }
+        let Some((id, r)) = self.pending_reduces.pop_front() else {
+            return;
+        };
+        self.nodes[node as usize].free_reduce_slots -= 1;
+        let cost = self.cost;
+        let duration = {
+            let entry = &mut self.job_mut(id).reduces[r as usize];
+            debug_assert_eq!(entry.state, ReduceState::Pending);
+            entry.state = ReduceState::Running {
+                node: NodeId(node),
+            };
+            cost.reduce_duration_ms(entry.shuffle_bytes, entry.input_records)
+        };
+        self.record(TraceKind::ReduceStarted {
+            job: id,
+            reduce: r,
+            node: NodeId(node),
+        });
+        self.sim
+            .schedule_after(SimDuration::from_millis(duration), Event::ReduceDone { job: id, reduce: r });
+    }
+
+    fn on_reduce_done(&mut self, id: JobId, r: u32) {
+        let now = self.sim.now();
+        // Execute the user's reduce function over this partition's groups.
+        let (node, output) = {
+            let job = self.job(id);
+            let entry = &job.reduces[r as usize];
+            let ReduceState::Running { node } = entry.state else {
+                panic!("reduce completed while not running");
+            };
+            let mut output = Vec::new();
+            for key in &entry.key_order {
+                job.spec.reducer.reduce(key, &entry.groups[key], &mut output);
+            }
+            (node, output)
+        };
+        self.nodes[node.0 as usize].free_reduce_slots += 1;
+        let job = self.job_mut(id);
+        let entry = &mut job.reduces[r as usize];
+        entry.state = ReduceState::Done;
+        entry.output = output;
+        entry.groups.clear();
+        entry.key_order.clear();
+        job.reduces_done += 1;
+        let all_done = job.reduces_done == job.reduce_tasks;
+        self.record(TraceKind::ReduceFinished { job: id, reduce: r });
+        if all_done {
+            self.finalize_job(id, now);
+        }
+    }
+
+    fn finalize_job(&mut self, id: JobId, now: SimTime) {
+        let job = self.job_mut(id);
+        job.phase = JobPhase::Done;
+        let output: Vec<(String, Record)> = job
+            .reduces
+            .iter_mut()
+            .flat_map(|e| std::mem::take(&mut e.output))
+            .collect();
+        job.result = Some(JobResult {
+            job: id,
+            submit_time: job.submit_time,
+            finish_time: now,
+            splits_processed: job.completed,
+            records_processed: job.records_processed,
+            map_output_records: job.map_output_records,
+            local_tasks: job.local_tasks,
+            task_failures: job.task_failures,
+            failed: false,
+            output,
+        });
+        self.record(TraceKind::JobCompleted { job: id, failed: false });
+        self.active_jobs -= 1;
+        self.completed.push_back(id);
+    }
+}
+
+/// Convenience: read the configured sample size `k` from a job's conf.
+pub fn sample_size_of(conf: &crate::conf::JobConf) -> Option<u64> {
+    conf.get(keys::SAMPLING_K).and_then(|v| v.parse().ok())
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the scheduler contract: for *any* view, both
+//! schedulers produce assignments that respect slot limits, never assign a
+//! task twice, only assign offered tasks, and are deterministic.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use incmr_dfs::NodeId;
+use incmr_simkit::SimTime;
+
+use super::{FairScheduler, FifoScheduler, SchedJob, SchedView, TaskScheduler};
+use crate::job::{JobId, TaskId};
+
+/// Strategy: a random scheduling view over `nodes` nodes.
+fn arb_view(max_nodes: usize, max_jobs: usize, max_tasks: usize) -> impl Strategy<Value = SchedView> {
+    (1..=max_nodes, 0..=max_jobs).prop_flat_map(move |(nodes, jobs)| {
+        let free = prop::collection::vec(0u32..4, nodes);
+        let job = (0u32..8, prop::collection::vec((any::<u8>(), prop::collection::vec(0..nodes as u16, 0..3)), 0..=max_tasks));
+        let jobs = prop::collection::vec(job, jobs);
+        (free, jobs).prop_map(move |(free_slots, jobs)| {
+            let jobs = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(j, (running, tasks))| {
+                    let mut local_by_node = vec![Vec::new(); free_slots.len()];
+                    let mut head = Vec::new();
+                    let mut head_replica_less = Vec::new();
+                    for (t, (_tag, locals)) in tasks.iter().enumerate() {
+                        let id = TaskId(t as u32);
+                        head.push(id);
+                        head_replica_less.push(locals.is_empty());
+                        for &n in locals {
+                            local_by_node[n as usize].push(id);
+                        }
+                    }
+                    SchedJob {
+                        job: JobId(j as u32),
+                        submit_seq: j as u64,
+                        running,
+                        pending_total: head.len() as u32,
+                        head,
+                        head_replica_less,
+                        local_by_node,
+                    }
+                })
+                .collect();
+            SchedView {
+                now: SimTime::from_secs(100),
+                free_slots,
+                jobs,
+            }
+        })
+    })
+}
+
+fn check_contract(view: &SchedView, assignments: &[super::Assignment]) {
+    let mut free = view.free_slots.clone();
+    let mut seen = HashSet::new();
+    for a in assignments {
+        assert!(free[a.node.0 as usize] > 0, "over-assigned node {:?}", a.node);
+        free[a.node.0 as usize] -= 1;
+        assert!(seen.insert((a.job, a.task)), "double assignment {a:?}");
+        let job = view.jobs.iter().find(|j| j.job == a.job).expect("known job");
+        let offered = job.head.contains(&a.task) || job.local_by_node.iter().any(|l| l.contains(&a.task));
+        assert!(offered, "assigned a task that was never offered");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fifo_respects_the_contract(view in arb_view(6, 5, 8)) {
+        let assignments = FifoScheduler::new().assign(&view);
+        check_contract(&view, &assignments);
+    }
+
+    #[test]
+    fn fair_respects_the_contract(view in arb_view(6, 5, 8)) {
+        let assignments = FairScheduler::paper_default().assign(&view);
+        check_contract(&view, &assignments);
+    }
+
+    #[test]
+    fn schedulers_are_deterministic(view in arb_view(6, 5, 8)) {
+        prop_assert_eq!(FifoScheduler::new().assign(&view), FifoScheduler::new().assign(&view));
+        prop_assert_eq!(
+            FairScheduler::paper_default().assign(&view),
+            FairScheduler::paper_default().assign(&view)
+        );
+    }
+
+    /// FIFO is work-conserving: if any job offers a task every node can
+    /// take (replica-less head), no slot stays free.
+    #[test]
+    fn fifo_fills_slots_when_tasks_are_unconstrained(free in prop::collection::vec(0u32..4, 1..6), tasks in 1usize..12) {
+        let head: Vec<TaskId> = (0..tasks as u32).map(TaskId).collect();
+        let view = SchedView {
+            now: SimTime::ZERO,
+            free_slots: free.clone(),
+            jobs: vec![SchedJob {
+                job: JobId(0),
+                submit_seq: 0,
+                running: 0,
+                pending_total: tasks as u32,
+                head,
+                head_replica_less: vec![true; tasks],
+                local_by_node: vec![Vec::new(); free.len()],
+            }],
+        };
+        let assignments = FifoScheduler::new().assign(&view);
+        let total_free: u32 = free.iter().sum();
+        prop_assert_eq!(assignments.len() as u32, total_free.min(tasks as u32));
+        check_contract(&view, &assignments);
+    }
+
+    /// The Fair Scheduler never assigns a replicated task non-locally on
+    /// the first offer (the delay must mature first).
+    #[test]
+    fn fair_first_offer_is_never_non_local(nodes in 2usize..6, tasks in 1usize..6) {
+        // All tasks local only to node 0; free slots only elsewhere.
+        let head: Vec<TaskId> = (0..tasks as u32).map(TaskId).collect();
+        let mut local_by_node = vec![Vec::new(); nodes];
+        local_by_node[0] = head.clone();
+        let mut free = vec![1u32; nodes];
+        free[0] = 0;
+        let view = SchedView {
+            now: SimTime::from_secs(5),
+            free_slots: free,
+            jobs: vec![SchedJob {
+                job: JobId(0),
+                submit_seq: 0,
+                running: 0,
+                pending_total: tasks as u32,
+                head,
+                head_replica_less: vec![false; tasks],
+                local_by_node,
+            }],
+        };
+        let assignments = FairScheduler::paper_default().assign(&view);
+        prop_assert!(assignments.is_empty(), "fresh fair scheduler must decline: {assignments:?}");
+        let _ = NodeId(0);
+    }
+}

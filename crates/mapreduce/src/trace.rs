@@ -1,0 +1,326 @@
+//! Execution tracing: a timeline of scheduling decisions and task
+//! lifecycles, for debugging policies and visualising runs.
+//!
+//! Tracing is off by default (hot paths stay allocation-free); enable it
+//! with [`crate::MrRuntime::enable_tracing`] and collect the events with
+//! [`crate::MrRuntime::take_trace`]. [`render_timeline`] draws an ASCII
+//! chart of cluster occupancy, and [`JobTimeline`] summarises one job's
+//! phases.
+
+use std::fmt;
+
+use incmr_dfs::NodeId;
+use incmr_simkit::{SimDuration, SimTime};
+
+use crate::job::{JobId, TaskId};
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The kinds of traced occurrences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A job was submitted.
+    JobSubmitted {
+        /// The job.
+        job: JobId,
+    },
+    /// A growth driver added input splits.
+    InputAdded {
+        /// The job.
+        job: JobId,
+        /// Number of splits added in this step.
+        splits: u32,
+    },
+    /// The driver declared end-of-input.
+    EndOfInput {
+        /// The job.
+        job: JobId,
+    },
+    /// A map attempt was dispatched to a slot.
+    MapStarted {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// The node whose slot it took.
+        node: NodeId,
+        /// Whether the read is data-local.
+        local: bool,
+    },
+    /// A map attempt completed successfully.
+    MapFinished {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+    },
+    /// A map attempt failed (fault injection).
+    MapFailed {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// Which attempt failed (1-based).
+        attempt: u32,
+    },
+    /// A reduce task started on a reduce slot.
+    ReduceStarted {
+        /// The job.
+        job: JobId,
+        /// Reduce partition index.
+        reduce: u32,
+        /// Host node.
+        node: NodeId,
+    },
+    /// A reduce task committed.
+    ReduceFinished {
+        /// The job.
+        job: JobId,
+        /// Reduce partition index.
+        reduce: u32,
+    },
+    /// The job finished (successfully or not).
+    JobCompleted {
+        /// The job.
+        job: JobId,
+        /// True if the job was aborted.
+        failed: bool,
+    },
+}
+
+impl TraceKind {
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            TraceKind::JobSubmitted { job }
+            | TraceKind::InputAdded { job, .. }
+            | TraceKind::EndOfInput { job }
+            | TraceKind::MapStarted { job, .. }
+            | TraceKind::MapFinished { job, .. }
+            | TraceKind::MapFailed { job, .. }
+            | TraceKind::ReduceStarted { job, .. }
+            | TraceKind::ReduceFinished { job, .. }
+            | TraceKind::JobCompleted { job, .. } => *job,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ", self.time)?;
+        match &self.kind {
+            TraceKind::JobSubmitted { job } => write!(f, "{job} submitted"),
+            TraceKind::InputAdded { job, splits } => write!(f, "{job} +{splits} splits"),
+            TraceKind::EndOfInput { job } => write!(f, "{job} end-of-input"),
+            TraceKind::MapStarted { job, task, node, local } => {
+                write!(f, "{job}/{task} -> {node}{}", if *local { "" } else { " (remote)" })
+            }
+            TraceKind::MapFinished { job, task } => write!(f, "{job}/{task} done"),
+            TraceKind::MapFailed { job, task, attempt } => {
+                write!(f, "{job}/{task} FAILED (attempt {attempt})")
+            }
+            TraceKind::ReduceStarted { job, reduce, node } => write!(f, "{job}/r{reduce} -> {node}"),
+            TraceKind::ReduceFinished { job, reduce } => write!(f, "{job}/r{reduce} done"),
+            TraceKind::JobCompleted { job, failed } => {
+                write!(f, "{job} {}", if *failed { "FAILED" } else { "completed" })
+            }
+        }
+    }
+}
+
+/// Phase summary of one job, derived from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTimeline {
+    /// The job.
+    pub job: JobId,
+    /// Submission instant.
+    pub submitted: SimTime,
+    /// When the driver declared end-of-input (if it did).
+    pub end_of_input: Option<SimTime>,
+    /// Completion instant (if the job finished inside the trace).
+    pub completed: Option<SimTime>,
+    /// Input-addition steps `(time, splits)` — the job's growth curve.
+    pub growth: Vec<(SimTime, u32)>,
+    /// Map attempts started / finished / failed.
+    pub maps: (u32, u32, u32),
+    /// Reduce tasks started / finished.
+    pub reduces: (u32, u32),
+}
+
+/// Summarise one job's phases from a trace.
+pub fn job_timeline(events: &[TraceEvent], job: JobId) -> Option<JobTimeline> {
+    let mut timeline: Option<JobTimeline> = None;
+    for e in events.iter().filter(|e| e.kind.job() == job) {
+        match &e.kind {
+            TraceKind::JobSubmitted { .. } => {
+                timeline = Some(JobTimeline {
+                    job,
+                    submitted: e.time,
+                    end_of_input: None,
+                    completed: None,
+                    growth: Vec::new(),
+                    maps: (0, 0, 0),
+                    reduces: (0, 0),
+                });
+            }
+            kind => {
+                let t = timeline.as_mut()?;
+                match kind {
+                    TraceKind::InputAdded { splits, .. } => t.growth.push((e.time, *splits)),
+                    TraceKind::EndOfInput { .. } => t.end_of_input = Some(e.time),
+                    TraceKind::MapStarted { .. } => t.maps.0 += 1,
+                    TraceKind::MapFinished { .. } => t.maps.1 += 1,
+                    TraceKind::MapFailed { .. } => t.maps.2 += 1,
+                    TraceKind::ReduceStarted { .. } => t.reduces.0 += 1,
+                    TraceKind::ReduceFinished { .. } => t.reduces.1 += 1,
+                    TraceKind::JobCompleted { .. } => t.completed = Some(e.time),
+                    TraceKind::JobSubmitted { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+    timeline
+}
+
+/// Render an ASCII occupancy timeline: one row per job, one column per
+/// time bucket, cell = concurrently running map attempts (`.` none,
+/// `1`–`9`, `#` ten or more). A compact Gantt substitute for terminals.
+pub fn render_timeline(events: &[TraceEvent], buckets: usize) -> String {
+    if events.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let start = events.first().expect("nonempty").time;
+    let end = events.last().expect("nonempty").time;
+    let span_ms = (end - start).as_millis().max(1);
+    let bucket_ms = span_ms.div_ceil(buckets as u64).max(1);
+
+    // Collect per-job running intervals from start/finish pairs.
+    let mut jobs: Vec<JobId> = Vec::new();
+    for e in events {
+        let j = e.kind.job();
+        if !jobs.contains(&j) {
+            jobs.push(j);
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {} → {} ({} buckets of {})\n",
+        start,
+        end,
+        buckets,
+        SimDuration::from_millis(bucket_ms)
+    ));
+    for job in jobs {
+        // Running-map deltas per bucket.
+        let mut delta = vec![0i64; buckets + 1];
+        let mut open: std::collections::HashMap<TaskId, usize> = std::collections::HashMap::new();
+        for e in events.iter().filter(|e| e.kind.job() == job) {
+            let b = (((e.time - start).as_millis()) / bucket_ms) as usize;
+            let b = b.min(buckets - 1);
+            match &e.kind {
+                TraceKind::MapStarted { task, .. } => {
+                    open.insert(*task, b);
+                }
+                TraceKind::MapFinished { task, .. } | TraceKind::MapFailed { task, .. } => {
+                    if let Some(sb) = open.remove(task) {
+                        delta[sb] += 1;
+                        delta[b + 1] -= 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Tasks still open at trace end run through the last bucket.
+        for (_, sb) in open {
+            delta[sb] += 1;
+        }
+        let mut running = 0i64;
+        let cells: String = (0..buckets)
+            .map(|b| {
+                running += delta[b];
+                match running {
+                    0 => '.',
+                    1..=9 => char::from_digit(running as u32, 10).expect("1..=9"),
+                    _ => '#',
+                }
+            })
+            .collect();
+        out.push_str(&format!("{job} |{cells}|\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_millis(ms),
+            kind,
+        }
+    }
+
+    fn sample_trace() -> Vec<TraceEvent> {
+        let job = JobId(0);
+        vec![
+            ev(0, TraceKind::JobSubmitted { job }),
+            ev(0, TraceKind::InputAdded { job, splits: 2 }),
+            ev(100, TraceKind::MapStarted { job, task: TaskId(0), node: NodeId(0), local: true }),
+            ev(100, TraceKind::MapStarted { job, task: TaskId(1), node: NodeId(1), local: false }),
+            ev(500, TraceKind::MapFailed { job, task: TaskId(1), attempt: 1 }),
+            ev(600, TraceKind::MapFinished { job, task: TaskId(0) }),
+            ev(700, TraceKind::EndOfInput { job }),
+            ev(700, TraceKind::MapStarted { job, task: TaskId(1), node: NodeId(2), local: false }),
+            ev(900, TraceKind::MapFinished { job, task: TaskId(1) }),
+            ev(1000, TraceKind::ReduceStarted { job, reduce: 0, node: NodeId(0) }),
+            ev(1500, TraceKind::ReduceFinished { job, reduce: 0 }),
+            ev(1500, TraceKind::JobCompleted { job, failed: false }),
+        ]
+    }
+
+    #[test]
+    fn timeline_summarises_phases() {
+        let t = job_timeline(&sample_trace(), JobId(0)).unwrap();
+        assert_eq!(t.submitted, SimTime::ZERO);
+        assert_eq!(t.end_of_input, Some(SimTime::from_millis(700)));
+        assert_eq!(t.completed, Some(SimTime::from_millis(1500)));
+        assert_eq!(t.growth, vec![(SimTime::ZERO, 2)]);
+        assert_eq!(t.maps, (3, 2, 1), "3 attempts, 2 finishes, 1 failure");
+        assert_eq!(t.reduces, (1, 1));
+    }
+
+    #[test]
+    fn timeline_of_unknown_job_is_none() {
+        assert!(job_timeline(&sample_trace(), JobId(9)).is_none());
+    }
+
+    #[test]
+    fn render_shows_occupancy_shape() {
+        let out = render_timeline(&sample_trace(), 15);
+        assert!(out.contains("job_0000 |"));
+        let row = out.lines().find(|l| l.starts_with("job_0000")).unwrap();
+        assert!(row.contains('2'), "two concurrent maps early: {row}");
+        assert!(row.contains('.'), "idle tail during reduce: {row}");
+    }
+
+    #[test]
+    fn render_empty_trace() {
+        assert_eq!(render_timeline(&[], 10), "(empty trace)\n");
+    }
+
+    #[test]
+    fn events_display_compactly() {
+        let e = ev(100, TraceKind::MapStarted { job: JobId(1), task: TaskId(2), node: NodeId(3), local: false });
+        assert_eq!(e.to_string(), "t+0.100s job_0001/m_000002 -> node3 (remote)");
+        let e = ev(0, TraceKind::JobCompleted { job: JobId(1), failed: true });
+        assert!(e.to_string().ends_with("FAILED"));
+    }
+}

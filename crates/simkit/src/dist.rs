@@ -1,0 +1,187 @@
+//! Samplers for the distributions the paper's evaluation depends on.
+//!
+//! The central one is the **Zipfian** distribution (paper Section V-B): the
+//! assignment of each predicate-matching record to an input partition is a
+//! draw from `f(k; z, N) = (1/k^z) / Σ_{n=1..N} (1/n^z)`. `z = 0` degenerates
+//! to uniform, `z = 1` is "moderate" and `z = 2` "high" skew.
+
+use rand::Rng;
+
+use crate::rng::DetRng;
+
+/// A Zipfian distribution over ranks `1..=n` with exponent `z`.
+///
+/// Sampling is inverse-CDF with binary search: `O(log n)` per draw after an
+/// `O(n)` precomputation.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    z: f64,
+}
+
+impl Zipf {
+    /// Build the distribution for `n` ranks and exponent `z >= 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `z` is negative/non-finite.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(z.is_finite() && z >= 0.0, "Zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point round-off leaving the last entry < 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf, z }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent this distribution was built with.
+    pub fn exponent(&self) -> f64 {
+        self.z
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!((1..=self.n()).contains(&k), "rank out of range");
+        let lower = if k == 1 { 0.0 } else { self.cdf[k - 2] };
+        self.cdf[k - 1] - lower
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        // partition_point returns the count of entries < u, i.e. the 0-based
+        // index of the first cdf entry >= u; +1 converts to a 1-based rank.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Draw `total` ranks and return a histogram `counts[rank-1]`.
+    ///
+    /// This is the multinomial partition-assignment used to plant matching
+    /// records into input splits (Figure 4's construction).
+    pub fn sample_counts(&self, total: u64, rng: &mut DetRng) -> Vec<u64> {
+        let mut counts = vec![0u64; self.n()];
+        for _ in 0..total {
+            counts[self.sample(rng) - 1] += 1;
+        }
+        counts
+    }
+
+    /// Split `total` into exactly-even counts (the `z = 0` case in the paper
+    /// is constructed as "an equal number of matching records in each
+    /// partition", not as a uniform random draw). Remainders go to the first
+    /// `total % n` ranks.
+    pub fn even_counts(total: u64, n: usize) -> Vec<u64> {
+        assert!(n > 0);
+        let base = total / n as u64;
+        let rem = (total % n as u64) as usize;
+        (0..n).map(|i| base + u64::from(i < rem)).collect()
+    }
+}
+
+/// Sample an exponentially-distributed duration with the given mean, in
+/// milliseconds (used for user think times in the workload generator).
+pub fn exponential_millis(mean_millis: f64, rng: &mut DetRng) -> u64 {
+    assert!(mean_millis >= 0.0 && mean_millis.is_finite());
+    if mean_millis == 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    (-mean_millis * u.ln()).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z0_is_uniform() {
+        let z = Zipf::new(40, 0.0);
+        for k in 1..=40 {
+            assert!((z.pmf(k) - 1.0 / 40.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone_decreasing() {
+        for &e in &[0.5, 1.0, 2.0] {
+            let z = Zipf::new(100, e);
+            let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            for k in 2..=100 {
+                assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn z2_concentrates_mass_at_rank_one() {
+        // N=40, z=2: p(1) = 1 / H_40^(2) ≈ 0.617 — the paper's "8700 of
+        // 15000 in a single partition" figure is one multinomial draw from
+        // this (expected 9253).
+        let z = Zipf::new(40, 2.0);
+        assert!((z.pmf(1) - 0.6169).abs() < 0.001, "pmf(1) = {}", z.pmf(1));
+    }
+
+    #[test]
+    fn z1_top_rank_mass_matches_harmonic_number() {
+        // N=40, z=1: p(1) = 1 / H_40 ≈ 0.2337.
+        let z = Zipf::new(40, 1.0);
+        assert!((z.pmf(1) - 0.2337).abs() < 0.001, "pmf(1) = {}", z.pmf(1));
+    }
+
+    #[test]
+    fn sample_counts_preserve_total_and_roughly_match_pmf() {
+        let z = Zipf::new(40, 1.0);
+        let mut rng = DetRng::seed_from(99);
+        let total = 15_000u64;
+        let counts = z.sample_counts(total, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), total);
+        // Rank 1 should get close to its expected share (±15%).
+        let expect = z.pmf(1) * total as f64;
+        assert!(
+            (counts[0] as f64 - expect).abs() < 0.15 * expect,
+            "rank-1 count {} vs expected {expect}",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn even_counts_distributes_remainder() {
+        assert_eq!(Zipf::even_counts(10, 4), vec![3, 3, 2, 2]);
+        assert_eq!(Zipf::even_counts(15_000, 40), vec![375; 40]);
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::seed_from(5);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| exponential_millis(1000.0, &mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1000.0).abs() < 50.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut rng = DetRng::seed_from(5);
+        assert_eq!(exponential_millis(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

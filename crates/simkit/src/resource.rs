@@ -1,0 +1,293 @@
+//! A processor-sharing bandwidth resource.
+//!
+//! Models a disk (or network link) whose capacity is shared equally among
+//! all concurrently active transfers — the standard fluid approximation for
+//! rotational disks serving several sequential scans. The MapReduce runtime
+//! attaches one [`PsResource`] per disk: every running map task is a *flow*
+//! of `split-bytes`, and contention between concurrent tasks on the same
+//! disk emerges naturally instead of being a fudge factor.
+//!
+//! ## Contract with the event loop
+//!
+//! The resource does not know about the event queue. The owner must:
+//!
+//! 1. call [`PsResource::advance`] (directly or via any `&mut self` method,
+//!    which advances internally) whenever simulated time moves,
+//! 2. after any flow change, reschedule a wake-up at
+//!    [`PsResource::next_completion`] and, when it fires, collect
+//!    [`PsResource::take_completed`].
+//!
+//! `advance` is robust to being called late: it replays completions in the
+//! correct order internally, so even a coarse wake-up cadence yields exact
+//! per-flow finish amounts (finish *times* are then accurate to the wake-up
+//! granularity, which the runtime keeps at 1 ms).
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of one transfer on a [`PsResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(u64);
+
+const EPS: f64 = 1e-6;
+
+/// A capacity shared equally among active flows. Units are arbitrary
+/// ("work"); the MapReduce cost model uses bytes.
+#[derive(Debug, Clone)]
+pub struct PsResource {
+    capacity_per_ms: f64,
+    flows: BTreeMap<u64, f64>, // id -> remaining work; BTreeMap for determinism
+    completed: Vec<FlowId>,
+    last_update: SimTime,
+    next_id: u64,
+    drained_total: f64,
+}
+
+impl PsResource {
+    /// A resource with `capacity_per_sec` units of work per simulated second.
+    ///
+    /// # Panics
+    /// Panics unless the capacity is finite and positive.
+    pub fn new(capacity_per_sec: f64) -> Self {
+        assert!(
+            capacity_per_sec.is_finite() && capacity_per_sec > 0.0,
+            "capacity must be positive"
+        );
+        PsResource {
+            capacity_per_ms: capacity_per_sec / 1000.0,
+            flows: BTreeMap::new(),
+            completed: Vec::new(),
+            last_update: SimTime::ZERO,
+            next_id: 0,
+            drained_total: 0.0,
+        }
+    }
+
+    /// Full capacity in units per second.
+    pub fn capacity_per_sec(&self) -> f64 {
+        self.capacity_per_ms * 1000.0
+    }
+
+    /// Start a transfer of `amount` units at time `now`.
+    ///
+    /// A non-positive `amount` completes immediately (it will appear in the
+    /// next [`PsResource::take_completed`]).
+    pub fn add_flow(&mut self, now: SimTime, amount: f64) -> FlowId {
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        if amount <= EPS {
+            self.completed.push(id);
+        } else {
+            self.flows.insert(id.0, amount);
+        }
+        id
+    }
+
+    /// Abort a transfer. Returns the un-transferred remainder, or `None` if
+    /// the flow already completed or never existed.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Option<f64> {
+        self.advance(now);
+        self.flows.remove(&id.0)
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Remaining work for a flow (`None` once completed/cancelled).
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id.0).copied()
+    }
+
+    /// Drain progress up to `now`, replaying any completions that occurred
+    /// in `(last_update, now]` in their true order.
+    pub fn advance(&mut self, now: SimTime) {
+        if now <= self.last_update {
+            return;
+        }
+        let mut dt_ms = (now - self.last_update).as_millis() as f64;
+        self.last_update = now;
+        while dt_ms > 0.0 && !self.flows.is_empty() {
+            let n = self.flows.len() as f64;
+            let rate = self.capacity_per_ms / n; // per-flow drain rate
+            let min_remaining = self.flows.values().fold(f64::INFINITY, |a, &b| a.min(b));
+            let time_to_first = min_remaining / rate;
+            let step = time_to_first.min(dt_ms);
+            let drained = rate * step;
+            self.drained_total += drained * n;
+            let mut done: Vec<u64> = Vec::new();
+            for (&id, rem) in self.flows.iter_mut() {
+                *rem -= drained;
+                if *rem <= EPS {
+                    done.push(id);
+                }
+            }
+            for id in done {
+                self.flows.remove(&id);
+                self.completed.push(FlowId(id));
+            }
+            dt_ms -= step;
+        }
+    }
+
+    /// The instant the earliest active flow will complete if no flows are
+    /// added or removed, rounded up to the next millisecond. `None` when
+    /// idle.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        debug_assert!(now >= self.last_update);
+        let n = self.flows.len() as f64;
+        let rate = self.capacity_per_ms / n;
+        let min_remaining = self.flows.values().fold(f64::INFINITY, |a, &b| a.min(b));
+        let already = (now - self.last_update).as_millis() as f64;
+        let ms = (min_remaining / rate - already).max(0.0).ceil() as u64;
+        Some(now + SimDuration::from_millis(ms))
+    }
+
+    /// Flows that have completed since the last call (in completion order).
+    pub fn take_completed(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Total units of work transferred through this resource up to `now`
+    /// (used for the paper's "disk reads KB/s" metric).
+    pub fn drained_total(&mut self, now: SimTime) -> f64 {
+        self.advance(now);
+        self.drained_total
+    }
+
+    /// Instantaneous throughput: full capacity when any flow is active.
+    pub fn current_rate_per_sec(&self) -> f64 {
+        if self.flows.is_empty() {
+            0.0
+        } else {
+            self.capacity_per_sec()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn single_flow_runs_at_full_capacity() {
+        let mut r = PsResource::new(100.0); // 100 units/s
+        let f = r.add_flow(SimTime::ZERO, 500.0);
+        assert_eq!(r.next_completion(SimTime::ZERO), Some(t(5)));
+        r.advance(t(5));
+        assert_eq!(r.take_completed(), vec![f]);
+        assert_eq!(r.active_flows(), 0);
+        assert!((r.drained_total(t(5)) - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_capacity_equally() {
+        let mut r = PsResource::new(100.0);
+        let a = r.add_flow(SimTime::ZERO, 100.0);
+        let b = r.add_flow(SimTime::ZERO, 100.0);
+        // Each proceeds at 50/s → both done at t=2.
+        assert_eq!(r.next_completion(SimTime::ZERO), Some(t(2)));
+        r.advance(t(2));
+        assert_eq!(r.take_completed(), vec![a, b]);
+    }
+
+    #[test]
+    fn short_flow_finishes_then_long_flow_speeds_up() {
+        let mut r = PsResource::new(100.0);
+        let short = r.add_flow(SimTime::ZERO, 50.0);
+        let long = r.add_flow(SimTime::ZERO, 150.0);
+        // short: 50 at 50/s → done t=1; long then has 100 left at 100/s → t=2.
+        r.advance(t(1));
+        assert_eq!(r.take_completed(), vec![short]);
+        assert!((r.remaining(long).unwrap() - 100.0).abs() < 1e-6);
+        assert_eq!(r.next_completion(t(1)), Some(t(2)));
+    }
+
+    #[test]
+    fn late_advance_replays_completions_in_order() {
+        let mut r = PsResource::new(100.0);
+        let short = r.add_flow(SimTime::ZERO, 50.0);
+        let long = r.add_flow(SimTime::ZERO, 150.0);
+        // Advance straight past both completions.
+        r.advance(t(10));
+        assert_eq!(r.take_completed(), vec![short, long]);
+        assert!((r.drained_total(t(10)) - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mid_flight_arrival_slows_existing_flow() {
+        let mut r = PsResource::new(100.0);
+        let a = r.add_flow(SimTime::ZERO, 100.0);
+        // At t=0.5s, a has 50 left; a second flow arrives.
+        let b = r.add_flow(SimTime::from_millis(500), 200.0);
+        // a: 50 left at 50/s → completes at t=1.5s.
+        assert_eq!(r.next_completion(SimTime::from_millis(500)), Some(SimTime::from_millis(1500)));
+        r.advance(SimTime::from_millis(1500));
+        assert_eq!(r.take_completed(), vec![a]);
+        // b: consumed 50 so far, 150 left at 100/s → t=3.0s.
+        assert!((r.remaining(b).unwrap() - 150.0).abs() < 1e-6);
+        assert_eq!(r.next_completion(SimTime::from_millis(1500)), Some(t(3)));
+    }
+
+    #[test]
+    fn cancel_returns_remainder() {
+        let mut r = PsResource::new(100.0);
+        let a = r.add_flow(SimTime::ZERO, 100.0);
+        let rem = r.cancel_flow(SimTime::from_millis(500), a);
+        assert!((rem.unwrap() - 50.0).abs() < 1e-6);
+        assert_eq!(r.cancel_flow(t(1), a), None);
+        assert_eq!(r.active_flows(), 0);
+    }
+
+    #[test]
+    fn zero_amount_flow_completes_immediately() {
+        let mut r = PsResource::new(10.0);
+        let f = r.add_flow(SimTime::ZERO, 0.0);
+        assert_eq!(r.take_completed(), vec![f]);
+    }
+
+    #[test]
+    fn conservation_of_work() {
+        // Whatever the arrival pattern, drained_total equals the sum of
+        // completed amounts plus consumed fractions of active flows.
+        let mut r = PsResource::new(77.0);
+        r.add_flow(SimTime::ZERO, 100.0);
+        r.add_flow(SimTime::from_millis(300), 250.0);
+        r.add_flow(SimTime::from_millis(900), 40.0);
+        r.advance(t(2));
+        let active_remaining: f64 = (0..3)
+            .filter_map(|i| r.remaining(FlowId(i)))
+            .sum();
+        let drained = r.drained_total(t(2));
+        let injected = 390.0;
+        assert!(
+            (injected - active_remaining - drained).abs() < 1e-3,
+            "drained {drained} + remaining {active_remaining} != injected {injected}"
+        );
+    }
+
+    #[test]
+    fn idle_resource_reports_no_completion_and_zero_rate() {
+        let mut r = PsResource::new(10.0);
+        assert_eq!(r.next_completion(SimTime::ZERO), None);
+        assert_eq!(r.current_rate_per_sec(), 0.0);
+        r.add_flow(SimTime::ZERO, 5.0);
+        assert_eq!(r.current_rate_per_sec(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = PsResource::new(0.0);
+    }
+}

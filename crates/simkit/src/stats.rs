@@ -1,0 +1,324 @@
+//! Online statistics used by the metrics subsystem and the experiment
+//! harness: Welford mean/variance, time-weighted averages (for utilisation
+//! metrics), fixed-interval sampled series (the paper samples CPU and disk
+//! counters every 30 seconds), and percentiles.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Numerically-stable running mean / variance / min / max (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. "number of
+/// occupied map slots". Feed it every change point; query the average over
+/// the observed window.
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    start: SimTime,
+    last_change: SimTime,
+    current: f64,
+    weighted_sum: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `start` with initial value `value`.
+    pub fn new(start: SimTime, value: f64) -> Self {
+        TimeWeighted {
+            start,
+            last_change: start,
+            current: value,
+            weighted_sum: 0.0,
+        }
+    }
+
+    /// Record that the signal changed to `value` at time `now`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `now` precedes the previous change.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        debug_assert!(now >= self.last_change);
+        self.weighted_sum += self.current * (now - self.last_change).as_millis() as f64;
+        self.last_change = now;
+        self.current = value;
+    }
+
+    /// Adjust the signal by `delta` at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let next = self.current + delta;
+        self.set(now, next);
+    }
+
+    /// The signal's current value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Time-weighted mean over `[start, now]` (the current segment counts).
+    /// Returns the current value if no time has elapsed.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let total = (now - self.start).as_millis() as f64;
+        if total == 0.0 {
+            return self.current;
+        }
+        let acc = self.weighted_sum + self.current * (now - self.last_change).as_millis() as f64;
+        acc / total
+    }
+}
+
+/// A cumulative counter sampled into fixed-interval rates, mirroring the
+/// paper's "CPU utilization and disk reads monitored at 30 second intervals".
+///
+/// Feed monotone cumulative totals via [`Sampled::observe`]; read back
+/// per-interval rates (delta / interval).
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    interval: SimDuration,
+    next_sample: SimTime,
+    last_total: f64,
+    rates: Vec<f64>,
+}
+
+impl Sampled {
+    /// Sample every `interval`, starting at `start + interval`.
+    pub fn new(start: SimTime, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "sampling interval must be positive");
+        Sampled {
+            interval,
+            next_sample: start + interval,
+            last_total: 0.0,
+            rates: Vec::new(),
+        }
+    }
+
+    /// Report the cumulative total as of `now`. Closes out any sample
+    /// intervals that have fully elapsed, attributing the delta evenly
+    /// across them (the counter is assumed to grow smoothly in between).
+    pub fn observe(&mut self, now: SimTime, total: f64) {
+        while now >= self.next_sample {
+            // Intervals since last boundary share the growth evenly; with
+            // per-event observation granularity this is a fine approximation.
+            let pending = ((now - self.next_sample).as_millis() / self.interval.as_millis()) + 1;
+            let delta = (total - self.last_total) / pending as f64;
+            for _ in 0..pending {
+                self.rates.push(delta / self.interval.as_secs_f64());
+                self.next_sample += self.interval;
+            }
+            self.last_total = total;
+        }
+    }
+
+    /// Per-interval rates (units of the counter per second).
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Mean of the per-interval rates.
+    pub fn mean_rate(&self) -> f64 {
+        if self.rates.is_empty() {
+            0.0
+        } else {
+            self.rates.iter().sum::<f64>() / self.rates.len() as f64
+        }
+    }
+}
+
+/// Percentile of a sample via linear interpolation (p in `[0, 100]`).
+/// Returns `None` on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return Some(sorted[lo]);
+    }
+    let frac = rank - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Arithmetic mean of a slice (0 if empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..50).map(|i| (i * 37 % 11) as f64).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let (mut a, mut b) = (OnlineStats::new(), OnlineStats::new());
+        xs[..20].iter().for_each(|&x| a.push(x));
+        xs[20..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 4.0); // 0 for 10s
+        tw.set(SimTime::from_secs(20), 2.0); // 4 for 10s
+        // 2 for 10s → (0*10 + 4*10 + 2*10) / 30 = 2.0
+        assert!((tw.mean(SimTime::from_secs(30)) - 2.0).abs() < 1e-12);
+        assert_eq!(tw.current(), 2.0);
+    }
+
+    #[test]
+    fn time_weighted_add_tracks_deltas() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.add(SimTime::from_secs(5), 2.0);
+        assert_eq!(tw.current(), 3.0);
+        tw.add(SimTime::from_secs(10), -3.0);
+        assert_eq!(tw.current(), 0.0);
+        // (1*5 + 3*5 + 0*10)/20 = 1.0
+        assert!((tw.mean(SimTime::from_secs(20)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_rates() {
+        let mut s = Sampled::new(SimTime::ZERO, SimDuration::from_secs(30));
+        s.observe(SimTime::from_secs(30), 3000.0); // 100/s over first interval
+        s.observe(SimTime::from_secs(90), 3000.0); // flat over next two
+        assert_eq!(s.rates().len(), 3);
+        assert!((s.rates()[0] - 100.0).abs() < 1e-9);
+        assert!((s.rates()[1]).abs() < 1e-9);
+        assert!((s.mean_rate() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn mean_of_slice() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+}

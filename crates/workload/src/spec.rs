@@ -1,0 +1,217 @@
+//! Workload specifications: who the users are and what they run.
+
+use std::rc::Rc;
+
+use incmr_core::{Policy, SampleMode};
+use incmr_data::Dataset;
+use incmr_mapreduce::ScanMode;
+use incmr_simkit::SimDuration;
+
+/// What one user repeatedly submits.
+#[derive(Clone)]
+pub enum UserClass {
+    /// Predicate-based sampling (`SELECT … WHERE p LIMIT k`) as a dynamic
+    /// job under a policy.
+    Sampling {
+        /// Required sample size.
+        k: u64,
+        /// Growth policy.
+        policy: Policy,
+        /// How the reducer trims the sample.
+        sample_mode: SampleMode,
+    },
+    /// A static select-project scan over the whole dataset copy
+    /// (the paper's Non-Sampling class, selectivity 0.05%).
+    NonSampling,
+    /// Predicate-based sampling under the runtime-adaptive driver (the
+    /// paper's future-work policy switching).
+    AdaptiveSampling {
+        /// Required sample size.
+        k: u64,
+        /// How the reducer trims the sample.
+        sample_mode: SampleMode,
+    },
+}
+
+impl UserClass {
+    /// Class label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            UserClass::Sampling { .. } | UserClass::AdaptiveSampling { .. } => "sampling",
+            UserClass::NonSampling => "non-sampling",
+        }
+    }
+}
+
+/// One closed-loop user: a class plus a private dataset copy
+/// ("to ensure that each query requires fetching its input from the disk
+/// and does not leverage the buffer cache populated by some other query").
+#[derive(Clone)]
+pub struct UserSpec {
+    /// What the user runs.
+    pub class: UserClass,
+    /// The user's own dataset copy.
+    pub dataset: Rc<Dataset>,
+}
+
+/// A complete workload: users, phases, and execution mode.
+#[derive(Clone)]
+pub struct WorkloadSpec {
+    /// The users, all active for the entire run.
+    pub users: Vec<UserSpec>,
+    /// Initial phase whose completions and resource usage are discarded.
+    pub warmup: SimDuration,
+    /// Measurement window ("each workload was run for a sufficiently long
+    /// duration to obtain steady state throughput").
+    pub measure: SimDuration,
+    /// How split contents are materialised.
+    pub scan_mode: ScanMode,
+    /// Root seed for all per-job randomness.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A homogeneous workload: every user samples with the same `k` and
+    /// policy against their own dataset copy (paper Section V-D).
+    pub fn homogeneous(
+        datasets: Vec<Rc<Dataset>>,
+        k: u64,
+        policy: Policy,
+        warmup: SimDuration,
+        measure: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let users = datasets
+            .into_iter()
+            .map(|dataset| UserSpec {
+                class: UserClass::Sampling {
+                    k,
+                    policy: policy.clone(),
+                    sample_mode: SampleMode::FirstK,
+                },
+                dataset,
+            })
+            .collect();
+        WorkloadSpec {
+            users,
+            warmup,
+            measure,
+            scan_mode: ScanMode::Planted,
+            seed,
+        }
+    }
+
+    /// A heterogeneous workload: the first `sampling_users` users sample,
+    /// the rest run static scans (paper Section V-E, fraction 0.2–0.8).
+    pub fn heterogeneous(
+        datasets: Vec<Rc<Dataset>>,
+        sampling_users: usize,
+        k: u64,
+        policy: Policy,
+        warmup: SimDuration,
+        measure: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(sampling_users <= datasets.len());
+        let users = datasets
+            .into_iter()
+            .enumerate()
+            .map(|(i, dataset)| UserSpec {
+                class: if i < sampling_users {
+                    UserClass::Sampling {
+                        k,
+                        policy: policy.clone(),
+                        sample_mode: SampleMode::FirstK,
+                    }
+                } else {
+                    UserClass::NonSampling
+                },
+                dataset,
+            })
+            .collect();
+        WorkloadSpec {
+            users,
+            warmup,
+            measure,
+            scan_mode: ScanMode::Planted,
+            seed,
+        }
+    }
+
+    /// Number of users in each class: `(sampling, non_sampling)`.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let sampling = self
+            .users
+            .iter()
+            .filter(|u| matches!(u.class, UserClass::Sampling { .. }))
+            .count();
+        (sampling, self.users.len() - sampling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_data::{DatasetSpec, SkewLevel};
+    use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+    use incmr_simkit::rng::DetRng;
+
+    fn datasets(n: usize) -> Vec<Rc<Dataset>> {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(3);
+        (0..n)
+            .map(|i| {
+                Rc::new(Dataset::build(
+                    &mut ns,
+                    DatasetSpec::small(&format!("c{i}"), 4, 100, SkewLevel::Zero, i as u64),
+                    &mut EvenRoundRobin::starting_at(i as u32),
+                    &mut rng,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn homogeneous_marks_all_users_sampling() {
+        let w = WorkloadSpec::homogeneous(
+            datasets(10),
+            100,
+            Policy::la(),
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(30),
+            1,
+        );
+        assert_eq!(w.class_counts(), (10, 0));
+        assert!(w.users.iter().all(|u| u.class.label() == "sampling"));
+    }
+
+    #[test]
+    fn heterogeneous_splits_by_fraction() {
+        let w = WorkloadSpec::heterogeneous(
+            datasets(10),
+            4,
+            100,
+            Policy::conservative(),
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(30),
+            1,
+        );
+        assert_eq!(w.class_counts(), (4, 6));
+        assert_eq!(w.users[3].class.label(), "sampling");
+        assert_eq!(w.users[4].class.label(), "non-sampling");
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_sampling_users_panics() {
+        let _ = WorkloadSpec::heterogeneous(
+            datasets(2),
+            3,
+            10,
+            Policy::la(),
+            SimDuration::ZERO,
+            SimDuration::from_mins(1),
+            1,
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! The developer workflow from the paper's introduction: "a developer may
+//! just wish to test a new query against the dataset … working with a
+//! small subset of data" — through the HiveQL session, exactly as the
+//! paper's modified Hive deployment exposes it.
+//!
+//! ```text
+//! cargo run --release --example hive_session
+//! ```
+
+use std::rc::Rc;
+
+use incmr::hiveql::SessionError;
+use incmr::prelude::*;
+
+fn show(session: &mut Session, sql: &str) {
+    println!("hive> {sql}");
+    match session.execute(sql) {
+        Ok(QueryOutput::Rows {
+            rows,
+            splits_processed,
+            records_processed,
+            response_time,
+            ..
+        }) => {
+            for r in rows.iter().take(5) {
+                println!("  {r}");
+            }
+            if rows.len() > 5 {
+                println!("  … {} rows total", rows.len());
+            }
+            println!(
+                "  [{} rows; {splits_processed} partitions, {records_processed} records scanned; {:.1}s]\n",
+                rows.len(),
+                response_time.as_secs_f64()
+            );
+        }
+        Ok(QueryOutput::Explained(plan)) => println!("{}\n", indent(&plan)),
+        Ok(QueryOutput::SetOk { key, value }) => println!("  set {key} = {value}\n"),
+        Ok(QueryOutput::Listing(items)) => println!("{}\n", indent(&items.join("\n"))),
+        Err(e) => println!("  ERROR: {e}\n"),
+    }
+}
+
+fn indent(text: &str) -> String {
+    text.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+}
+
+fn main() {
+    // A small world so Full scan mode (real records, arbitrary predicates)
+    // is cheap: 40 partitions x 20k records.
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(11);
+    let spec = DatasetSpec::small("lineitem", 40, 20_000, SkewLevel::High, 11);
+    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let mut catalog = Catalog::new();
+    catalog.register("lineitem", dataset);
+    let rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let mut session = Session::new(rt, catalog).with_full_scan();
+
+    // Inspect the plan first, then pick a policy, then sample.
+    show(&mut session, "EXPLAIN SELECT L_ORDERKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 100");
+    show(&mut session, "SET dynamic.job.policy = HA");
+    show(
+        &mut session,
+        "SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 100",
+    );
+
+    // Ad-hoc predicates work in full-scan mode: test a brand-new query on a
+    // small sample before paying for the full run. LA stops after the
+    // first increment here — the predicate is permissive, so a handful of
+    // partitions already yields the 10 requested rows.
+    show(&mut session, "SET dynamic.job.policy = LA");
+    show(
+        &mut session,
+        "SELECT L_ORDERKEY, L_QUANTITY, L_SHIPMODE FROM lineitem \
+         WHERE L_QUANTITY BETWEEN 40 AND 50 AND L_SHIPMODE = 'AIR' LIMIT 10",
+    );
+
+    // Errors are ordinary session output, not panics.
+    let err = session
+        .execute("SELECT nope FROM lineitem LIMIT 1")
+        .expect_err("unknown column");
+    assert!(matches!(err, SessionError::Compile(_)));
+    println!("hive> SELECT nope FROM lineitem LIMIT 1\n  ERROR: {err}");
+}

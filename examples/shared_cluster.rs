@@ -1,0 +1,64 @@
+//! The shared-cluster story (paper Sections V-D/V-E): what a sampling
+//! user's policy choice does to *everyone else's* throughput.
+//!
+//! Four closed-loop users share the cluster: two obtain predicate-based
+//! samples, two run full select-project scans. The sampling users' policy
+//! is swept from `Hadoop` to `C`; watch the scan users' throughput recover
+//! as the sampling jobs stop hogging map slots.
+//!
+//! ```text
+//! cargo run --release --example shared_cluster
+//! ```
+
+use std::rc::Rc;
+
+use incmr::prelude::*;
+
+fn main() {
+    println!("4 users (2 sampling + 2 scanning), 40-slot cluster, per-policy steady state:\n");
+    println!(
+        "{:<8} {:>18} {:>22} {:>16} {:>14}",
+        "policy", "sampling (jobs/h)", "non-sampling (jobs/h)", "cpu util (%)", "locality (%)"
+    );
+
+    for policy in Policy::table1() {
+        // Fresh world per run: 4 private dataset copies, 48 partitions of
+        // 100k records each.
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let root = DetRng::seed_from(31);
+        let datasets: Vec<Rc<Dataset>> = (0..4)
+            .map(|u| {
+                let mut rng = root.fork(u);
+                let spec = DatasetSpec::small(&format!("copy{u}"), 48, 100_000, SkewLevel::Zero, 31 + u);
+                Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::starting_at(u as u32 * 9), &mut rng))
+            })
+            .collect();
+        let mut rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        let spec = WorkloadSpec::heterogeneous(
+            datasets,
+            2,
+            1_000, // sample size: ~20 of 48 partitions needed at 0.05%
+            policy.clone(),
+            SimDuration::from_mins(5),
+            SimDuration::from_mins(40),
+            17,
+        );
+        let report = run_workload(&mut rt, &spec);
+        println!(
+            "{:<8} {:>18.1} {:>22.1} {:>16.1} {:>14.1}",
+            policy.name,
+            report.sampling_jobs_per_hour(),
+            report.non_sampling_jobs_per_hour(),
+            report.metrics.cpu_util_pct,
+            report.metrics.locality_pct,
+        );
+    }
+
+    println!("\nreading: as the sampling class gets less aggressive, the scan class's");
+    println!("throughput climbs — the paper measured 3x-8x going from Hadoop to LA.");
+}

@@ -1,0 +1,166 @@
+//! `incmr` — an interactive HiveQL shell over a simulated cluster.
+//!
+//! ```text
+//! cargo run --release --bin incmr -- --partitions 40 --records 20000 --skew 2 --full-scan
+//! cargo run --release --bin incmr -- -e "SELECT COUNT(*) FROM lineitem WHERE L_TAX = 0.77"
+//! ```
+//!
+//! Builds a LINEITEM-style dataset on the paper's 10-node cluster, registers
+//! it as `lineitem`, and executes statements — from `-e` arguments or,
+//! without them, a line-oriented REPL on stdin.
+
+use std::io::{BufRead, Write};
+use std::rc::Rc;
+
+use incmr::prelude::*;
+
+struct Options {
+    partitions: u32,
+    records: u64,
+    skew: SkewLevel,
+    seed: u64,
+    full_scan: bool,
+    statements: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: incmr [--partitions N] [--records N] [--skew 0|1|2] [--seed N] [--full-scan] [-e SQL]...\n\
+         without -e, reads statements from stdin (one per line; 'quit' exits)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        partitions: 40,
+        records: 20_000,
+        skew: SkewLevel::High,
+        seed: 7,
+        full_scan: false,
+        statements: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match arg.as_str() {
+            "--partitions" => opts.partitions = value("--partitions").parse().unwrap_or_else(|_| usage()),
+            "--records" => opts.records = value("--records").parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--skew" => {
+                opts.skew = match value("--skew").as_str() {
+                    "0" => SkewLevel::Zero,
+                    "1" => SkewLevel::Moderate,
+                    "2" => SkewLevel::High,
+                    _ => usage(),
+                }
+            }
+            "--full-scan" => opts.full_scan = true,
+            "-e" => opts.statements.push(value("-e")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn execute(session: &mut Session, sql: &str) -> bool {
+    match session.execute(sql) {
+        Ok(QueryOutput::Rows {
+            rows,
+            splits_processed,
+            records_processed,
+            response_time,
+            ..
+        }) => {
+            for r in rows.iter().take(20) {
+                println!("{r}");
+            }
+            if rows.len() > 20 {
+                println!("… {} rows total", rows.len());
+            }
+            println!(
+                "-- {} row(s); {splits_processed} partition(s), {records_processed} record(s) scanned; {:.1}s simulated",
+                rows.len(),
+                response_time.as_secs_f64()
+            );
+        }
+        Ok(QueryOutput::Explained(plan)) => println!("{plan}"),
+        Ok(QueryOutput::Listing(items)) => {
+            for item in items {
+                println!("{item}");
+            }
+        }
+        Ok(QueryOutput::SetOk { key, value }) => println!("-- set {key} = {value}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
+    }
+    true
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(opts.seed);
+    let spec = DatasetSpec::small("lineitem", opts.partitions, opts.records, opts.skew, opts.seed);
+    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let planted = incmr::data::PaperPredicate::for_skew(opts.skew).sql;
+    let mut catalog = Catalog::new();
+    catalog.register("lineitem", dataset);
+    let rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let mut session = Session::new(rt, catalog);
+    if opts.full_scan {
+        session = session.with_full_scan();
+    }
+
+    if !opts.statements.is_empty() {
+        let mut ok = true;
+        for sql in &opts.statements {
+            ok &= execute(&mut session, sql);
+        }
+        // Scripted mode: a failed statement fails the invocation.
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    println!(
+        "incmr shell — table `lineitem`: {} partitions x {} records, planted predicate {planted}{}",
+        opts.partitions,
+        opts.records,
+        if opts.full_scan {
+            " (full-scan mode: ad-hoc predicates allowed)"
+        } else {
+            " (planted mode: WHERE must match the planted predicate)"
+        }
+    );
+    println!("policies: Hadoop HA MA LA C — e.g. SET dynamic.job.policy = LA;\n");
+    let stdin = std::io::stdin();
+    loop {
+        print!("incmr> ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        execute(&mut session, line);
+    }
+}

@@ -1,0 +1,187 @@
+//! Cross-crate integration: the full pipeline from SQL text to a sample,
+//! exercised through the public facade.
+
+use std::rc::Rc;
+
+use incmr::core::parse_policy_file;
+use incmr::prelude::*;
+
+fn make_session(partitions: u32, records: u64, skew: SkewLevel, full_scan: bool) -> Session {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(404);
+    let spec = DatasetSpec::small("lineitem", partitions, records, skew, 404);
+    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let mut catalog = Catalog::new();
+    catalog.register("lineitem", ds);
+    let rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let s = Session::new(rt, catalog);
+    if full_scan {
+        s.with_full_scan()
+    } else {
+        s
+    }
+}
+
+#[test]
+fn sql_to_sample_through_every_layer() {
+    let mut session = make_session(30, 4_000, SkewLevel::High, false);
+    session.execute("SET dynamic.job.policy = MA").unwrap();
+    let out = session
+        .execute("SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 25")
+        .unwrap();
+    let QueryOutput::Rows {
+        rows,
+        splits_processed,
+        records_processed,
+        response_time,
+        ..
+    } = out
+    else {
+        panic!("expected rows")
+    };
+    assert_eq!(rows.len(), 25);
+    assert!(rows.iter().all(|r| r.arity() == 3));
+    assert!(splits_processed < 30, "stopped early: {splits_processed} splits");
+    assert!(records_processed > 0);
+    assert!(response_time > SimDuration::ZERO);
+}
+
+#[test]
+fn policy_file_drives_query_execution() {
+    let mut session = make_session(20, 3_000, SkewLevel::Zero, false);
+    session
+        .load_policies(&incmr::core::policy_file::builtin_policy_file())
+        .unwrap();
+    session.execute("SET dynamic.job.policy = C").unwrap();
+    assert_eq!(session.active_policy().name, "C");
+    let out = session
+        .execute("SELECT * FROM lineitem WHERE L_QUANTITY = 200 LIMIT 5")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    assert_eq!(rows.len(), 5);
+}
+
+#[test]
+fn custom_policy_round_trips_from_text_to_execution() {
+    let policies = parse_policy_file(
+        r#"<policies>
+             <policy name="drip">
+               <workThreshold>0</workThreshold>
+               <grabLimit>2</grabLimit>
+               <evaluationInterval>4000</evaluationInterval>
+             </policy>
+           </policies>"#,
+    )
+    .unwrap();
+
+    // Run a sampling job under the custom policy directly.
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(9);
+    let spec = DatasetSpec::small("t", 16, 3_000, SkewLevel::Zero, 9);
+    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let (job, driver) = build_sampling_job(&ds, 10, policies[0].clone(), ScanMode::Planted, SampleMode::FirstK, 2);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    let r = rt.job_result(id);
+    assert_eq!(r.output.len(), 10);
+    // A grab limit of 2 means the job can never have grown faster than two
+    // partitions per evaluation.
+    assert!(r.splits_processed <= 16);
+}
+
+#[test]
+fn full_scan_mode_supports_ad_hoc_analysis() {
+    let mut session = make_session(10, 2_000, SkewLevel::Zero, true);
+    let out = session
+        .execute("SELECT L_ORDERKEY FROM lineitem WHERE L_SHIPMODE = 'RAIL' AND L_QUANTITY < 10 LIMIT 8")
+        .unwrap();
+    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    assert_eq!(rows.len(), 8, "natural data has plenty of RAIL shipments");
+}
+
+#[test]
+fn dynamic_job_beats_hadoop_policy_on_work() {
+    let run = |policy: Policy| {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(55);
+        let spec = DatasetSpec::small("t", 40, 5_000, SkewLevel::Zero, 55);
+        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let mut rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        let (job, driver) = build_sampling_job(&ds, 30, policy, ScanMode::Planted, SampleMode::FirstK, 5);
+        let id = rt.submit(job, driver);
+        rt.run_until_idle();
+        (rt.job_result(id).output.len(), rt.job_result(id).records_processed)
+    };
+    let (hadoop_n, hadoop_records) = run(Policy::hadoop());
+    let (la_n, la_records) = run(Policy::la());
+    assert_eq!(hadoop_n, la_n, "same sample size either way");
+    assert!(
+        la_records < hadoop_records,
+        "dynamic read {la_records} records vs Hadoop's {hadoop_records}"
+    );
+}
+
+#[test]
+fn fair_scheduler_runs_the_same_pipeline() {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(66);
+    let spec = DatasetSpec::small("t", 20, 2_000, SkewLevel::Moderate, 66);
+    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FairScheduler::paper_default()),
+    );
+    let (job, driver) = build_sampling_job(&ds, 15, Policy::ha(), ScanMode::Planted, SampleMode::FirstK, 3);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    assert_eq!(rt.job_result(id).output.len(), 15);
+}
+
+#[test]
+fn workload_and_metrics_compose_through_the_facade() {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let root = DetRng::seed_from(88);
+    let datasets: Vec<Rc<Dataset>> = (0..3)
+        .map(|u| {
+            let mut rng = root.fork(u);
+            let spec = DatasetSpec::small(&format!("c{u}"), 24, 100_000, SkewLevel::Zero, 88 + u);
+            Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::starting_at(u as u32 * 5), &mut rng))
+        })
+        .collect();
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_multi_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let spec = WorkloadSpec::homogeneous(
+        datasets,
+        3_000,
+        Policy::la(),
+        SimDuration::from_mins(3),
+        SimDuration::from_mins(15),
+        2,
+    );
+    let report = run_workload(&mut rt, &spec);
+    assert!(report.sampling_completed > 0);
+    assert!(report.metrics.cpu_util_pct > 0.0);
+    assert!(report.metrics.locality_pct > 0.0);
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the stack's core invariants.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use incmr::core::policy_file::{parse_grab_limit, parse_policy_file};
+use incmr::data::generator::{RecordFactory, SplitGenerator, SplitSpec};
+use incmr::data::lineitem::{col, LineItemFactory};
+use incmr::data::skew::assign_matching;
+use incmr::prelude::*;
+use incmr::simkit::dist::Zipf;
+use incmr::simkit::resource::PsResource;
+use incmr::simkit::Sim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The planted fast path is exactly the predicate-filtered full scan.
+    #[test]
+    fn planted_equals_filtered_full_scan(
+        records in 1u64..2_000,
+        frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let matching = (records as f64 * frac) as u64;
+        let factory = LineItemFactory::new(col::QUANTITY, Value::Int(200));
+        let gen = SplitGenerator::new(&factory, SplitSpec::new(records, matching, seed));
+        let predicate = factory.predicate();
+        let filtered: Vec<Record> = gen.full_iter().filter(|r| predicate.eval(r)).collect();
+        prop_assert_eq!(filtered.len() as u64, matching);
+        prop_assert_eq!(filtered, gen.planted_matches());
+    }
+
+    /// Zipf planting conserves the total and covers every partition index.
+    #[test]
+    fn skew_assignment_conserves_total(
+        total in 0u64..30_000,
+        partitions in 1usize..200,
+        z in 0.0f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::seed_from(seed);
+        let counts = assign_matching(total, partitions, z, &mut rng);
+        prop_assert_eq!(counts.len(), partitions);
+        prop_assert_eq!(counts.iter().sum::<u64>(), total);
+    }
+
+    /// Zipf pmf is a probability distribution for any exponent.
+    #[test]
+    fn zipf_pmf_sums_to_one(n in 1usize..500, z in 0.0f64..4.0) {
+        let d = Zipf::new(n, z);
+        let total: f64 = (1..=n).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    /// The event queue delivers in nondecreasing time order, FIFO within a
+    /// timestamp, regardless of the schedule.
+    #[test]
+    fn event_queue_orders_any_schedule(times in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut sim: Sim<usize> = Sim::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_millis(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((at, idx)) = sim.pop() {
+            if let Some((prev_at, prev_idx)) = last {
+                prop_assert!(at >= prev_at);
+                if at == prev_at {
+                    prop_assert!(idx > prev_idx, "FIFO within a timestamp");
+                }
+            }
+            prop_assert_eq!(SimTime::from_millis(times[idx]), at);
+            last = Some((at, idx));
+        }
+    }
+
+    /// Processor sharing conserves work: injected = drained + remaining.
+    #[test]
+    fn ps_resource_conserves_work(
+        flows in prop::collection::vec((0u64..5_000, 1.0f64..10_000.0), 1..40),
+        horizon in 1u64..20_000,
+    ) {
+        let mut r = PsResource::new(1_000.0);
+        let mut injected = 0.0;
+        let mut ids = Vec::new();
+        let mut sorted = flows.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        for (t, amount) in &sorted {
+            ids.push(r.add_flow(SimTime::from_millis(*t), *amount));
+            injected += amount;
+        }
+        let end = SimTime::from_millis(10_000_000.min(sorted.last().unwrap().0 + horizon));
+        r.advance(end);
+        let remaining: f64 = ids.iter().filter_map(|&id| r.remaining(id)).sum();
+        let drained = r.drained_total(end);
+        prop_assert!(
+            (injected - remaining - drained).abs() < 1e-3 * injected.max(1.0),
+            "injected {injected} != drained {drained} + remaining {remaining}"
+        );
+    }
+
+    /// Grab-limit expressions round-trip through render → parse.
+    #[test]
+    fn grab_limit_display_parses_back(ts in 1u32..1000, avail in 0u32..1000) {
+        for policy in Policy::table1() {
+            let rendered = policy.grab_limit.to_string();
+            let reparsed = parse_grab_limit(&rendered).unwrap();
+            prop_assert_eq!(
+                reparsed.evaluate(ts, avail.min(ts)),
+                policy.grab_limit.evaluate(ts, avail.min(ts))
+            );
+        }
+    }
+
+    /// A sampling job returns exactly min(k, planted matches), never
+    /// anything else, across sizes, skews, and policies.
+    #[test]
+    fn sample_size_invariant(
+        partitions in 2u32..24,
+        records in 500u64..4_000,
+        k in 1u64..200,
+        skew_idx in 0usize..3,
+        policy_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let skew = SkewLevel::all()[skew_idx];
+        let policy = Policy::table1()[policy_idx].clone();
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(seed);
+        let spec = DatasetSpec::small("t", partitions, records, skew, seed);
+        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let total_matches = ds.total_matching();
+        let mut rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        let (job, driver) = build_sampling_job(&ds, k, policy, ScanMode::Planted, SampleMode::FirstK, seed ^ 1);
+        let id = rt.submit(job, driver);
+        rt.run_until_idle();
+        let result = rt.job_result(id);
+        prop_assert_eq!(result.output.len() as u64, k.min(total_matches));
+        // Every output satisfies the predicate.
+        let predicate = ds.factory().predicate();
+        prop_assert!(result.output.iter().all(|(_, r)| predicate.eval(r)));
+        // No partition is processed twice and none are invented.
+        prop_assert!(result.splits_processed <= partitions);
+    }
+
+    /// Policy files render → parse → identical policies (full round trip).
+    #[test]
+    fn policy_file_round_trip(wt in 0.0f64..50.0, frac in 0.01f64..1.0, interval in 100u64..60_000) {
+        let text = format!(
+            "<policies><policy name=\"p\"><workThreshold>{wt}</workThreshold>\
+             <grabLimit>{frac}*AS</grabLimit><evaluationInterval>{interval}</evaluationInterval>\
+             </policy></policies>"
+        );
+        let parsed = parse_policy_file(&text).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].work_threshold_pct, wt);
+        prop_assert_eq!(parsed[0].evaluation_interval.as_millis(), interval);
+    }
+}
