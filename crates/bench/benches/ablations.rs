@@ -33,9 +33,10 @@ fn bench_ablations(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function(BenchmarkId::from_parameter("eval_interval_one_point"), |b| {
-        b.iter(|| black_box(ablations::eval_interval_sweep(&cal, &[4_000])))
-    });
+    g.bench_function(
+        BenchmarkId::from_parameter("eval_interval_one_point"),
+        |b| b.iter(|| black_box(ablations::eval_interval_sweep(&cal, &[4_000]))),
+    );
     g.bench_function(BenchmarkId::from_parameter("fair_delay_one_point"), |b| {
         b.iter(|| black_box(ablations::fair_delay_sweep(&cal, &[15])))
     });

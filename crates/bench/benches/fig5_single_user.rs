@@ -13,8 +13,14 @@ use incmr_mapreduce::{FifoScheduler, MrRuntime, ScanMode};
 
 fn run_one(cal: &incmr_experiments::Calibration, policy: Policy) -> f64 {
     let (ns, ds) = cal.build_world(5, SkewLevel::Moderate, 5);
-    let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
-    let (spec, driver) = build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 9);
+    let mut rt = MrRuntime::new(
+        cal.cluster_single,
+        cal.cost,
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let (spec, driver) =
+        build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 9);
     let id = rt.submit(spec, driver);
     rt.run_until_idle();
     rt.job_result(id).response_time().as_secs_f64()
@@ -28,9 +34,11 @@ fn bench_fig5(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5/single_user_job");
     g.sample_size(10);
     for policy in Policy::table1() {
-        g.bench_with_input(BenchmarkId::from_parameter(&policy.name), &policy, |b, p| {
-            b.iter(|| black_box(run_one(&cal, p.clone())))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&policy.name),
+            &policy,
+            |b, p| b.iter(|| black_box(run_one(&cal, p.clone()))),
+        );
     }
     g.finish();
 }

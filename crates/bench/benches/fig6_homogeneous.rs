@@ -13,7 +13,12 @@ use incmr_workload::{run_workload, WorkloadSpec};
 
 fn run_one(cal: &incmr_experiments::Calibration, policy: Policy) -> f64 {
     let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 77);
-    let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
+    let mut rt = MrRuntime::new(
+        cal.cluster_multi,
+        cal.cost,
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
     let spec = WorkloadSpec::homogeneous(datasets, cal.k, policy, cal.warmup, cal.measure, 11);
     run_workload(&mut rt, &spec).sampling_jobs_per_hour()
 }
@@ -26,9 +31,11 @@ fn bench_fig6(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6/homogeneous_workload");
     g.sample_size(10);
     for policy in Policy::table1() {
-        g.bench_with_input(BenchmarkId::from_parameter(&policy.name), &policy, |b, p| {
-            b.iter(|| black_box(run_one(&cal, p.clone())))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&policy.name),
+            &policy,
+            |b, p| b.iter(|| black_box(run_one(&cal, p.clone()))),
+        );
     }
     g.finish();
 }

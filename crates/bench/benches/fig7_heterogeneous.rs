@@ -10,21 +10,33 @@ use incmr_mapreduce::FifoScheduler;
 
 fn bench_fig7(c: &mut Criterion) {
     let cal = mini();
-    let result = run_hetero(&cal, &[0.25, 0.75], &[Policy::hadoop(), Policy::la()], "fifo", || {
-        Box::new(FifoScheduler::new())
-    });
+    let result = run_hetero(
+        &cal,
+        &[0.25, 0.75],
+        &[Policy::hadoop(), Policy::la()],
+        "fifo",
+        || Box::new(FifoScheduler::new()),
+    );
     println!("{}", render_figure("FIGURE 7 (mini)", &result));
 
     let mut g = c.benchmark_group("fig7/heterogeneous_fifo");
     g.sample_size(10);
     for policy in [Policy::hadoop(), Policy::la()] {
-        g.bench_with_input(BenchmarkId::from_parameter(&policy.name), &policy, |b, p| {
-            b.iter(|| {
-                black_box(run_hetero(&cal, &[0.5], std::slice::from_ref(p), "fifo", || {
-                    Box::new(FifoScheduler::new())
-                }))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(&policy.name),
+            &policy,
+            |b, p| {
+                b.iter(|| {
+                    black_box(run_hetero(
+                        &cal,
+                        &[0.5],
+                        std::slice::from_ref(p),
+                        "fifo",
+                        || Box::new(FifoScheduler::new()),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

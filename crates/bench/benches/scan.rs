@@ -1,0 +1,98 @@
+//! Data-plane scan micro-benchmark: how fast the host computes a batch of
+//! `ScanMode::Full` map tasks at different worker-pool sizes.
+//!
+//! This measures the *host* wall clock of the two-plane split (see
+//! `incmr-mapreduce::parallel`): simulated results are identical at every
+//! thread count, so the only thing parallelism can buy is wall time — and
+//! heavy full-materialisation scans are where it shows. Results are written
+//! to `BENCH_scan.json` (name, mean_ns, iterations) so speedups can be
+//! compared across machines; no speedup is asserted here because the ratio
+//! is a property of the host's core count, not of the code.
+
+use std::sync::Arc;
+
+use criterion::{black_box, Criterion, Throughput};
+
+use incmr_data::{Dataset, DatasetSpec, RecordFactory, SkewLevel};
+use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+use incmr_mapreduce::{
+    DatasetInputFormat, InputFormat, MapResult, MapUnit, Mapper, ParallelExecutor, Parallelism,
+    ScanMode, SplitData,
+};
+use incmr_simkit::rng::DetRng;
+
+/// The paper's scan-side map logic in miniature: evaluate the planted
+/// predicate over every materialised record.
+struct PredicateCountMapper {
+    predicate: incmr_data::Predicate,
+}
+
+impl Mapper for PredicateCountMapper {
+    fn run(&self, data: &SplitData) -> MapResult {
+        let SplitData::Records(records) = data else {
+            panic!("scan bench uses ScanMode::Full");
+        };
+        let matches = records.iter().filter(|r| self.predicate.eval(r)).count() as u64;
+        MapResult {
+            pairs: Vec::new(),
+            records_read: records.len() as u64,
+            unmaterialized_outputs: matches,
+            unmaterialized_bytes: matches * 24,
+        }
+    }
+}
+
+fn scan_units(partitions: u32, records: u64) -> Vec<MapUnit> {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(42);
+    let spec = DatasetSpec::small("scanbench", partitions, records, SkewLevel::Moderate, 42);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let predicate = ds.factory().predicate();
+    let input: Arc<dyn InputFormat> =
+        Arc::new(DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full));
+    let mapper: Arc<dyn Mapper> = Arc::new(PredicateCountMapper { predicate });
+    ds.splits()
+        .iter()
+        .map(|plan| MapUnit {
+            input_format: Arc::clone(&input),
+            mapper: Arc::clone(&mapper),
+            block: plan.block,
+        })
+        .collect()
+}
+
+fn bench_scan_batch(c: &mut Criterion) {
+    // 40 splits × 20k records: one full scheduling wave on the paper's
+    // 40-slot cluster, heavy enough for per-batch thread dispatch to be
+    // noise (each unit materialises and filters 20k records).
+    let units = scan_units(40, 20_000);
+    let records_total: u64 = 40 * 20_000;
+    let mut g = c.benchmark_group("scan/full_batch_40x20k");
+    g.throughput(Throughput::Elements(records_total));
+    for threads in [1u32, 2, 4, 8] {
+        let executor = ParallelExecutor::new(Parallelism::threads(threads));
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(executor.run(&units).len()))
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_scan_batch(&mut c);
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {host_threads} (speedup is bounded by this)");
+    // Cargo runs benches from the package dir; anchor the report at the
+    // workspace root where tooling expects it.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");
+    c.write_json(out).expect("write BENCH_scan.json");
+    println!("wrote {out}");
+}

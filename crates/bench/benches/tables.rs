@@ -12,9 +12,15 @@ fn bench_tables(c: &mut Criterion) {
     println!("{}", table2::render_table(&cal));
     println!("{}", table3::render_table(&cal));
 
-    c.bench_function("table1/render", |b| b.iter(|| black_box(table1::render_table())));
-    c.bench_function("table2/compute", |b| b.iter(|| black_box(table2::run(&cal))));
-    c.bench_function("table3/plan_and_measure", |b| b.iter(|| black_box(table3::run(&cal))));
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(table1::render_table()))
+    });
+    c.bench_function("table2/compute", |b| {
+        b.iter(|| black_box(table2::run(&cal)))
+    });
+    c.bench_function("table3/plan_and_measure", |b| {
+        b.iter(|| black_box(table3::run(&cal)))
+    });
 }
 
 criterion_group!(benches, bench_tables);

@@ -33,7 +33,10 @@ mod tests {
     #[test]
     fn mini_is_small_but_same_regime() {
         let m = mini();
-        assert_eq!(m.records_per_partition, Calibration::paper().records_per_partition);
+        assert_eq!(
+            m.records_per_partition,
+            Calibration::paper().records_per_partition
+        );
         assert!(m.users < Calibration::paper().users);
         assert!(m.measure < Calibration::paper().measure);
     }

@@ -21,7 +21,7 @@
 //! as co-tenants arrive — and vice versa.
 
 use incmr_dfs::BlockId;
-use incmr_mapreduce::{ClusterStatus, GrowthDirective, GrowthDriver, JobProgress};
+use incmr_mapreduce::{ClusterStatus, EvalContext, GrowthDirective, GrowthDriver};
 use incmr_simkit::SimDuration;
 
 use crate::input_provider::{InputProvider, InputResponse};
@@ -68,7 +68,10 @@ impl AdaptiveDriver {
         thresholds: AdaptiveThresholds,
         total_input_splits: u32,
     ) -> Self {
-        assert!(!ladder.is_empty(), "adaptive ladder needs at least one policy");
+        assert!(
+            !ladder.is_empty(),
+            "adaptive ladder needs at least one policy"
+        );
         AdaptiveDriver {
             provider,
             ladder,
@@ -137,12 +140,18 @@ impl GrowthDriver for AdaptiveDriver {
         self.provider.initial_input(cluster, grab)
     }
 
-    fn evaluate(&mut self, progress: &JobProgress, cluster: &ClusterStatus) -> GrowthDirective {
+    fn evaluate(&mut self, ctx: EvalContext<'_>) -> GrowthDirective {
+        let (progress, cluster) = (ctx.progress, ctx.cluster);
         self.adapt(cluster);
         let policy = self.current_policy();
         let threshold = policy.work_threshold_splits(self.total_input_splits);
-        let new_work = progress.splits_completed.saturating_sub(self.completed_at_last_invocation);
-        if self.invocations > 0 && new_work < threshold && progress.splits_running + progress.splits_pending > 0 {
+        let new_work = progress
+            .splits_completed
+            .saturating_sub(self.completed_at_last_invocation);
+        if self.invocations > 0
+            && new_work < threshold
+            && progress.splits_running + progress.splits_pending > 0
+        {
             return GrowthDirective::Wait;
         }
         self.invocations += 1;
@@ -151,7 +160,7 @@ impl GrowthDriver for AdaptiveDriver {
             .current_policy()
             .grab_limit
             .evaluate(cluster.total_map_slots, cluster.available_map_slots());
-        match self.provider.next_input(progress, cluster, grab) {
+        match self.provider.next_input(ctx.with_grab_limit(grab)) {
             InputResponse::EndOfInput => GrowthDirective::EndOfInput,
             InputResponse::InputAvailable(blocks) => GrowthDirective::AddInput(blocks),
             InputResponse::NoInputAvailable => GrowthDirective::Wait,
@@ -190,8 +199,16 @@ mod tests {
         let d = driver(40, 100);
         assert_eq!(d.select_rung(&status(40, 0)), 0, "idle → aggressive");
         assert_eq!(d.select_rung(&status(40, 20)), 1, "half busy → middle");
-        assert_eq!(d.select_rung(&status(40, 40)), 2, "saturated → conservative");
-        assert_eq!(d.select_rung(&status(0, 0)), 2, "degenerate cluster counts as busy");
+        assert_eq!(
+            d.select_rung(&status(40, 40)),
+            2,
+            "saturated → conservative"
+        );
+        assert_eq!(
+            d.select_rung(&status(0, 0)),
+            2,
+            "degenerate cluster counts as busy"
+        );
     }
 
     #[test]
@@ -220,10 +237,10 @@ mod tests {
             records_processed: 10_000,
             map_output_records: 10,
         };
-        let _ = d.evaluate(&p, &status(40, 40)); // now saturated → LA
+        let _ = d.evaluate(EvalContext::unlimited(&p, &status(40, 40))); // now saturated → LA
         assert_eq!(d.current_policy().name, "LA");
         assert_eq!(d.switches(), 1);
-        let _ = d.evaluate(&p, &status(40, 0)); // idle again → HA
+        let _ = d.evaluate(EvalContext::unlimited(&p, &status(40, 0))); // idle again → HA
         assert_eq!(d.switches(), 2);
     }
 
@@ -249,7 +266,7 @@ mod tests {
             records_processed: 100,
             map_output_records: 0,
         };
-        let _ = d.evaluate(&p, &status(40, 40));
+        let _ = d.evaluate(EvalContext::unlimited(&p, &status(40, 40)));
         assert_eq!(d.evaluation_interval(), SimDuration::from_secs(8));
     }
 

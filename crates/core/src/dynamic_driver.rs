@@ -17,7 +17,7 @@
 //!   (`TS`, `AS`) and passed to the provider to bound each increment.
 
 use incmr_dfs::BlockId;
-use incmr_mapreduce::{ClusterStatus, GrowthDirective, GrowthDriver, JobProgress};
+use incmr_mapreduce::{ClusterStatus, EvalContext, GrowthDirective, GrowthDriver};
 use incmr_simkit::SimDuration;
 
 use crate::input_provider::{InputProvider, InputResponse};
@@ -70,23 +70,29 @@ impl GrowthDriver for DynamicDriver {
         self.provider.initial_input(cluster, grab)
     }
 
-    fn evaluate(&mut self, progress: &JobProgress, cluster: &ClusterStatus) -> GrowthDirective {
+    fn evaluate(&mut self, ctx: EvalContext<'_>) -> GrowthDirective {
         // Work-threshold gate: "Between successive evaluations, if a job
         // has not done enough new work in terms of finishing new map tasks,
         // it may not be worthwhile for the input provider to re-evaluate."
+        let progress = ctx.progress;
         let threshold = self.policy.work_threshold_splits(self.total_input_splits);
-        let new_work = progress.splits_completed.saturating_sub(self.completed_at_last_invocation);
+        let new_work = progress
+            .splits_completed
+            .saturating_sub(self.completed_at_last_invocation);
         // The gate applies between invocations, not before the first one —
         // and never blocks once the target could already be met (checking
         // that is the provider's job, which is cheap; the paper's gate
         // exists to avoid pointless re-estimation).
-        if self.invocations > 0 && new_work < threshold && progress.splits_running + progress.splits_pending > 0 {
+        if self.invocations > 0
+            && new_work < threshold
+            && progress.splits_running + progress.splits_pending > 0
+        {
             return GrowthDirective::Wait;
         }
         self.invocations += 1;
         self.completed_at_last_invocation = progress.splits_completed;
-        let grab = self.grab_limit(cluster);
-        match self.provider.next_input(progress, cluster, grab) {
+        let grab = self.grab_limit(ctx.cluster);
+        match self.provider.next_input(ctx.with_grab_limit(grab)) {
             InputResponse::EndOfInput => GrowthDirective::EndOfInput,
             InputResponse::InputAvailable(blocks) => GrowthDirective::AddInput(blocks),
             InputResponse::NoInputAvailable => GrowthDirective::Wait,
@@ -102,7 +108,7 @@ impl GrowthDriver for DynamicDriver {
 mod tests {
     use super::*;
     use crate::sampling_provider::SamplingInputProvider;
-    use incmr_mapreduce::JobId;
+    use incmr_mapreduce::{JobId, JobProgress};
 
     fn blocks(n: u32) -> Vec<BlockId> {
         (0..n).map(BlockId).collect()
@@ -155,15 +161,24 @@ mod tests {
         // LA: 10% of 40 splits = 4 completions required between invocations.
         let mut d = driver(Policy::la(), 40, 1_000_000);
         let _ = d.initial_input(&status(40, 40)); // 8 splits (0.2*40)
-        // First evaluation always consults the provider.
-        let _ = d.evaluate(&progress(8, 1, 1_000, 1), &status(40, 32));
+                                                  // First evaluation always consults the provider.
+        let _ = d.evaluate(EvalContext::unlimited(
+            &progress(8, 1, 1_000, 1),
+            &status(40, 32),
+        ));
         assert_eq!(d.provider_invocations(), 1);
         // Only 2 new completions since: gated.
-        let dir = d.evaluate(&progress(8, 3, 3_000, 3), &status(40, 32));
+        let dir = d.evaluate(EvalContext::unlimited(
+            &progress(8, 3, 3_000, 3),
+            &status(40, 32),
+        ));
         assert_eq!(dir, GrowthDirective::Wait);
         assert_eq!(d.provider_invocations(), 1);
         // 5 new completions: invoked again.
-        let _ = d.evaluate(&progress(8, 6, 6_000, 6), &status(40, 34));
+        let _ = d.evaluate(EvalContext::unlimited(
+            &progress(8, 6, 6_000, 6),
+            &status(40, 34),
+        ));
         assert_eq!(d.provider_invocations(), 2);
     }
 
@@ -173,9 +188,15 @@ mod tests {
         // consult the provider or it would stall forever.
         let mut d = driver(Policy::conservative(), 40, 1_000_000);
         let _ = d.initial_input(&status(40, 40));
-        let _ = d.evaluate(&progress(4, 1, 1_000, 1), &status(40, 40));
+        let _ = d.evaluate(EvalContext::unlimited(
+            &progress(4, 1, 1_000, 1),
+            &status(40, 40),
+        ));
         let before = d.provider_invocations();
-        let dir = d.evaluate(&progress(4, 4, 4_000, 4), &status(40, 40));
+        let dir = d.evaluate(EvalContext::unlimited(
+            &progress(4, 4, 4_000, 4),
+            &status(40, 40),
+        ));
         assert_eq!(d.provider_invocations(), before + 1);
         assert!(matches!(dir, GrowthDirective::AddInput(_)));
     }
@@ -184,7 +205,10 @@ mod tests {
     fn k_reached_propagates_end_of_input() {
         let mut d = driver(Policy::ha(), 40, 10);
         let _ = d.initial_input(&status(40, 40));
-        let dir = d.evaluate(&progress(40, 10, 10_000, 50), &status(40, 30));
+        let dir = d.evaluate(EvalContext::unlimited(
+            &progress(40, 10, 10_000, 50),
+            &status(40, 30),
+        ));
         assert_eq!(dir, GrowthDirective::EndOfInput);
     }
 
@@ -198,7 +222,10 @@ mod tests {
     fn hadoop_policy_ends_input_immediately_after_grabbing_all() {
         let mut d = driver(Policy::hadoop(), 40, 10);
         assert_eq!(d.initial_input(&status(40, 40)).len(), 40);
-        let dir = d.evaluate(&progress(40, 0, 0, 0), &status(40, 0));
+        let dir = d.evaluate(EvalContext::unlimited(
+            &progress(40, 0, 0, 0),
+            &status(40, 0),
+        ));
         assert_eq!(dir, GrowthDirective::EndOfInput, "pool exhausted");
     }
 }

@@ -60,18 +60,22 @@ impl SelectivityEstimator {
 
     /// Estimated selectivity, if any data has been seen.
     pub fn selectivity(&self) -> Option<f64> {
-        (self.records_processed > 0).then(|| self.matches_found as f64 / self.records_processed as f64)
+        (self.records_processed > 0)
+            .then(|| self.matches_found as f64 / self.records_processed as f64)
     }
 
     /// Estimated records per split, if any split has completed.
     pub fn records_per_split(&self) -> Option<f64> {
-        (self.splits_completed > 0).then(|| self.records_processed as f64 / self.splits_completed as f64)
+        (self.splits_completed > 0)
+            .then(|| self.records_processed as f64 / self.splits_completed as f64)
     }
 
     /// Project what is needed to reach `k` total matches, given
     /// `outstanding_splits` scheduled-but-incomplete splits.
     pub fn project(&self, k: u64, outstanding_splits: u32) -> ProgressEstimate {
-        let (Some(selectivity), Some(records_per_split)) = (self.selectivity(), self.records_per_split()) else {
+        let (Some(selectivity), Some(records_per_split)) =
+            (self.selectivity(), self.records_per_split())
+        else {
             return ProgressEstimate::NoData;
         };
         if selectivity <= 0.0 {
@@ -160,7 +164,10 @@ mod tests {
         else {
             panic!();
         };
-        assert_eq!(additional_splits_needed, 0, "100 found + 100 expected ≥ 150");
+        assert_eq!(
+            additional_splits_needed, 0,
+            "100 found + 100 expected ≥ 150"
+        );
     }
 
     #[test]
@@ -189,7 +196,7 @@ mod tests {
     fn fractional_needs_round_up() {
         let mut e = SelectivityEstimator::new();
         e.update(&progress(10, 10_000, 100)); // sel 1%, 1000 rec/split
-        // Need 5 more matches → 500 records → 0.5 split → 1.
+                                              // Need 5 more matches → 500 records → 0.5 split → 1.
         let ProgressEstimate::Estimate {
             additional_splits_needed,
             ..

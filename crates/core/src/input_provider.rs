@@ -10,7 +10,7 @@
 //! answers with one of the three responses of the paper's Figure 3.
 
 use incmr_dfs::BlockId;
-use incmr_mapreduce::{ClusterStatus, JobProgress};
+use incmr_mapreduce::{ClusterStatus, EvalContext};
 
 /// The three possible responses of an Input Provider (paper Figure 3).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,16 +26,18 @@ pub enum InputResponse {
 
 /// Job-supplied logic controlling intake of input.
 ///
-/// `grab_limit` on both methods is the policy's bound on how many
-/// partitions may be claimed in a single step ("Both the initial input and
-/// any subsequent increment (if required) is limited by the GrabLimit, as
-/// defined for the policy in use", Section IV).
+/// The grab limit (on `initial_input`, and in the [`EvalContext`] passed to
+/// `next_input`) is the policy's bound on how many partitions may be
+/// claimed in a single step ("Both the initial input and any subsequent
+/// increment (if required) is limited by the GrabLimit, as defined for the
+/// policy in use", Section IV).
 pub trait InputProvider {
     /// The partitions to process first, at job submission.
     fn initial_input(&mut self, cluster: &ClusterStatus, grab_limit: u64) -> Vec<BlockId>;
 
-    /// Reassess progress and decide on further input.
-    fn next_input(&mut self, progress: &JobProgress, cluster: &ClusterStatus, grab_limit: u64) -> InputResponse;
+    /// Reassess progress and decide on further input. The context bundles
+    /// job progress, cluster status, and the policy's grab limit.
+    fn next_input(&mut self, ctx: EvalContext<'_>) -> InputResponse;
 
     /// Partitions not yet handed to the job (introspection / testing).
     fn remaining(&self) -> usize;

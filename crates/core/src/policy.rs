@@ -264,7 +264,10 @@ mod tests {
             .iter()
             .map(|p| p.grab_limit.evaluate(40, 40))
             .collect();
-        assert!(grabs.windows(2).all(|w| w[0] >= w[1]), "grabs not monotone: {grabs:?}");
+        assert!(
+            grabs.windows(2).all(|w| w[0] >= w[1]),
+            "grabs not monotone: {grabs:?}"
+        );
     }
 
     #[test]
@@ -279,7 +282,10 @@ mod tests {
 
     #[test]
     fn grab_limit_expression_combinators() {
-        let e = GrabLimit::Min(Box::new(GrabLimit::Const(10.0)), Box::new(GrabLimit::FracTotal(0.5)));
+        let e = GrabLimit::Min(
+            Box::new(GrabLimit::Const(10.0)),
+            Box::new(GrabLimit::FracTotal(0.5)),
+        );
         assert_eq!(e.evaluate(40, 0), 10);
         assert_eq!(e.evaluate(10, 0), 5);
         assert_eq!(GrabLimit::Const(2.5).evaluate(0, 0), 3, "ceil applies");
@@ -287,7 +293,10 @@ mod tests {
 
     #[test]
     fn display_round_trips_names() {
-        assert_eq!(Policy::ma().grab_limit.to_string(), "(AS > 0) ? 0.5*AS : 0.2*TS");
+        assert_eq!(
+            Policy::ma().grab_limit.to_string(),
+            "(AS > 0) ? 0.5*AS : 0.2*TS"
+        );
         assert_eq!(Policy::hadoop().grab_limit.to_string(), "Infinity");
         assert!(Policy::la().to_string().contains("WT=10%"));
     }

@@ -86,17 +86,17 @@ fn parse_policy(parser: &mut XmlishParser) -> Result<Policy, PolicyFileError> {
             }
             "grabLimit" => grab = Some(parse_grab_limit(&body)?),
             "evaluationInterval" => {
-                let ms: u64 = body
-                    .trim()
-                    .parse()
-                    .map_err(|_| PolicyFileError::new(format!("bad evaluationInterval: {body:?}")))?;
+                let ms: u64 = body.trim().parse().map_err(|_| {
+                    PolicyFileError::new(format!("bad evaluationInterval: {body:?}"))
+                })?;
                 interval = SimDuration::from_millis(ms);
             }
             other => return Err(PolicyFileError::new(format!("unknown element <{other}>"))),
         }
     }
     parser.expect_close("policy")?;
-    let grab_limit = grab.ok_or_else(|| PolicyFileError::new(format!("policy {name} lacks <grabLimit>")))?;
+    let grab_limit =
+        grab.ok_or_else(|| PolicyFileError::new(format!("policy {name} lacks <grabLimit>")))?;
     Ok(Policy {
         name,
         evaluation_interval: interval,
@@ -272,7 +272,9 @@ impl<'a> XmlishParser<'a> {
         let mut attrs = Vec::new();
         for part in attr_text.split_whitespace() {
             let Some((k, v)) = part.split_once('=') else {
-                return Err(PolicyFileError::new(format!("malformed attribute {part:?}")));
+                return Err(PolicyFileError::new(format!(
+                    "malformed attribute {part:?}"
+                )));
             };
             let v = v.trim_matches('"');
             attrs.push((k.to_string(), v.to_string()));
@@ -384,8 +386,14 @@ mod tests {
     fn grab_limit_expressions() {
         assert_eq!(parse_grab_limit("Infinity").unwrap(), GrabLimit::Infinity);
         assert_eq!(parse_grab_limit("12").unwrap(), GrabLimit::Const(12.0));
-        assert_eq!(parse_grab_limit("0.5*TS").unwrap(), GrabLimit::FracTotal(0.5));
-        assert_eq!(parse_grab_limit(" 0.1 * AS ").unwrap(), GrabLimit::FracAvailable(0.1));
+        assert_eq!(
+            parse_grab_limit("0.5*TS").unwrap(),
+            GrabLimit::FracTotal(0.5)
+        );
+        assert_eq!(
+            parse_grab_limit(" 0.1 * AS ").unwrap(),
+            GrabLimit::FracAvailable(0.1)
+        );
         assert_eq!(
             parse_grab_limit("max(0.5*TS, AS)").unwrap(),
             Policy::ha().grab_limit
@@ -402,16 +410,26 @@ mod tests {
         assert!(parse_grab_limit("max(1").is_err());
         assert!(parse_grab_limit("0.5*XS").is_err());
         assert!(parse_grab_limit("AS AS").is_err());
-        assert!(parse_grab_limit("(TS > 0) ? 1 : 2").is_err(), "only AS may be tested");
+        assert!(
+            parse_grab_limit("(TS > 0) ? 1 : 2").is_err(),
+            "only AS may be tested"
+        );
     }
 
     #[test]
     fn file_errors_are_reported() {
-        assert!(parse_policy_file("<policies></policies>").is_err(), "empty registry");
-        assert!(parse_policy_file("<policy name=\"x\"></policy>").is_err(), "missing root");
+        assert!(
+            parse_policy_file("<policies></policies>").is_err(),
+            "empty registry"
+        );
+        assert!(
+            parse_policy_file("<policy name=\"x\"></policy>").is_err(),
+            "missing root"
+        );
         let no_name = r#"<policies><policy><grabLimit>AS</grabLimit></policy></policies>"#;
         assert!(parse_policy_file(no_name).is_err());
-        let no_grab = r#"<policies><policy name="x"><workThreshold>1</workThreshold></policy></policies>"#;
+        let no_grab =
+            r#"<policies><policy name="x"><workThreshold>1</workThreshold></policy></policies>"#;
         let err = parse_policy_file(no_grab).unwrap_err();
         assert!(err.to_string().contains("grabLimit"), "{err}");
         let unknown = r#"<policies><policy name="x"><grabLimit>AS</grabLimit><nope>1</nope></policy></policies>"#;
@@ -426,7 +444,11 @@ mod tests {
               <policy name="b"><grabLimit>2</grabLimit></policy>
             </policies>
         "#;
-        let names: Vec<String> = parse_policy_file(text).unwrap().into_iter().map(|p| p.name).collect();
+        let names: Vec<String> = parse_policy_file(text)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 }

@@ -97,8 +97,14 @@ impl Mapper for SamplingMapper {
             // records the predicate accepts, in scan order; the cap and the
             // counters behave identically. Overflow beyond k is accounted
             // (it would be shuffled in Hadoop) but not materialised.
-            SplitData::Planted { total_records, matches } => {
-                debug_assert!(matches.iter().all(|r| self.predicate.eval(r)), "planted contract violated");
+            SplitData::Planted {
+                total_records,
+                matches,
+            } => {
+                debug_assert!(
+                    matches.iter().all(|r| self.predicate.eval(r)),
+                    "planted contract violated"
+                );
                 let keep = (self.k as usize).min(matches.len());
                 let pairs = matches[..keep].iter().map(|r| self.emit(r)).collect();
                 MapResult {
@@ -156,9 +162,10 @@ impl Reducer for SamplingReducer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incmr_data::{Value,
-        lineitem::{col, LineItemFactory},
+    use incmr_data::{
         generator::{RecordFactory, SplitGenerator, SplitSpec},
+        lineitem::{col, LineItemFactory},
+        Value,
     };
 
     fn factory() -> LineItemFactory {
@@ -167,14 +174,19 @@ mod tests {
 
     fn full_split(records: u64, matching: u64, seed: u64) -> SplitData {
         let f = factory();
-        SplitData::Records(SplitGenerator::new(&f, SplitSpec::new(records, matching, seed)).full_iter().collect())
+        SplitData::Records(
+            SplitGenerator::new(&f, SplitSpec::new(records, matching, seed))
+                .full_iter()
+                .collect(),
+        )
     }
 
     fn planted_split(records: u64, matching: u64, seed: u64) -> SplitData {
         let f = factory();
         SplitData::Planted {
             total_records: records,
-            matches: SplitGenerator::new(&f, SplitSpec::new(records, matching, seed)).planted_matches(),
+            matches: SplitGenerator::new(&f, SplitSpec::new(records, matching, seed))
+                .planted_matches(),
         }
     }
 
@@ -198,7 +210,11 @@ mod tests {
 
     #[test]
     fn projection_is_applied_map_side() {
-        let m = SamplingMapper::with_projection(factory().predicate(), 100, vec![col::ORDERKEY, col::SUPPKEY]);
+        let m = SamplingMapper::with_projection(
+            factory().predicate(),
+            100,
+            vec![col::ORDERKEY, col::SUPPKEY],
+        );
         for data in [full_split(1_000, 9, 4), planted_split(1_000, 9, 4)] {
             let out = m.run(&data);
             assert_eq!(out.pairs.len(), 9);
@@ -216,7 +232,9 @@ mod tests {
     }
 
     fn recs(n: u64) -> Vec<Record> {
-        (0..n).map(|i| Record::new(vec![Value::Int(i as i64)])).collect()
+        (0..n)
+            .map(|i| Record::new(vec![Value::Int(i as i64)]))
+            .collect()
     }
 
     #[test]
@@ -267,7 +285,9 @@ mod tests {
             let r = SamplingReducer::new(1, SampleMode::RandomK { seed });
             let mut out = Vec::new();
             r.reduce(DUMMY_KEY, &values, &mut out);
-            let Value::Int(v) = out[0].1.get(0) else { panic!() };
+            let Value::Int(v) = out[0].1.get(0) else {
+                panic!()
+            };
             counts[*v as usize] += 1;
         }
         for &c in &counts {

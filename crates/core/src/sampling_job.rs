@@ -2,12 +2,12 @@
 //! (what the modified Hive compiler of Section IV emits) and the static
 //! select-project scan job (the Non-Sampling class of Section V-E).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr_data::lineitem::col;
 use incmr_data::Dataset;
 use incmr_mapreduce::{
-    keys, DatasetInputFormat, IdentityReducer, JobConf, JobSpec, ScanMode, StaticDriver, MATERIALIZE_CAP_KEY,
+    keys, DatasetInputFormat, JobConf, JobSpec, ScanMode, StaticDriver, MATERIALIZE_CAP_KEY,
 };
 
 use crate::dynamic_driver::DynamicDriver;
@@ -28,7 +28,7 @@ pub fn paper_projection() -> Vec<usize> {
 /// (Input Provider under `policy`). `seed` drives the provider's random
 /// split selection (vary it across runs to average, as the paper does).
 pub fn build_sampling_job(
-    dataset: &Rc<Dataset>,
+    dataset: &Arc<Dataset>,
     k: u64,
     policy: Policy,
     scan_mode: ScanMode,
@@ -39,14 +39,23 @@ pub fn build_sampling_job(
         use incmr_data::generator::RecordFactory;
         dataset.factory().predicate()
     };
-    build_sampling_job_with(dataset, predicate, Vec::new(), k, policy, scan_mode, sample_mode, seed)
+    build_sampling_job_with(
+        dataset,
+        predicate,
+        Vec::new(),
+        k,
+        policy,
+        scan_mode,
+        sample_mode,
+        seed,
+    )
 }
 
 /// Like [`build_sampling_job`], with an explicit predicate and map-side
 /// projection — the entry point the HiveQL compiler targets.
 #[allow(clippy::too_many_arguments)]
 pub fn build_sampling_job_with(
-    dataset: &Rc<Dataset>,
+    dataset: &Arc<Dataset>,
     predicate: incmr_data::Predicate,
     projection: Vec<usize>,
     k: u64,
@@ -56,19 +65,22 @@ pub fn build_sampling_job_with(
     seed: u64,
 ) -> (JobSpec, Box<DynamicDriver>) {
     let conf = JobConf::new()
-        .with(keys::JOB_NAME, format!("sample-{}-{}", dataset.spec().name, policy.name))
+        .with(
+            keys::JOB_NAME,
+            format!("sample-{}-{}", dataset.spec().name, policy.name),
+        )
         .with(keys::DYNAMIC_JOB, true)
         .with(keys::DYNAMIC_JOB_POLICY, &policy.name)
         .with(keys::DYNAMIC_INPUT_PROVIDER, "SamplingInputProvider")
         .with(keys::SAMPLING_K, k)
-        .with(keys::NUM_REDUCE_TASKS, 1)
         .with(MATERIALIZE_CAP_KEY, k);
-    let spec = JobSpec {
-        conf,
-        input_format: Rc::new(DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
-        mapper: Rc::new(SamplingMapper::with_projection(predicate, k, projection)),
-        reducer: Rc::new(SamplingReducer::new(k, sample_mode)),
-    };
+    let spec = JobSpec::builder()
+        .conf(conf)
+        .reduces(1)
+        .input(DatasetInputFormat::new(Arc::clone(dataset), scan_mode))
+        .mapper(SamplingMapper::with_projection(predicate, k, projection))
+        .reducer(SamplingReducer::new(k, sample_mode))
+        .build();
     let blocks: Vec<_> = dataset.splits().iter().map(|p| p.block).collect();
     let total = blocks.len() as u32;
     let provider = SamplingInputProvider::new(blocks, k, seed);
@@ -80,7 +92,7 @@ pub fn build_sampling_job_with(
 /// (the paper's future-work runtime policy adaptation) instead of a fixed
 /// policy.
 pub fn build_adaptive_sampling_job(
-    dataset: &Rc<Dataset>,
+    dataset: &Arc<Dataset>,
     k: u64,
     scan_mode: ScanMode,
     sample_mode: SampleMode,
@@ -91,43 +103,46 @@ pub fn build_adaptive_sampling_job(
         dataset.factory().predicate()
     };
     let conf = JobConf::new()
-        .with(keys::JOB_NAME, format!("sample-{}-adaptive", dataset.spec().name))
+        .with(
+            keys::JOB_NAME,
+            format!("sample-{}-adaptive", dataset.spec().name),
+        )
         .with(keys::DYNAMIC_JOB, true)
         .with(keys::DYNAMIC_JOB_POLICY, "adaptive")
         .with(keys::DYNAMIC_INPUT_PROVIDER, "SamplingInputProvider")
         .with(keys::SAMPLING_K, k)
-        .with(keys::NUM_REDUCE_TASKS, 1)
         .with(MATERIALIZE_CAP_KEY, k);
-    let spec = JobSpec {
-        conf,
-        input_format: Rc::new(DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
-        mapper: Rc::new(SamplingMapper::new(predicate, k)),
-        reducer: Rc::new(SamplingReducer::new(k, sample_mode)),
-    };
+    let spec = JobSpec::builder()
+        .conf(conf)
+        .reduces(1)
+        .input(DatasetInputFormat::new(Arc::clone(dataset), scan_mode))
+        .mapper(SamplingMapper::new(predicate, k))
+        .reducer(SamplingReducer::new(k, sample_mode))
+        .build();
     let blocks: Vec<_> = dataset.splits().iter().map(|p| p.block).collect();
     let total = blocks.len() as u32;
     let provider = SamplingInputProvider::new(blocks, k, seed);
-    let driver = Box::new(crate::AdaptiveDriver::paper_ladder(Box::new(provider), total));
+    let driver = Box::new(crate::AdaptiveDriver::paper_ladder(
+        Box::new(provider),
+        total,
+    ));
     (spec, driver)
 }
 
 /// Build the static select-project scan job (selectivity 0.05% via the
 /// dataset's planted predicate). Its outputs are unmaterialised — only
 /// counts and shuffle bytes matter for throughput experiments.
-pub fn build_scan_job(dataset: &Rc<Dataset>, scan_mode: ScanMode) -> (JobSpec, Box<StaticDriver>) {
+pub fn build_scan_job(dataset: &Arc<Dataset>, scan_mode: ScanMode) -> (JobSpec, Box<StaticDriver>) {
     let predicate = {
         use incmr_data::generator::RecordFactory;
         dataset.factory().predicate()
     };
-    let conf = JobConf::new()
-        .with(keys::JOB_NAME, format!("scan-{}", dataset.spec().name))
-        .with(keys::NUM_REDUCE_TASKS, 1);
-    let spec = JobSpec {
-        conf,
-        input_format: Rc::new(DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
-        mapper: Rc::new(ScanMapper::new(predicate, paper_projection(), false)),
-        reducer: Rc::new(IdentityReducer),
-    };
+    let spec = JobSpec::builder()
+        .set(keys::JOB_NAME, format!("scan-{}", dataset.spec().name))
+        .reduces(1)
+        .input(DatasetInputFormat::new(Arc::clone(dataset), scan_mode))
+        .mapper(ScanMapper::new(predicate, paper_projection(), false))
+        .build();
     let blocks: Vec<_> = dataset.splits().iter().map(|p| p.block).collect();
     (spec, Box::new(StaticDriver::new(blocks)))
 }
@@ -140,11 +155,16 @@ mod tests {
     use incmr_mapreduce::{ClusterConfig, CostModel, FifoScheduler, MrRuntime};
     use incmr_simkit::rng::DetRng;
 
-    fn world(partitions: u32, records: u64, skew: SkewLevel) -> (MrRuntime, Rc<Dataset>) {
+    fn world(partitions: u32, records: u64, skew: SkewLevel) -> (MrRuntime, Arc<Dataset>) {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(21);
         let spec = DatasetSpec::small("li", partitions, records, skew, 21);
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
         let rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),
             CostModel::paper_default(),
@@ -160,7 +180,14 @@ mod tests {
         // for 60: the dynamic job must stop early with exactly 60.
         let (mut rt, ds) = world(40, 10_000, SkewLevel::Zero);
         assert_eq!(ds.total_matching(), 200);
-        let (spec, driver) = build_sampling_job(&ds, 60, Policy::la(), ScanMode::Planted, SampleMode::FirstK, 77);
+        let (spec, driver) = build_sampling_job(
+            &ds,
+            60,
+            Policy::la(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            77,
+        );
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
         let r = rt.job_result(id);
@@ -180,8 +207,14 @@ mod tests {
     fn sample_smaller_than_k_when_matches_run_out() {
         let (mut rt, ds) = world(10, 2_000, SkewLevel::Zero);
         assert_eq!(ds.total_matching(), 10);
-        let (spec, driver) =
-            build_sampling_job(&ds, 500, Policy::ha(), ScanMode::Planted, SampleMode::FirstK, 3);
+        let (spec, driver) = build_sampling_job(
+            &ds,
+            500,
+            Policy::ha(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            3,
+        );
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
         let r = rt.job_result(id);
@@ -193,7 +226,8 @@ mod tests {
     fn hadoop_policy_processes_everything_dynamic_does_not() {
         let run = |policy: Policy| {
             let (mut rt, ds) = world(40, 10_000, SkewLevel::Zero);
-            let (spec, driver) = build_sampling_job(&ds, 60, policy, ScanMode::Planted, SampleMode::FirstK, 7);
+            let (spec, driver) =
+                build_sampling_job(&ds, 60, policy, ScanMode::Planted, SampleMode::FirstK, 7);
             let id = rt.submit(spec, driver);
             rt.run_until_idle();
             rt.job_result(id).splits_processed
@@ -235,7 +269,8 @@ mod tests {
     #[test]
     fn adaptive_job_samples_correctly_and_adapts_to_idle_cluster() {
         let (mut rt, ds) = world(40, 10_000, SkewLevel::Zero);
-        let (spec, driver) = build_adaptive_sampling_job(&ds, 60, ScanMode::Planted, SampleMode::FirstK, 4);
+        let (spec, driver) =
+            build_adaptive_sampling_job(&ds, 60, ScanMode::Planted, SampleMode::FirstK, 4);
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
         let r = rt.job_result(id);
@@ -243,8 +278,14 @@ mod tests {
         // On an otherwise-idle cluster the adaptive ladder behaves like HA:
         // one aggressive grab, so roughly the HA partition count.
         let (mut rt2, ds2) = world(40, 10_000, SkewLevel::Zero);
-        let (spec2, driver2) =
-            build_sampling_job(&ds2, 60, Policy::ha(), ScanMode::Planted, SampleMode::FirstK, 4);
+        let (spec2, driver2) = build_sampling_job(
+            &ds2,
+            60,
+            Policy::ha(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            4,
+        );
         let id2 = rt2.submit(spec2, driver2);
         rt2.run_until_idle();
         let ha_parts = rt2.job_result(id2).splits_processed;
@@ -258,10 +299,20 @@ mod tests {
     #[test]
     fn conf_keys_mirror_the_paper() {
         let (_, ds) = world(4, 100, SkewLevel::Zero);
-        let (spec, driver) = build_sampling_job(&ds, 10, Policy::la(), ScanMode::Planted, SampleMode::FirstK, 1);
+        let (spec, driver) = build_sampling_job(
+            &ds,
+            10,
+            Policy::la(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            1,
+        );
         assert!(spec.conf.get_bool(keys::DYNAMIC_JOB));
         assert_eq!(spec.conf.get(keys::DYNAMIC_JOB_POLICY), Some("LA"));
-        assert_eq!(spec.conf.get(keys::DYNAMIC_INPUT_PROVIDER), Some("SamplingInputProvider"));
+        assert_eq!(
+            spec.conf.get(keys::DYNAMIC_INPUT_PROVIDER),
+            Some("SamplingInputProvider")
+        );
         assert_eq!(spec.conf.get_u64_or(keys::SAMPLING_K, 0).unwrap(), 10);
         assert_eq!(driver.policy().name, "LA");
     }

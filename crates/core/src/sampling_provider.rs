@@ -20,7 +20,7 @@
 //!   deviation note).
 
 use incmr_dfs::BlockId;
-use incmr_mapreduce::{ClusterStatus, JobProgress};
+use incmr_mapreduce::{ClusterStatus, EvalContext};
 use incmr_simkit::rng::DetRng;
 use rand::Rng;
 
@@ -71,7 +71,8 @@ impl InputProvider for SamplingInputProvider {
         self.draw(grab_limit.max(1))
     }
 
-    fn next_input(&mut self, progress: &JobProgress, _cluster: &ClusterStatus, grab_limit: u64) -> InputResponse {
+    fn next_input(&mut self, ctx: EvalContext<'_>) -> InputResponse {
+        let (progress, grab_limit) = (ctx.progress, ctx.grab_limit);
         // Enough output already produced: stop consuming input.
         if progress.map_output_records >= self.k {
             return InputResponse::EndOfInput;
@@ -125,7 +126,7 @@ impl InputProvider for SamplingInputProvider {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use incmr_mapreduce::JobId;
+    use incmr_mapreduce::{JobId, JobProgress};
 
     fn blocks(n: u32) -> Vec<BlockId> {
         (0..n).map(BlockId).collect()
@@ -174,7 +175,9 @@ mod tests {
     fn k_reached_means_end_of_input() {
         let mut p = SamplingInputProvider::new(blocks(10), 100, 1);
         p.initial_input(&status(), 4);
-        let r = p.next_input(&progress(4, 2, 2_000, 150), &status(), 8);
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(4, 2, 2_000, 150), &status()).with_grab_limit(8),
+        );
         assert_eq!(r, InputResponse::EndOfInput);
     }
 
@@ -183,7 +186,9 @@ mod tests {
         let mut p = SamplingInputProvider::new(blocks(4), 1_000, 1);
         p.initial_input(&status(), 10); // takes everything
         assert_eq!(p.remaining(), 0);
-        let r = p.next_input(&progress(4, 4, 4_000, 2), &status(), 8);
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(4, 4, 4_000, 2), &status()).with_grab_limit(8),
+        );
         assert_eq!(r, InputResponse::EndOfInput);
     }
 
@@ -191,7 +196,9 @@ mod tests {
     fn waits_when_no_map_has_completed() {
         let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
         p.initial_input(&status(), 4);
-        let r = p.next_input(&progress(4, 0, 0, 0), &status(), 8);
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(4, 0, 0, 0), &status()).with_grab_limit(8),
+        );
         assert_eq!(r, InputResponse::NoInputAvailable);
     }
 
@@ -201,7 +208,9 @@ mod tests {
         p.initial_input(&status(), 10);
         // 5 of 10 done: 5000 records, 60 matches; 5 outstanding expected to
         // add ~60 more → projected 120 ≥ k=100 → wait.
-        let r = p.next_input(&progress(10, 5, 5_000, 60), &status(), 8);
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(10, 5, 5_000, 60), &status()).with_grab_limit(8),
+        );
         assert_eq!(r, InputResponse::NoInputAvailable);
         assert_eq!(p.remaining(), 30, "no splits consumed while waiting");
     }
@@ -212,8 +221,12 @@ mod tests {
         p.initial_input(&status(), 4);
         // All 4 done: 4000 records, 20 matches → sel 0.5%, 1000 rec/split.
         // Need 80 more matches → 16000 records → 16 splits; grab cap 20.
-        let r = p.next_input(&progress(4, 4, 4_000, 20), &status(), 20);
-        let InputResponse::InputAvailable(got) = r else { panic!("expected input") };
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(4, 4, 4_000, 20), &status()).with_grab_limit(20),
+        );
+        let InputResponse::InputAvailable(got) = r else {
+            panic!("expected input")
+        };
         assert_eq!(got.len(), 16);
     }
 
@@ -221,8 +234,12 @@ mod tests {
     fn grab_limit_caps_the_request() {
         let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
         p.initial_input(&status(), 4);
-        let r = p.next_input(&progress(4, 4, 4_000, 20), &status(), 5);
-        let InputResponse::InputAvailable(got) = r else { panic!() };
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(4, 4, 4_000, 20), &status()).with_grab_limit(5),
+        );
+        let InputResponse::InputAvailable(got) = r else {
+            panic!()
+        };
         assert_eq!(got.len(), 5, "16 wanted, 5 allowed");
     }
 
@@ -230,8 +247,12 @@ mod tests {
     fn zero_selectivity_explores_at_grab_limit() {
         let mut p = SamplingInputProvider::new(blocks(40), 100, 1);
         p.initial_input(&status(), 4);
-        let r = p.next_input(&progress(4, 4, 4_000, 0), &status(), 12);
-        let InputResponse::InputAvailable(got) = r else { panic!() };
+        let r = p.next_input(
+            EvalContext::unlimited(&progress(4, 4, 4_000, 0), &status()).with_grab_limit(12),
+        );
+        let InputResponse::InputAvailable(got) = r else {
+            panic!()
+        };
         assert_eq!(got.len(), 12);
     }
 
@@ -242,7 +263,9 @@ mod tests {
         for b in p.initial_input(&status(), 20) {
             assert!(seen.insert(b));
         }
-        while let InputResponse::InputAvailable(bs) = p.next_input(&progress(20, 20, 20_000, 1), &status(), 7) {
+        while let InputResponse::InputAvailable(bs) = p.next_input(
+            EvalContext::unlimited(&progress(20, 20, 20_000, 1), &status()).with_grab_limit(7),
+        ) {
             for b in bs {
                 assert!(seen.insert(b), "split handed out twice");
             }

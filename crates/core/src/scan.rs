@@ -66,10 +66,14 @@ impl Mapper for ScanMapper {
     fn run(&self, data: &SplitData) -> MapResult {
         match data {
             SplitData::Records(records) => {
-                let matches: Vec<&Record> = records.iter().filter(|r| self.predicate.eval(r)).collect();
+                let matches: Vec<&Record> =
+                    records.iter().filter(|r| self.predicate.eval(r)).collect();
                 self.emit(&matches, records.len() as u64)
             }
-            SplitData::Planted { total_records, matches } => {
+            SplitData::Planted {
+                total_records,
+                matches,
+            } => {
                 debug_assert!(matches.iter().all(|r| self.predicate.eval(r)));
                 let refs: Vec<&Record> = matches.iter().collect();
                 self.emit(&refs, *total_records)
@@ -99,7 +103,10 @@ mod tests {
         assert_eq!(out.pairs.len(), 9);
         assert_eq!(out.records_read, 500);
         assert_eq!(out.unmaterialized_outputs, 0);
-        assert!(out.pairs.iter().all(|(_, r)| r.arity() == 2), "projection applied");
+        assert!(
+            out.pairs.iter().all(|(_, r)| r.arity() == 2),
+            "projection applied"
+        );
     }
 
     #[test]
@@ -141,6 +148,9 @@ mod tests {
         let data = SplitData::Records(g.full_iter().collect());
         let m = ScanMapper::new(f.predicate(), vec![], true);
         let out = m.run(&data);
-        assert!(out.pairs.iter().all(|(_, r)| r.arity() == f.schema().arity()));
+        assert!(out
+            .pairs
+            .iter()
+            .all(|(_, r)| r.arity() == f.schema().arity()));
     }
 }

@@ -59,7 +59,13 @@ impl DatasetSpec {
     }
 
     /// A small configuration for tests and examples.
-    pub fn small(name: &str, partitions: u32, records_per_partition: u64, skew: SkewLevel, seed: u64) -> Self {
+    pub fn small(
+        name: &str,
+        partitions: u32,
+        records_per_partition: u64,
+        skew: SkewLevel,
+        seed: u64,
+    ) -> Self {
         assert!(partitions > 0 && records_per_partition > 0);
         DatasetSpec {
             name: name.to_string(),
@@ -141,10 +147,18 @@ impl Dataset {
             .enumerate()
             .map(|(i, &block)| SplitPlan {
                 block,
-                spec: SplitSpec::new(spec.records_per_partition, counts[i], seed_root.fork(i as u64).seed()),
+                spec: SplitSpec::new(
+                    spec.records_per_partition,
+                    counts[i],
+                    seed_root.fork(i as u64).seed(),
+                ),
             })
             .collect();
-        let by_block = plans.iter().enumerate().map(|(i, p)| (p.block, i)).collect();
+        let by_block = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.block, i))
+            .collect();
         Dataset {
             spec,
             file,
@@ -255,7 +269,10 @@ mod tests {
         assert_eq!(t[0].partitions, 40);
         assert_eq!(t[4].rows, 600_000_000);
         assert_eq!(t[4].partitions, 800);
-        assert!(t[4].bytes > 70 * 1024 * 1024 * 1024u64, "100x should be ~75 GB");
+        assert!(
+            t[4].bytes > 70 * 1024 * 1024 * 1024u64,
+            "100x should be ~75 GB"
+        );
     }
 
     #[test]
@@ -278,7 +295,10 @@ mod tests {
         let counts = ds.matching_counts();
         assert_eq!(counts.iter().sum::<u64>(), 15_000);
         let max = *counts.iter().max().unwrap();
-        assert!(max > 8_000, "z=2 heavy partition holds most matches, got {max}");
+        assert!(
+            max > 8_000,
+            "z=2 heavy partition holds most matches, got {max}"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl SplitSpec {
     /// # Panics
     /// Panics if `matching > records`.
     pub fn new(records: u64, matching: u64, seed: u64) -> Self {
-        assert!(matching <= records, "cannot plant {matching} matches into {records} records");
+        assert!(
+            matching <= records,
+            "cannot plant {matching} matches into {records} records"
+        );
         SplitSpec {
             records,
             matching,
@@ -123,7 +126,9 @@ impl<'f, F: RecordFactory> SplitGenerator<'f, F> {
     /// encounter them. `O(matching)` time and space.
     pub fn planted_matches(&self) -> Vec<Record> {
         let mut match_rng = self.root().fork_named("matching");
-        (0..self.spec.matching).map(|_| self.factory.matching(&mut match_rng)).collect()
+        (0..self.spec.matching)
+            .map(|_| self.factory.matching(&mut match_rng))
+            .collect()
     }
 
     /// Run the real predicate over a full scan and count matches — test
@@ -186,9 +191,15 @@ mod tests {
     #[test]
     fn generation_is_deterministic_per_seed() {
         let f = factory();
-        let a: Vec<Record> = SplitGenerator::new(&f, SplitSpec::new(200, 10, 5)).full_iter().collect();
-        let b: Vec<Record> = SplitGenerator::new(&f, SplitSpec::new(200, 10, 5)).full_iter().collect();
-        let c: Vec<Record> = SplitGenerator::new(&f, SplitSpec::new(200, 10, 6)).full_iter().collect();
+        let a: Vec<Record> = SplitGenerator::new(&f, SplitSpec::new(200, 10, 5))
+            .full_iter()
+            .collect();
+        let b: Vec<Record> = SplitGenerator::new(&f, SplitSpec::new(200, 10, 5))
+            .full_iter()
+            .collect();
+        let c: Vec<Record> = SplitGenerator::new(&f, SplitSpec::new(200, 10, 6))
+            .full_iter()
+            .collect();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

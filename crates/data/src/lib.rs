@@ -32,7 +32,9 @@ pub mod schema;
 pub mod skew;
 pub mod value;
 
-pub use dataset::{Dataset, DatasetSpec, SplitPlan, Table2Row, PARTITIONS_PER_SCALE, ROWS_PER_SCALE, ROW_BYTES};
+pub use dataset::{
+    Dataset, DatasetSpec, SplitPlan, Table2Row, PARTITIONS_PER_SCALE, ROWS_PER_SCALE, ROW_BYTES,
+};
 pub use generator::{RecordFactory, SplitGenerator, SplitSpec};
 pub use lineitem::LineItemFactory;
 pub use predicate::{CmpOp, Predicate};

@@ -190,11 +190,17 @@ mod tests {
         let mut rng = DetRng::seed_from(3);
         for _ in 0..200 {
             let r = f.filler(&mut rng);
-            let Value::Int(q) = *r.get(col::QUANTITY) else { panic!() };
+            let Value::Int(q) = *r.get(col::QUANTITY) else {
+                panic!()
+            };
             assert!((1..=50).contains(&q));
-            let Value::Float(d) = *r.get(col::DISCOUNT) else { panic!() };
+            let Value::Float(d) = *r.get(col::DISCOUNT) else {
+                panic!()
+            };
             assert!((0.0..=0.10).contains(&d));
-            let Value::Float(t) = *r.get(col::TAX) else { panic!() };
+            let Value::Float(t) = *r.get(col::TAX) else {
+                panic!()
+            };
             assert!((0.0..=0.08).contains(&t));
         }
     }

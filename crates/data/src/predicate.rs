@@ -106,7 +106,11 @@ impl Predicate {
     pub fn eval(&self, record: &Record) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Compare { column, op, literal } => op.test(record.get(*column).compare(literal)),
+            Predicate::Compare {
+                column,
+                op,
+                literal,
+            } => op.test(record.get(*column).compare(literal)),
             Predicate::Between { column, low, high } => {
                 let v = record.get(*column);
                 CmpOp::Ge.test(v.compare(low)) && CmpOp::Le.test(v.compare(high))
@@ -144,12 +148,26 @@ impl fmt::Display for PredicateDisplay<'_> {
         let name = |c: usize| self.schema.field(c).name.as_str();
         match self.pred {
             Predicate::True => write!(f, "TRUE"),
-            Predicate::Compare { column, op, literal } => write!(f, "{} {op} {literal}", name(*column)),
+            Predicate::Compare {
+                column,
+                op,
+                literal,
+            } => write!(f, "{} {op} {literal}", name(*column)),
             Predicate::Between { column, low, high } => {
                 write!(f, "{} BETWEEN {low} AND {high}", name(*column))
             }
-            Predicate::And(a, b) => write!(f, "({} AND {})", a.display(self.schema), b.display(self.schema)),
-            Predicate::Or(a, b) => write!(f, "({} OR {})", a.display(self.schema), b.display(self.schema)),
+            Predicate::And(a, b) => write!(
+                f,
+                "({} AND {})",
+                a.display(self.schema),
+                b.display(self.schema)
+            ),
+            Predicate::Or(a, b) => write!(
+                f,
+                "({} OR {})",
+                a.display(self.schema),
+                b.display(self.schema)
+            ),
             Predicate::Not(a) => write!(f, "NOT {}", a.display(self.schema)),
         }
     }
@@ -238,6 +256,9 @@ mod tests {
                 high: Value::Float(0.02),
             }),
         );
-        assert_eq!(p.display(&s).to_string(), "(qty = 5 AND disc BETWEEN 0.01 AND 0.02)");
+        assert_eq!(
+            p.display(&s).to_string(),
+            "(qty = 5 AND disc BETWEEN 0.01 AND 0.02)"
+        );
     }
 }

@@ -105,7 +105,10 @@ impl PaperPredicate {
 
     /// All of Table III.
     pub fn table3() -> Vec<PaperPredicate> {
-        SkewLevel::all().into_iter().map(PaperPredicate::for_skew).collect()
+        SkewLevel::all()
+            .into_iter()
+            .map(PaperPredicate::for_skew)
+            .collect()
     }
 }
 

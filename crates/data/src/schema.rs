@@ -103,7 +103,9 @@ impl Schema {
 
     /// Resolve a column name (case-insensitive) to its index.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+        self.fields
+            .iter()
+            .position(|f| f.name.eq_ignore_ascii_case(name))
     }
 }
 
@@ -126,7 +128,10 @@ mod tests {
 
     #[test]
     fn resolution_is_case_insensitive() {
-        let s = Schema::new(vec![("L_ORDERKEY", ColumnType::Int), ("l_comment", ColumnType::Str)]);
+        let s = Schema::new(vec![
+            ("L_ORDERKEY", ColumnType::Int),
+            ("l_comment", ColumnType::Str),
+        ]);
         assert_eq!(s.index_of("l_orderkey"), Some(0));
         assert_eq!(s.index_of("L_COMMENT"), Some(1));
         assert_eq!(s.index_of("nope"), None);

@@ -24,7 +24,12 @@ use rand::Rng;
 ///
 /// The returned vector has one count per partition and always sums to
 /// `total_matching`.
-pub fn assign_matching(total_matching: u64, partitions: usize, z: f64, rng: &mut DetRng) -> Vec<u64> {
+pub fn assign_matching(
+    total_matching: u64,
+    partitions: usize,
+    z: f64,
+    rng: &mut DetRng,
+) -> Vec<u64> {
     assert!(partitions > 0, "need at least one partition");
     if z == 0.0 {
         return Zipf::even_counts(total_matching, partitions);
@@ -32,7 +37,8 @@ pub fn assign_matching(total_matching: u64, partitions: usize, z: f64, rng: &mut
     let zipf = Zipf::new(partitions, z);
     let by_rank = zipf.sample_counts(total_matching, rng);
     // Permute ranks onto physical partitions.
-    let perm: Vec<usize> = rng.sample_without_replacement(&(0..partitions).collect::<Vec<_>>(), partitions);
+    let perm: Vec<usize> =
+        rng.sample_without_replacement(&(0..partitions).collect::<Vec<_>>(), partitions);
     let mut by_partition = vec![0u64; partitions];
     for (rank_idx, &count) in by_rank.iter().enumerate() {
         by_partition[perm[rank_idx]] = count;
@@ -55,8 +61,13 @@ pub fn cap_to_capacity(mut counts: Vec<u64>, capacity: &[u64], rng: &mut DetRng)
     }
     while overflow > 0 {
         // Find partitions with spare room; spread the overflow randomly.
-        let spare: Vec<usize> = (0..counts.len()).filter(|&i| counts[i] < capacity[i]).collect();
-        assert!(!spare.is_empty(), "matching records exceed total dataset capacity");
+        let spare: Vec<usize> = (0..counts.len())
+            .filter(|&i| counts[i] < capacity[i])
+            .collect();
+        assert!(
+            !spare.is_empty(),
+            "matching records exceed total dataset capacity"
+        );
         let i = spare[rng.gen_range(0..spare.len())];
         let room = capacity[i] - counts[i];
         let take = room.min(overflow);
@@ -85,7 +96,11 @@ pub fn summarize(counts: &[u64]) -> SkewSummary {
     SkewSummary {
         max,
         empty_partitions: counts.iter().filter(|&&c| c == 0).count(),
-        top_share: if total == 0 { 0.0 } else { max as f64 / total as f64 },
+        top_share: if total == 0 {
+            0.0
+        } else {
+            max as f64 / total as f64
+        },
     }
 }
 
@@ -158,7 +173,10 @@ mod tests {
         let mut distinct = positions.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() > 1, "heavy partition should move across seeds: {positions:?}");
+        assert!(
+            distinct.len() > 1,
+            "heavy partition should move across seeds: {positions:?}"
+        );
     }
 
     #[test]

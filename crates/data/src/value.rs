@@ -136,25 +136,41 @@ mod tests {
     #[test]
     fn compare_within_types() {
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
-        assert_eq!(Value::Float(2.5).compare(&Value::Float(2.5)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Float(2.5).compare(&Value::Float(2.5)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(
             Value::Str("b".into()).compare(&Value::Str("a".into())),
             Some(Ordering::Greater)
         );
-        assert_eq!(Value::Date(10).compare(&Value::Date(20)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Date(10).compare(&Value::Date(20)),
+            Some(Ordering::Less)
+        );
     }
 
     #[test]
     fn compare_mixes_numerics_only() {
-        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Float(1.5).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).compare(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Int(1).compare(&Value::Str("1".into())), None);
         assert_eq!(Value::Float(f64::NAN).compare(&Value::Float(1.0)), None);
     }
 
     #[test]
     fn record_access_and_projection() {
-        let r = Record::new(vec![Value::Int(7), Value::Str("x".into()), Value::Float(1.5)]);
+        let r = Record::new(vec![
+            Value::Int(7),
+            Value::Str("x".into()),
+            Value::Float(1.5),
+        ]);
         assert_eq!(r.arity(), 3);
         assert_eq!(r.get(1), &Value::Str("x".into()));
         let p = r.project(&[2, 0]);
@@ -163,7 +179,11 @@ mod tests {
 
     #[test]
     fn width_model() {
-        let r = Record::new(vec![Value::Int(7), Value::Str("abcd".into()), Value::Date(3)]);
+        let r = Record::new(vec![
+            Value::Int(7),
+            Value::Str("abcd".into()),
+            Value::Date(3),
+        ]);
         assert_eq!(r.width(), 8 + 4 + 4);
     }
 

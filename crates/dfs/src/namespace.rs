@@ -278,7 +278,10 @@ mod tests {
     #[test]
     fn missing_file_lookup_errors() {
         let (ns, _) = ns_with_file(1);
-        assert!(matches!(ns.file_by_name("nope"), Err(DfsError::NoSuchFile(_))));
+        assert!(matches!(
+            ns.file_by_name("nope"),
+            Err(DfsError::NoSuchFile(_))
+        ));
     }
 
     #[test]
@@ -310,7 +313,12 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(ns.num_files(), 2);
         assert_eq!(ns.num_blocks(), 5);
-        let all: Vec<u32> = ns.blocks_of(a).iter().chain(ns.blocks_of(b)).map(|b| b.0).collect();
+        let all: Vec<u32> = ns
+            .blocks_of(a)
+            .iter()
+            .chain(ns.blocks_of(b))
+            .map(|b| b.0)
+            .collect();
         let mut dedup = all.clone();
         dedup.sort_unstable();
         dedup.dedup();

@@ -40,7 +40,12 @@ impl EvenRoundRobin {
 }
 
 impl PlacementPolicy for EvenRoundRobin {
-    fn place(&mut self, _index: usize, topology: &ClusterTopology, _rng: &mut DetRng) -> Vec<DiskId> {
+    fn place(
+        &mut self,
+        _index: usize,
+        topology: &ClusterTopology,
+        _rng: &mut DetRng,
+    ) -> Vec<DiskId> {
         let disk = DiskId(self.cursor % topology.num_disks());
         self.cursor = self.cursor.wrapping_add(1);
         vec![disk]
@@ -63,8 +68,16 @@ impl PinnedPlacement {
 }
 
 impl PlacementPolicy for PinnedPlacement {
-    fn place(&mut self, _index: usize, topology: &ClusterTopology, _rng: &mut DetRng) -> Vec<DiskId> {
-        assert!(self.disk.0 < topology.num_disks(), "pinned disk out of range");
+    fn place(
+        &mut self,
+        _index: usize,
+        topology: &ClusterTopology,
+        _rng: &mut DetRng,
+    ) -> Vec<DiskId> {
+        assert!(
+            self.disk.0 < topology.num_disks(),
+            "pinned disk out of range"
+        );
         vec![self.disk]
     }
 }
@@ -88,7 +101,12 @@ impl RandomPlacement {
 }
 
 impl PlacementPolicy for RandomPlacement {
-    fn place(&mut self, _index: usize, topology: &ClusterTopology, rng: &mut DetRng) -> Vec<DiskId> {
+    fn place(
+        &mut self,
+        _index: usize,
+        topology: &ClusterTopology,
+        rng: &mut DetRng,
+    ) -> Vec<DiskId> {
         let all: Vec<DiskId> = topology.disks().collect();
         rng.sample_without_replacement(&all, self.replication as usize)
     }
@@ -109,7 +127,10 @@ mod tests {
             assert_eq!(loc.len(), 1);
             per_disk[loc[0].0 as usize] += 1;
         }
-        assert!(per_disk.iter().all(|&c| c == 2), "80 blocks over 40 disks = 2 each");
+        assert!(
+            per_disk.iter().all(|&c| c == 2),
+            "80 blocks over 40 disks = 2 each"
+        );
     }
 
     #[test]
@@ -141,7 +162,9 @@ mod tests {
         let run = |seed| {
             let mut policy = RandomPlacement::new(2);
             let mut rng = DetRng::seed_from(seed);
-            (0..10).map(|i| policy.place(i, &topo, &mut rng)).collect::<Vec<_>>()
+            (0..10)
+                .map(|i| policy.place(i, &topo, &mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));

@@ -14,7 +14,6 @@
 //!   switching, compared against the fixed Table I policies on both an
 //!   idle and a loaded cluster.
 
-
 use incmr_core::{build_adaptive_sampling_job, build_sampling_job, Policy, SampleMode};
 use incmr_data::SkewLevel;
 use incmr_mapreduce::{FairScheduler, FifoScheduler, MrRuntime, ScanMode};
@@ -36,7 +35,11 @@ pub struct AblationRow {
 /// Render ablation rows as a table.
 pub fn render_rows(title: &str, rows: &[AblationRow]) -> String {
     let header: Vec<&str> = std::iter::once("setting")
-        .chain(rows.first().map(|r| r.measures.iter().map(|(n, _)| *n).collect::<Vec<_>>()).unwrap_or_default())
+        .chain(
+            rows.first()
+                .map(|r| r.measures.iter().map(|(n, _)| *n).collect::<Vec<_>>())
+                .unwrap_or_default(),
+        )
         .collect();
     let body: Vec<Vec<String>> = rows
         .iter()
@@ -56,10 +59,16 @@ pub fn eval_interval_sweep(cal: &Calibration, intervals_ms: &[u64]) -> Vec<Ablat
         .iter()
         .map(|&ms| {
             let (ns, ds) = cal.build_world(10, SkewLevel::Moderate, 31);
-            let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+            let mut rt = MrRuntime::new(
+                cal.cluster_single,
+                cal.cost,
+                ns,
+                Box::new(FifoScheduler::new()),
+            );
             let mut policy = Policy::la();
             policy.evaluation_interval = SimDuration::from_millis(ms);
-            let (spec, driver) = build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 3);
+            let (spec, driver) =
+                build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 3);
             let id = rt.submit(spec, driver);
             rt.run_until_idle();
             let r = rt.job_result(id);
@@ -83,8 +92,16 @@ pub fn heartbeat_batch_sweep(cal: &Calibration, batches: &[u32]) -> Vec<Ablation
             let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 41);
             let mut cost = cal.cost;
             cost.maps_per_heartbeat = batch;
-            let mut rt = MrRuntime::new(cal.cluster_multi, cost, ns, Box::new(FifoScheduler::new()));
-            let spec = WorkloadSpec::homogeneous(datasets, cal.k, Policy::la(), cal.warmup, cal.measure, 5);
+            let mut rt =
+                MrRuntime::new(cal.cluster_multi, cost, ns, Box::new(FifoScheduler::new()));
+            let spec = WorkloadSpec::homogeneous(
+                datasets,
+                cal.k,
+                Policy::la(),
+                cal.warmup,
+                cal.measure,
+                5,
+            );
             let report = run_workload(&mut rt, &spec);
             AblationRow {
                 setting: format!("{batch}/heartbeat"),
@@ -140,7 +157,12 @@ pub fn replication_sweep(cal: &Calibration, factors: &[Option<u8>]) -> Vec<Ablat
         .iter()
         .map(|&replication| {
             let (ns, datasets) = cal.build_copies_with(SkewLevel::Zero, 47, replication);
-            let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
+            let mut rt = MrRuntime::new(
+                cal.cluster_multi,
+                cal.cost,
+                ns,
+                Box::new(FifoScheduler::new()),
+            );
             let sampling_users = cal.users / 2;
             let spec = WorkloadSpec::heterogeneous(
                 datasets,
@@ -174,12 +196,19 @@ pub fn adaptive_vs_static(cal: &Calibration) -> Vec<AblationRow> {
     // Idle: one job, response time.
     let idle = |label: &str, adaptive: bool, policy: Policy| {
         let (ns, ds) = cal.build_world(10, SkewLevel::Moderate, 51);
-        let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+        let mut rt = MrRuntime::new(
+            cal.cluster_single,
+            cal.cost,
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
         let id = if adaptive {
-            let (spec, driver) = build_adaptive_sampling_job(&ds, cal.k, ScanMode::Planted, SampleMode::FirstK, 3);
+            let (spec, driver) =
+                build_adaptive_sampling_job(&ds, cal.k, ScanMode::Planted, SampleMode::FirstK, 3);
             rt.submit(spec, driver)
         } else {
-            let (spec, driver) = build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 3);
+            let (spec, driver) =
+                build_sampling_job(&ds, cal.k, policy, ScanMode::Planted, SampleMode::FirstK, 3);
             rt.submit(spec, driver)
         };
         rt.run_until_idle();
@@ -195,8 +224,19 @@ pub fn adaptive_vs_static(cal: &Calibration) -> Vec<AblationRow> {
     // Loaded: homogeneous multi-user workload, sampling throughput.
     let loaded = |label: &str, class: UserClass| {
         let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 53);
-        let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
-        let users = datasets.into_iter().map(|dataset| UserSpec { class: class.clone(), dataset }).collect();
+        let mut rt = MrRuntime::new(
+            cal.cluster_multi,
+            cal.cost,
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        let users = datasets
+            .into_iter()
+            .map(|dataset| UserSpec {
+                class: class.clone(),
+                dataset,
+            })
+            .collect();
         let spec = WorkloadSpec {
             users,
             warmup: cal.warmup,
@@ -286,7 +326,10 @@ mod tests {
         let rows = eval_interval_sweep(&cal(), &[1_000, 64_000]);
         let fast = rows[0].measures[0].1;
         let slow = rows[1].measures[0].1;
-        assert!(slow > fast, "64s interval ({slow}) should respond slower than 1s ({fast})");
+        assert!(
+            slow > fast,
+            "64s interval ({slow}) should respond slower than 1s ({fast})"
+        );
     }
 
     #[test]
@@ -305,7 +348,10 @@ mod tests {
         let rows = replication_sweep(&cal(), &[None, Some(3)]);
         let r1 = rows[0].measures[0].1;
         let r3 = rows[1].measures[0].1;
-        assert!(r3 >= r1, "replication-3 locality ({r3}) below replication-1 ({r1})");
+        assert!(
+            r3 >= r1,
+            "replication-3 locality ({r3}) below replication-1 ({r1})"
+        );
     }
 
     #[test]

@@ -8,17 +8,40 @@
 //!
 //! Artefact names: `table1 table2 table3 fig4 fig5 fig6 fig7 fig8`.
 
-use incmr_experiments::{ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, table1, table2, table3};
+use incmr_experiments::{
+    ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, table1, table2, table3,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cal = if quick { Calibration::quick() } else { Calibration::paper() };
-    let selected: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let cal = if quick {
+        Calibration::quick()
+    } else {
+        Calibration::paper()
+    };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
     let all = [
-        "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "ablations", "estimator",
+        "table1",
+        "table2",
+        "table3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "ablations",
+        "estimator",
     ];
-    let chosen: Vec<&str> = if selected.is_empty() { all.to_vec() } else { selected };
+    let chosen: Vec<&str> = if selected.is_empty() {
+        all.to_vec()
+    } else {
+        selected
+    };
 
     for name in &chosen {
         match *name {
@@ -32,8 +55,11 @@ fn main() {
                 println!("{}", fig4::render_figure(&panels));
             }
             "fig5" => {
-                eprintln!("[fig5] single-user grid: {} scales x 3 skews x 5 policies x {} seeds…",
-                    cal.scales.len(), cal.seeds.len());
+                eprintln!(
+                    "[fig5] single-user grid: {} scales x 3 skews x 5 policies x {} seeds…",
+                    cal.scales.len(),
+                    cal.seeds.len()
+                );
                 let r = fig5::run(&cal);
                 println!("{}", fig5::render_figure(&cal, &r));
             }
@@ -45,7 +71,10 @@ fn main() {
             "fig7" => {
                 eprintln!("[fig7] heterogeneous workload (FIFO): 4 fractions x 5 policies…");
                 let r = fig7::run(&cal);
-                println!("{}", fig7::render_figure("FIGURE 7 — HETEROGENEOUS WORKLOAD", &r));
+                println!(
+                    "{}",
+                    fig7::render_figure("FIGURE 7 — HETEROGENEOUS WORKLOAD", &r)
+                );
             }
             "fig8" => {
                 eprintln!("[fig8] heterogeneous workload (Fair + FIFO baseline)…");
@@ -62,7 +91,10 @@ fn main() {
                     &[0.05, 0.1, 0.25, 0.5, 0.75, 1.0],
                     &cal.seeds,
                 );
-                println!("{}", incmr_experiments::estimator_accuracy::render_table(&points));
+                println!(
+                    "{}",
+                    incmr_experiments::estimator_accuracy::render_table(&points)
+                );
             }
             other => {
                 eprintln!("unknown artefact {other:?}; expected one of {all:?}");

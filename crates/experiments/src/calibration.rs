@@ -13,7 +13,7 @@
 //! uniform data — the same fraction the paper's k = 10 000 requires of its
 //! 375-matches-per-partition datasets.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr_data::{Dataset, DatasetSpec, SkewLevel};
 use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
@@ -106,7 +106,7 @@ impl Calibration {
 
     /// Build one dataset world: a fresh namespace holding a single dataset
     /// at `scale` with the given skew.
-    pub fn build_world(&self, scale: u32, skew: SkewLevel, seed: u64) -> (Namespace, Rc<Dataset>) {
+    pub fn build_world(&self, scale: u32, skew: SkewLevel, seed: u64) -> (Namespace, Arc<Dataset>) {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(seed);
         let spec = DatasetSpec {
@@ -117,13 +117,18 @@ impl Calibration {
             selectivity: incmr_data::queries::PAPER_SELECTIVITY,
             seed,
         };
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
         (ns, ds)
     }
 
     /// Build a multi-user world: `users` private copies of the dataset in
     /// one namespace, placements interleaved across disks.
-    pub fn build_copies(&self, skew: SkewLevel, seed: u64) -> (Namespace, Vec<Rc<Dataset>>) {
+    pub fn build_copies(&self, skew: SkewLevel, seed: u64) -> (Namespace, Vec<Arc<Dataset>>) {
         self.build_copies_with(skew, seed, None)
     }
 
@@ -136,7 +141,7 @@ impl Calibration {
         skew: SkewLevel,
         seed: u64,
         replication: Option<u8>,
-    ) -> (Namespace, Vec<Rc<Dataset>>) {
+    ) -> (Namespace, Vec<Arc<Dataset>>) {
         use incmr_dfs::{PlacementPolicy, RandomPlacement};
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let root = DetRng::seed_from(seed);
@@ -155,7 +160,7 @@ impl Calibration {
                     None => Box::new(EvenRoundRobin::starting_at((u * 13) as u32)),
                     Some(r) => Box::new(RandomPlacement::new(r)),
                 };
-                Rc::new(Dataset::build(&mut ns, spec, placement.as_mut(), &mut rng))
+                Arc::new(Dataset::build(&mut ns, spec, placement.as_mut(), &mut rng))
             })
             .collect();
         (ns, copies)

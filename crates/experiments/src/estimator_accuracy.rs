@@ -112,7 +112,12 @@ mod tests {
         // With an exactly even distribution, every prefix gives the true
         // selectivity.
         for p in points() {
-            assert!(p.mean_rel_error[0] < 1e-9, "z=0 error at {}: {}", p.fraction, p.mean_rel_error[0]);
+            assert!(
+                p.mean_rel_error[0] < 1e-9,
+                "z=0 error at {}: {}",
+                p.fraction,
+                p.mean_rel_error[0]
+            );
         }
     }
 

@@ -45,7 +45,8 @@ pub fn run(cal: &Calibration, seed: u64) -> Vec<Fig4Panel> {
 
 /// Render the three panels as bar charts over partition rank.
 pub fn render_figure(panels: &[Fig4Panel]) -> String {
-    let mut out = String::from("FIGURE 4 — DISTRIBUTION OF MATCHING RECORDS ACROSS PARTITIONS (5x)\n");
+    let mut out =
+        String::from("FIGURE 4 — DISTRIBUTION OF MATCHING RECORDS ACROSS PARTITIONS (5x)\n");
     for p in panels {
         let total: u64 = p.counts_desc.iter().sum();
         out.push('\n');

@@ -61,10 +61,21 @@ pub fn run(cal: &Calibration) -> Fig5Result {
                 let mut parts = 0.0;
                 for &seed in &cal.seeds {
                     let (ns, ds) = cal.build_world(scale, skew, seed);
-                    let mut rt = MrRuntime::new(cal.cluster_single, cal.cost, ns, Box::new(FifoScheduler::new()));
+                    let mut rt = MrRuntime::new(
+                        cal.cluster_single,
+                        cal.cost,
+                        ns,
+                        Box::new(FifoScheduler::new()),
+                    );
                     let job_seed = splitmix64(seed ^ splitmix64(scale as u64));
-                    let (spec, driver) =
-                        build_sampling_job(&ds, cal.k, policy.clone(), ScanMode::Planted, SampleMode::FirstK, job_seed);
+                    let (spec, driver) = build_sampling_job(
+                        &ds,
+                        cal.k,
+                        policy.clone(),
+                        ScanMode::Planted,
+                        SampleMode::FirstK,
+                        job_seed,
+                    );
                     let id = rt.submit(spec, driver);
                     rt.run_until_idle();
                     let r = rt.job_result(id);
@@ -89,7 +100,11 @@ pub fn run(cal: &Calibration) -> Fig5Result {
 pub fn render_figure(cal: &Calibration, result: &Fig5Result) -> String {
     let policies: Vec<String> = Policy::table1().into_iter().map(|p| p.name).collect();
     let mut out = String::from("FIGURE 5 — SINGLE-USER WORKLOAD\n");
-    for (panel, skew) in [('a', SkewLevel::Zero), ('b', SkewLevel::Moderate), ('c', SkewLevel::High)] {
+    for (panel, skew) in [
+        ('a', SkewLevel::Zero),
+        ('b', SkewLevel::Moderate),
+        ('c', SkewLevel::High),
+    ] {
         let rows: Vec<Vec<String>> = cal
             .scales
             .iter()
@@ -101,7 +116,9 @@ pub fn render_figure(cal: &Calibration, result: &Fig5Result) -> String {
                 row
             })
             .collect();
-        let header: Vec<&str> = std::iter::once("scale").chain(policies.iter().map(|s| s.as_str())).collect();
+        let header: Vec<&str> = std::iter::once("scale")
+            .chain(policies.iter().map(|s| s.as_str()))
+            .collect();
         out.push('\n');
         out.push_str(&render::table(
             &format!("({panel}) response time (s), skew {skew}"),
@@ -116,12 +133,16 @@ pub fn render_figure(cal: &Calibration, result: &Fig5Result) -> String {
         .map(|&scale| {
             let mut row = vec![format!("{scale}x")];
             for p in &policies {
-                row.push(render::f1(result.get(SkewLevel::Moderate, scale, p).partitions));
+                row.push(render::f1(
+                    result.get(SkewLevel::Moderate, scale, p).partitions,
+                ));
             }
             row
         })
         .collect();
-    let header: Vec<&str> = std::iter::once("scale").chain(policies.iter().map(|s| s.as_str())).collect();
+    let header: Vec<&str> = std::iter::once("scale")
+        .chain(policies.iter().map(|s| s.as_str()))
+        .collect();
     out.push('\n');
     out.push_str(&render::table(
         "(d) partitions processed per job, moderate skew",
@@ -149,11 +170,17 @@ mod tests {
         let largest = *cal.scales.last().unwrap();
         let small = r.get(SkewLevel::Zero, smallest, "Hadoop").response_secs;
         let large = r.get(SkewLevel::Zero, largest, "Hadoop").response_secs;
-        assert!(large > small * 2.0, "Hadoop: {small}s @ {smallest}x vs {large}s @ {largest}x");
+        assert!(
+            large > small * 2.0,
+            "Hadoop: {small}s @ {smallest}x vs {large}s @ {largest}x"
+        );
         // Skew independence: z=0 vs z=2 within 10%.
         let z0 = r.get(SkewLevel::Zero, largest, "Hadoop").response_secs;
         let z2 = r.get(SkewLevel::High, largest, "Hadoop").response_secs;
-        assert!((z0 - z2).abs() / z0 < 0.10, "Hadoop skew-dependent: {z0} vs {z2}");
+        assert!(
+            (z0 - z2).abs() / z0 < 0.10,
+            "Hadoop skew-dependent: {z0} vs {z2}"
+        );
     }
 
     #[test]
@@ -161,10 +188,16 @@ mod tests {
         let (cal, r) = quick_result();
         let largest = *cal.scales.last().unwrap();
         let total = (largest * cal.partitions_per_scale) as f64;
-        assert_eq!(r.get(SkewLevel::Moderate, largest, "Hadoop").partitions, total);
+        assert_eq!(
+            r.get(SkewLevel::Moderate, largest, "Hadoop").partitions,
+            total
+        );
         for p in ["HA", "MA", "LA", "C"] {
             let parts = r.get(SkewLevel::Moderate, largest, p).partitions;
-            assert!(parts < total, "{p} should process fewer than {total}, got {parts}");
+            assert!(
+                parts < total,
+                "{p} should process fewer than {total}, got {parts}"
+            );
         }
     }
 
@@ -185,7 +218,10 @@ mod tests {
         let largest = *cal.scales.last().unwrap();
         let c_high = r.get(SkewLevel::High, largest, "C").response_secs;
         let ha_high = r.get(SkewLevel::High, largest, "HA").response_secs;
-        assert!(c_high > ha_high, "C ({c_high}) should trail HA ({ha_high}) at high skew");
+        assert!(
+            c_high > ha_high,
+            "C ({c_high}) should trail HA ({ha_high}) at high skew"
+        );
     }
 
     #[test]

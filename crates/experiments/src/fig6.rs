@@ -66,8 +66,20 @@ pub fn run_with_skews(cal: &Calibration, skews: &[SkewLevel]) -> Fig6Result {
     for &skew in skews {
         for policy in Policy::table1() {
             let (ns, datasets) = cal.build_copies(skew, 7_000 + skew.z() as u64);
-            let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, Box::new(FifoScheduler::new()));
-            let spec = WorkloadSpec::homogeneous(datasets, cal.k, policy.clone(), cal.warmup, cal.measure, 11);
+            let mut rt = MrRuntime::new(
+                cal.cluster_multi,
+                cal.cost,
+                ns,
+                Box::new(FifoScheduler::new()),
+            );
+            let spec = WorkloadSpec::homogeneous(
+                datasets,
+                cal.k,
+                policy.clone(),
+                cal.warmup,
+                cal.measure,
+                11,
+            );
             let report = run_workload(&mut rt, &spec);
             cells.push(Fig6Cell {
                 policy: policy.name.clone(),
@@ -106,7 +118,13 @@ pub fn render_figure(result: &Fig6Result) -> String {
         out.push('\n');
         out.push_str(&render::table(
             &format!("skew {skew}"),
-            &["Policy", "Throughput (jobs/h)", "CPU util (%)", "Disk reads (KB/s)", "Partitions/job"],
+            &[
+                "Policy",
+                "Throughput (jobs/h)",
+                "CPU util (%)",
+                "Disk reads (KB/s)",
+                "Partitions/job",
+            ],
             &rows,
         ));
     }

@@ -55,12 +55,24 @@ impl HeteroResult {
 
     /// Mean locality across all cells (the Section V-F statistic).
     pub fn mean_locality_pct(&self) -> f64 {
-        incmr_simkit::stats::mean(&self.cells.iter().map(|c| c.locality_pct).collect::<Vec<_>>())
+        incmr_simkit::stats::mean(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.locality_pct)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean slot occupancy across all cells.
     pub fn mean_occupancy_pct(&self) -> f64 {
-        incmr_simkit::stats::mean(&self.cells.iter().map(|c| c.occupancy_pct).collect::<Vec<_>>())
+        incmr_simkit::stats::mean(
+            &self
+                .cells
+                .iter()
+                .map(|c| c.occupancy_pct)
+                .collect::<Vec<_>>(),
+        )
     }
 }
 
@@ -87,7 +99,8 @@ where
         for policy in policies {
             // "The predicate used for sampling jobs corresponds to a
             // uniform distribution of the matching records."
-            let (ns, datasets) = cal.build_copies(SkewLevel::Zero, 9_000 + (fraction * 10.0) as u64);
+            let (ns, datasets) =
+                cal.build_copies(SkewLevel::Zero, 9_000 + (fraction * 10.0) as u64);
             let mut rt = MrRuntime::new(cal.cluster_multi, cal.cost, ns, make_scheduler());
             let spec = WorkloadSpec::heterogeneous(
                 datasets,
@@ -143,21 +156,34 @@ pub fn render_figure(title: &str, result: &HeteroResult) -> String {
         }
         seen
     };
-    for (panel, class) in [("(a) Sampling class", true), ("(b) Non-Sampling class", false)] {
+    for (panel, class) in [
+        ("(a) Sampling class", true),
+        ("(b) Non-Sampling class", false),
+    ] {
         let rows: Vec<Vec<String>> = fractions
             .iter()
             .map(|&f| {
                 let mut row = vec![format!("{f:.1}")];
                 for p in &policies {
                     let c = result.get(f, p);
-                    row.push(render::f1(if class { c.sampling_jph } else { c.non_sampling_jph }));
+                    row.push(render::f1(if class {
+                        c.sampling_jph
+                    } else {
+                        c.non_sampling_jph
+                    }));
                 }
                 row
             })
             .collect();
-        let header: Vec<&str> = std::iter::once("fraction").chain(policies.iter().map(|s| s.as_str())).collect();
+        let header: Vec<&str> = std::iter::once("fraction")
+            .chain(policies.iter().map(|s| s.as_str()))
+            .collect();
         out.push('\n');
-        out.push_str(&render::table(&format!("{panel}: throughput (jobs/hour)"), &header, &rows));
+        out.push_str(&render::table(
+            &format!("{panel}: throughput (jobs/hour)"),
+            &header,
+            &rows,
+        ));
     }
     out
 }
@@ -204,7 +230,9 @@ mod tests {
     fn boost_grows_with_sampling_fraction() {
         // The paper: 3x improvement at 20% sampling users, 8x at 80%.
         let r = quick_result();
-        let boost = |f: f64| r.get(f, "LA").non_sampling_jph / r.get(f, "Hadoop").non_sampling_jph.max(1e-9);
+        let boost = |f: f64| {
+            r.get(f, "LA").non_sampling_jph / r.get(f, "Hadoop").non_sampling_jph.max(1e-9)
+        };
         assert!(
             boost(0.75) > boost(0.25),
             "boost at 0.75 ({}) should exceed boost at 0.25 ({})",

@@ -35,7 +35,9 @@ pub fn run_with(cal: &Calibration, fractions: &[f64], policies: &[Policy]) -> Fi
     let fair = run_hetero(cal, fractions, policies, "fair", || {
         Box::new(FairScheduler::paper_default())
     });
-    let fifo = run_hetero(cal, fractions, policies, "fifo", || Box::new(FifoScheduler::new()));
+    let fifo = run_hetero(cal, fractions, policies, "fifo", || {
+        Box::new(FifoScheduler::new())
+    });
     Fig8Result { fair, fifo }
 }
 
@@ -68,7 +70,11 @@ mod tests {
     use super::*;
 
     fn quick_result() -> Fig8Result {
-        run_with(&Calibration::quick(), &[0.5], &[Policy::hadoop(), Policy::la()])
+        run_with(
+            &Calibration::quick(),
+            &[0.5],
+            &[Policy::hadoop(), Policy::la()],
+        )
     }
 
     #[test]

@@ -4,7 +4,10 @@
 /// Render a fixed-width table. `header` and every row must have the same
 /// number of cells.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
-    assert!(rows.iter().all(|r| r.len() == header.len()), "ragged table rows");
+    assert!(
+        rows.iter().all(|r| r.len() == header.len()),
+        "ragged table rows"
+    );
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     for row in rows {
         for (w, cell) in widths.iter_mut().zip(row) {
@@ -14,7 +17,11 @@ pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     out.push_str(title);
     out.push('\n');
-    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let fmt_row = |cells: &[String]| -> String {
         cells
             .iter()
@@ -96,11 +103,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_max() {
-        let out = bars(
-            "B",
-            &[("x".into(), 10.0), ("y".into(), 5.0)],
-            "u",
-        );
+        let out = bars("B", &[("x".into(), 10.0), ("y".into(), 5.0)], "u");
         let lines: Vec<&str> = out.lines().collect();
         let hashes = |s: &str| s.matches('#').count();
         assert_eq!(hashes(lines[1]), 40, "max bar is full width");

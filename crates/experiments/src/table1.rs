@@ -32,7 +32,12 @@ pub fn render_table() -> String {
         .collect();
     render::table(
         "TABLE I — POLICIES FOR INCREMENTAL PROCESSING OF INPUT",
-        &["Policy", "Description", "Work Threshold (% Total Input Size)", "Grab Limit"],
+        &[
+            "Policy",
+            "Description",
+            "Work Threshold (% Total Input Size)",
+            "Grab Limit",
+        ],
         &rows,
     )
 }

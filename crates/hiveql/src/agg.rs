@@ -73,7 +73,11 @@ impl Partial {
         match func {
             AggFunc::Count => Value::Int(self.n as i64),
             AggFunc::Sum => Value::Float(self.acc),
-            AggFunc::Avg => Value::Float(if self.n == 0 { 0.0 } else { self.acc / self.n as f64 }),
+            AggFunc::Avg => Value::Float(if self.n == 0 {
+                0.0
+            } else {
+                self.acc / self.n as f64
+            }),
             AggFunc::Min | AggFunc::Max => Value::Float(if self.n == 0 { 0.0 } else { self.acc }),
         }
     }
@@ -100,9 +104,16 @@ fn encode(partials: &[Partial]) -> Record {
 fn decode(record: &Record, n_aggs: usize) -> Vec<Partial> {
     (0..n_aggs)
         .map(|i| {
-            let Value::Float(acc) = record.get(2 * i) else { panic!("corrupt partial") };
-            let Value::Int(n) = record.get(2 * i + 1) else { panic!("corrupt partial") };
-            Partial { acc: *acc, n: *n as u64 }
+            let Value::Float(acc) = record.get(2 * i) else {
+                panic!("corrupt partial")
+            };
+            let Value::Int(n) = record.get(2 * i + 1) else {
+                panic!("corrupt partial")
+            };
+            Partial {
+                acc: *acc,
+                n: *n as u64,
+            }
         })
         .collect()
 }
@@ -133,7 +144,11 @@ impl AggMapper {
 
 impl Mapper for AggMapper {
     fn run(&self, data: &SplitData) -> MapResult {
-        let mut partials: Vec<Partial> = self.aggs.iter().map(|a| Partial::identity(a.func)).collect();
+        let mut partials: Vec<Partial> = self
+            .aggs
+            .iter()
+            .map(|a| Partial::identity(a.func))
+            .collect();
         let records_read = data.total_records();
         match data {
             SplitData::Records(records) => {
@@ -172,9 +187,16 @@ impl AggReducer {
 
 impl Reducer for AggReducer {
     fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>) {
-        let mut totals: Vec<Partial> = self.aggs.iter().map(|a| Partial::identity(a.func)).collect();
+        let mut totals: Vec<Partial> = self
+            .aggs
+            .iter()
+            .map(|a| Partial::identity(a.func))
+            .collect();
         for record in values {
-            for (total, (partial, agg)) in totals.iter_mut().zip(decode(record, self.aggs.len()).into_iter().zip(&self.aggs)) {
+            for (total, (partial, agg)) in totals
+                .iter_mut()
+                .zip(decode(record, self.aggs.len()).into_iter().zip(&self.aggs))
+            {
                 total.merge(agg.func, partial);
             }
         }
@@ -200,11 +222,26 @@ mod tests {
 
     fn aggs() -> Vec<ResolvedAgg> {
         vec![
-            ResolvedAgg { func: AggFunc::Count, column: None },
-            ResolvedAgg { func: AggFunc::Sum, column: Some(1) },
-            ResolvedAgg { func: AggFunc::Avg, column: Some(0) },
-            ResolvedAgg { func: AggFunc::Min, column: Some(0) },
-            ResolvedAgg { func: AggFunc::Max, column: Some(0) },
+            ResolvedAgg {
+                func: AggFunc::Count,
+                column: None,
+            },
+            ResolvedAgg {
+                func: AggFunc::Sum,
+                column: Some(1),
+            },
+            ResolvedAgg {
+                func: AggFunc::Avg,
+                column: Some(0),
+            },
+            ResolvedAgg {
+                func: AggFunc::Min,
+                column: Some(0),
+            },
+            ResolvedAgg {
+                func: AggFunc::Max,
+                column: Some(0),
+            },
         ]
     }
 
@@ -234,10 +271,23 @@ mod tests {
             op: incmr_data::predicate::CmpOp::Ge,
             literal: Value::Int(4),
         };
-        let mapper = AggMapper::new(p, vec![ResolvedAgg { func: AggFunc::Count, column: None }]);
-        let out = mapper.run(&SplitData::Records(vec![rec(2, 1.0), rec(4, 1.0), rec(9, 1.0)]));
+        let mapper = AggMapper::new(
+            p,
+            vec![ResolvedAgg {
+                func: AggFunc::Count,
+                column: None,
+            }],
+        );
+        let out = mapper.run(&SplitData::Records(vec![
+            rec(2, 1.0),
+            rec(4, 1.0),
+            rec(9, 1.0),
+        ]));
         assert_eq!(out.records_read, 3);
-        let reducer = AggReducer::new(vec![ResolvedAgg { func: AggFunc::Count, column: None }]);
+        let reducer = AggReducer::new(vec![ResolvedAgg {
+            func: AggFunc::Count,
+            column: None,
+        }]);
         let mut rows = Vec::new();
         reducer.reduce(AGG_KEY, &[out.pairs[0].1.clone()], &mut rows);
         assert_eq!(rows[0].1.get(0), &Value::Int(2));
@@ -253,7 +303,11 @@ mod tests {
         let row = &rows[0].1;
         assert_eq!(row.get(0), &Value::Int(0));
         assert_eq!(row.get(1), &Value::Float(0.0));
-        assert_eq!(row.get(2), &Value::Float(0.0), "AVG of nothing is 0 in this subset");
+        assert_eq!(
+            row.get(2),
+            &Value::Float(0.0),
+            "AVG of nothing is 0 in this subset"
+        );
         assert_eq!(row.get(3), &Value::Float(0.0));
     }
 
@@ -265,13 +319,19 @@ mod tests {
         let gen = SplitGenerator::new(&factory, SplitSpec::new(2_000, 13, 5));
         let mapper = AggMapper::new(
             factory.predicate(),
-            vec![ResolvedAgg { func: AggFunc::Count, column: None }],
+            vec![ResolvedAgg {
+                func: AggFunc::Count,
+                column: None,
+            }],
         );
         let full = mapper.run(&SplitData::Records(gen.full_iter().collect()));
         let planted = mapper.run(&SplitData::Planted {
             total_records: 2_000,
             matches: gen.planted_matches(),
         });
-        assert_eq!(full.pairs[0].1, planted.pairs[0].1, "identical partials in both modes");
+        assert_eq!(
+            full.pairs[0].1, planted.pairs[0].1,
+            "identical partials in both modes"
+        );
     }
 }

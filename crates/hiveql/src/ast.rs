@@ -86,7 +86,11 @@ pub enum Expr {
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Expr::Cmp { column, op, literal } => write!(f, "{column} {op} {literal}"),
+            Expr::Cmp {
+                column,
+                op,
+                literal,
+            } => write!(f, "{column} {op} {literal}"),
             Expr::Between { column, low, high } => write!(f, "{column} BETWEEN {low} AND {high}"),
             Expr::And(a, b) => write!(f, "({a} AND {b})"),
             Expr::Or(a, b) => write!(f, "({a} OR {b})"),
@@ -252,7 +256,10 @@ mod tests {
             )),
             limit: Some(10),
         };
-        assert_eq!(q.to_string(), "SELECT a, b FROM t WHERE (a >= 3 AND NOT b = 'x') LIMIT 10");
+        assert_eq!(
+            q.to_string(),
+            "SELECT a, b FROM t WHERE (a >= 3 AND NOT b = 'x') LIMIT 10"
+        );
     }
 
     #[test]

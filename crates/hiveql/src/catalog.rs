@@ -4,14 +4,14 @@
 //! what varies per table is the backing dataset — its scale, skew, and seed.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr_data::{lineitem, Dataset, Schema};
 
 /// Maps table names (case-insensitive) to datasets.
 #[derive(Default)]
 pub struct Catalog {
-    tables: HashMap<String, Rc<Dataset>>,
+    tables: HashMap<String, Arc<Dataset>>,
 }
 
 impl Catalog {
@@ -21,12 +21,12 @@ impl Catalog {
     }
 
     /// Register a table. Replaces any existing registration of the name.
-    pub fn register(&mut self, name: &str, dataset: Rc<Dataset>) {
+    pub fn register(&mut self, name: &str, dataset: Arc<Dataset>) {
         self.tables.insert(name.to_ascii_lowercase(), dataset);
     }
 
     /// Resolve a table name.
-    pub fn resolve(&self, name: &str) -> Option<&Rc<Dataset>> {
+    pub fn resolve(&self, name: &str) -> Option<&Arc<Dataset>> {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
@@ -50,10 +50,10 @@ mod tests {
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
     use incmr_simkit::rng::DetRng;
 
-    fn dataset(name: &str) -> Rc<Dataset> {
+    fn dataset(name: &str) -> Arc<Dataset> {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(1);
-        Rc::new(Dataset::build(
+        Arc::new(Dataset::build(
             &mut ns,
             DatasetSpec::small(name, 4, 100, SkewLevel::Zero, 1),
             &mut EvenRoundRobin::new(),

@@ -19,13 +19,13 @@
 //! predicates over real records.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use incmr_core::{build_sampling_job_with, Policy, SampleMode};
 use incmr_core::scan::ScanMapper;
+use incmr_core::{build_sampling_job_with, Policy, SampleMode};
 use incmr_data::generator::RecordFactory;
 use incmr_data::{predicate, ColumnType, Dataset, Schema, Value};
-use incmr_mapreduce::{keys, GrowthDriver, IdentityReducer, JobConf, JobSpec, ScanMode, StaticDriver};
+use incmr_mapreduce::{keys, GrowthDriver, JobSpec, ScanMode, StaticDriver};
 
 use crate::ast::{CmpOp, Expr, Literal, Projection, Query};
 use crate::catalog::Catalog;
@@ -150,7 +150,12 @@ fn resolve_column(schema: &Schema, name: &str) -> Result<usize, CompileError> {
         .ok_or_else(|| CompileError::UnknownColumn(name.to_string()))
 }
 
-fn lower_literal(schema: &Schema, column: usize, lit: &Literal, column_name: &str) -> Result<Value, CompileError> {
+fn lower_literal(
+    schema: &Schema,
+    column: usize,
+    lit: &Literal,
+    column_name: &str,
+) -> Result<Value, CompileError> {
     let ty = schema.field(column).ty;
     let value = match (ty, lit) {
         (ColumnType::Int, Literal::Int(v)) => Value::Int(*v),
@@ -184,7 +189,11 @@ fn lower_cmp_op(op: CmpOp) -> predicate::CmpOp {
 /// Lower a surface expression to an executable predicate against a schema.
 pub fn lower_expr(schema: &Schema, expr: &Expr) -> Result<predicate::Predicate, CompileError> {
     Ok(match expr {
-        Expr::Cmp { column, op, literal } => {
+        Expr::Cmp {
+            column,
+            op,
+            literal,
+        } => {
             let idx = resolve_column(schema, column)?;
             predicate::Predicate::Compare {
                 column: idx,
@@ -212,14 +221,20 @@ pub fn lower_expr(schema: &Schema, expr: &Expr) -> Result<predicate::Predicate, 
     })
 }
 
-fn resolve_projection(schema: &Schema, projection: &Projection) -> Result<Vec<usize>, CompileError> {
+fn resolve_projection(
+    schema: &Schema,
+    projection: &Projection,
+) -> Result<Vec<usize>, CompileError> {
     match projection {
         Projection::Star | Projection::Aggregates(_) => Ok(Vec::new()),
         Projection::Columns(names) => names.iter().map(|n| resolve_column(schema, n)).collect(),
     }
 }
 
-fn resolve_aggregates(schema: &Schema, aggs: &[crate::ast::AggExpr]) -> Result<Vec<crate::agg::ResolvedAgg>, CompileError> {
+fn resolve_aggregates(
+    schema: &Schema,
+    aggs: &[crate::ast::AggExpr],
+) -> Result<Vec<crate::agg::ResolvedAgg>, CompileError> {
     use crate::ast::AggFunc;
     aggs.iter()
         .map(|a| {
@@ -237,7 +252,10 @@ fn resolve_aggregates(schema: &Schema, aggs: &[crate::ast::AggExpr]) -> Result<V
                     Some(idx)
                 }
             };
-            Ok(crate::agg::ResolvedAgg { func: a.func, column })
+            Ok(crate::agg::ResolvedAgg {
+                func: a.func,
+                column,
+            })
         })
         .collect()
 }
@@ -253,10 +271,12 @@ pub fn compile_query(
     sample_mode: SampleMode,
     seed: u64,
 ) -> Result<CompiledQuery, CompileError> {
-    let dataset: &Rc<Dataset> = catalog
+    let dataset: &Arc<Dataset> = catalog
         .resolve(&query.table)
         .ok_or_else(|| CompileError::UnknownTable(query.table.clone()))?;
-    let schema = catalog.schema(&query.table).expect("resolved tables have schemas");
+    let schema = catalog
+        .schema(&query.table)
+        .expect("resolved tables have schemas");
     let projection = resolve_projection(&schema, &query.projection)?;
     let predicate = match &query.predicate {
         Some(expr) => lower_expr(&schema, expr)?,
@@ -278,19 +298,27 @@ pub fn compile_query(
             return Err(CompileError::AggregateWithLimit);
         }
         let resolved = resolve_aggregates(&schema, aggs)?;
-        let rendered = aggs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ");
-        let conf = JobConf::new().with(keys::JOB_NAME, format!("agg-{}", query.table));
-        let spec = JobSpec {
-            conf,
-            input_format: Rc::new(incmr_mapreduce::DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
-            mapper: Rc::new(crate::agg::AggMapper::new(predicate, resolved.clone())),
-            reducer: Rc::new(crate::agg::AggReducer::new(resolved)),
-        };
+        let rendered = aggs
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let spec = JobSpec::builder()
+            .set(keys::JOB_NAME, format!("agg-{}", query.table))
+            .input(incmr_mapreduce::DatasetInputFormat::new(
+                Arc::clone(dataset),
+                scan_mode,
+            ))
+            .mapper(crate::agg::AggMapper::new(predicate, resolved.clone()))
+            .reducer(crate::agg::AggReducer::new(resolved))
+            .build();
         let blocks = dataset.splits().iter().map(|p| p.block).collect();
         return Ok(CompiledQuery {
             spec,
             driver: Box::new(StaticDriver::new(blocks)),
-            plan: JobPlan::AggregateScan { aggregates: rendered },
+            plan: JobPlan::AggregateScan {
+                aggregates: rendered,
+            },
             projection,
         });
     }
@@ -318,14 +346,15 @@ pub fn compile_query(
             })
         }
         None => {
-            let conf = JobConf::new().with(keys::JOB_NAME, format!("scan-{}", query.table));
             let materialize = scan_mode == ScanMode::Full;
-            let spec = JobSpec {
-                conf,
-                input_format: Rc::new(incmr_mapreduce::DatasetInputFormat::new(Rc::clone(dataset), scan_mode)),
-                mapper: Rc::new(ScanMapper::new(predicate, projection.clone(), materialize)),
-                reducer: Rc::new(IdentityReducer),
-            };
+            let spec = JobSpec::builder()
+                .set(keys::JOB_NAME, format!("scan-{}", query.table))
+                .input(incmr_mapreduce::DatasetInputFormat::new(
+                    Arc::clone(dataset),
+                    scan_mode,
+                ))
+                .mapper(ScanMapper::new(predicate, projection.clone(), materialize))
+                .build();
             let blocks = dataset.splits().iter().map(|p| p.block).collect();
             Ok(CompiledQuery {
                 spec,
@@ -350,7 +379,7 @@ mod tests {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(1);
         // SkewLevel::High plants on L_TAX = 0.77.
-        let ds = Rc::new(Dataset::build(
+        let ds = Arc::new(Dataset::build(
             &mut ns,
             DatasetSpec::small("li", 8, 200, SkewLevel::High, 1),
             &mut EvenRoundRobin::new(),
@@ -401,7 +430,11 @@ mod tests {
 
     #[test]
     fn no_limit_compiles_to_static_scan() {
-        let c = compile("SELECT * FROM LINEITEM WHERE L_TAX = 0.77", ScanMode::Planted).unwrap();
+        let c = compile(
+            "SELECT * FROM LINEITEM WHERE L_TAX = 0.77",
+            ScanMode::Planted,
+        )
+        .unwrap();
         assert_eq!(c.plan, JobPlan::StaticScan);
         assert!(!c.spec.conf.get_bool(keys::DYNAMIC_JOB));
         assert!(c.explain().contains("full select-project scan"));
@@ -418,21 +451,33 @@ mod tests {
             CompileError::UnknownColumn("bogus".into())
         );
         assert!(matches!(
-            compile("SELECT * FROM lineitem WHERE bogus = 1 LIMIT 1", ScanMode::Full).unwrap_err(),
+            compile(
+                "SELECT * FROM lineitem WHERE bogus = 1 LIMIT 1",
+                ScanMode::Full
+            )
+            .unwrap_err(),
             CompileError::UnknownColumn(_)
         ));
     }
 
     #[test]
     fn type_mismatch_is_rejected() {
-        let err = compile("SELECT * FROM lineitem WHERE L_QUANTITY = 'x' LIMIT 1", ScanMode::Full).unwrap_err();
+        let err = compile(
+            "SELECT * FROM lineitem WHERE L_QUANTITY = 'x' LIMIT 1",
+            ScanMode::Full,
+        )
+        .unwrap_err();
         assert!(matches!(err, CompileError::TypeMismatch { .. }));
         assert!(err.to_string().contains("L_QUANTITY"));
     }
 
     #[test]
     fn int_coerces_to_float_column() {
-        let c = compile("SELECT * FROM lineitem WHERE L_DISCOUNT = 0 LIMIT 1", ScanMode::Full).unwrap();
+        let c = compile(
+            "SELECT * FROM lineitem WHERE L_DISCOUNT = 0 LIMIT 1",
+            ScanMode::Full,
+        )
+        .unwrap();
         assert!(matches!(c.plan, JobPlan::DynamicSampling { .. }));
     }
 
@@ -446,11 +491,22 @@ mod tests {
         let CompileError::PredicateNotPlanted { planted } = err else {
             panic!("wrong error: {err:?}")
         };
-        assert!(planted.contains("L_TAX"), "planted predicate named: {planted}");
+        assert!(
+            planted.contains("L_TAX"),
+            "planted predicate named: {planted}"
+        );
         // The planted predicate itself is fine.
-        assert!(compile("SELECT * FROM lineitem WHERE L_TAX = 0.77 LIMIT 10", ScanMode::Planted).is_ok());
+        assert!(compile(
+            "SELECT * FROM lineitem WHERE L_TAX = 0.77 LIMIT 10",
+            ScanMode::Planted
+        )
+        .is_ok());
         // Full mode takes anything well-typed.
-        assert!(compile("SELECT * FROM lineitem WHERE L_QUANTITY = 200 LIMIT 10", ScanMode::Full).is_ok());
+        assert!(compile(
+            "SELECT * FROM lineitem WHERE L_QUANTITY = 200 LIMIT 10",
+            ScanMode::Full
+        )
+        .is_ok());
     }
 
     #[test]
@@ -465,7 +521,15 @@ mod tests {
 
     #[test]
     fn date_columns_take_integer_day_offsets() {
-        assert!(compile("SELECT * FROM lineitem WHERE L_SHIPDATE < 100 LIMIT 5", ScanMode::Full).is_ok());
-        assert!(compile("SELECT * FROM lineitem WHERE L_SHIPDATE = 'x' LIMIT 5", ScanMode::Full).is_err());
+        assert!(compile(
+            "SELECT * FROM lineitem WHERE L_SHIPDATE < 100 LIMIT 5",
+            ScanMode::Full
+        )
+        .is_ok());
+        assert!(compile(
+            "SELECT * FROM lineitem WHERE L_SHIPDATE = 'x' LIMIT 5",
+            ScanMode::Full
+        )
+        .is_err());
     }
 }

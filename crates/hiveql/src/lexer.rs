@@ -179,7 +179,9 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 let mut j = if c == '-' { i + 1 } else { i };
                 let mut saw_dot = false;
-                while j < bytes.len() && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !saw_dot)) {
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit() || (bytes[j] == b'.' && !saw_dot))
+                {
                     if bytes[j] == b'.' {
                         saw_dot = true;
                     }
@@ -203,7 +205,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
                 let mut j = i;
-                while j < bytes.len() && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'.')
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'.')
                 {
                     j += 1;
                 }
@@ -227,7 +232,8 @@ mod tests {
 
     #[test]
     fn tokenises_the_paper_query() {
-        let toks = lex("SELECT ORDERKEY, PARTKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000").unwrap();
+        let toks =
+            lex("SELECT ORDERKEY, PARTKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000").unwrap();
         assert!(toks[0].is_kw("select"));
         assert_eq!(toks[1], Token::Ident("ORDERKEY".into()));
         assert_eq!(toks[2], Token::Comma);

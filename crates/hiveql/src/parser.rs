@@ -58,7 +58,10 @@ pub fn parse(input: &str) -> Result<Statement, ParseError> {
     let stmt = p.statement()?;
     p.eat_semi();
     if !p.at_end() {
-        return Err(ParseError::new(format!("trailing input starting at {}", p.peek_desc())));
+        return Err(ParseError::new(format!(
+            "trailing input starting at {}",
+            p.peek_desc()
+        )));
     }
     Ok(stmt)
 }
@@ -78,7 +81,9 @@ impl Parser {
     }
 
     fn peek_desc(&self) -> String {
-        self.peek().map(|t| format!("{t:?}")).unwrap_or_else(|| "end of input".into())
+        self.peek()
+            .map(|t| format!("{t:?}"))
+            .unwrap_or_else(|| "end of input".into())
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -102,7 +107,10 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(ParseError::new(format!("expected {kw}, found {}", self.peek_desc())))
+            Err(ParseError::new(format!(
+                "expected {kw}, found {}",
+                self.peek_desc()
+            )))
         }
     }
 
@@ -115,7 +123,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(ParseError::new(format!("expected an identifier, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected an identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -130,7 +140,11 @@ impl Parser {
                 Some(Token::Str(s)) => s,
                 Some(Token::Int(v)) => v.to_string(),
                 Some(Token::Float(v)) => v.to_string(),
-                other => return Err(ParseError::new(format!("expected a value in SET, found {other:?}"))),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected a value in SET, found {other:?}"
+                    )))
+                }
             };
             return Ok(Statement::Set { key, value });
         }
@@ -204,7 +218,11 @@ impl Parser {
         let limit = if self.eat_kw("LIMIT") {
             match self.next() {
                 Some(Token::Int(v)) if v > 0 => Some(v as u64),
-                other => return Err(ParseError::new(format!("LIMIT needs a positive integer, found {other:?}"))),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "LIMIT needs a positive integer, found {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -230,15 +248,23 @@ impl Parser {
         let column = match self.next() {
             Some(Token::Star) => {
                 if func != AggFunc::Count {
-                    return Err(ParseError::new(format!("{func}(*) is not valid; only COUNT(*)")));
+                    return Err(ParseError::new(format!(
+                        "{func}(*) is not valid; only COUNT(*)"
+                    )));
                 }
                 None
             }
             Some(Token::Ident(c)) => Some(c),
-            other => return Err(ParseError::new(format!("expected a column or * in {func}(), found {other:?}"))),
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected a column or * in {func}(), found {other:?}"
+                )))
+            }
         };
         if self.next() != Some(Token::RParen) {
-            return Err(ParseError::new(format!("expected ')' after {func} argument")));
+            return Err(ParseError::new(format!(
+                "expected ')' after {func} argument"
+            )));
         }
         Ok(SelectItem::Aggregate(AggExpr { func, column }))
     }
@@ -291,10 +317,18 @@ impl Parser {
             Some(Token::Le) => CmpOp::Le,
             Some(Token::Gt) => CmpOp::Gt,
             Some(Token::Ge) => CmpOp::Ge,
-            other => return Err(ParseError::new(format!("expected a comparison operator, found {other:?}"))),
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected a comparison operator, found {other:?}"
+                )))
+            }
         };
         let literal = self.literal()?;
-        Ok(Expr::Cmp { column, op, literal })
+        Ok(Expr::Cmp {
+            column,
+            op,
+            literal,
+        })
     }
 
     fn literal(&mut self) -> Result<Literal, ParseError> {
@@ -302,7 +336,9 @@ impl Parser {
             Some(Token::Int(v)) => Ok(Literal::Int(v)),
             Some(Token::Float(v)) => Ok(Literal::Float(v)),
             Some(Token::Str(s)) => Ok(Literal::Str(s)),
-            other => Err(ParseError::new(format!("expected a literal, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected a literal, found {other:?}"
+            ))),
         }
     }
 }
@@ -320,7 +356,8 @@ mod tests {
 
     #[test]
     fn parses_the_paper_template() {
-        let query = q("SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000");
+        let query =
+            q("SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000");
         assert_eq!(
             query.projection,
             Projection::Columns(vec!["ORDERKEY".into(), "PARTKEY".into(), "SUPPKEY".into()])
@@ -355,7 +392,9 @@ mod tests {
     #[test]
     fn not_and_between() {
         let query = q("SELECT * FROM t WHERE NOT a BETWEEN 1 AND 5");
-        let Some(Expr::Not(inner)) = &query.predicate else { panic!() };
+        let Some(Expr::Not(inner)) = &query.predicate else {
+            panic!()
+        };
         assert!(matches!(**inner, Expr::Between { .. }));
     }
 
@@ -380,13 +419,23 @@ mod tests {
     #[test]
     fn aggregates_parse() {
         use crate::ast::{AggExpr, AggFunc};
-        let query = q("SELECT COUNT(*), AVG(L_QUANTITY), MAX(L_TAX) FROM lineitem WHERE L_TAX = 0.77");
+        let query =
+            q("SELECT COUNT(*), AVG(L_QUANTITY), MAX(L_TAX) FROM lineitem WHERE L_TAX = 0.77");
         assert_eq!(
             query.projection,
             Projection::Aggregates(vec![
-                AggExpr { func: AggFunc::Count, column: None },
-                AggExpr { func: AggFunc::Avg, column: Some("L_QUANTITY".into()) },
-                AggExpr { func: AggFunc::Max, column: Some("L_TAX".into()) },
+                AggExpr {
+                    func: AggFunc::Count,
+                    column: None
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    column: Some("L_QUANTITY".into())
+                },
+                AggExpr {
+                    func: AggFunc::Max,
+                    column: Some("L_TAX".into())
+                },
             ])
         );
     }
@@ -396,7 +445,10 @@ mod tests {
         assert!(parse("SELECT SUM(*) FROM t").is_err(), "only COUNT takes *");
         assert!(parse("SELECT FROB(x) FROM t").is_err(), "unknown function");
         assert!(parse("SELECT COUNT(*), x FROM t").is_err(), "no mixing");
-        assert!(parse("SELECT x, COUNT(*) FROM t").is_err(), "no mixing either way");
+        assert!(
+            parse("SELECT x, COUNT(*) FROM t").is_err(),
+            "no mixing either way"
+        );
         assert!(parse("SELECT COUNT( FROM t").is_err());
     }
 
@@ -405,9 +457,15 @@ mod tests {
         assert!(parse("SELECT FROM t").is_err());
         assert!(parse("SELECT * FROM").is_err());
         assert!(parse("SELECT * FROM t WHERE").is_err());
-        assert!(parse("SELECT * FROM t LIMIT 0").is_err(), "LIMIT must be positive");
+        assert!(
+            parse("SELECT * FROM t LIMIT 0").is_err(),
+            "LIMIT must be positive"
+        );
         assert!(parse("SELECT * FROM t LIMIT -5").is_err());
-        assert!(parse("SELECT * FROM t extra").is_err(), "trailing tokens rejected");
+        assert!(
+            parse("SELECT * FROM t extra").is_err(),
+            "trailing tokens rejected"
+        );
         assert!(parse("SET x").is_err());
     }
 }

@@ -19,10 +19,10 @@ use incmr_data::Record;
 use incmr_mapreduce::{keys, JobId, MrRuntime, ScanMode};
 use incmr_simkit::SimDuration;
 
+use crate::ast::{ShowKind, Statement};
 use crate::catalog::Catalog;
 use crate::compile::{compile_query, CompileError};
 use crate::parser::{parse, ParseError};
-use crate::ast::{ShowKind, Statement};
 
 /// Errors surfaced to the session user.
 #[derive(Debug)]
@@ -45,8 +45,15 @@ impl fmt::Display for SessionError {
         match self {
             SessionError::Parse(e) => write!(f, "{e}"),
             SessionError::Compile(e) => write!(f, "{e}"),
-            SessionError::UnknownPolicy { requested, available } => {
-                write!(f, "unknown policy {requested:?}; available: {}", available.join(", "))
+            SessionError::UnknownPolicy {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "unknown policy {requested:?}; available: {}",
+                    available.join(", ")
+                )
             }
         }
     }
@@ -185,7 +192,16 @@ impl Session {
                     ShowKind::Policies => self
                         .policies
                         .iter()
-                        .map(|p| format!("{p}{}", if p.name == self.policy.name { "  (active)" } else { "" }))
+                        .map(|p| {
+                            format!(
+                                "{p}{}",
+                                if p.name == self.policy.name {
+                                    "  (active)"
+                                } else {
+                                    ""
+                                }
+                            )
+                        })
                         .collect(),
                 };
                 Ok(QueryOutput::Listing(items))
@@ -233,7 +249,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use incmr_data::{Dataset, DatasetSpec, SkewLevel};
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
@@ -243,7 +259,7 @@ mod tests {
     fn session(skew: SkewLevel) -> Session {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(9);
-        let ds = Rc::new(Dataset::build(
+        let ds = Arc::new(Dataset::build(
             &mut ns,
             DatasetSpec::small("lineitem", 20, 2_000, skew, 9),
             &mut EvenRoundRobin::new(),
@@ -265,9 +281,13 @@ mod tests {
         // 20×2000 records at 0.05% → 20 matches; ask for 10.
         let mut s = session(SkewLevel::High);
         let out = s
-            .execute("SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10")
+            .execute(
+                "SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10",
+            )
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 10);
         assert!(rows.iter().all(|r| r.arity() == 3), "projection applied");
     }
@@ -292,7 +312,9 @@ mod tests {
     fn unknown_policy_lists_available() {
         let mut s = session(SkewLevel::High);
         let err = s.execute("SET dynamic.job.policy = turbo").unwrap_err();
-        let SessionError::UnknownPolicy { available, .. } = err else { panic!() };
+        let SessionError::UnknownPolicy { available, .. } = err else {
+            panic!()
+        };
         assert!(available.contains(&"Hadoop".into()));
     }
 
@@ -302,14 +324,18 @@ mod tests {
         let out = s
             .execute("SELECT L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY <= 25 AND L_SHIPMODE = 'AIR' LIMIT 7")
             .unwrap();
-        let QueryOutput::Rows { rows, .. } = out else { panic!() };
+        let QueryOutput::Rows { rows, .. } = out else {
+            panic!()
+        };
         assert_eq!(rows.len(), 7, "plenty of natural records satisfy this");
     }
 
     #[test]
     fn scan_without_limit_reads_everything() {
         let mut s = session(SkewLevel::Zero);
-        let out = s.execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200").unwrap();
+        let out = s
+            .execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200")
+            .unwrap();
         let QueryOutput::Rows {
             splits_processed,
             records_processed,
@@ -333,7 +359,10 @@ mod tests {
         .unwrap();
         assert_eq!(s.active_policy().name, "tiny");
         let err = s.execute("SET dynamic.job.policy = LA").unwrap_err();
-        assert!(matches!(err, SessionError::UnknownPolicy { .. }), "registry was replaced");
+        assert!(
+            matches!(err, SessionError::UnknownPolicy { .. }),
+            "registry was replaced"
+        );
     }
 
     #[test]
@@ -343,13 +372,29 @@ mod tests {
         let out = s
             .execute("SELECT COUNT(*), AVG(L_QUANTITY), MIN(L_TAX), MAX(L_TAX) FROM lineitem WHERE L_TAX = 0.77")
             .unwrap();
-        let QueryOutput::Rows { rows, splits_processed, .. } = out else { panic!() };
+        let QueryOutput::Rows {
+            rows,
+            splits_processed,
+            ..
+        } = out
+        else {
+            panic!()
+        };
         assert_eq!(rows.len(), 1);
         assert_eq!(splits_processed, 20, "aggregates scan everything");
         let row = &rows[0];
-        assert_eq!(row.get(0), &incmr_data::Value::Int(20), "0.05% of 40k records");
-        let incmr_data::Value::Float(avg_q) = row.get(1) else { panic!() };
-        assert!((1.0..=50.0).contains(avg_q), "average quantity in domain: {avg_q}");
+        assert_eq!(
+            row.get(0),
+            &incmr_data::Value::Int(20),
+            "0.05% of 40k records"
+        );
+        let incmr_data::Value::Float(avg_q) = row.get(1) else {
+            panic!()
+        };
+        assert!(
+            (1.0..=50.0).contains(avg_q),
+            "average quantity in domain: {avg_q}"
+        );
         assert_eq!(row.get(2), &incmr_data::Value::Float(0.77));
         assert_eq!(row.get(3), &incmr_data::Value::Float(0.77));
     }
@@ -377,11 +422,17 @@ mod tests {
     #[test]
     fn show_statements_list_tables_and_policies() {
         let mut s = session(SkewLevel::High);
-        let QueryOutput::Listing(tables) = s.execute("SHOW TABLES").unwrap() else { panic!() };
+        let QueryOutput::Listing(tables) = s.execute("SHOW TABLES").unwrap() else {
+            panic!()
+        };
         assert_eq!(tables, vec!["lineitem"]);
-        let QueryOutput::Listing(policies) = s.execute("SHOW POLICIES;").unwrap() else { panic!() };
+        let QueryOutput::Listing(policies) = s.execute("SHOW POLICIES;").unwrap() else {
+            panic!()
+        };
         assert_eq!(policies.len(), 5);
-        assert!(policies.iter().any(|p| p.starts_with("LA") && p.ends_with("(active)")));
+        assert!(policies
+            .iter()
+            .any(|p| p.starts_with("LA") && p.ends_with("(active)")));
         assert!(s.execute("SHOW NONSENSE").is_err());
     }
 
@@ -398,19 +449,26 @@ mod tests {
     #[test]
     fn successive_queries_share_the_simulated_cluster() {
         let mut s = session(SkewLevel::Zero);
-        let QueryOutput::Rows { response_time: t1, .. } =
-            s.execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 5").unwrap()
+        let QueryOutput::Rows {
+            response_time: t1, ..
+        } = s
+            .execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 5")
+            .unwrap()
         else {
             panic!()
         };
         let now_after_first = s.runtime().now();
         assert!(now_after_first.as_millis() > 0);
-        let QueryOutput::Rows { .. } =
-            s.execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 5").unwrap()
+        let QueryOutput::Rows { .. } = s
+            .execute("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 5")
+            .unwrap()
         else {
             panic!()
         };
-        assert!(s.runtime().now() > now_after_first, "clock advances across queries");
+        assert!(
+            s.runtime().now() > now_after_first,
+            "clock advances across queries"
+        );
         assert!(t1 > SimDuration::ZERO);
     }
 }

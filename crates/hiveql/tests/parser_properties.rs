@@ -17,9 +17,11 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
 
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
-        !["select", "from", "where", "limit", "and", "or", "not", "between", "set", "explain",
-          "count", "sum", "avg", "min", "max"]
-            .contains(&s.to_ascii_lowercase().as_str())
+        ![
+            "select", "from", "where", "limit", "and", "or", "not", "between", "set", "explain",
+            "count", "sum", "avg", "min", "max",
+        ]
+        .contains(&s.to_ascii_lowercase().as_str())
     })
 }
 

@@ -8,6 +8,44 @@
 
 use incmr_dfs::ClusterTopology;
 
+/// How many host worker threads the *data plane* may use for map-task
+/// record work. This is a host-execution knob, not a modelling one:
+/// simulated time is byte-identical at every setting (see
+/// `crate::parallel`); only wall-clock time changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads; `1` means serial in-loop execution (no pool).
+    pub threads: u32,
+}
+
+impl Parallelism {
+    /// Serial execution — the default, and the reference behaviour the
+    /// parallel path must reproduce exactly.
+    pub const SERIAL: Parallelism = Parallelism { threads: 1 };
+
+    /// A pool of `threads` workers (clamped to at least 1).
+    pub fn threads(threads: u32) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Use every core the host reports.
+    pub fn available() -> Self {
+        Parallelism::threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::SERIAL
+    }
+}
+
 /// Static configuration of the simulated cluster.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
@@ -20,6 +58,8 @@ pub struct ClusterConfig {
     /// slots required by a job is typically small", Section II-C; Hadoop's
     /// default is 2 per TaskTracker).
     pub reduce_slots_per_node: u32,
+    /// Host-side data-plane parallelism (does not affect simulated time).
+    pub parallelism: Parallelism,
 }
 
 impl ClusterConfig {
@@ -29,6 +69,7 @@ impl ClusterConfig {
             topology: ClusterTopology::paper_cluster(),
             map_slots_per_node: 4,
             reduce_slots_per_node: 2,
+            parallelism: Parallelism::SERIAL,
         }
     }
 
@@ -40,7 +81,14 @@ impl ClusterConfig {
             topology: ClusterTopology::paper_cluster(),
             map_slots_per_node: 16,
             reduce_slots_per_node: 2,
+            parallelism: Parallelism::SERIAL,
         }
+    }
+
+    /// The same configuration with a different data-plane parallelism.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Total map slots across the cluster (`TS`).

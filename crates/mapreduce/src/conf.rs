@@ -44,7 +44,11 @@ pub struct ConfError {
 
 impl fmt::Display for ConfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "conf key {}={:?} is not a valid {}", self.key, self.value, self.wanted)
+        write!(
+            f,
+            "conf key {}={:?} is not a valid {}",
+            self.key, self.value, self.wanted
+        )
     }
 }
 
@@ -75,7 +79,9 @@ impl JobConf {
     /// Boolean lookup; absent keys default to `false`, matching Hadoop's
     /// `getBoolean` semantics for flags like `dynamic.job`.
     pub fn get_bool(&self, key: &str) -> bool {
-        self.get(key).map(|v| v.eq_ignore_ascii_case("true")).unwrap_or(false)
+        self.get(key)
+            .map(|v| v.eq_ignore_ascii_case("true"))
+            .unwrap_or(false)
     }
 
     /// Integer lookup with a default for absent keys.

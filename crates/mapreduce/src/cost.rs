@@ -104,7 +104,10 @@ mod tests {
         let c = CostModel::paper_default();
         assert_eq!(c.remote_transfer_ms(0), 0);
         let one = c.remote_transfer_ms(30 * 1024 * 1024);
-        assert!((990..=1010).contains(&one), "30MB at 30MB/s ≈ 1s, got {one}ms");
+        assert!(
+            (990..=1010).contains(&one),
+            "30MB at 30MB/s ≈ 1s, got {one}ms"
+        );
         assert!(c.remote_transfer_ms(60 * 1024 * 1024) > one);
     }
 

@@ -11,8 +11,14 @@
 //! [`ScanMode`] — `Full` materialises every record, `Planted` only the
 //! predicate-matching ones (see the `incmr-data::generator` docs for why
 //! the two are interchangeable).
+//!
+//! All three traits are `Send + Sync`: the runtime's data plane executes
+//! map-task record work on a worker pool (see `crate::parallel`), so user
+//! logic must be shareable across threads. Implementations take `&self` and
+//! the built-ins hold only immutable state, so this costs nothing in
+//! practice.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr_data::{Dataset, Record, SplitGenerator};
 use incmr_dfs::BlockId;
@@ -51,26 +57,27 @@ pub enum ScanMode {
     Planted,
 }
 
-/// Source of split contents, keyed by DFS block.
-pub trait InputFormat {
+/// Source of split contents, keyed by DFS block. `Send + Sync` so reads can
+/// run on the data-plane worker pool.
+pub trait InputFormat: Send + Sync {
     /// Materialise the contents of `block`.
     fn read(&self, block: BlockId) -> SplitData;
 }
 
 /// Reads splits from a planned [`Dataset`].
 pub struct DatasetInputFormat {
-    dataset: Rc<Dataset>,
+    dataset: Arc<Dataset>,
     mode: ScanMode,
 }
 
 impl DatasetInputFormat {
     /// Bind to a dataset with the given scan mode.
-    pub fn new(dataset: Rc<Dataset>, mode: ScanMode) -> Self {
+    pub fn new(dataset: Arc<Dataset>, mode: ScanMode) -> Self {
         DatasetInputFormat { dataset, mode }
     }
 
     /// The underlying dataset.
-    pub fn dataset(&self) -> &Rc<Dataset> {
+    pub fn dataset(&self) -> &Arc<Dataset> {
         &self.dataset
     }
 }
@@ -118,20 +125,25 @@ impl MapResult {
 
     /// Total output bytes, materialised or not.
     pub fn total_output_bytes(&self) -> u64 {
-        let materialized: u64 = self.pairs.iter().map(|(k, v)| k.len() as u64 + v.width()).sum();
+        let materialized: u64 = self
+            .pairs
+            .iter()
+            .map(|(k, v)| k.len() as u64 + v.width())
+            .sum();
         materialized + self.unmaterialized_bytes
     }
 }
 
-/// User map logic. Invoked once per split.
-pub trait Mapper {
+/// User map logic. Invoked once per split, potentially from a worker
+/// thread — implementations must be pure with respect to `&self`.
+pub trait Mapper: Send + Sync {
     /// Process a split and return emitted pairs plus counters.
     fn run(&self, data: &SplitData) -> MapResult;
 }
 
 /// User reduce logic. Invoked once per distinct key with all of that key's
 /// values, in map-completion order.
-pub trait Reducer {
+pub trait Reducer: Send + Sync {
     /// Produce output pairs for one key group.
     fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>);
 }
@@ -153,25 +165,31 @@ mod tests {
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
     use incmr_simkit::rng::DetRng;
 
-    fn small_dataset() -> (Namespace, Rc<Dataset>) {
+    fn small_dataset() -> (Namespace, Arc<Dataset>) {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(11);
         let spec = DatasetSpec::small("t", 8, 500, SkewLevel::Moderate, 11);
         let ds = Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng);
-        (ns, Rc::new(ds))
+        (ns, Arc::new(ds))
     }
 
     #[test]
     fn full_and_planted_modes_agree_on_matches() {
         let (_, ds) = small_dataset();
         let pred = ds.factory();
-        let full = DatasetInputFormat::new(Rc::clone(&ds), ScanMode::Full);
-        let planted = DatasetInputFormat::new(Rc::clone(&ds), ScanMode::Planted);
+        let full = DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full);
+        let planted = DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Planted);
         use incmr_data::generator::RecordFactory;
         let p = pred.predicate();
         for plan in ds.splits() {
-            let SplitData::Records(all) = full.read(plan.block) else { panic!() };
-            let SplitData::Planted { total_records, matches } = planted.read(plan.block) else {
+            let SplitData::Records(all) = full.read(plan.block) else {
+                panic!()
+            };
+            let SplitData::Planted {
+                total_records,
+                matches,
+            } = planted.read(plan.block)
+            else {
                 panic!()
             };
             assert_eq!(total_records, all.len() as u64);
@@ -195,7 +213,10 @@ mod tests {
     #[test]
     fn identity_reducer_passes_values_through() {
         let r = IdentityReducer;
-        let vals = vec![Record::new(vec![Value::Int(1)]), Record::new(vec![Value::Int(2)])];
+        let vals = vec![
+            Record::new(vec![Value::Int(1)]),
+            Record::new(vec![Value::Int(2)]),
+        ];
         let mut out = Vec::new();
         r.reduce("k", &vals, &mut out);
         assert_eq!(out.len(), 2);

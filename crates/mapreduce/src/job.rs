@@ -9,14 +9,14 @@
 //! is the trivial [`StaticDriver`].
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr_dfs::BlockId;
 use incmr_simkit::SimDuration;
 
 use crate::cluster::ClusterStatus;
-use crate::conf::JobConf;
-use crate::exec::{InputFormat, Mapper, Reducer};
+use crate::conf::{keys, JobConf};
+use crate::exec::{IdentityReducer, InputFormat, Mapper, Reducer};
 use incmr_data::Record;
 
 /// Identifier of a submitted job.
@@ -40,17 +40,110 @@ impl fmt::Display for TaskId {
 }
 
 /// Everything needed to run a job: configuration plus the user's black-box
-/// logic. Cloning is cheap (shared `Rc`s).
+/// logic. Cloning is cheap (shared `Arc`s); the `Arc`s make the spec
+/// `Send + Sync` so map work can run on the data-plane worker pool.
+///
+/// Construct specs with [`JobSpec::builder`] rather than struct literals —
+/// the builder defaults the configuration and reducer and keeps call sites
+/// stable as fields are added.
 #[derive(Clone)]
 pub struct JobSpec {
     /// Job configuration.
     pub conf: JobConf,
     /// Source of split contents.
-    pub input_format: Rc<dyn InputFormat>,
+    pub input_format: Arc<dyn InputFormat>,
     /// Map logic.
-    pub mapper: Rc<dyn Mapper>,
+    pub mapper: Arc<dyn Mapper>,
     /// Reduce logic.
-    pub reducer: Rc<dyn Reducer>,
+    pub reducer: Arc<dyn Reducer>,
+}
+
+impl JobSpec {
+    /// Start building a job spec. Input format and mapper are mandatory;
+    /// the configuration defaults to empty and the reducer to
+    /// [`IdentityReducer`].
+    pub fn builder() -> JobSpecBuilder {
+        JobSpecBuilder {
+            conf: JobConf::new(),
+            input_format: None,
+            mapper: None,
+            reducer: Arc::new(IdentityReducer),
+        }
+    }
+}
+
+/// Builder for [`JobSpec`] (see [`JobSpec::builder`]).
+pub struct JobSpecBuilder {
+    conf: JobConf,
+    input_format: Option<Arc<dyn InputFormat>>,
+    mapper: Option<Arc<dyn Mapper>>,
+    reducer: Arc<dyn Reducer>,
+}
+
+impl JobSpecBuilder {
+    /// Replace the whole configuration (defaults to empty).
+    pub fn conf(mut self, conf: JobConf) -> Self {
+        self.conf = conf;
+        self
+    }
+
+    /// Set one configuration key (applied on top of [`JobSpecBuilder::conf`]).
+    pub fn set(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.conf.set(key, value);
+        self
+    }
+
+    /// Source of split contents (mandatory).
+    pub fn input(mut self, input_format: impl InputFormat + 'static) -> Self {
+        self.input_format = Some(Arc::new(input_format));
+        self
+    }
+
+    /// Source of split contents from an existing shared handle.
+    pub fn input_arc(mut self, input_format: Arc<dyn InputFormat>) -> Self {
+        self.input_format = Some(input_format);
+        self
+    }
+
+    /// Map logic (mandatory).
+    pub fn mapper(mut self, mapper: impl Mapper + 'static) -> Self {
+        self.mapper = Some(Arc::new(mapper));
+        self
+    }
+
+    /// Map logic from an existing shared handle.
+    pub fn mapper_arc(mut self, mapper: Arc<dyn Mapper>) -> Self {
+        self.mapper = Some(mapper);
+        self
+    }
+
+    /// Reduce logic (defaults to [`IdentityReducer`]).
+    pub fn reducer(mut self, reducer: impl Reducer + 'static) -> Self {
+        self.reducer = Arc::new(reducer);
+        self
+    }
+
+    /// Number of reduce tasks (sets [`keys::NUM_REDUCE_TASKS`]).
+    pub fn reduces(mut self, n: u32) -> Self {
+        self.conf.set(keys::NUM_REDUCE_TASKS, n);
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// Panics if the input format or mapper was never supplied — these are
+    /// programming errors, not runtime conditions.
+    pub fn build(self) -> JobSpec {
+        JobSpec {
+            conf: self.conf,
+            input_format: self
+                .input_format
+                .expect("JobSpec::builder requires .input(...)"),
+            mapper: self.mapper.expect("JobSpec::builder requires .mapper(...)"),
+            reducer: self.reducer,
+        }
+    }
 }
 
 /// Progress statistics for one job, as passed to its [`GrowthDriver`] at
@@ -86,6 +179,38 @@ pub enum GrowthDirective {
     Wait,
 }
 
+/// Everything an evaluation hook gets to look at, bundled so future
+/// statistics (the paper's cluster-load extensions) extend this struct
+/// instead of every implementor's signature.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalContext<'a> {
+    /// Progress of the job under evaluation.
+    pub progress: &'a JobProgress,
+    /// Cluster-wide status at evaluation time.
+    pub cluster: &'a ClusterStatus,
+    /// Upper bound on splits the callee may request in this round. The
+    /// runtime evaluates drivers with `u64::MAX` (drivers own their policy);
+    /// policy layers such as `DynamicDriver` tighten it before delegating to
+    /// their Input Provider.
+    pub grab_limit: u64,
+}
+
+impl<'a> EvalContext<'a> {
+    /// A context with no grab restriction (as the runtime hands to drivers).
+    pub fn unlimited(progress: &'a JobProgress, cluster: &'a ClusterStatus) -> Self {
+        EvalContext {
+            progress,
+            cluster,
+            grab_limit: u64::MAX,
+        }
+    }
+
+    /// The same context with a tightened grab limit.
+    pub fn with_grab_limit(self, grab_limit: u64) -> Self {
+        EvalContext { grab_limit, ..self }
+    }
+}
+
 /// Runtime-side hook controlling a job's intake of input.
 pub trait GrowthDriver {
     /// Splits to schedule at submission time.
@@ -94,7 +219,7 @@ pub trait GrowthDriver {
     /// Periodic evaluation. The runtime calls this every
     /// [`GrowthDriver::evaluation_interval`] until it returns
     /// [`GrowthDirective::EndOfInput`].
-    fn evaluate(&mut self, progress: &JobProgress, cluster: &ClusterStatus) -> GrowthDirective;
+    fn evaluate(&mut self, ctx: EvalContext<'_>) -> GrowthDirective;
 
     /// How often to evaluate.
     fn evaluation_interval(&self) -> SimDuration;
@@ -117,7 +242,7 @@ impl GrowthDriver for StaticDriver {
         std::mem::take(&mut self.splits)
     }
 
-    fn evaluate(&mut self, _progress: &JobProgress, _cluster: &ClusterStatus) -> GrowthDirective {
+    fn evaluate(&mut self, _ctx: EvalContext<'_>) -> GrowthDirective {
         GrowthDirective::EndOfInput
     }
 
@@ -198,7 +323,50 @@ mod tests {
             records_processed: 0,
             map_output_records: 0,
         };
-        assert_eq!(d.evaluate(&p, &status()), GrowthDirective::EndOfInput);
+        assert_eq!(
+            d.evaluate(EvalContext::unlimited(&p, &status())),
+            GrowthDirective::EndOfInput
+        );
+    }
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        struct NullInput;
+        impl InputFormat for NullInput {
+            fn read(&self, _block: BlockId) -> crate::exec::SplitData {
+                crate::exec::SplitData::Records(vec![])
+            }
+        }
+        struct NullMapper;
+        impl Mapper for NullMapper {
+            fn run(&self, _data: &crate::exec::SplitData) -> crate::exec::MapResult {
+                crate::exec::MapResult::default()
+            }
+        }
+        let spec = JobSpec::builder()
+            .input(NullInput)
+            .mapper(NullMapper)
+            .set(keys::JOB_NAME, "t")
+            .reduces(3)
+            .build();
+        assert_eq!(spec.conf.get(keys::JOB_NAME), Some("t"));
+        assert_eq!(spec.conf.get(keys::NUM_REDUCE_TASKS), Some("3"));
+        // Default reducer is the identity.
+        let mut out = Vec::new();
+        spec.reducer.reduce("k", &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires .mapper")]
+    fn builder_without_mapper_panics() {
+        struct NullInput;
+        impl InputFormat for NullInput {
+            fn read(&self, _block: BlockId) -> crate::exec::SplitData {
+                crate::exec::SplitData::Records(vec![])
+            }
+        }
+        let _ = JobSpec::builder().input(NullInput).build();
     }
 
     #[test]

@@ -31,26 +31,51 @@ pub mod cost;
 pub mod exec;
 pub mod job;
 pub mod metrics;
+pub mod parallel;
 pub mod runtime;
 pub mod scheduler;
 pub mod trace;
 
-pub use cluster::{ClusterConfig, ClusterStatus};
+pub use cluster::{ClusterConfig, ClusterStatus, Parallelism};
 pub use conf::{keys, JobConf};
 pub use cost::CostModel;
 pub use exec::{
-    DatasetInputFormat, IdentityReducer, InputFormat, MapResult, Mapper, Reducer, ScanMode, SplitData,
+    DatasetInputFormat, IdentityReducer, InputFormat, MapResult, Mapper, Reducer, ScanMode,
+    SplitData,
 };
-pub use job::{GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, StaticDriver, TaskId};
+pub use job::{
+    EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec,
+    JobSpecBuilder, StaticDriver, TaskId,
+};
 pub use metrics::{ClusterMetrics, MetricsReport};
+pub use parallel::{MapUnit, ParallelExecutor};
 pub use runtime::{FaultPlan, MrRuntime, MATERIALIZE_CAP_KEY};
 pub use scheduler::{FairScheduler, FifoScheduler, TaskScheduler};
 pub use trace::{job_timeline, render_timeline, JobTimeline, TraceEvent, TraceKind};
+
+/// One-line import for framework users: `use incmr_mapreduce::prelude::*;`
+/// brings in the types almost every job-building call site needs.
+pub mod prelude {
+    pub use crate::cluster::{ClusterConfig, ClusterStatus, Parallelism};
+    pub use crate::conf::{keys, JobConf};
+    pub use crate::cost::CostModel;
+    pub use crate::exec::{
+        DatasetInputFormat, IdentityReducer, InputFormat, MapResult, Mapper, Reducer, ScanMode,
+        SplitData,
+    };
+    pub use crate::job::{
+        EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec,
+        StaticDriver, TaskId,
+    };
+    pub use crate::runtime::MrRuntime;
+    pub use crate::scheduler::{FairScheduler, FifoScheduler, TaskScheduler};
+}
 
 #[cfg(test)]
 mod tests {
     use std::cell::Cell;
     use std::rc::Rc;
+    use std::sync::Arc;
 
     use incmr_data::{Dataset, DatasetSpec, Record, SkewLevel, Value};
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
@@ -59,8 +84,8 @@ mod tests {
 
     use crate::cluster::ClusterConfig;
     use crate::cost::CostModel;
-    use crate::exec::{DatasetInputFormat, IdentityReducer, MapResult, Mapper, ScanMode, SplitData};
-    use crate::job::{GrowthDirective, GrowthDriver, JobProgress, JobSpec, StaticDriver};
+    use crate::exec::{DatasetInputFormat, MapResult, Mapper, ScanMode, SplitData};
+    use crate::job::{EvalContext, GrowthDirective, GrowthDriver, JobSpec, StaticDriver};
     use crate::runtime::MrRuntime;
     use crate::scheduler::{FairScheduler, FifoScheduler};
     use crate::ClusterStatus;
@@ -72,8 +97,14 @@ mod tests {
     impl Mapper for MatchAllMapper {
         fn run(&self, data: &SplitData) -> MapResult {
             match data {
-                SplitData::Planted { total_records, matches } => MapResult {
-                    pairs: matches.iter().map(|r| ("k".to_string(), r.clone())).collect(),
+                SplitData::Planted {
+                    total_records,
+                    matches,
+                } => MapResult {
+                    pairs: matches
+                        .iter()
+                        .map(|r| ("k".to_string(), r.clone()))
+                        .collect(),
                     records_read: *total_records,
                     ..MapResult::default()
                 },
@@ -86,11 +117,16 @@ mod tests {
         }
     }
 
-    fn small_world(partitions: u32, records: u64) -> (MrRuntime, Rc<Dataset>) {
+    fn small_world(partitions: u32, records: u64) -> (MrRuntime, Arc<Dataset>) {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(5);
         let spec = DatasetSpec::small("t", partitions, records, SkewLevel::Zero, 5);
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
         let rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),
             CostModel::paper_default(),
@@ -100,13 +136,11 @@ mod tests {
         (rt, ds)
     }
 
-    fn static_job(ds: &Rc<Dataset>) -> (JobSpec, Box<StaticDriver>) {
-        let spec = JobSpec {
-            conf: crate::JobConf::new(),
-            input_format: Rc::new(DatasetInputFormat::new(Rc::clone(ds), ScanMode::Planted)),
-            mapper: Rc::new(MatchAllMapper),
-            reducer: Rc::new(IdentityReducer),
-        };
+    fn static_job(ds: &Arc<Dataset>) -> (JobSpec, Box<StaticDriver>) {
+        let spec = JobSpec::builder()
+            .input(DatasetInputFormat::new(Arc::clone(ds), ScanMode::Planted))
+            .mapper(MatchAllMapper)
+            .build();
         let blocks = ds.splits().iter().map(|p| p.block).collect();
         (spec, Box::new(StaticDriver::new(blocks)))
     }
@@ -188,7 +222,12 @@ mod tests {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(5);
         let spec = DatasetSpec::small("t", 20, 1_000, SkewLevel::Zero, 5);
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
         let mut rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),
             CostModel::paper_default(),
@@ -216,7 +255,7 @@ mod tests {
             self.splits.drain(..n).collect()
         }
 
-        fn evaluate(&mut self, _p: &JobProgress, _c: &ClusterStatus) -> GrowthDirective {
+        fn evaluate(&mut self, _ctx: EvalContext<'_>) -> GrowthDirective {
             self.calls.set(self.calls.get() + 1);
             if self.splits.is_empty() {
                 GrowthDirective::EndOfInput
@@ -260,7 +299,11 @@ mod tests {
         rt.run_until_idle();
         let r = rt.job_result(id);
         assert_eq!(r.output.len(), 5, "reduce sees only the cap");
-        assert_eq!(r.map_output_records, ds.total_matching(), "counters see everything");
+        assert_eq!(
+            r.map_output_records,
+            ds.total_matching(),
+            "counters see everything"
+        );
     }
 
     #[test]
@@ -317,7 +360,9 @@ mod tests {
         }
         impl Mapper for FilterMapper {
             fn run(&self, data: &SplitData) -> MapResult {
-                let SplitData::Records(rs) = data else { panic!("expected full mode") };
+                let SplitData::Records(rs) = data else {
+                    panic!("expected full mode")
+                };
                 MapResult {
                     pairs: rs
                         .iter()
@@ -332,12 +377,10 @@ mod tests {
         let (mut rt, ds) = small_world(6, 800);
         use incmr_data::generator::RecordFactory;
         let pred = ds.factory().predicate();
-        let spec = JobSpec {
-            conf: crate::JobConf::new(),
-            input_format: Rc::new(DatasetInputFormat::new(Rc::clone(&ds), ScanMode::Full)),
-            mapper: Rc::new(FilterMapper { pred }),
-            reducer: Rc::new(IdentityReducer),
-        };
+        let spec = JobSpec::builder()
+            .input(DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full))
+            .mapper(FilterMapper { pred })
+            .build();
         let blocks = ds.splits().iter().map(|p| p.block).collect();
         let id = rt.submit(spec, Box::new(StaticDriver::new(blocks)));
         rt.run_until_idle();
@@ -351,8 +394,13 @@ mod tests {
             let mut ns = Namespace::new(ClusterTopology::paper_cluster());
             let mut rng = DetRng::seed_from(5);
             let spec = DatasetSpec::small("t", 40, 200_000, SkewLevel::Zero, 5);
-            let ds = Rc::new(if pinned {
-                Dataset::build(&mut ns, spec, &mut PinnedPlacement::new(DiskId(0)), &mut rng)
+            let ds = Arc::new(if pinned {
+                Dataset::build(
+                    &mut ns,
+                    spec,
+                    &mut PinnedPlacement::new(DiskId(0)),
+                    &mut rng,
+                )
             } else {
                 Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng)
             });
@@ -365,11 +413,17 @@ mod tests {
             let (spec, driver) = static_job(&ds);
             let id = rt.submit(spec, driver);
             rt.run_until_idle();
-            (rt.job_result(id).locality(), rt.job_result(id).response_time())
+            (
+                rt.job_result(id).locality(),
+                rt.job_result(id).response_time(),
+            )
         };
         let (even_locality, even_time) = run(false);
         let (pinned_locality, pinned_time) = run(true);
-        assert!(even_locality > 0.9, "even layout is almost fully local: {even_locality}");
+        assert!(
+            even_locality > 0.9,
+            "even layout is almost fully local: {even_locality}"
+        );
         assert!(
             pinned_locality < 0.25,
             "everything on node 0 leaves 36 of 40 slots remote: {pinned_locality}"
@@ -393,9 +447,16 @@ mod tests {
         rt.run_until_idle();
         let r = rt.job_result(id);
         assert!(!r.failed);
-        assert!(r.task_failures > 0, "a 30% fault rate over 12 tasks should fail at least once");
+        assert!(
+            r.task_failures > 0,
+            "a 30% fault rate over 12 tasks should fail at least once"
+        );
         assert_eq!(r.splits_processed, 12, "every split eventually completes");
-        assert_eq!(r.map_output_records, ds.total_matching(), "retries do not duplicate output");
+        assert_eq!(
+            r.map_output_records,
+            ds.total_matching(),
+            "retries do not duplicate output"
+        );
     }
 
     #[test]
@@ -445,7 +506,13 @@ mod tests {
     struct ManyKeyMapper;
     impl Mapper for ManyKeyMapper {
         fn run(&self, data: &SplitData) -> MapResult {
-            let SplitData::Planted { total_records, matches } = data else { panic!() };
+            let SplitData::Planted {
+                total_records,
+                matches,
+            } = data
+            else {
+                panic!()
+            };
             MapResult {
                 pairs: matches
                     .iter()
@@ -464,12 +531,16 @@ mod tests {
         // the seven keys occurs.
         let (mut rt, ds) = small_world(12, 20_000);
         let (mut spec, driver) = static_job(&ds);
-        spec.mapper = Rc::new(ManyKeyMapper);
+        spec.mapper = Arc::new(ManyKeyMapper);
         spec.conf.set(crate::keys::NUM_REDUCE_TASKS, 4);
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
         let r = rt.job_result(id);
-        assert_eq!(r.output.len() as u64, ds.total_matching(), "nothing lost across partitions");
+        assert_eq!(
+            r.output.len() as u64,
+            ds.total_matching(),
+            "nothing lost across partitions"
+        );
         // Each key's values stay together: identity-reduced pairs with the
         // same key are contiguous in the output.
         let mut seen = std::collections::HashSet::new();
@@ -491,7 +562,7 @@ mod tests {
         let run = |reduces: u32| {
             let (mut rt, ds) = small_world(12, 20_000);
             let (mut spec, driver) = static_job(&ds);
-            spec.mapper = Rc::new(ManyKeyMapper);
+            spec.mapper = Arc::new(ManyKeyMapper);
             spec.conf.set(crate::keys::NUM_REDUCE_TASKS, reduces);
             let id = rt.submit(spec, driver);
             rt.run_until_idle();
@@ -543,8 +614,14 @@ mod tests {
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
         let trace = rt.take_trace();
-        assert!(matches!(trace.first().unwrap().kind, TraceKind::JobSubmitted { .. }));
-        assert!(matches!(trace.last().unwrap().kind, TraceKind::JobCompleted { failed: false, .. }));
+        assert!(matches!(
+            trace.first().unwrap().kind,
+            TraceKind::JobSubmitted { .. }
+        ));
+        assert!(matches!(
+            trace.last().unwrap().kind,
+            TraceKind::JobCompleted { failed: false, .. }
+        ));
         let t = job_timeline(&trace, id).expect("traced job has a timeline");
         assert_eq!(t.maps, (6, 6, 0));
         assert_eq!(t.reduces, (1, 1));
@@ -582,7 +659,9 @@ mod tests {
         rt.submit(spec, driver);
         rt.run_until_idle();
         let trace = rt.take_trace();
-        assert!(trace.iter().any(|e| matches!(e.kind, TraceKind::MapFailed { .. })));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::MapFailed { .. })));
         assert!(trace
             .iter()
             .any(|e| matches!(e.kind, TraceKind::JobCompleted { failed: true, .. })));
@@ -593,12 +672,15 @@ mod tests {
         let run = || {
             let (mut rt, ds) = small_world(10, 3_000);
             let (mut spec, driver) = static_job(&ds);
-            spec.mapper = Rc::new(ManyKeyMapper);
+            spec.mapper = Arc::new(ManyKeyMapper);
             spec.conf.set(crate::keys::NUM_REDUCE_TASKS, 3);
             let id = rt.submit(spec, driver);
             rt.run_until_idle();
             let r = rt.job_result(id);
-            (r.output.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), r.response_time())
+            (
+                r.output.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+                r.response_time(),
+            )
         };
         assert_eq!(run(), run());
     }
@@ -619,12 +701,10 @@ mod tests {
             }
         }
         let (mut rt, ds) = small_world(1, 100);
-        let spec = JobSpec {
-            conf: crate::JobConf::new(),
-            input_format: Rc::new(DatasetInputFormat::new(Rc::clone(&ds), ScanMode::Planted)),
-            mapper: Rc::new(TwoKeyMapper),
-            reducer: Rc::new(IdentityReducer),
-        };
+        let spec = JobSpec::builder()
+            .input(DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Planted))
+            .mapper(TwoKeyMapper)
+            .build();
         let blocks = ds.splits().iter().map(|p| p.block).collect();
         let id = rt.submit(spec, Box::new(StaticDriver::new(blocks)));
         rt.run_until_idle();

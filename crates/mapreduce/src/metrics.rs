@@ -37,7 +37,13 @@ pub struct MetricsReport {
 impl ClusterMetrics {
     /// Start collecting at `start` on a cluster with the given capacities,
     /// sampling resource counters every `interval` (the paper uses 30 s).
-    pub fn new(start: SimTime, total_cores: u32, total_disks: u32, total_slots: u32, interval: SimDuration) -> Self {
+    pub fn new(
+        start: SimTime,
+        total_cores: u32,
+        total_disks: u32,
+        total_slots: u32,
+        interval: SimDuration,
+    ) -> Self {
         ClusterMetrics {
             start,
             cpu: Sampled::new(start, interval),
@@ -106,10 +112,21 @@ mod tests {
         let mut m = ClusterMetrics::new(SimTime::ZERO, 40, 40, 40, SimDuration::from_secs(30));
         // 60 s at 20 cores fully busy = 20 × 60 × 1e6 core-us.
         // 60 s of disk reads at 10 MB/s aggregate.
-        m.observe(SimTime::from_secs(60), 20.0 * 60.0 * 1e6, 10.0 * 1024.0 * 1024.0 * 60.0);
+        m.observe(
+            SimTime::from_secs(60),
+            20.0 * 60.0 * 1e6,
+            10.0 * 1024.0 * 1024.0 * 60.0,
+        );
         let r = m.report(SimTime::from_secs(60));
-        assert!((r.cpu_util_pct - 50.0).abs() < 1e-6, "20 of 40 cores = 50%, got {}", r.cpu_util_pct);
-        assert!((r.disk_kb_per_sec - 256.0).abs() < 1e-6, "10MB/s over 40 disks = 256KB/s/disk");
+        assert!(
+            (r.cpu_util_pct - 50.0).abs() < 1e-6,
+            "20 of 40 cores = 50%, got {}",
+            r.cpu_util_pct
+        );
+        assert!(
+            (r.disk_kb_per_sec - 256.0).abs() < 1e-6,
+            "10MB/s over 40 disks = 256KB/s/disk"
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! The data-plane worker pool: parallel execution of map-task record work.
+//!
+//! # Two planes, one clock
+//!
+//! The runtime separates *when* things happen from *what* they compute:
+//!
+//! * The **control plane** — the simkit discrete-event loop, heartbeats,
+//!   schedulers, growth-driver evaluations — stays single-threaded and
+//!   deterministic. Simulated time is a pure function of the seed.
+//! * The **data plane** — `InputFormat::read` + `Mapper::run` for each
+//!   dispatched split — is pure host computation whose *result* feeds the
+//!   simulation but whose *duration on the host* is irrelevant to simulated
+//!   time (task durations come from the cost model, not wall clock).
+//!
+//! That split makes parallelism safe: all map tasks dispatched in one
+//! scheduling step are computed on a worker pool, then their results are
+//! merged back **in assignment order** before the event loop advances. The
+//! event queue therefore sees byte-identical state and ordering at any
+//! thread count — `threads = 8` only changes how fast the host gets there.
+//! `tests/determinism.rs` locks this in.
+//!
+//! Within a split there is no further chunking: record generation is a
+//! sequential PRNG stream (see `incmr-data::generator`), so the unit of
+//! parallelism is the split. Wall-clock speedup comes from batches of
+//! splits, which is exactly what heavy `ScanMode::Full` scans produce.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use incmr_dfs::BlockId;
+
+use crate::cluster::Parallelism;
+use crate::exec::{InputFormat, MapResult, Mapper};
+
+/// One unit of data-plane work: read a split and run the mapper over it.
+pub struct MapUnit {
+    /// Source of the split's contents.
+    pub input_format: Arc<dyn InputFormat>,
+    /// Map logic to apply.
+    pub mapper: Arc<dyn Mapper>,
+    /// The split to process.
+    pub block: BlockId,
+}
+
+impl MapUnit {
+    fn compute(&self) -> MapResult {
+        let data = self.input_format.read(self.block);
+        self.mapper.run(&data)
+    }
+}
+
+/// Executes batches of [`MapUnit`]s, serially or on scoped worker threads.
+///
+/// Results always come back indexed exactly like the input batch, so
+/// callers can merge them deterministically regardless of which worker
+/// finished first.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An executor honouring the given parallelism knob.
+    pub fn new(parallelism: Parallelism) -> Self {
+        ParallelExecutor {
+            threads: parallelism.threads.max(1) as usize,
+        }
+    }
+
+    /// Configured worker count (1 = serial).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Compute every unit and return the results in input order.
+    ///
+    /// With `threads = 1` (or a batch of one) this runs inline with no
+    /// thread machinery at all — the serial reference path.
+    pub fn run(&self, units: &[MapUnit]) -> Vec<MapResult> {
+        if self.threads == 1 || units.len() <= 1 {
+            return units.iter().map(MapUnit::compute).collect();
+        }
+        let workers = self.threads.min(units.len());
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<MapResult>>> =
+            Mutex::new((0..units.len()).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    let result = units[i].compute();
+                    results
+                        .lock()
+                        .expect("worker poisoned results")
+                        .as_mut_slice()[i] = Some(result);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("worker poisoned results")
+            .into_iter()
+            .map(|r| r.expect("every unit computed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SplitData;
+    use incmr_data::{Record, Value};
+
+    /// Yields `block.0` synthetic records for any block.
+    struct CountingInput;
+
+    impl InputFormat for CountingInput {
+        fn read(&self, block: BlockId) -> SplitData {
+            SplitData::Records(
+                (0..block.0)
+                    .map(|i| Record::new(vec![Value::Int(i as i64)]))
+                    .collect(),
+            )
+        }
+    }
+
+    /// Emits one pair per record, tagged with the record count.
+    struct CountMapper;
+
+    impl Mapper for CountMapper {
+        fn run(&self, data: &SplitData) -> MapResult {
+            let SplitData::Records(rs) = data else {
+                panic!()
+            };
+            MapResult {
+                pairs: rs
+                    .iter()
+                    .map(|r| (format!("n{}", rs.len()), r.clone()))
+                    .collect(),
+                records_read: rs.len() as u64,
+                unmaterialized_outputs: 0,
+                unmaterialized_bytes: 0,
+            }
+        }
+    }
+
+    fn units(blocks: &[u32]) -> Vec<MapUnit> {
+        let input: Arc<dyn InputFormat> = Arc::new(CountingInput);
+        let mapper: Arc<dyn Mapper> = Arc::new(CountMapper);
+        blocks
+            .iter()
+            .map(|&b| MapUnit {
+                input_format: Arc::clone(&input),
+                mapper: Arc::clone(&mapper),
+                block: BlockId(b),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serial_and_parallel_agree_in_order_and_content() {
+        let batch = units(&[5, 0, 17, 3, 9, 12, 1, 8]);
+        let serial = ParallelExecutor::new(Parallelism::SERIAL).run(&batch);
+        for threads in [2, 4, 8] {
+            let parallel = ParallelExecutor::new(Parallelism::threads(threads)).run(&batch);
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.records_read, p.records_read);
+                assert_eq!(s.pairs, p.pairs);
+            }
+        }
+    }
+
+    #[test]
+    fn results_are_indexed_by_unit_not_completion() {
+        // Heavily skewed sizes: late units finish long before unit 0 when
+        // run concurrently; order must still match the input.
+        let batch = units(&[40_000, 1, 2, 3]);
+        let out = ParallelExecutor::new(Parallelism::threads(4)).run(&batch);
+        assert_eq!(out[0].records_read, 40_000);
+        assert_eq!(out[1].records_read, 1);
+        assert_eq!(out[2].records_read, 2);
+        assert_eq!(out[3].records_read, 3);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(ParallelExecutor::new(Parallelism::threads(8))
+            .run(&[])
+            .is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_units_is_fine() {
+        let out = ParallelExecutor::new(Parallelism::threads(64)).run(&units(&[2, 4]));
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -36,8 +36,11 @@ use crate::cluster::{ClusterConfig, ClusterStatus};
 use crate::conf::keys;
 use crate::cost::CostModel;
 use crate::exec::MapResult;
-use crate::job::{GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, TaskId};
+use crate::job::{
+    EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, TaskId,
+};
 use crate::metrics::ClusterMetrics;
+use crate::parallel::{MapUnit, ParallelExecutor};
 use crate::scheduler::{SchedJob, SchedView, TaskScheduler};
 use crate::trace::{TraceEvent, TraceKind};
 use incmr_data::Record;
@@ -204,14 +207,23 @@ pub struct MrRuntime {
     active_jobs: u32,
     faults: Option<(FaultPlan, incmr_simkit::rng::DetRng)>,
     trace: Option<Vec<TraceEvent>>,
+    /// Data-plane worker pool (see [`crate::parallel`]); serial at
+    /// `Parallelism::SERIAL`. Never touches simulated time.
+    executor: ParallelExecutor,
 }
 
 impl MrRuntime {
     /// Build a runtime over a populated namespace.
-    pub fn new(cfg: ClusterConfig, cost: CostModel, namespace: Namespace, scheduler: Box<dyn TaskScheduler>) -> Self {
+    pub fn new(
+        cfg: ClusterConfig,
+        cost: CostModel,
+        namespace: Namespace,
+        scheduler: Box<dyn TaskScheduler>,
+    ) -> Self {
         let topo = cfg.topology;
         assert_eq!(
-            topo, *namespace.topology(),
+            topo,
+            *namespace.topology(),
             "namespace must be laid out on the runtime's topology"
         );
         let nodes = (0..topo.num_nodes())
@@ -254,6 +266,7 @@ impl MrRuntime {
             active_jobs: 0,
             faults: None,
             trace: None,
+            executor: ParallelExecutor::new(cfg.parallelism),
         }
     }
 
@@ -293,7 +306,10 @@ impl MrRuntime {
 
     /// Enable deterministic fault injection for subsequent map tasks.
     pub fn inject_faults(&mut self, plan: FaultPlan) {
-        assert!((0.0..1.0).contains(&plan.probability), "probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&plan.probability),
+            "probability must be in [0, 1)"
+        );
         assert!(plan.max_attempts > 0);
         let rng = incmr_simkit::rng::DetRng::seed_from(plan.seed);
         self.faults = Some((plan, rng));
@@ -388,7 +404,8 @@ impl MrRuntime {
         // initial tasks launch at the nodes' next heartbeats, as in Hadoop.
         self.evaluate_job(id);
         if !self.job(id).end_of_input {
-            self.sim.schedule_after(interval, Event::EvalTick { job: id });
+            self.sim
+                .schedule_after(interval, Event::EvalTick { job: id });
         }
         self.ensure_heartbeats();
         id
@@ -485,7 +502,8 @@ impl MrRuntime {
     /// occupancy level; locality counters restart at zero.
     pub fn reset_metrics(&mut self) {
         let now = self.sim.now();
-        let occupied = (self.cfg.total_map_slots() - self.nodes.iter().map(|n| n.free_slots).sum::<u32>()) as f64;
+        let occupied = (self.cfg.total_map_slots()
+            - self.nodes.iter().map(|n| n.free_slots).sum::<u32>()) as f64;
         // Note the resource cumulative totals restart too: we snapshot the
         // current totals and subtract them at observe time.
         let mut fresh = ClusterMetrics::new(
@@ -541,8 +559,16 @@ impl MrRuntime {
 
     fn resource_totals(&mut self) -> (f64, f64) {
         let now = self.sim.now();
-        let cpu: f64 = self.nodes.iter_mut().map(|n| n.cpu.drained_total(now)).sum();
-        let disk: f64 = self.disks.iter_mut().map(|d| d.res.drained_total(now)).sum();
+        let cpu: f64 = self
+            .nodes
+            .iter_mut()
+            .map(|n| n.cpu.drained_total(now))
+            .sum();
+        let disk: f64 = self
+            .disks
+            .iter_mut()
+            .map(|d| d.res.drained_total(now))
+            .sum();
         (cpu, disk)
     }
 
@@ -563,14 +589,19 @@ impl MrRuntime {
         }
         self.schedule_node(node);
         self.assign_reduce(node);
-        self.sim
-            .schedule_after(SimDuration::from_millis(self.cost.heartbeat_ms), Event::Heartbeat { node });
+        self.sim.schedule_after(
+            SimDuration::from_millis(self.cost.heartbeat_ms),
+            Event::Heartbeat { node },
+        );
     }
 
     fn add_input(&mut self, id: JobId, blocks: Vec<BlockId>) {
         let added = blocks.len() as u32;
         if added > 0 {
-            self.record(TraceKind::InputAdded { job: id, splits: added });
+            self.record(TraceKind::InputAdded {
+                job: id,
+                splits: added,
+            });
         }
         // Resolve replica nodes before borrowing the job mutably.
         let located: Vec<(BlockId, Vec<NodeId>)> = blocks
@@ -615,7 +646,10 @@ impl MrRuntime {
         }
         let progress = job.progress();
         let status = self.cluster_status();
-        let directive = self.job_mut(id).driver.evaluate(&progress, &status);
+        let directive = self
+            .job_mut(id)
+            .driver
+            .evaluate(EvalContext::unlimited(&progress, &status));
         match directive {
             GrowthDirective::EndOfInput => {
                 self.job_mut(id).end_of_input = true;
@@ -638,7 +672,8 @@ impl MrRuntime {
         let job = self.job(id);
         if job.phase == JobPhase::Map && !job.end_of_input {
             let interval = job.driver.evaluation_interval();
-            self.sim.schedule_after(interval, Event::EvalTick { job: id });
+            self.sim
+                .schedule_after(interval, Event::EvalTick { job: id });
         }
     }
 
@@ -675,7 +710,12 @@ impl MrRuntime {
             let head: Vec<TaskId> = job.pending.iter().copied().take(head_cap).collect();
             let head_replica_less: Vec<bool> = head
                 .iter()
-                .map(|t| namespace.block(job.tasks[t.0 as usize].block).locations.is_empty())
+                .map(|t| {
+                    namespace
+                        .block(job.tasks[t.0 as usize].block)
+                        .locations
+                        .is_empty()
+                })
                 .collect();
             let mut local_by_node = vec![Vec::new(); free_slots.len()];
             for (node_idx, &free) in free_slots.iter().enumerate() {
@@ -712,24 +752,43 @@ impl MrRuntime {
             let mut free = view.free_slots.clone();
             let mut seen = HashSet::new();
             for a in &assignments {
-                assert!(free[a.node.0 as usize] > 0, "scheduler over-assigned {:?}", a.node);
+                assert!(
+                    free[a.node.0 as usize] > 0,
+                    "scheduler over-assigned {:?}",
+                    a.node
+                );
                 free[a.node.0 as usize] -= 1;
                 assert!(seen.insert((a.job, a.task)), "duplicate assignment");
             }
         }
-        for a in assignments {
-            self.dispatch(a.job, a.task, a.node);
+        // Data plane: compute every assigned task's map work as one batch on
+        // the worker pool, then merge results back in assignment order. The
+        // scheduler fixed that order above, so simulated state and event
+        // ordering are identical at any thread count.
+        let units: Vec<MapUnit> = assignments
+            .iter()
+            .map(|a| {
+                let spec = &self.job(a.job).spec;
+                MapUnit {
+                    input_format: std::sync::Arc::clone(&spec.input_format),
+                    mapper: std::sync::Arc::clone(&spec.mapper),
+                    block: self.job(a.job).tasks[a.task.0 as usize].block,
+                }
+            })
+            .collect();
+        let results = self.executor.run(&units);
+        for (a, result) in assignments.into_iter().zip(results) {
+            self.dispatch(a.job, a.task, a.node, result);
         }
     }
 
-    fn dispatch(&mut self, id: JobId, task: TaskId, node: NodeId) {
+    fn dispatch(&mut self, id: JobId, task: TaskId, node: NodeId, result: MapResult) {
         let now = self.sim.now();
         let block = self.job(id).tasks[task.0 as usize].block;
         let local = self.namespace.is_local(block, node);
-        // Execute the user's map function eagerly; the result lands when
-        // the modelled stages complete.
-        let data = self.job(id).spec.input_format.read(block);
-        let result = self.job(id).spec.mapper.run(&data);
+        // The map function's output was computed up front on the data plane
+        // (see `schedule_with`); the result lands when the modelled stages
+        // complete.
         {
             let job = self.job_mut(id);
             let pos = job
@@ -750,7 +809,12 @@ impl MrRuntime {
         n.free_slots -= 1;
         self.metrics.slots_delta(now, 1.0);
         self.metrics.record_assignment(local);
-        self.record(TraceKind::MapStarted { job: id, task, node, local });
+        self.record(TraceKind::MapStarted {
+            job: id,
+            task,
+            node,
+            local,
+        });
         self.sim.schedule_after(
             SimDuration::from_millis(self.cost.map_task_overhead_ms),
             Event::OverheadDone { job: id, task },
@@ -810,8 +874,10 @@ impl MrRuntime {
             } else {
                 let bytes = self.namespace.block(entry.block).bytes;
                 let transfer = self.cost.remote_transfer_ms(bytes);
-                self.sim
-                    .schedule_after(SimDuration::from_millis(transfer), Event::NetworkDone { job: id, task });
+                self.sim.schedule_after(
+                    SimDuration::from_millis(transfer),
+                    Event::NetworkDone { job: id, task },
+                );
             }
         }
         self.refresh_disk_wake(disk);
@@ -876,7 +942,11 @@ impl MrRuntime {
                 panic!("finishing a non-running task");
             };
             entry.state = TaskState::Done;
-            (node, local, entry.result.take().expect("result computed at dispatch"))
+            (
+                node,
+                local,
+                entry.result.take().expect("result computed at dispatch"),
+            )
         };
         if self.job(id).phase == JobPhase::Done {
             // The job already failed; late attempts just release their slot.
@@ -924,7 +994,11 @@ impl MrRuntime {
         };
         self.nodes[node.0 as usize].free_slots += 1;
         self.metrics.slots_delta(now, -1.0);
-        self.record(TraceKind::MapFailed { job: id, task, attempt: attempts });
+        self.record(TraceKind::MapFailed {
+            job: id,
+            task,
+            attempt: attempts,
+        });
         if self.job(id).phase == JobPhase::Done {
             return; // job already failed; nothing more to do
         }
@@ -966,7 +1040,10 @@ impl MrRuntime {
             failed: true,
             output: Vec::new(),
         });
-        self.record(TraceKind::JobCompleted { job: id, failed: true });
+        self.record(TraceKind::JobCompleted {
+            job: id,
+            failed: true,
+        });
         self.active_jobs -= 1;
         self.completed.push_back(id);
     }
@@ -977,7 +1054,11 @@ impl MrRuntime {
     /// slots.
     fn maybe_begin_reduce(&mut self, id: JobId) {
         let job = self.job(id);
-        if job.phase != JobPhase::Map || !job.end_of_input || job.running > 0 || !job.pending.is_empty() {
+        if job.phase != JobPhase::Map
+            || !job.end_of_input
+            || job.running > 0
+            || !job.pending.is_empty()
+        {
             return;
         }
         let job = self.job_mut(id);
@@ -1015,7 +1096,8 @@ impl MrRuntime {
         for (i, entry) in reduces.iter_mut().enumerate() {
             let i = i as u64;
             entry.shuffle_bytes += extra_bytes / r as u64 + u64::from(i < extra_bytes % r as u64);
-            entry.input_records += extra_records / r as u64 + u64::from(i < extra_records % r as u64);
+            entry.input_records +=
+                extra_records / r as u64 + u64::from(i < extra_records % r as u64);
         }
         job.reduces = reduces;
         for i in 0..r {
@@ -1038,9 +1120,7 @@ impl MrRuntime {
         let duration = {
             let entry = &mut self.job_mut(id).reduces[r as usize];
             debug_assert_eq!(entry.state, ReduceState::Pending);
-            entry.state = ReduceState::Running {
-                node: NodeId(node),
-            };
+            entry.state = ReduceState::Running { node: NodeId(node) };
             cost.reduce_duration_ms(entry.shuffle_bytes, entry.input_records)
         };
         self.record(TraceKind::ReduceStarted {
@@ -1048,8 +1128,10 @@ impl MrRuntime {
             reduce: r,
             node: NodeId(node),
         });
-        self.sim
-            .schedule_after(SimDuration::from_millis(duration), Event::ReduceDone { job: id, reduce: r });
+        self.sim.schedule_after(
+            SimDuration::from_millis(duration),
+            Event::ReduceDone { job: id, reduce: r },
+        );
     }
 
     fn on_reduce_done(&mut self, id: JobId, r: u32) {
@@ -1063,7 +1145,9 @@ impl MrRuntime {
             };
             let mut output = Vec::new();
             for key in &entry.key_order {
-                job.spec.reducer.reduce(key, &entry.groups[key], &mut output);
+                job.spec
+                    .reducer
+                    .reduce(key, &entry.groups[key], &mut output);
             }
             (node, output)
         };
@@ -1102,7 +1186,10 @@ impl MrRuntime {
             failed: false,
             output,
         });
-        self.record(TraceKind::JobCompleted { job: id, failed: false });
+        self.record(TraceKind::JobCompleted {
+            job: id,
+            failed: false,
+        });
         self.active_jobs -= 1;
         self.completed.push_back(id);
     }

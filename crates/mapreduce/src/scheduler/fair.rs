@@ -67,10 +67,12 @@ impl TaskScheduler for FairScheduler {
         // Drop wait clocks for jobs no longer contending (completed, or
         // momentarily without pending work) — otherwise the map grows with
         // every job a long workload ever ran.
-        self.waiting_since.retain(|j, _| view.jobs.iter().any(|sj| sj.job == *j));
+        self.waiting_since
+            .retain(|j, _| view.jobs.iter().any(|sj| sj.job == *j));
         let mut assignments = Vec::new();
         let mut free = view.free_slots.clone();
-        let mut running: HashMap<JobId, u32> = view.jobs.iter().map(|j| (j.job, j.running)).collect();
+        let mut running: HashMap<JobId, u32> =
+            view.jobs.iter().map(|j| (j.job, j.running)).collect();
         let mut taken: HashSet<_> = HashSet::new();
 
         // One pass over the nodes; each slot is offered to jobs in fairness
@@ -81,8 +83,11 @@ impl TaskScheduler for FairScheduler {
                 let node = NodeId(node_idx as u16);
                 // Jobs with unclaimed pending work, most-starved first
                 // (ties broken by submission order for determinism).
-                let mut order: Vec<&SchedJob> =
-                    view.jobs.iter().filter(|j| j.unclaimed(&taken) > 0).collect();
+                let mut order: Vec<&SchedJob> = view
+                    .jobs
+                    .iter()
+                    .filter(|j| j.unclaimed(&taken) > 0)
+                    .collect();
                 if order.is_empty() {
                     return assignments;
                 }
@@ -169,18 +174,33 @@ mod tests {
     #[test]
     fn declines_non_local_slot_within_delay() {
         // The job's only task is local to node 1, but only node 0 has a slot.
-        let v = view(SimTime::ZERO, vec![1, 0], vec![sched_job(0, 0, 0, &[(0, &[1])], 2)]);
+        let v = view(
+            SimTime::ZERO,
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
         let mut s = FairScheduler::paper_default();
-        assert!(s.assign(&v).is_empty(), "delay scheduling leaves the slot idle at first");
+        assert!(
+            s.assign(&v).is_empty(),
+            "delay scheduling leaves the slot idle at first"
+        );
     }
 
     #[test]
     fn accepts_non_local_after_delay_expires() {
         let mut s = FairScheduler::paper_default();
-        let v0 = view(SimTime::ZERO, vec![1, 0], vec![sched_job(0, 0, 0, &[(0, &[1])], 2)]);
+        let v0 = view(
+            SimTime::ZERO,
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
         assert!(s.assign(&v0).is_empty());
         // 16 seconds later the wait exceeds the 15 s delay.
-        let v1 = view(SimTime::from_secs(16), vec![1, 0], vec![sched_job(0, 0, 0, &[(0, &[1])], 2)]);
+        let v1 = view(
+            SimTime::from_secs(16),
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
         let a = s.assign(&v1);
         validate(&v1, &a);
         assert_eq!(a.len(), 1);
@@ -191,7 +211,11 @@ mod tests {
     fn local_launch_resets_the_wait_clock() {
         let mut s = FairScheduler::paper_default();
         // Decline at t=0.
-        let v0 = view(SimTime::ZERO, vec![1, 0], vec![sched_job(0, 0, 0, &[(0, &[1])], 2)]);
+        let v0 = view(
+            SimTime::ZERO,
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
         assert!(s.assign(&v0).is_empty());
         // At t=3 a local slot appears; the job launches locally.
         let v1 = view(
@@ -204,15 +228,30 @@ mod tests {
         assert_eq!(a[0].task, TaskId(0));
         // A new decline at t=4 restarts the clock: at t=8 only 4 s have
         // passed since the reset, so still declined.
-        let v2 = view(SimTime::from_secs(4), vec![1, 0], vec![sched_job(0, 0, 1, &[(1, &[1])], 2)]);
+        let v2 = view(
+            SimTime::from_secs(4),
+            vec![1, 0],
+            vec![sched_job(0, 0, 1, &[(1, &[1])], 2)],
+        );
         assert!(s.assign(&v2).is_empty());
-        let v3 = view(SimTime::from_secs(8), vec![1, 0], vec![sched_job(0, 0, 1, &[(1, &[1])], 2)]);
-        assert!(s.assign(&v3).is_empty(), "clock was reset by the local launch");
+        let v3 = view(
+            SimTime::from_secs(8),
+            vec![1, 0],
+            vec![sched_job(0, 0, 1, &[(1, &[1])], 2)],
+        );
+        assert!(
+            s.assign(&v3).is_empty(),
+            "clock was reset by the local launch"
+        );
     }
 
     #[test]
     fn replica_less_tasks_launch_anywhere_immediately() {
-        let v = view(SimTime::ZERO, vec![1], vec![sched_job(0, 0, 0, &[(0, &[])], 1)]);
+        let v = view(
+            SimTime::ZERO,
+            vec![1],
+            vec![sched_job(0, 0, 0, &[(0, &[])], 1)],
+        );
         let a = FairScheduler::paper_default().assign(&v);
         validate(&v, &a);
         assert_eq!(a.len(), 1);

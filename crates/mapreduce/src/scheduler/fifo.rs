@@ -48,7 +48,8 @@ impl TaskScheduler for FifoScheduler {
                 }
                 let node = NodeId(node_idx as u16);
                 // Earliest job with unclaimed pending work.
-                let Some(&job_idx) = order.iter().find(|&&i| view.jobs[i].unclaimed(&taken) > 0) else {
+                let Some(&job_idx) = order.iter().find(|&&i| view.jobs[i].unclaimed(&taken) > 0)
+                else {
                     return assignments;
                 };
                 let job = &view.jobs[job_idx];
@@ -112,7 +113,10 @@ mod tests {
     #[test]
     fn prefers_local_tasks_per_node() {
         // Node 1 free; the job's task 1 is local to node 1.
-        let v = view(vec![0, 1], vec![sched_job(0, 0, 0, &[(0, &[0]), (1, &[1])], 2)]);
+        let v = view(
+            vec![0, 1],
+            vec![sched_job(0, 0, 0, &[(0, &[0]), (1, &[1])], 2)],
+        );
         let a = FifoScheduler::new().assign(&v);
         validate(&v, &a);
         assert_eq!(

@@ -61,7 +61,11 @@ pub struct SchedJob {
 
 impl SchedJob {
     /// A pending task local to `node`, excluding those in `taken`.
-    pub fn local_candidate(&self, node: NodeId, taken: &std::collections::HashSet<(JobId, TaskId)>) -> Option<TaskId> {
+    pub fn local_candidate(
+        &self,
+        node: NodeId,
+        taken: &std::collections::HashSet<(JobId, TaskId)>,
+    ) -> Option<TaskId> {
         self.local_by_node
             .get(node.0 as usize)?
             .iter()
@@ -83,7 +87,10 @@ impl SchedJob {
     }
 
     /// The first head task not yet taken this round.
-    pub fn head_candidate(&self, taken: &std::collections::HashSet<(JobId, TaskId)>) -> Option<TaskId> {
+    pub fn head_candidate(
+        &self,
+        taken: &std::collections::HashSet<(JobId, TaskId)>,
+    ) -> Option<TaskId> {
         self.head_candidate_flagged(taken).map(|(t, _)| t)
     }
 
@@ -146,7 +153,13 @@ pub(crate) mod testutil {
 
     /// Build a `SchedJob` from `(task, local_nodes)` pairs, computing the
     /// head and per-node indexes the way the runtime does.
-    pub fn sched_job(job: u32, seq: u64, running: u32, tasks: &[(u32, &[u16])], nodes: usize) -> SchedJob {
+    pub fn sched_job(
+        job: u32,
+        seq: u64,
+        running: u32,
+        tasks: &[(u32, &[u16])],
+        nodes: usize,
+    ) -> SchedJob {
         let mut local_by_node = vec![Vec::new(); nodes];
         let mut head = Vec::new();
         let mut head_replica_less = Vec::new();
@@ -174,12 +187,20 @@ pub(crate) mod testutil {
         let mut free = view.free_slots.clone();
         let mut seen = HashSet::new();
         for a in assignments {
-            assert!(free[a.node.0 as usize] > 0, "node {:?} over-assigned", a.node);
+            assert!(
+                free[a.node.0 as usize] > 0,
+                "node {:?} over-assigned",
+                a.node
+            );
             free[a.node.0 as usize] -= 1;
             assert!(seen.insert((a.job, a.task)), "task assigned twice: {a:?}");
-            let job = view.jobs.iter().find(|j| j.job == a.job).expect("job exists");
-            let known = job.head.contains(&a.task)
-                || job.local_by_node.iter().any(|l| l.contains(&a.task));
+            let job = view
+                .jobs
+                .iter()
+                .find(|j| j.job == a.job)
+                .expect("job exists");
+            let known =
+                job.head.contains(&a.task) || job.local_by_node.iter().any(|l| l.contains(&a.task));
             assert!(known, "assigned task was not offered in the view");
         }
     }

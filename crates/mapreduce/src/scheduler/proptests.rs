@@ -12,10 +12,20 @@ use super::{FairScheduler, FifoScheduler, SchedJob, SchedView, TaskScheduler};
 use crate::job::{JobId, TaskId};
 
 /// Strategy: a random scheduling view over `nodes` nodes.
-fn arb_view(max_nodes: usize, max_jobs: usize, max_tasks: usize) -> impl Strategy<Value = SchedView> {
+fn arb_view(
+    max_nodes: usize,
+    max_jobs: usize,
+    max_tasks: usize,
+) -> impl Strategy<Value = SchedView> {
     (1..=max_nodes, 0..=max_jobs).prop_flat_map(move |(nodes, jobs)| {
         let free = prop::collection::vec(0u32..4, nodes);
-        let job = (0u32..8, prop::collection::vec((any::<u8>(), prop::collection::vec(0..nodes as u16, 0..3)), 0..=max_tasks));
+        let job = (
+            0u32..8,
+            prop::collection::vec(
+                (any::<u8>(), prop::collection::vec(0..nodes as u16, 0..3)),
+                0..=max_tasks,
+            ),
+        );
         let jobs = prop::collection::vec(job, jobs);
         (free, jobs).prop_map(move |(free_slots, jobs)| {
             let jobs = jobs
@@ -57,11 +67,20 @@ fn check_contract(view: &SchedView, assignments: &[super::Assignment]) {
     let mut free = view.free_slots.clone();
     let mut seen = HashSet::new();
     for a in assignments {
-        assert!(free[a.node.0 as usize] > 0, "over-assigned node {:?}", a.node);
+        assert!(
+            free[a.node.0 as usize] > 0,
+            "over-assigned node {:?}",
+            a.node
+        );
         free[a.node.0 as usize] -= 1;
         assert!(seen.insert((a.job, a.task)), "double assignment {a:?}");
-        let job = view.jobs.iter().find(|j| j.job == a.job).expect("known job");
-        let offered = job.head.contains(&a.task) || job.local_by_node.iter().any(|l| l.contains(&a.task));
+        let job = view
+            .jobs
+            .iter()
+            .find(|j| j.job == a.job)
+            .expect("known job");
+        let offered =
+            job.head.contains(&a.task) || job.local_by_node.iter().any(|l| l.contains(&a.task));
         assert!(offered, "assigned a task that was never offered");
     }
 }

@@ -119,14 +119,25 @@ impl fmt::Display for TraceEvent {
             TraceKind::JobSubmitted { job } => write!(f, "{job} submitted"),
             TraceKind::InputAdded { job, splits } => write!(f, "{job} +{splits} splits"),
             TraceKind::EndOfInput { job } => write!(f, "{job} end-of-input"),
-            TraceKind::MapStarted { job, task, node, local } => {
-                write!(f, "{job}/{task} -> {node}{}", if *local { "" } else { " (remote)" })
+            TraceKind::MapStarted {
+                job,
+                task,
+                node,
+                local,
+            } => {
+                write!(
+                    f,
+                    "{job}/{task} -> {node}{}",
+                    if *local { "" } else { " (remote)" }
+                )
             }
             TraceKind::MapFinished { job, task } => write!(f, "{job}/{task} done"),
             TraceKind::MapFailed { job, task, attempt } => {
                 write!(f, "{job}/{task} FAILED (attempt {attempt})")
             }
-            TraceKind::ReduceStarted { job, reduce, node } => write!(f, "{job}/r{reduce} -> {node}"),
+            TraceKind::ReduceStarted { job, reduce, node } => {
+                write!(f, "{job}/r{reduce} -> {node}")
+            }
             TraceKind::ReduceFinished { job, reduce } => write!(f, "{job}/r{reduce} done"),
             TraceKind::JobCompleted { job, failed } => {
                 write!(f, "{job} {}", if *failed { "FAILED" } else { "completed" })
@@ -273,14 +284,64 @@ mod tests {
         vec![
             ev(0, TraceKind::JobSubmitted { job }),
             ev(0, TraceKind::InputAdded { job, splits: 2 }),
-            ev(100, TraceKind::MapStarted { job, task: TaskId(0), node: NodeId(0), local: true }),
-            ev(100, TraceKind::MapStarted { job, task: TaskId(1), node: NodeId(1), local: false }),
-            ev(500, TraceKind::MapFailed { job, task: TaskId(1), attempt: 1 }),
-            ev(600, TraceKind::MapFinished { job, task: TaskId(0) }),
+            ev(
+                100,
+                TraceKind::MapStarted {
+                    job,
+                    task: TaskId(0),
+                    node: NodeId(0),
+                    local: true,
+                },
+            ),
+            ev(
+                100,
+                TraceKind::MapStarted {
+                    job,
+                    task: TaskId(1),
+                    node: NodeId(1),
+                    local: false,
+                },
+            ),
+            ev(
+                500,
+                TraceKind::MapFailed {
+                    job,
+                    task: TaskId(1),
+                    attempt: 1,
+                },
+            ),
+            ev(
+                600,
+                TraceKind::MapFinished {
+                    job,
+                    task: TaskId(0),
+                },
+            ),
             ev(700, TraceKind::EndOfInput { job }),
-            ev(700, TraceKind::MapStarted { job, task: TaskId(1), node: NodeId(2), local: false }),
-            ev(900, TraceKind::MapFinished { job, task: TaskId(1) }),
-            ev(1000, TraceKind::ReduceStarted { job, reduce: 0, node: NodeId(0) }),
+            ev(
+                700,
+                TraceKind::MapStarted {
+                    job,
+                    task: TaskId(1),
+                    node: NodeId(2),
+                    local: false,
+                },
+            ),
+            ev(
+                900,
+                TraceKind::MapFinished {
+                    job,
+                    task: TaskId(1),
+                },
+            ),
+            ev(
+                1000,
+                TraceKind::ReduceStarted {
+                    job,
+                    reduce: 0,
+                    node: NodeId(0),
+                },
+            ),
             ev(1500, TraceKind::ReduceFinished { job, reduce: 0 }),
             ev(1500, TraceKind::JobCompleted { job, failed: false }),
         ]
@@ -318,9 +379,26 @@ mod tests {
 
     #[test]
     fn events_display_compactly() {
-        let e = ev(100, TraceKind::MapStarted { job: JobId(1), task: TaskId(2), node: NodeId(3), local: false });
-        assert_eq!(e.to_string(), "t+0.100s job_0001/m_000002 -> node3 (remote)");
-        let e = ev(0, TraceKind::JobCompleted { job: JobId(1), failed: true });
+        let e = ev(
+            100,
+            TraceKind::MapStarted {
+                job: JobId(1),
+                task: TaskId(2),
+                node: NodeId(3),
+                local: false,
+            },
+        );
+        assert_eq!(
+            e.to_string(),
+            "t+0.100s job_0001/m_000002 -> node3 (remote)"
+        );
+        let e = ev(
+            0,
+            TraceKind::JobCompleted {
+                job: JobId(1),
+                failed: true,
+            },
+        );
         assert!(e.to_string().ends_with("FAILED"));
     }
 }

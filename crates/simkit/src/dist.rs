@@ -26,7 +26,10 @@ impl Zipf {
     /// Panics if `n == 0` or `z` is negative/non-finite.
     pub fn new(n: usize, z: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(z.is_finite() && z >= 0.0, "Zipf exponent must be finite and >= 0");
+        assert!(
+            z.is_finite() && z >= 0.0,
+            "Zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {

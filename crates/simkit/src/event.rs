@@ -91,7 +91,11 @@ impl<E> Sim<E> {
     /// Panics if `at` is in the past — delivering events before `now` would
     /// break causality and always indicates a bug in the caller.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
@@ -149,7 +153,11 @@ impl<E> Sim<E> {
 
     /// Lifetime counters: `(scheduled, delivered, cancelled)`.
     pub fn counters(&self) -> (u64, u64, u64) {
-        (self.scheduled_total, self.delivered_total, self.cancelled_total)
+        (
+            self.scheduled_total,
+            self.delivered_total,
+            self.cancelled_total,
+        )
     }
 
     fn skip_dead(&mut self) {

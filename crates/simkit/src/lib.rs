@@ -49,7 +49,11 @@ impl<E, F: FnMut(&mut Sim<E>, E)> Handler<E> for F {
 ///
 /// Events scheduled exactly at `until` are still delivered; the first event
 /// strictly later than `until` stops the run (and remains queued).
-pub fn run_until<E, H: Handler<E>>(sim: &mut Sim<E>, handler: &mut H, until: Option<SimTime>) -> StopReason {
+pub fn run_until<E, H: Handler<E>>(
+    sim: &mut Sim<E>,
+    handler: &mut H,
+    until: Option<SimTime>,
+) -> StopReason {
     loop {
         let Some(at) = sim.peek_time() else {
             return StopReason::QueueEmpty;

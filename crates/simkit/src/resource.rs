@@ -231,7 +231,10 @@ mod tests {
         // At t=0.5s, a has 50 left; a second flow arrives.
         let b = r.add_flow(SimTime::from_millis(500), 200.0);
         // a: 50 left at 50/s → completes at t=1.5s.
-        assert_eq!(r.next_completion(SimTime::from_millis(500)), Some(SimTime::from_millis(1500)));
+        assert_eq!(
+            r.next_completion(SimTime::from_millis(500)),
+            Some(SimTime::from_millis(1500))
+        );
         r.advance(SimTime::from_millis(1500));
         assert_eq!(r.take_completed(), vec![a]);
         // b: consumed 50 so far, 150 left at 100/s → t=3.0s.
@@ -265,9 +268,7 @@ mod tests {
         r.add_flow(SimTime::from_millis(300), 250.0);
         r.add_flow(SimTime::from_millis(900), 40.0);
         r.advance(t(2));
-        let active_remaining: f64 = (0..3)
-            .filter_map(|i| r.remaining(FlowId(i)))
-            .sum();
+        let active_remaining: f64 = (0..3).filter_map(|i| r.remaining(FlowId(i))).sum();
         let drained = r.drained_total(t(2));
         let injected = 390.0;
         assert!(

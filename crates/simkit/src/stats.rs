@@ -215,7 +215,10 @@ pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
         return None;
     }
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -280,7 +283,7 @@ mod tests {
         let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
         tw.set(SimTime::from_secs(10), 4.0); // 0 for 10s
         tw.set(SimTime::from_secs(20), 2.0); // 4 for 10s
-        // 2 for 10s → (0*10 + 4*10 + 2*10) / 30 = 2.0
+                                             // 2 for 10s → (0*10 + 4*10 + 2*10) / 30 = 2.0
         assert!((tw.mean(SimTime::from_secs(30)) - 2.0).abs() < 1e-12);
         assert_eq!(tw.current(), 2.0);
     }

@@ -185,9 +185,15 @@ mod tests {
         assert_eq!(t.as_millis(), 10_250);
         assert_eq!(t - SimTime::from_secs(10), SimDuration::from_millis(250));
         // Saturating subtraction: an earlier minus a later instant is zero.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
         assert_eq!(SimDuration::from_secs(3) * 2, SimDuration::from_secs(6));
-        assert_eq!(SimDuration::from_secs(3) / 2, SimDuration::from_millis(1500));
+        assert_eq!(
+            SimDuration::from_secs(3) / 2,
+            SimDuration::from_millis(1500)
+        );
     }
 
     #[test]

@@ -52,10 +52,25 @@ impl WorkloadReport {
     }
 }
 
-fn build_user_job(user: &UserSpec, spec: &WorkloadSpec, job_seed: u64) -> (JobSpec, Box<dyn GrowthDriver>) {
+fn build_user_job(
+    user: &UserSpec,
+    spec: &WorkloadSpec,
+    job_seed: u64,
+) -> (JobSpec, Box<dyn GrowthDriver>) {
     match &user.class {
-        UserClass::Sampling { k, policy, sample_mode } => {
-            let (s, d) = build_sampling_job(&user.dataset, *k, policy.clone(), spec.scan_mode, *sample_mode, job_seed);
+        UserClass::Sampling {
+            k,
+            policy,
+            sample_mode,
+        } => {
+            let (s, d) = build_sampling_job(
+                &user.dataset,
+                *k,
+                policy.clone(),
+                spec.scan_mode,
+                *sample_mode,
+                job_seed,
+            );
             (s, d)
         }
         UserClass::NonSampling => {
@@ -63,7 +78,13 @@ fn build_user_job(user: &UserSpec, spec: &WorkloadSpec, job_seed: u64) -> (JobSp
             (s, d)
         }
         UserClass::AdaptiveSampling { k, sample_mode } => {
-            let (s, d) = build_adaptive_sampling_job(&user.dataset, *k, spec.scan_mode, *sample_mode, job_seed);
+            let (s, d) = build_adaptive_sampling_job(
+                &user.dataset,
+                *k,
+                spec.scan_mode,
+                *sample_mode,
+                job_seed,
+            );
             (s, d)
         }
     }
@@ -129,7 +150,9 @@ pub fn run_workload(runtime: &mut MrRuntime, spec: &WorkloadSpec) -> WorkloadRep
                 UserClass::Sampling { .. } | UserClass::AdaptiveSampling { .. } => {
                     report.sampling_completed += 1;
                     report.sampling_response_secs.push(response);
-                    report.sampling_splits_processed.push(result.splits_processed as f64);
+                    report
+                        .sampling_splits_processed
+                        .push(result.splits_processed as f64);
                 }
                 UserClass::NonSampling => {
                     report.non_sampling_completed += 1;
@@ -161,7 +184,7 @@ pub fn run_workload(runtime: &mut MrRuntime, spec: &WorkloadSpec) -> WorkloadRep
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use incmr_core::Policy;
     use incmr_data::{Dataset, DatasetSpec, SkewLevel};
@@ -170,24 +193,43 @@ mod tests {
     use incmr_simkit::rng::DetRng;
     use incmr_simkit::SimDuration;
 
-    fn world_on(cfg: ClusterConfig, n_users: usize) -> (MrRuntime, Vec<Rc<Dataset>>) {
+    fn world_sized(
+        cfg: ClusterConfig,
+        n_users: usize,
+        records_per_partition: u64,
+    ) -> (MrRuntime, Vec<Arc<Dataset>>) {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(17);
-        let datasets: Vec<Rc<Dataset>> = (0..n_users)
+        let datasets: Vec<Arc<Dataset>> = (0..n_users)
             .map(|i| {
-                Rc::new(Dataset::build(
+                Arc::new(Dataset::build(
                     &mut ns,
-                    DatasetSpec::small(&format!("copy{i}"), 16, 4_000, SkewLevel::Zero, 100 + i as u64),
+                    DatasetSpec::small(
+                        &format!("copy{i}"),
+                        16,
+                        records_per_partition,
+                        SkewLevel::Zero,
+                        100 + i as u64,
+                    ),
                     &mut EvenRoundRobin::starting_at((i * 7) as u32),
                     &mut rng,
                 ))
             })
             .collect();
-        let rt = MrRuntime::new(cfg, CostModel::paper_default(), ns, Box::new(FifoScheduler::new()));
+        let rt = MrRuntime::new(
+            cfg,
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
         (rt, datasets)
     }
 
-    fn world(n_users: usize) -> (MrRuntime, Vec<Rc<Dataset>>) {
+    fn world_on(cfg: ClusterConfig, n_users: usize) -> (MrRuntime, Vec<Arc<Dataset>>) {
+        world_sized(cfg, n_users, 4_000)
+    }
+
+    fn world(n_users: usize) -> (MrRuntime, Vec<Arc<Dataset>>) {
         world_on(ClusterConfig::paper_multi_user(), n_users)
     }
 
@@ -203,7 +245,11 @@ mod tests {
             1,
         );
         let report = run_workload(&mut rt, &spec);
-        assert!(report.sampling_completed > 10, "got {}", report.sampling_completed);
+        assert!(
+            report.sampling_completed > 10,
+            "got {}",
+            report.sampling_completed
+        );
         assert_eq!(report.non_sampling_completed, 0);
         assert!(report.sampling_jobs_per_hour() > 0.0);
         assert!(report.metrics.slot_occupancy_pct > 0.0);
@@ -212,7 +258,14 @@ mod tests {
 
     #[test]
     fn heterogeneous_workload_counts_both_classes() {
-        let (mut rt, datasets) = world(4);
+        // Run on the 40-slot cluster with heavy partitions so the sampling
+        // users face contention AND incremental intake saves real work: on
+        // an unloaded 160-slot cluster LA's grab limit (0.2*AS = 32) exceeds
+        // the 16 partitions, sampling jobs grab their whole input up front,
+        // and both classes tie exactly instead of diverging; at toy split
+        // sizes the 4 s evaluation interval dominates and inverts the
+        // ordering instead.
+        let (mut rt, datasets) = world_sized(ClusterConfig::paper_single_user(), 4, 400_000);
         let spec = WorkloadSpec::heterogeneous(
             datasets,
             2,
@@ -262,11 +315,17 @@ mod tests {
         let throughput = |policy: Policy| {
             let mut ns = Namespace::new(ClusterTopology::paper_cluster());
             let mut rng = DetRng::seed_from(17);
-            let datasets: Vec<Rc<Dataset>> = (0..4)
+            let datasets: Vec<Arc<Dataset>> = (0..4)
                 .map(|i| {
-                    Rc::new(Dataset::build(
+                    Arc::new(Dataset::build(
                         &mut ns,
-                        DatasetSpec::small(&format!("copy{i}"), 32, 200_000, SkewLevel::Zero, 100 + i),
+                        DatasetSpec::small(
+                            &format!("copy{i}"),
+                            32,
+                            200_000,
+                            SkewLevel::Zero,
+                            100 + i,
+                        ),
                         &mut EvenRoundRobin::starting_at((i * 11) as u32),
                         &mut rng,
                     ))

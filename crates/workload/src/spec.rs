@@ -1,6 +1,6 @@
 //! Workload specifications: who the users are and what they run.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr_core::{Policy, SampleMode};
 use incmr_data::Dataset;
@@ -51,7 +51,7 @@ pub struct UserSpec {
     /// What the user runs.
     pub class: UserClass,
     /// The user's own dataset copy.
-    pub dataset: Rc<Dataset>,
+    pub dataset: Arc<Dataset>,
 }
 
 /// A complete workload: users, phases, and execution mode.
@@ -74,7 +74,7 @@ impl WorkloadSpec {
     /// A homogeneous workload: every user samples with the same `k` and
     /// policy against their own dataset copy (paper Section V-D).
     pub fn homogeneous(
-        datasets: Vec<Rc<Dataset>>,
+        datasets: Vec<Arc<Dataset>>,
         k: u64,
         policy: Policy,
         warmup: SimDuration,
@@ -104,7 +104,7 @@ impl WorkloadSpec {
     /// A heterogeneous workload: the first `sampling_users` users sample,
     /// the rest run static scans (paper Section V-E, fraction 0.2–0.8).
     pub fn heterogeneous(
-        datasets: Vec<Rc<Dataset>>,
+        datasets: Vec<Arc<Dataset>>,
         sampling_users: usize,
         k: u64,
         policy: Policy,
@@ -156,12 +156,12 @@ mod tests {
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
     use incmr_simkit::rng::DetRng;
 
-    fn datasets(n: usize) -> Vec<Rc<Dataset>> {
+    fn datasets(n: usize) -> Vec<Arc<Dataset>> {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(3);
         (0..n)
             .map(|i| {
-                Rc::new(Dataset::build(
+                Arc::new(Dataset::build(
                     &mut ns,
                     DatasetSpec::small(&format!("c{i}"), 4, 100, SkewLevel::Zero, i as u64),
                     &mut EvenRoundRobin::starting_at(i as u32),

@@ -10,7 +10,7 @@
 //! cargo run --release --example exploratory_analysis
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::data::lineitem::col;
 use incmr::data::predicate::CmpOp;
@@ -32,7 +32,12 @@ fn main() {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(23);
     let spec = DatasetSpec::small("lineitem", 60, 30_000, SkewLevel::Zero, 23);
-    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let dataset = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
 
     // An ad-hoc analysis predicate (nothing to do with the planted one),
     // so the job runs in Full mode over real records.

@@ -13,17 +13,22 @@
 //! cargo run --release --example fault_tolerance
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::core::build_adaptive_sampling_job;
 use incmr::mapreduce::FaultPlan;
 use incmr::prelude::*;
 
-fn world() -> (MrRuntime, Rc<Dataset>) {
+fn world() -> (MrRuntime, Arc<Dataset>) {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(61);
     let spec = DatasetSpec::small("lineitem", 60, 200_000, SkewLevel::Zero, 61);
-    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
@@ -35,7 +40,10 @@ fn world() -> (MrRuntime, Rc<Dataset>) {
 
 fn main() {
     println!("-- fault injection: the same sampling job at rising failure rates --\n");
-    println!("{:>10} {:>10} {:>14} {:>12}", "fail rate", "retries", "response (s)", "sample");
+    println!(
+        "{:>10} {:>10} {:>14} {:>12}",
+        "fail rate", "retries", "response (s)", "sample"
+    );
     for probability in [0.0, 0.1, 0.3, 0.5] {
         let (mut rt, ds) = world();
         if probability > 0.0 {
@@ -45,7 +53,14 @@ fn main() {
                 seed: 99,
             });
         }
-        let (job, driver) = build_sampling_job(&ds, 800, Policy::ha(), ScanMode::Planted, SampleMode::FirstK, 2);
+        let (job, driver) = build_sampling_job(
+            &ds,
+            800,
+            Policy::ha(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            2,
+        );
         let id = rt.submit(job, driver);
         rt.run_until_idle();
         let r = rt.job_result(id);
@@ -69,7 +84,8 @@ fn main() {
             rt.submit(scan, scan_driver);
             rt.run_until(SimTime::from_secs(8));
         }
-        let (job, driver) = build_adaptive_sampling_job(&ds, 800, ScanMode::Planted, SampleMode::FirstK, 3);
+        let (job, driver) =
+            build_adaptive_sampling_job(&ds, 800, ScanMode::Planted, SampleMode::FirstK, 3);
         let id = rt.submit(job, driver);
         while !rt.is_complete(id) {
             assert!(rt.step(), "runtime drained");

@@ -7,7 +7,7 @@
 //! cargo run --release --example hive_session
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::hiveql::SessionError;
 use incmr::prelude::*;
@@ -42,7 +42,10 @@ fn show(session: &mut Session, sql: &str) {
 }
 
 fn indent(text: &str) -> String {
-    text.lines().map(|l| format!("  {l}")).collect::<Vec<_>>().join("\n")
+    text.lines()
+        .map(|l| format!("  {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
@@ -51,7 +54,12 @@ fn main() {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(11);
     let spec = DatasetSpec::small("lineitem", 40, 20_000, SkewLevel::High, 11);
-    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let dataset = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let mut catalog = Catalog::new();
     catalog.register("lineitem", dataset);
     let rt = MrRuntime::new(
@@ -63,7 +71,10 @@ fn main() {
     let mut session = Session::new(rt, catalog).with_full_scan();
 
     // Inspect the plan first, then pick a policy, then sample.
-    show(&mut session, "EXPLAIN SELECT L_ORDERKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 100");
+    show(
+        &mut session,
+        "EXPLAIN SELECT L_ORDERKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 100",
+    );
     show(&mut session, "SET dynamic.job.policy = HA");
     show(
         &mut session,

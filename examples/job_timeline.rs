@@ -9,17 +9,27 @@
 //! dynamic policies grow in steps as their Input Provider reacts to
 //! arriving statistics.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::mapreduce::{job_timeline, render_timeline};
 use incmr::prelude::*;
 
 fn main() {
-    for policy in [Policy::hadoop(), Policy::ha(), Policy::la(), Policy::conservative()] {
+    for policy in [
+        Policy::hadoop(),
+        Policy::ha(),
+        Policy::la(),
+        Policy::conservative(),
+    ] {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(9);
         let spec = DatasetSpec::small("lineitem", 80, 750_000, SkewLevel::Moderate, 9);
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
         let mut rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),
             CostModel::paper_default(),
@@ -28,7 +38,8 @@ fn main() {
         );
         rt.enable_tracing();
         let name = policy.name.clone();
-        let (job, driver) = build_sampling_job(&ds, 2_000, policy, ScanMode::Planted, SampleMode::FirstK, 4);
+        let (job, driver) =
+            build_sampling_job(&ds, 2_000, policy, ScanMode::Planted, SampleMode::FirstK, 4);
         let id = rt.submit(job, driver);
         rt.run_until_idle();
         let trace = rt.take_trace();
@@ -43,7 +54,9 @@ fn main() {
         println!(
             "growth: {}  (end-of-input @ {})",
             growth.join(", "),
-            t.end_of_input.map(|t| t.to_string()).unwrap_or_else(|| "-".into()),
+            t.end_of_input
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
         println!(
             "maps: {} started / {} finished; response {:.1}s; {} of 80 partitions",

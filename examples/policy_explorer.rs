@@ -5,7 +5,7 @@
 //! cargo run --release --example policy_explorer
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::core::parse_policy_file;
 use incmr::prelude::*;
@@ -29,14 +29,26 @@ fn measure(policy: &Policy) -> (f64, u32) {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(47);
     let spec = DatasetSpec::small("lineitem", 160, 100_000, SkewLevel::Moderate, 47);
-    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let dataset = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let mut rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
         ns,
         Box::new(FifoScheduler::new()),
     );
-    let (job, driver) = build_sampling_job(&dataset, 1_500, policy.clone(), ScanMode::Planted, SampleMode::FirstK, 3);
+    let (job, driver) = build_sampling_job(
+        &dataset,
+        1_500,
+        policy.clone(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        3,
+    );
     let id = rt.submit(job, driver);
     rt.run_until_idle();
     let r = rt.job_result(id);
@@ -46,7 +58,10 @@ fn measure(policy: &Policy) -> (f64, u32) {
 fn main() {
     let custom = parse_policy_file(CUSTOM_POLICIES).expect("valid policy file");
     println!("sampling 1500 records from a 160-partition dataset (idle cluster)\n");
-    println!("{:<16} {:>30} {:>14} {:>12}", "policy", "grab limit", "response (s)", "partitions");
+    println!(
+        "{:<16} {:>30} {:>14} {:>12}",
+        "policy", "grab limit", "response (s)", "partitions"
+    );
     for policy in Policy::table1().iter().chain(custom.iter()) {
         let (secs, parts) = measure(policy);
         println!(

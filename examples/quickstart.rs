@@ -11,7 +11,7 @@
 //! the paper's LA policy. Both produce the same-size sample; the dynamic
 //! job touches a fraction of the partitions.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::prelude::*;
 
@@ -22,7 +22,12 @@ fn run_once(policy: Policy) -> (JobResult, SimDuration) {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(7);
     let spec = DatasetSpec::small("lineitem", 80, 750_000, SkewLevel::Moderate, 7);
-    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let dataset = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
 
     let mut rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
@@ -31,7 +36,14 @@ fn run_once(policy: Policy) -> (JobResult, SimDuration) {
         Box::new(FifoScheduler::new()),
     );
     let policy_name = policy.name.clone();
-    let (job, driver) = build_sampling_job(&dataset, 500, policy, ScanMode::Planted, SampleMode::FirstK, 1);
+    let (job, driver) = build_sampling_job(
+        &dataset,
+        500,
+        policy,
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        1,
+    );
     let id = rt.submit(job, driver);
     rt.run_until_idle();
     let result = rt.job_result(id).clone();
@@ -47,7 +59,9 @@ fn run_once(policy: Policy) -> (JobResult, SimDuration) {
 }
 
 fn main() {
-    println!("predicate-based sampling: SELECT * FROM lineitem WHERE L_DISCOUNT = 0.99 LIMIT 500\n");
+    println!(
+        "predicate-based sampling: SELECT * FROM lineitem WHERE L_DISCOUNT = 0.99 LIMIT 500\n"
+    );
     let (hadoop, t_hadoop) = run_once(Policy::hadoop());
     let (dynamic, t_dynamic) = run_once(Policy::la());
 

@@ -10,7 +10,7 @@
 //! cargo run --release --example shared_cluster
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::prelude::*;
 
@@ -26,11 +26,17 @@ fn main() {
         // 100k records each.
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let root = DetRng::seed_from(31);
-        let datasets: Vec<Rc<Dataset>> = (0..4)
+        let datasets: Vec<Arc<Dataset>> = (0..4)
             .map(|u| {
                 let mut rng = root.fork(u);
-                let spec = DatasetSpec::small(&format!("copy{u}"), 48, 100_000, SkewLevel::Zero, 31 + u);
-                Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::starting_at(u as u32 * 9), &mut rng))
+                let spec =
+                    DatasetSpec::small(&format!("copy{u}"), 48, 100_000, SkewLevel::Zero, 31 + u);
+                Arc::new(Dataset::build(
+                    &mut ns,
+                    spec,
+                    &mut EvenRoundRobin::starting_at(u as u32 * 9),
+                    &mut rng,
+                ))
             })
             .collect();
         let mut rt = MrRuntime::new(

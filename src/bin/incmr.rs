@@ -10,7 +10,7 @@
 //! without them, a line-oriented REPL on stdin.
 
 use std::io::{BufRead, Write};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::prelude::*;
 
@@ -42,12 +42,16 @@ fn parse_args() -> Options {
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut value = |name: &str| args.next().unwrap_or_else(|| {
-            eprintln!("{name} needs a value");
-            usage()
-        });
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
         match arg.as_str() {
-            "--partitions" => opts.partitions = value("--partitions").parse().unwrap_or_else(|_| usage()),
+            "--partitions" => {
+                opts.partitions = value("--partitions").parse().unwrap_or_else(|_| usage())
+            }
             "--records" => opts.records = value("--records").parse().unwrap_or_else(|_| usage()),
             "--seed" => opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--skew" => {
@@ -110,8 +114,19 @@ fn main() {
     let opts = parse_args();
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(opts.seed);
-    let spec = DatasetSpec::small("lineitem", opts.partitions, opts.records, opts.skew, opts.seed);
-    let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let spec = DatasetSpec::small(
+        "lineitem",
+        opts.partitions,
+        opts.records,
+        opts.skew,
+        opts.seed,
+    );
+    let dataset = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let planted = incmr::data::PaperPredicate::for_skew(opts.skew).sql;
     let mut catalog = Catalog::new();
     catalog.register("lineitem", dataset);

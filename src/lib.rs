@@ -25,14 +25,14 @@
 //! ## Quickstart
 //!
 //! ```
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //! use incmr::prelude::*;
 //!
 //! // A small LINEITEM-style dataset on a simulated 10-node cluster.
 //! let mut ns = Namespace::new(ClusterTopology::paper_cluster());
 //! let mut rng = DetRng::seed_from(7);
 //! let spec = DatasetSpec::small("lineitem", 20, 5_000, SkewLevel::Moderate, 7);
-//! let dataset = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+//! let dataset = Arc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
 //!
 //! // A cluster runtime and a dynamic sampling job under the LA policy.
 //! let mut rt = MrRuntime::new(
@@ -64,15 +64,16 @@ pub use incmr_workload as workload;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use incmr_core::{
-        build_sampling_job, build_sampling_job_with, build_scan_job, DynamicDriver, GrabLimit, InputProvider,
-        InputResponse, Policy, SampleMode, SamplingInputProvider, SamplingMapper, SamplingReducer,
+        build_sampling_job, build_sampling_job_with, build_scan_job, DynamicDriver, GrabLimit,
+        InputProvider, InputResponse, Policy, SampleMode, SamplingInputProvider, SamplingMapper,
+        SamplingReducer,
     };
     pub use incmr_data::{Dataset, DatasetSpec, Predicate, Record, SkewLevel, Value};
     pub use incmr_dfs::{BlockId, ClusterTopology, EvenRoundRobin, Namespace, NodeId};
     pub use incmr_hiveql::{Catalog, QueryOutput, Session};
     pub use incmr_mapreduce::{
-        ClusterConfig, ClusterStatus, CostModel, FairScheduler, FifoScheduler, JobConf, JobId, JobResult,
-        JobSpec, MrRuntime, ScanMode,
+        ClusterConfig, ClusterStatus, CostModel, EvalContext, FairScheduler, FifoScheduler,
+        JobConf, JobId, JobResult, JobSpec, MrRuntime, Parallelism, ScanMode,
     };
     pub use incmr_simkit::rng::DetRng;
     pub use incmr_simkit::{SimDuration, SimTime};

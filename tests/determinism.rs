@@ -3,22 +3,35 @@
 //! paper's "averages over 5 runs" as averages over 5 seeds, which is only
 //! meaningful if nothing else varies.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
+use incmr::mapreduce::{FaultPlan, TraceEvent};
 use incmr::prelude::*;
 
 fn single_job_fingerprint(seed: u64, policy: Policy) -> (u64, u32, u64, usize) {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(seed);
     let spec = DatasetSpec::small("t", 24, 3_000, SkewLevel::Moderate, seed);
-    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let mut rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
         ns,
         Box::new(FifoScheduler::new()),
     );
-    let (job, driver) = build_sampling_job(&ds, 12, policy, ScanMode::Planted, SampleMode::FirstK, seed ^ 7);
+    let (job, driver) = build_sampling_job(
+        &ds,
+        12,
+        policy,
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        seed ^ 7,
+    );
     let id = rt.submit(job, driver);
     rt.run_until_idle();
     let r = rt.job_result(id);
@@ -35,7 +48,11 @@ fn identical_seeds_identical_runs() {
     for policy in Policy::table1() {
         let a = single_job_fingerprint(41, policy.clone());
         let b = single_job_fingerprint(41, policy.clone());
-        assert_eq!(a, b, "policy {} diverged across identical runs", policy.name);
+        assert_eq!(
+            a, b,
+            "policy {} diverged across identical runs",
+            policy.name
+        );
     }
 }
 
@@ -44,9 +61,14 @@ fn different_seeds_differ_somewhere() {
     // Not every field must differ, but the fingerprints should not be
     // universally identical across seeds for a dynamic policy (random
     // split selection must matter).
-    let fingerprints: Vec<_> = (0..5).map(|s| single_job_fingerprint(s, Policy::la())).collect();
+    let fingerprints: Vec<_> = (0..5)
+        .map(|s| single_job_fingerprint(s, Policy::la()))
+        .collect();
     let all_same = fingerprints.windows(2).all(|w| w[0] == w[1]);
-    assert!(!all_same, "five different seeds produced identical dynamics: {fingerprints:?}");
+    assert!(
+        !all_same,
+        "five different seeds produced identical dynamics: {fingerprints:?}"
+    );
 }
 
 #[test]
@@ -54,11 +76,11 @@ fn workload_runs_are_reproducible() {
     let run = || {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let root = DetRng::seed_from(3);
-        let datasets: Vec<Rc<Dataset>> = (0..3)
+        let datasets: Vec<Arc<Dataset>> = (0..3)
             .map(|u| {
                 let mut rng = root.fork(u);
                 let spec = DatasetSpec::small(&format!("c{u}"), 16, 50_000, SkewLevel::Zero, 3 + u);
-                Rc::new(Dataset::build(
+                Arc::new(Dataset::build(
                     &mut ns,
                     spec,
                     &mut EvenRoundRobin::starting_at(u as u32),
@@ -92,6 +114,94 @@ fn workload_runs_are_reproducible() {
     assert_eq!(run(), run(), "bit-identical workload reports across runs");
 }
 
+/// Run the same dynamic sampling job with a given data-plane thread count
+/// and return everything observable about the simulated run: the result
+/// scalars, the full reduce output, and the complete trace timeline.
+fn parallel_fingerprint(threads: u32, faults: Option<FaultPlan>) -> (JobResult, Vec<TraceEvent>) {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(17);
+    let spec = DatasetSpec::small("t", 32, 4_000, SkewLevel::Moderate, 17);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user().with_parallelism(Parallelism::threads(threads)),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    rt.enable_tracing();
+    if let Some(plan) = faults {
+        rt.inject_faults(plan);
+    }
+    let (job, driver) = build_sampling_job(
+        &ds,
+        15,
+        Policy::ma(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        23,
+    );
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    (rt.job_result(id).clone(), rt.take_trace())
+}
+
+/// The two-plane contract: data-plane parallelism must never leak into
+/// simulated behaviour. Serial execution is the reference; 4- and 8-thread
+/// pools must reproduce it byte for byte — same response time, same splits,
+/// same sampled records, same event timeline.
+#[test]
+fn parallel_data_plane_reproduces_serial_results_exactly() {
+    let (serial_result, serial_trace) = parallel_fingerprint(1, None);
+    assert!(!serial_trace.is_empty());
+    for threads in [4, 8] {
+        let (result, trace) = parallel_fingerprint(threads, None);
+        assert_eq!(
+            result.response_time(),
+            serial_result.response_time(),
+            "simulated time diverged at {threads} threads"
+        );
+        assert_eq!(result.splits_processed, serial_result.splits_processed);
+        assert_eq!(result.records_processed, serial_result.records_processed);
+        assert_eq!(result.local_tasks, serial_result.local_tasks);
+        assert_eq!(
+            result.output, serial_result.output,
+            "sampled records diverged at {threads} threads"
+        );
+        assert_eq!(
+            trace, serial_trace,
+            "event timeline diverged at {threads} threads"
+        );
+    }
+}
+
+/// Fault injection draws from a deterministic stream keyed by dispatch
+/// order; the worker pool must not perturb it.
+#[test]
+fn fault_injection_is_thread_count_invariant() {
+    let plan = FaultPlan {
+        probability: 0.25,
+        max_attempts: 10,
+        seed: 99,
+    };
+    let (serial_result, serial_trace) = parallel_fingerprint(1, Some(plan));
+    assert!(
+        serial_result.task_failures > 0,
+        "the plan must actually inject failures"
+    );
+    for threads in [4, 8] {
+        let (result, trace) = parallel_fingerprint(threads, Some(plan));
+        assert_eq!(result.task_failures, serial_result.task_failures);
+        assert_eq!(result.response_time(), serial_result.response_time());
+        assert_eq!(result.output, serial_result.output);
+        assert_eq!(trace, serial_trace);
+    }
+}
+
 #[test]
 fn dataset_content_is_stable_across_processes() {
     // A pinned fingerprint guards against silent generator changes that
@@ -102,7 +212,11 @@ fn dataset_content_is_stable_across_processes() {
     let spec = DatasetSpec::small("t", 8, 100, SkewLevel::High, 1234);
     let ds = Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng);
     let counts = ds.matching_counts();
-    assert_eq!(counts.iter().sum::<u64>(), 0, "8×100 records at 0.05% rounds to zero matches");
+    assert_eq!(
+        counts.iter().sum::<u64>(),
+        0,
+        "8×100 records at 0.05% rounds to zero matches"
+    );
     let spec = DatasetSpec::small("u", 8, 10_000, SkewLevel::High, 1234);
     let ds = Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng);
     assert_eq!(ds.total_matching(), 40, "0.05% of 80k records");

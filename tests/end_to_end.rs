@@ -1,7 +1,7 @@
 //! Cross-crate integration: the full pipeline from SQL text to a sample,
 //! exercised through the public facade.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::core::parse_policy_file;
 use incmr::prelude::*;
@@ -10,7 +10,12 @@ fn make_session(partitions: u32, records: u64, skew: SkewLevel, full_scan: bool)
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(404);
     let spec = DatasetSpec::small("lineitem", partitions, records, skew, 404);
-    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let mut catalog = Catalog::new();
     catalog.register("lineitem", ds);
     let rt = MrRuntime::new(
@@ -32,7 +37,9 @@ fn sql_to_sample_through_every_layer() {
     let mut session = make_session(30, 4_000, SkewLevel::High, false);
     session.execute("SET dynamic.job.policy = MA").unwrap();
     let out = session
-        .execute("SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 25")
+        .execute(
+            "SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM lineitem WHERE L_TAX = 0.77 LIMIT 25",
+        )
         .unwrap();
     let QueryOutput::Rows {
         rows,
@@ -46,7 +53,10 @@ fn sql_to_sample_through_every_layer() {
     };
     assert_eq!(rows.len(), 25);
     assert!(rows.iter().all(|r| r.arity() == 3));
-    assert!(splits_processed < 30, "stopped early: {splits_processed} splits");
+    assert!(
+        splits_processed < 30,
+        "stopped early: {splits_processed} splits"
+    );
     assert!(records_processed > 0);
     assert!(response_time > SimDuration::ZERO);
 }
@@ -62,7 +72,9 @@ fn policy_file_drives_query_execution() {
     let out = session
         .execute("SELECT * FROM lineitem WHERE L_QUANTITY = 200 LIMIT 5")
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     assert_eq!(rows.len(), 5);
 }
 
@@ -83,14 +95,26 @@ fn custom_policy_round_trips_from_text_to_execution() {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(9);
     let spec = DatasetSpec::small("t", 16, 3_000, SkewLevel::Zero, 9);
-    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let mut rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
         ns,
         Box::new(FifoScheduler::new()),
     );
-    let (job, driver) = build_sampling_job(&ds, 10, policies[0].clone(), ScanMode::Planted, SampleMode::FirstK, 2);
+    let (job, driver) = build_sampling_job(
+        &ds,
+        10,
+        policies[0].clone(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        2,
+    );
     let id = rt.submit(job, driver);
     rt.run_until_idle();
     let r = rt.job_result(id);
@@ -104,9 +128,13 @@ fn custom_policy_round_trips_from_text_to_execution() {
 fn full_scan_mode_supports_ad_hoc_analysis() {
     let mut session = make_session(10, 2_000, SkewLevel::Zero, true);
     let out = session
-        .execute("SELECT L_ORDERKEY FROM lineitem WHERE L_SHIPMODE = 'RAIL' AND L_QUANTITY < 10 LIMIT 8")
+        .execute(
+            "SELECT L_ORDERKEY FROM lineitem WHERE L_SHIPMODE = 'RAIL' AND L_QUANTITY < 10 LIMIT 8",
+        )
         .unwrap();
-    let QueryOutput::Rows { rows, .. } = out else { panic!() };
+    let QueryOutput::Rows { rows, .. } = out else {
+        panic!()
+    };
     assert_eq!(rows.len(), 8, "natural data has plenty of RAIL shipments");
 }
 
@@ -116,17 +144,26 @@ fn dynamic_job_beats_hadoop_policy_on_work() {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(55);
         let spec = DatasetSpec::small("t", 40, 5_000, SkewLevel::Zero, 55);
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
         let mut rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),
             CostModel::paper_default(),
             ns,
             Box::new(FifoScheduler::new()),
         );
-        let (job, driver) = build_sampling_job(&ds, 30, policy, ScanMode::Planted, SampleMode::FirstK, 5);
+        let (job, driver) =
+            build_sampling_job(&ds, 30, policy, ScanMode::Planted, SampleMode::FirstK, 5);
         let id = rt.submit(job, driver);
         rt.run_until_idle();
-        (rt.job_result(id).output.len(), rt.job_result(id).records_processed)
+        (
+            rt.job_result(id).output.len(),
+            rt.job_result(id).records_processed,
+        )
     };
     let (hadoop_n, hadoop_records) = run(Policy::hadoop());
     let (la_n, la_records) = run(Policy::la());
@@ -142,14 +179,26 @@ fn fair_scheduler_runs_the_same_pipeline() {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(66);
     let spec = DatasetSpec::small("t", 20, 2_000, SkewLevel::Moderate, 66);
-    let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
     let mut rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
         ns,
         Box::new(FairScheduler::paper_default()),
     );
-    let (job, driver) = build_sampling_job(&ds, 15, Policy::ha(), ScanMode::Planted, SampleMode::FirstK, 3);
+    let (job, driver) = build_sampling_job(
+        &ds,
+        15,
+        Policy::ha(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        3,
+    );
     let id = rt.submit(job, driver);
     rt.run_until_idle();
     assert_eq!(rt.job_result(id).output.len(), 15);
@@ -159,11 +208,16 @@ fn fair_scheduler_runs_the_same_pipeline() {
 fn workload_and_metrics_compose_through_the_facade() {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let root = DetRng::seed_from(88);
-    let datasets: Vec<Rc<Dataset>> = (0..3)
+    let datasets: Vec<Arc<Dataset>> = (0..3)
         .map(|u| {
             let mut rng = root.fork(u);
             let spec = DatasetSpec::small(&format!("c{u}"), 24, 100_000, SkewLevel::Zero, 88 + u);
-            Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::starting_at(u as u32 * 5), &mut rng))
+            Arc::new(Dataset::build(
+                &mut ns,
+                spec,
+                &mut EvenRoundRobin::starting_at(u as u32 * 5),
+                &mut rng,
+            ))
         })
         .collect();
     let mut rt = MrRuntime::new(

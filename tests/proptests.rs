@@ -1,7 +1,7 @@
 //! Property-based tests of the stack's core invariants.
 
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use incmr::core::policy_file::{parse_grab_limit, parse_policy_file};
 use incmr::data::generator::{RecordFactory, SplitGenerator, SplitSpec};
@@ -128,7 +128,7 @@ proptest! {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(seed);
         let spec = DatasetSpec::small("t", partitions, records, skew, seed);
-        let ds = Rc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
+        let ds = Arc::new(Dataset::build(&mut ns, spec, &mut EvenRoundRobin::new(), &mut rng));
         let total_matches = ds.total_matching();
         let mut rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),

@@ -1,0 +1,279 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the benchmark surface it uses: `Criterion::bench_function`,
+//! `benchmark_group` (with `sample_size` / `throughput` / `bench_with_input` /
+//! `finish`), `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over enough iterations to fill a small measurement window, and
+//! the mean ns/iter is reported on stdout. There are no statistical
+//! comparisons against saved baselines. Results can also be exported as JSON
+//! via [`Criterion::write_json`] for benches that track numbers in-repo.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimiser from deleting benchmarked
+/// work. Uses a volatile read, like `std::hint::black_box` pre-stabilisation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark name built from a function name and/or a parameter, as in
+/// upstream `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkName {
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkName for &String {
+    fn into_name(self) -> String {
+        self.clone()
+    }
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_name(self) -> String {
+        self.id
+    }
+}
+
+/// Units for a group's throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub mean_ns: f64,
+    pub iterations: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1_500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; this shim runs everything.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<N: IntoBenchmarkName, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into_name();
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            result: None,
+        };
+        f(&mut b);
+        let (mean_ns, iterations) = b.result.unwrap_or((f64::NAN, 0));
+        println!(
+            "{name:<56} {:>14}/iter ({iterations} iters)",
+            format_ns(mean_ns)
+        );
+        self.results.push(BenchResult {
+            name,
+            mean_ns,
+            iterations,
+        });
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serialise results as a JSON array (name, mean_ns, iterations).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 == self.results.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}{comma}",
+                r.name.replace('"', "\\\""),
+                r.mean_ns,
+                r.iterations
+            );
+        }
+        s.push_str("]\n");
+        s
+    }
+
+    /// Write [`Criterion::to_json`] to a file.
+    pub fn write_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+/// A named benchmark group; settings are accepted for API compatibility.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measure = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<N: IntoBenchmarkName, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into_name());
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    pub fn bench_with_input<N, I, F>(&mut self, name: N, input: &I, mut f: F) -> &mut Self
+    where
+        N: IntoBenchmarkName,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(name, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; `iter` performs the measurement.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Measure over a batch sized to fill the measurement window.
+        let target =
+            ((self.measure.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result = Some((elapsed.as_nanos() as f64 / target as f64, target));
+    }
+}
+
+/// Collect benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,198 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (everything this workspace's patterns use):
+//! * literal characters;
+//! * `[...]` character classes with single chars and `a-z` ranges;
+//! * `\PC` — any printable, non-control character (a spread of ASCII plus a
+//!   few multi-byte code points to stress parsers);
+//! * repetition of the previous atom: `{m}`, `{m,n}`, `*` (0–8), `+` (1–8),
+//!   `?`;
+//! * `\\`-escaped literals.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Characters `\PC` draws from beyond ASCII, to exercise multi-byte paths.
+const EXOTIC: [char; 6] = ['é', 'ß', 'λ', '中', '→', '🦀'];
+
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = rng.rng().gen_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.rng().gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick)
+                        .expect("class range within valid chars");
+                }
+                pick -= span;
+            }
+            unreachable!("pick bounded by total")
+        }
+        Atom::Printable => {
+            // Mostly printable ASCII, occasionally something multi-byte.
+            if rng.rng().gen_range(0u32..10) == 0 {
+                EXOTIC[rng.rng().gen_range(0..EXOTIC.len())]
+            } else {
+                char::from_u32(rng.rng().gen_range(0x20u32..0x7f)).unwrap()
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                let next = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                if next == 'P' || next == 'p' {
+                    let class = *chars.get(i + 2).expect("\\P needs a class letter");
+                    assert!(
+                        class == 'C' || class == 'c',
+                        "unsupported unicode class \\P{class} in {pattern:?}"
+                    );
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    i += 2;
+                    Atom::Literal(next)
+                }
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                    + i;
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional repetition suffix.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repeat in pattern {pattern:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("repeat lower bound"),
+                        hi.trim().parse().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("repeat count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ident_pattern_generates_idents() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z_][a-zA-Z0-9_]{0,10}", &mut rng);
+            assert!((1..=11).contains(&s.chars().count()), "bad length: {s:?}");
+            let mut cs = s.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_');
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_respects_bounds() {
+        let mut rng = TestRng::from_seed(6);
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,80}", &mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literal_and_exact_repeat() {
+        let mut rng = TestRng::from_seed(7);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("a{3}", &mut rng), "aaa");
+    }
+}

@@ -1,0 +1,66 @@
+//! Case driving and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RNG handed to strategies while generating one test case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator (for strategies that use `rand::Rng`).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+
+    /// A raw 64-bit draw (for `any::<integer>()`).
+    pub fn next_u64_raw(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}
+
+/// Runner configuration. Only the case count is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Run `f` once per case with an RNG derived from the test name and case
+/// index: deterministic across runs and machines, distinct across tests.
+pub fn run_cases(cfg: ProptestConfig, name: &str, mut f: impl FnMut(&mut TestRng)) {
+    let name_hash = fnv1a(name.as_bytes());
+    for case in 0..cfg.cases {
+        let mut rng = TestRng::from_seed(
+            name_hash ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)),
+        );
+        f(&mut rng);
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
