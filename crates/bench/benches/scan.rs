@@ -61,7 +61,9 @@ fn scan_units(partitions: u32, records: u64) -> Vec<MapUnit> {
         .map(|plan| MapUnit {
             input_format: Arc::clone(&input),
             mapper: Arc::clone(&mapper),
+            combiner: None,
             block: plan.block,
+            reduce_tasks: 1,
         })
         .collect()
 }
@@ -75,9 +77,9 @@ fn bench_scan_batch(c: &mut Criterion) {
     let mut g = c.benchmark_group("scan/full_batch_40x20k");
     g.throughput(Throughput::Elements(records_total));
     for threads in [1u32, 2, 4, 8] {
-        let executor = ParallelExecutor::new(Parallelism::threads(threads));
+        let mut executor = ParallelExecutor::new(Parallelism::threads(threads));
         g.bench_function(format!("threads_{threads}"), |b| {
-            b.iter(|| black_box(executor.run(&units).len()))
+            b.iter(|| black_box(executor.run(units.clone()).len()))
         });
     }
     g.finish();

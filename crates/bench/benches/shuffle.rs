@@ -1,0 +1,147 @@
+//! Shuffle micro-benchmark: the host cost of map-side partitioning, the
+//! optional combiner, and the streaming merge into per-reduce buffers.
+//!
+//! Two workload shapes bracket the partitioning spectrum:
+//!
+//! * **wide keys** — every record under one of 1 000 distinct keys, spread
+//!   across 4 reduce partitions (the general MapReduce shape);
+//! * **dummy key** — every record under one shared key into a single
+//!   partition (the paper's sampling job shape, Algorithm 1).
+//!
+//! Each shape runs with and without a `SampleCombiner(k)`. The combiner is
+//! a map-side LIMIT push-down: with it, no task ships more than `k` pairs,
+//! so the merged shuffle materialises at most `k × maps` records however
+//! large the input is. The bench prints both totals so that bound is
+//! visible, and writes timings to `BENCH_shuffle.json`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, Criterion, Throughput};
+
+use incmr_core::SampleCombiner;
+use incmr_data::{Dataset, DatasetSpec, SkewLevel};
+use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
+use incmr_mapreduce::{
+    Combiner, DatasetInputFormat, InputFormat, Key, MapResult, MapUnit, Mapper, ParallelExecutor,
+    Parallelism, ScanMode, ShuffleState, SplitData,
+};
+use incmr_simkit::rng::DetRng;
+
+const MAPS: u32 = 24;
+const RECORDS_PER_SPLIT: u64 = 5_000;
+const COMBINER_K: u64 = 100;
+
+/// An *uncapped* mapper: emits every record of the split, keyed by a
+/// caller-supplied fan-out (1 = the sampling job's dummy key). This is the
+/// shape that makes a combiner matter — `SamplingMapper` already caps its
+/// own output, so it never ships more than `k` pairs per task.
+struct FanOutMapper {
+    distinct_keys: usize,
+}
+
+impl Mapper for FanOutMapper {
+    fn run(&self, data: &SplitData) -> MapResult {
+        let SplitData::Records(records) = data else {
+            panic!("shuffle bench uses ScanMode::Full");
+        };
+        let keys: Vec<Key> = (0..self.distinct_keys)
+            .map(|i| Key::from(format!("k{i}")))
+            .collect();
+        MapResult {
+            pairs: records
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (Key::clone(&keys[i % keys.len()]), r.clone()))
+                .collect(),
+            records_read: records.len() as u64,
+            ..MapResult::default()
+        }
+    }
+}
+
+fn shuffle_units(
+    distinct_keys: usize,
+    reduce_tasks: u32,
+    combiner: Option<Arc<dyn Combiner>>,
+) -> Vec<MapUnit> {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(7);
+    let spec = DatasetSpec::small("shufbench", MAPS, RECORDS_PER_SPLIT, SkewLevel::Zero, 7);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let input: Arc<dyn InputFormat> =
+        Arc::new(DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full));
+    let mapper: Arc<dyn Mapper> = Arc::new(FanOutMapper { distinct_keys });
+    ds.splits()
+        .iter()
+        .map(|plan| MapUnit {
+            input_format: Arc::clone(&input),
+            mapper: Arc::clone(&mapper),
+            combiner: combiner.clone(),
+            block: plan.block,
+            reduce_tasks,
+        })
+        .collect()
+}
+
+/// Run one batch end to end — map, combine, partition on the executor,
+/// then stream-merge every task's partitions — and return the number of
+/// records the merged shuffle materialised.
+fn run_batch(executor: &mut ParallelExecutor, units: Vec<MapUnit>, reduce_tasks: u32) -> u64 {
+    let mut shuffle = ShuffleState::new(reduce_tasks, u64::MAX);
+    for result in executor.run(units) {
+        shuffle.merge(result.pairs);
+    }
+    shuffle.materialized_records()
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let mut executor = ParallelExecutor::new(Parallelism::threads(1));
+    let mut g = c.benchmark_group("shuffle/map_partition_merge_24x5k");
+    g.throughput(Throughput::Elements(MAPS as u64 * RECORDS_PER_SPLIT));
+    for (shape, distinct_keys, reduce_tasks) in
+        [("wide_keys", 1_000usize, 4u32), ("dummy_key", 1, 1)]
+    {
+        for with_combiner in [false, true] {
+            let combiner: Option<Arc<dyn Combiner>> =
+                with_combiner.then(|| Arc::new(SampleCombiner::new(COMBINER_K)) as _);
+            let units = shuffle_units(distinct_keys, reduce_tasks, combiner);
+            let materialized = run_batch(&mut executor, units.clone(), reduce_tasks);
+            if with_combiner {
+                assert!(
+                    materialized <= COMBINER_K * MAPS as u64,
+                    "combiner bound violated: {materialized} > k×maps"
+                );
+            } else {
+                assert_eq!(materialized, MAPS as u64 * RECORDS_PER_SPLIT);
+            }
+            let suffix = if with_combiner {
+                "combiner"
+            } else {
+                "no_combiner"
+            };
+            println!(
+                "{shape}/{suffix}: {materialized} records materialised \
+                 (bound: {}, k×maps = {})",
+                MAPS as u64 * RECORDS_PER_SPLIT,
+                COMBINER_K * MAPS as u64,
+            );
+            g.bench_function(format!("{shape}/{suffix}"), |b| {
+                b.iter(|| black_box(run_batch(&mut executor, units.clone(), reduce_tasks)))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_shuffle(&mut c);
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shuffle.json");
+    c.write_json(out).expect("write BENCH_shuffle.json");
+    println!("wrote {out}");
+}

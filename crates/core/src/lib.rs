@@ -46,7 +46,7 @@ pub use estimator::{ProgressEstimate, SelectivityEstimator};
 pub use input_provider::{InputProvider, InputResponse};
 pub use policy::{GrabLimit, Policy};
 pub use policy_file::{parse_policy_file, PolicyFileError};
-pub use sampling::{SampleMode, SamplingMapper, SamplingReducer, DUMMY_KEY};
+pub use sampling::{SampleCombiner, SampleMode, SamplingMapper, SamplingReducer, DUMMY_KEY};
 pub use sampling_job::{
     build_adaptive_sampling_job, build_sampling_job, build_sampling_job_with, build_scan_job,
 };

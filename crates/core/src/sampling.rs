@@ -13,7 +13,7 @@
 //!   reservoir sample.
 
 use incmr_data::{Predicate, Record};
-use incmr_mapreduce::{MapResult, Mapper, Reducer, SplitData};
+use incmr_mapreduce::{Combiner, Key, MapResult, Mapper, Reducer, SplitData};
 use incmr_simkit::rng::DetRng;
 use rand::Rng;
 
@@ -39,6 +39,7 @@ pub struct SamplingMapper {
     predicate: Predicate,
     k: u64,
     projection: Vec<usize>,
+    dummy: Key,
 }
 
 impl SamplingMapper {
@@ -57,6 +58,7 @@ impl SamplingMapper {
             predicate,
             k,
             projection,
+            dummy: Key::from(DUMMY_KEY),
         }
     }
 
@@ -65,13 +67,13 @@ impl SamplingMapper {
         &self.predicate
     }
 
-    fn emit(&self, r: &Record) -> (String, Record) {
+    fn emit(&self, r: &Record) -> (Key, Record) {
         let value = if self.projection.is_empty() {
             r.clone()
         } else {
             r.project(&self.projection)
         };
-        (DUMMY_KEY.to_string(), value)
+        (Key::clone(&self.dummy), value)
     }
 }
 
@@ -133,15 +135,15 @@ impl SamplingReducer {
 }
 
 impl Reducer for SamplingReducer {
-    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>) {
+    fn reduce(&self, key: &Key, values: &[Record], output: &mut Vec<(Key, Record)>) {
         let k = self.k as usize;
         if values.len() <= k {
-            output.extend(values.iter().map(|v| (key.to_string(), v.clone())));
+            output.extend(values.iter().map(|v| (Key::clone(key), v.clone())));
             return;
         }
         match self.mode {
             SampleMode::FirstK => {
-                output.extend(values[..k].iter().map(|v| (key.to_string(), v.clone())));
+                output.extend(values[..k].iter().map(|v| (Key::clone(key), v.clone())));
             }
             SampleMode::RandomK { seed } => {
                 // Vitter's Algorithm R over the value list.
@@ -153,9 +155,36 @@ impl Reducer for SamplingReducer {
                         reservoir[j] = v;
                     }
                 }
-                output.extend(reservoir.into_iter().map(|v| (key.to_string(), v.clone())));
+                output.extend(reservoir.into_iter().map(|v| (Key::clone(key), v.clone())));
             }
         }
+    }
+}
+
+/// The sampling job's map-side combiner: a LIMIT push-down. No more than
+/// `k` values can ever contribute to the final sample, so anything past
+/// the first `k` pairs a map task emits is dead weight in the shuffle.
+/// [`SamplingMapper`] already caps its own emission at `k`, so for the
+/// standard sampling job this combiner is a behaviour-preserving no-op —
+/// it exists to guard uncapped mappers (and to demonstrate the combiner
+/// plumbing end to end; see `benches/shuffle.rs`).
+#[derive(Debug, Clone)]
+pub struct SampleCombiner {
+    k: u64,
+}
+
+impl SampleCombiner {
+    /// Keep at most `k` pairs per map task.
+    pub fn new(k: u64) -> Self {
+        assert!(k > 0, "sample size must be positive");
+        SampleCombiner { k }
+    }
+}
+
+impl Combiner for SampleCombiner {
+    fn combine(&self, mut pairs: Vec<(Key, Record)>) -> Vec<(Key, Record)> {
+        pairs.truncate(self.k as usize);
+        pairs
     }
 }
 
@@ -196,7 +225,7 @@ mod tests {
         let out = m.run(&full_split(1_000, 17, 3));
         assert_eq!(out.pairs.len(), 17);
         assert_eq!(out.records_read, 1_000, "Algorithm 1 scans the whole split");
-        assert!(out.pairs.iter().all(|(k, _)| k == DUMMY_KEY));
+        assert!(out.pairs.iter().all(|(k, _)| &**k == DUMMY_KEY));
         assert!(out.pairs.iter().all(|(_, r)| m.predicate().eval(r)));
     }
 
@@ -241,7 +270,7 @@ mod tests {
     fn reduce_passes_small_lists_through() {
         let r = SamplingReducer::new(10, SampleMode::FirstK);
         let mut out = Vec::new();
-        r.reduce(DUMMY_KEY, &recs(4), &mut out);
+        r.reduce(&Key::from(DUMMY_KEY),&recs(4), &mut out);
         assert_eq!(out.len(), 4);
     }
 
@@ -249,7 +278,7 @@ mod tests {
     fn reduce_first_k_takes_a_prefix() {
         let r = SamplingReducer::new(3, SampleMode::FirstK);
         let mut out = Vec::new();
-        r.reduce(DUMMY_KEY, &recs(10), &mut out);
+        r.reduce(&Key::from(DUMMY_KEY),&recs(10), &mut out);
         let got: Vec<i64> = out
             .iter()
             .map(|(_, rec)| match rec.get(0) {
@@ -266,14 +295,28 @@ mod tests {
         let values = recs(100);
         let mut a = Vec::new();
         let mut b = Vec::new();
-        r.reduce(DUMMY_KEY, &values, &mut a);
-        r.reduce(DUMMY_KEY, &values, &mut b);
+        r.reduce(&Key::from(DUMMY_KEY),&values, &mut a);
+        r.reduce(&Key::from(DUMMY_KEY),&values, &mut b);
         assert_eq!(a.len(), 5);
         assert_eq!(a, b, "same seed, same sample");
         let r2 = SamplingReducer::new(5, SampleMode::RandomK { seed: 10 });
         let mut c = Vec::new();
-        r2.reduce(DUMMY_KEY, &values, &mut c);
+        r2.reduce(&Key::from(DUMMY_KEY),&values, &mut c);
         assert_ne!(a, c, "different seed, different sample");
+    }
+
+    #[test]
+    fn combiner_truncates_to_k_and_keeps_prefix_order() {
+        let c = SampleCombiner::new(3);
+        let key = Key::from(DUMMY_KEY);
+        let pairs: Vec<(Key, Record)> = recs(10)
+            .into_iter()
+            .map(|r| (Key::clone(&key), r))
+            .collect();
+        let out = c.combine(pairs.clone());
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[..], pairs[..3]);
+        assert_eq!(c.combine(pairs[..2].to_vec()).len(), 2, "short lists pass");
     }
 
     #[test]
@@ -284,7 +327,7 @@ mod tests {
         for seed in 0..4_000 {
             let r = SamplingReducer::new(1, SampleMode::RandomK { seed });
             let mut out = Vec::new();
-            r.reduce(DUMMY_KEY, &values, &mut out);
+            r.reduce(&Key::from(DUMMY_KEY),&values, &mut out);
             let Value::Int(v) = out[0].1.get(0) else {
                 panic!()
             };

@@ -12,7 +12,7 @@ use incmr_mapreduce::{
 
 use crate::dynamic_driver::DynamicDriver;
 use crate::policy::Policy;
-use crate::sampling::{SampleMode, SamplingMapper, SamplingReducer};
+use crate::sampling::{SampleCombiner, SampleMode, SamplingMapper, SamplingReducer};
 use crate::sampling_provider::SamplingInputProvider;
 use crate::scan::ScanMapper;
 
@@ -79,6 +79,7 @@ pub fn build_sampling_job_with(
         .reduces(1)
         .input(DatasetInputFormat::new(Arc::clone(dataset), scan_mode))
         .mapper(SamplingMapper::with_projection(predicate, k, projection))
+        .combiner(SampleCombiner::new(k))
         .reducer(SamplingReducer::new(k, sample_mode))
         .build();
     let blocks: Vec<_> = dataset.splits().iter().map(|p| p.block).collect();
@@ -117,6 +118,7 @@ pub fn build_adaptive_sampling_job(
         .reduces(1)
         .input(DatasetInputFormat::new(Arc::clone(dataset), scan_mode))
         .mapper(SamplingMapper::new(predicate, k))
+        .combiner(SampleCombiner::new(k))
         .reducer(SamplingReducer::new(k, sample_mode))
         .build();
     let blocks: Vec<_> = dataset.splits().iter().map(|p| p.block).collect();

@@ -9,7 +9,7 @@
 //! the simulator without holding 300k records in memory.
 
 use incmr_data::{Predicate, Record};
-use incmr_mapreduce::{MapResult, Mapper, SplitData};
+use incmr_mapreduce::{Key, MapResult, Mapper, SplitData};
 
 /// A select-project mapper: `SELECT columns FROM t WHERE predicate`.
 #[derive(Debug, Clone)]
@@ -45,7 +45,7 @@ impl ScanMapper {
                 pairs: matches
                     .iter()
                     .enumerate()
-                    .map(|(i, r)| (format!("r{i}"), self.project(r)))
+                    .map(|(i, r)| (Key::from(format!("r{i}")), self.project(r)))
                     .collect(),
                 records_read: total,
                 ..MapResult::default()

@@ -16,7 +16,7 @@
 //! plans.
 
 use incmr_data::{Predicate, Record, Value};
-use incmr_mapreduce::{MapResult, Mapper, Reducer, SplitData};
+use incmr_mapreduce::{Key, MapResult, Mapper, Reducer, SplitData};
 
 use crate::ast::AggFunc;
 
@@ -164,7 +164,7 @@ impl Mapper for AggMapper {
             }
         }
         MapResult {
-            pairs: vec![(AGG_KEY.to_string(), encode(&partials))],
+            pairs: vec![(Key::from(AGG_KEY), encode(&partials))],
             records_read,
             ..MapResult::default()
         }
@@ -186,7 +186,7 @@ impl AggReducer {
 }
 
 impl Reducer for AggReducer {
-    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>) {
+    fn reduce(&self, key: &Key, values: &[Record], output: &mut Vec<(Key, Record)>) {
         let mut totals: Vec<Partial> = self
             .aggs
             .iter()
@@ -205,7 +205,7 @@ impl Reducer for AggReducer {
             .zip(&self.aggs)
             .map(|(p, a)| p.finish(a.func))
             .collect();
-        output.push((key.to_string(), Record::new(finals)));
+        output.push((Key::clone(key), Record::new(finals)));
     }
 }
 
@@ -254,7 +254,7 @@ mod tests {
         let reducer = AggReducer::new(aggs());
         let mut rows = Vec::new();
         let partials = vec![out_a.pairs[0].1.clone(), out_b.pairs[0].1.clone()];
-        reducer.reduce(AGG_KEY, &partials, &mut rows);
+        reducer.reduce(&Key::from(AGG_KEY),&partials, &mut rows);
         assert_eq!(rows.len(), 1);
         let row = &rows[0].1;
         assert_eq!(row.get(0), &Value::Int(3)); // COUNT(*)
@@ -289,7 +289,7 @@ mod tests {
             column: None,
         }]);
         let mut rows = Vec::new();
-        reducer.reduce(AGG_KEY, &[out.pairs[0].1.clone()], &mut rows);
+        reducer.reduce(&Key::from(AGG_KEY),&[out.pairs[0].1.clone()], &mut rows);
         assert_eq!(rows[0].1.get(0), &Value::Int(2));
     }
 
@@ -299,7 +299,7 @@ mod tests {
         let out = mapper.run(&SplitData::Records(vec![rec(1, 1.0)]));
         let reducer = AggReducer::new(aggs());
         let mut rows = Vec::new();
-        reducer.reduce(AGG_KEY, &[out.pairs[0].1.clone()], &mut rows);
+        reducer.reduce(&Key::from(AGG_KEY),&[out.pairs[0].1.clone()], &mut rows);
         let row = &rows[0].1;
         assert_eq!(row.get(0), &Value::Int(0));
         assert_eq!(row.get(1), &Value::Float(0.0));

@@ -23,6 +23,10 @@ pub mod keys {
     pub const SAMPLING_K: &str = "sampling.size.k";
     /// Number of reduce tasks (the sampling job uses 1).
     pub const NUM_REDUCE_TASKS: &str = "mapred.reduce.tasks";
+    /// Type name of the map-side combiner, when one is set (mirrors
+    /// Hadoop's `mapred.combiner.class`; informational — the actual
+    /// combiner travels in the `JobSpec`).
+    pub const COMBINER_CLASS: &str = "mapred.combiner.class";
 }
 
 /// A job's configuration: an ordered string map with typed accessors.

@@ -12,16 +12,25 @@
 //! predicate-matching ones (see the `incmr-data::generator` docs for why
 //! the two are interchangeable).
 //!
-//! All three traits are `Send + Sync`: the runtime's data plane executes
-//! map-task record work on a worker pool (see `crate::parallel`), so user
-//! logic must be shareable across threads. Implementations take `&self` and
-//! the built-ins hold only immutable state, so this costs nothing in
-//! practice.
+//! All traits here are `Send + Sync`: the runtime's data plane executes
+//! map- and reduce-task record work on a persistent worker pool (see
+//! `crate::parallel`), so user logic must be shareable across threads.
+//! Implementations take `&self` and the built-ins hold only immutable
+//! state, so this costs nothing in practice.
+//!
+//! Keys are interned as [`Key`] (`Arc<str>`) end-to-end — mappers typically
+//! emit many pairs under few distinct keys (the sampling job uses a single
+//! dummy key), so sharing one allocation per distinct key instead of one
+//! `String` per pair removes the dominant allocation on the shuffle path.
 
 use std::sync::Arc;
 
 use incmr_data::{Dataset, Record, SplitGenerator};
 use incmr_dfs::BlockId;
+
+/// An interned map-output key. Cloning is a reference-count bump, so a
+/// mapper emitting a million pairs under one key performs one allocation.
+pub type Key = Arc<str>;
 
 /// The contents of one input split as handed to a mapper.
 #[derive(Debug, Clone)]
@@ -108,7 +117,7 @@ impl InputFormat for DatasetInputFormat {
 #[derive(Debug, Clone, Default)]
 pub struct MapResult {
     /// Emitted `(key, value)` pairs.
-    pub pairs: Vec<(String, Record)>,
+    pub pairs: Vec<(Key, Record)>,
     /// Records scanned (feeds selectivity estimation).
     pub records_read: u64,
     /// Output records accounted but not materialised.
@@ -141,11 +150,27 @@ pub trait Mapper: Send + Sync {
     fn run(&self, data: &SplitData) -> MapResult;
 }
 
+/// Optional map-side aggregation, Hadoop's classic combiner: folds one map
+/// task's emitted pairs *before* they are partitioned and shuffled. Runs on
+/// the data-plane worker right after the mapper, so whatever it removes is
+/// never materialised, partitioned, or counted as shuffle volume.
+///
+/// The contract matches Hadoop's: a combiner must be an optimisation only.
+/// The reducer sees combined pairs in emission order, so for any job output
+/// to remain well-defined the combiner must preserve the reducer's result
+/// (e.g. pre-truncate for a LIMIT, pre-sum for a sum). The framework does
+/// not verify this.
+pub trait Combiner: Send + Sync {
+    /// Fold one map task's output. Called at most once per map attempt,
+    /// with pairs in emission order; returns the pairs to shuffle.
+    fn combine(&self, pairs: Vec<(Key, Record)>) -> Vec<(Key, Record)>;
+}
+
 /// User reduce logic. Invoked once per distinct key with all of that key's
 /// values, in map-completion order.
 pub trait Reducer: Send + Sync {
     /// Produce output pairs for one key group.
-    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>);
+    fn reduce(&self, key: &Key, values: &[Record], output: &mut Vec<(Key, Record)>);
 }
 
 /// The identity reducer: passes every value through unchanged.
@@ -153,8 +178,8 @@ pub trait Reducer: Send + Sync {
 pub struct IdentityReducer;
 
 impl Reducer for IdentityReducer {
-    fn reduce(&self, key: &str, values: &[Record], output: &mut Vec<(String, Record)>) {
-        output.extend(values.iter().map(|v| (key.to_string(), v.clone())));
+    fn reduce(&self, key: &Key, values: &[Record], output: &mut Vec<(Key, Record)>) {
+        output.extend(values.iter().map(|v| (Key::clone(key), v.clone())));
     }
 }
 
@@ -218,8 +243,8 @@ mod tests {
             Record::new(vec![Value::Int(2)]),
         ];
         let mut out = Vec::new();
-        r.reduce("k", &vals, &mut out);
+        r.reduce(&Key::from("k"), &vals, &mut out);
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|(k, _)| k == "k"));
+        assert!(out.iter().all(|(k, _)| &**k == "k"));
     }
 }

@@ -16,7 +16,7 @@ use incmr_simkit::SimDuration;
 
 use crate::cluster::ClusterStatus;
 use crate::conf::{keys, JobConf};
-use crate::exec::{IdentityReducer, InputFormat, Mapper, Reducer};
+use crate::exec::{Combiner, IdentityReducer, InputFormat, Key, Mapper, Reducer};
 use incmr_data::Record;
 
 /// Identifier of a submitted job.
@@ -54,19 +54,23 @@ pub struct JobSpec {
     pub input_format: Arc<dyn InputFormat>,
     /// Map logic.
     pub mapper: Arc<dyn Mapper>,
+    /// Optional map-side aggregation (Hadoop's combiner), applied to each
+    /// map task's output on the data plane before partitioning.
+    pub combiner: Option<Arc<dyn Combiner>>,
     /// Reduce logic.
     pub reducer: Arc<dyn Reducer>,
 }
 
 impl JobSpec {
     /// Start building a job spec. Input format and mapper are mandatory;
-    /// the configuration defaults to empty and the reducer to
-    /// [`IdentityReducer`].
+    /// the configuration defaults to empty, the combiner to none, and the
+    /// reducer to [`IdentityReducer`].
     pub fn builder() -> JobSpecBuilder {
         JobSpecBuilder {
             conf: JobConf::new(),
             input_format: None,
             mapper: None,
+            combiner: None,
             reducer: Arc::new(IdentityReducer),
         }
     }
@@ -77,6 +81,7 @@ pub struct JobSpecBuilder {
     conf: JobConf,
     input_format: Option<Arc<dyn InputFormat>>,
     mapper: Option<Arc<dyn Mapper>>,
+    combiner: Option<Arc<dyn Combiner>>,
     reducer: Arc<dyn Reducer>,
 }
 
@@ -117,6 +122,15 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Map-side combiner (defaults to none). Also records the combiner
+    /// under [`keys::COMBINER_CLASS`] for observability, mirroring
+    /// Hadoop's `mapred.combiner.class`.
+    pub fn combiner(mut self, combiner: impl Combiner + 'static) -> Self {
+        self.conf.set(keys::COMBINER_CLASS, std::any::type_name_of_val(&combiner));
+        self.combiner = Some(Arc::new(combiner));
+        self
+    }
+
     /// Reduce logic (defaults to [`IdentityReducer`]).
     pub fn reducer(mut self, reducer: impl Reducer + 'static) -> Self {
         self.reducer = Arc::new(reducer);
@@ -141,6 +155,7 @@ impl JobSpecBuilder {
                 .input_format
                 .expect("JobSpec::builder requires .input(...)"),
             mapper: self.mapper.expect("JobSpec::builder requires .mapper(...)"),
+            combiner: self.combiner,
             reducer: self.reducer,
         }
     }
@@ -276,7 +291,7 @@ pub struct JobResult {
     /// `output` is empty in that case.
     pub failed: bool,
     /// Final reduce output.
-    pub output: Vec<(String, Record)>,
+    pub output: Vec<(Key, Record)>,
 }
 
 impl JobResult {
@@ -351,10 +366,45 @@ mod tests {
             .build();
         assert_eq!(spec.conf.get(keys::JOB_NAME), Some("t"));
         assert_eq!(spec.conf.get(keys::NUM_REDUCE_TASKS), Some("3"));
-        // Default reducer is the identity.
+        // Default reducer is the identity; default combiner is none.
         let mut out = Vec::new();
-        spec.reducer.reduce("k", &[], &mut out);
+        spec.reducer.reduce(&Key::from("k"), &[], &mut out);
         assert!(out.is_empty());
+        assert!(spec.combiner.is_none());
+        assert_eq!(spec.conf.get(keys::COMBINER_CLASS), None);
+    }
+
+    #[test]
+    fn builder_records_combiner_class() {
+        struct NullInput;
+        impl InputFormat for NullInput {
+            fn read(&self, _block: BlockId) -> crate::exec::SplitData {
+                crate::exec::SplitData::Records(vec![])
+            }
+        }
+        struct NullMapper;
+        impl Mapper for NullMapper {
+            fn run(&self, _data: &crate::exec::SplitData) -> crate::exec::MapResult {
+                crate::exec::MapResult::default()
+            }
+        }
+        struct Passthrough;
+        impl Combiner for Passthrough {
+            fn combine(&self, pairs: Vec<(Key, Record)>) -> Vec<(Key, Record)> {
+                pairs
+            }
+        }
+        let spec = JobSpec::builder()
+            .input(NullInput)
+            .mapper(NullMapper)
+            .combiner(Passthrough)
+            .build();
+        assert!(spec.combiner.is_some());
+        assert!(spec
+            .conf
+            .get(keys::COMBINER_CLASS)
+            .expect("combiner class recorded")
+            .contains("Passthrough"));
     }
 
     #[test]

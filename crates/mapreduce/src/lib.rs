@@ -34,23 +34,27 @@ pub mod metrics;
 pub mod parallel;
 pub mod runtime;
 pub mod scheduler;
+pub mod shuffle;
 pub mod trace;
 
 pub use cluster::{ClusterConfig, ClusterStatus, Parallelism};
 pub use conf::{keys, JobConf};
 pub use cost::CostModel;
 pub use exec::{
-    DatasetInputFormat, IdentityReducer, InputFormat, MapResult, Mapper, Reducer, ScanMode,
-    SplitData,
+    Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, MapResult, Mapper, Reducer,
+    ScanMode, SplitData,
 };
 pub use job::{
     EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec,
     JobSpecBuilder, StaticDriver, TaskId,
 };
-pub use metrics::{ClusterMetrics, MetricsReport};
-pub use parallel::{MapUnit, ParallelExecutor};
+pub use metrics::{ClusterMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics};
+pub use parallel::{
+    MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle, WorkUnit,
+};
 pub use runtime::{FaultPlan, MrRuntime, MATERIALIZE_CAP_KEY};
 pub use scheduler::{FairScheduler, FifoScheduler, TaskScheduler};
+pub use shuffle::{fnv1a, partition_of, PartitionBuffer, PartitionedPairs, ShuffleState};
 pub use trace::{job_timeline, render_timeline, JobTimeline, TraceEvent, TraceKind};
 
 /// One-line import for framework users: `use incmr_mapreduce::prelude::*;`
@@ -60,8 +64,8 @@ pub mod prelude {
     pub use crate::conf::{keys, JobConf};
     pub use crate::cost::CostModel;
     pub use crate::exec::{
-        DatasetInputFormat, IdentityReducer, InputFormat, MapResult, Mapper, Reducer, ScanMode,
-        SplitData,
+        Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, MapResult, Mapper,
+        Reducer, ScanMode, SplitData,
     };
     pub use crate::job::{
         EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec,
@@ -84,7 +88,7 @@ mod tests {
 
     use crate::cluster::ClusterConfig;
     use crate::cost::CostModel;
-    use crate::exec::{DatasetInputFormat, MapResult, Mapper, ScanMode, SplitData};
+    use crate::exec::{DatasetInputFormat, Key, MapResult, Mapper, ScanMode, SplitData};
     use crate::job::{EvalContext, GrowthDirective, GrowthDriver, JobSpec, StaticDriver};
     use crate::runtime::MrRuntime;
     use crate::scheduler::{FairScheduler, FifoScheduler};
@@ -100,14 +104,17 @@ mod tests {
                 SplitData::Planted {
                     total_records,
                     matches,
-                } => MapResult {
-                    pairs: matches
-                        .iter()
-                        .map(|r| ("k".to_string(), r.clone()))
-                        .collect(),
-                    records_read: *total_records,
-                    ..MapResult::default()
-                },
+                } => {
+                    let key = Key::from("k");
+                    MapResult {
+                        pairs: matches
+                            .iter()
+                            .map(|r| (Key::clone(&key), r.clone()))
+                            .collect(),
+                        records_read: *total_records,
+                        ..MapResult::default()
+                    }
+                }
                 SplitData::Records(rs) => MapResult {
                     pairs: vec![],
                     records_read: rs.len() as u64,
@@ -363,11 +370,12 @@ mod tests {
                 let SplitData::Records(rs) = data else {
                     panic!("expected full mode")
                 };
+                let key = Key::from("k");
                 MapResult {
                     pairs: rs
                         .iter()
                         .filter(|r| self.pred.eval(r))
-                        .map(|r| ("k".to_string(), r.clone()))
+                        .map(|r| (Key::clone(&key), r.clone()))
                         .collect(),
                     records_read: rs.len() as u64,
                     ..MapResult::default()
@@ -517,7 +525,7 @@ mod tests {
                 pairs: matches
                     .iter()
                     .enumerate()
-                    .map(|(i, r)| (format!("key{}", i % 7), r.clone()))
+                    .map(|(i, r)| (Key::from(format!("key{}", i % 7)), r.clone()))
                     .collect(),
                 records_read: *total_records,
                 ..MapResult::default()
@@ -546,7 +554,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         let mut last: Option<&str> = None;
         for (k, _) in &r.output {
-            if last != Some(k.as_str()) {
+            if last != Some(&**k) {
                 assert!(seen.insert(k.clone()), "key {k} split across reduce groups");
                 last = Some(k);
             }
@@ -710,7 +718,77 @@ mod tests {
         rt.run_until_idle();
         let out = &rt.job_result(id).output;
         assert_eq!(out.len(), 2);
-        assert_eq!(out[0].0, "b", "first-seen key reduces first");
-        assert_eq!(out[1].0, "a");
+        assert_eq!(&*out[0].0, "b", "first-seen key reduces first");
+        assert_eq!(&*out[1].0, "a");
+    }
+
+    /// A combiner keeping at most `limit` pairs per map task.
+    struct TruncateCombiner {
+        limit: usize,
+    }
+    impl crate::exec::Combiner for TruncateCombiner {
+        fn combine(&self, mut pairs: Vec<(Key, Record)>) -> Vec<(Key, Record)> {
+            pairs.truncate(self.limit);
+            pairs
+        }
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_and_is_traced() {
+        use crate::trace::TraceKind;
+        // 12 splits; the combiner keeps 2 pairs per map task.
+        let (mut rt, ds) = small_world(12, 20_000);
+        rt.enable_tracing();
+        let (mut spec, driver) = static_job(&ds);
+        spec.combiner = Some(Arc::new(TruncateCombiner { limit: 2 }));
+        let id = rt.submit(spec, driver);
+        rt.run_until_idle();
+        let r = rt.job_result(id);
+        assert_eq!(r.output.len(), 24, "2 survivors × 12 maps");
+        assert_eq!(
+            r.map_output_records, 24,
+            "post-combine records are what the job accounts"
+        );
+        let shuffle = rt.metrics().shuffle();
+        assert_eq!(shuffle.combiner_input_records, ds.total_matching());
+        assert_eq!(shuffle.combiner_output_records, 24);
+        let trace = rt.take_trace();
+        let ready = trace
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceKind::ShuffleReady {
+                    combiner_in,
+                    combiner_out,
+                    partitions,
+                    ..
+                } => Some((combiner_in, combiner_out, partitions)),
+                _ => None,
+            })
+            .expect("shuffle-ready event traced");
+        assert_eq!(ready, (ds.total_matching(), 24, 1));
+    }
+
+    #[test]
+    fn combiner_composes_with_materialize_cap() {
+        let (mut rt, ds) = small_world(12, 20_000);
+        let (mut spec, driver) = static_job(&ds);
+        spec.combiner = Some(Arc::new(TruncateCombiner { limit: 3 }));
+        spec.conf.set(crate::MATERIALIZE_CAP_KEY, 5);
+        let id = rt.submit(spec, driver);
+        rt.run_until_idle();
+        let r = rt.job_result(id);
+        assert_eq!(r.output.len(), 5, "cap applies after the combiner");
+        assert_eq!(r.map_output_records, 36, "3 survivors × 12 maps counted");
+    }
+
+    #[test]
+    fn host_phase_timers_observe_data_plane_work() {
+        let (mut rt, ds) = small_world(8, 2_000);
+        let (spec, driver) = static_job(&ds);
+        rt.submit(spec, driver);
+        rt.run_until_idle();
+        let host = rt.metrics().host_phase_nanos();
+        assert!(host.map_ns > 0, "map units timed");
+        assert!(host.reduce_ns > 0, "reduce units timed");
     }
 }

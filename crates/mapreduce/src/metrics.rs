@@ -3,9 +3,62 @@
 //! and disk reads (Kbs/sec) at 30 second intervals on each node of the
 //! cluster … averaged over the 40 cores and 40 disks" (Section V-D), plus
 //! the locality % and slot-occupancy % measurements of Section V-F.
+//!
+//! Two extra counter families instrument the streaming shuffle:
+//! [`ShuffleMetrics`] (deterministic record/byte counters — combiner
+//! effect and partition skew) and [`HostPhaseNanos`] (host wall-clock
+//! spent on the data plane per phase). Host timings never feed the trace
+//! or any simulated quantity — they vary run to run and across thread
+//! counts, while traces must not.
 
 use incmr_simkit::stats::{Sampled, TimeWeighted};
 use incmr_simkit::{SimDuration, SimTime};
+
+/// Deterministic shuffle counters, aggregated across jobs whose shuffle
+/// closed inside the metrics window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShuffleMetrics {
+    /// Jobs whose shuffle completed (reduce phase began).
+    pub jobs: u64,
+    /// Records fed to map-side combiners (0 for jobs without one).
+    pub combiner_input_records: u64,
+    /// Records surviving map-side combiners.
+    pub combiner_output_records: u64,
+    /// Largest single-partition modeled byte share seen in any job.
+    pub max_partition_bytes: u64,
+    /// Smallest single-partition modeled byte share seen in any job.
+    pub min_partition_bytes: u64,
+}
+
+impl ShuffleMetrics {
+    /// Records the combiner removed (`input − output`).
+    pub fn combined_away(&self) -> u64 {
+        self.combiner_input_records
+            .saturating_sub(self.combiner_output_records)
+    }
+
+    /// Max/min partition byte ratio — 1.0 means perfectly even partitions.
+    /// Returns `None` until a job with nonempty partitions is recorded.
+    pub fn skew_ratio(&self) -> Option<f64> {
+        (self.min_partition_bytes > 0)
+            .then(|| self.max_partition_bytes as f64 / self.min_partition_bytes as f64)
+    }
+}
+
+/// Host-side wall-clock nanoseconds spent on data-plane work, by phase.
+/// Pure observability: these depend on the host and thread count, so they
+/// are kept out of traces and all simulated accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostPhaseNanos {
+    /// Inside map units (read + map + combine + partition), summed across
+    /// workers.
+    pub map_ns: u64,
+    /// Control-plane time merging completed maps into shuffle buffers.
+    pub shuffle_merge_ns: u64,
+    /// Inside reduce units (user reducer over groups), summed across
+    /// workers.
+    pub reduce_ns: u64,
+}
 
 /// Collects resource-usage series during a run.
 #[derive(Debug, Clone)]
@@ -19,6 +72,8 @@ pub struct ClusterMetrics {
     total_slots: u32,
     local_assignments: u64,
     total_assignments: u64,
+    shuffle: ShuffleMetrics,
+    host: HostPhaseNanos,
 }
 
 /// Aggregated report at the end of a run.
@@ -54,6 +109,8 @@ impl ClusterMetrics {
             total_slots,
             local_assignments: 0,
             total_assignments: 0,
+            shuffle: ShuffleMetrics::default(),
+            host: HostPhaseNanos::default(),
         }
     }
 
@@ -80,6 +137,54 @@ impl ClusterMetrics {
     /// Number of assignments recorded so far.
     pub fn assignments(&self) -> u64 {
         self.total_assignments
+    }
+
+    /// Record one job's closed shuffle: combiner totals and the modeled
+    /// byte share of its largest and smallest partitions.
+    pub fn record_shuffle(
+        &mut self,
+        combiner_input_records: u64,
+        combiner_output_records: u64,
+        max_partition_bytes: u64,
+        min_partition_bytes: u64,
+    ) {
+        let s = &mut self.shuffle;
+        s.combiner_input_records += combiner_input_records;
+        s.combiner_output_records += combiner_output_records;
+        s.max_partition_bytes = s.max_partition_bytes.max(max_partition_bytes);
+        s.min_partition_bytes = if s.jobs == 0 {
+            min_partition_bytes
+        } else {
+            s.min_partition_bytes.min(min_partition_bytes)
+        };
+        s.jobs += 1;
+    }
+
+    /// Shuffle counters accumulated so far.
+    pub fn shuffle(&self) -> ShuffleMetrics {
+        self.shuffle
+    }
+
+    /// Add host nanoseconds spent inside a map unit.
+    pub fn add_host_map_ns(&mut self, ns: u64) {
+        self.host.map_ns += ns;
+    }
+
+    /// Add host nanoseconds spent merging a map's output into the shuffle
+    /// buffers.
+    pub fn add_host_shuffle_merge_ns(&mut self, ns: u64) {
+        self.host.shuffle_merge_ns += ns;
+    }
+
+    /// Add host nanoseconds spent inside a reduce unit.
+    pub fn add_host_reduce_ns(&mut self, ns: u64) {
+        self.host.reduce_ns += ns;
+    }
+
+    /// Host data-plane time by phase (observability only — nondeterministic
+    /// across hosts and thread counts by nature).
+    pub fn host_phase_nanos(&self) -> HostPhaseNanos {
+        self.host
     }
 
     /// Produce the aggregate report as of `now`.
@@ -143,6 +248,39 @@ mod tests {
     fn locality_of_no_assignments_is_zero() {
         let m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
         assert_eq!(m.report(SimTime::from_secs(1)).locality_pct, 0.0);
+    }
+
+    #[test]
+    fn shuffle_counters_aggregate_across_jobs() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        assert_eq!(m.shuffle().skew_ratio(), None);
+        m.record_shuffle(100, 10, 800, 200);
+        m.record_shuffle(50, 50, 1000, 500);
+        let s = m.shuffle();
+        assert_eq!(s.jobs, 2);
+        assert_eq!(s.combiner_input_records, 150);
+        assert_eq!(s.combiner_output_records, 60);
+        assert_eq!(s.combined_away(), 90);
+        assert_eq!(s.max_partition_bytes, 1000);
+        assert_eq!(s.min_partition_bytes, 200);
+        assert!((s.skew_ratio().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_phase_nanos_accumulate() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        m.add_host_map_ns(10);
+        m.add_host_map_ns(5);
+        m.add_host_shuffle_merge_ns(3);
+        m.add_host_reduce_ns(2);
+        assert_eq!(
+            m.host_phase_nanos(),
+            HostPhaseNanos {
+                map_ns: 15,
+                shuffle_merge_ns: 3,
+                reduce_ns: 2
+            }
+        );
     }
 
     #[test]

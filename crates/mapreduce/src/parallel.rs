@@ -1,4 +1,5 @@
-//! The data-plane worker pool: parallel execution of map-task record work.
+//! The data-plane worker pool: parallel execution of map and reduce
+//! record work on persistent workers.
 //!
 //! # Two planes, one clock
 //!
@@ -8,55 +9,306 @@
 //!   schedulers, growth-driver evaluations — stays single-threaded and
 //!   deterministic. Simulated time is a pure function of the seed.
 //! * The **data plane** — `InputFormat::read` + `Mapper::run` for each
-//!   dispatched split — is pure host computation whose *result* feeds the
-//!   simulation but whose *duration on the host* is irrelevant to simulated
-//!   time (task durations come from the cost model, not wall clock).
+//!   dispatched split, combining, partitioning, and `Reducer::reduce` over
+//!   each partition's groups — is pure host computation whose *result*
+//!   feeds the simulation but whose *duration on the host* is irrelevant
+//!   to simulated time (task durations come from the cost model, not wall
+//!   clock).
 //!
-//! That split makes parallelism safe: all map tasks dispatched in one
-//! scheduling step are computed on a worker pool, then their results are
-//! merged back **in assignment order** before the event loop advances. The
-//! event queue therefore sees byte-identical state and ordering at any
-//! thread count — `threads = 8` only changes how fast the host gets there.
-//! `tests/determinism.rs` locks this in.
+//! That split makes parallelism safe: a [`WorkUnit`] is a pure function of
+//! its captured inputs, so the control plane submits units as tasks are
+//! dispatched, lets the event loop race ahead, and joins each unit's
+//! [`UnitHandle`] only at the task's *simulated* completion — always in
+//! scheduler order. The event queue therefore sees byte-identical state
+//! and ordering at any thread count — `threads = 8` only changes how fast
+//! the host gets there. `tests/determinism.rs` locks this in.
+//!
+//! # Pool lifecycle
+//!
+//! Workers are spawned once, lazily, on the first submission that needs
+//! them (never for `threads = 1`, which computes inline — the serial
+//! reference path with zero thread machinery). They block on a shared
+//! channel of boxed jobs and live until the executor is dropped, so a
+//! scheduling wave costs one channel send per unit instead of a
+//! `thread::scope` spawn/join cycle — the per-wave overhead that made
+//! extra threads a net loss on small hosts in the PR 1 `BENCH_scan.json`.
+//! Each unit delivers its result through its own one-shot channel (no
+//! whole-batch `Mutex<Vec<…>>`), so a finished worker never contends with
+//! the others, and results are consumed per-slot in whatever order the
+//! control plane asks for them.
 //!
 //! Within a split there is no further chunking: record generation is a
 //! sequential PRNG stream (see `incmr-data::generator`), so the unit of
-//! parallelism is the split. Wall-clock speedup comes from batches of
-//! splits, which is exactly what heavy `ScanMode::Full` scans produce.
+//! parallelism is the split.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
+use incmr_data::Record;
 use incmr_dfs::BlockId;
 
 use crate::cluster::Parallelism;
-use crate::exec::{InputFormat, MapResult, Mapper};
+use crate::exec::{Combiner, InputFormat, Key, Mapper, Reducer};
+use crate::shuffle::PartitionedPairs;
 
-/// One unit of data-plane work: read a split and run the mapper over it.
+/// A self-contained piece of data-plane work: consumed once, produces a
+/// sendable result. Implementations must be pure functions of their
+/// captured state — the control plane relies on a unit computing the same
+/// output whether it runs inline, immediately, or long after submission.
+pub trait WorkUnit: Send + 'static {
+    /// What the unit produces.
+    type Output: Send + 'static;
+    /// Do the work.
+    fn compute(self) -> Self::Output;
+}
+
+/// One map task's data-plane work: read a split, run the mapper, apply
+/// the optional combiner, and partition the output by reduce task — all
+/// on the worker, so the control plane only merges.
 pub struct MapUnit {
     /// Source of the split's contents.
     pub input_format: Arc<dyn InputFormat>,
     /// Map logic to apply.
     pub mapper: Arc<dyn Mapper>,
+    /// Optional map-side aggregation applied before partitioning.
+    pub combiner: Option<Arc<dyn Combiner>>,
     /// The split to process.
     pub block: BlockId,
+    /// How many reduce partitions to split the output into.
+    pub reduce_tasks: u32,
 }
 
-impl MapUnit {
-    fn compute(&self) -> MapResult {
-        let data = self.input_format.read(self.block);
-        self.mapper.run(&data)
+impl Clone for MapUnit {
+    fn clone(&self) -> Self {
+        MapUnit {
+            input_format: Arc::clone(&self.input_format),
+            mapper: Arc::clone(&self.mapper),
+            combiner: self.combiner.as_ref().map(Arc::clone),
+            block: self.block,
+            reduce_tasks: self.reduce_tasks,
+        }
     }
 }
 
-/// Executes batches of [`MapUnit`]s, serially or on scoped worker threads.
+/// Everything a finished map task hands back to the control plane.
+#[derive(Debug, Clone, Default)]
+pub struct MapTaskResult {
+    /// Post-combine output, pre-partitioned by reduce task.
+    pub pairs: PartitionedPairs,
+    /// Records scanned (feeds selectivity estimation).
+    pub records_read: u64,
+    /// Materialised output records (post-combine).
+    pub materialized_records: u64,
+    /// Materialised output bytes (post-combine).
+    pub materialized_bytes: u64,
+    /// Output records accounted but not materialised.
+    pub unmaterialized_outputs: u64,
+    /// Bytes of unmaterialised output (for shuffle-volume modelling).
+    pub unmaterialized_bytes: u64,
+    /// Records fed to the combiner (0 when the job has none).
+    pub combiner_input_records: u64,
+    /// Records surviving the combiner (0 when the job has none).
+    pub combiner_output_records: u64,
+    /// Host nanoseconds spent computing this unit (observability only —
+    /// never feeds simulated time or the trace).
+    pub host_ns: u64,
+}
+
+impl MapTaskResult {
+    /// Total output records, materialised or not (post-combine).
+    pub fn total_outputs(&self) -> u64 {
+        self.materialized_records + self.unmaterialized_outputs
+    }
+
+    /// Total output bytes, materialised or not (post-combine).
+    pub fn total_output_bytes(&self) -> u64 {
+        self.materialized_bytes + self.unmaterialized_bytes
+    }
+}
+
+impl WorkUnit for MapUnit {
+    type Output = MapTaskResult;
+
+    fn compute(self) -> MapTaskResult {
+        let start = Instant::now();
+        let data = self.input_format.read(self.block);
+        let mut result = self.mapper.run(&data);
+        let (combiner_input_records, combiner_output_records) = match &self.combiner {
+            Some(combiner) => {
+                let before = result.pairs.len() as u64;
+                result.pairs = combiner.combine(std::mem::take(&mut result.pairs));
+                (before, result.pairs.len() as u64)
+            }
+            None => (0, 0),
+        };
+        let materialized_records = result.pairs.len() as u64;
+        let materialized_bytes = result
+            .pairs
+            .iter()
+            .map(|(k, v)| k.len() as u64 + v.width())
+            .sum();
+        MapTaskResult {
+            pairs: PartitionedPairs::build(result.pairs, self.reduce_tasks),
+            records_read: result.records_read,
+            materialized_records,
+            materialized_bytes,
+            unmaterialized_outputs: result.unmaterialized_outputs,
+            unmaterialized_bytes: result.unmaterialized_bytes,
+            combiner_input_records,
+            combiner_output_records,
+            host_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// One reduce task's data-plane work: run the user reducer over every key
+/// group of one partition, in first-seen key order.
+pub struct ReduceUnit {
+    /// Reduce logic to apply.
+    pub reducer: Arc<dyn Reducer>,
+    /// Distinct keys in first-seen order.
+    pub key_order: Vec<Key>,
+    /// Values per key, in arrival order.
+    pub groups: HashMap<Key, Vec<Record>>,
+}
+
+/// What a finished reduce task hands back.
+#[derive(Debug, Clone, Default)]
+pub struct ReduceTaskResult {
+    /// The reducer's output pairs, in key-group order.
+    pub output: Vec<(Key, Record)>,
+    /// Host nanoseconds spent computing this unit (observability only).
+    pub host_ns: u64,
+}
+
+impl WorkUnit for ReduceUnit {
+    type Output = ReduceTaskResult;
+
+    fn compute(self) -> ReduceTaskResult {
+        let start = Instant::now();
+        let mut output = Vec::new();
+        for key in &self.key_order {
+            let values = &self.groups[key];
+            self.reducer.reduce(key, values, &mut output);
+        }
+        ReduceTaskResult {
+            output,
+            host_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// A claim on one submitted unit's result.
 ///
-/// Results always come back indexed exactly like the input batch, so
-/// callers can merge them deterministically regardless of which worker
-/// finished first.
-#[derive(Debug, Clone, Copy)]
+/// Serial executors resolve the handle at submission (the unit ran
+/// inline); pooled executors hold the receiving end of the unit's
+/// one-shot result channel. Either way, [`join`](UnitHandle::join) yields
+/// the result exactly once, blocking only if a worker is still computing.
+#[derive(Debug)]
+pub struct UnitHandle<T>(HandleState<T>);
+
+#[derive(Debug)]
+enum HandleState<T> {
+    Ready(T),
+    Pending(mpsc::Receiver<T>),
+}
+
+impl<T> UnitHandle<T> {
+    fn ready(value: T) -> Self {
+        UnitHandle(HandleState::Ready(value))
+    }
+
+    fn pending(rx: mpsc::Receiver<T>) -> Self {
+        UnitHandle(HandleState::Pending(rx))
+    }
+
+    /// Wait for and take the unit's result.
+    pub fn join(self) -> T {
+        match self.0 {
+            HandleState::Ready(value) => value,
+            HandleState::Pending(rx) => rx.recv().expect("data-plane worker delivers its result"),
+        }
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// The persistent workers: spawned once, fed over a shared channel, joined
+/// on drop.
+struct WorkerPool {
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(threads: usize) -> Self {
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("incmr-data-plane-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only while waiting for the next
+                        // job, never while running one.
+                        let job = receiver
+                            .lock()
+                            .expect("data-plane queue never poisoned")
+                            .recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // executor dropped: retire
+                        }
+                    })
+                    .expect("spawn data-plane worker")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    fn execute(&self, job: Job) {
+        self.sender
+            .as_ref()
+            .expect("pool sender live until drop")
+            .send(job)
+            .expect("data-plane workers alive");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.sender.take(); // disconnect: workers drain the queue and exit
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Executes [`WorkUnit`]s, inline (`threads = 1`) or on the persistent
+/// worker pool.
+///
+/// Results come back through per-unit [`UnitHandle`]s, so callers join
+/// them in whatever (deterministic) order the control plane needs,
+/// regardless of which worker finished first.
 pub struct ParallelExecutor {
     threads: usize,
+    pool: Option<WorkerPool>,
+}
+
+impl std::fmt::Debug for ParallelExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelExecutor")
+            .field("threads", &self.threads)
+            .field("pool_spawned", &self.pool.is_some())
+            .finish()
+    }
 }
 
 impl ParallelExecutor {
@@ -64,6 +316,7 @@ impl ParallelExecutor {
     pub fn new(parallelism: Parallelism) -> Self {
         ParallelExecutor {
             threads: parallelism.threads.max(1) as usize,
+            pool: None,
         }
     }
 
@@ -72,46 +325,39 @@ impl ParallelExecutor {
         self.threads
     }
 
-    /// Compute every unit and return the results in input order.
+    /// Submit one unit for computation.
     ///
-    /// With `threads = 1` (or a batch of one) this runs inline with no
-    /// thread machinery at all — the serial reference path.
-    pub fn run(&self, units: &[MapUnit]) -> Vec<MapResult> {
-        if self.threads == 1 || units.len() <= 1 {
-            return units.iter().map(MapUnit::compute).collect();
+    /// With `threads = 1` the unit is computed inline before this returns
+    /// and the handle is already resolved. Otherwise it is queued on the
+    /// pool (spawned on first use) and the handle's `join` blocks until a
+    /// worker delivers the result.
+    pub fn submit<U: WorkUnit>(&mut self, unit: U) -> UnitHandle<U::Output> {
+        if self.threads == 1 {
+            return UnitHandle::ready(unit.compute());
         }
-        let workers = self.threads.min(units.len());
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<MapResult>>> =
-            Mutex::new((0..units.len()).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= units.len() {
-                        break;
-                    }
-                    let result = units[i].compute();
-                    results
-                        .lock()
-                        .expect("worker poisoned results")
-                        .as_mut_slice()[i] = Some(result);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("worker poisoned results")
-            .into_iter()
-            .map(|r| r.expect("every unit computed"))
-            .collect()
+        let threads = self.threads;
+        let pool = self.pool.get_or_insert_with(|| WorkerPool::spawn(threads));
+        let (tx, rx) = mpsc::channel();
+        pool.execute(Box::new(move || {
+            // The control plane may have dropped the handle (failed task
+            // attempt); a closed channel is fine.
+            let _ = tx.send(unit.compute());
+        }));
+        UnitHandle::pending(rx)
+    }
+
+    /// Compute a whole batch and return the results in input order.
+    pub fn run<U: WorkUnit>(&mut self, units: Vec<U>) -> Vec<U::Output> {
+        let handles: Vec<UnitHandle<U::Output>> =
+            units.into_iter().map(|u| self.submit(u)).collect();
+        handles.into_iter().map(UnitHandle::join).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::SplitData;
+    use crate::exec::{MapResult, SplitData};
     use incmr_data::{Record, Value};
 
     /// Yields `block.0` synthetic records for any block.
@@ -135,15 +381,23 @@ mod tests {
             let SplitData::Records(rs) = data else {
                 panic!()
             };
+            let key = Key::from(format!("n{}", rs.len()));
             MapResult {
-                pairs: rs
-                    .iter()
-                    .map(|r| (format!("n{}", rs.len()), r.clone()))
-                    .collect(),
+                pairs: rs.iter().map(|r| (Key::clone(&key), r.clone())).collect(),
                 records_read: rs.len() as u64,
                 unmaterialized_outputs: 0,
                 unmaterialized_bytes: 0,
             }
+        }
+    }
+
+    /// Keeps only the first pair of a task's output.
+    struct FirstOnly;
+
+    impl Combiner for FirstOnly {
+        fn combine(&self, mut pairs: Vec<(Key, Record)>) -> Vec<(Key, Record)> {
+            pairs.truncate(1);
+            pairs
         }
     }
 
@@ -155,21 +409,38 @@ mod tests {
             .map(|&b| MapUnit {
                 input_format: Arc::clone(&input),
                 mapper: Arc::clone(&mapper),
+                combiner: None,
                 block: BlockId(b),
+                reduce_tasks: 1,
             })
             .collect()
+    }
+
+    fn flat_pairs(r: &MapTaskResult) -> Vec<(Key, Record)> {
+        let mut state = crate::shuffle::ShuffleState::new(r.pairs.reduce_tasks() as u32, u64::MAX);
+        state.merge(r.pairs.clone());
+        let mut out = Vec::new();
+        for buffer in state.into_buffers() {
+            let mut groups = buffer.groups;
+            for key in buffer.key_order {
+                for v in groups.remove(&key).unwrap() {
+                    out.push((Key::clone(&key), v));
+                }
+            }
+        }
+        out
     }
 
     #[test]
     fn serial_and_parallel_agree_in_order_and_content() {
         let batch = units(&[5, 0, 17, 3, 9, 12, 1, 8]);
-        let serial = ParallelExecutor::new(Parallelism::SERIAL).run(&batch);
+        let serial = ParallelExecutor::new(Parallelism::SERIAL).run(batch.clone());
         for threads in [2, 4, 8] {
-            let parallel = ParallelExecutor::new(Parallelism::threads(threads)).run(&batch);
+            let parallel = ParallelExecutor::new(Parallelism::threads(threads)).run(batch.clone());
             assert_eq!(serial.len(), parallel.len());
             for (s, p) in serial.iter().zip(&parallel) {
                 assert_eq!(s.records_read, p.records_read);
-                assert_eq!(s.pairs, p.pairs);
+                assert_eq!(flat_pairs(s), flat_pairs(p));
             }
         }
     }
@@ -179,7 +450,7 @@ mod tests {
         // Heavily skewed sizes: late units finish long before unit 0 when
         // run concurrently; order must still match the input.
         let batch = units(&[40_000, 1, 2, 3]);
-        let out = ParallelExecutor::new(Parallelism::threads(4)).run(&batch);
+        let out = ParallelExecutor::new(Parallelism::threads(4)).run(batch);
         assert_eq!(out[0].records_read, 40_000);
         assert_eq!(out[1].records_read, 1);
         assert_eq!(out[2].records_read, 2);
@@ -189,13 +460,66 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(ParallelExecutor::new(Parallelism::threads(8))
-            .run(&[])
+            .run(Vec::<MapUnit>::new())
             .is_empty());
     }
 
     #[test]
     fn more_threads_than_units_is_fine() {
-        let out = ParallelExecutor::new(Parallelism::threads(64)).run(&units(&[2, 4]));
+        let out = ParallelExecutor::new(Parallelism::threads(64)).run(units(&[2, 4]));
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn pool_survives_across_batches() {
+        let mut exec = ParallelExecutor::new(Parallelism::threads(4));
+        for round in 0..5 {
+            let out = exec.run(units(&[round, round + 1, round + 2]));
+            assert_eq!(out[0].records_read, u64::from(round));
+        }
+    }
+
+    #[test]
+    fn combiner_runs_on_the_worker_and_shrinks_accounting() {
+        let mut batch = units(&[10]);
+        batch[0].combiner = Some(Arc::new(FirstOnly));
+        let out = ParallelExecutor::new(Parallelism::SERIAL).run(batch);
+        assert_eq!(out[0].combiner_input_records, 10);
+        assert_eq!(out[0].combiner_output_records, 1);
+        assert_eq!(out[0].materialized_records, 1);
+        assert_eq!(out[0].total_outputs(), 1);
+        assert_eq!(out[0].pairs.len(), 1);
+    }
+
+    #[test]
+    fn reduce_unit_runs_groups_in_key_order() {
+        let key_b = Key::from("b");
+        let key_a = Key::from("a");
+        let mut groups: HashMap<Key, Vec<Record>> = HashMap::new();
+        groups.insert(
+            Key::clone(&key_b),
+            vec![Record::new(vec![Value::Int(1)]), Record::new(vec![Value::Int(2)])],
+        );
+        groups.insert(Key::clone(&key_a), vec![Record::new(vec![Value::Int(3)])]);
+        let unit = ReduceUnit {
+            reducer: Arc::new(crate::exec::IdentityReducer),
+            key_order: vec![key_b, key_a],
+            groups,
+        };
+        let result = ParallelExecutor::new(Parallelism::threads(2)).run(vec![unit]);
+        let keys: Vec<&str> = result[0].output.iter().map(|(k, _)| &**k).collect();
+        assert_eq!(keys, ["b", "b", "a"]);
+    }
+
+    #[test]
+    fn dropped_handles_do_not_wedge_the_pool() {
+        let mut exec = ParallelExecutor::new(Parallelism::threads(2));
+        // Submit and immediately drop (a failed task attempt does this).
+        for unit in units(&[1_000, 1_000]) {
+            drop(exec.submit(unit));
+        }
+        // The pool must still serve later submissions.
+        let out = exec.run(units(&[7]));
+        assert_eq!(out[0].records_read, 7);
     }
 }

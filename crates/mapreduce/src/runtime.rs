@@ -15,13 +15,18 @@
 //! 3. **CPU** — a flow of `records × cost` core-µs on the node's shared
 //!    CPU resource.
 //!
-//! Map *semantics* (the user's mapper over real records) execute eagerly at
-//! dispatch; the stages only decide *when* the results land. Dynamic jobs
-//! are re-evaluated every `EvaluationInterval`; once the driver declares
-//! end-of-input and all scheduled maps finish, the map outputs are hash-
-//! partitioned by key into `mapred.reduce.tasks` reduce tasks (one for the
-//! paper's sampling jobs), which queue for per-node reduce slots and
-//! complete the job when the last one commits.
+//! Map *semantics* (the user's mapper over real records, plus the optional
+//! combiner and the hash partitioning into `mapred.reduce.tasks` buckets)
+//! execute on the data-plane worker pool, submitted at dispatch; the
+//! stages only decide *when* the results land. Each completed map's
+//! pre-partitioned output is merged into the per-reduce shuffle buffers at
+//! its simulated completion (streaming shuffle — see [`crate::shuffle`]),
+//! so entering the reduce phase costs O(`reduce_tasks`). Dynamic jobs are
+//! re-evaluated every `EvaluationInterval`; once the driver declares
+//! end-of-input and all scheduled maps finish, the buffered reduce tasks
+//! (one for the paper's sampling jobs) queue for per-node reduce slots,
+//! run the user reducer on the data plane, and complete the job when the
+//! last one commits.
 //!
 //! Everything — including the schedulers' tie-breaking — is deterministic,
 //! so a run is a pure function of configuration and seeds.
@@ -35,13 +40,14 @@ use incmr_simkit::{EventId, Sim, SimDuration, SimTime};
 use crate::cluster::{ClusterConfig, ClusterStatus};
 use crate::conf::keys;
 use crate::cost::CostModel;
-use crate::exec::MapResult;
+use crate::exec::Key;
 use crate::job::{
     EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, TaskId,
 };
 use crate::metrics::ClusterMetrics;
-use crate::parallel::{MapUnit, ParallelExecutor};
+use crate::parallel::{MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle};
 use crate::scheduler::{SchedJob, SchedView, TaskScheduler};
+use crate::shuffle::ShuffleState;
 use crate::trace::{TraceEvent, TraceKind};
 use incmr_data::Record;
 
@@ -74,7 +80,10 @@ enum TaskState {
 struct TaskEntry {
     block: BlockId,
     state: TaskState,
-    result: Option<MapResult>,
+    /// Claim on the attempt's data-plane result: submitted at dispatch,
+    /// joined at simulated completion. Dropped (not joined) on a failed
+    /// attempt — the next attempt submits afresh.
+    result: Option<UnitHandle<MapTaskResult>>,
     attempts: u32,
 }
 
@@ -85,26 +94,15 @@ enum ReduceState {
     Done,
 }
 
-/// One reduce task: its hash partition of the map outputs plus its modeled
-/// shuffle share.
+/// One reduce task: its streamed-in shuffle partition (see
+/// [`crate::shuffle`]) plus its in-flight data-plane work and output.
 struct ReduceEntry {
     state: ReduceState,
-    key_order: Vec<String>,
-    groups: HashMap<String, Vec<Record>>,
-    shuffle_bytes: u64,
-    input_records: u64,
-    output: Vec<(String, Record)>,
-}
-
-/// FNV-1a — the deterministic key-partitioning hash (Hadoop uses
-/// `key.hashCode() % R`; any stable hash preserves the semantics).
-fn fnv1a(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    buffer: crate::shuffle::PartitionBuffer,
+    /// Claim on the reduce's data-plane result: submitted when the task
+    /// is assigned a slot, joined at its simulated completion.
+    pending: Option<UnitHandle<ReduceTaskResult>>,
+    output: Vec<(Key, Record)>,
 }
 
 /// Fault-injection configuration: each map-task attempt fails with
@@ -148,8 +146,11 @@ struct JobEntry {
     shuffle_bytes: u64,
     local_tasks: u32,
     task_failures: u32,
-    materialize_cap: u64,
-    map_outputs: Vec<(String, Record)>,
+    /// Per-reduce shuffle buffers, merged into incrementally as maps
+    /// complete (bounded by `mapred.job.materialize.cap`).
+    shuffle: ShuffleState,
+    combiner_input_records: u64,
+    combiner_output_records: u64,
     reduce_tasks: u32,
     reduces: Vec<ReduceEntry>,
     reduces_done: u32,
@@ -388,8 +389,9 @@ impl MrRuntime {
             shuffle_bytes: 0,
             local_tasks: 0,
             task_failures: 0,
-            materialize_cap,
-            map_outputs: Vec::new(),
+            shuffle: ShuffleState::new(reduce_tasks, materialize_cap),
+            combiner_input_records: 0,
+            combiner_output_records: 0,
             reduce_tasks,
             reduces: Vec::new(),
             reduces_done: 0,
@@ -484,7 +486,7 @@ impl MrRuntime {
         job.pending_by_node = Vec::new();
         job.known_blocks = HashSet::new();
         job.reduces = Vec::new();
-        job.map_outputs = Vec::new();
+        job.shuffle = ShuffleState::default();
     }
 
     /// Live progress for a job (any phase).
@@ -761,33 +763,34 @@ impl MrRuntime {
                 assert!(seen.insert((a.job, a.task)), "duplicate assignment");
             }
         }
-        // Data plane: compute every assigned task's map work as one batch on
-        // the worker pool, then merge results back in assignment order. The
-        // scheduler fixed that order above, so simulated state and event
-        // ordering are identical at any thread count.
-        let units: Vec<MapUnit> = assignments
-            .iter()
-            .map(|a| {
-                let spec = &self.job(a.job).spec;
+        // Data plane: submit every assigned task's map work (read + map +
+        // combine + partition) to the worker pool in assignment order. The
+        // handles are joined at each task's *simulated* completion, so the
+        // event loop overlaps with host computation; results are pure
+        // functions of the unit, so simulated state and event ordering are
+        // identical at any thread count.
+        for a in assignments {
+            let unit = {
+                let job = self.job(a.job);
                 MapUnit {
-                    input_format: std::sync::Arc::clone(&spec.input_format),
-                    mapper: std::sync::Arc::clone(&spec.mapper),
-                    block: self.job(a.job).tasks[a.task.0 as usize].block,
+                    input_format: std::sync::Arc::clone(&job.spec.input_format),
+                    mapper: std::sync::Arc::clone(&job.spec.mapper),
+                    combiner: job.spec.combiner.clone(),
+                    block: job.tasks[a.task.0 as usize].block,
+                    reduce_tasks: job.reduce_tasks,
                 }
-            })
-            .collect();
-        let results = self.executor.run(&units);
-        for (a, result) in assignments.into_iter().zip(results) {
-            self.dispatch(a.job, a.task, a.node, result);
+            };
+            let handle = self.executor.submit(unit);
+            self.dispatch(a.job, a.task, a.node, handle);
         }
     }
 
-    fn dispatch(&mut self, id: JobId, task: TaskId, node: NodeId, result: MapResult) {
+    fn dispatch(&mut self, id: JobId, task: TaskId, node: NodeId, handle: UnitHandle<MapTaskResult>) {
         let now = self.sim.now();
         let block = self.job(id).tasks[task.0 as usize].block;
         let local = self.namespace.is_local(block, node);
-        // The map function's output was computed up front on the data plane
-        // (see `schedule_with`); the result lands when the modelled stages
+        // The map function's work is already queued on the data plane (see
+        // `schedule_with`); its result is claimed when the modelled stages
         // complete.
         {
             let job = self.job_mut(id);
@@ -800,7 +803,7 @@ impl MrRuntime {
             let entry = &mut job.tasks[task.0 as usize];
             debug_assert_eq!(entry.state, TaskState::Pending);
             entry.state = TaskState::Running { node, local };
-            entry.result = Some(result);
+            entry.result = Some(handle);
             entry.attempts += 1;
             job.running += 1;
         }
@@ -935,7 +938,7 @@ impl MrRuntime {
                 return;
             }
         }
-        let (node, local, result) = {
+        let (node, local, handle) = {
             let job = self.job_mut(id);
             let entry = &mut job.tasks[task.0 as usize];
             let TaskState::Running { node, local } = entry.state else {
@@ -945,15 +948,22 @@ impl MrRuntime {
             (
                 node,
                 local,
-                entry.result.take().expect("result computed at dispatch"),
+                entry.result.take().expect("work submitted at dispatch"),
             )
         };
         if self.job(id).phase == JobPhase::Done {
-            // The job already failed; late attempts just release their slot.
+            // The job already failed; late attempts just release their slot
+            // (dropping the handle — nobody wants the result).
             self.nodes[node.0 as usize].free_slots += 1;
             self.metrics.slots_delta(now, -1.0);
             return;
         }
+        // Claim the data-plane result (blocks only if a worker is still on
+        // it) and merge its pre-partitioned output into the per-reduce
+        // shuffle buffers — the streaming half of the shuffle.
+        let result = handle.join();
+        self.metrics.add_host_map_ns(result.host_ns);
+        let merge_start = std::time::Instant::now();
         {
             let job = self.job_mut(id);
             job.running -= 1;
@@ -961,13 +971,15 @@ impl MrRuntime {
             job.records_processed += result.records_read;
             job.map_output_records += result.total_outputs();
             job.shuffle_bytes += result.total_output_bytes();
+            job.combiner_input_records += result.combiner_input_records;
+            job.combiner_output_records += result.combiner_output_records;
             if local {
                 job.local_tasks += 1;
             }
-            let room = (job.materialize_cap as usize).saturating_sub(job.map_outputs.len());
-            let keep = result.pairs.len().min(room);
-            job.map_outputs.extend(result.pairs.into_iter().take(keep));
+            job.shuffle.merge(result.pairs);
         }
+        self.metrics
+            .add_host_shuffle_merge_ns(merge_start.elapsed().as_nanos() as u64);
         self.nodes[node.0 as usize].free_slots += 1;
         self.metrics.slots_delta(now, -1.0);
         self.record(TraceKind::MapFinished { job: id, task });
@@ -1028,6 +1040,9 @@ impl MrRuntime {
         let job = self.job_mut(id);
         debug_assert!(job.phase != JobPhase::Done);
         job.phase = JobPhase::Done;
+        // Drop any shuffle state already buffered; late attempts see the
+        // Done phase and never merge.
+        job.shuffle = ShuffleState::default();
         job.result = Some(JobResult {
             job: id,
             submit_time: job.submit_time,
@@ -1049,9 +1064,14 @@ impl MrRuntime {
     }
 
     /// Transition to the reduce phase once end-of-input is declared and
-    /// every scheduled map has finished: partition the map outputs by key
-    /// hash into `reduce_tasks` reduce tasks and queue them for reduce
-    /// slots.
+    /// every scheduled map has finished.
+    ///
+    /// The heavy lifting already happened: map output was partitioned on
+    /// the data-plane workers and merged into the per-reduce buffers at
+    /// each map's completion (`finish_map_task`). This step only spreads
+    /// the unmaterialised remainder across partitions, records skew
+    /// statistics, and queues the reduce tasks — O(`reduce_tasks`), no
+    /// map-output pair is visited.
     fn maybe_begin_reduce(&mut self, id: JobId) {
         let job = self.job(id);
         if job.phase != JobPhase::Map
@@ -1064,42 +1084,56 @@ impl MrRuntime {
         let job = self.job_mut(id);
         job.phase = JobPhase::Reduce;
         let r = job.reduce_tasks;
-        let outputs = std::mem::take(&mut job.map_outputs);
-        let mut reduces: Vec<ReduceEntry> = (0..r)
-            .map(|_| ReduceEntry {
+        let buffers = std::mem::take(&mut job.shuffle).into_buffers();
+        debug_assert_eq!(buffers.len(), r as usize);
+        let mut reduces: Vec<ReduceEntry> = buffers
+            .into_iter()
+            .map(|buffer| ReduceEntry {
                 state: ReduceState::Pending,
-                key_order: Vec::new(),
-                groups: HashMap::new(),
-                shuffle_bytes: 0,
-                input_records: 0,
+                buffer,
+                pending: None,
                 output: Vec::new(),
             })
             .collect();
-        // Distribute materialised pairs by key hash, tracking each
-        // partition's exact byte/record share.
-        for (key, value) in outputs {
-            let p = (fnv1a(&key) % r as u64) as usize;
-            let entry = &mut reduces[p];
-            entry.shuffle_bytes += key.len() as u64 + value.width();
-            entry.input_records += 1;
-            let group = entry.groups.entry(key.clone()).or_default();
-            if group.is_empty() {
-                entry.key_order.push(key);
-            }
-            group.push(value);
-        }
         // Unmaterialised output (counts/bytes only) spreads evenly.
-        let materialized_bytes: u64 = reduces.iter().map(|e| e.shuffle_bytes).sum();
-        let materialized_records: u64 = reduces.iter().map(|e| e.input_records).sum();
+        let materialized_bytes: u64 = reduces.iter().map(|e| e.buffer.shuffle_bytes).sum();
+        let materialized_records: u64 = reduces.iter().map(|e| e.buffer.input_records).sum();
         let extra_bytes = job.shuffle_bytes.saturating_sub(materialized_bytes);
         let extra_records = job.map_output_records.saturating_sub(materialized_records);
         for (i, entry) in reduces.iter_mut().enumerate() {
             let i = i as u64;
-            entry.shuffle_bytes += extra_bytes / r as u64 + u64::from(i < extra_bytes % r as u64);
-            entry.input_records +=
+            entry.buffer.shuffle_bytes +=
+                extra_bytes / r as u64 + u64::from(i < extra_bytes % r as u64);
+            entry.buffer.input_records +=
                 extra_records / r as u64 + u64::from(i < extra_records % r as u64);
         }
+        let max_partition_bytes = reduces
+            .iter()
+            .map(|e| e.buffer.shuffle_bytes)
+            .max()
+            .unwrap_or(0);
+        let min_partition_bytes = reduces
+            .iter()
+            .map(|e| e.buffer.shuffle_bytes)
+            .min()
+            .unwrap_or(0);
+        let combiner_in = job.combiner_input_records;
+        let combiner_out = job.combiner_output_records;
         job.reduces = reduces;
+        self.metrics.record_shuffle(
+            combiner_in,
+            combiner_out,
+            max_partition_bytes,
+            min_partition_bytes,
+        );
+        self.record(TraceKind::ShuffleReady {
+            job: id,
+            partitions: r,
+            combiner_in,
+            combiner_out,
+            max_partition_bytes,
+            min_partition_bytes,
+        });
         for i in 0..r {
             self.pending_reduces.push_back((id, i));
         }
@@ -1117,12 +1151,25 @@ impl MrRuntime {
         };
         self.nodes[node as usize].free_reduce_slots -= 1;
         let cost = self.cost;
-        let duration = {
-            let entry = &mut self.job_mut(id).reduces[r as usize];
+        // Submit the partition's record work (the user reducer over its
+        // groups) to the data plane now; the simulated duration below
+        // models the same work, so the handle is ripe by `ReduceDone`.
+        let (duration, unit) = {
+            let job = self.job_mut(id);
+            let reducer = std::sync::Arc::clone(&job.spec.reducer);
+            let entry = &mut job.reduces[r as usize];
             debug_assert_eq!(entry.state, ReduceState::Pending);
             entry.state = ReduceState::Running { node: NodeId(node) };
-            cost.reduce_duration_ms(entry.shuffle_bytes, entry.input_records)
+            let duration = cost.reduce_duration_ms(entry.buffer.shuffle_bytes, entry.buffer.input_records);
+            let unit = ReduceUnit {
+                reducer,
+                key_order: std::mem::take(&mut entry.buffer.key_order),
+                groups: std::mem::take(&mut entry.buffer.groups),
+            };
+            (duration, unit)
         };
+        let handle = self.executor.submit(unit);
+        self.job_mut(id).reduces[r as usize].pending = Some(handle);
         self.record(TraceKind::ReduceStarted {
             job: id,
             reduce: r,
@@ -1136,28 +1183,26 @@ impl MrRuntime {
 
     fn on_reduce_done(&mut self, id: JobId, r: u32) {
         let now = self.sim.now();
-        // Execute the user's reduce function over this partition's groups.
-        let (node, output) = {
-            let job = self.job(id);
-            let entry = &job.reduces[r as usize];
+        // Claim the data-plane result (the user reducer ran on a worker,
+        // submitted at slot assignment).
+        let (node, handle) = {
+            let job = self.job_mut(id);
+            let entry = &mut job.reduces[r as usize];
             let ReduceState::Running { node } = entry.state else {
                 panic!("reduce completed while not running");
             };
-            let mut output = Vec::new();
-            for key in &entry.key_order {
-                job.spec
-                    .reducer
-                    .reduce(key, &entry.groups[key], &mut output);
-            }
-            (node, output)
+            (
+                node,
+                entry.pending.take().expect("reduce submitted at assignment"),
+            )
         };
+        let result = handle.join();
+        self.metrics.add_host_reduce_ns(result.host_ns);
         self.nodes[node.0 as usize].free_reduce_slots += 1;
         let job = self.job_mut(id);
         let entry = &mut job.reduces[r as usize];
         entry.state = ReduceState::Done;
-        entry.output = output;
-        entry.groups.clear();
-        entry.key_order.clear();
+        entry.output = result.output;
         job.reduces_done += 1;
         let all_done = job.reduces_done == job.reduce_tasks;
         self.record(TraceKind::ReduceFinished { job: id, reduce: r });
@@ -1169,7 +1214,7 @@ impl MrRuntime {
     fn finalize_job(&mut self, id: JobId, now: SimTime) {
         let job = self.job_mut(id);
         job.phase = JobPhase::Done;
-        let output: Vec<(String, Record)> = job
+        let output: Vec<(Key, Record)> = job
             .reduces
             .iter_mut()
             .flat_map(|e| std::mem::take(&mut e.output))

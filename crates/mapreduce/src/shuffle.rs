@@ -1,0 +1,333 @@
+//! The streaming shuffle: partitioned map output and incremental merge.
+//!
+//! Stock Hadoop partitions map output on the map side (`Partitioner.
+//! getPartition` inside the map task's sort/spill path) and reducers pull
+//! each map's finished partition as soon as the map commits. This module
+//! reproduces that shape for the simulated runtime:
+//!
+//! * [`PartitionedPairs`] is built *inside the map task on the data-plane
+//!   worker* (`parallel::MapUnit::compute`): emitted pairs are hashed with
+//!   [`fnv1a`] into `reduce_tasks` buckets while still on the worker
+//!   thread, so the control plane never re-walks a map's output.
+//! * [`ShuffleState`] lives on the control plane, one per job. As each map
+//!   completes (in scheduler-assignment order), its partitions are merged
+//!   into per-reduce [`PartitionBuffer`]s — grouping by key, recording
+//!   first-seen key order and exact byte/record shares. Reduce-begin is
+//!   then O(`reduce_tasks`): the buffers *are* the reduce inputs.
+//!
+//! The job-level materialise cap (`mapred.job.materialize.cap`) is honoured
+//! exactly as the old monolithic path did — the first `cap` pairs in
+//! (map-completion, emission) order are kept. [`PartitionedPairs`] records
+//! each pair's partition index in emission order so a cap that bites
+//! mid-task keeps precisely the emission-order prefix of every partition.
+//! The proptest below pins this equivalence against a monolithic reference
+//! re-partition for arbitrary key distributions, task shapes, caps, and
+//! `reduce_tasks` counts.
+
+use std::collections::HashMap;
+
+use incmr_data::Record;
+
+use crate::exec::Key;
+
+/// FNV-1a, the key-partitioning hash (Hadoop uses `key.hashCode() % R`;
+/// any stable hash serves, and FNV-1a is deterministic across platforms).
+pub fn fnv1a(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Which of `reduce_tasks` partitions `key` belongs to.
+pub fn partition_of(key: &str, reduce_tasks: u32) -> usize {
+    (fnv1a(key) % u64::from(reduce_tasks.max(1))) as usize
+}
+
+/// One map task's output, pre-partitioned by reduce task on the data-plane
+/// worker.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionedPairs {
+    /// `partitions[p]` holds the pairs destined for reduce task `p`, in
+    /// emission order.
+    partitions: Vec<Vec<(Key, Record)>>,
+    /// Partition index of each emitted pair, in emission order. Only
+    /// needed to replay a mid-task materialise-cap cut when there is more
+    /// than one partition, so it stays empty for the common
+    /// single-reducer case.
+    emission_order: Vec<u32>,
+}
+
+impl PartitionedPairs {
+    /// Partition `pairs` (in emission order) across `reduce_tasks` buckets.
+    pub fn build(pairs: Vec<(Key, Record)>, reduce_tasks: u32) -> Self {
+        let r = reduce_tasks.max(1);
+        if r == 1 {
+            return PartitionedPairs {
+                partitions: vec![pairs],
+                emission_order: Vec::new(),
+            };
+        }
+        let mut partitions: Vec<Vec<(Key, Record)>> = (0..r).map(|_| Vec::new()).collect();
+        let mut emission_order = Vec::with_capacity(pairs.len());
+        for (key, value) in pairs {
+            let p = partition_of(&key, r);
+            emission_order.push(p as u32);
+            partitions[p].push((key, value));
+        }
+        PartitionedPairs {
+            partitions,
+            emission_order,
+        }
+    }
+
+    /// Number of partitions (= the job's `reduce_tasks`).
+    pub fn reduce_tasks(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total pairs across all partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// True when the task emitted nothing.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.iter().all(Vec::is_empty)
+    }
+
+    /// How many of each partition's pairs fall within the first `room`
+    /// pairs of the task in emission order.
+    fn take_counts(&self, room: usize) -> Vec<usize> {
+        if room >= self.len() {
+            return self.partitions.iter().map(Vec::len).collect();
+        }
+        let mut counts = vec![0usize; self.partitions.len()];
+        if self.partitions.len() == 1 {
+            counts[0] = room;
+        } else {
+            for &p in self.emission_order.iter().take(room) {
+                counts[p as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// One reduce task's accumulated input: the framework-side half of the
+/// shuffle, grown incrementally as maps complete.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionBuffer {
+    /// Distinct keys in first-seen order (reducers iterate groups in this
+    /// order, as the old monolithic partitioner did).
+    pub key_order: Vec<Key>,
+    /// Values per key, in arrival order.
+    pub groups: HashMap<Key, Vec<Record>>,
+    /// Exact bytes of materialised input merged into this partition.
+    pub shuffle_bytes: u64,
+    /// Exact count of materialised input records merged in.
+    pub input_records: u64,
+}
+
+impl PartitionBuffer {
+    /// Absorb the first `count` pairs of one map's share, in emission
+    /// order.
+    fn absorb(&mut self, mut pairs: Vec<(Key, Record)>, count: usize) {
+        pairs.truncate(count);
+        for (key, value) in pairs {
+            self.shuffle_bytes += key.len() as u64 + value.width();
+            self.input_records += 1;
+            let group = self.groups.entry(Key::clone(&key)).or_default();
+            if group.is_empty() {
+                self.key_order.push(key);
+            }
+            group.push(value);
+        }
+    }
+}
+
+/// Per-job streaming shuffle state: one [`PartitionBuffer`] per reduce
+/// task plus the job-wide materialise-cap budget.
+#[derive(Debug, Clone, Default)]
+pub struct ShuffleState {
+    buffers: Vec<PartitionBuffer>,
+    cap: u64,
+    materialized: u64,
+}
+
+impl ShuffleState {
+    /// Fresh state for a job with `reduce_tasks` reducers and a
+    /// materialise cap (`u64::MAX` for none).
+    pub fn new(reduce_tasks: u32, materialize_cap: u64) -> Self {
+        ShuffleState {
+            buffers: (0..reduce_tasks.max(1))
+                .map(|_| PartitionBuffer::default())
+                .collect(),
+            cap: materialize_cap,
+            materialized: 0,
+        }
+    }
+
+    /// Merge one completed map's partitioned output. Must be called in
+    /// map-completion order — with the cap, *which* pairs survive depends
+    /// on how many came before.
+    pub fn merge(&mut self, pairs: PartitionedPairs) {
+        debug_assert_eq!(pairs.reduce_tasks(), self.buffers.len());
+        let room = self.cap.saturating_sub(self.materialized);
+        let take = room.min(pairs.len() as u64) as usize;
+        let counts = pairs.take_counts(take);
+        for (buffer, (part, count)) in self
+            .buffers
+            .iter_mut()
+            .zip(pairs.partitions.into_iter().zip(counts))
+        {
+            buffer.absorb(part, count);
+        }
+        self.materialized += take as u64;
+    }
+
+    /// Materialised pairs merged so far (≤ the cap).
+    pub fn materialized_records(&self) -> u64 {
+        self.materialized
+    }
+
+    /// Read access to the per-reduce buffers.
+    pub fn buffers(&self) -> &[PartitionBuffer] {
+        &self.buffers
+    }
+
+    /// Hand the buffers over to the reduce phase.
+    pub fn into_buffers(self) -> Vec<PartitionBuffer> {
+        self.buffers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use incmr_data::Value;
+    use proptest::prelude::*;
+
+    fn pair(key: &str, v: i64) -> (Key, Record) {
+        (Key::from(key), Record::new(vec![Value::Int(v)]))
+    }
+
+    /// The old monolithic path: concatenate every task's pairs in
+    /// completion order, apply the cap to the flat stream, then partition
+    /// and group in one pass.
+    fn reference_partition(
+        tasks: &[Vec<(Key, Record)>],
+        reduce_tasks: u32,
+        cap: u64,
+    ) -> Vec<PartitionBuffer> {
+        let r = reduce_tasks.max(1);
+        let mut buffers: Vec<PartitionBuffer> = (0..r).map(|_| PartitionBuffer::default()).collect();
+        let flat: Vec<(Key, Record)> = tasks.iter().flatten().cloned().collect();
+        for (key, value) in flat.into_iter().take(cap.min(usize::MAX as u64) as usize) {
+            buffers[partition_of(&key, r)].absorb(vec![(key, value)], 1);
+        }
+        buffers
+    }
+
+    fn streaming_partition(
+        tasks: &[Vec<(Key, Record)>],
+        reduce_tasks: u32,
+        cap: u64,
+    ) -> Vec<PartitionBuffer> {
+        let mut state = ShuffleState::new(reduce_tasks, cap);
+        for task in tasks {
+            state.merge(PartitionedPairs::build(task.clone(), reduce_tasks));
+        }
+        state.into_buffers()
+    }
+
+    fn assert_buffers_equal(a: &[PartitionBuffer], b: &[PartitionBuffer]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.key_order, y.key_order);
+            assert_eq!(x.groups, y.groups);
+            assert_eq!(x.shuffle_bytes, y.shuffle_bytes);
+            assert_eq!(x.input_records, y.input_records);
+        }
+    }
+
+    #[test]
+    fn single_partition_groups_in_first_seen_order() {
+        let mut state = ShuffleState::new(1, u64::MAX);
+        state.merge(PartitionedPairs::build(
+            vec![pair("b", 1), pair("a", 2), pair("b", 3)],
+            1,
+        ));
+        state.merge(PartitionedPairs::build(vec![pair("a", 4)], 1));
+        let buffers = state.into_buffers();
+        let keys: Vec<&str> = buffers[0].key_order.iter().map(|k| &**k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        assert_eq!(buffers[0].groups[&Key::from("a")].len(), 2);
+        assert_eq!(buffers[0].input_records, 4);
+    }
+
+    #[test]
+    fn cap_cuts_mid_task_preserving_emission_order_prefix() {
+        // Two tasks of 3; cap 4 keeps task 1 entirely and task 2's first
+        // pair only — regardless of which partitions those pairs hash to.
+        let tasks = vec![
+            vec![pair("a", 0), pair("b", 1), pair("c", 2)],
+            vec![pair("d", 3), pair("e", 4), pair("f", 5)],
+        ];
+        for r in [1u32, 2, 3, 5] {
+            let streamed = streaming_partition(&tasks, r, 4);
+            let total: u64 = streamed.iter().map(|b| b.input_records).sum();
+            assert_eq!(total, 4, "reduce_tasks={r}");
+            assert_buffers_equal(&streamed, &reference_partition(&tasks, r, 4));
+        }
+    }
+
+    #[test]
+    fn zero_reduce_tasks_is_clamped_to_one() {
+        let state = ShuffleState::new(0, u64::MAX);
+        assert_eq!(state.buffers().len(), 1);
+        assert_eq!(PartitionedPairs::build(vec![pair("x", 1)], 0).reduce_tasks(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Streaming per-map-completion merge is byte-identical to the
+        /// monolithic re-partition of the capped flat output stream, for
+        /// arbitrary key distributions, task shapes, caps, and
+        /// `reduce_tasks` counts.
+        #[test]
+        fn streaming_merge_matches_monolithic_reference(
+            tasks in prop::collection::vec(
+                prop::collection::vec((0u8..12, any::<i64>()), 0..40),
+                0..12,
+            ),
+            reduce_tasks in 1u32..8,
+            cap in prop::option::of(0u64..120),
+        ) {
+            let tasks: Vec<Vec<(Key, Record)>> = tasks
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .map(|(k, v)| pair(&format!("key-{k}"), *v))
+                        .collect()
+                })
+                .collect();
+            let cap = cap.unwrap_or(u64::MAX);
+            let streamed = streaming_partition(&tasks, reduce_tasks, cap);
+            let reference = reference_partition(&tasks, reduce_tasks, cap);
+            prop_assert_eq!(streamed.len(), reference.len());
+            for (s, r) in streamed.iter().zip(&reference) {
+                prop_assert_eq!(&s.key_order, &r.key_order);
+                prop_assert_eq!(&s.groups, &r.groups);
+                prop_assert_eq!(s.shuffle_bytes, r.shuffle_bytes);
+                prop_assert_eq!(s.input_records, r.input_records);
+            }
+            let materialized: u64 = streamed.iter().map(|b| b.input_records).sum();
+            let emitted: u64 = tasks.iter().map(|t| t.len() as u64).sum();
+            prop_assert_eq!(materialized, emitted.min(cap));
+        }
+    }
+}

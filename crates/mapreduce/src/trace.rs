@@ -70,6 +70,23 @@ pub enum TraceKind {
         /// Which attempt failed (1-based).
         attempt: u32,
     },
+    /// The shuffle closed: every map completed and the per-reduce buffers
+    /// are final. Carries only deterministic counters (records/bytes), so
+    /// traces stay thread-count-invariant.
+    ShuffleReady {
+        /// The job.
+        job: JobId,
+        /// Reduce partitions created.
+        partitions: u32,
+        /// Records fed to the map-side combiner (0 when the job has none).
+        combiner_in: u64,
+        /// Records surviving the combiner.
+        combiner_out: u64,
+        /// Largest modeled partition share in bytes (skew numerator).
+        max_partition_bytes: u64,
+        /// Smallest modeled partition share in bytes (skew denominator).
+        min_partition_bytes: u64,
+    },
     /// A reduce task started on a reduce slot.
     ReduceStarted {
         /// The job.
@@ -105,6 +122,7 @@ impl TraceKind {
             | TraceKind::MapStarted { job, .. }
             | TraceKind::MapFinished { job, .. }
             | TraceKind::MapFailed { job, .. }
+            | TraceKind::ShuffleReady { job, .. }
             | TraceKind::ReduceStarted { job, .. }
             | TraceKind::ReduceFinished { job, .. }
             | TraceKind::JobCompleted { job, .. } => *job,
@@ -134,6 +152,21 @@ impl fmt::Display for TraceEvent {
             TraceKind::MapFinished { job, task } => write!(f, "{job}/{task} done"),
             TraceKind::MapFailed { job, task, attempt } => {
                 write!(f, "{job}/{task} FAILED (attempt {attempt})")
+            }
+            TraceKind::ShuffleReady {
+                job,
+                partitions,
+                combiner_in,
+                combiner_out,
+                max_partition_bytes,
+                min_partition_bytes,
+            } => {
+                write!(
+                    f,
+                    "{job} shuffle ready: {partitions} partitions \
+                     ({min_partition_bytes}..{max_partition_bytes} B), \
+                     combiner {combiner_in}->{combiner_out}"
+                )
             }
             TraceKind::ReduceStarted { job, reduce, node } => {
                 write!(f, "{job}/r{reduce} -> {node}")
@@ -189,6 +222,7 @@ pub fn job_timeline(events: &[TraceEvent], job: JobId) -> Option<JobTimeline> {
                     TraceKind::MapStarted { .. } => t.maps.0 += 1,
                     TraceKind::MapFinished { .. } => t.maps.1 += 1,
                     TraceKind::MapFailed { .. } => t.maps.2 += 1,
+                    TraceKind::ShuffleReady { .. } => {}
                     TraceKind::ReduceStarted { .. } => t.reduces.0 += 1,
                     TraceKind::ReduceFinished { .. } => t.reduces.1 += 1,
                     TraceKind::JobCompleted { .. } => t.completed = Some(e.time),

@@ -16,7 +16,7 @@ use incmr::data::lineitem::col;
 use incmr::data::predicate::CmpOp;
 use incmr::prelude::*;
 
-fn mean_quantity(rows: &[(String, Record)]) -> f64 {
+fn mean_quantity(rows: &[(Key, Record)]) -> f64 {
     let sum: i64 = rows
         .iter()
         .map(|(_, r)| match r.get(col::QUANTITY) {

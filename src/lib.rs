@@ -72,8 +72,8 @@ pub mod prelude {
     pub use incmr_dfs::{BlockId, ClusterTopology, EvenRoundRobin, Namespace, NodeId};
     pub use incmr_hiveql::{Catalog, QueryOutput, Session};
     pub use incmr_mapreduce::{
-        ClusterConfig, ClusterStatus, CostModel, EvalContext, FairScheduler, FifoScheduler,
-        JobConf, JobId, JobResult, JobSpec, MrRuntime, Parallelism, ScanMode,
+        ClusterConfig, ClusterStatus, Combiner, CostModel, EvalContext, FairScheduler,
+        FifoScheduler, JobConf, JobId, JobResult, JobSpec, Key, MrRuntime, Parallelism, ScanMode,
     };
     pub use incmr_simkit::rng::DetRng;
     pub use incmr_simkit::{SimDuration, SimTime};

@@ -5,7 +5,10 @@
 
 use std::sync::Arc;
 
-use incmr::mapreduce::{FaultPlan, TraceEvent};
+use incmr::mapreduce::{
+    DatasetInputFormat, FaultPlan, MapResult, Mapper, ShuffleMetrics, SplitData, StaticDriver,
+    TraceEvent,
+};
 use incmr::prelude::*;
 
 fn single_job_fingerprint(seed: u64, policy: Policy) -> (u64, u32, u64, usize) {
@@ -199,6 +202,127 @@ fn fault_injection_is_thread_count_invariant() {
         assert_eq!(result.response_time(), serial_result.response_time());
         assert_eq!(result.output, serial_result.output);
         assert_eq!(trace, serial_trace);
+    }
+}
+
+/// A mapper that fans records out across five keys, so multi-partition
+/// shuffle and several reduce tasks all carry real data.
+struct FanOutMapper;
+
+impl Mapper for FanOutMapper {
+    fn run(&self, data: &SplitData) -> MapResult {
+        let SplitData::Planted {
+            total_records,
+            matches,
+        } = data
+        else {
+            panic!("fingerprint uses ScanMode::Planted");
+        };
+        MapResult {
+            pairs: matches
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (Key::from(format!("g{}", i % 5)), r.clone()))
+                .collect(),
+            records_read: *total_records,
+            ..MapResult::default()
+        }
+    }
+}
+
+/// A combiner with a visible effect: drop every third pair of a map task's
+/// output. Deterministic per task, so simulated results must still be
+/// thread-count invariant.
+struct DropEveryThird;
+
+impl Combiner for DropEveryThird {
+    fn combine(&self, pairs: Vec<(Key, incmr::data::Record)>) -> Vec<(Key, incmr::data::Record)> {
+        pairs
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, p)| (i % 3 != 2).then_some(p))
+            .collect()
+    }
+}
+
+/// Like [`parallel_fingerprint`], but exercising the paths the sampling job
+/// does not: a combiner that actually removes records, three reduce tasks
+/// (so the reduce plane runs multiple `ReduceUnit`s), and the shuffle
+/// counters.
+fn reduce_plane_fingerprint(
+    threads: u32,
+    faults: Option<FaultPlan>,
+) -> (JobResult, Vec<TraceEvent>, ShuffleMetrics) {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(29);
+    let spec = DatasetSpec::small("t", 24, 4_000, SkewLevel::Moderate, 29);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user().with_parallelism(Parallelism::threads(threads)),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    rt.enable_tracing();
+    if let Some(plan) = faults {
+        rt.inject_faults(plan);
+    }
+    let job = JobSpec::builder()
+        .reduces(3)
+        .input(DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Planted))
+        .mapper(FanOutMapper)
+        .combiner(DropEveryThird)
+        .build();
+    let blocks = ds.splits().iter().map(|p| p.block).collect();
+    let id = rt.submit(job, Box::new(StaticDriver::new(blocks)));
+    rt.run_until_idle();
+    let shuffle = rt.metrics().shuffle();
+    (rt.job_result(id).clone(), rt.take_trace(), shuffle)
+}
+
+/// The reduce plane and the combiner run on the worker pool too; their
+/// results, traces, and shuffle counters must be identical at any thread
+/// count, with and without fault injection.
+#[test]
+fn reduce_plane_and_combiner_are_thread_count_invariant() {
+    for faults in [
+        None,
+        Some(FaultPlan {
+            probability: 0.2,
+            max_attempts: 10,
+            seed: 31,
+        }),
+    ] {
+        let (serial_result, serial_trace, serial_shuffle) = reduce_plane_fingerprint(1, faults);
+        assert!(
+            serial_shuffle.combined_away() > 0,
+            "the combiner must actually drop records"
+        );
+        assert!(
+            !serial_result.output.is_empty(),
+            "reduce output must be materialised"
+        );
+        if faults.is_some() {
+            assert!(serial_result.task_failures > 0);
+        }
+        for threads in [4, 8] {
+            let (result, trace, shuffle) = reduce_plane_fingerprint(threads, faults);
+            assert_eq!(
+                result.output, serial_result.output,
+                "reduce output diverged at {threads} threads (faults: {})",
+                faults.is_some()
+            );
+            assert_eq!(result.response_time(), serial_result.response_time());
+            assert_eq!(result.map_output_records, serial_result.map_output_records);
+            assert_eq!(result.task_failures, serial_result.task_failures);
+            assert_eq!(trace, serial_trace);
+            assert_eq!(shuffle, serial_shuffle, "shuffle counters diverged");
+        }
     }
 }
 
