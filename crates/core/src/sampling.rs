@@ -270,7 +270,7 @@ mod tests {
     fn reduce_passes_small_lists_through() {
         let r = SamplingReducer::new(10, SampleMode::FirstK);
         let mut out = Vec::new();
-        r.reduce(&Key::from(DUMMY_KEY),&recs(4), &mut out);
+        r.reduce(&Key::from(DUMMY_KEY), &recs(4), &mut out);
         assert_eq!(out.len(), 4);
     }
 
@@ -278,7 +278,7 @@ mod tests {
     fn reduce_first_k_takes_a_prefix() {
         let r = SamplingReducer::new(3, SampleMode::FirstK);
         let mut out = Vec::new();
-        r.reduce(&Key::from(DUMMY_KEY),&recs(10), &mut out);
+        r.reduce(&Key::from(DUMMY_KEY), &recs(10), &mut out);
         let got: Vec<i64> = out
             .iter()
             .map(|(_, rec)| match rec.get(0) {
@@ -295,13 +295,13 @@ mod tests {
         let values = recs(100);
         let mut a = Vec::new();
         let mut b = Vec::new();
-        r.reduce(&Key::from(DUMMY_KEY),&values, &mut a);
-        r.reduce(&Key::from(DUMMY_KEY),&values, &mut b);
+        r.reduce(&Key::from(DUMMY_KEY), &values, &mut a);
+        r.reduce(&Key::from(DUMMY_KEY), &values, &mut b);
         assert_eq!(a.len(), 5);
         assert_eq!(a, b, "same seed, same sample");
         let r2 = SamplingReducer::new(5, SampleMode::RandomK { seed: 10 });
         let mut c = Vec::new();
-        r2.reduce(&Key::from(DUMMY_KEY),&values, &mut c);
+        r2.reduce(&Key::from(DUMMY_KEY), &values, &mut c);
         assert_ne!(a, c, "different seed, different sample");
     }
 
@@ -327,7 +327,7 @@ mod tests {
         for seed in 0..4_000 {
             let r = SamplingReducer::new(1, SampleMode::RandomK { seed });
             let mut out = Vec::new();
-            r.reduce(&Key::from(DUMMY_KEY),&values, &mut out);
+            r.reduce(&Key::from(DUMMY_KEY), &values, &mut out);
             let Value::Int(v) = out[0].1.get(0) else {
                 panic!()
             };

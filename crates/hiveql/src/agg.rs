@@ -254,7 +254,7 @@ mod tests {
         let reducer = AggReducer::new(aggs());
         let mut rows = Vec::new();
         let partials = vec![out_a.pairs[0].1.clone(), out_b.pairs[0].1.clone()];
-        reducer.reduce(&Key::from(AGG_KEY),&partials, &mut rows);
+        reducer.reduce(&Key::from(AGG_KEY), &partials, &mut rows);
         assert_eq!(rows.len(), 1);
         let row = &rows[0].1;
         assert_eq!(row.get(0), &Value::Int(3)); // COUNT(*)
@@ -289,7 +289,7 @@ mod tests {
             column: None,
         }]);
         let mut rows = Vec::new();
-        reducer.reduce(&Key::from(AGG_KEY),&[out.pairs[0].1.clone()], &mut rows);
+        reducer.reduce(&Key::from(AGG_KEY), &[out.pairs[0].1.clone()], &mut rows);
         assert_eq!(rows[0].1.get(0), &Value::Int(2));
     }
 
@@ -299,7 +299,7 @@ mod tests {
         let out = mapper.run(&SplitData::Records(vec![rec(1, 1.0)]));
         let reducer = AggReducer::new(aggs());
         let mut rows = Vec::new();
-        reducer.reduce(&Key::from(AGG_KEY),&[out.pairs[0].1.clone()], &mut rows);
+        reducer.reduce(&Key::from(AGG_KEY), &[out.pairs[0].1.clone()], &mut rows);
         let row = &rows[0].1;
         assert_eq!(row.get(0), &Value::Int(0));
         assert_eq!(row.get(1), &Value::Float(0.0));

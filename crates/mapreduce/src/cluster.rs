@@ -104,6 +104,12 @@ impl ClusterConfig {
 
 /// A point-in-time snapshot of cluster load, as reported to Input Providers
 /// and schedulers.
+///
+/// Under a cluster fault plan (`crate::MrRuntime::inject_cluster_faults`),
+/// dead nodes drop out of the snapshot entirely: `total_map_slots` counts
+/// only alive nodes, so Input Providers observe lost capacity as a smaller
+/// `TS` rather than as phantom occupied slots, and `AS` stays honest while
+/// nodes are down.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterStatus {
     /// Total map slots (`TS`).

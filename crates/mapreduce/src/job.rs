@@ -15,7 +15,7 @@ use incmr_dfs::BlockId;
 use incmr_simkit::SimDuration;
 
 use crate::cluster::ClusterStatus;
-use crate::conf::{keys, JobConf};
+use crate::conf::{keys, ConfError, JobConf};
 use crate::exec::{Combiner, IdentityReducer, InputFormat, Key, Mapper, Reducer};
 use incmr_data::Record;
 
@@ -126,7 +126,8 @@ impl JobSpecBuilder {
     /// under [`keys::COMBINER_CLASS`] for observability, mirroring
     /// Hadoop's `mapred.combiner.class`.
     pub fn combiner(mut self, combiner: impl Combiner + 'static) -> Self {
-        self.conf.set(keys::COMBINER_CLASS, std::any::type_name_of_val(&combiner));
+        self.conf
+            .set(keys::COMBINER_CLASS, std::any::type_name_of_val(&combiner));
         self.combiner = Some(Arc::new(combiner));
         self
     }
@@ -143,23 +144,63 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Finish building, returning a typed error for incomplete or
+    /// malformed specs: a missing input format or mapper, or a numeric
+    /// configuration key (reduce-task count, materialize cap) that does
+    /// not parse.
+    pub fn try_build(self) -> Result<JobSpec, JobConfigError> {
+        self.conf
+            .get_u64_or(keys::NUM_REDUCE_TASKS, 1)
+            .map_err(JobConfigError::BadConf)?;
+        self.conf
+            .get_u64_or(crate::runtime::MATERIALIZE_CAP_KEY, u64::MAX)
+            .map_err(JobConfigError::BadConf)?;
+        Ok(JobSpec {
+            conf: self.conf,
+            input_format: self.input_format.ok_or(JobConfigError::MissingInput)?,
+            mapper: self.mapper.ok_or(JobConfigError::MissingMapper)?,
+            combiner: self.combiner,
+            reducer: self.reducer,
+        })
+    }
+
     /// Finish building.
     ///
     /// # Panics
-    /// Panics if the input format or mapper was never supplied — these are
-    /// programming errors, not runtime conditions.
+    /// Panics if the spec is incomplete or malformed — see
+    /// [`JobSpecBuilder::try_build`] for the checked variant.
     pub fn build(self) -> JobSpec {
-        JobSpec {
-            conf: self.conf,
-            input_format: self
-                .input_format
-                .expect("JobSpec::builder requires .input(...)"),
-            mapper: self.mapper.expect("JobSpec::builder requires .mapper(...)"),
-            combiner: self.combiner,
-            reducer: self.reducer,
+        match self.try_build() {
+            Ok(spec) => spec,
+            Err(JobConfigError::MissingInput) => panic!("JobSpec::builder requires .input(...)"),
+            Err(JobConfigError::MissingMapper) => panic!("JobSpec::builder requires .mapper(...)"),
+            Err(e) => panic!("invalid job configuration: {e}"),
         }
     }
 }
+
+/// A rejected job spec: what was missing or malformed at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobConfigError {
+    /// No input format was supplied.
+    MissingInput,
+    /// No mapper was supplied.
+    MissingMapper,
+    /// A numeric configuration key failed to parse.
+    BadConf(ConfError),
+}
+
+impl fmt::Display for JobConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobConfigError::MissingInput => write!(f, "job spec has no input format"),
+            JobConfigError::MissingMapper => write!(f, "job spec has no mapper"),
+            JobConfigError::BadConf(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobConfigError {}
 
 /// Progress statistics for one job, as passed to its [`GrowthDriver`] at
 /// each evaluation (paper: "statistics about the output produced by
@@ -417,6 +458,63 @@ mod tests {
             }
         }
         let _ = JobSpec::builder().input(NullInput).build();
+    }
+
+    struct NullInput2;
+    impl InputFormat for NullInput2 {
+        fn read(&self, _block: BlockId) -> crate::exec::SplitData {
+            crate::exec::SplitData::Records(vec![])
+        }
+    }
+    struct NullMapper2;
+    impl Mapper for NullMapper2 {
+        fn run(&self, _data: &crate::exec::SplitData) -> crate::exec::MapResult {
+            crate::exec::MapResult::default()
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_missing_parts_with_typed_errors() {
+        assert!(matches!(
+            JobSpec::builder().mapper(NullMapper2).try_build(),
+            Err(JobConfigError::MissingInput)
+        ));
+        assert!(matches!(
+            JobSpec::builder().input(NullInput2).try_build(),
+            Err(JobConfigError::MissingMapper)
+        ));
+        assert!(JobSpec::builder()
+            .input(NullInput2)
+            .mapper(NullMapper2)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn try_build_rejects_malformed_numeric_conf() {
+        let err = JobSpec::builder()
+            .input(NullInput2)
+            .mapper(NullMapper2)
+            .set(keys::NUM_REDUCE_TASKS, "several")
+            .try_build()
+            .err()
+            .expect("malformed reduce count must be rejected");
+        match err {
+            JobConfigError::BadConf(e) => {
+                assert_eq!(e.key, keys::NUM_REDUCE_TASKS);
+                assert_eq!(e.value, "several");
+            }
+            other => panic!("expected BadConf, got {other:?}"),
+        }
+        let err = JobSpec::builder()
+            .input(NullInput2)
+            .mapper(NullMapper2)
+            .set(crate::runtime::MATERIALIZE_CAP_KEY, "-3")
+            .try_build()
+            .err()
+            .expect("malformed materialize cap must be rejected");
+        assert!(matches!(err, JobConfigError::BadConf(_)));
+        assert!(err.to_string().contains("not a valid u64"), "{err}");
     }
 
     #[test]

@@ -19,16 +19,20 @@
 //!   interval, and the reduce phase starts only after end-of-input *and*
 //!   all scheduled maps complete (paper Section III-A);
 //! * cluster metrics matching the paper's instrumentation: CPU %, disk
-//!   KB/s, locality %, slot occupancy %.
+//!   KB/s, locality %, slot occupancy %;
+//! * the fault-tolerance plane ([`faults`]): TaskTracker death and rejoin
+//!   on a simulated schedule, map/reduce attempt faults, stragglers,
+//!   speculative execution, per-job blacklisting — with Hadoop's
+//!   re-execution semantics, deterministically (see DESIGN.md §8).
 //!
-//! What is deliberately not modelled: task failures/speculation, multi-wave
-//! reduces (the paper's jobs use a single reduce), and rack topology (the
-//! testbed is a single rack).
+//! What is deliberately not modelled: multi-wave reduces (the paper's jobs
+//! use a single reduce) and rack topology (the testbed is a single rack).
 
 pub mod cluster;
 pub mod conf;
 pub mod cost;
 pub mod exec;
+pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod parallel;
@@ -44,11 +48,14 @@ pub use exec::{
     Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, MapResult, Mapper, Reducer,
     ScanMode, SplitData,
 };
-pub use job::{
-    EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec,
-    JobSpecBuilder, StaticDriver, TaskId,
+pub use faults::{
+    ClusterFaultPlan, FaultConfigError, NodeOutage, SpecCandidate, SpeculationConfig,
 };
-pub use metrics::{ClusterMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics};
+pub use job::{
+    EvalContext, GrowthDirective, GrowthDriver, JobConfigError, JobId, JobProgress, JobResult,
+    JobSpec, JobSpecBuilder, StaticDriver, TaskId,
+};
+pub use metrics::{ClusterMetrics, FaultMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics};
 pub use parallel::{
     MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle, WorkUnit,
 };
@@ -449,7 +456,8 @@ mod tests {
             probability: 0.3,
             max_attempts: 10,
             seed: 5,
-        });
+        })
+        .expect("valid plan");
         let (spec, driver) = static_job(&ds);
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
@@ -474,7 +482,8 @@ mod tests {
             probability: 0.999,
             max_attempts: 2,
             seed: 7,
-        });
+        })
+        .expect("valid plan");
         let (spec, driver) = static_job(&ds);
         let id = rt.submit(spec, driver);
         rt.run_until_idle();
@@ -500,7 +509,8 @@ mod tests {
                 probability: 0.4,
                 max_attempts: 8,
                 seed: 11,
-            });
+            })
+            .expect("valid plan");
             let (spec, driver) = static_job(&ds);
             let id = rt.submit(spec, driver);
             rt.run_until_idle();
@@ -662,7 +672,8 @@ mod tests {
             probability: 0.999,
             max_attempts: 2,
             seed: 3,
-        });
+        })
+        .expect("valid plan");
         let (spec, driver) = static_job(&ds);
         rt.submit(spec, driver);
         rt.run_until_idle();

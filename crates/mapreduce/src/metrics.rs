@@ -45,6 +45,33 @@ impl ShuffleMetrics {
     }
 }
 
+/// Deterministic fault-plane counters: node churn and the Hadoop-semantics
+/// responses (re-execution, speculation, kills, blacklisting). All driven
+/// by simulated time and seeded draws, so they are identical across thread
+/// counts for a fixed fault schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultMetrics {
+    /// Nodes that died (TaskTracker loss).
+    pub nodes_lost: u64,
+    /// Nodes that rejoined after dying.
+    pub nodes_rejoined: u64,
+    /// Completed map tasks re-executed because their node (and its stored
+    /// map output) was lost.
+    pub maps_reexecuted: u64,
+    /// Speculative attempts launched for laggard maps.
+    pub speculative_launched: u64,
+    /// Speculative races where the loser was killed after the winner
+    /// committed (launched − wasted = races the backup won or inherited).
+    pub speculative_wasted: u64,
+    /// Attempts killed (node death or losing a speculative race) — these
+    /// never count against a task's attempt budget.
+    pub attempts_killed: u64,
+    /// Reduce attempts failed by fault injection.
+    pub reduce_failures: u64,
+    /// (job, node) blacklist entries created.
+    pub nodes_blacklisted: u64,
+}
+
 /// Host-side wall-clock nanoseconds spent on data-plane work, by phase.
 /// Pure observability: these depend on the host and thread count, so they
 /// are kept out of traces and all simulated accounting.
@@ -74,6 +101,7 @@ pub struct ClusterMetrics {
     total_assignments: u64,
     shuffle: ShuffleMetrics,
     host: HostPhaseNanos,
+    faults: FaultMetrics,
 }
 
 /// Aggregated report at the end of a run.
@@ -111,6 +139,7 @@ impl ClusterMetrics {
             total_assignments: 0,
             shuffle: ShuffleMetrics::default(),
             host: HostPhaseNanos::default(),
+            faults: FaultMetrics::default(),
         }
     }
 
@@ -185,6 +214,17 @@ impl ClusterMetrics {
     /// across hosts and thread counts by nature).
     pub fn host_phase_nanos(&self) -> HostPhaseNanos {
         self.host
+    }
+
+    /// Mutable fault-plane counters (the runtime bumps these as the fault
+    /// state machine fires).
+    pub fn faults_mut(&mut self) -> &mut FaultMetrics {
+        &mut self.faults
+    }
+
+    /// Fault-plane counters accumulated so far.
+    pub fn faults(&self) -> FaultMetrics {
+        self.faults
     }
 
     /// Produce the aggregate report as of `now`.
@@ -281,6 +321,20 @@ mod tests {
                 reduce_ns: 2
             }
         );
+    }
+
+    #[test]
+    fn fault_counters_accumulate() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        assert_eq!(m.faults(), FaultMetrics::default());
+        m.faults_mut().nodes_lost += 1;
+        m.faults_mut().maps_reexecuted += 3;
+        m.faults_mut().attempts_killed += 2;
+        let f = m.faults();
+        assert_eq!(f.nodes_lost, 1);
+        assert_eq!(f.maps_reexecuted, 3);
+        assert_eq!(f.attempts_killed, 2);
+        assert_eq!(f.speculative_launched, 0);
     }
 
     #[test]

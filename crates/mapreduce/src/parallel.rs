@@ -498,7 +498,10 @@ mod tests {
         let mut groups: HashMap<Key, Vec<Record>> = HashMap::new();
         groups.insert(
             Key::clone(&key_b),
-            vec![Record::new(vec![Value::Int(1)]), Record::new(vec![Value::Int(2)])],
+            vec![
+                Record::new(vec![Value::Int(1)]),
+                Record::new(vec![Value::Int(2)]),
+            ],
         );
         groups.insert(Key::clone(&key_a), vec![Record::new(vec![Value::Int(3)])]);
         let unit = ReduceUnit {

@@ -30,22 +30,41 @@
 //!
 //! Everything — including the schedulers' tie-breaking — is deterministic,
 //! so a run is a pure function of configuration and seeds.
+//!
+//! ## Fault tolerance
+//!
+//! [`MrRuntime::inject_cluster_faults`] arms the cluster-level fault model
+//! (see [`crate::faults`] and DESIGN.md §8): nodes die and rejoin on a
+//! simulated schedule, map and reduce attempts fail with seeded
+//! probabilities, slow nodes straggle, and the runtime answers with
+//! Hadoop's semantics — killed attempts are cancelled mid-stage, completed
+//! maps whose host died are re-executed (their stored output is gone),
+//! laggard attempts get speculative backups, and jobs blacklist nodes that
+//! repeatedly fail their attempts. Map output is merged into the shuffle
+//! in *task-id order* ([`ShuffleState::merge_task`]), so the surviving
+//! output is a pure function of the task set — identical across thread
+//! counts and, for completed jobs, identical to the fault-free run.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use incmr_dfs::{BlockId, Namespace, NodeId};
 use incmr_simkit::resource::{FlowId, PsResource};
+use incmr_simkit::rng::DetRng;
 use incmr_simkit::{EventId, Sim, SimDuration, SimTime};
 
 use crate::cluster::{ClusterConfig, ClusterStatus};
 use crate::conf::keys;
 use crate::cost::CostModel;
 use crate::exec::Key;
+pub use crate::faults::FaultPlan;
+use crate::faults::{pick_speculative, ClusterFaultPlan, FaultConfigError, SpecCandidate};
 use crate::job::{
     EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, TaskId,
 };
 use crate::metrics::ClusterMetrics;
-use crate::parallel::{MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle};
+use crate::parallel::{
+    MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle,
+};
 use crate::scheduler::{SchedJob, SchedView, TaskScheduler};
 use crate::shuffle::ShuffleState;
 use crate::trace::{TraceEvent, TraceKind};
@@ -61,30 +80,85 @@ const METRICS_INTERVAL: SimDuration = SimDuration::from_secs(30);
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
-    Heartbeat { node: u16 },
-    OverheadDone { job: JobId, task: TaskId },
-    DiskWake { disk: u32 },
-    NetworkDone { job: JobId, task: TaskId },
-    CpuWake { node: u16 },
-    EvalTick { job: JobId },
-    ReduceDone { job: JobId, reduce: u32 },
+    Heartbeat {
+        node: u16,
+    },
+    OverheadDone {
+        job: JobId,
+        task: TaskId,
+        attempt: u32,
+    },
+    DiskWake {
+        disk: u32,
+    },
+    NetworkDone {
+        job: JobId,
+        task: TaskId,
+        attempt: u32,
+    },
+    CpuWake {
+        node: u16,
+    },
+    EvalTick {
+        job: JobId,
+    },
+    ReduceDone {
+        job: JobId,
+        reduce: u32,
+    },
+    NodeDown {
+        node: u16,
+    },
+    NodeUp {
+        node: u16,
+    },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum TaskState {
-    Pending,
-    Running { node: NodeId, local: bool },
-    Done,
+/// Which modelled stage a running map attempt is in, holding the pending
+/// event or resource flow so the attempt can be cancelled mid-stage when
+/// its node dies or it loses a speculative race.
+#[derive(Debug, Clone, Copy)]
+enum AttemptStage {
+    Overhead(EventId),
+    Disk { disk: u32, flow: FlowId },
+    Network(EventId),
+    Cpu { flow: FlowId },
+}
+
+/// One in-flight attempt of a map task. Ordinarily a task has at most one;
+/// speculative execution adds a second racing attempt on another node.
+struct MapAttempt {
+    /// Attempt ordinal within its task (0-based start order).
+    id: u32,
+    node: NodeId,
+    local: bool,
+    speculative: bool,
+    /// Dispatch instant (drives the laggard test for speculation).
+    started: SimTime,
+    stage: AttemptStage,
+    /// Claim on the attempt's data-plane result: submitted at dispatch,
+    /// joined at simulated completion. Dropped (not joined) on a failed or
+    /// killed attempt — the next attempt submits afresh.
+    result: Option<UnitHandle<MapTaskResult>>,
 }
 
 struct TaskEntry {
     block: BlockId,
-    state: TaskState,
-    /// Claim on the attempt's data-plane result: submitted at dispatch,
-    /// joined at simulated completion. Dropped (not joined) on a failed
-    /// attempt — the next attempt submits afresh.
-    result: Option<UnitHandle<MapTaskResult>>,
-    attempts: u32,
+    /// In the job's pending queue, waiting for a slot.
+    queued: bool,
+    /// Completed (a non-done, non-queued task has ≥ 1 running attempt).
+    done: bool,
+    /// The shuffle already holds this task's output. Stays true across
+    /// node-loss re-execution: map output is a pure function of the block,
+    /// so the re-run's identical output is dropped instead of re-merged.
+    merged: bool,
+    /// Where the winning attempt ran — re-executed if that node dies
+    /// while the job is still mapping (its stored map output is lost).
+    completed_node: Option<NodeId>,
+    attempts_started: u32,
+    /// Counted (non-killed) failures, against the attempt budget.
+    failures: u32,
+    running: Vec<MapAttempt>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,20 +176,19 @@ struct ReduceEntry {
     /// Claim on the reduce's data-plane result: submitted when the task
     /// is assigned a slot, joined at its simulated completion.
     pending: Option<UnitHandle<ReduceTaskResult>>,
+    /// The scheduled `ReduceDone` event, cancelled if the host dies.
+    timer: Option<EventId>,
+    /// Attempts consumed (counted failures; kills are free).
+    attempts: u32,
     output: Vec<(Key, Record)>,
 }
 
-/// Fault-injection configuration: each map-task attempt fails with
-/// `probability`, and a task that fails `max_attempts` times fails its job
-/// (Hadoop's `mapred.map.max.attempts` semantics, default 4).
-#[derive(Debug, Clone, Copy)]
-pub struct FaultPlan {
-    /// Per-attempt failure probability in `[0, 1)`.
-    pub probability: f64,
-    /// Attempts allowed per task before the job is failed.
-    pub max_attempts: u32,
-    /// Seed for the (deterministic) failure draws.
-    pub seed: u64,
+/// The armed cluster fault model: the plan plus independent deterministic
+/// streams for map- and reduce-attempt fault draws.
+struct ClusterFaultState {
+    plan: ClusterFaultPlan,
+    map_rng: DetRng,
+    reduce_rng: DetRng,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,6 +227,14 @@ struct JobEntry {
     reduce_tasks: u32,
     reduces: Vec<ReduceEntry>,
     reduces_done: u32,
+    /// Sum and count of completed-map attempt durations (ms), feeding the
+    /// speculation laggard threshold.
+    map_ms_sum: u64,
+    map_ms_count: u32,
+    /// Counted attempt failures per node, toward the blacklist threshold.
+    node_failures: Vec<u32>,
+    /// Nodes this job refuses to run on (Hadoop per-job blacklist).
+    banned_nodes: Vec<bool>,
     result: Option<JobResult>,
 }
 
@@ -174,14 +255,21 @@ impl JobEntry {
 struct NodeState {
     free_slots: u32,
     free_reduce_slots: u32,
+    /// False between a scheduled death and rejoin: no slots, no heartbeats,
+    /// and every attempt the node hosted is killed. The node's *disks* keep
+    /// serving (TaskTracker death, not DataNode death) — what dies with the
+    /// tracker is its locally stored map output.
+    alive: bool,
+    /// Whether this node's self-perpetuating heartbeat chain is running.
+    chain_live: bool,
     cpu: PsResource,
-    cpu_flows: HashMap<FlowId, (JobId, TaskId)>,
+    cpu_flows: HashMap<FlowId, (JobId, TaskId, u32)>,
     cpu_wake: Option<EventId>,
 }
 
 struct DiskState {
     res: PsResource,
-    flows: HashMap<FlowId, (JobId, TaskId)>,
+    flows: HashMap<FlowId, (JobId, TaskId, u32)>,
     wake: Option<EventId>,
 }
 
@@ -206,7 +294,8 @@ pub struct MrRuntime {
     /// Number of per-node heartbeat chains currently self-perpetuating.
     heartbeats_live: u32,
     active_jobs: u32,
-    faults: Option<(FaultPlan, incmr_simkit::rng::DetRng)>,
+    faults: Option<(FaultPlan, DetRng)>,
+    cluster_faults: Option<ClusterFaultState>,
     trace: Option<Vec<TraceEvent>>,
     /// Data-plane worker pool (see [`crate::parallel`]); serial at
     /// `Parallelism::SERIAL`. Never touches simulated time.
@@ -231,6 +320,8 @@ impl MrRuntime {
             .map(|_| NodeState {
                 free_slots: cfg.map_slots_per_node,
                 free_reduce_slots: cfg.reduce_slots_per_node,
+                alive: true,
+                chain_live: false,
                 cpu: PsResource::new(topo.cores_per_node() as f64 * 1e6),
                 cpu_flows: HashMap::new(),
                 cpu_wake: None,
@@ -266,6 +357,7 @@ impl MrRuntime {
             heartbeats_live: 0,
             active_jobs: 0,
             faults: None,
+            cluster_faults: None,
             trace: None,
             executor: ParallelExecutor::new(cfg.parallelism),
         }
@@ -305,15 +397,59 @@ impl MrRuntime {
         self.faults = None;
     }
 
-    /// Enable deterministic fault injection for subsequent map tasks.
-    pub fn inject_faults(&mut self, plan: FaultPlan) {
-        assert!(
-            (0.0..1.0).contains(&plan.probability),
-            "probability must be in [0, 1)"
-        );
-        assert!(plan.max_attempts > 0);
-        let rng = incmr_simkit::rng::DetRng::seed_from(plan.seed);
+    /// Enable deterministic per-map-attempt fault injection. Rejects
+    /// out-of-range probabilities and a zero attempt budget with a typed
+    /// error (the old `assert!`-based validation).
+    pub fn inject_faults(&mut self, plan: FaultPlan) -> Result<(), FaultConfigError> {
+        plan.validate()?;
+        let rng = DetRng::seed_from(plan.seed);
         self.faults = Some((plan, rng));
+        Ok(())
+    }
+
+    /// Arm the cluster-level fault model (node outages, stragglers, map and
+    /// reduce attempt faults, speculation, blacklisting — see
+    /// [`crate::faults`]). Must be called before any job is submitted.
+    pub fn inject_cluster_faults(
+        &mut self,
+        plan: ClusterFaultPlan,
+    ) -> Result<(), FaultConfigError> {
+        plan.validate(self.nodes.len())?;
+        assert!(
+            self.jobs.is_empty(),
+            "inject cluster faults before submitting jobs"
+        );
+        // Stragglers: a slow node's CPU drains map work proportionally
+        // slower (CPU dominates simulated map time, so speed ≈ slowdown).
+        let cores_us = self.cfg.topology.cores_per_node() as f64 * 1e6;
+        for (i, &speed) in plan.node_speed.iter().enumerate() {
+            self.nodes[i].cpu = PsResource::new(cores_us * speed);
+        }
+        for outage in &plan.outages {
+            self.sim.schedule_at(
+                outage.down_at,
+                Event::NodeDown {
+                    node: outage.node.0,
+                },
+            );
+            if let Some(up) = outage.up_at {
+                self.sim.schedule_at(
+                    up,
+                    Event::NodeUp {
+                        node: outage.node.0,
+                    },
+                );
+            }
+        }
+        let root = DetRng::seed_from(plan.seed);
+        let map_rng = root.fork_named("map-faults");
+        let reduce_rng = root.fork_named("reduce-faults");
+        self.cluster_faults = Some(ClusterFaultState {
+            plan,
+            map_rng,
+            reduce_rng,
+        });
+        Ok(())
     }
 
     /// Current simulated time.
@@ -337,8 +473,17 @@ impl MrRuntime {
     }
 
     /// Point-in-time cluster load snapshot (what Input Providers receive).
+    /// Dead nodes drop out of both totals: Input Providers see the lost
+    /// capacity, exactly as a JobTracker stops counting an expired tracker.
     pub fn cluster_status(&self) -> ClusterStatus {
-        let free: u32 = self.nodes.iter().map(|n| n.free_slots).sum();
+        let alive = self.nodes.iter().filter(|n| n.alive).count() as u32;
+        let total = alive * self.cfg.map_slots_per_node;
+        let free: u32 = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| n.free_slots)
+            .sum();
         let queued = self
             .jobs
             .iter()
@@ -346,8 +491,8 @@ impl MrRuntime {
             .map(|j| j.pending.len() as u32)
             .sum();
         ClusterStatus {
-            total_map_slots: self.cfg.total_map_slots(),
-            occupied_map_slots: self.cfg.total_map_slots() - free,
+            total_map_slots: total,
+            occupied_map_slots: total.saturating_sub(free),
             running_jobs: self.active_jobs,
             queued_map_tasks: queued,
         }
@@ -395,6 +540,10 @@ impl MrRuntime {
             reduce_tasks,
             reduces: Vec::new(),
             reduces_done: 0,
+            map_ms_sum: 0,
+            map_ms_count: 0,
+            node_failures: vec![0; num_nodes],
+            banned_nodes: vec![false; num_nodes],
             result: None,
         };
         self.jobs.push(entry);
@@ -504,8 +653,12 @@ impl MrRuntime {
     /// occupancy level; locality counters restart at zero.
     pub fn reset_metrics(&mut self) {
         let now = self.sim.now();
-        let occupied = (self.cfg.total_map_slots()
-            - self.nodes.iter().map(|n| n.free_slots).sum::<u32>()) as f64;
+        let occupied: f64 = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| (self.cfg.map_slots_per_node - n.free_slots) as f64)
+            .sum();
         // Note the resource cumulative totals restart too: we snapshot the
         // current totals and subtract them at observe time.
         let mut fresh = ClusterMetrics::new(
@@ -535,28 +688,34 @@ impl MrRuntime {
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Heartbeat { node } => self.on_heartbeat(node),
-            Event::OverheadDone { job, task } => self.on_overhead_done(job, task),
+            Event::OverheadDone { job, task, attempt } => self.on_overhead_done(job, task, attempt),
             Event::DiskWake { disk } => self.on_disk_wake(disk),
-            Event::NetworkDone { job, task } => self.start_cpu(job, task),
+            Event::NetworkDone { job, task, attempt } => self.start_cpu(job, task, attempt),
             Event::CpuWake { node } => self.on_cpu_wake(node),
             Event::EvalTick { job } => self.on_eval_tick(job),
             Event::ReduceDone { job, reduce } => self.on_reduce_done(job, reduce),
+            Event::NodeDown { node } => self.on_node_down(node),
+            Event::NodeUp { node } => self.on_node_up(node),
         }
     }
 
-    /// Start one self-perpetuating heartbeat chain per node (staggered, as
-    /// real TaskTrackers are). Chains expire when no jobs remain active.
+    /// Start a self-perpetuating heartbeat chain on every live node that
+    /// lacks one (staggered, as real TaskTrackers are). A node's chain
+    /// expires when no jobs remain active or the node dies; rejoining
+    /// restarts only that node's chain.
     fn ensure_heartbeats(&mut self) {
-        if self.heartbeats_live > 0 {
-            return;
-        }
         let n = self.nodes.len() as u64;
         for node in 0..self.nodes.len() as u16 {
+            let state = &self.nodes[node as usize];
+            if !state.alive || state.chain_live {
+                continue;
+            }
+            self.nodes[node as usize].chain_live = true;
+            self.heartbeats_live += 1;
             let stagger = self.cost.heartbeat_ms * (node as u64 + 1) / n;
             self.sim
                 .schedule_after(SimDuration::from_millis(stagger), Event::Heartbeat { node });
         }
-        self.heartbeats_live = self.nodes.len() as u32;
     }
 
     fn resource_totals(&mut self) -> (f64, f64) {
@@ -582,15 +741,18 @@ impl MrRuntime {
     }
 
     fn on_heartbeat(&mut self, node: u16) {
-        if self.active_jobs == 0 {
+        if self.active_jobs == 0 || !self.nodes[node as usize].alive {
+            self.nodes[node as usize].chain_live = false;
             self.heartbeats_live -= 1;
             return;
         }
-        if node == 0 {
+        // Exactly one live node samples the metrics window per beat.
+        if self.nodes.iter().position(|n| n.alive) == Some(node as usize) {
             self.observe_metrics();
         }
         self.schedule_node(node);
         self.assign_reduce(node);
+        self.maybe_speculate(node);
         self.sim.schedule_after(
             SimDuration::from_millis(self.cost.heartbeat_ms),
             Event::Heartbeat { node },
@@ -630,9 +792,13 @@ impl MrRuntime {
             let task = TaskId(job.tasks.len() as u32);
             job.tasks.push(TaskEntry {
                 block,
-                state: TaskState::Pending,
-                result: None,
-                attempts: 0,
+                queued: true,
+                done: false,
+                merged: false,
+                completed_node: None,
+                attempts_started: 0,
+                failures: 0,
+                running: Vec::new(),
             });
             job.pending.push(task);
             for node in nodes {
@@ -682,6 +848,9 @@ impl MrRuntime {
     /// Offer one node's heartbeat to the scheduler: at most
     /// `maps_per_heartbeat` launches on that node (Hadoop 0.20 semantics).
     fn schedule_node(&mut self, node: u16) {
+        if !self.nodes[node as usize].alive {
+            return;
+        }
         let per_heartbeat = self
             .scheduler
             .maps_per_heartbeat()
@@ -727,7 +896,7 @@ impl MrRuntime {
                 // Lazily drop dispatched tasks from this node's index, then
                 // expose enough local candidates to fill its slots.
                 let list = &mut job.pending_by_node[node_idx];
-                list.retain(|t| job.tasks[t.0 as usize].state == TaskState::Pending);
+                list.retain(|t| job.tasks[t.0 as usize].queued);
                 local_by_node[node_idx] = list.iter().copied().take(free as usize + 4).collect();
             }
             sched_jobs.push(SchedJob {
@@ -738,6 +907,11 @@ impl MrRuntime {
                 head,
                 head_replica_less,
                 local_by_node,
+                banned_nodes: if job.banned_nodes.iter().any(|&b| b) {
+                    job.banned_nodes.clone()
+                } else {
+                    Vec::new()
+                },
             });
         }
         if sched_jobs.is_empty() {
@@ -761,6 +935,15 @@ impl MrRuntime {
                 );
                 free[a.node.0 as usize] -= 1;
                 assert!(seen.insert((a.job, a.task)), "duplicate assignment");
+                let job = view
+                    .jobs
+                    .iter()
+                    .find(|j| j.job == a.job)
+                    .expect("assignment references an offered job");
+                assert!(
+                    !job.banned_on(a.node),
+                    "scheduler dispatched to a blacklisted node"
+                );
             }
         }
         // Data plane: submit every assigned task's map work (read + map +
@@ -781,33 +964,44 @@ impl MrRuntime {
                 }
             };
             let handle = self.executor.submit(unit);
-            self.dispatch(a.job, a.task, a.node, handle);
+            self.dispatch(a.job, a.task, a.node, handle, false);
         }
     }
 
-    fn dispatch(&mut self, id: JobId, task: TaskId, node: NodeId, handle: UnitHandle<MapTaskResult>) {
+    fn dispatch(
+        &mut self,
+        id: JobId,
+        task: TaskId,
+        node: NodeId,
+        handle: UnitHandle<MapTaskResult>,
+        speculative: bool,
+    ) {
         let now = self.sim.now();
         let block = self.job(id).tasks[task.0 as usize].block;
         let local = self.namespace.is_local(block, node);
         // The map function's work is already queued on the data plane (see
         // `schedule_with`); its result is claimed when the modelled stages
         // complete.
-        {
+        let attempt = {
             let job = self.job_mut(id);
-            let pos = job
-                .pending
-                .iter()
-                .position(|&t| t == task)
-                .expect("dispatched task must be pending");
-            job.pending.remove(pos);
+            if !speculative {
+                let pos = job
+                    .pending
+                    .iter()
+                    .position(|&t| t == task)
+                    .expect("dispatched task must be pending");
+                job.pending.remove(pos);
+            }
             let entry = &mut job.tasks[task.0 as usize];
-            debug_assert_eq!(entry.state, TaskState::Pending);
-            entry.state = TaskState::Running { node, local };
-            entry.result = Some(handle);
-            entry.attempts += 1;
+            debug_assert_eq!(entry.queued, !speculative);
+            entry.queued = false;
+            let aid = entry.attempts_started;
+            entry.attempts_started += 1;
             job.running += 1;
-        }
+            aid
+        };
         let n = &mut self.nodes[node.0 as usize];
+        assert!(n.alive, "dispatch to a dead node");
         assert!(n.free_slots > 0, "dispatch to a full node");
         n.free_slots -= 1;
         self.metrics.slots_delta(now, 1.0);
@@ -818,20 +1012,35 @@ impl MrRuntime {
             node,
             local,
         });
-        self.sim.schedule_after(
+        let ev = self.sim.schedule_after(
             SimDuration::from_millis(self.cost.map_task_overhead_ms),
-            Event::OverheadDone { job: id, task },
+            Event::OverheadDone {
+                job: id,
+                task,
+                attempt,
+            },
         );
+        self.job_mut(id).tasks[task.0 as usize]
+            .running
+            .push(MapAttempt {
+                id: attempt,
+                node,
+                local,
+                speculative,
+                started: now,
+                stage: AttemptStage::Overhead(ev),
+                result: Some(handle),
+            });
     }
 
-    fn on_overhead_done(&mut self, id: JobId, task: TaskId) {
+    fn on_overhead_done(&mut self, id: JobId, task: TaskId, attempt: u32) {
         let now = self.sim.now();
         let (block, node, local) = {
             let entry = &self.job(id).tasks[task.0 as usize];
-            let TaskState::Running { node, local } = entry.state else {
-                panic!("overhead completed for a non-running task");
+            let Some(a) = entry.running.iter().find(|a| a.id == attempt) else {
+                return; // attempt was killed; its timer raced the cancel
             };
-            (entry.block, node, local)
+            (entry.block, a.node, a.local)
         };
         let disk = if local {
             self.namespace
@@ -843,7 +1052,14 @@ impl MrRuntime {
         let bytes = self.namespace.block(block).bytes as f64;
         let d = &mut self.disks[disk.0 as usize];
         let flow = d.res.add_flow(now, bytes);
-        d.flows.insert(flow, (id, task));
+        d.flows.insert(flow, (id, task, attempt));
+        let entry = &mut self.job_mut(id).tasks[task.0 as usize];
+        let a = entry
+            .running
+            .iter_mut()
+            .find(|a| a.id == attempt)
+            .expect("attempt checked above");
+        a.stage = AttemptStage::Disk { disk: disk.0, flow };
         self.refresh_disk_wake(disk.0);
     }
 
@@ -864,39 +1080,62 @@ impl MrRuntime {
         self.disks[disk as usize].res.advance(now);
         let done = self.disks[disk as usize].res.take_completed();
         for flow in done {
-            let (id, task) = self.disks[disk as usize]
-                .flows
-                .remove(&flow)
-                .expect("completed flow is registered");
-            let entry = &self.job(id).tasks[task.0 as usize];
-            let TaskState::Running { local, .. } = entry.state else {
-                panic!("disk read completed for a non-running task");
+            let Some((id, task, attempt)) = self.disks[disk as usize].flows.remove(&flow) else {
+                continue; // attempt killed after the flow completed
+            };
+            let (block, local) = {
+                let entry = &self.job(id).tasks[task.0 as usize];
+                let Some(a) = entry.running.iter().find(|a| a.id == attempt) else {
+                    continue;
+                };
+                (entry.block, a.local)
             };
             if local {
-                self.start_cpu(id, task);
+                self.start_cpu(id, task, attempt);
             } else {
-                let bytes = self.namespace.block(entry.block).bytes;
+                let bytes = self.namespace.block(block).bytes;
                 let transfer = self.cost.remote_transfer_ms(bytes);
-                self.sim.schedule_after(
+                let ev = self.sim.schedule_after(
                     SimDuration::from_millis(transfer),
-                    Event::NetworkDone { job: id, task },
+                    Event::NetworkDone {
+                        job: id,
+                        task,
+                        attempt,
+                    },
                 );
+                let entry = &mut self.job_mut(id).tasks[task.0 as usize];
+                let a = entry
+                    .running
+                    .iter_mut()
+                    .find(|a| a.id == attempt)
+                    .expect("attempt checked above");
+                a.stage = AttemptStage::Network(ev);
             }
         }
         self.refresh_disk_wake(disk);
     }
 
-    fn start_cpu(&mut self, id: JobId, task: TaskId) {
+    fn start_cpu(&mut self, id: JobId, task: TaskId, attempt: u32) {
         let now = self.sim.now();
-        let entry = &self.job(id).tasks[task.0 as usize];
-        let TaskState::Running { node, .. } = entry.state else {
-            panic!("cpu stage for a non-running task");
+        let (block, node) = {
+            let entry = &self.job(id).tasks[task.0 as usize];
+            let Some(a) = entry.running.iter().find(|a| a.id == attempt) else {
+                return; // attempt was killed
+            };
+            (entry.block, a.node)
         };
-        let records = self.namespace.block(entry.block).records;
+        let records = self.namespace.block(block).records;
         let work = self.cost.map_cpu_work_us(records);
         let n = &mut self.nodes[node.0 as usize];
         let flow = n.cpu.add_flow(now, work);
-        n.cpu_flows.insert(flow, (id, task));
+        n.cpu_flows.insert(flow, (id, task, attempt));
+        let entry = &mut self.job_mut(id).tasks[task.0 as usize];
+        let a = entry
+            .running
+            .iter_mut()
+            .find(|a| a.id == attempt)
+            .expect("attempt checked above");
+        a.stage = AttemptStage::Cpu { flow };
         self.refresh_cpu_wake(node.0);
     }
 
@@ -917,71 +1156,98 @@ impl MrRuntime {
         self.nodes[node as usize].cpu.advance(now);
         let done = self.nodes[node as usize].cpu.take_completed();
         for flow in done {
-            let (id, task) = self.nodes[node as usize]
-                .cpu_flows
-                .remove(&flow)
-                .expect("completed cpu flow is registered");
-            self.finish_map_task(id, task);
+            let Some((id, task, attempt)) = self.nodes[node as usize].cpu_flows.remove(&flow)
+            else {
+                continue; // attempt killed after the flow completed
+            };
+            self.finish_map_task(id, task, attempt);
         }
         self.refresh_cpu_wake(node);
     }
 
-    fn finish_map_task(&mut self, id: JobId, task: TaskId) {
+    fn finish_map_task(&mut self, id: JobId, task: TaskId, attempt: u32) {
         let now = self.sim.now();
-        // Fault injection: decide whether this attempt fails before its
-        // results are applied.
-        if let Some((plan, rng)) = &mut self.faults {
-            use rand::Rng;
-            if rng.gen_range(0.0..1.0) < plan.probability {
-                let max = plan.max_attempts;
-                self.fail_map_attempt(id, task, max);
-                return;
-            }
-        }
-        let (node, local, handle) = {
-            let job = self.job_mut(id);
-            let entry = &mut job.tasks[task.0 as usize];
-            let TaskState::Running { node, local } = entry.state else {
-                panic!("finishing a non-running task");
-            };
-            entry.state = TaskState::Done;
-            (
-                node,
-                local,
-                entry.result.take().expect("work submitted at dispatch"),
-            )
+        let Some(idx) = self.job(id).tasks[task.0 as usize]
+            .running
+            .iter()
+            .position(|a| a.id == attempt)
+        else {
+            return; // attempt killed between flow completion and this call
         };
+        // Fault injection: decide whether this attempt fails before its
+        // results are applied. Every completion draws (in simulated-time
+        // order), so the stream is identical at any thread count.
+        let fault_budget = if let Some((plan, rng)) = &mut self.faults {
+            use rand::Rng;
+            (rng.gen_range(0.0..1.0) < plan.probability).then_some(plan.max_attempts)
+        } else if let Some(cf) = &mut self.cluster_faults {
+            use rand::Rng;
+            let roll = cf.map_rng.gen_range(0.0..1.0);
+            (roll < cf.plan.map_fault_probability).then_some(cf.plan.effective_max_attempts())
+        } else {
+            None
+        };
+        if let Some(max) = fault_budget {
+            self.fail_map_attempt(id, task, idx, max);
+            return;
+        }
+        let a = self.job_mut(id).tasks[task.0 as usize].running.remove(idx);
+        self.nodes[a.node.0 as usize].free_slots += 1;
+        self.metrics.slots_delta(now, -1.0);
         if self.job(id).phase == JobPhase::Done {
             // The job already failed; late attempts just release their slot
             // (dropping the handle — nobody wants the result).
-            self.nodes[node.0 as usize].free_slots += 1;
-            self.metrics.slots_delta(now, -1.0);
             return;
         }
-        // Claim the data-plane result (blocks only if a worker is still on
-        // it) and merge its pre-partitioned output into the per-reduce
-        // shuffle buffers — the streaming half of the shuffle.
-        let result = handle.join();
-        self.metrics.add_host_map_ns(result.host_ns);
-        let merge_start = std::time::Instant::now();
-        {
+        let handle = a.result.expect("work submitted at dispatch");
+        let attempt_ms = (now - a.started).as_millis();
+        let already_merged = {
             let job = self.job_mut(id);
+            let entry = &mut job.tasks[task.0 as usize];
+            entry.done = true;
+            entry.completed_node = Some(a.node);
             job.running -= 1;
             job.completed += 1;
-            job.records_processed += result.records_read;
-            job.map_output_records += result.total_outputs();
-            job.shuffle_bytes += result.total_output_bytes();
-            job.combiner_input_records += result.combiner_input_records;
-            job.combiner_output_records += result.combiner_output_records;
-            if local {
-                job.local_tasks += 1;
+            job.map_ms_sum += attempt_ms;
+            job.map_ms_count += 1;
+            entry.merged
+        };
+        if already_merged {
+            // Node-loss re-execution: map output is a pure function of the
+            // block, so the shuffle already holds byte-identical output.
+            // Drop the duplicate and skip the job counters — counting the
+            // records twice would fool drivers into an early EndOfInput.
+            drop(handle);
+        } else {
+            // Claim the data-plane result (blocks only if a worker is still
+            // on it) and merge its pre-partitioned output into the
+            // per-reduce shuffle buffers — the streaming half of the
+            // shuffle. Merging by task id keeps the merged content a pure
+            // function of the task set, whatever order faults impose.
+            let result = handle.join();
+            self.metrics.add_host_map_ns(result.host_ns);
+            let merge_start = std::time::Instant::now();
+            {
+                let job = self.job_mut(id);
+                job.records_processed += result.records_read;
+                job.map_output_records += result.total_outputs();
+                job.shuffle_bytes += result.total_output_bytes();
+                job.combiner_input_records += result.combiner_input_records;
+                job.combiner_output_records += result.combiner_output_records;
+                if a.local {
+                    job.local_tasks += 1;
+                }
+                job.shuffle.merge_task(task.0, result.pairs);
+                job.tasks[task.0 as usize].merged = true;
             }
-            job.shuffle.merge(result.pairs);
+            self.metrics
+                .add_host_shuffle_merge_ns(merge_start.elapsed().as_nanos() as u64);
         }
-        self.metrics
-            .add_host_shuffle_merge_ns(merge_start.elapsed().as_nanos() as u64);
-        self.nodes[node.0 as usize].free_slots += 1;
-        self.metrics.slots_delta(now, -1.0);
+        // The speculative race (if any) has its winner: kill the siblings.
+        while !self.job(id).tasks[task.0 as usize].running.is_empty() {
+            self.kill_attempt(id, task, 0, true);
+            self.metrics.faults_mut().speculative_wasted += 1;
+        }
         self.record(TraceKind::MapFinished { job: id, task });
         self.maybe_begin_reduce(id);
         // Note: no scheduling here. As in Hadoop, freed slots are re-assigned
@@ -990,30 +1256,75 @@ impl MrRuntime {
         // a busy cluster.
     }
 
-    /// A map attempt failed: release its slot, and either requeue the task
-    /// or — past the attempt limit — fail the whole job.
-    fn fail_map_attempt(&mut self, id: JobId, task: TaskId, max_attempts: u32) {
+    /// A map attempt *failed* (counted, unlike a kill): release its slot,
+    /// charge the task's attempt budget and the host node's blacklist
+    /// tally, and requeue the task — or, past the budget, fail the job.
+    fn fail_map_attempt(&mut self, id: JobId, task: TaskId, idx: usize, max_attempts: u32) {
         let now = self.sim.now();
-        let (node, attempts, block) = {
-            let job = self.job_mut(id);
-            let entry = &mut job.tasks[task.0 as usize];
-            let TaskState::Running { node, .. } = entry.state else {
-                panic!("failing a non-running task");
-            };
-            entry.state = TaskState::Pending;
-            entry.result = None;
-            (node, entry.attempts, entry.block)
-        };
-        self.nodes[node.0 as usize].free_slots += 1;
+        let a = self.job_mut(id).tasks[task.0 as usize].running.remove(idx);
+        self.nodes[a.node.0 as usize].free_slots += 1;
         self.metrics.slots_delta(now, -1.0);
         self.record(TraceKind::MapFailed {
             job: id,
             task,
-            attempt: attempts,
+            attempt: a.id + 1,
         });
         if self.job(id).phase == JobPhase::Done {
             return; // job already failed; nothing more to do
         }
+        let failures = {
+            let job = self.job_mut(id);
+            job.running -= 1;
+            job.task_failures += 1;
+            let entry = &mut job.tasks[task.0 as usize];
+            entry.failures += 1;
+            entry.failures
+        };
+        if failures >= max_attempts {
+            self.fail_job(id);
+            return;
+        }
+        // Per-job blacklisting (cluster fault model only): repeated counted
+        // failures on one node ban the job from that node.
+        if let Some(threshold) = self
+            .cluster_faults
+            .as_ref()
+            .and_then(|cf| cf.plan.blacklist_threshold)
+        {
+            let node = a.node.0 as usize;
+            let newly_banned = {
+                let job = self.job_mut(id);
+                job.node_failures[node] += 1;
+                let trip = job.node_failures[node] >= threshold && !job.banned_nodes[node];
+                if trip {
+                    job.banned_nodes[node] = true;
+                }
+                trip
+            };
+            if newly_banned {
+                self.metrics.faults_mut().nodes_blacklisted += 1;
+                self.record(TraceKind::NodeBlacklisted {
+                    job: id,
+                    node: a.node,
+                });
+                if self.job(id).banned_nodes.iter().all(|&b| b) {
+                    // Nowhere left to run: fail rather than wedge forever.
+                    self.fail_job(id);
+                    return;
+                }
+            }
+        }
+        let entry = &self.job(id).tasks[task.0 as usize];
+        if entry.running.is_empty() && !entry.done {
+            // Requeue for another attempt (back of the queue, like Hadoop).
+            self.requeue_task(id, task);
+        }
+    }
+
+    /// Put a task with no attempts in flight back in the pending queue and
+    /// the per-node locality indexes.
+    fn requeue_task(&mut self, id: JobId, task: TaskId) {
+        let block = self.job(id).tasks[task.0 as usize].block;
         let replica_nodes: Vec<NodeId> = self
             .namespace
             .block(block)
@@ -1022,17 +1333,223 @@ impl MrRuntime {
             .map(|&d| self.namespace.topology().node_of(d))
             .collect();
         let job = self.job_mut(id);
-        job.running -= 1;
-        job.task_failures += 1;
-        if attempts >= max_attempts {
-            self.fail_job(id);
-            return;
-        }
-        // Requeue for another attempt (back of the queue, like Hadoop).
+        let entry = &mut job.tasks[task.0 as usize];
+        debug_assert!(!entry.queued && !entry.done && entry.running.is_empty());
+        entry.queued = true;
         job.pending.push(task);
         for n in replica_nodes {
             job.pending_by_node[n.0 as usize].push(task);
         }
+    }
+
+    /// Cancel a running attempt mid-stage (speculative-race loser or node
+    /// death). Kills are free: they charge neither the task's attempt
+    /// budget nor the node's blacklist tally, matching Hadoop's
+    /// failed-vs-killed distinction. `free_slot` is false when the host
+    /// node died with the attempt (there is no slot to give back).
+    fn kill_attempt(&mut self, id: JobId, task: TaskId, idx: usize, free_slot: bool) {
+        let now = self.sim.now();
+        let a = self.job_mut(id).tasks[task.0 as usize].running.remove(idx);
+        match a.stage {
+            AttemptStage::Overhead(ev) | AttemptStage::Network(ev) => {
+                self.sim.cancel(ev);
+            }
+            AttemptStage::Disk { disk, flow } => {
+                let d = &mut self.disks[disk as usize];
+                d.res.cancel_flow(now, flow);
+                d.flows.remove(&flow);
+                self.refresh_disk_wake(disk);
+            }
+            AttemptStage::Cpu { flow } => {
+                let n = &mut self.nodes[a.node.0 as usize];
+                n.cpu.cancel_flow(now, flow);
+                n.cpu_flows.remove(&flow);
+                self.refresh_cpu_wake(a.node.0);
+            }
+        }
+        if free_slot {
+            self.nodes[a.node.0 as usize].free_slots += 1;
+        }
+        self.metrics.slots_delta(now, -1.0);
+        self.metrics.faults_mut().attempts_killed += 1;
+        self.record(TraceKind::AttemptKilled {
+            job: id,
+            task,
+            node: a.node,
+        });
+        self.job_mut(id).running -= 1;
+        // `a.result` drops here: the claim is abandoned, never joined.
+    }
+
+    /// A TaskTracker dies: every attempt it hosts is killed, its slots
+    /// vanish, and — Hadoop's signature response — *completed* map tasks
+    /// that ran on it are re-executed while their job still maps, because
+    /// the tracker stored their output and reducers can no longer fetch
+    /// it. Its disks keep serving (TaskTracker death, not DataNode death).
+    fn on_node_down(&mut self, node: u16) {
+        if !self.nodes[node as usize].alive {
+            return;
+        }
+        self.nodes[node as usize].alive = false;
+        self.record(TraceKind::NodeLost { node: NodeId(node) });
+        self.metrics.faults_mut().nodes_lost += 1;
+        let job_ids: Vec<JobId> = self.jobs.iter().map(|j| j.id).collect();
+        for id in job_ids {
+            let ntasks = self.job(id).tasks.len();
+            for t in 0..ntasks {
+                let task = TaskId(t as u32);
+                while let Some(idx) = self.job(id).tasks[t]
+                    .running
+                    .iter()
+                    .position(|a| a.node.0 == node)
+                {
+                    self.kill_attempt(id, task, idx, false);
+                }
+            }
+            if self.job(id).phase == JobPhase::Done {
+                continue;
+            }
+            for t in 0..ntasks {
+                let task = TaskId(t as u32);
+                let entry = &self.job(id).tasks[t];
+                if !entry.done && !entry.queued && entry.running.is_empty() {
+                    // Stranded by the kills above: back in the queue.
+                    self.requeue_task(id, task);
+                } else if entry.done
+                    && entry.completed_node == Some(NodeId(node))
+                    && self.job(id).phase == JobPhase::Map
+                {
+                    // Completed on the dead tracker: its map output is
+                    // gone, so the task re-executes. (Once the job is
+                    // reducing, the merged buffers model output the
+                    // reducers already fetched — no re-execution, as in
+                    // Hadoop once all reducers pass the copy phase.)
+                    {
+                        let job = self.job_mut(id);
+                        let e = &mut job.tasks[t];
+                        e.done = false;
+                        e.completed_node = None;
+                        job.completed -= 1;
+                    }
+                    self.metrics.faults_mut().maps_reexecuted += 1;
+                    self.requeue_task(id, task);
+                }
+            }
+            // Reduce attempts running on the node restart elsewhere; their
+            // input buffers are intact (the shuffle is job state, and
+            // `assign_reduce` keeps a copy under the fault model).
+            let nreduces = self.job(id).reduces.len();
+            for r in 0..nreduces {
+                let running_here = matches!(
+                    self.job(id).reduces[r].state,
+                    ReduceState::Running { node: n } if n.0 == node
+                );
+                if !running_here {
+                    continue;
+                }
+                let timer = {
+                    let entry = &mut self.job_mut(id).reduces[r];
+                    entry.state = ReduceState::Pending;
+                    entry.pending = None;
+                    entry.timer.take()
+                };
+                if let Some(timer) = timer {
+                    self.sim.cancel(timer);
+                }
+                self.metrics.faults_mut().attempts_killed += 1;
+                self.pending_reduces.push_back((id, r as u32));
+            }
+        }
+        self.nodes[node as usize].free_slots = 0;
+        self.nodes[node as usize].free_reduce_slots = 0;
+    }
+
+    /// A dead TaskTracker rejoins with full, empty slots and a fresh
+    /// heartbeat chain. Per-job blacklists persist across the rejoin.
+    fn on_node_up(&mut self, node: u16) {
+        if self.nodes[node as usize].alive {
+            return;
+        }
+        let n = &mut self.nodes[node as usize];
+        n.alive = true;
+        n.free_slots = self.cfg.map_slots_per_node;
+        n.free_reduce_slots = self.cfg.reduce_slots_per_node;
+        self.record(TraceKind::NodeRejoined { node: NodeId(node) });
+        self.metrics.faults_mut().nodes_rejoined += 1;
+        if self.active_jobs > 0 {
+            self.ensure_heartbeats();
+        }
+    }
+
+    /// At a node's heartbeat, consider launching one speculative backup of
+    /// a laggard map attempt there (Hadoop launches speculative tasks
+    /// through the same slot offers as ordinary ones, once a job has no
+    /// pending work left).
+    fn maybe_speculate(&mut self, node: u16) {
+        let Some(cfg) = self
+            .cluster_faults
+            .as_ref()
+            .and_then(|cf| cf.plan.speculation)
+        else {
+            return;
+        };
+        if self.nodes[node as usize].free_slots == 0 {
+            return;
+        }
+        let now = self.sim.now();
+        let mut launch = None;
+        for job in &self.jobs {
+            if job.phase != JobPhase::Map
+                || !job.pending.is_empty()
+                || job.banned_nodes[node as usize]
+                || job.map_ms_count < cfg.min_completed
+            {
+                continue;
+            }
+            let mean = job.map_ms_sum as f64 / job.map_ms_count as f64;
+            let candidates: Vec<SpecCandidate> = job
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| {
+                    !t.done
+                        && t.running.len() == 1
+                        && !t.running[0].speculative
+                        && t.running[0].node.0 != node
+                })
+                .map(|(i, t)| SpecCandidate {
+                    task: i as u32,
+                    attempts_in_flight: 1,
+                    speculative_in_flight: false,
+                    started: t.running[0].started,
+                })
+                .collect();
+            if let Some(task) = pick_speculative(&candidates, now, mean, job.map_ms_count, &cfg) {
+                launch = Some((job.id, TaskId(task)));
+                break;
+            }
+        }
+        let Some((id, task)) = launch else {
+            return;
+        };
+        let unit = {
+            let job = self.job(id);
+            MapUnit {
+                input_format: std::sync::Arc::clone(&job.spec.input_format),
+                mapper: std::sync::Arc::clone(&job.spec.mapper),
+                combiner: job.spec.combiner.clone(),
+                block: job.tasks[task.0 as usize].block,
+                reduce_tasks: job.reduce_tasks,
+            }
+        };
+        let handle = self.executor.submit(unit);
+        self.record(TraceKind::SpeculativeLaunch {
+            job: id,
+            task,
+            node: NodeId(node),
+        });
+        self.metrics.faults_mut().speculative_launched += 1;
+        self.dispatch(id, task, NodeId(node), handle, true);
     }
 
     fn fail_job(&mut self, id: JobId) {
@@ -1092,6 +1609,8 @@ impl MrRuntime {
                 state: ReduceState::Pending,
                 buffer,
                 pending: None,
+                timer: None,
+                attempts: 0,
                 output: Vec::new(),
             })
             .collect();
@@ -1143,14 +1662,22 @@ impl MrRuntime {
     /// stock Hadoop). Reduce placement is not locality-sensitive — inputs
     /// arrive over the network from every mapper anyway.
     fn assign_reduce(&mut self, node: u16) {
-        if self.nodes[node as usize].free_reduce_slots == 0 {
+        if !self.nodes[node as usize].alive || self.nodes[node as usize].free_reduce_slots == 0 {
             return;
         }
-        let Some((id, r)) = self.pending_reduces.pop_front() else {
-            return;
+        // Skip stale queue entries whose job already finished (a failed
+        // job's reduces never launch).
+        let (id, r) = loop {
+            let Some((id, r)) = self.pending_reduces.pop_front() else {
+                return;
+            };
+            if self.job(id).phase == JobPhase::Reduce {
+                break (id, r);
+            }
         };
         self.nodes[node as usize].free_reduce_slots -= 1;
         let cost = self.cost;
+        let keep_backup = self.cluster_faults.is_some();
         // Submit the partition's record work (the user reducer over its
         // groups) to the data plane now; the simulated duration below
         // models the same work, so the handle is ripe by `ReduceDone`.
@@ -1160,25 +1687,41 @@ impl MrRuntime {
             let entry = &mut job.reduces[r as usize];
             debug_assert_eq!(entry.state, ReduceState::Pending);
             entry.state = ReduceState::Running { node: NodeId(node) };
-            let duration = cost.reduce_duration_ms(entry.buffer.shuffle_bytes, entry.buffer.input_records);
+            let duration =
+                cost.reduce_duration_ms(entry.buffer.shuffle_bytes, entry.buffer.input_records);
+            // Under the cluster fault model the buffer keeps its data (a
+            // clone feeds the attempt) so a failed or killed attempt can
+            // re-execute from the same input; fault-free runs move it.
+            let (key_order, groups) = if keep_backup {
+                (entry.buffer.key_order.clone(), entry.buffer.groups.clone())
+            } else {
+                (
+                    std::mem::take(&mut entry.buffer.key_order),
+                    std::mem::take(&mut entry.buffer.groups),
+                )
+            };
             let unit = ReduceUnit {
                 reducer,
-                key_order: std::mem::take(&mut entry.buffer.key_order),
-                groups: std::mem::take(&mut entry.buffer.groups),
+                key_order,
+                groups,
             };
             (duration, unit)
         };
         let handle = self.executor.submit(unit);
-        self.job_mut(id).reduces[r as usize].pending = Some(handle);
+        let ev = self.sim.schedule_after(
+            SimDuration::from_millis(duration),
+            Event::ReduceDone { job: id, reduce: r },
+        );
+        {
+            let entry = &mut self.job_mut(id).reduces[r as usize];
+            entry.pending = Some(handle);
+            entry.timer = Some(ev);
+        }
         self.record(TraceKind::ReduceStarted {
             job: id,
             reduce: r,
             node: NodeId(node),
         });
-        self.sim.schedule_after(
-            SimDuration::from_millis(duration),
-            Event::ReduceDone { job: id, reduce: r },
-        );
     }
 
     fn on_reduce_done(&mut self, id: JobId, r: u32) {
@@ -1191,18 +1734,57 @@ impl MrRuntime {
             let ReduceState::Running { node } = entry.state else {
                 panic!("reduce completed while not running");
             };
+            entry.timer = None;
             (
                 node,
-                entry.pending.take().expect("reduce submitted at assignment"),
+                entry
+                    .pending
+                    .take()
+                    .expect("reduce submitted at assignment"),
             )
         };
+        self.nodes[node.0 as usize].free_reduce_slots += 1;
+        if self.job(id).phase == JobPhase::Done {
+            drop(handle); // job already failed; nobody wants the result
+            return;
+        }
+        // Reduce-attempt fault draw (cluster fault model only; drawn at
+        // every completion so the stream stays aligned).
+        if let Some(cf) = &mut self.cluster_faults {
+            use rand::Rng;
+            let roll = cf.reduce_rng.gen_range(0.0..1.0);
+            if roll < cf.plan.reduce_fault_probability {
+                let max = cf.plan.effective_max_attempts();
+                drop(handle);
+                let attempts = {
+                    let entry = &mut self.job_mut(id).reduces[r as usize];
+                    entry.state = ReduceState::Pending;
+                    entry.attempts += 1;
+                    entry.attempts
+                };
+                self.record(TraceKind::ReduceFailed {
+                    job: id,
+                    reduce: r,
+                    attempt: attempts,
+                });
+                self.metrics.faults_mut().reduce_failures += 1;
+                if attempts >= max {
+                    self.fail_job(id);
+                } else {
+                    self.pending_reduces.push_back((id, r));
+                }
+                return;
+            }
+        }
         let result = handle.join();
         self.metrics.add_host_reduce_ns(result.host_ns);
-        self.nodes[node.0 as usize].free_reduce_slots += 1;
         let job = self.job_mut(id);
         let entry = &mut job.reduces[r as usize];
         entry.state = ReduceState::Done;
         entry.output = result.output;
+        // Release the re-execution backup the fault model retained.
+        entry.buffer.key_order = Default::default();
+        entry.buffer.groups = Default::default();
         job.reduces_done += 1;
         let all_done = job.reduces_done == job.reduce_tasks;
         self.record(TraceKind::ReduceFinished { job: id, reduce: r });

@@ -95,6 +95,11 @@ impl TaskScheduler for FairScheduler {
 
                 let mut launched = false;
                 for job in order {
+                    // A blacklisted node is not a locality decline: skip
+                    // the job here without touching its wait clock.
+                    if job.banned_on(node) {
+                        continue;
+                    }
                     // Local launch when possible; non-local only for
                     // replica-less head tasks or once the wait clock has
                     // exceeded the configured delay.
@@ -268,6 +273,27 @@ mod tests {
         validate(&v, &a);
         assert_eq!(a.len(), 1);
         assert_eq!(a[0].task, TaskId(1), "the node-1-local task runs on node 1");
+    }
+
+    #[test]
+    fn blacklisted_node_is_skipped_without_starting_the_wait_clock() {
+        let mut s = FairScheduler::paper_default();
+        let mut banned = sched_job(0, 0, 0, &[(0, &[0])], 2);
+        banned.banned_nodes = vec![true, false];
+        let v0 = view(SimTime::ZERO, vec![1, 0], vec![banned.clone()]);
+        assert!(s.assign(&v0).is_empty(), "job may not run on node 0");
+        // Much later, node 0 is still off-limits: the skip never matured a
+        // wait clock into a non-local launch there.
+        let v1 = view(SimTime::from_secs(100), vec![1, 0], vec![banned.clone()]);
+        assert!(s.assign(&v1).is_empty());
+        // An unbanned node with the job's data serves it immediately.
+        let mut allowed = sched_job(0, 0, 0, &[(0, &[1])], 2);
+        allowed.banned_nodes = vec![true, false];
+        let v2 = view(SimTime::from_secs(100), vec![0, 1], vec![allowed]);
+        let a = s.assign(&v2);
+        validate(&v2, &a);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].node, NodeId(1));
     }
 
     #[test]

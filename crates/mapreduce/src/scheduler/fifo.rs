@@ -47,10 +47,16 @@ impl TaskScheduler for FifoScheduler {
                     continue;
                 }
                 let node = NodeId(node_idx as u16);
-                // Earliest job with unclaimed pending work.
-                let Some(&job_idx) = order.iter().find(|&&i| view.jobs[i].unclaimed(&taken) > 0)
-                else {
+                if order.iter().all(|&i| view.jobs[i].unclaimed(&taken) == 0) {
                     return assignments;
+                }
+                // Earliest job with unclaimed pending work that has not
+                // blacklisted this node (a banned job may still be served
+                // by other nodes, so only skip it here).
+                let Some(&job_idx) = order.iter().find(|&&i| {
+                    view.jobs[i].unclaimed(&taken) > 0 && !view.jobs[i].banned_on(node)
+                }) else {
+                    continue;
                 };
                 let job = &view.jobs[job_idx];
                 // Prefer a task local to this node; otherwise take the head.
@@ -166,6 +172,25 @@ mod tests {
     #[test]
     fn no_work_no_assignments() {
         let v = view(vec![4, 4], vec![]);
+        assert!(FifoScheduler::new().assign(&v).is_empty());
+    }
+
+    #[test]
+    fn blacklisted_node_serves_the_next_job_instead() {
+        let mut banned = sched_job(0, 0, 0, &[(0, &[0])], 1);
+        banned.banned_nodes = vec![true];
+        let v = view(vec![2], vec![banned, sched_job(1, 1, 0, &[(0, &[])], 1)]);
+        let a = FifoScheduler::new().assign(&v);
+        validate(&v, &a);
+        assert_eq!(a.len(), 1, "only the unbanned job may use node 0");
+        assert_eq!(a[0].job, JobId(1));
+    }
+
+    #[test]
+    fn job_banned_everywhere_leaves_slots_idle() {
+        let mut banned = sched_job(0, 0, 0, &[(0, &[]), (1, &[])], 2);
+        banned.banned_nodes = vec![true, true];
+        let v = view(vec![1, 1], vec![banned]);
         assert!(FifoScheduler::new().assign(&v).is_empty());
     }
 

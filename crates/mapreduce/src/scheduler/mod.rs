@@ -23,7 +23,10 @@
 //!   for data-local launches.
 //!
 //! A scheduler must never assign the same task twice or exceed a node's
-//! free slots; the runtime validates both in debug builds.
+//! free slots; the runtime validates both in debug builds. Dead nodes
+//! never appear with free slots (the runtime zeroes them), and a job that
+//! has blacklisted a node flags it in [`SchedJob::banned_nodes`] — no task
+//! of that job may be assigned there.
 
 pub mod fair;
 pub mod fifo;
@@ -57,9 +60,20 @@ pub struct SchedJob {
     /// Per-node local pending candidates, indexed by `NodeId.0` (only
     /// populated for nodes with free slots; capped per node).
     pub local_by_node: Vec<Vec<TaskId>>,
+    /// Nodes this job has blacklisted, indexed by `NodeId.0` (empty when
+    /// the job bans nothing). Schedulers must skip this job on such nodes.
+    pub banned_nodes: Vec<bool>,
 }
 
 impl SchedJob {
+    /// Whether this job has blacklisted `node`.
+    pub fn banned_on(&self, node: NodeId) -> bool {
+        self.banned_nodes
+            .get(node.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
     /// A pending task local to `node`, excluding those in `taken`.
     pub fn local_candidate(
         &self,
@@ -178,6 +192,7 @@ pub(crate) mod testutil {
             head,
             head_replica_less,
             local_by_node,
+            banned_nodes: Vec::new(),
         }
     }
 
@@ -202,6 +217,10 @@ pub(crate) mod testutil {
             let known =
                 job.head.contains(&a.task) || job.local_by_node.iter().any(|l| l.contains(&a.task));
             assert!(known, "assigned task was not offered in the view");
+            assert!(
+                !job.banned_on(a.node),
+                "task assigned to a node its job blacklisted: {a:?}"
+            );
         }
     }
 }
@@ -230,6 +249,16 @@ mod tests {
     fn local_candidate_out_of_range_node_is_none() {
         let j = sched_job(0, 0, 0, &[(1, &[0])], 2);
         assert_eq!(j.local_candidate(NodeId(7), &HashSet::new()), None);
+    }
+
+    #[test]
+    fn banned_on_defaults_to_open() {
+        let mut j = sched_job(0, 0, 0, &[(1, &[0])], 2);
+        assert!(!j.banned_on(NodeId(0)));
+        assert!(!j.banned_on(NodeId(9)), "out of range = not banned");
+        j.banned_nodes = vec![false, true];
+        assert!(j.banned_on(NodeId(1)));
+        assert!(!j.banned_on(NodeId(0)));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property-based tests of the scheduler contract: for *any* view, both
 //! schedulers produce assignments that respect slot limits, never assign a
-//! task twice, only assign offered tasks, and are deterministic.
+//! task twice, only assign offered tasks, never dispatch to a dead (zero
+//! free slots) or blacklisted node, and are deterministic. The speculation
+//! picker's one-backup-per-task rule is proptested alongside.
 
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -9,6 +11,7 @@ use incmr_dfs::NodeId;
 use incmr_simkit::SimTime;
 
 use super::{FairScheduler, FifoScheduler, SchedJob, SchedView, TaskScheduler};
+use crate::faults::{pick_speculative, SpecCandidate, SpeculationConfig};
 use crate::job::{JobId, TaskId};
 
 /// Strategy: a random scheduling view over `nodes` nodes.
@@ -25,13 +28,14 @@ fn arb_view(
                 (any::<u8>(), prop::collection::vec(0..nodes as u16, 0..3)),
                 0..=max_tasks,
             ),
+            prop::collection::vec(any::<bool>(), nodes),
         );
         let jobs = prop::collection::vec(job, jobs);
         (free, jobs).prop_map(move |(free_slots, jobs)| {
             let jobs = jobs
                 .into_iter()
                 .enumerate()
-                .map(|(j, (running, tasks))| {
+                .map(|(j, (running, tasks, banned_nodes))| {
                     let mut local_by_node = vec![Vec::new(); free_slots.len()];
                     let mut head = Vec::new();
                     let mut head_replica_less = Vec::new();
@@ -51,6 +55,7 @@ fn arb_view(
                         head,
                         head_replica_less,
                         local_by_node,
+                        banned_nodes,
                     }
                 })
                 .collect();
@@ -82,6 +87,14 @@ fn check_contract(view: &SchedView, assignments: &[super::Assignment]) {
         let offered =
             job.head.contains(&a.task) || job.local_by_node.iter().any(|l| l.contains(&a.task));
         assert!(offered, "assigned a task that was never offered");
+        assert!(
+            !job.banned_on(a.node),
+            "dispatched to a node the job blacklisted: {a:?}"
+        );
+        assert!(
+            view.free_slots[a.node.0 as usize] > 0,
+            "dispatched to a node with no free slots (dead): {a:?}"
+        );
     }
 }
 
@@ -125,6 +138,7 @@ proptest! {
                 head,
                 head_replica_less: vec![true; tasks],
                 local_by_node: vec![Vec::new(); free.len()],
+                banned_nodes: Vec::new(),
             }],
         };
         let assignments = FifoScheduler::new().assign(&view);
@@ -154,10 +168,101 @@ proptest! {
                 head,
                 head_replica_less: vec![false; tasks],
                 local_by_node,
+                banned_nodes: Vec::new(),
             }],
         };
         let assignments = FairScheduler::paper_default().assign(&view);
         prop_assert!(assignments.is_empty(), "fresh fair scheduler must decline: {assignments:?}");
         let _ = NodeId(0);
+    }
+
+    /// A job banned everywhere gets nothing, no matter the offer — and
+    /// other jobs still fill the slots (bans must not wedge a scheduler).
+    #[test]
+    fn banned_everywhere_job_is_never_dispatched(view in arb_view(6, 5, 8)) {
+        let mut view = view;
+        if let Some(first) = view.jobs.first_mut() {
+            first.banned_nodes = vec![true; view.free_slots.len()];
+        }
+        let banned_job = view.jobs.first().map(|j| j.job);
+        for assignments in [
+            FifoScheduler::new().assign(&view),
+            FairScheduler::paper_default().assign(&view),
+        ] {
+            check_contract(&view, &assignments);
+            prop_assert!(
+                assignments.iter().all(|a| Some(a.job) != banned_job),
+                "banned-everywhere job was dispatched: {assignments:?}"
+            );
+        }
+    }
+
+    /// Dead nodes are presented as zero free slots; nothing may land there
+    /// even when every other node is saturated.
+    #[test]
+    fn dead_nodes_receive_nothing(view in arb_view(6, 5, 8), dead in prop::collection::vec(any::<bool>(), 6)) {
+        let mut view = view;
+        for (n, free) in view.free_slots.iter_mut().enumerate() {
+            if dead[n] {
+                *free = 0;
+            }
+        }
+        for assignments in [
+            FifoScheduler::new().assign(&view),
+            FairScheduler::paper_default().assign(&view),
+        ] {
+            check_contract(&view, &assignments);
+            prop_assert!(
+                assignments.iter().all(|a| !dead[a.node.0 as usize]),
+                "dispatched to a dead node: {assignments:?}"
+            );
+        }
+    }
+
+    /// The speculation picker launches at most one backup per task: it
+    /// never picks a task that is already speculating, already has two
+    /// attempts in flight, or is still queued.
+    #[test]
+    fn speculation_never_exceeds_one_backup_per_task(
+        cands in prop::collection::vec(
+            (0u32..3, any::<bool>(), 0u64..1_000),
+            0..24,
+        ),
+        now_s in 0u64..2_000,
+        mean_ms in 1.0f64..100_000.0,
+        completed in 0u32..20,
+    ) {
+        let cands: Vec<SpecCandidate> = cands
+            .into_iter()
+            .enumerate()
+            .map(|(task, (attempts_in_flight, speculative_in_flight, started_s))| SpecCandidate {
+                task: task as u32,
+                attempts_in_flight,
+                speculative_in_flight,
+                started: SimTime::from_secs(started_s),
+            })
+            .collect();
+        let cfg = SpeculationConfig::default();
+        let picked = pick_speculative(&cands, SimTime::from_secs(now_s), mean_ms, completed, &cfg);
+        if let Some(task) = picked {
+            prop_assert!(completed >= cfg.min_completed);
+            let c = cands.iter().find(|c| c.task == task).expect("picked from candidates");
+            prop_assert_eq!(c.attempts_in_flight, 1, "backup beside exactly one running attempt");
+            prop_assert!(!c.speculative_in_flight, "second backup for one task");
+            // Re-asking after the launch (the task now has 2 attempts, one
+            // speculative) must not pick the same task again.
+            let after: Vec<SpecCandidate> = cands
+                .iter()
+                .map(|c| if c.task == task {
+                    SpecCandidate { attempts_in_flight: 2, speculative_in_flight: true, ..*c }
+                } else {
+                    *c
+                })
+                .collect();
+            prop_assert_ne!(
+                pick_speculative(&after, SimTime::from_secs(now_s), mean_ms, completed, &cfg),
+                Some(task)
+            );
+        }
     }
 }

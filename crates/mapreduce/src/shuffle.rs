@@ -17,14 +17,27 @@
 //!
 //! The job-level materialise cap (`mapred.job.materialize.cap`) is honoured
 //! exactly as the old monolithic path did — the first `cap` pairs in
-//! (map-completion, emission) order are kept. [`PartitionedPairs`] records
+//! (map-task, emission) order are kept. [`PartitionedPairs`] records
 //! each pair's partition index in emission order so a cap that bites
 //! mid-task keeps precisely the emission-order prefix of every partition.
 //! The proptest below pins this equivalence against a monolithic reference
 //! re-partition for arbitrary key distributions, task shapes, caps, and
 //! `reduce_tasks` counts.
+//!
+//! ## Merge order and fault tolerance
+//!
+//! Maps *complete* in an order that depends on scheduling, stragglers, and
+//! re-executed attempts — but the merged shuffle content must not. The
+//! runtime therefore merges through [`ShuffleState::merge_task`], which
+//! enforces **task-id order**: a map that completes ahead of a lower-id
+//! task is parked and merged only once the frontier reaches it. The merged
+//! buffers (and the exact materialise-cap prefix) are then a pure function
+//! of the task *set* and each task's output — identical whether a node
+//! died mid-job, a straggler finished last, or nothing failed at all. This
+//! is what lets `tests/chaos.rs` assert that a surviving job's output
+//! fingerprint matches the fault-free run, schedule for schedule.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use incmr_data::Record;
 
@@ -155,6 +168,10 @@ pub struct ShuffleState {
     buffers: Vec<PartitionBuffer>,
     cap: u64,
     materialized: u64,
+    /// Next task id the in-order frontier will merge.
+    next_seq: u32,
+    /// Completed-but-early task outputs, waiting for the frontier.
+    parked: BTreeMap<u32, PartitionedPairs>,
 }
 
 impl ShuffleState {
@@ -167,6 +184,8 @@ impl ShuffleState {
                 .collect(),
             cap: materialize_cap,
             materialized: 0,
+            next_seq: 0,
+            parked: BTreeMap::new(),
         }
     }
 
@@ -186,6 +205,40 @@ impl ShuffleState {
             buffer.absorb(part, count);
         }
         self.materialized += take as u64;
+    }
+
+    /// Merge the output of map task `seq`, enforcing task-id order: the
+    /// frontier advances one task at a time, and an out-of-order completion
+    /// is parked until every lower-id task has merged. Each task id must be
+    /// merged exactly once — re-executed attempts of an already-merged task
+    /// must not call this again (their output is byte-identical anyway; see
+    /// the module docs on fault tolerance).
+    pub fn merge_task(&mut self, seq: u32, pairs: PartitionedPairs) {
+        debug_assert!(
+            seq >= self.next_seq && !self.parked.contains_key(&seq),
+            "task {seq} merged twice (frontier at {})",
+            self.next_seq
+        );
+        if seq != self.next_seq {
+            self.parked.insert(seq, pairs);
+            return;
+        }
+        self.merge(pairs);
+        self.next_seq += 1;
+        while let Some(parked) = self.parked.remove(&self.next_seq) {
+            self.merge(parked);
+            self.next_seq += 1;
+        }
+    }
+
+    /// Task ids merged through the in-order frontier so far.
+    pub fn merged_tasks(&self) -> u32 {
+        self.next_seq
+    }
+
+    /// True when no out-of-order completions are waiting on the frontier.
+    pub fn is_settled(&self) -> bool {
+        self.parked.is_empty()
     }
 
     /// Materialised pairs merged so far (≤ the cap).
@@ -223,7 +276,8 @@ mod tests {
         cap: u64,
     ) -> Vec<PartitionBuffer> {
         let r = reduce_tasks.max(1);
-        let mut buffers: Vec<PartitionBuffer> = (0..r).map(|_| PartitionBuffer::default()).collect();
+        let mut buffers: Vec<PartitionBuffer> =
+            (0..r).map(|_| PartitionBuffer::default()).collect();
         let flat: Vec<(Key, Record)> = tasks.iter().flatten().cloned().collect();
         for (key, value) in flat.into_iter().take(cap.min(usize::MAX as u64) as usize) {
             buffers[partition_of(&key, r)].absorb(vec![(key, value)], 1);
@@ -285,10 +339,47 @@ mod tests {
     }
 
     #[test]
+    fn frontier_merge_parks_out_of_order_tasks() {
+        let mut state = ShuffleState::new(1, u64::MAX);
+        state.merge_task(2, PartitionedPairs::build(vec![pair("c", 2)], 1));
+        state.merge_task(1, PartitionedPairs::build(vec![pair("b", 1)], 1));
+        assert_eq!(state.merged_tasks(), 0, "frontier blocked on task 0");
+        assert!(!state.is_settled());
+        state.merge_task(0, PartitionedPairs::build(vec![pair("a", 0)], 1));
+        assert_eq!(state.merged_tasks(), 3, "frontier drained the parked tasks");
+        assert!(state.is_settled());
+        let buffers = state.into_buffers();
+        let keys: Vec<&str> = buffers[0].key_order.iter().map(|k| &**k).collect();
+        assert_eq!(
+            keys,
+            ["a", "b", "c"],
+            "merged in task order, not arrival order"
+        );
+    }
+
+    #[test]
+    fn frontier_cap_is_a_task_order_prefix_regardless_of_arrival() {
+        // Cap 2 must keep task 0's pairs and drop task 1's, even though
+        // task 1 arrived first.
+        let mut state = ShuffleState::new(1, 2);
+        state.merge_task(1, PartitionedPairs::build(vec![pair("late", 1)], 1));
+        state.merge_task(
+            0,
+            PartitionedPairs::build(vec![pair("x", 0), pair("y", 0)], 1),
+        );
+        let buffers = state.into_buffers();
+        let keys: Vec<&str> = buffers[0].key_order.iter().map(|k| &**k).collect();
+        assert_eq!(keys, ["x", "y"], "cap prefix follows task ids");
+    }
+
+    #[test]
     fn zero_reduce_tasks_is_clamped_to_one() {
         let state = ShuffleState::new(0, u64::MAX);
         assert_eq!(state.buffers().len(), 1);
-        assert_eq!(PartitionedPairs::build(vec![pair("x", 1)], 0).reduce_tasks(), 1);
+        assert_eq!(
+            PartitionedPairs::build(vec![pair("x", 1)], 0).reduce_tasks(),
+            1
+        );
     }
 
     proptest! {
@@ -328,6 +419,52 @@ mod tests {
             let materialized: u64 = streamed.iter().map(|b| b.input_records).sum();
             let emitted: u64 = tasks.iter().map(|t| t.len() as u64).sum();
             prop_assert_eq!(materialized, emitted.min(cap));
+        }
+
+        /// The frontier merge is completion-order invariant: feeding tasks
+        /// through `merge_task` in an arbitrary permutation produces
+        /// byte-identical buffers to the in-order merge — the property the
+        /// fault plane's re-executions and stragglers rely on.
+        #[test]
+        fn frontier_merge_is_arrival_order_invariant(
+            tasks in prop::collection::vec(
+                prop::collection::vec((0u8..10, any::<i64>()), 0..20),
+                1..10,
+            ),
+            reduce_tasks in 1u32..6,
+            cap in prop::option::of(0u64..80),
+            perm_seed in any::<u64>(),
+        ) {
+            let tasks: Vec<Vec<(Key, Record)>> = tasks
+                .iter()
+                .map(|t| t.iter().map(|(k, v)| pair(&format!("k{k}"), *v)).collect())
+                .collect();
+            let cap = cap.unwrap_or(u64::MAX);
+            let mut in_order = ShuffleState::new(reduce_tasks, cap);
+            for (seq, task) in tasks.iter().enumerate() {
+                in_order.merge_task(seq as u32, PartitionedPairs::build(task.clone(), reduce_tasks));
+            }
+            // A deterministic Fisher–Yates permutation of the arrival order.
+            let mut order: Vec<usize> = (0..tasks.len()).collect();
+            let mut state = perm_seed | 1;
+            for i in (1..order.len()).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                order.swap(i, (state >> 33) as usize % (i + 1));
+            }
+            let mut shuffled = ShuffleState::new(reduce_tasks, cap);
+            for &seq in &order {
+                shuffled.merge_task(seq as u32, PartitionedPairs::build(tasks[seq].clone(), reduce_tasks));
+            }
+            prop_assert!(shuffled.is_settled());
+            prop_assert_eq!(shuffled.merged_tasks(), tasks.len() as u32);
+            let a = in_order.into_buffers();
+            let b = shuffled.into_buffers();
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(&x.key_order, &y.key_order);
+                prop_assert_eq!(&x.groups, &y.groups);
+                prop_assert_eq!(x.shuffle_bytes, y.shuffle_bytes);
+                prop_assert_eq!(x.input_records, y.input_records);
+            }
         }
     }
 }

@@ -110,11 +110,59 @@ pub enum TraceKind {
         /// True if the job was aborted.
         failed: bool,
     },
+    /// A reduce attempt failed (fault injection).
+    ReduceFailed {
+        /// The job.
+        job: JobId,
+        /// Reduce partition index.
+        reduce: u32,
+        /// Which attempt failed (1-based).
+        attempt: u32,
+    },
+    /// A node (TaskTracker) died; its slots, running attempts, and stored
+    /// map output are gone.
+    NodeLost {
+        /// The dead node.
+        node: NodeId,
+    },
+    /// A dead node rejoined the cluster with fresh slots.
+    NodeRejoined {
+        /// The recovered node.
+        node: NodeId,
+    },
+    /// A speculative attempt of a laggard map task was launched.
+    SpeculativeLaunch {
+        /// The job.
+        job: JobId,
+        /// The task being speculated.
+        task: TaskId,
+        /// The node hosting the backup attempt.
+        node: NodeId,
+    },
+    /// A running attempt was killed (node death or losing a speculative
+    /// race) — killed, not failed: it does not count against the task's
+    /// attempt budget.
+    AttemptKilled {
+        /// The job.
+        job: JobId,
+        /// The task.
+        task: TaskId,
+        /// The node the attempt was running on.
+        node: NodeId,
+    },
+    /// A job blacklisted a node after repeated counted failures on it.
+    NodeBlacklisted {
+        /// The job.
+        job: JobId,
+        /// The banned node.
+        node: NodeId,
+    },
 }
 
 impl TraceKind {
-    /// The job this event belongs to.
-    pub fn job(&self) -> JobId {
+    /// The job this event belongs to (`None` for cluster-level events
+    /// such as node loss).
+    pub fn job(&self) -> Option<JobId> {
         match self {
             TraceKind::JobSubmitted { job }
             | TraceKind::InputAdded { job, .. }
@@ -125,7 +173,12 @@ impl TraceKind {
             | TraceKind::ShuffleReady { job, .. }
             | TraceKind::ReduceStarted { job, .. }
             | TraceKind::ReduceFinished { job, .. }
-            | TraceKind::JobCompleted { job, .. } => *job,
+            | TraceKind::JobCompleted { job, .. }
+            | TraceKind::ReduceFailed { job, .. }
+            | TraceKind::SpeculativeLaunch { job, .. }
+            | TraceKind::AttemptKilled { job, .. }
+            | TraceKind::NodeBlacklisted { job, .. } => Some(*job),
+            TraceKind::NodeLost { .. } | TraceKind::NodeRejoined { .. } => None,
         }
     }
 }
@@ -175,6 +228,24 @@ impl fmt::Display for TraceEvent {
             TraceKind::JobCompleted { job, failed } => {
                 write!(f, "{job} {}", if *failed { "FAILED" } else { "completed" })
             }
+            TraceKind::ReduceFailed {
+                job,
+                reduce,
+                attempt,
+            } => {
+                write!(f, "{job}/r{reduce} FAILED (attempt {attempt})")
+            }
+            TraceKind::NodeLost { node } => write!(f, "{node} LOST"),
+            TraceKind::NodeRejoined { node } => write!(f, "{node} rejoined"),
+            TraceKind::SpeculativeLaunch { job, task, node } => {
+                write!(f, "{job}/{task} speculative -> {node}")
+            }
+            TraceKind::AttemptKilled { job, task, node } => {
+                write!(f, "{job}/{task} killed on {node}")
+            }
+            TraceKind::NodeBlacklisted { job, node } => {
+                write!(f, "{job} blacklists {node}")
+            }
         }
     }
 }
@@ -201,7 +272,7 @@ pub struct JobTimeline {
 /// Summarise one job's phases from a trace.
 pub fn job_timeline(events: &[TraceEvent], job: JobId) -> Option<JobTimeline> {
     let mut timeline: Option<JobTimeline> = None;
-    for e in events.iter().filter(|e| e.kind.job() == job) {
+    for e in events.iter().filter(|e| e.kind.job() == Some(job)) {
         match &e.kind {
             TraceKind::JobSubmitted { .. } => {
                 timeline = Some(JobTimeline {
@@ -222,11 +293,13 @@ pub fn job_timeline(events: &[TraceEvent], job: JobId) -> Option<JobTimeline> {
                     TraceKind::MapStarted { .. } => t.maps.0 += 1,
                     TraceKind::MapFinished { .. } => t.maps.1 += 1,
                     TraceKind::MapFailed { .. } => t.maps.2 += 1,
-                    TraceKind::ShuffleReady { .. } => {}
                     TraceKind::ReduceStarted { .. } => t.reduces.0 += 1,
                     TraceKind::ReduceFinished { .. } => t.reduces.1 += 1,
                     TraceKind::JobCompleted { .. } => t.completed = Some(e.time),
                     TraceKind::JobSubmitted { .. } => unreachable!(),
+                    // Fault-plane and shuffle bookkeeping events don't
+                    // shift the phase summary.
+                    _ => {}
                 }
             }
         }
@@ -249,7 +322,7 @@ pub fn render_timeline(events: &[TraceEvent], buckets: usize) -> String {
     // Collect per-job running intervals from start/finish pairs.
     let mut jobs: Vec<JobId> = Vec::new();
     for e in events {
-        let j = e.kind.job();
+        let Some(j) = e.kind.job() else { continue };
         if !jobs.contains(&j) {
             jobs.push(j);
         }
@@ -266,14 +339,16 @@ pub fn render_timeline(events: &[TraceEvent], buckets: usize) -> String {
         // Running-map deltas per bucket.
         let mut delta = vec![0i64; buckets + 1];
         let mut open: std::collections::HashMap<TaskId, usize> = std::collections::HashMap::new();
-        for e in events.iter().filter(|e| e.kind.job() == job) {
+        for e in events.iter().filter(|e| e.kind.job() == Some(job)) {
             let b = (((e.time - start).as_millis()) / bucket_ms) as usize;
             let b = b.min(buckets - 1);
             match &e.kind {
                 TraceKind::MapStarted { task, .. } => {
                     open.insert(*task, b);
                 }
-                TraceKind::MapFinished { task, .. } | TraceKind::MapFailed { task, .. } => {
+                TraceKind::MapFinished { task, .. }
+                | TraceKind::MapFailed { task, .. }
+                | TraceKind::AttemptKilled { task, .. } => {
                     if let Some(sb) = open.remove(task) {
                         delta[sb] += 1;
                         delta[b + 1] -= 1;

@@ -51,7 +51,8 @@ fn main() {
                 probability,
                 max_attempts: 10,
                 seed: 99,
-            });
+            })
+            .expect("valid plan");
         }
         let (job, driver) = build_sampling_job(
             &ds,

@@ -1,0 +1,358 @@
+//! Deterministic chaos suite: the cluster fault plane under ~50 seeded
+//! schedules of node deaths, rejoins, stragglers, map/reduce attempt
+//! faults, speculation, and blacklisting.
+//!
+//! Two properties are pinned for every schedule:
+//!
+//! 1. **Thread invariance** — the simulated run (result scalars, reduce
+//!    output, full event trace, fault counters) is byte-identical at 1, 4,
+//!    and 8 data-plane threads.
+//! 2. **Fault-schedule invariance of output** — map output is a pure
+//!    function of its block and the shuffle merges in task-id order, so
+//!    every job that *survives* its schedule produces exactly the
+//!    fault-free output; doomed jobs fail identically everywhere.
+
+use std::sync::Arc;
+
+use incmr::mapreduce::{
+    ClusterFaultPlan, FaultMetrics, NodeOutage, SpeculationConfig, TraceEvent, TraceKind,
+};
+use incmr::prelude::*;
+
+/// `ClusterTopology::paper_cluster()` node count.
+const NODES: u64 = 10;
+
+#[derive(Clone, Copy)]
+enum Kind {
+    /// The paper's dynamic sampling job (MA policy, FirstK, k = 15).
+    Sampling,
+    /// A static full scan of the dataset.
+    Scan,
+}
+
+/// Run one job under one fault schedule and return everything observable
+/// about the simulated run.
+fn run_sized(
+    kind: Kind,
+    threads: u32,
+    plan: Option<&ClusterFaultPlan>,
+    splits: u32,
+    records: u64,
+) -> (JobResult, Vec<TraceEvent>, FaultMetrics) {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(17);
+    let spec = DatasetSpec::small("t", splits, records, SkewLevel::Moderate, 17);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user().with_parallelism(Parallelism::threads(threads)),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    rt.enable_tracing();
+    if let Some(plan) = plan {
+        rt.inject_cluster_faults(plan.clone())
+            .expect("valid chaos plan");
+    }
+    let (job, driver): (JobSpec, Box<dyn incmr::mapreduce::GrowthDriver>) = match kind {
+        Kind::Sampling => {
+            let (job, driver) = build_sampling_job(
+                &ds,
+                15,
+                Policy::ma(),
+                ScanMode::Planted,
+                SampleMode::FirstK,
+                23,
+            );
+            (job, driver)
+        }
+        Kind::Scan => {
+            let (job, driver) = build_scan_job(&ds, ScanMode::Planted);
+            (job, driver)
+        }
+    };
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    (
+        rt.job_result(id).clone(),
+        rt.take_trace(),
+        rt.metrics().faults(),
+    )
+}
+
+fn run(
+    kind: Kind,
+    threads: u32,
+    plan: Option<&ClusterFaultPlan>,
+) -> (JobResult, Vec<TraceEvent>, FaultMetrics) {
+    run_sized(kind, threads, plan, 24, 3_000)
+}
+
+/// splitmix64: independent schedule knobs from one seed, without touching
+/// the simulation's own rng streams.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derive one fault schedule from a seed: up to two outages timed inside
+/// the fault-free run (`horizon_ms`, with a 1-in-4 chance of never
+/// rejoining), up to three straggler nodes at 0.4–1.0 speed, and modest
+/// map/reduce attempt fault probabilities, with speculation and
+/// blacklisting armed throughout.
+fn chaos_plan(seed: u64, horizon_ms: u64) -> ClusterFaultPlan {
+    let h = |i: u64| mix(seed.wrapping_mul(1_000_003).wrapping_add(i));
+    let outages = (0..h(0) % 3)
+        .map(|i| {
+            let down = horizon_ms / 8 + h(10 + i) % horizon_ms;
+            let up = down + horizon_ms / 4 + h(20 + i) % horizon_ms;
+            NodeOutage {
+                node: NodeId((h(30 + i) % NODES) as u16),
+                down_at: SimTime::from_millis(down),
+                up_at: (h(40 + i) % 4 != 0).then(|| SimTime::from_millis(up)),
+            }
+        })
+        .collect();
+    let node_speed = (0..h(1) % 4)
+        .map(|i| 0.4 + (h(50 + i) % 61) as f64 / 100.0)
+        .collect();
+    ClusterFaultPlan {
+        outages,
+        node_speed,
+        map_fault_probability: (h(2) % 12) as f64 / 100.0,
+        reduce_fault_probability: (h(3) % 8) as f64 / 100.0,
+        max_attempts: 4,
+        speculation: Some(SpeculationConfig::default()),
+        blacklist_threshold: Some(3),
+        seed,
+    }
+}
+
+/// The chaos matrix for one job kind: 50 seeded schedules, each at 1, 4,
+/// and 8 threads.
+fn chaos_matrix(kind: Kind) {
+    let (baseline, _, _) = run(kind, 1, None);
+    assert!(!baseline.failed, "the fault-free baseline must complete");
+    let horizon = baseline.response_time().as_millis();
+    let mut survived = 0u32;
+    for seed in 0..50u64 {
+        let plan = chaos_plan(seed, horizon);
+        let (r1, t1, m1) = run(kind, 1, Some(&plan));
+        for threads in [4, 8] {
+            let (r, t, m) = run(kind, threads, Some(&plan));
+            assert_eq!(
+                r.failed, r1.failed,
+                "job fate diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                r.response_time(),
+                r1.response_time(),
+                "simulated time diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                r.output, r1.output,
+                "output diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                t, t1,
+                "event timeline diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                m, m1,
+                "fault counters diverged at {threads} threads (schedule {seed})"
+            );
+        }
+        if !r1.failed {
+            survived += 1;
+            assert_eq!(
+                r1.output, baseline.output,
+                "a surviving job diverged from the fault-free output (schedule {seed})"
+            );
+        }
+    }
+    assert!(
+        survived > 0,
+        "every schedule doomed its job — the matrix proves nothing"
+    );
+}
+
+#[test]
+fn sampling_job_survives_fifty_chaos_schedules_exactly() {
+    chaos_matrix(Kind::Sampling);
+}
+
+#[test]
+fn full_scan_survives_fifty_chaos_schedules_exactly() {
+    chaos_matrix(Kind::Scan);
+}
+
+/// The headline Hadoop semantic: killing a node *after* its map tasks
+/// completed destroys their locally-stored output, so those maps must
+/// re-execute — and the job must still produce the fault-free output.
+#[test]
+fn losing_a_node_after_its_maps_complete_forces_reexecution() {
+    // 96 splits over 40 map slots gives several waves, so by mid-run the
+    // dead node has completed maps whose output the shuffle still needs.
+    let (baseline, _, _) = run_sized(Kind::Scan, 1, None, 96, 2_000);
+    assert!(!baseline.failed);
+    let plan = ClusterFaultPlan {
+        outages: vec![NodeOutage {
+            node: NodeId(3),
+            down_at: SimTime::from_millis(baseline.response_time().as_millis() / 2),
+            up_at: None,
+        }],
+        seed: 11,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, trace, m) = run_sized(Kind::Scan, 1, Some(&plan), 96, 2_000);
+    assert!(!r.failed, "nine surviving nodes must finish the job");
+    assert_eq!(m.nodes_lost, 1);
+    assert!(
+        m.maps_reexecuted > 0,
+        "completed maps on the dead node must re-execute: {m:?}"
+    );
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::NodeLost { node } if node == NodeId(3))));
+    assert_eq!(
+        r.output, baseline.output,
+        "re-execution must reproduce the fault-free output exactly"
+    );
+}
+
+/// A node that rejoins gets fresh slots and hosts new attempts.
+#[test]
+fn a_rejoined_node_hosts_attempts_again() {
+    let (baseline, _, _) = run_sized(Kind::Scan, 1, None, 96, 2_000);
+    let half = baseline.response_time().as_millis() / 2;
+    let plan = ClusterFaultPlan {
+        outages: vec![NodeOutage {
+            node: NodeId(7),
+            down_at: SimTime::from_millis(half / 2),
+            up_at: Some(SimTime::from_millis(half)),
+        }],
+        seed: 3,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, trace, m) = run_sized(Kind::Scan, 1, Some(&plan), 96, 2_000);
+    assert!(!r.failed);
+    assert_eq!((m.nodes_lost, m.nodes_rejoined), (1, 1));
+    let rejoined_at = trace
+        .iter()
+        .find(|e| matches!(e.kind, TraceKind::NodeRejoined { .. }))
+        .map(|e| e.time)
+        .expect("rejoin must be traced");
+    assert!(
+        trace.iter().any(|e| e.time > rejoined_at
+            && matches!(e.kind, TraceKind::MapStarted { node, .. } if node == NodeId(7))),
+        "the rejoined node must host map attempts again"
+    );
+    assert_eq!(r.output, baseline.output);
+}
+
+/// A quarter-speed straggler node triggers speculative execution once the
+/// pending queue drains, and the backup attempts change nothing about the
+/// output.
+#[test]
+fn a_straggler_node_draws_speculative_attempts() {
+    // 200k records per split makes maps CPU-bound (~5 s of CPU against
+    // ~1 s of fixed overhead), so a quarter-speed node genuinely lags.
+    let (baseline, _, _) = run_sized(Kind::Scan, 1, None, 48, 200_000);
+    let plan = ClusterFaultPlan {
+        node_speed: vec![0.25],
+        speculation: Some(SpeculationConfig::default()),
+        seed: 5,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, trace, m) = run_sized(Kind::Scan, 1, Some(&plan), 48, 200_000);
+    assert!(!r.failed);
+    assert!(
+        m.speculative_launched > 0,
+        "a quarter-speed node must trip the slowdown threshold: {m:?}"
+    );
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::SpeculativeLaunch { .. })));
+    assert_eq!(
+        r.output, baseline.output,
+        "speculation must never change the output"
+    );
+}
+
+/// Reduce attempts fault and retry on fresh slots without perturbing the
+/// committed output.
+#[test]
+fn reduce_attempt_faults_retry_without_corrupting_output() {
+    let (baseline, _, _) = run(Kind::Scan, 1, None);
+    let plan = ClusterFaultPlan {
+        reduce_fault_probability: 0.7,
+        max_attempts: 10,
+        seed: 19,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, trace, m) = run(Kind::Scan, 1, Some(&plan));
+    assert!(!r.failed);
+    assert!(
+        m.reduce_failures > 0,
+        "a 0.7 fault rate must fail at least one reduce attempt: {m:?}"
+    );
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::ReduceFailed { .. })));
+    assert_eq!(r.output, baseline.output);
+}
+
+/// Repeated counted failures on one node blacklist it for the job; the
+/// job routes around the ban and still commits the exact output.
+#[test]
+fn repeated_failures_blacklist_a_node_without_corrupting_output() {
+    let (baseline, _, _) = run(Kind::Scan, 1, None);
+    let plan = ClusterFaultPlan {
+        map_fault_probability: 0.3,
+        max_attempts: 20,
+        blacklist_threshold: Some(2),
+        seed: 13,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, trace, m) = run(Kind::Scan, 1, Some(&plan));
+    assert!(!r.failed);
+    assert!(
+        m.nodes_blacklisted > 0,
+        "a 0.3 fault rate against threshold 2 must ban a node: {m:?}"
+    );
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e.kind, TraceKind::NodeBlacklisted { .. })));
+    assert_eq!(r.output, baseline.output);
+}
+
+/// A schedule hostile enough to doom the job fails it deterministically:
+/// same fate, same timeline, same counters at every thread count.
+#[test]
+fn doomed_schedules_fail_identically_at_every_thread_count() {
+    let plan = ClusterFaultPlan {
+        map_fault_probability: 0.9,
+        max_attempts: 2,
+        seed: 41,
+        ..ClusterFaultPlan::default()
+    };
+    let (r1, t1, m1) = run(Kind::Scan, 1, Some(&plan));
+    assert!(
+        r1.failed,
+        "0.9 per-attempt faults against a 2-attempt budget must doom the job"
+    );
+    for threads in [4, 8] {
+        let (r, t, m) = run(Kind::Scan, threads, Some(&plan));
+        assert!(r.failed);
+        assert_eq!(r.response_time(), r1.response_time());
+        assert_eq!(t, t1, "failure timeline diverged at {threads} threads");
+        assert_eq!(m, m1);
+    }
+}

@@ -138,7 +138,7 @@ fn parallel_fingerprint(threads: u32, faults: Option<FaultPlan>) -> (JobResult, 
     );
     rt.enable_tracing();
     if let Some(plan) = faults {
-        rt.inject_faults(plan);
+        rt.inject_faults(plan).expect("valid plan");
     }
     let (job, driver) = build_sampling_job(
         &ds,
@@ -270,7 +270,7 @@ fn reduce_plane_fingerprint(
     );
     rt.enable_tracing();
     if let Some(plan) = faults {
-        rt.inject_faults(plan);
+        rt.inject_faults(plan).expect("valid plan");
     }
     let job = JobSpec::builder()
         .reduces(3)
@@ -313,7 +313,8 @@ fn reduce_plane_and_combiner_are_thread_count_invariant() {
         for threads in [4, 8] {
             let (result, trace, shuffle) = reduce_plane_fingerprint(threads, faults);
             assert_eq!(
-                result.output, serial_result.output,
+                result.output,
+                serial_result.output,
                 "reduce output diverged at {threads} threads (faults: {})",
                 faults.is_some()
             );

@@ -1,0 +1,120 @@
+//! Golden-trace regression: one fixed seed and one fixed fault schedule
+//! produce one exact event timeline, committed to the repository.
+//!
+//! Any change to scheduling, the cost model, the fault plane, or event
+//! ordering shows up here as a readable diff instead of a silent drift.
+//! After an *intentional* behaviour change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use incmr::mapreduce::{ClusterFaultPlan, NodeOutage, SpeculationConfig};
+use incmr::prelude::*;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/fault_trace.txt")
+}
+
+/// A schedule chosen to exercise every event kind the fault plane emits:
+/// a mid-run outage with rejoin, a straggler slow enough to speculate,
+/// map faults frequent enough to blacklist a node, and reduce faults.
+fn eventful_plan() -> ClusterFaultPlan {
+    ClusterFaultPlan {
+        outages: vec![NodeOutage {
+            node: NodeId(5),
+            down_at: SimTime::from_secs(10),
+            up_at: Some(SimTime::from_secs(25)),
+        }],
+        node_speed: vec![1.0, 1.0, 0.3],
+        map_fault_probability: 0.18,
+        reduce_fault_probability: 0.7,
+        max_attempts: 8,
+        speculation: Some(SpeculationConfig::default()),
+        blacklist_threshold: Some(2),
+        seed: 9,
+    }
+}
+
+fn render_run() -> String {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(17);
+    // CPU-bound maps (~5 s of CPU per split) so the 0.3-speed node lags
+    // far enough past the slowdown threshold to draw speculation.
+    let spec = DatasetSpec::small("t", 48, 200_000, SkewLevel::Moderate, 17);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    rt.enable_tracing();
+    rt.inject_cluster_faults(eventful_plan())
+        .expect("valid plan");
+    let (job, driver) = build_scan_job(&ds, ScanMode::Planted);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    assert!(!rt.job_result(id).failed, "the golden run must complete");
+    let mut out = String::new();
+    for event in rt.take_trace() {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn fault_trace_matches_golden_file() {
+    let got = render_run();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &got).expect("write golden trace");
+        return;
+    }
+    let want = fs::read_to_string(&path)
+        .expect("tests/golden/fault_trace.txt missing — generate it with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "fault-plane trace diverged from tests/golden/fault_trace.txt; \
+         if the behaviour change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         and review the diff"
+    );
+}
+
+/// The golden schedule must keep exercising the whole fault plane: if a
+/// future change makes it quietly stop (no deaths, no speculation, no
+/// blacklisting), the trace would still "match" while guarding nothing.
+#[test]
+fn golden_schedule_exercises_every_event_kind() {
+    let got = render_run();
+    for needle in [
+        "LOST",
+        "rejoined",
+        "FAILED (attempt",
+        "speculative ->",
+        "killed on",
+        "blacklists",
+    ] {
+        assert!(
+            got.contains(needle),
+            "golden schedule no longer produces a \"{needle}\" event"
+        );
+    }
+    assert!(
+        got.lines()
+            .any(|l| l.contains("/r") && l.contains("FAILED (attempt")),
+        "golden schedule no longer produces a failed reduce attempt"
+    );
+}
