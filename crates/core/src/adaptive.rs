@@ -133,11 +133,17 @@ impl AdaptiveDriver {
 impl GrowthDriver for AdaptiveDriver {
     fn initial_input(&mut self, cluster: &ClusterStatus) -> Vec<BlockId> {
         self.adapt(cluster);
-        let grab = self
-            .current_policy()
-            .grab_limit
-            .evaluate(cluster.total_map_slots, cluster.available_map_slots());
+        let grab = self.grab_limit(cluster);
         self.provider.initial_input(cluster, grab)
+    }
+
+    /// The *current rung's* grab-limit formula — no re-adaptation here, so
+    /// when the runtime clamps a directive it uses exactly the limit the
+    /// provider was handed during the evaluation that produced it.
+    fn grab_limit(&self, cluster: &ClusterStatus) -> u64 {
+        self.current_policy()
+            .grab_limit
+            .evaluate(cluster.total_map_slots, cluster.available_map_slots())
     }
 
     fn evaluate(&mut self, ctx: EvalContext<'_>) -> GrowthDirective {
@@ -156,10 +162,7 @@ impl GrowthDriver for AdaptiveDriver {
         }
         self.invocations += 1;
         self.completed_at_last_invocation = progress.splits_completed;
-        let grab = self
-            .current_policy()
-            .grab_limit
-            .evaluate(cluster.total_map_slots, cluster.available_map_slots());
+        let grab = self.grab_limit(cluster).min(ctx.grab_limit);
         match self.provider.next_input(ctx.with_grab_limit(grab)) {
             InputResponse::EndOfInput => GrowthDirective::EndOfInput,
             InputResponse::InputAvailable(blocks) => GrowthDirective::AddInput(blocks),

@@ -56,18 +56,22 @@ impl DynamicDriver {
     pub fn provider_invocations(&self) -> u64 {
         self.invocations
     }
-
-    fn grab_limit(&self, cluster: &ClusterStatus) -> u64 {
-        self.policy
-            .grab_limit
-            .evaluate(cluster.total_map_slots, cluster.available_map_slots())
-    }
 }
 
 impl GrowthDriver for DynamicDriver {
     fn initial_input(&mut self, cluster: &ClusterStatus) -> Vec<BlockId> {
         let grab = self.grab_limit(cluster);
         self.provider.initial_input(cluster, grab)
+    }
+
+    /// The policy's grab-limit formula over the live cluster status. Also
+    /// the bound the runtime clamps `AddInput` directives against, so a
+    /// provider that ignores its `EvalContext::grab_limit` cannot
+    /// over-grab.
+    fn grab_limit(&self, cluster: &ClusterStatus) -> u64 {
+        self.policy
+            .grab_limit
+            .evaluate(cluster.total_map_slots, cluster.available_map_slots())
     }
 
     fn evaluate(&mut self, ctx: EvalContext<'_>) -> GrowthDirective {
@@ -91,7 +95,8 @@ impl GrowthDriver for DynamicDriver {
         }
         self.invocations += 1;
         self.completed_at_last_invocation = progress.splits_completed;
-        let grab = self.grab_limit(ctx.cluster);
+        // Respect an already-tightened context (min), not just the policy.
+        let grab = self.grab_limit(ctx.cluster).min(ctx.grab_limit);
         match self.provider.next_input(ctx.with_grab_limit(grab)) {
             InputResponse::EndOfInput => GrowthDirective::EndOfInput,
             InputResponse::InputAvailable(blocks) => GrowthDirective::AddInput(blocks),

@@ -49,6 +49,7 @@ pub use policy_file::{parse_policy_file, PolicyFileError};
 pub use sampling::{SampleCombiner, SampleMode, SamplingMapper, SamplingReducer, DUMMY_KEY};
 pub use sampling_job::{
     build_adaptive_sampling_job, build_sampling_job, build_sampling_job_with, build_scan_job,
+    sample_outcome, SampleOutcome,
 };
 pub use sampling_provider::SamplingInputProvider;
 pub use scan::ScanMapper;

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use incmr_data::lineitem::col;
 use incmr_data::Dataset;
 use incmr_mapreduce::{
-    keys, DatasetInputFormat, JobConf, JobSpec, ScanMode, StaticDriver, MATERIALIZE_CAP_KEY,
+    keys, DatasetInputFormat, JobConf, JobResult, JobSpec, ScanMode, StaticDriver,
+    MATERIALIZE_CAP_KEY,
 };
 
 use crate::dynamic_driver::DynamicDriver;
@@ -20,6 +21,52 @@ use crate::scan::ScanMapper;
 /// `SELECT ORDERKEY, PARTKEY, SUPPKEY FROM LINEITEM WHERE … LIMIT 10000`.
 pub fn paper_projection() -> Vec<usize> {
     vec![col::ORDERKEY, col::PARTKEY, col::SUPPKEY]
+}
+
+/// How a *completed* sampling job ended relative to its target `k`.
+///
+/// A sampling job can legitimately finish with fewer than `k` records —
+/// the candidate input ran out of matches, or a graceful deadline
+/// (`keys::JOB_DEADLINE_MS` with `keys::ALLOW_PARTIAL`) cut input intake
+/// short. Both are *successful completions*: the sample it did gather is
+/// valid, just smaller than requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleOutcome {
+    /// The sample reached the requested size.
+    Full {
+        /// The requested sample size `k`.
+        requested: u64,
+    },
+    /// The job completed with fewer than `k` matches.
+    Partial {
+        /// Records actually gathered (`< requested`).
+        found: u64,
+        /// The requested sample size `k`.
+        requested: u64,
+    },
+}
+
+/// Classify a finished sampling job's result against its configured `k`.
+///
+/// Returns `None` when the job failed (a failed job has no sample at all —
+/// inspect [`JobResult::error`]) or when the conf carries no
+/// `keys::SAMPLING_K` (not a sampling job). Call this on the result while
+/// its output rows are still materialised (i.e. before
+/// `MrRuntime::release_job_result`).
+pub fn sample_outcome(conf: &JobConf, result: &JobResult) -> Option<SampleOutcome> {
+    if result.failed {
+        return None;
+    }
+    let requested = conf
+        .get_u64_or(keys::SAMPLING_K, 0)
+        .ok()
+        .filter(|&k| k > 0)?;
+    let found = result.output.len() as u64;
+    Some(if found < requested {
+        SampleOutcome::Partial { found, requested }
+    } else {
+        SampleOutcome::Full { requested }
+    })
 }
 
 /// Build a dynamic predicate-based-sampling job over `dataset`.

@@ -123,9 +123,12 @@ pub struct ClusterStatus {
 }
 
 impl ClusterStatus {
-    /// Available map slots (`AS` in Table I).
+    /// Available map slots (`AS` in Table I). Saturating: a node death
+    /// between a snapshot's construction and its consumption can leave
+    /// `occupied > total` transiently, and a garbage wrap-around here
+    /// would hand Input Providers an absurd grab limit.
     pub fn available_map_slots(&self) -> u32 {
-        self.total_map_slots - self.occupied_map_slots
+        self.total_map_slots.saturating_sub(self.occupied_map_slots)
     }
 }
 
@@ -148,5 +151,18 @@ mod tests {
             queued_map_tasks: 100,
         };
         assert_eq!(s.available_map_slots(), 15);
+    }
+
+    #[test]
+    fn available_slots_saturates_when_occupied_exceeds_total() {
+        // A node death can shrink `total` before `occupied` catches up;
+        // the snapshot must degrade to 0 free slots, never wrap.
+        let s = ClusterStatus {
+            total_map_slots: 36,
+            occupied_map_slots: 40,
+            running_jobs: 1,
+            queued_map_tasks: 0,
+        };
+        assert_eq!(s.available_map_slots(), 0);
     }
 }

@@ -27,6 +27,20 @@ pub mod keys {
     /// Hadoop's `mapred.combiner.class`; informational — the actual
     /// combiner travels in the `JobSpec`).
     pub const COMBINER_CLASS: &str = "mapred.combiner.class";
+    /// Guard-rail plane: extra provider consultations a job may spend on
+    /// recoverable Input Provider failures before the job is failed
+    /// (default 0 — fail on the first fault).
+    pub const PROVIDER_RETRY_BUDGET: &str = "dynamic.provider.retry.budget";
+    /// Guard-rail plane: consecutive unproductive driver evaluations (no
+    /// new splits, nothing running or pending) before the job is declared
+    /// wedged; `0` disables the watchdog.
+    pub const MAX_IDLE_EVALUATIONS: &str = "dynamic.job.max.idle.evaluations";
+    /// Guard-rail plane: wall-clock deadline for the whole job, in
+    /// simulated milliseconds from submission; absent means no deadline.
+    pub const JOB_DEADLINE_MS: &str = "mapred.job.deadline.ms";
+    /// Guard-rail plane: boolean — on deadline expiry, finish with the
+    /// output gathered so far instead of failing the job.
+    pub const ALLOW_PARTIAL: &str = "mapred.job.allow.partial";
 }
 
 /// A job's configuration: an ordered string map with typed accessors.

@@ -144,10 +144,46 @@ impl JobSpecBuilder {
         self
     }
 
+    /// How many recoverable Input Provider failures (caught panics,
+    /// invalid directives) the job absorbs before failing — each one is
+    /// treated as a `Wait` and the provider is re-consulted at the next
+    /// evaluation (sets [`keys::PROVIDER_RETRY_BUDGET`]; default 0).
+    pub fn provider_retry_budget(mut self, retries: u32) -> Self {
+        self.conf.set(keys::PROVIDER_RETRY_BUDGET, retries);
+        self
+    }
+
+    /// Livelock watchdog threshold: consecutive unproductive evaluations
+    /// (no new splits, nothing running or pending) before the job is
+    /// failed as wedged. `0` disables the watchdog (sets
+    /// [`keys::MAX_IDLE_EVALUATIONS`]; the runtime defaults to
+    /// `crate::runtime::DEFAULT_MAX_IDLE_EVALUATIONS`).
+    pub fn max_idle_evaluations(mut self, evaluations: u32) -> Self {
+        self.conf.set(keys::MAX_IDLE_EVALUATIONS, evaluations);
+        self
+    }
+
+    /// Simulated-time deadline, measured from submission. On expiry the
+    /// job fails with `JobError::DeadlineExceeded`, or degrades to its
+    /// partial output under [`JobSpecBuilder::allow_partial`] (sets
+    /// [`keys::JOB_DEADLINE_MS`]; must be nonzero).
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.conf.set(keys::JOB_DEADLINE_MS, deadline.as_millis());
+        self
+    }
+
+    /// On deadline expiry, stop growing, abandon unstarted splits, and
+    /// complete with the output gathered so far instead of failing (sets
+    /// [`keys::ALLOW_PARTIAL`]).
+    pub fn allow_partial(mut self, allow: bool) -> Self {
+        self.conf.set(keys::ALLOW_PARTIAL, allow);
+        self
+    }
+
     /// Finish building, returning a typed error for incomplete or
-    /// malformed specs: a missing input format or mapper, or a numeric
-    /// configuration key (reduce-task count, materialize cap) that does
-    /// not parse.
+    /// malformed specs: a missing input format or mapper, a numeric
+    /// configuration key (reduce-task count, materialize cap, guard-rail
+    /// knobs) that does not parse, or a zero deadline.
     pub fn try_build(self) -> Result<JobSpec, JobConfigError> {
         self.conf
             .get_u64_or(keys::NUM_REDUCE_TASKS, 1)
@@ -155,6 +191,19 @@ impl JobSpecBuilder {
         self.conf
             .get_u64_or(crate::runtime::MATERIALIZE_CAP_KEY, u64::MAX)
             .map_err(JobConfigError::BadConf)?;
+        self.conf
+            .get_u64_or(keys::PROVIDER_RETRY_BUDGET, 0)
+            .map_err(JobConfigError::BadConf)?;
+        self.conf
+            .get_u64_or(keys::MAX_IDLE_EVALUATIONS, 0)
+            .map_err(JobConfigError::BadConf)?;
+        let deadline = self
+            .conf
+            .get_u64_or(keys::JOB_DEADLINE_MS, u64::MAX)
+            .map_err(JobConfigError::BadConf)?;
+        if deadline == 0 {
+            return Err(JobConfigError::ZeroDeadline);
+        }
         Ok(JobSpec {
             conf: self.conf,
             input_format: self.input_format.ok_or(JobConfigError::MissingInput)?,
@@ -188,6 +237,9 @@ pub enum JobConfigError {
     MissingMapper,
     /// A numeric configuration key failed to parse.
     BadConf(ConfError),
+    /// A deadline of zero milliseconds was requested — it would expire at
+    /// submission; omit the key to mean "no deadline".
+    ZeroDeadline,
 }
 
 impl fmt::Display for JobConfigError {
@@ -196,11 +248,135 @@ impl fmt::Display for JobConfigError {
             JobConfigError::MissingInput => write!(f, "job spec has no input format"),
             JobConfigError::MissingMapper => write!(f, "job spec has no mapper"),
             JobConfigError::BadConf(e) => write!(f, "{e}"),
+            JobConfigError::ZeroDeadline => {
+                write!(f, "job deadline must be nonzero (omit the key for none)")
+            }
         }
     }
 }
 
 impl std::error::Error for JobConfigError {}
+
+/// Which provider hook was running when a guard-rail fault was caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderStage {
+    /// `initial_input`, at submission time.
+    InitialInput,
+    /// `evaluate` / `next_input`, at an evaluation.
+    Evaluate,
+}
+
+impl fmt::Display for ProviderStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProviderStage::InitialInput => write!(f, "initial_input"),
+            ProviderStage::Evaluate => write!(f, "evaluate"),
+        }
+    }
+}
+
+/// A misbehaving Input Provider or growth driver, caught by the runtime's
+/// guard-rail plane instead of poisoning the event loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderError {
+    /// The provider panicked; the sandbox caught it.
+    Panicked {
+        /// Which hook was running.
+        stage: ProviderStage,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An `AddInput` directive named a block outside the namespace.
+    UnknownBlock {
+        /// The offending block id.
+        block: BlockId,
+    },
+}
+
+impl ProviderError {
+    /// Build a `Panicked` error from a payload caught by
+    /// `std::panic::catch_unwind`.
+    pub fn from_panic(stage: ProviderStage, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            String::from("<non-string panic payload>")
+        };
+        ProviderError::Panicked { stage, message }
+    }
+}
+
+impl fmt::Display for ProviderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProviderError::Panicked { stage, message } => {
+                write!(f, "input provider panicked in {stage}: {message}")
+            }
+            ProviderError::UnknownBlock { block } => {
+                write!(f, "input provider requested unknown {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProviderError {}
+
+/// Why a job was aborted, recorded on its [`JobResult`]. `None` there
+/// means the job completed (possibly with a partial sample — see
+/// `TraceKind::PartialSample`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The Input Provider misbehaved past the retry budget.
+    Provider(ProviderError),
+    /// The livelock watchdog fired: too many consecutive unproductive
+    /// evaluations with nothing running or pending.
+    Wedged {
+        /// Consecutive idle evaluations observed at termination.
+        idle_evaluations: u32,
+    },
+    /// The job's simulated-time deadline expired without
+    /// `mapred.job.allow.partial`.
+    DeadlineExceeded,
+    /// A map task exhausted its attempt budget.
+    TaskAttemptsExhausted {
+        /// The failing task.
+        task: TaskId,
+    },
+    /// A reduce task exhausted its attempt budget.
+    ReduceAttemptsExhausted {
+        /// The failing reduce partition.
+        reduce: u32,
+    },
+    /// Every node in the cluster is blacklisted for this job.
+    AllNodesBlacklisted,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Provider(e) => write!(f, "{e}"),
+            JobError::Wedged { idle_evaluations } => {
+                write!(f, "job wedged after {idle_evaluations} idle evaluations")
+            }
+            JobError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            JobError::TaskAttemptsExhausted { task } => {
+                write!(f, "map task {task} exhausted its attempts")
+            }
+            JobError::ReduceAttemptsExhausted { reduce } => {
+                write!(f, "reduce task r{reduce} exhausted its attempts")
+            }
+            JobError::AllNodesBlacklisted => write!(f, "every node is blacklisted for this job"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Outcome of one sandboxed driver evaluation: a directive, or a typed
+/// provider failure for the runtime's guard-rail plane to absorb.
+pub type GrowthOutcome = Result<GrowthDirective, ProviderError>;
 
 /// Progress statistics for one job, as passed to its [`GrowthDriver`] at
 /// each evaluation (paper: "statistics about the output produced by
@@ -268,6 +444,12 @@ impl<'a> EvalContext<'a> {
 }
 
 /// Runtime-side hook controlling a job's intake of input.
+///
+/// The runtime invokes drivers only through the fallible `try_*` entry
+/// points, under a panic sandbox: a panicking or misbehaving driver fails
+/// (or, with a retry budget, re-consults) its own job instead of the
+/// whole simulated cluster. The defaults delegate to the infallible
+/// methods, so plain drivers implement only those.
 pub trait GrowthDriver {
     /// Splits to schedule at submission time.
     fn initial_input(&mut self, cluster: &ClusterStatus) -> Vec<BlockId>;
@@ -279,6 +461,30 @@ pub trait GrowthDriver {
 
     /// How often to evaluate.
     fn evaluation_interval(&self) -> SimDuration;
+
+    /// Fallible submission hook, what the runtime actually calls. Layered
+    /// drivers (e.g. `DynamicDriver`) override this to sandbox their
+    /// embedded Input Provider and surface typed failures.
+    fn try_initial_input(
+        &mut self,
+        cluster: &ClusterStatus,
+    ) -> Result<Vec<BlockId>, ProviderError> {
+        Ok(self.initial_input(cluster))
+    }
+
+    /// Fallible evaluation hook, what the runtime actually calls.
+    fn try_evaluate(&mut self, ctx: EvalContext<'_>) -> GrowthOutcome {
+        Ok(self.evaluate(ctx))
+    }
+
+    /// The most splits one `AddInput` directive may carry right now. The
+    /// runtime truncates over-long directives to this bound (tracing a
+    /// `GrabLimitClamped` event), so a buggy or hostile provider cannot
+    /// flood the job. Policy-bearing drivers override this with their
+    /// grab-limit formula; the default is unbounded.
+    fn grab_limit(&self, _cluster: &ClusterStatus) -> u64 {
+        u64::MAX
+    }
 }
 
 /// The stock-Hadoop driver: all splits up front, immediately end-of-input.
@@ -328,9 +534,12 @@ pub struct JobResult {
     pub local_tasks: u32,
     /// Failed map-task attempts (nonzero only under fault injection).
     pub task_failures: u32,
-    /// True if the job was aborted after a task exhausted its attempts;
-    /// `output` is empty in that case.
+    /// True if the job was aborted; `output` is empty and `error` says
+    /// why in that case.
     pub failed: bool,
+    /// Why the job was aborted (`None` for completed jobs, including
+    /// partial-sample completions).
+    pub error: Option<JobError>,
     /// Final reduce output.
     pub output: Vec<(Key, Record)>,
 }
@@ -518,6 +727,67 @@ mod tests {
     }
 
     #[test]
+    fn guardrail_knobs_land_in_conf_and_validate() {
+        let spec = JobSpec::builder()
+            .input(NullInput2)
+            .mapper(NullMapper2)
+            .provider_retry_budget(3)
+            .max_idle_evaluations(16)
+            .deadline(SimDuration::from_secs(30))
+            .allow_partial(true)
+            .build();
+        assert_eq!(spec.conf.get(keys::PROVIDER_RETRY_BUDGET), Some("3"));
+        assert_eq!(spec.conf.get(keys::MAX_IDLE_EVALUATIONS), Some("16"));
+        assert_eq!(spec.conf.get(keys::JOB_DEADLINE_MS), Some("30000"));
+        assert!(spec.conf.get_bool(keys::ALLOW_PARTIAL));
+
+        assert_eq!(
+            JobSpec::builder()
+                .input(NullInput2)
+                .mapper(NullMapper2)
+                .deadline(SimDuration::ZERO)
+                .try_build()
+                .err(),
+            Some(JobConfigError::ZeroDeadline)
+        );
+        assert!(matches!(
+            JobSpec::builder()
+                .input(NullInput2)
+                .mapper(NullMapper2)
+                .set(keys::PROVIDER_RETRY_BUDGET, "lots")
+                .try_build(),
+            Err(JobConfigError::BadConf(_))
+        ));
+        assert!(matches!(
+            JobSpec::builder()
+                .input(NullInput2)
+                .mapper(NullMapper2)
+                .set(keys::MAX_IDLE_EVALUATIONS, "-1")
+                .try_build(),
+            Err(JobConfigError::BadConf(_))
+        ));
+    }
+
+    #[test]
+    fn provider_error_from_panic_extracts_string_payloads() {
+        let p = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        assert_eq!(
+            ProviderError::from_panic(ProviderStage::Evaluate, p),
+            ProviderError::Panicked {
+                stage: ProviderStage::Evaluate,
+                message: "boom".into()
+            }
+        );
+        let p = std::panic::catch_unwind(|| panic!("{} {}", "formatted", 7)).unwrap_err();
+        let e = ProviderError::from_panic(ProviderStage::InitialInput, p);
+        assert!(e.to_string().contains("formatted 7"), "{e}");
+        assert!(e.to_string().contains("initial_input"), "{e}");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(17u32)).unwrap_err();
+        let e = ProviderError::from_panic(ProviderStage::Evaluate, p);
+        assert!(e.to_string().contains("<non-string panic payload>"), "{e}");
+    }
+
+    #[test]
     fn job_result_derivations() {
         let r = JobResult {
             job: JobId(1),
@@ -529,6 +799,7 @@ mod tests {
             local_tasks: 7,
             task_failures: 0,
             failed: false,
+            error: None,
             output: vec![],
         };
         assert_eq!(r.response_time(), SimDuration::from_secs(60));
@@ -547,6 +818,7 @@ mod tests {
             local_tasks: 0,
             task_failures: 0,
             failed: false,
+            error: None,
             output: vec![],
         };
         assert_eq!(r.locality(), 0.0);

@@ -52,14 +52,17 @@ pub use faults::{
     ClusterFaultPlan, FaultConfigError, NodeOutage, SpecCandidate, SpeculationConfig,
 };
 pub use job::{
-    EvalContext, GrowthDirective, GrowthDriver, JobConfigError, JobId, JobProgress, JobResult,
-    JobSpec, JobSpecBuilder, StaticDriver, TaskId,
+    EvalContext, GrowthDirective, GrowthDriver, GrowthOutcome, JobConfigError, JobError, JobId,
+    JobProgress, JobResult, JobSpec, JobSpecBuilder, ProviderError, ProviderStage, StaticDriver,
+    TaskId,
 };
-pub use metrics::{ClusterMetrics, FaultMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics};
+pub use metrics::{
+    ClusterMetrics, FaultMetrics, GuardrailMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics,
+};
 pub use parallel::{
     MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle, WorkUnit,
 };
-pub use runtime::{FaultPlan, MrRuntime, MATERIALIZE_CAP_KEY};
+pub use runtime::{FaultPlan, MrRuntime, DEFAULT_MAX_IDLE_EVALUATIONS, MATERIALIZE_CAP_KEY};
 pub use scheduler::{FairScheduler, FifoScheduler, TaskScheduler};
 pub use shuffle::{fnv1a, partition_of, PartitionBuffer, PartitionedPairs, ShuffleState};
 pub use trace::{job_timeline, render_timeline, JobTimeline, TraceEvent, TraceKind};
@@ -75,8 +78,8 @@ pub mod prelude {
         Reducer, ScanMode, SplitData,
     };
     pub use crate::job::{
-        EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec,
-        StaticDriver, TaskId,
+        EvalContext, GrowthDirective, GrowthDriver, GrowthOutcome, JobError, JobId, JobProgress,
+        JobResult, JobSpec, ProviderError, ProviderStage, StaticDriver, TaskId,
     };
     pub use crate::runtime::MrRuntime;
     pub use crate::scheduler::{FairScheduler, FifoScheduler, TaskScheduler};

@@ -72,6 +72,35 @@ pub struct FaultMetrics {
     pub nodes_blacklisted: u64,
 }
 
+/// Deterministic guard-rail counters: how often the runtime had to defend
+/// itself against misbehaving job-supplied logic (Input Providers, growth
+/// drivers) or enforce job deadlines. Like [`FaultMetrics`], these are
+/// driven purely by simulated time, so they are identical across thread
+/// counts for a fixed schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardrailMetrics {
+    /// Provider/driver invocations that panicked (caught by the sandbox).
+    pub provider_panics: u64,
+    /// Provider failures of any kind (panics plus invalid directives).
+    pub provider_errors: u64,
+    /// `AddInput` directives naming a block outside the namespace.
+    pub unknown_blocks: u64,
+    /// Provider failures absorbed by the job's retry budget.
+    pub provider_retries: u64,
+    /// Splits dropped because the job already claimed them (duplicate
+    /// `AddInput` entries, within or across directives).
+    pub duplicate_splits_dropped: u64,
+    /// `AddInput` directives truncated to the driver's grab limit.
+    pub grab_limit_clamps: u64,
+    /// Jobs terminated by the idle-evaluation (livelock) watchdog.
+    pub jobs_wedged: u64,
+    /// Jobs whose simulated-time deadline expired (failed or degraded to
+    /// a partial result, depending on `mapred.job.allow.partial`).
+    pub deadlines_exceeded: u64,
+    /// Sampling jobs that completed with fewer than `k` matches.
+    pub partial_samples: u64,
+}
+
 /// Host-side wall-clock nanoseconds spent on data-plane work, by phase.
 /// Pure observability: these depend on the host and thread count, so they
 /// are kept out of traces and all simulated accounting.
@@ -102,6 +131,7 @@ pub struct ClusterMetrics {
     shuffle: ShuffleMetrics,
     host: HostPhaseNanos,
     faults: FaultMetrics,
+    guardrails: GuardrailMetrics,
 }
 
 /// Aggregated report at the end of a run.
@@ -140,6 +170,7 @@ impl ClusterMetrics {
             shuffle: ShuffleMetrics::default(),
             host: HostPhaseNanos::default(),
             faults: FaultMetrics::default(),
+            guardrails: GuardrailMetrics::default(),
         }
     }
 
@@ -225,6 +256,17 @@ impl ClusterMetrics {
     /// Fault-plane counters accumulated so far.
     pub fn faults(&self) -> FaultMetrics {
         self.faults
+    }
+
+    /// Mutable guard-rail counters (the runtime bumps these as provider
+    /// sandboxing, directive validation, watchdogs, and deadlines fire).
+    pub fn guardrails_mut(&mut self) -> &mut GuardrailMetrics {
+        &mut self.guardrails
+    }
+
+    /// Guard-rail counters accumulated so far.
+    pub fn guardrails(&self) -> GuardrailMetrics {
+        self.guardrails
     }
 
     /// Produce the aggregate report as of `now`.
@@ -335,6 +377,22 @@ mod tests {
         assert_eq!(f.maps_reexecuted, 3);
         assert_eq!(f.attempts_killed, 2);
         assert_eq!(f.speculative_launched, 0);
+    }
+
+    #[test]
+    fn guardrail_counters_accumulate() {
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        assert_eq!(m.guardrails(), GuardrailMetrics::default());
+        m.guardrails_mut().provider_panics += 1;
+        m.guardrails_mut().provider_errors += 2;
+        m.guardrails_mut().duplicate_splits_dropped += 5;
+        m.guardrails_mut().partial_samples += 1;
+        let g = m.guardrails();
+        assert_eq!(g.provider_panics, 1);
+        assert_eq!(g.provider_errors, 2);
+        assert_eq!(g.duplicate_splits_dropped, 5);
+        assert_eq!(g.partial_samples, 1);
+        assert_eq!(g.jobs_wedged, 0);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! counts and, for completed jobs, identical to the fault-free run.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use incmr_dfs::{BlockId, Namespace, NodeId};
 use incmr_simkit::resource::{FlowId, PsResource};
@@ -59,7 +60,8 @@ use crate::exec::Key;
 pub use crate::faults::FaultPlan;
 use crate::faults::{pick_speculative, ClusterFaultPlan, FaultConfigError, SpecCandidate};
 use crate::job::{
-    EvalContext, GrowthDirective, GrowthDriver, JobId, JobProgress, JobResult, JobSpec, TaskId,
+    EvalContext, GrowthDirective, GrowthDriver, JobConfigError, JobError, JobId, JobProgress,
+    JobResult, JobSpec, ProviderError, ProviderStage, TaskId,
 };
 use crate::metrics::ClusterMetrics;
 use crate::parallel::{
@@ -73,6 +75,15 @@ use incmr_data::Record;
 /// Conf key bounding how many map-output records a job materialises (the
 /// rest are tracked as counts/bytes only). Sampling jobs set this to `k`.
 pub const MATERIALIZE_CAP_KEY: &str = "mapred.job.materialize.cap";
+
+/// Default livelock-watchdog threshold: a job whose driver produces this
+/// many consecutive unproductive evaluations (no new splits) while nothing
+/// is running or pending is failed as wedged instead of spinning its
+/// evaluation tick forever. Override per job with
+/// `dynamic.job.max.idle.evaluations` (`0` disables). The default is
+/// generous: an honest provider with nothing outstanding either ends its
+/// input or asks for work within a handful of evaluations.
+pub const DEFAULT_MAX_IDLE_EVALUATIONS: u32 = 256;
 
 /// Interval at which resource counters are folded into metrics series (the
 /// paper samples at 30 s).
@@ -111,6 +122,9 @@ enum Event {
     },
     NodeUp {
         node: u16,
+    },
+    Deadline {
+        job: JobId,
     },
 }
 
@@ -159,6 +173,9 @@ struct TaskEntry {
     /// Counted (non-killed) failures, against the attempt budget.
     failures: u32,
     running: Vec<MapAttempt>,
+    /// Dropped by a graceful deadline: never (re)queued again. The split's
+    /// output, if any was merged, stays in the shuffle.
+    abandoned: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -235,6 +252,18 @@ struct JobEntry {
     node_failures: Vec<u32>,
     /// Nodes this job refuses to run on (Hadoop per-job blacklist).
     banned_nodes: Vec<bool>,
+    /// Recoverable provider failures this job may still absorb
+    /// (`dynamic.provider.retry.budget`).
+    provider_retries_left: u32,
+    /// Livelock watchdog threshold (`0` = disabled) and its running count
+    /// of consecutive unproductive evaluations with nothing outstanding.
+    max_idle_evaluations: u32,
+    idle_evaluations: u32,
+    /// Degrade to partial output on deadline expiry instead of failing.
+    allow_partial: bool,
+    /// A graceful deadline fired: input is closed and unfinished splits
+    /// are abandoned rather than retried.
+    deadline_hit: bool,
     result: Option<JobResult>,
 }
 
@@ -500,19 +529,62 @@ impl MrRuntime {
 
     /// Submit a job with its growth driver. Takes effect immediately (at
     /// the current simulated time).
-    pub fn submit(&mut self, spec: JobSpec, mut driver: Box<dyn GrowthDriver>) -> JobId {
+    ///
+    /// # Panics
+    /// Panics on a malformed configuration — see [`MrRuntime::try_submit`]
+    /// for the checked variant. A misbehaving *driver* never panics the
+    /// runtime: provider faults are sandboxed and fail only their job.
+    pub fn submit(&mut self, spec: JobSpec, driver: Box<dyn GrowthDriver>) -> JobId {
+        match self.try_submit(spec, driver) {
+            Ok(id) => id,
+            Err(e) => panic!("invalid job configuration: {e}"),
+        }
+    }
+
+    /// Submit a job, rejecting a malformed configuration (unparseable
+    /// numeric keys, zero deadline) with a typed error instead of
+    /// panicking. The driver's `initial_input` runs under the provider
+    /// sandbox: a panic or invalid directive there consumes the job's
+    /// retry budget or fails the job, but always yields a valid `JobId`.
+    pub fn try_submit(
+        &mut self,
+        spec: JobSpec,
+        driver: Box<dyn GrowthDriver>,
+    ) -> Result<JobId, JobConfigError> {
         let id = JobId(self.jobs.len() as u32);
         let materialize_cap = spec
             .conf
             .get_u64_or(MATERIALIZE_CAP_KEY, u64::MAX)
-            .expect("materialize cap must be numeric");
+            .map_err(JobConfigError::BadConf)?;
         let reduce_tasks = spec
             .conf
             .get_u64_or(keys::NUM_REDUCE_TASKS, 1)
-            .expect("reduce task count must be numeric")
+            .map_err(JobConfigError::BadConf)?
             .max(1) as u32;
+        let provider_retries_left = spec
+            .conf
+            .get_u64_or(keys::PROVIDER_RETRY_BUDGET, 0)
+            .map_err(JobConfigError::BadConf)? as u32;
+        let max_idle_evaluations = spec
+            .conf
+            .get_u64_or(
+                keys::MAX_IDLE_EVALUATIONS,
+                DEFAULT_MAX_IDLE_EVALUATIONS as u64,
+            )
+            .map_err(JobConfigError::BadConf)? as u32;
+        // `u64::MAX` is the no-deadline sentinel; an explicit 0 would
+        // expire at submission and is rejected, mirroring `try_build`.
+        let deadline_ms = spec
+            .conf
+            .get_u64_or(keys::JOB_DEADLINE_MS, u64::MAX)
+            .map_err(JobConfigError::BadConf)?;
+        if deadline_ms == 0 {
+            return Err(JobConfigError::ZeroDeadline);
+        }
+        let allow_partial = spec.conf.get_bool(keys::ALLOW_PARTIAL);
+        // Snapshot before this job is registered, so the provider's first
+        // look at the cluster excludes its own (not yet running) job.
         let status = self.cluster_status();
-        let initial = driver.initial_input(&status);
         let interval = driver.evaluation_interval();
         let num_nodes = self.cfg.topology.num_nodes() as usize;
         let entry = JobEntry {
@@ -544,22 +616,51 @@ impl MrRuntime {
             map_ms_count: 0,
             node_failures: vec![0; num_nodes],
             banned_nodes: vec![false; num_nodes],
+            provider_retries_left,
+            max_idle_evaluations,
+            idle_evaluations: 0,
+            allow_partial,
+            deadline_hit: false,
             result: None,
         };
         self.jobs.push(entry);
         self.active_jobs += 1;
         self.record(TraceKind::JobSubmitted { job: id });
-        self.add_input(id, initial);
+        if deadline_ms != u64::MAX {
+            self.sim.schedule_after(
+                SimDuration::from_millis(deadline_ms),
+                Event::Deadline { job: id },
+            );
+        }
+        // Sandboxed initial input: a panicking provider costs its job (or
+        // a retry), never the runtime.
+        let outcome = {
+            let driver = &mut self.job_mut(id).driver;
+            catch_unwind(AssertUnwindSafe(|| driver.try_initial_input(&status)))
+                .unwrap_or_else(|p| Err(ProviderError::from_panic(ProviderStage::InitialInput, p)))
+        };
+        match outcome {
+            Ok(initial) => {
+                let limit = self.job(id).driver.grab_limit(&status);
+                if let Err(e) = self.validate_and_add_input(id, initial, limit) {
+                    self.provider_failed(id, e);
+                }
+            }
+            Err(e) => self.provider_failed(id, e),
+        }
         // First evaluation happens immediately: static drivers end their
         // input here; dynamic providers typically wait for statistics. The
         // initial tasks launch at the nodes' next heartbeats, as in Hadoop.
-        self.evaluate_job(id);
-        if !self.job(id).end_of_input {
+        if self.job(id).phase != JobPhase::Done {
+            self.evaluate_job(id);
+        }
+        let job = self.job(id);
+        if job.phase != JobPhase::Done && !job.end_of_input {
             self.sim
                 .schedule_after(interval, Event::EvalTick { job: id });
         }
         self.ensure_heartbeats();
-        id
+        Ok(id)
     }
 
     /// Process a single event. Returns `false` when the queue is empty.
@@ -696,7 +797,45 @@ impl MrRuntime {
             Event::ReduceDone { job, reduce } => self.on_reduce_done(job, reduce),
             Event::NodeDown { node } => self.on_node_down(node),
             Event::NodeUp { node } => self.on_node_up(node),
+            Event::Deadline { job } => self.on_deadline(job),
         }
+    }
+
+    /// The job's simulated-time deadline expired. Without
+    /// `mapred.job.allow.partial` the job fails; with it, input is
+    /// closed, unstarted splits are abandoned, and the job completes with
+    /// whatever its finished maps produced (paper semantics: the sample
+    /// is still correct, just smaller).
+    fn on_deadline(&mut self, id: JobId) {
+        if self.job(id).phase == JobPhase::Done {
+            return;
+        }
+        let graceful = self.job(id).allow_partial;
+        self.metrics.guardrails_mut().deadlines_exceeded += 1;
+        self.record(TraceKind::DeadlineExceeded { job: id, graceful });
+        if !graceful {
+            self.fail_job(id, JobError::DeadlineExceeded);
+            return;
+        }
+        let job = self.job_mut(id);
+        job.deadline_hit = true;
+        if job.phase == JobPhase::Reduce {
+            // The reduce inputs are final; let the reduces commit.
+            return;
+        }
+        job.end_of_input = true;
+        let pending = std::mem::take(&mut job.pending);
+        for t in &pending {
+            let e = &mut job.tasks[t.0 as usize];
+            e.queued = false;
+            e.abandoned = true;
+        }
+        for list in &mut job.pending_by_node {
+            list.clear();
+        }
+        // Running attempts are left to finish — their output is already
+        // paid for; the job reduces once the last one lands.
+        self.maybe_begin_reduce(id);
     }
 
     /// Start a self-perpetuating heartbeat chain on every live node that
@@ -759,6 +898,79 @@ impl MrRuntime {
         );
     }
 
+    /// Vet one `AddInput` batch before it becomes tasks: a block outside
+    /// the namespace is a typed provider error, an over-long batch is
+    /// truncated to the driver's grab limit, and splits the job already
+    /// claimed (within or across directives) are dropped. Returns how many
+    /// genuinely new splits were scheduled.
+    fn validate_and_add_input(
+        &mut self,
+        id: JobId,
+        mut blocks: Vec<BlockId>,
+        limit: u64,
+    ) -> Result<u32, ProviderError> {
+        let num_blocks = self.namespace.num_blocks();
+        if let Some(&bad) = blocks.iter().find(|b| b.0 as usize >= num_blocks) {
+            self.metrics.guardrails_mut().unknown_blocks += 1;
+            return Err(ProviderError::UnknownBlock { block: bad });
+        }
+        if blocks.len() as u64 > limit {
+            let requested = blocks.len() as u32;
+            blocks.truncate(limit as usize);
+            self.metrics.guardrails_mut().grab_limit_clamps += 1;
+            self.record(TraceKind::GrabLimitClamped {
+                job: id,
+                requested,
+                granted: blocks.len() as u32,
+            });
+        }
+        let fresh: Vec<BlockId> = {
+            let job = self.job(id);
+            let mut batch = HashSet::new();
+            blocks
+                .iter()
+                .copied()
+                .filter(|b| !job.known_blocks.contains(b) && batch.insert(*b))
+                .collect()
+        };
+        let dupes = (blocks.len() - fresh.len()) as u32;
+        if dupes > 0 {
+            self.metrics.guardrails_mut().duplicate_splits_dropped += dupes as u64;
+            self.record(TraceKind::DuplicateInputDropped {
+                job: id,
+                splits: dupes,
+            });
+        }
+        let added = fresh.len() as u32;
+        self.add_input(id, fresh);
+        Ok(added)
+    }
+
+    /// Absorb or escalate a provider failure: with retry budget left the
+    /// evaluation is treated as a `Wait` and the provider is re-consulted
+    /// at the next tick; otherwise the job fails with the typed error.
+    fn provider_failed(&mut self, id: JobId, err: ProviderError) {
+        let g = self.metrics.guardrails_mut();
+        g.provider_errors += 1;
+        if matches!(err, ProviderError::Panicked { .. }) {
+            g.provider_panics += 1;
+        }
+        if self.job(id).provider_retries_left > 0 {
+            self.job_mut(id).provider_retries_left -= 1;
+            self.metrics.guardrails_mut().provider_retries += 1;
+            self.record(TraceKind::ProviderFault {
+                job: id,
+                fatal: false,
+            });
+        } else {
+            self.record(TraceKind::ProviderFault {
+                job: id,
+                fatal: true,
+            });
+            self.fail_job(id, JobError::Provider(err));
+        }
+    }
+
     fn add_input(&mut self, id: JobId, blocks: Vec<BlockId>) {
         let added = blocks.len() as u32;
         if added > 0 {
@@ -784,9 +996,10 @@ impl MrRuntime {
         let job = self.job_mut(id);
         debug_assert!(job.phase == JobPhase::Map, "input added after map phase");
         for (block, nodes) in located {
+            // Invariant: `validate_and_add_input` deduplicated the batch
+            // against `known_blocks` before this point.
             if !job.known_blocks.insert(block) {
-                // Drivers must not add a split twice; ignore defensively.
-                debug_assert!(false, "driver re-added block {block}");
+                debug_assert!(false, "duplicate block {block} survived validation");
                 continue;
             }
             let task = TaskId(job.tasks.len() as u32);
@@ -799,6 +1012,7 @@ impl MrRuntime {
                 attempts_started: 0,
                 failures: 0,
                 running: Vec::new(),
+                abandoned: false,
             });
             job.pending.push(task);
             for node in nodes {
@@ -814,21 +1028,67 @@ impl MrRuntime {
         }
         let progress = job.progress();
         let status = self.cluster_status();
-        let directive = self
-            .job_mut(id)
-            .driver
-            .evaluate(EvalContext::unlimited(&progress, &status));
-        match directive {
-            GrowthDirective::EndOfInput => {
+        // Sandboxed evaluation: panics become typed provider errors.
+        let outcome = {
+            let driver = &mut self.job_mut(id).driver;
+            catch_unwind(AssertUnwindSafe(|| {
+                driver.try_evaluate(EvalContext::unlimited(&progress, &status))
+            }))
+            .unwrap_or_else(|p| Err(ProviderError::from_panic(ProviderStage::Evaluate, p)))
+        };
+        // The grab limit is read *after* the evaluation so policy ladders
+        // that re-select a policy inside `evaluate` are clamped against
+        // the limit their provider actually saw.
+        let limit = self.job(id).driver.grab_limit(&status);
+        let productive = match outcome {
+            Ok(GrowthDirective::EndOfInput) => {
                 self.job_mut(id).end_of_input = true;
                 self.record(TraceKind::EndOfInput { job: id });
                 self.maybe_begin_reduce(id);
+                true
             }
-            GrowthDirective::AddInput(blocks) => {
+            Ok(GrowthDirective::AddInput(blocks)) => {
                 // New tasks launch at upcoming node heartbeats.
-                self.add_input(id, blocks);
+                match self.validate_and_add_input(id, blocks, limit) {
+                    Ok(fresh) => fresh > 0,
+                    Err(e) => {
+                        self.provider_failed(id, e);
+                        false
+                    }
+                }
             }
-            GrowthDirective::Wait => {}
+            Ok(GrowthDirective::Wait) => false,
+            Err(e) => {
+                self.provider_failed(id, e);
+                false
+            }
+        };
+        // Livelock watchdog: a driver that keeps producing nothing while
+        // the job has nothing running or pending can never make progress
+        // on its own — count such evaluations and cut the job loose at the
+        // threshold instead of ticking forever.
+        let job = self.job_mut(id);
+        if job.phase != JobPhase::Map || job.end_of_input {
+            return;
+        }
+        if productive || job.running > 0 || !job.pending.is_empty() {
+            job.idle_evaluations = 0;
+            return;
+        }
+        job.idle_evaluations += 1;
+        let idle = job.idle_evaluations;
+        if job.max_idle_evaluations > 0 && idle >= job.max_idle_evaluations {
+            self.record(TraceKind::JobWedged {
+                job: id,
+                idle_evaluations: idle,
+            });
+            self.metrics.guardrails_mut().jobs_wedged += 1;
+            self.fail_job(
+                id,
+                JobError::Wedged {
+                    idle_evaluations: idle,
+                },
+            );
         }
     }
 
@@ -985,6 +1245,10 @@ impl MrRuntime {
         let attempt = {
             let job = self.job_mut(id);
             if !speculative {
+                // Invariant, not user-reachable: the scheduler was offered
+                // only this job's pending head (`schedule_with` builds it
+                // from `job.pending`), and the debug pass above rejects
+                // duplicate assignments.
                 let pos = job
                     .pending
                     .iter()
@@ -1001,6 +1265,8 @@ impl MrRuntime {
             aid
         };
         let n = &mut self.nodes[node.0 as usize];
+        // Invariants: `schedule_node`/`maybe_speculate` only offer slots
+        // on alive nodes with free capacity (proptested in scheduler.rs).
         assert!(n.alive, "dispatch to a dead node");
         assert!(n.free_slots > 0, "dispatch to a full node");
         n.free_slots -= 1;
@@ -1043,6 +1309,8 @@ impl MrRuntime {
             (entry.block, a.node, a.local)
         };
         let disk = if local {
+            // Invariant: `local` was computed by `Namespace::is_local` at
+            // dispatch and the namespace never drops replicas mid-run.
             self.namespace
                 .local_replica(block, node)
                 .expect("local task has a local replica")
@@ -1199,6 +1467,8 @@ impl MrRuntime {
             // (dropping the handle — nobody wants the result).
             return;
         }
+        // Invariant: every attempt is created with `result: Some(handle)`
+        // and the handle is only taken here, at its single completion.
         let handle = a.result.expect("work submitted at dispatch");
         let attempt_ms = (now - a.started).as_millis();
         let already_merged = {
@@ -1281,7 +1551,7 @@ impl MrRuntime {
             entry.failures
         };
         if failures >= max_attempts {
-            self.fail_job(id);
+            self.fail_job(id, JobError::TaskAttemptsExhausted { task });
             return;
         }
         // Per-job blacklisting (cluster fault model only): repeated counted
@@ -1309,15 +1579,23 @@ impl MrRuntime {
                 });
                 if self.job(id).banned_nodes.iter().all(|&b| b) {
                     // Nowhere left to run: fail rather than wedge forever.
-                    self.fail_job(id);
+                    self.fail_job(id, JobError::AllNodesBlacklisted);
                     return;
                 }
             }
         }
         let entry = &self.job(id).tasks[task.0 as usize];
         if entry.running.is_empty() && !entry.done {
-            // Requeue for another attempt (back of the queue, like Hadoop).
-            self.requeue_task(id, task);
+            if self.job(id).deadline_hit {
+                // Past a graceful deadline no new attempts launch; the
+                // split is abandoned and the partial result shrinks.
+                self.job_mut(id).tasks[task.0 as usize].abandoned = true;
+                self.maybe_begin_reduce(id);
+            } else {
+                // Requeue for another attempt (back of the queue, like
+                // Hadoop).
+                self.requeue_task(id, task);
+            }
         }
     }
 
@@ -1334,7 +1612,7 @@ impl MrRuntime {
             .collect();
         let job = self.job_mut(id);
         let entry = &mut job.tasks[task.0 as usize];
-        debug_assert!(!entry.queued && !entry.done && entry.running.is_empty());
+        debug_assert!(!entry.queued && !entry.done && entry.running.is_empty() && !entry.abandoned);
         entry.queued = true;
         job.pending.push(task);
         for n in replica_nodes {
@@ -1412,12 +1690,19 @@ impl MrRuntime {
             for t in 0..ntasks {
                 let task = TaskId(t as u32);
                 let entry = &self.job(id).tasks[t];
-                if !entry.done && !entry.queued && entry.running.is_empty() {
-                    // Stranded by the kills above: back in the queue.
-                    self.requeue_task(id, task);
+                if !entry.done && !entry.queued && entry.running.is_empty() && !entry.abandoned {
+                    if self.job(id).deadline_hit {
+                        // Past a graceful deadline, a stranded task is
+                        // abandoned instead of retried.
+                        self.job_mut(id).tasks[t].abandoned = true;
+                    } else {
+                        // Stranded by the kills above: back in the queue.
+                        self.requeue_task(id, task);
+                    }
                 } else if entry.done
                     && entry.completed_node == Some(NodeId(node))
                     && self.job(id).phase == JobPhase::Map
+                    && !self.job(id).deadline_hit
                 {
                     // Completed on the dead tracker: its map output is
                     // gone, so the task re-executes. (Once the job is
@@ -1459,6 +1744,10 @@ impl MrRuntime {
                 self.metrics.faults_mut().attempts_killed += 1;
                 self.pending_reduces.push_back((id, r as u32));
             }
+            // Abandonment above (graceful deadline) can leave end-of-input
+            // with nothing running or pending — enter the reduce phase now
+            // rather than wedging. A no-op in every other state.
+            self.maybe_begin_reduce(id);
         }
         self.nodes[node as usize].free_slots = 0;
         self.nodes[node as usize].free_reduce_slots = 0;
@@ -1552,7 +1841,7 @@ impl MrRuntime {
         self.dispatch(id, task, NodeId(node), handle, true);
     }
 
-    fn fail_job(&mut self, id: JobId) {
+    fn fail_job(&mut self, id: JobId, error: JobError) {
         let now = self.sim.now();
         let job = self.job_mut(id);
         debug_assert!(job.phase != JobPhase::Done);
@@ -1570,6 +1859,7 @@ impl MrRuntime {
             local_tasks: job.local_tasks,
             task_failures: job.task_failures,
             failed: true,
+            error: Some(error),
             output: Vec::new(),
         });
         self.record(TraceKind::JobCompleted {
@@ -1735,6 +2025,9 @@ impl MrRuntime {
                 panic!("reduce completed while not running");
             };
             entry.timer = None;
+            // Invariant: `assign_reduce` stores the handle with the timer
+            // whose expiry delivered this event; node death cancels the
+            // timer when it clears the handle.
             (
                 node,
                 entry
@@ -1769,7 +2062,7 @@ impl MrRuntime {
                 });
                 self.metrics.faults_mut().reduce_failures += 1;
                 if attempts >= max {
-                    self.fail_job(id);
+                    self.fail_job(id, JobError::ReduceAttemptsExhausted { reduce: r });
                 } else {
                     self.pending_reduces.push_back((id, r));
                 }
@@ -1801,6 +2094,13 @@ impl MrRuntime {
             .iter_mut()
             .flat_map(|e| std::mem::take(&mut e.output))
             .collect();
+        // A sampling job that ran out of matching input (or hit a graceful
+        // deadline) below its `k` still completes: the paper's answer set
+        // is correct, just smaller. Surface that as a typed trace event
+        // and counter rather than a failure.
+        let partial = sample_size_of(&job.spec.conf)
+            .map(|k| (output.len() as u64, k))
+            .filter(|&(found, k)| found < k);
         job.result = Some(JobResult {
             job: id,
             submit_time: job.submit_time,
@@ -1811,8 +2111,17 @@ impl MrRuntime {
             local_tasks: job.local_tasks,
             task_failures: job.task_failures,
             failed: false,
+            error: None,
             output,
         });
+        if let Some((found, requested)) = partial {
+            self.metrics.guardrails_mut().partial_samples += 1;
+            self.record(TraceKind::PartialSample {
+                job: id,
+                found,
+                requested,
+            });
+        }
         self.record(TraceKind::JobCompleted {
             job: id,
             failed: false,

@@ -157,6 +157,59 @@ pub enum TraceKind {
         /// The banned node.
         node: NodeId,
     },
+    /// The job's Input Provider (or growth driver) misbehaved — a caught
+    /// panic or an invalid directive. Non-fatal occurrences consumed one
+    /// unit of the job's retry budget; fatal ones failed the job.
+    ProviderFault {
+        /// The job.
+        job: JobId,
+        /// True if the fault failed the job (retry budget exhausted).
+        fatal: bool,
+    },
+    /// An `AddInput` directive exceeded the driver's grab limit and was
+    /// truncated to it.
+    GrabLimitClamped {
+        /// The job.
+        job: JobId,
+        /// Splits the directive asked for.
+        requested: u32,
+        /// Splits actually granted (the grab limit).
+        granted: u32,
+    },
+    /// `AddInput` entries naming splits the job already claimed were
+    /// dropped (dedup within and across directives).
+    DuplicateInputDropped {
+        /// The job.
+        job: JobId,
+        /// Number of duplicate entries dropped.
+        splits: u32,
+    },
+    /// The livelock watchdog terminated the job: too many consecutive
+    /// unproductive evaluations with nothing running or pending.
+    JobWedged {
+        /// The job.
+        job: JobId,
+        /// Consecutive idle evaluations observed at termination.
+        idle_evaluations: u32,
+    },
+    /// The job's simulated-time deadline expired.
+    DeadlineExceeded {
+        /// The job.
+        job: JobId,
+        /// True if the job degrades to a partial result
+        /// (`mapred.job.allow.partial`) instead of failing.
+        graceful: bool,
+    },
+    /// A sampling job completed with fewer than its requested `k` matches
+    /// (paper semantics: the answer set is still correct, just smaller).
+    PartialSample {
+        /// The job.
+        job: JobId,
+        /// Matches actually produced.
+        found: u64,
+        /// The configured sample size `k`.
+        requested: u64,
+    },
 }
 
 impl TraceKind {
@@ -177,7 +230,13 @@ impl TraceKind {
             | TraceKind::ReduceFailed { job, .. }
             | TraceKind::SpeculativeLaunch { job, .. }
             | TraceKind::AttemptKilled { job, .. }
-            | TraceKind::NodeBlacklisted { job, .. } => Some(*job),
+            | TraceKind::NodeBlacklisted { job, .. }
+            | TraceKind::ProviderFault { job, .. }
+            | TraceKind::GrabLimitClamped { job, .. }
+            | TraceKind::DuplicateInputDropped { job, .. }
+            | TraceKind::JobWedged { job, .. }
+            | TraceKind::DeadlineExceeded { job, .. }
+            | TraceKind::PartialSample { job, .. } => Some(*job),
             TraceKind::NodeLost { .. } | TraceKind::NodeRejoined { .. } => None,
         }
     }
@@ -245,6 +304,43 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::NodeBlacklisted { job, node } => {
                 write!(f, "{job} blacklists {node}")
+            }
+            TraceKind::ProviderFault { job, fatal } => {
+                write!(
+                    f,
+                    "{job} provider fault{}",
+                    if *fatal { " (FATAL)" } else { " (retrying)" }
+                )
+            }
+            TraceKind::GrabLimitClamped {
+                job,
+                requested,
+                granted,
+            } => {
+                write!(f, "{job} grab clamped {requested}->{granted}")
+            }
+            TraceKind::DuplicateInputDropped { job, splits } => {
+                write!(f, "{job} dropped {splits} duplicate splits")
+            }
+            TraceKind::JobWedged {
+                job,
+                idle_evaluations,
+            } => {
+                write!(f, "{job} WEDGED after {idle_evaluations} idle evaluations")
+            }
+            TraceKind::DeadlineExceeded { job, graceful } => {
+                write!(
+                    f,
+                    "{job} deadline exceeded{}",
+                    if *graceful { " (partial)" } else { " (FATAL)" }
+                )
+            }
+            TraceKind::PartialSample {
+                job,
+                found,
+                requested,
+            } => {
+                write!(f, "{job} partial sample {found}/{requested}")
             }
         }
     }

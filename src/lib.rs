@@ -64,16 +64,17 @@ pub use incmr_workload as workload;
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
     pub use incmr_core::{
-        build_sampling_job, build_sampling_job_with, build_scan_job, DynamicDriver, GrabLimit,
-        InputProvider, InputResponse, Policy, SampleMode, SamplingInputProvider, SamplingMapper,
-        SamplingReducer,
+        build_sampling_job, build_sampling_job_with, build_scan_job, sample_outcome, DynamicDriver,
+        GrabLimit, InputProvider, InputResponse, Policy, SampleMode, SampleOutcome,
+        SamplingInputProvider, SamplingMapper, SamplingReducer,
     };
     pub use incmr_data::{Dataset, DatasetSpec, Predicate, Record, SkewLevel, Value};
     pub use incmr_dfs::{BlockId, ClusterTopology, EvenRoundRobin, Namespace, NodeId};
     pub use incmr_hiveql::{Catalog, QueryOutput, Session};
     pub use incmr_mapreduce::{
         ClusterConfig, ClusterStatus, Combiner, CostModel, EvalContext, FairScheduler,
-        FifoScheduler, JobConf, JobId, JobResult, JobSpec, Key, MrRuntime, Parallelism, ScanMode,
+        FifoScheduler, JobConf, JobError, JobId, JobResult, JobSpec, Key, MrRuntime, Parallelism,
+        ProviderError, ScanMode,
     };
     pub use incmr_simkit::rng::DetRng;
     pub use incmr_simkit::{SimDuration, SimTime};

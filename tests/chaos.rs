@@ -356,3 +356,127 @@ fn doomed_schedules_fail_identically_at_every_thread_count() {
         assert_eq!(m, m1);
     }
 }
+
+/// An Input Provider's view of the cluster must track node death: dead
+/// nodes drop out of `total_map_slots` entirely (no phantom capacity, no
+/// wrap-around from the occupied/total race), and the provider keeps
+/// being consulted on the shrunken cluster until it gathers its sample.
+#[test]
+fn provider_observes_only_alive_node_capacity_after_a_node_dies() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Wraps the real sampling provider and records every cluster
+    /// snapshot it is shown.
+    struct Observing {
+        inner: SamplingInputProvider,
+        seen: Rc<RefCell<Vec<ClusterStatus>>>,
+    }
+
+    impl InputProvider for Observing {
+        fn initial_input(&mut self, cluster: &ClusterStatus, grab: u64) -> Vec<BlockId> {
+            self.seen.borrow_mut().push(*cluster);
+            self.inner.initial_input(cluster, grab)
+        }
+
+        fn next_input(&mut self, ctx: EvalContext<'_>) -> InputResponse {
+            self.seen.borrow_mut().push(*ctx.cluster);
+            self.inner.next_input(ctx)
+        }
+
+        fn remaining(&self) -> usize {
+            self.inner.remaining()
+        }
+    }
+
+    // Same seed twice → two identical worlds (the dataset layout is a pure
+    // function of the seed); the first gives the fault-free horizon.
+    let make_world = || {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(17);
+        let spec = DatasetSpec::small("t", 40, 10_000, SkewLevel::Zero, 17);
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
+        let rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        (rt, ds)
+    };
+    let k = 150;
+    let horizon = {
+        let (mut rt, ds) = make_world();
+        let (job, driver) = build_sampling_job(
+            &ds,
+            k,
+            Policy::la(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            23,
+        );
+        let id = rt.submit(job, driver);
+        rt.run_until_idle();
+        assert!(!rt.job_result(id).failed);
+        rt.job_result(id).response_time().as_millis()
+    };
+
+    let (mut rt, ds) = make_world();
+    rt.inject_cluster_faults(ClusterFaultPlan {
+        outages: vec![NodeOutage {
+            node: NodeId(4),
+            down_at: SimTime::from_millis(horizon / 4),
+            up_at: None, // never rejoins: all later snapshots see 9 nodes
+        }],
+        seed: 29,
+        ..ClusterFaultPlan::default()
+    })
+    .expect("valid plan");
+    let (job, _discarded) = build_sampling_job(
+        &ds,
+        k,
+        Policy::la(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        23,
+    );
+    let blocks: Vec<_> = ds.splits().iter().map(|p| p.block).collect();
+    let total = blocks.len() as u32;
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let driver = Box::new(DynamicDriver::new(
+        Box::new(Observing {
+            inner: SamplingInputProvider::new(blocks, k, 23),
+            seen: Rc::clone(&seen),
+        }),
+        Policy::la(),
+        total,
+    ));
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    let r = rt.job_result(id);
+    assert!(!r.failed, "nine nodes still gather the sample");
+    assert_eq!(r.output.len() as u64, k);
+
+    let seen = seen.borrow();
+    assert!(seen.len() >= 2, "provider consulted across the outage");
+    for s in seen.iter() {
+        assert!(
+            s.total_map_slots == 40 || s.total_map_slots == 36,
+            "TS must be 10 or 9 alive nodes' worth, got {}",
+            s.total_map_slots
+        );
+        assert!(
+            s.available_map_slots() <= s.total_map_slots,
+            "AS can never exceed TS"
+        );
+    }
+    assert!(
+        seen.iter().any(|s| s.total_map_slots == 36),
+        "at least one consultation must see the shrunken cluster"
+    );
+}

@@ -118,3 +118,252 @@ fn golden_schedule_exercises_every_event_kind() {
         "golden schedule no longer produces a failed reduce attempt"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Guard-rail plane golden trace
+// ---------------------------------------------------------------------------
+
+use incmr::mapreduce::keys;
+
+fn guardrail_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/guardrail_trace.txt")
+}
+
+/// Ignores its grab limit and repeats splits across batches.
+struct OverGrabDup {
+    blocks: Vec<BlockId>,
+    calls: u32,
+}
+
+impl InputProvider for OverGrabDup {
+    fn initial_input(&mut self, _c: &ClusterStatus, _grab: u64) -> Vec<BlockId> {
+        self.blocks.clone() // the whole candidate set, limit be damned
+    }
+
+    fn next_input(&mut self, _ctx: EvalContext<'_>) -> InputResponse {
+        self.calls += 1;
+        match self.calls {
+            1 => InputResponse::InputAvailable(self.blocks[2..8].to_vec()),
+            _ => InputResponse::EndOfInput,
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Answers `NoInputAvailable` forever.
+struct Stonewall;
+
+impl InputProvider for Stonewall {
+    fn initial_input(&mut self, _c: &ClusterStatus, _grab: u64) -> Vec<BlockId> {
+        Vec::new()
+    }
+
+    fn next_input(&mut self, _ctx: EvalContext<'_>) -> InputResponse {
+        InputResponse::NoInputAvailable
+    }
+
+    fn remaining(&self) -> usize {
+        1
+    }
+}
+
+/// Panics on one specific call (0 = `initial_input`), then behaves.
+struct PanicOn {
+    blocks: Vec<BlockId>,
+    calls: u32,
+    panic_on: u32,
+}
+
+impl InputProvider for PanicOn {
+    fn initial_input(&mut self, _c: &ClusterStatus, grab: u64) -> Vec<BlockId> {
+        let call = self.calls;
+        self.calls += 1;
+        if call == self.panic_on {
+            panic!("golden provider panic (call {call})");
+        }
+        let n = (grab as usize).min(self.blocks.len());
+        self.blocks.drain(..n).collect()
+    }
+
+    fn next_input(&mut self, ctx: EvalContext<'_>) -> InputResponse {
+        let call = self.calls;
+        self.calls += 1;
+        if call == self.panic_on {
+            panic!("golden provider panic (call {call})");
+        }
+        if self.blocks.is_empty() {
+            return InputResponse::EndOfInput;
+        }
+        let n = (ctx.grab_limit as usize).min(self.blocks.len());
+        InputResponse::InputAvailable(self.blocks.drain(..n).collect())
+    }
+
+    fn remaining(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// One deterministic runtime, six jobs, every guard-rail event kind:
+/// grab-limit clamping, duplicate dropping, the wedge watchdog, retried
+/// and fatal provider faults, and graceful/fatal deadlines with a
+/// partial sample.
+fn render_guardrail_run() -> String {
+    let make_world = || {
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(23);
+        let spec = DatasetSpec::small("g", 20, 5_000, SkewLevel::Zero, 23);
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            spec,
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
+        let rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        (rt, ds)
+    };
+    let k = 50; // == total matches: the full job needs every split
+    let sampling_spec = |ds: &Arc<Dataset>| {
+        build_sampling_job(
+            ds,
+            k,
+            Policy::conservative(),
+            ScanMode::Planted,
+            SampleMode::FirstK,
+            23,
+        )
+    };
+    // Fault-free horizon of the full sampling job, to size the deadlines.
+    let horizon = {
+        let (mut rt, ds) = make_world();
+        let (job, driver) = sampling_spec(&ds);
+        let id = rt.submit(job, driver);
+        rt.run_until_idle();
+        assert!(!rt.job_result(id).failed);
+        rt.job_result(id).response_time().as_millis()
+    };
+
+    let (mut rt, ds) = make_world();
+    rt.enable_tracing();
+    let blocks: Vec<_> = ds.splits().iter().map(|p| p.block).collect();
+    let dyn_driver = |provider: Box<dyn InputProvider>| {
+        Box::new(DynamicDriver::new(provider, Policy::conservative(), 20))
+    };
+
+    // Job 0: over-grabs and repeats splits — clamped and deduplicated.
+    let (job, _) = sampling_spec(&ds);
+    let id = rt.submit(
+        job,
+        dyn_driver(Box::new(OverGrabDup {
+            blocks: blocks.clone(),
+            calls: 0,
+        })),
+    );
+    rt.run_until_idle();
+    assert!(!rt.job_result(id).failed);
+
+    // Job 1: stonewalls until the wedge watchdog fires.
+    let (mut job, _) = sampling_spec(&ds);
+    job.conf.set(keys::MAX_IDLE_EVALUATIONS, 3u32);
+    let id = rt.submit(job, dyn_driver(Box::new(Stonewall)));
+    rt.run_until_idle();
+    assert!(rt.job_result(id).failed);
+
+    // Job 2: panics at submission with no retry budget — fatal.
+    let (job, _) = sampling_spec(&ds);
+    let id = rt.submit(
+        job,
+        dyn_driver(Box::new(PanicOn {
+            blocks: blocks.clone(),
+            calls: 0,
+            panic_on: 0,
+        })),
+    );
+    rt.run_until_idle();
+    assert!(rt.job_result(id).failed);
+
+    // Job 3: panics once mid-flight, inside a retry budget — recovers.
+    let (mut job, _) = sampling_spec(&ds);
+    job.conf.set(keys::PROVIDER_RETRY_BUDGET, 1u32);
+    let id = rt.submit(
+        job,
+        dyn_driver(Box::new(PanicOn {
+            blocks: blocks.clone(),
+            calls: 0,
+            panic_on: 1,
+        })),
+    );
+    rt.run_until_idle();
+    assert!(!rt.job_result(id).failed);
+
+    // Job 4: graceful deadline at half the fault-free horizon — completes
+    // with a partial sample.
+    let (mut job, driver) = sampling_spec(&ds);
+    job.conf.set(keys::JOB_DEADLINE_MS, horizon / 2);
+    job.conf.set(keys::ALLOW_PARTIAL, true);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    let r = rt.job_result(id);
+    assert!(!r.failed && (r.output.len() as u64) < k);
+
+    // Job 5: the same deadline without allow_partial — fatal.
+    let (mut job, driver) = sampling_spec(&ds);
+    job.conf.set(keys::JOB_DEADLINE_MS, horizon / 2);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    assert!(rt.job_result(id).failed);
+
+    let mut out = String::new();
+    for event in rt.take_trace() {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn guardrail_trace_matches_golden_file() {
+    let got = render_guardrail_run();
+    let path = guardrail_golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &got).expect("write guardrail golden trace");
+        return;
+    }
+    let want = fs::read_to_string(&path)
+        .expect("tests/golden/guardrail_trace.txt missing — generate it with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "guard-rail trace diverged from tests/golden/guardrail_trace.txt; \
+         if the behaviour change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         and review the diff"
+    );
+}
+
+/// Coverage guard for the guard-rail plane: the golden scenario must keep
+/// producing every one of its event kinds.
+#[test]
+fn guardrail_schedule_exercises_every_guardrail_event_kind() {
+    let got = render_guardrail_run();
+    for needle in [
+        "grab clamped",
+        "duplicate splits",
+        "WEDGED",
+        "provider fault (FATAL)",
+        "provider fault (retrying)",
+        "deadline exceeded (partial)",
+        "deadline exceeded (FATAL)",
+        "partial sample",
+    ] {
+        assert!(
+            got.contains(needle),
+            "guardrail golden scenario no longer produces a \"{needle}\" event"
+        );
+    }
+}
