@@ -53,6 +53,7 @@ pub struct AdaptiveDriver {
     total_input_splits: u32,
     completed_at_last_invocation: u32,
     invocations: u64,
+    gated: u64,
     current_rung: usize,
     switches: u64,
 }
@@ -79,6 +80,7 @@ impl AdaptiveDriver {
             total_input_splits,
             completed_at_last_invocation: 0,
             invocations: 0,
+            gated: 0,
             current_rung: 0,
             switches: 0,
         }
@@ -103,6 +105,13 @@ impl AdaptiveDriver {
     /// How many times the rung changed so far.
     pub fn switches(&self) -> u64 {
         self.switches
+    }
+
+    /// Evaluations the current rung's work-threshold gate answered with
+    /// `Wait` without consulting the provider (see
+    /// [`DynamicDriver::gated_evaluations`](crate::DynamicDriver::gated_evaluations)).
+    pub fn gated_evaluations(&self) -> u64 {
+        self.gated
     }
 
     fn select_rung(&self, cluster: &ClusterStatus) -> usize {
@@ -158,6 +167,7 @@ impl GrowthDriver for AdaptiveDriver {
             && new_work < threshold
             && progress.splits_running + progress.splits_pending > 0
         {
+            self.gated += 1;
             return GrowthDirective::Wait;
         }
         self.invocations += 1;

@@ -30,6 +30,7 @@ pub struct DynamicDriver {
     total_input_splits: u32,
     completed_at_last_invocation: u32,
     invocations: u64,
+    gated: u64,
 }
 
 impl DynamicDriver {
@@ -43,6 +44,7 @@ impl DynamicDriver {
             total_input_splits,
             completed_at_last_invocation: 0,
             invocations: 0,
+            gated: 0,
         }
     }
 
@@ -55,6 +57,14 @@ impl DynamicDriver {
     /// (excluding threshold-gated skips).
     pub fn provider_invocations(&self) -> u64 {
         self.invocations
+    }
+
+    /// Evaluations the work-threshold gate answered with `Wait` without
+    /// consulting the provider. Together with `provider_invocations` this
+    /// explains every `Wait` entry in the runtime's decision audit log:
+    /// audited `Wait`s = gated skips + provider `NoInputAvailable`s.
+    pub fn gated_evaluations(&self) -> u64 {
+        self.gated
     }
 }
 
@@ -91,6 +101,7 @@ impl GrowthDriver for DynamicDriver {
             && new_work < threshold
             && progress.splits_running + progress.splits_pending > 0
         {
+            self.gated += 1;
             return GrowthDirective::Wait;
         }
         self.invocations += 1;
@@ -179,12 +190,14 @@ mod tests {
         ));
         assert_eq!(dir, GrowthDirective::Wait);
         assert_eq!(d.provider_invocations(), 1);
+        assert_eq!(d.gated_evaluations(), 1, "the skip is accounted for");
         // 5 new completions: invoked again.
         let _ = d.evaluate(EvalContext::unlimited(
             &progress(8, 6, 6_000, 6),
             &status(40, 34),
         ));
         assert_eq!(d.provider_invocations(), 2);
+        assert_eq!(d.gated_evaluations(), 1);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub struct SamplingInputProvider {
     pool: Vec<BlockId>,
     estimator: SelectivityEstimator,
     rng: DetRng,
+    granted: u64,
 }
 
 impl SamplingInputProvider {
@@ -45,12 +46,21 @@ impl SamplingInputProvider {
             pool: all_splits,
             estimator: SelectivityEstimator::new(),
             rng: DetRng::seed_from(seed),
+            granted: 0,
         }
     }
 
     /// The target sample size.
     pub fn sample_size(&self) -> u64 {
         self.k
+    }
+
+    /// Total splits this provider has handed out (initial grab plus every
+    /// increment). The provider never repeats a split, so this equals the
+    /// job's audited `granted` total when no guard rail rewrote a
+    /// directive — the provider-side half of the audit cross-check.
+    pub fn splits_granted(&self) -> u64 {
+        self.granted
     }
 
     /// Draw up to `n` splits uniformly at random from the unprocessed pool.
@@ -60,6 +70,7 @@ impl SamplingInputProvider {
             let j = self.rng.gen_range(i..self.pool.len());
             self.pool.swap(i, j);
         }
+        self.granted += take as u64;
         self.pool.drain(..take).collect()
     }
 }
@@ -159,6 +170,7 @@ mod tests {
         let first = p.initial_input(&status(), 10);
         assert_eq!(first.len(), 10);
         assert_eq!(p.remaining(), 90);
+        assert_eq!(p.splits_granted(), 10);
         // Different seed → different draw.
         let mut q = SamplingInputProvider::new(blocks(100), 10, 2);
         let other = q.initial_input(&status(), 10);
@@ -271,6 +283,7 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), 50);
+        assert_eq!(p.splits_granted(), 50, "every draw is accounted for");
     }
 
     #[test]

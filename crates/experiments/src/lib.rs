@@ -15,6 +15,10 @@
 //! | [`fig7`]   | Figure 7 — heterogeneous workload, default (FIFO) scheduler |
 //! | [`fig8`]   | Figure 8 — heterogeneous workload, Fair Scheduler (+ locality) |
 //!
+//! When an aggregate needs explaining, [`explain`] re-runs a single
+//! fig6/fig7 cell with the runtime's observability plane on (trace,
+//! decision audit, latency histograms) and renders the full story.
+//!
 //! Every experiment takes a [`calibration::Calibration`]: `paper()` mirrors
 //! the paper's parameters (scales 5–100, k = 10 000, 10 users, …);
 //! `quick()` shrinks datasets and windows so the whole suite runs in
@@ -25,6 +29,7 @@
 pub mod ablations;
 pub mod calibration;
 pub mod estimator_accuracy;
+pub mod explain;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;

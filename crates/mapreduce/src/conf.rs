@@ -41,6 +41,19 @@ pub mod keys {
     /// Guard-rail plane: boolean — on deadline expiry, finish with the
     /// output gathered so far instead of failing the job.
     pub const ALLOW_PARTIAL: &str = "mapred.job.allow.partial";
+    /// Observability plane: trace sink the runtime should enable at
+    /// submission — `"memory"` (buffered [`TraceEvent`]s, the
+    /// `enable_tracing` behaviour) or `"jsonl"` (eager JSONL encoding).
+    /// Absent means tracing stays as the caller configured it.
+    ///
+    /// [`TraceEvent`]: crate::trace::TraceEvent
+    pub const TRACE_SINK: &str = "mapred.job.trace.sink";
+    /// Observability plane: boolean (default **true**) — record this
+    /// job's latencies into the runtime's histogram
+    /// [`MetricsRegistry`](crate::obs::MetricsRegistry). Set false to
+    /// exclude a job from both its per-job and the cluster-wide
+    /// histograms.
+    pub const HISTOGRAM_ENABLED: &str = "mapred.job.histogram.enabled";
 }
 
 /// A job's configuration: an ordered string map with typed accessors.

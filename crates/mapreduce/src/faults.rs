@@ -298,6 +298,36 @@ pub fn pick_speculative(
         .min()
 }
 
+/// Scan an exported trace for speculative races that never resolved.
+///
+/// Every `SpeculativeLaunch` must be followed by either an `AttemptKilled`
+/// on the same task (one racer lost) or the task's `MapFinished` commit;
+/// a job that fails mid-race tears its attempts down without further
+/// events, so `JobCompleted` also settles that job's races. Returns the
+/// `(job, task)` pairs still open at the end of the trace — an empty
+/// result is the invariant the chaos suite asserts.
+pub fn unresolved_speculations(
+    events: &[crate::trace::TraceEvent],
+) -> Vec<(crate::job::JobId, crate::job::TaskId)> {
+    use crate::trace::TraceKind;
+    let mut open: Vec<(crate::job::JobId, crate::job::TaskId)> = Vec::new();
+    for e in events {
+        match e.kind {
+            TraceKind::SpeculativeLaunch { job, task, .. } if !open.contains(&(job, task)) => {
+                open.push((job, task));
+            }
+            TraceKind::AttemptKilled { job, task, .. } | TraceKind::MapFinished { job, task } => {
+                open.retain(|&(j, t)| (j, t) != (job, task));
+            }
+            TraceKind::JobCompleted { job, .. } => {
+                open.retain(|&(j, _)| j != job);
+            }
+            _ => {}
+        }
+    }
+    open
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +347,56 @@ mod tests {
             blacklist_threshold: Some(3),
             seed: 7,
         }
+    }
+
+    #[test]
+    fn speculation_pairing_scans_the_trace() {
+        use crate::job::{JobId, TaskId};
+        use crate::trace::{TraceEvent, TraceKind};
+        let at = |s: u64, kind: TraceKind| TraceEvent {
+            time: SimTime::from_secs(s),
+            kind,
+        };
+        let launch = |j: u32, t: u32| TraceKind::SpeculativeLaunch {
+            job: JobId(j),
+            task: TaskId(t),
+            node: NodeId(0),
+        };
+        // Race 1 resolves by a kill, race 2 by its commit, race 3 by the
+        // job failing mid-race; race 4 stays open.
+        let events = vec![
+            at(1, launch(0, 1)),
+            at(2, launch(0, 2)),
+            at(3, launch(1, 3)),
+            at(4, launch(0, 4)),
+            at(
+                5,
+                TraceKind::AttemptKilled {
+                    job: JobId(0),
+                    task: TaskId(1),
+                    node: NodeId(0),
+                },
+            ),
+            at(
+                6,
+                TraceKind::MapFinished {
+                    job: JobId(0),
+                    task: TaskId(2),
+                },
+            ),
+            at(
+                7,
+                TraceKind::JobCompleted {
+                    job: JobId(1),
+                    failed: true,
+                },
+            ),
+        ];
+        assert_eq!(
+            unresolved_speculations(&events),
+            vec![(JobId(0), TaskId(4))]
+        );
+        assert!(unresolved_speculations(&events[..3]).len() == 3);
     }
 
     #[test]

@@ -180,6 +180,22 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Trace sink to enable at submission: `"memory"` (buffered events,
+    /// the `enable_tracing` behaviour) or `"jsonl"` (eager JSONL text).
+    /// Any other value is rejected at build/submit time (sets
+    /// [`keys::TRACE_SINK`]).
+    pub fn trace_sink(mut self, sink: &str) -> Self {
+        self.conf.set(keys::TRACE_SINK, sink);
+        self
+    }
+
+    /// Whether this job's latencies feed the runtime's histogram
+    /// `MetricsRegistry` (default true; sets [`keys::HISTOGRAM_ENABLED`]).
+    pub fn histograms(mut self, enabled: bool) -> Self {
+        self.conf.set(keys::HISTOGRAM_ENABLED, enabled);
+        self
+    }
+
     /// Finish building, returning a typed error for incomplete or
     /// malformed specs: a missing input format or mapper, a numeric
     /// configuration key (reduce-task count, materialize cap, guard-rail
@@ -203,6 +219,15 @@ impl JobSpecBuilder {
             .map_err(JobConfigError::BadConf)?;
         if deadline == 0 {
             return Err(JobConfigError::ZeroDeadline);
+        }
+        if let Some(sink) = self.conf.get(keys::TRACE_SINK) {
+            if sink != "memory" && sink != "jsonl" {
+                return Err(JobConfigError::BadConf(crate::conf::ConfError {
+                    key: keys::TRACE_SINK.to_string(),
+                    value: sink.to_string(),
+                    wanted: "trace sink (\"memory\" or \"jsonl\")",
+                }));
+            }
         }
         Ok(JobSpec {
             conf: self.conf,
@@ -542,6 +567,10 @@ pub struct JobResult {
     pub error: Option<JobError>,
     /// Final reduce output.
     pub output: Vec<(Key, Record)>,
+    /// This job's latency histograms (empty when the job opted out via
+    /// `mapred.job.histogram.enabled=false`). Merging these across jobs
+    /// reproduces the runtime-wide registry exactly.
+    pub histograms: crate::obs::MetricsRegistry,
 }
 
 impl JobResult {
@@ -801,6 +830,7 @@ mod tests {
             failed: false,
             error: None,
             output: vec![],
+            histograms: crate::obs::MetricsRegistry::new(),
         };
         assert_eq!(r.response_time(), SimDuration::from_secs(60));
         assert!((r.locality() - 0.7).abs() < 1e-12);
@@ -820,6 +850,7 @@ mod tests {
             failed: false,
             error: None,
             output: vec![],
+            histograms: crate::obs::MetricsRegistry::new(),
         };
         assert_eq!(r.locality(), 0.0);
     }

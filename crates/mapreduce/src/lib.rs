@@ -35,6 +35,7 @@ pub mod exec;
 pub mod faults;
 pub mod job;
 pub mod metrics;
+pub mod obs;
 pub mod parallel;
 pub mod runtime;
 pub mod scheduler;
@@ -59,6 +60,11 @@ pub use job::{
 pub use metrics::{
     ClusterMetrics, FaultMetrics, GuardrailMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics,
 };
+pub use obs::{
+    audited_splits_added, encode_event, encode_trace, kind_name, parse_event, parse_trace,
+    render_audit, render_swimlanes, AuditDirective, AuditRecord, JsonlSink, MemorySink,
+    MetricsRegistry, TraceParseError, TraceSink,
+};
 pub use parallel::{
     MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle, WorkUnit,
 };
@@ -81,6 +87,7 @@ pub mod prelude {
         EvalContext, GrowthDirective, GrowthDriver, GrowthOutcome, JobError, JobId, JobProgress,
         JobResult, JobSpec, ProviderError, ProviderStage, StaticDriver, TaskId,
     };
+    pub use crate::obs::{AuditRecord, MetricsRegistry, TraceSink};
     pub use crate::runtime::MrRuntime;
     pub use crate::scheduler::{FairScheduler, FifoScheduler, TaskScheduler};
 }

@@ -14,6 +14,8 @@
 use incmr_simkit::stats::{Sampled, TimeWeighted};
 use incmr_simkit::{SimDuration, SimTime};
 
+use crate::trace::{TraceEvent, TraceKind};
+
 /// Deterministic shuffle counters, aggregated across jobs whose shuffle
 /// closed inside the metrics window.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,6 +74,43 @@ pub struct FaultMetrics {
     pub nodes_blacklisted: u64,
 }
 
+impl FaultMetrics {
+    /// Recompute the trace-derivable counters from an exported trace. The
+    /// counters with no dedicated trace event (`maps_reexecuted`,
+    /// `speculative_wasted`, `attempts_killed` — reduce attempts killed by
+    /// node death release no `AttemptKilled` event) stay zero; compare
+    /// against [`FaultMetrics::derivable`] of the live counters.
+    pub fn from_trace(events: &[TraceEvent]) -> FaultMetrics {
+        let mut m = FaultMetrics::default();
+        for e in events {
+            match e.kind {
+                TraceKind::NodeLost { .. } => m.nodes_lost += 1,
+                TraceKind::NodeRejoined { .. } => m.nodes_rejoined += 1,
+                TraceKind::SpeculativeLaunch { .. } => m.speculative_launched += 1,
+                TraceKind::ReduceFailed { .. } => m.reduce_failures += 1,
+                TraceKind::NodeBlacklisted { .. } => m.nodes_blacklisted += 1,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// This counter set restricted to the fields [`FaultMetrics::from_trace`]
+    /// can recompute (the rest zeroed), for direct equality checks.
+    pub fn derivable(&self) -> FaultMetrics {
+        FaultMetrics {
+            nodes_lost: self.nodes_lost,
+            nodes_rejoined: self.nodes_rejoined,
+            maps_reexecuted: 0,
+            speculative_launched: self.speculative_launched,
+            speculative_wasted: 0,
+            attempts_killed: 0,
+            reduce_failures: self.reduce_failures,
+            nodes_blacklisted: self.nodes_blacklisted,
+        }
+    }
+}
+
 /// Deterministic guard-rail counters: how often the runtime had to defend
 /// itself against misbehaving job-supplied logic (Input Providers, growth
 /// drivers) or enforce job deadlines. Like [`FaultMetrics`], these are
@@ -99,6 +138,52 @@ pub struct GuardrailMetrics {
     pub deadlines_exceeded: u64,
     /// Sampling jobs that completed with fewer than `k` matches.
     pub partial_samples: u64,
+}
+
+impl GuardrailMetrics {
+    /// Recompute the trace-derivable counters from an exported trace.
+    /// `provider_panics` and `unknown_blocks` have no dedicated trace
+    /// event (both surface as `ProviderFault`) and stay zero; compare
+    /// against [`GuardrailMetrics::derivable`] of the live counters.
+    pub fn from_trace(events: &[TraceEvent]) -> GuardrailMetrics {
+        let mut m = GuardrailMetrics::default();
+        for e in events {
+            match e.kind {
+                TraceKind::ProviderFault { fatal, .. } => {
+                    m.provider_errors += 1;
+                    if !fatal {
+                        m.provider_retries += 1;
+                    }
+                }
+                TraceKind::DuplicateInputDropped { splits, .. } => {
+                    m.duplicate_splits_dropped += splits as u64
+                }
+                TraceKind::GrabLimitClamped { .. } => m.grab_limit_clamps += 1,
+                TraceKind::JobWedged { .. } => m.jobs_wedged += 1,
+                TraceKind::DeadlineExceeded { .. } => m.deadlines_exceeded += 1,
+                TraceKind::PartialSample { .. } => m.partial_samples += 1,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// This counter set restricted to the fields
+    /// [`GuardrailMetrics::from_trace`] can recompute (the rest zeroed),
+    /// for direct equality checks.
+    pub fn derivable(&self) -> GuardrailMetrics {
+        GuardrailMetrics {
+            provider_panics: 0,
+            provider_errors: self.provider_errors,
+            unknown_blocks: 0,
+            provider_retries: self.provider_retries,
+            duplicate_splits_dropped: self.duplicate_splits_dropped,
+            grab_limit_clamps: self.grab_limit_clamps,
+            jobs_wedged: self.jobs_wedged,
+            deadlines_exceeded: self.deadlines_exceeded,
+            partial_samples: self.partial_samples,
+        }
+    }
 }
 
 /// Host-side wall-clock nanoseconds spent on data-plane work, by phase.
@@ -393,6 +478,77 @@ mod tests {
         assert_eq!(g.duplicate_splits_dropped, 5);
         assert_eq!(g.partial_samples, 1);
         assert_eq!(g.jobs_wedged, 0);
+    }
+
+    #[test]
+    fn counters_recompute_from_trace_events() {
+        use crate::job::{JobId, TaskId};
+        use incmr_dfs::NodeId;
+        let at = |s: u64, kind: TraceKind| TraceEvent {
+            time: SimTime::from_secs(s),
+            kind,
+        };
+        let events = vec![
+            at(1, TraceKind::NodeLost { node: NodeId(3) }),
+            at(
+                2,
+                TraceKind::SpeculativeLaunch {
+                    job: JobId(0),
+                    task: TaskId(1),
+                    node: NodeId(2),
+                },
+            ),
+            at(3, TraceKind::NodeRejoined { node: NodeId(3) }),
+            at(
+                4,
+                TraceKind::ProviderFault {
+                    job: JobId(0),
+                    fatal: false,
+                },
+            ),
+            at(
+                5,
+                TraceKind::DuplicateInputDropped {
+                    job: JobId(0),
+                    splits: 4,
+                },
+            ),
+            at(
+                6,
+                TraceKind::ProviderFault {
+                    job: JobId(1),
+                    fatal: true,
+                },
+            ),
+            at(
+                7,
+                TraceKind::GrabLimitClamped {
+                    job: JobId(0),
+                    requested: 9,
+                    granted: 4,
+                },
+            ),
+        ];
+        let f = FaultMetrics::from_trace(&events);
+        assert_eq!(f.nodes_lost, 1);
+        assert_eq!(f.nodes_rejoined, 1);
+        assert_eq!(f.speculative_launched, 1);
+        assert_eq!(f.reduce_failures, 0);
+        let g = GuardrailMetrics::from_trace(&events);
+        assert_eq!(g.provider_errors, 2);
+        assert_eq!(g.provider_retries, 1);
+        assert_eq!(g.duplicate_splits_dropped, 4);
+        assert_eq!(g.grab_limit_clamps, 1);
+        // `derivable` zeroes exactly the fields `from_trace` cannot see.
+        let mut live = FaultMetrics::from_trace(&events);
+        live.maps_reexecuted = 7;
+        live.attempts_killed = 9;
+        live.speculative_wasted = 2;
+        assert_eq!(live.derivable(), f);
+        let mut live = GuardrailMetrics::from_trace(&events);
+        live.provider_panics = 3;
+        live.unknown_blocks = 1;
+        assert_eq!(live.derivable(), g);
     }
 
     #[test]

@@ -1,0 +1,1377 @@
+//! The observability plane: structured trace export, latency histograms,
+//! and the provider-decision audit log.
+//!
+//! Everything in this module is derived from **simulated** time and
+//! deterministic integer counters, so all of its output — JSONL traces,
+//! histogram quantiles, audit lines, swimlane charts — is byte-identical
+//! across data-plane thread counts (see `crate::parallel`) and across
+//! runs.
+//!
+//! * [`encode_event`] / [`parse_event`] — a stable, hand-rolled JSONL
+//!   codec for [`TraceEvent`] (no serde; the build is offline). Every
+//!   [`TraceKind`] is encoded by an exhaustive `match`, so adding a
+//!   variant without an encoding is a compile error.
+//! * [`TraceSink`] — where the runtime streams events: [`MemorySink`]
+//!   (the classic `Vec<TraceEvent>` behaviour) or [`JsonlSink`] (encodes
+//!   eagerly to JSONL text).
+//! * [`MetricsRegistry`] — simulated-time latency histograms
+//!   ([`LogHistogram`]) for the six families DESIGN.md §10 documents,
+//!   mergeable across jobs.
+//! * [`AuditRecord`] — one entry per `GrowthDriver` consultation: the
+//!   inputs the driver saw (`JobProgress`, `ClusterStatus`, grab limit),
+//!   the directive it returned, and every guard-rail rewrite (clamp,
+//!   dedup, retry) applied to it. A job's growth history is fully
+//!   reconstructable from its audit lines.
+//! * [`render_swimlanes`] — a per-node/per-slot occupancy chart from an
+//!   exported trace, used by `incmr-experiments` to explain runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use incmr_dfs::NodeId;
+use incmr_simkit::stats::LogHistogram;
+use incmr_simkit::SimTime;
+
+use crate::cluster::ClusterStatus;
+use crate::job::{JobId, JobProgress, ProviderStage, TaskId};
+use crate::trace::{TraceEvent, TraceKind};
+
+// ---------------------------------------------------------------------------
+// JSONL codec
+// ---------------------------------------------------------------------------
+
+/// The stable wire name of a [`TraceKind`] variant.
+///
+/// The exhaustive `match` (no wildcard arm) is deliberate: a future
+/// variant without a wire name fails compilation here, which is the
+/// build-time guard the round-trip test suite relies on.
+pub fn kind_name(kind: &TraceKind) -> &'static str {
+    match kind {
+        TraceKind::JobSubmitted { .. } => "JobSubmitted",
+        TraceKind::InputAdded { .. } => "InputAdded",
+        TraceKind::EndOfInput { .. } => "EndOfInput",
+        TraceKind::MapStarted { .. } => "MapStarted",
+        TraceKind::MapFinished { .. } => "MapFinished",
+        TraceKind::MapFailed { .. } => "MapFailed",
+        TraceKind::ShuffleReady { .. } => "ShuffleReady",
+        TraceKind::ReduceStarted { .. } => "ReduceStarted",
+        TraceKind::ReduceFinished { .. } => "ReduceFinished",
+        TraceKind::JobCompleted { .. } => "JobCompleted",
+        TraceKind::ReduceFailed { .. } => "ReduceFailed",
+        TraceKind::NodeLost { .. } => "NodeLost",
+        TraceKind::NodeRejoined { .. } => "NodeRejoined",
+        TraceKind::SpeculativeLaunch { .. } => "SpeculativeLaunch",
+        TraceKind::AttemptKilled { .. } => "AttemptKilled",
+        TraceKind::NodeBlacklisted { .. } => "NodeBlacklisted",
+        TraceKind::ProviderFault { .. } => "ProviderFault",
+        TraceKind::GrabLimitClamped { .. } => "GrabLimitClamped",
+        TraceKind::DuplicateInputDropped { .. } => "DuplicateInputDropped",
+        TraceKind::JobWedged { .. } => "JobWedged",
+        TraceKind::DeadlineExceeded { .. } => "DeadlineExceeded",
+        TraceKind::PartialSample { .. } => "PartialSample",
+    }
+}
+
+/// Encode one event as a single JSON object (one JSONL line, no trailing
+/// newline). Key order is fixed: `t`, `kind`, then the payload fields in
+/// declaration order, so encodings are byte-stable.
+pub fn encode_event(event: &TraceEvent) -> String {
+    let mut s = format!(
+        "{{\"t\":{},\"kind\":\"{}\"",
+        event.time.as_millis(),
+        kind_name(&event.kind)
+    );
+    {
+        let mut field = |k: &str, v: u64| {
+            s.push_str(&format!(",\"{k}\":{v}"));
+        };
+        // Exhaustive over every TraceKind: adding a variant without an
+        // encoding is a compile error (the round-trip suite's build guard).
+        match &event.kind {
+            TraceKind::JobSubmitted { job } => field("job", job.0 as u64),
+            TraceKind::InputAdded { job, splits } => {
+                field("job", job.0 as u64);
+                field("splits", *splits as u64);
+            }
+            TraceKind::EndOfInput { job } => field("job", job.0 as u64),
+            TraceKind::MapStarted {
+                job,
+                task,
+                node,
+                local,
+            } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+                field("node", node.0 as u64);
+                s.push_str(&format!(",\"local\":{local}"));
+            }
+            TraceKind::MapFinished { job, task } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+            }
+            TraceKind::MapFailed { job, task, attempt } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+                field("attempt", *attempt as u64);
+            }
+            TraceKind::ShuffleReady {
+                job,
+                partitions,
+                combiner_in,
+                combiner_out,
+                max_partition_bytes,
+                min_partition_bytes,
+            } => {
+                field("job", job.0 as u64);
+                field("partitions", *partitions as u64);
+                field("combiner_in", *combiner_in);
+                field("combiner_out", *combiner_out);
+                field("max_partition_bytes", *max_partition_bytes);
+                field("min_partition_bytes", *min_partition_bytes);
+            }
+            TraceKind::ReduceStarted { job, reduce, node } => {
+                field("job", job.0 as u64);
+                field("reduce", *reduce as u64);
+                field("node", node.0 as u64);
+            }
+            TraceKind::ReduceFinished { job, reduce } => {
+                field("job", job.0 as u64);
+                field("reduce", *reduce as u64);
+            }
+            TraceKind::JobCompleted { job, failed } => {
+                field("job", job.0 as u64);
+                s.push_str(&format!(",\"failed\":{failed}"));
+            }
+            TraceKind::ReduceFailed {
+                job,
+                reduce,
+                attempt,
+            } => {
+                field("job", job.0 as u64);
+                field("reduce", *reduce as u64);
+                field("attempt", *attempt as u64);
+            }
+            TraceKind::NodeLost { node } => field("node", node.0 as u64),
+            TraceKind::NodeRejoined { node } => field("node", node.0 as u64),
+            TraceKind::SpeculativeLaunch { job, task, node } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+                field("node", node.0 as u64);
+            }
+            TraceKind::AttemptKilled { job, task, node } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+                field("node", node.0 as u64);
+            }
+            TraceKind::NodeBlacklisted { job, node } => {
+                field("job", job.0 as u64);
+                field("node", node.0 as u64);
+            }
+            TraceKind::ProviderFault { job, fatal } => {
+                field("job", job.0 as u64);
+                s.push_str(&format!(",\"fatal\":{fatal}"));
+            }
+            TraceKind::GrabLimitClamped {
+                job,
+                requested,
+                granted,
+            } => {
+                field("job", job.0 as u64);
+                field("requested", *requested as u64);
+                field("granted", *granted as u64);
+            }
+            TraceKind::DuplicateInputDropped { job, splits } => {
+                field("job", job.0 as u64);
+                field("splits", *splits as u64);
+            }
+            TraceKind::JobWedged {
+                job,
+                idle_evaluations,
+            } => {
+                field("job", job.0 as u64);
+                field("idle_evaluations", *idle_evaluations as u64);
+            }
+            TraceKind::DeadlineExceeded { job, graceful } => {
+                field("job", job.0 as u64);
+                s.push_str(&format!(",\"graceful\":{graceful}"));
+            }
+            TraceKind::PartialSample {
+                job,
+                found,
+                requested,
+            } => {
+                field("job", job.0 as u64);
+                field("found", *found);
+                field("requested", *requested);
+            }
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Encode a whole trace as JSONL (one event per line, trailing newline).
+pub fn encode_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&encode_event(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Why a JSONL line failed to parse back into a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The line is not a well-formed flat JSON object.
+    Malformed(String),
+    /// The `kind` field names no known [`TraceKind`].
+    UnknownKind(String),
+    /// A payload field required by the kind is absent or mistyped.
+    MissingField {
+        /// The event kind being decoded.
+        kind: String,
+        /// The absent field.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceParseError::Malformed(m) => write!(f, "malformed trace line: {m}"),
+            TraceParseError::UnknownKind(k) => write!(f, "unknown trace kind {k:?}"),
+            TraceParseError::MissingField { kind, field } => {
+                write!(f, "{kind} event missing field {field:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Num(u64),
+    Bool(bool),
+    Str(String),
+}
+
+/// Minimal parser for the flat JSON objects [`encode_event`] emits:
+/// string keys mapping to unsigned integers, booleans, or plain strings.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, TraceParseError> {
+    let bad = |m: &str| TraceParseError::Malformed(format!("{m} in {line:?}"));
+    let mut chars = line.trim().char_indices().peekable();
+    let s = line.trim();
+    let mut fields = Vec::new();
+    let expect =
+        |c: char, chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>| match chars.next() {
+            Some((_, got)) if got == c => Ok(()),
+            _ => Err(bad(&format!("expected {c:?}"))),
+        };
+    expect('{', &mut chars)?;
+    loop {
+        match chars.peek() {
+            Some((_, '}')) => {
+                chars.next();
+                break;
+            }
+            Some((_, ',')) if !fields.is_empty() => {
+                chars.next();
+            }
+            Some(_) if fields.is_empty() => {}
+            _ => return Err(bad("expected ',' or '}'")),
+        }
+        // Key.
+        expect('"', &mut chars)?;
+        let start = chars.peek().ok_or_else(|| bad("truncated key"))?.0;
+        let mut end = start;
+        for (i, c) in chars.by_ref() {
+            if c == '"' {
+                end = i;
+                break;
+            }
+        }
+        let key = s[start..end].to_string();
+        expect(':', &mut chars)?;
+        // Value.
+        let value = match chars.peek() {
+            Some((_, '"')) => {
+                chars.next();
+                let start = chars.peek().ok_or_else(|| bad("truncated string"))?.0;
+                let mut end = start;
+                for (i, c) in chars.by_ref() {
+                    if c == '"' {
+                        end = i;
+                        break;
+                    }
+                }
+                JsonValue::Str(s[start..end].to_string())
+            }
+            Some((_, 't')) => {
+                for _ in 0..4 {
+                    chars.next();
+                }
+                JsonValue::Bool(true)
+            }
+            Some((_, 'f')) => {
+                for _ in 0..5 {
+                    chars.next();
+                }
+                JsonValue::Bool(false)
+            }
+            Some((_, c)) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some((_, c)) = chars.peek() {
+                    let Some(d) = c.to_digit(10) else { break };
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64))
+                        .ok_or_else(|| bad("number overflows u64"))?;
+                    chars.next();
+                }
+                JsonValue::Num(n)
+            }
+            _ => return Err(bad("unsupported value")),
+        };
+        fields.push((key, value));
+    }
+    if chars.next().is_some() {
+        return Err(bad("trailing garbage"));
+    }
+    Ok(fields)
+}
+
+struct FieldReader<'a> {
+    kind: &'a str,
+    fields: &'a [(String, JsonValue)],
+}
+
+impl<'a> FieldReader<'a> {
+    fn missing(&self, field: &'static str) -> TraceParseError {
+        TraceParseError::MissingField {
+            kind: self.kind.to_string(),
+            field,
+        }
+    }
+
+    fn num(&self, field: &'static str) -> Result<u64, TraceParseError> {
+        match self.fields.iter().find(|(k, _)| k == field) {
+            Some((_, JsonValue::Num(n))) => Ok(*n),
+            _ => Err(self.missing(field)),
+        }
+    }
+
+    fn boolean(&self, field: &'static str) -> Result<bool, TraceParseError> {
+        match self.fields.iter().find(|(k, _)| k == field) {
+            Some((_, JsonValue::Bool(b))) => Ok(*b),
+            _ => Err(self.missing(field)),
+        }
+    }
+
+    fn job(&self) -> Result<JobId, TraceParseError> {
+        Ok(JobId(self.num("job")? as u32))
+    }
+
+    fn task(&self) -> Result<TaskId, TraceParseError> {
+        Ok(TaskId(self.num("task")? as u32))
+    }
+
+    fn node(&self) -> Result<NodeId, TraceParseError> {
+        Ok(NodeId(self.num("node")? as u16))
+    }
+}
+
+/// Parse one JSONL line produced by [`encode_event`] back into the event.
+pub fn parse_event(line: &str) -> Result<TraceEvent, TraceParseError> {
+    let fields = parse_flat_object(line)?;
+    let kind_field = match fields.iter().find(|(k, _)| k == "kind") {
+        Some((_, JsonValue::Str(k))) => k.clone(),
+        _ => {
+            return Err(TraceParseError::Malformed(format!(
+                "no \"kind\" field in {line:?}"
+            )))
+        }
+    };
+    let r = FieldReader {
+        kind: &kind_field,
+        fields: &fields,
+    };
+    let time = SimTime::from_millis(
+        r.num("t")
+            .map_err(|_| TraceParseError::Malformed(format!("no \"t\" field in {line:?}")))?,
+    );
+    let kind = match kind_field.as_str() {
+        "JobSubmitted" => TraceKind::JobSubmitted { job: r.job()? },
+        "InputAdded" => TraceKind::InputAdded {
+            job: r.job()?,
+            splits: r.num("splits")? as u32,
+        },
+        "EndOfInput" => TraceKind::EndOfInput { job: r.job()? },
+        "MapStarted" => TraceKind::MapStarted {
+            job: r.job()?,
+            task: r.task()?,
+            node: r.node()?,
+            local: r.boolean("local")?,
+        },
+        "MapFinished" => TraceKind::MapFinished {
+            job: r.job()?,
+            task: r.task()?,
+        },
+        "MapFailed" => TraceKind::MapFailed {
+            job: r.job()?,
+            task: r.task()?,
+            attempt: r.num("attempt")? as u32,
+        },
+        "ShuffleReady" => TraceKind::ShuffleReady {
+            job: r.job()?,
+            partitions: r.num("partitions")? as u32,
+            combiner_in: r.num("combiner_in")?,
+            combiner_out: r.num("combiner_out")?,
+            max_partition_bytes: r.num("max_partition_bytes")?,
+            min_partition_bytes: r.num("min_partition_bytes")?,
+        },
+        "ReduceStarted" => TraceKind::ReduceStarted {
+            job: r.job()?,
+            reduce: r.num("reduce")? as u32,
+            node: r.node()?,
+        },
+        "ReduceFinished" => TraceKind::ReduceFinished {
+            job: r.job()?,
+            reduce: r.num("reduce")? as u32,
+        },
+        "JobCompleted" => TraceKind::JobCompleted {
+            job: r.job()?,
+            failed: r.boolean("failed")?,
+        },
+        "ReduceFailed" => TraceKind::ReduceFailed {
+            job: r.job()?,
+            reduce: r.num("reduce")? as u32,
+            attempt: r.num("attempt")? as u32,
+        },
+        "NodeLost" => TraceKind::NodeLost { node: r.node()? },
+        "NodeRejoined" => TraceKind::NodeRejoined { node: r.node()? },
+        "SpeculativeLaunch" => TraceKind::SpeculativeLaunch {
+            job: r.job()?,
+            task: r.task()?,
+            node: r.node()?,
+        },
+        "AttemptKilled" => TraceKind::AttemptKilled {
+            job: r.job()?,
+            task: r.task()?,
+            node: r.node()?,
+        },
+        "NodeBlacklisted" => TraceKind::NodeBlacklisted {
+            job: r.job()?,
+            node: r.node()?,
+        },
+        "ProviderFault" => TraceKind::ProviderFault {
+            job: r.job()?,
+            fatal: r.boolean("fatal")?,
+        },
+        "GrabLimitClamped" => TraceKind::GrabLimitClamped {
+            job: r.job()?,
+            requested: r.num("requested")? as u32,
+            granted: r.num("granted")? as u32,
+        },
+        "DuplicateInputDropped" => TraceKind::DuplicateInputDropped {
+            job: r.job()?,
+            splits: r.num("splits")? as u32,
+        },
+        "JobWedged" => TraceKind::JobWedged {
+            job: r.job()?,
+            idle_evaluations: r.num("idle_evaluations")? as u32,
+        },
+        "DeadlineExceeded" => TraceKind::DeadlineExceeded {
+            job: r.job()?,
+            graceful: r.boolean("graceful")?,
+        },
+        "PartialSample" => TraceKind::PartialSample {
+            job: r.job()?,
+            found: r.num("found")?,
+            requested: r.num("requested")?,
+        },
+        other => return Err(TraceParseError::UnknownKind(other.to_string())),
+    };
+    Ok(TraceEvent { time, kind })
+}
+
+/// Parse a whole JSONL document (blank lines are skipped).
+pub fn parse_trace(jsonl: &str) -> Result<Vec<TraceEvent>, TraceParseError> {
+    jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_event)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Trace sinks
+// ---------------------------------------------------------------------------
+
+/// Where the runtime streams trace events.
+///
+/// Sinks observe exactly the event stream `MrRuntime::take_trace` would
+/// collect, in the same deterministic order.
+pub trait TraceSink: Send {
+    /// Observe one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Drain everything observed so far as JSONL text (sinks that buffer
+    /// decoded events encode them here).
+    fn drain_jsonl(&mut self) -> String;
+}
+
+/// The classic in-memory sink: buffers decoded [`TraceEvent`]s.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Events observed so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Take the buffered events, leaving the sink empty.
+    pub fn take_events(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+
+    fn drain_jsonl(&mut self) -> String {
+        encode_trace(&self.take_events())
+    }
+}
+
+/// Encodes every event to JSONL eagerly; holds only text.
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    out: String,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.out.push_str(&encode_event(event));
+        self.out.push('\n');
+    }
+
+    fn drain_jsonl(&mut self) -> String {
+        std::mem::take(&mut self.out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histograms
+// ---------------------------------------------------------------------------
+
+/// The fixed set of latency families the runtime records, all in
+/// simulated milliseconds (see DESIGN.md §10 for exact semantics):
+///
+/// | family | one observation per | measures |
+/// |--------|--------------------|----------|
+/// | `map_attempt_ms` | committed map attempt | dispatch → completion |
+/// | `shuffle_merge_ms` | job reaching shuffle-ready | first merged map output → shuffle closed |
+/// | `reduce_ms` | committed reduce attempt | reduce start → commit |
+/// | `provider_eval_interval_ms` | driver evaluation after the first | gap between consecutive evaluations |
+/// | `queue_wait_ms[scheduler]` | non-speculative map dispatch | (re)queue → dispatch, keyed by scheduler |
+/// | `split_wait_ms` | split's first dispatch | split added → first attempt dispatched |
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    map_attempt_ms: LogHistogram,
+    shuffle_merge_ms: LogHistogram,
+    reduce_ms: LogHistogram,
+    provider_eval_interval_ms: LogHistogram,
+    queue_wait_ms: BTreeMap<String, LogHistogram>,
+    split_wait_ms: LogHistogram,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Record a committed map attempt's latency.
+    pub fn record_map_attempt(&mut self, ms: u64) {
+        self.map_attempt_ms.record(ms);
+    }
+
+    /// Record a job's shuffle-merge span (first merge → shuffle ready).
+    pub fn record_shuffle_merge(&mut self, ms: u64) {
+        self.shuffle_merge_ms.record(ms);
+    }
+
+    /// Record a committed reduce attempt's latency.
+    pub fn record_reduce(&mut self, ms: u64) {
+        self.reduce_ms.record(ms);
+    }
+
+    /// Record the gap between two consecutive driver evaluations.
+    pub fn record_provider_eval_interval(&mut self, ms: u64) {
+        self.provider_eval_interval_ms.record(ms);
+    }
+
+    /// Record a map task's queue wait under the named scheduler.
+    pub fn record_queue_wait(&mut self, scheduler: &str, ms: u64) {
+        self.queue_wait_ms
+            .entry(scheduler.to_string())
+            .or_default()
+            .record(ms);
+    }
+
+    /// Record a split's wait from being added to its first dispatch.
+    pub fn record_split_wait(&mut self, ms: u64) {
+        self.split_wait_ms.record(ms);
+    }
+
+    /// Committed-map-attempt latencies.
+    pub fn map_attempt(&self) -> &LogHistogram {
+        &self.map_attempt_ms
+    }
+
+    /// Shuffle-merge spans.
+    pub fn shuffle_merge(&self) -> &LogHistogram {
+        &self.shuffle_merge_ms
+    }
+
+    /// Committed-reduce latencies.
+    pub fn reduce(&self) -> &LogHistogram {
+        &self.reduce_ms
+    }
+
+    /// Driver evaluation intervals.
+    pub fn provider_eval_interval(&self) -> &LogHistogram {
+        &self.provider_eval_interval_ms
+    }
+
+    /// Queue waits for one scheduler (`None` if it never dispatched).
+    pub fn queue_wait(&self, scheduler: &str) -> Option<&LogHistogram> {
+        self.queue_wait_ms.get(scheduler)
+    }
+
+    /// All queue waits merged across schedulers.
+    pub fn queue_wait_total(&self) -> LogHistogram {
+        let mut h = LogHistogram::new();
+        for q in self.queue_wait_ms.values() {
+            h.merge(q);
+        }
+        h
+    }
+
+    /// Split wait-to-first-dispatch latencies.
+    pub fn split_wait(&self) -> &LogHistogram {
+        &self.split_wait_ms
+    }
+
+    /// Every family with its stable display name, queue-wait families
+    /// keyed as `queue_wait_ms[<scheduler>]`.
+    pub fn families(&self) -> Vec<(String, &LogHistogram)> {
+        let mut out = vec![
+            ("map_attempt_ms".to_string(), &self.map_attempt_ms),
+            ("shuffle_merge_ms".to_string(), &self.shuffle_merge_ms),
+            ("reduce_ms".to_string(), &self.reduce_ms),
+            (
+                "provider_eval_interval_ms".to_string(),
+                &self.provider_eval_interval_ms,
+            ),
+        ];
+        for (sched, h) in &self.queue_wait_ms {
+            out.push((format!("queue_wait_ms[{sched}]"), h));
+        }
+        out.push(("split_wait_ms".to_string(), &self.split_wait_ms));
+        out
+    }
+
+    /// True when no family holds any observation.
+    pub fn is_empty(&self) -> bool {
+        self.families().iter().all(|(_, h)| h.is_empty())
+    }
+
+    /// Fold another registry into this one (exact: fixed bucket layout).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.map_attempt_ms.merge(&other.map_attempt_ms);
+        self.shuffle_merge_ms.merge(&other.shuffle_merge_ms);
+        self.reduce_ms.merge(&other.reduce_ms);
+        self.provider_eval_interval_ms
+            .merge(&other.provider_eval_interval_ms);
+        for (sched, h) in &other.queue_wait_ms {
+            self.queue_wait_ms
+                .entry(sched.clone())
+                .or_default()
+                .merge(h);
+        }
+        self.split_wait_ms.merge(&other.split_wait_ms);
+    }
+
+    /// A stable plain-text snapshot: one line per family with count,
+    /// quantiles, max, and sum, followed by its non-empty buckets.
+    pub fn render(&self) -> String {
+        let mut out = String::from("latency histograms (simulated ms)\n");
+        for (name, h) in self.families() {
+            if h.is_empty() {
+                out.push_str(&format!("  {name}: count=0\n"));
+                continue;
+            }
+            out.push_str(&format!(
+                "  {name}: count={} p50={} p95={} p99={} max={} sum={}\n",
+                h.count(),
+                h.p50().unwrap(),
+                h.p95().unwrap(),
+                h.p99().unwrap(),
+                h.max(),
+                h.sum()
+            ));
+            for (i, &c) in h.buckets().iter().enumerate() {
+                if c > 0 {
+                    let (lo, hi) = LogHistogram::bucket_range(i);
+                    out.push_str(&format!("    [{lo}..{hi}] {c}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Provider-decision audit log
+// ---------------------------------------------------------------------------
+
+/// The directive a driver consultation produced, as audited — `AddInput`
+/// keeps only the *requested* split count (the splits themselves are in
+/// the trace); provider faults appear as their own directive so a job's
+/// growth history stays gap-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditDirective {
+    /// The driver asked for more splits.
+    AddInput {
+        /// Splits the directive named, before any guard-rail rewrite.
+        requested: u32,
+    },
+    /// The driver declared the input complete.
+    EndOfInput,
+    /// The driver chose to wait.
+    Wait,
+    /// The consultation faulted (panic or invalid directive).
+    Fault {
+        /// True if the fault failed the job; false if a retry absorbed it.
+        fatal: bool,
+    },
+}
+
+impl fmt::Display for AuditDirective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditDirective::AddInput { .. } => write!(f, "AddInput"),
+            AuditDirective::EndOfInput => write!(f, "EndOfInput"),
+            AuditDirective::Wait => write!(f, "Wait"),
+            AuditDirective::Fault { .. } => write!(f, "Fault"),
+        }
+    }
+}
+
+/// One audited `GrowthDriver` consultation: everything the driver saw and
+/// everything that happened to its answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AuditRecord {
+    /// Simulated time of the consultation.
+    pub time: SimTime,
+    /// The job whose driver was consulted.
+    pub job: JobId,
+    /// Which hook ran (`initial_input` or `evaluate`).
+    pub stage: ProviderStage,
+    /// The job progress snapshot the driver received.
+    pub progress: JobProgress,
+    /// The cluster load snapshot the driver received.
+    pub cluster: ClusterStatus,
+    /// The grab limit in force (`u64::MAX` = unlimited).
+    pub grab_limit: u64,
+    /// What the driver answered.
+    pub directive: AuditDirective,
+    /// Splits actually admitted after guard-rail rewrites.
+    pub granted: u32,
+    /// True if the grab-limit clamp truncated the directive.
+    pub clamped: bool,
+    /// Duplicate split entries the dedup guard dropped.
+    pub duplicates_dropped: u32,
+    /// True if a provider fault was absorbed by the retry budget.
+    pub retried: bool,
+}
+
+/// Splits admitted across all audited consultations of `job` — by
+/// construction this equals the job's final `JobProgress::splits_added`,
+/// which is what makes the audit log a full reconstruction of the job's
+/// growth history.
+pub fn audited_splits_added(records: &[AuditRecord], job: JobId) -> u32 {
+    records
+        .iter()
+        .filter(|r| r.job == job)
+        .map(|r| r.granted)
+        .sum()
+}
+
+/// Render audit records as stable one-line-per-decision text. Every field
+/// appears as `key=value` on every line, so format drift is caught by the
+/// golden coverage guard.
+pub fn render_audit(records: &[AuditRecord]) -> String {
+    let mut out = String::from("provider-decision audit log\n");
+    for r in records {
+        let grab = if r.grab_limit == u64::MAX {
+            "unlimited".to_string()
+        } else {
+            r.grab_limit.to_string()
+        };
+        let requested = match r.directive {
+            AuditDirective::AddInput { requested } => requested,
+            _ => 0,
+        };
+        out.push_str(&format!(
+            "  {} {} stage={} added={} completed={} running={} pending={} \
+             records={} matches={} slots={} busy={} jobs={} queued={} \
+             grab_limit={} directive={} requested={} granted={} clamped={} \
+             dups={} retried={}\n",
+            r.time,
+            r.job,
+            r.stage,
+            r.progress.splits_added,
+            r.progress.splits_completed,
+            r.progress.splits_running,
+            r.progress.splits_pending,
+            r.progress.records_processed,
+            r.progress.map_output_records,
+            r.cluster.total_map_slots,
+            r.cluster.occupied_map_slots,
+            r.cluster.running_jobs,
+            r.cluster.queued_map_tasks,
+            grab,
+            r.directive,
+            requested,
+            r.granted,
+            if r.clamped { "yes" } else { "no" },
+            r.duplicates_dropped,
+            if r.retried { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Swimlane timeline
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneKind {
+    Map,
+    Reduce,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    node: NodeId,
+    kind: LaneKind,
+    start: SimTime,
+    end: SimTime,
+    ch: char,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenAttempt {
+    node: NodeId,
+    start: SimTime,
+    speculative: bool,
+}
+
+/// Reconstruct per-attempt occupancy spans from an exported trace.
+///
+/// Convention for the one genuinely ambiguous case (two live attempts of
+/// the same task when one fails or commits without a node in its event):
+/// the **oldest** open attempt is closed. `AttemptKilled` carries its
+/// node, so speculative losers always close the right lane.
+fn collect_spans(events: &[TraceEvent]) -> (Vec<Span>, Vec<(NodeId, SimTime, SimTime)>) {
+    let mut spans = Vec::new();
+    let mut open_maps: BTreeMap<(u32, u32), Vec<OpenAttempt>> = BTreeMap::new();
+    let mut open_reduces: BTreeMap<(u32, u32), OpenAttempt> = BTreeMap::new();
+    let mut down_since: BTreeMap<u16, SimTime> = BTreeMap::new();
+    let mut downs: Vec<(NodeId, SimTime, SimTime)> = Vec::new();
+    let mut pending_spec: Option<(u32, u32)> = None;
+    let end_time = events.last().map(|e| e.time).unwrap_or(SimTime::ZERO);
+
+    let close = |spans: &mut Vec<Span>, a: OpenAttempt, end: SimTime, kind: LaneKind| {
+        spans.push(Span {
+            node: a.node,
+            kind,
+            start: a.start,
+            end,
+            ch: match kind {
+                LaneKind::Map if a.speculative => 'S',
+                LaneKind::Map => '=',
+                LaneKind::Reduce => 'R',
+            },
+        });
+    };
+
+    for e in events {
+        match &e.kind {
+            TraceKind::SpeculativeLaunch { job, task, .. } => {
+                pending_spec = Some((job.0, task.0));
+            }
+            TraceKind::MapStarted {
+                job, task, node, ..
+            } => {
+                let speculative = pending_spec.take() == Some((job.0, task.0));
+                open_maps
+                    .entry((job.0, task.0))
+                    .or_default()
+                    .push(OpenAttempt {
+                        node: *node,
+                        start: e.time,
+                        speculative,
+                    });
+            }
+            TraceKind::AttemptKilled { job, task, node } => {
+                if let Some(attempts) = open_maps.get_mut(&(job.0, task.0)) {
+                    if let Some(i) = attempts.iter().position(|a| a.node == *node) {
+                        close(&mut spans, attempts.remove(i), e.time, LaneKind::Map);
+                    }
+                }
+            }
+            TraceKind::MapFinished { job, task } | TraceKind::MapFailed { job, task, .. } => {
+                if let Some(attempts) = open_maps.get_mut(&(job.0, task.0)) {
+                    if !attempts.is_empty() {
+                        close(&mut spans, attempts.remove(0), e.time, LaneKind::Map);
+                    }
+                }
+            }
+            TraceKind::ReduceStarted { job, reduce, node } => {
+                open_reduces.insert(
+                    (job.0, *reduce),
+                    OpenAttempt {
+                        node: *node,
+                        start: e.time,
+                        speculative: false,
+                    },
+                );
+            }
+            TraceKind::ReduceFinished { job, reduce }
+            | TraceKind::ReduceFailed { job, reduce, .. } => {
+                if let Some(a) = open_reduces.remove(&(job.0, *reduce)) {
+                    close(&mut spans, a, e.time, LaneKind::Reduce);
+                }
+            }
+            TraceKind::NodeLost { node } => {
+                down_since.insert(node.0, e.time);
+                // Map attempts on a dead node get explicit AttemptKilled
+                // events; reduces are restarted without one, so close any
+                // open reduce lane here.
+                let stranded: Vec<_> = open_reduces
+                    .iter()
+                    .filter(|(_, a)| a.node == *node)
+                    .map(|(k, _)| *k)
+                    .collect();
+                for k in stranded {
+                    let a = open_reduces.remove(&k).unwrap();
+                    close(&mut spans, a, e.time, LaneKind::Reduce);
+                }
+            }
+            TraceKind::NodeRejoined { node } => {
+                if let Some(start) = down_since.remove(&node.0) {
+                    downs.push((*node, start, e.time));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (job_task, attempts) in open_maps {
+        let _ = job_task;
+        for a in attempts {
+            close(&mut spans, a, end_time, LaneKind::Map);
+        }
+    }
+    for (_, a) in open_reduces {
+        close(&mut spans, a, end_time, LaneKind::Reduce);
+    }
+    for (node, start) in down_since {
+        downs.push((NodeId(node), start, end_time));
+    }
+    downs.sort_by_key(|(n, s, _)| (n.0, s.as_millis()));
+    (spans, downs)
+}
+
+/// Render an exported trace as a per-node/per-slot swimlane chart.
+///
+/// Each row is one slot-lane of one node (`m` lanes run map attempts,
+/// `r` lanes run reduces); time flows left to right across `buckets`
+/// columns. Cells: `=` map attempt, `S` speculative attempt, `R` reduce,
+/// `x` node down, `.` idle. Lane assignment is first-fit in event order,
+/// so the chart is a pure function of the trace.
+pub fn render_swimlanes(events: &[TraceEvent], buckets: usize) -> String {
+    assert!(buckets > 0, "need at least one bucket");
+    if events.is_empty() {
+        return String::from("swimlanes: (no events)\n");
+    }
+    let (spans, downs) = collect_spans(events);
+    let t0 = events.first().unwrap().time.as_millis();
+    let t1 = events.last().unwrap().time.as_millis().max(t0 + 1);
+    let width_ms = (t1 - t0).div_ceil(buckets as u64).max(1);
+    let col = |t: u64| (((t.max(t0) - t0) / width_ms) as usize).min(buckets - 1);
+
+    // First-fit lane assignment per (node, lane kind).
+    struct Lane {
+        kind: LaneKind,
+        busy_until: u64,
+        cells: Vec<char>,
+    }
+    let mut lanes: BTreeMap<u16, Vec<Lane>> = BTreeMap::new();
+    for s in &spans {
+        let node_lanes = lanes.entry(s.node.0).or_default();
+        let start = s.start.as_millis();
+        let end = s.end.as_millis().max(start);
+        let lane = match node_lanes
+            .iter_mut()
+            .find(|l| l.kind == s.kind && l.busy_until <= start)
+        {
+            Some(l) => l,
+            None => {
+                node_lanes.push(Lane {
+                    kind: s.kind,
+                    busy_until: 0,
+                    cells: vec!['.'; buckets],
+                });
+                node_lanes.last_mut().unwrap()
+            }
+        };
+        lane.busy_until = end.max(start + 1);
+        for c in col(start)..=col(end.saturating_sub(1).max(start)) {
+            lane.cells[c] = s.ch;
+        }
+    }
+    // Node-down intervals cover every lane of the node where it is idle.
+    for (node, from, to) in &downs {
+        if let Some(node_lanes) = lanes.get_mut(&node.0) {
+            for lane in node_lanes.iter_mut() {
+                for c in col(from.as_millis())..=col(to.as_millis().saturating_sub(1)) {
+                    if lane.cells[c] == '.' {
+                        lane.cells[c] = 'x';
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = format!(
+        "swimlanes: {} .. {}, {} buckets x {}ms \
+         ('=' map, 'S' speculative, 'R' reduce, 'x' down)\n",
+        SimTime::from_millis(t0),
+        SimTime::from_millis(t1),
+        buckets,
+        width_ms
+    );
+    for (node, node_lanes) in &lanes {
+        let mut m = 0usize;
+        let mut r = 0usize;
+        for lane in node_lanes {
+            let label = match lane.kind {
+                LaneKind::Map => {
+                    m += 1;
+                    format!("node{node} m{}", m - 1)
+                }
+                LaneKind::Reduce => {
+                    r += 1;
+                    format!("node{node} r{}", r - 1)
+                }
+            };
+            out.push_str(&format!(
+                "  {label:<10} |{}|\n",
+                lane.cells.iter().collect::<String>()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ms: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            time: SimTime::from_millis(ms),
+            kind,
+        }
+    }
+
+    #[test]
+    fn encode_is_stable_and_parses_back() {
+        let e = ev(
+            1234,
+            TraceKind::MapStarted {
+                job: JobId(7),
+                task: TaskId(12),
+                node: NodeId(3),
+                local: false,
+            },
+        );
+        let line = encode_event(&e);
+        assert_eq!(
+            line,
+            "{\"t\":1234,\"kind\":\"MapStarted\",\"job\":7,\"task\":12,\"node\":3,\"local\":false}"
+        );
+        assert_eq!(parse_event(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn whole_trace_round_trips() {
+        let events = vec![
+            ev(0, TraceKind::JobSubmitted { job: JobId(0) }),
+            ev(
+                0,
+                TraceKind::InputAdded {
+                    job: JobId(0),
+                    splits: 4,
+                },
+            ),
+            ev(
+                5,
+                TraceKind::ShuffleReady {
+                    job: JobId(0),
+                    partitions: 2,
+                    combiner_in: 100,
+                    combiner_out: 10,
+                    max_partition_bytes: 4096,
+                    min_partition_bytes: 512,
+                },
+            ),
+            ev(9, TraceKind::NodeLost { node: NodeId(5) }),
+            ev(
+                11,
+                TraceKind::JobCompleted {
+                    job: JobId(0),
+                    failed: true,
+                },
+            ),
+        ];
+        let jsonl = encode_trace(&events);
+        assert_eq!(parse_trace(&jsonl).unwrap(), events);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(matches!(
+            parse_event("not json"),
+            Err(TraceParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_event("{\"t\":1,\"kind\":\"NoSuchKind\"}"),
+            Err(TraceParseError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            parse_event("{\"t\":1,\"kind\":\"MapFinished\",\"job\":0}"),
+            Err(TraceParseError::MissingField { field: "task", .. })
+        ));
+        assert!(matches!(
+            parse_event("{\"kind\":\"EndOfInput\",\"job\":0}"),
+            Err(TraceParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_event("{\"t\":1,\"kind\":\"EndOfInput\",\"job\":0} extra"),
+            Err(TraceParseError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn memory_and_jsonl_sinks_agree() {
+        let events = vec![
+            ev(0, TraceKind::JobSubmitted { job: JobId(1) }),
+            ev(3, TraceKind::EndOfInput { job: JobId(1) }),
+        ];
+        let mut mem = MemorySink::new();
+        let mut jsonl = JsonlSink::new();
+        for e in &events {
+            mem.record(e);
+            jsonl.record(e);
+        }
+        assert_eq!(mem.events(), &events[..]);
+        assert_eq!(mem.drain_jsonl(), jsonl.drain_jsonl());
+        assert!(mem.drain_jsonl().is_empty(), "drain leaves the sink empty");
+    }
+
+    #[test]
+    fn registry_families_render_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.record_map_attempt(1000);
+        a.record_queue_wait("fifo", 30);
+        let mut b = MetricsRegistry::new();
+        b.record_map_attempt(2000);
+        b.record_queue_wait("fair", 99);
+        b.record_split_wait(5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.map_attempt().count(), 2);
+        assert_eq!(merged.queue_wait("fifo").unwrap().count(), 1);
+        assert_eq!(merged.queue_wait("fair").unwrap().count(), 1);
+        assert_eq!(merged.queue_wait_total().count(), 2);
+        let text = merged.render();
+        for needle in [
+            "map_attempt_ms",
+            "shuffle_merge_ms",
+            "reduce_ms",
+            "provider_eval_interval_ms",
+            "queue_wait_ms[fifo]",
+            "queue_wait_ms[fair]",
+            "split_wait_ms",
+        ] {
+            assert!(text.contains(needle), "render lacks {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn audit_render_carries_every_field_and_sums_grants() {
+        let progress = JobProgress {
+            job: JobId(2),
+            splits_added: 6,
+            splits_completed: 4,
+            splits_running: 2,
+            splits_pending: 0,
+            records_processed: 4000,
+            map_output_records: 17,
+        };
+        let cluster = ClusterStatus {
+            total_map_slots: 40,
+            occupied_map_slots: 12,
+            running_jobs: 2,
+            queued_map_tasks: 1,
+        };
+        let records = vec![
+            AuditRecord {
+                time: SimTime::ZERO,
+                job: JobId(2),
+                stage: ProviderStage::InitialInput,
+                progress,
+                cluster,
+                grab_limit: 4,
+                directive: AuditDirective::AddInput { requested: 4 },
+                granted: 4,
+                clamped: false,
+                duplicates_dropped: 0,
+                retried: false,
+            },
+            AuditRecord {
+                time: SimTime::from_secs(4),
+                job: JobId(2),
+                stage: ProviderStage::Evaluate,
+                progress,
+                cluster,
+                grab_limit: u64::MAX,
+                directive: AuditDirective::AddInput { requested: 9 },
+                granted: 2,
+                clamped: true,
+                duplicates_dropped: 3,
+                retried: false,
+            },
+        ];
+        assert_eq!(audited_splits_added(&records, JobId(2)), 6);
+        assert_eq!(audited_splits_added(&records, JobId(3)), 0);
+        let text = render_audit(&records);
+        for needle in [
+            "stage=initial_input",
+            "stage=evaluate",
+            "added=6",
+            "grab_limit=4",
+            "grab_limit=unlimited",
+            "directive=AddInput",
+            "requested=9",
+            "granted=2",
+            "clamped=yes",
+            "dups=3",
+            "retried=no",
+        ] {
+            assert!(text.contains(needle), "audit lacks {needle}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn swimlanes_chart_is_deterministic_and_marks_kinds() {
+        let job = JobId(0);
+        let events = vec![
+            ev(0, TraceKind::JobSubmitted { job }),
+            ev(
+                0,
+                TraceKind::MapStarted {
+                    job,
+                    task: TaskId(0),
+                    node: NodeId(1),
+                    local: true,
+                },
+            ),
+            ev(
+                100,
+                TraceKind::SpeculativeLaunch {
+                    job,
+                    task: TaskId(0),
+                    node: NodeId(2),
+                },
+            ),
+            ev(
+                100,
+                TraceKind::MapStarted {
+                    job,
+                    task: TaskId(0),
+                    node: NodeId(2),
+                    local: false,
+                },
+            ),
+            ev(
+                200,
+                TraceKind::AttemptKilled {
+                    job,
+                    task: TaskId(0),
+                    node: NodeId(2),
+                },
+            ),
+            ev(
+                200,
+                TraceKind::MapFinished {
+                    job,
+                    task: TaskId(0),
+                },
+            ),
+            ev(300, TraceKind::NodeLost { node: NodeId(1) }),
+            ev(400, TraceKind::NodeRejoined { node: NodeId(1) }),
+            ev(
+                500,
+                TraceKind::ReduceStarted {
+                    job,
+                    reduce: 0,
+                    node: NodeId(3),
+                },
+            ),
+            ev(600, TraceKind::ReduceFinished { job, reduce: 0 }),
+            ev(600, TraceKind::JobCompleted { job, failed: false }),
+        ];
+        let chart = render_swimlanes(&events, 12);
+        assert_eq!(chart, render_swimlanes(&events, 12));
+        assert!(chart.contains("node1 m0"), "{chart}");
+        assert!(chart.contains('='), "{chart}");
+        assert!(chart.contains('S'), "{chart}");
+        assert!(chart.contains('R'), "{chart}");
+        assert!(chart.contains('x'), "{chart}");
+        assert_eq!(render_swimlanes(&[], 8), "swimlanes: (no events)\n");
+    }
+}

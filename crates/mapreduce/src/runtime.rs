@@ -54,7 +54,7 @@ use incmr_simkit::rng::DetRng;
 use incmr_simkit::{EventId, Sim, SimDuration, SimTime};
 
 use crate::cluster::{ClusterConfig, ClusterStatus};
-use crate::conf::keys;
+use crate::conf::{keys, ConfError};
 use crate::cost::CostModel;
 use crate::exec::Key;
 pub use crate::faults::FaultPlan;
@@ -64,6 +64,7 @@ use crate::job::{
     JobResult, JobSpec, ProviderError, ProviderStage, TaskId,
 };
 use crate::metrics::ClusterMetrics;
+use crate::obs::{AuditDirective, AuditRecord, JsonlSink, MetricsRegistry, TraceSink};
 use crate::parallel::{
     MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle,
 };
@@ -128,6 +129,18 @@ enum Event {
     },
 }
 
+/// What the guard rails did to one validated `AddInput` batch (the audit
+/// log records it alongside the directive).
+#[derive(Debug, Clone, Copy, Default)]
+struct AddOutcome {
+    /// Genuinely new splits scheduled.
+    granted: u32,
+    /// The grab-limit clamp truncated the batch.
+    clamped: bool,
+    /// Duplicate splits dropped by the dedup guard.
+    duplicates: u32,
+}
+
 /// Which modelled stage a running map attempt is in, holding the pending
 /// event or resource flow so the attempt can be cancelled mid-stage when
 /// its node dies or it loses a speculative race.
@@ -158,6 +171,15 @@ struct MapAttempt {
 
 struct TaskEntry {
     block: BlockId,
+    /// When the split was first admitted (drives the wait-to-dispatch
+    /// histogram, measured once per task).
+    added_at: SimTime,
+    /// When the task last entered the pending queue (admission or requeue;
+    /// drives the per-scheduler queue-wait histogram, measured per
+    /// non-speculative dispatch).
+    enqueued_at: SimTime,
+    /// The wait-to-dispatch sample was already taken for this task.
+    first_dispatched: bool,
     /// In the job's pending queue, waiting for a slot.
     queued: bool,
     /// Completed (a non-done, non-queued task has ≥ 1 running attempt).
@@ -189,6 +211,8 @@ enum ReduceState {
 /// [`crate::shuffle`]) plus its in-flight data-plane work and output.
 struct ReduceEntry {
     state: ReduceState,
+    /// When the current attempt took its slot (reduce-latency histogram).
+    started_at: SimTime,
     buffer: crate::shuffle::PartitionBuffer,
     /// Claim on the reduce's data-plane result: submitted when the task
     /// is assigned a slot, joined at its simulated completion.
@@ -264,6 +288,17 @@ struct JobEntry {
     /// A graceful deadline fired: input is closed and unfinished splits
     /// are abandoned rather than retried.
     deadline_hit: bool,
+    /// Per-job latency histograms (see [`crate::obs`]); stays empty when
+    /// the job opted out via `mapred.job.histogram.enabled=false`.
+    hist: MetricsRegistry,
+    /// Whether this job records into `hist` and the cluster registry.
+    hist_enabled: bool,
+    /// Last driver consultation (submission counts), feeding the
+    /// provider-evaluation-interval histogram.
+    last_eval_at: Option<SimTime>,
+    /// First map completion — start of the streaming shuffle-merge window
+    /// closed at `ShuffleReady`.
+    first_merge_at: Option<SimTime>,
     result: Option<JobResult>,
 }
 
@@ -326,6 +361,14 @@ pub struct MrRuntime {
     faults: Option<(FaultPlan, DetRng)>,
     cluster_faults: Option<ClusterFaultState>,
     trace: Option<Vec<TraceEvent>>,
+    /// Structured trace export (see [`crate::obs`]): every recorded event
+    /// is forwarded here in addition to the legacy `trace` buffer.
+    sink: Option<Box<dyn TraceSink>>,
+    /// Cluster-wide latency histograms, merged across all opted-in jobs.
+    obs_registry: MetricsRegistry,
+    /// Provider-decision audit log, recording every driver consultation
+    /// (`None` until `enable_audit`).
+    audit: Option<Vec<AuditRecord>>,
     /// Data-plane worker pool (see [`crate::parallel`]); serial at
     /// `Parallelism::SERIAL`. Never touches simulated time.
     executor: ParallelExecutor,
@@ -388,6 +431,9 @@ impl MrRuntime {
             faults: None,
             cluster_faults: None,
             trace: None,
+            sink: None,
+            obs_registry: MetricsRegistry::new(),
+            audit: None,
             executor: ParallelExecutor::new(cfg.parallelism),
         }
     }
@@ -411,12 +457,81 @@ impl MrRuntime {
         }
     }
 
+    /// Install a structured [`TraceSink`]: every trace event is forwarded
+    /// to it (in addition to the legacy buffer, if tracing is on),
+    /// replacing any previously installed sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// The installed trace sink, for draining mid-run.
+    pub fn trace_sink_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.sink.as_deref_mut()
+    }
+
+    /// Remove and return the installed trace sink.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Start recording the provider-decision audit log (see
+    /// [`crate::obs::AuditRecord`]). Only consultations after this call
+    /// are audited, so enable it before submitting the jobs of interest.
+    pub fn enable_audit(&mut self) {
+        if self.audit.is_none() {
+            self.audit = Some(Vec::new());
+        }
+    }
+
+    /// The audit log so far (empty if auditing was never enabled).
+    pub fn audit_log(&self) -> &[AuditRecord] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    /// Drain the audit log; auditing stays enabled with a fresh buffer.
+    pub fn take_audit(&mut self) -> Vec<AuditRecord> {
+        match self.audit.take() {
+            Some(records) => {
+                self.audit = Some(Vec::new());
+                records
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The cluster-wide latency histograms, merged across every job that
+    /// did not opt out (always collected — simulated-time arithmetic only,
+    /// so the cost is a few integer increments per task).
+    pub fn histograms(&self) -> &MetricsRegistry {
+        &self.obs_registry
+    }
+
     fn record(&mut self, kind: TraceKind) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent {
-                time: self.sim.now(),
-                kind,
+        let time = self.sim.now();
+        if let Some(sink) = &mut self.sink {
+            sink.record(&TraceEvent {
+                time,
+                kind: kind.clone(),
             });
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent { time, kind });
+        }
+    }
+
+    /// Record one latency sample into the cluster-wide registry and the
+    /// job's own, honouring the job's histogram opt-out.
+    fn obs_record(&mut self, id: JobId, f: impl Fn(&mut MetricsRegistry)) {
+        if !self.job(id).hist_enabled {
+            return;
+        }
+        f(&mut self.obs_registry);
+        f(&mut self.job_mut(id).hist);
+    }
+
+    fn audit_push(&mut self, record: AuditRecord) {
+        if let Some(audit) = &mut self.audit {
+            audit.push(record);
         }
     }
 
@@ -582,6 +697,29 @@ impl MrRuntime {
             return Err(JobConfigError::ZeroDeadline);
         }
         let allow_partial = spec.conf.get_bool(keys::ALLOW_PARTIAL);
+        // Observability knobs: the trace-sink request is honoured before
+        // the job exists (a bad value must reject the submission cleanly),
+        // and histograms default to enabled.
+        match spec.conf.get(keys::TRACE_SINK) {
+            None => {}
+            Some("memory") => self.enable_tracing(),
+            Some("jsonl") if self.sink.is_none() => {
+                self.sink = Some(Box::new(JsonlSink::new()));
+            }
+            Some("jsonl") => {} // a sink is already installed; keep it
+            Some(other) => {
+                return Err(JobConfigError::BadConf(ConfError {
+                    key: keys::TRACE_SINK.to_string(),
+                    value: other.to_string(),
+                    wanted: "trace sink (\"memory\" or \"jsonl\")",
+                }))
+            }
+        }
+        let hist_enabled = spec
+            .conf
+            .get(keys::HISTOGRAM_ENABLED)
+            .map(|v| v.eq_ignore_ascii_case("true"))
+            .unwrap_or(true);
         // Snapshot before this job is registered, so the provider's first
         // look at the cluster excludes its own (not yet running) job.
         let status = self.cluster_status();
@@ -621,6 +759,10 @@ impl MrRuntime {
             idle_evaluations: 0,
             allow_partial,
             deadline_hit: false,
+            hist: MetricsRegistry::new(),
+            hist_enabled,
+            last_eval_at: None,
+            first_merge_at: None,
             result: None,
         };
         self.jobs.push(entry);
@@ -634,20 +776,54 @@ impl MrRuntime {
         }
         // Sandboxed initial input: a panicking provider costs its job (or
         // a retry), never the runtime.
+        let now = self.sim.now();
+        let progress = self.job(id).progress();
         let outcome = {
             let driver = &mut self.job_mut(id).driver;
             catch_unwind(AssertUnwindSafe(|| driver.try_initial_input(&status)))
                 .unwrap_or_else(|p| Err(ProviderError::from_panic(ProviderStage::InitialInput, p)))
         };
-        match outcome {
+        self.job_mut(id).last_eval_at = Some(now);
+        let limit = self.job(id).driver.grab_limit(&status);
+        let (directive, added, retried) = match outcome {
             Ok(initial) => {
-                let limit = self.job(id).driver.grab_limit(&status);
-                if let Err(e) = self.validate_and_add_input(id, initial, limit) {
-                    self.provider_failed(id, e);
+                let requested = initial.len() as u32;
+                match self.validate_and_add_input(id, initial, limit) {
+                    Ok(added) => (AuditDirective::AddInput { requested }, added, false),
+                    Err(e) => {
+                        let retried = self.job(id).provider_retries_left > 0;
+                        self.provider_failed(id, e);
+                        (
+                            AuditDirective::Fault { fatal: !retried },
+                            AddOutcome::default(),
+                            retried,
+                        )
+                    }
                 }
             }
-            Err(e) => self.provider_failed(id, e),
-        }
+            Err(e) => {
+                let retried = self.job(id).provider_retries_left > 0;
+                self.provider_failed(id, e);
+                (
+                    AuditDirective::Fault { fatal: !retried },
+                    AddOutcome::default(),
+                    retried,
+                )
+            }
+        };
+        self.audit_push(AuditRecord {
+            time: now,
+            job: id,
+            stage: ProviderStage::InitialInput,
+            progress,
+            cluster: status,
+            grab_limit: limit,
+            directive,
+            granted: added.granted,
+            clamped: added.clamped,
+            duplicates_dropped: added.duplicates,
+            retried,
+        });
         // First evaluation happens immediately: static drivers end their
         // input here; dynamic providers typically wait for statistics. The
         // initial tasks launch at the nodes' next heartbeats, as in Hadoop.
@@ -901,22 +1077,24 @@ impl MrRuntime {
     /// Vet one `AddInput` batch before it becomes tasks: a block outside
     /// the namespace is a typed provider error, an over-long batch is
     /// truncated to the driver's grab limit, and splits the job already
-    /// claimed (within or across directives) are dropped. Returns how many
-    /// genuinely new splits were scheduled.
+    /// claimed (within or across directives) are dropped. Returns what the
+    /// guard rails did to the batch (feeding the audit log).
     fn validate_and_add_input(
         &mut self,
         id: JobId,
         mut blocks: Vec<BlockId>,
         limit: u64,
-    ) -> Result<u32, ProviderError> {
+    ) -> Result<AddOutcome, ProviderError> {
         let num_blocks = self.namespace.num_blocks();
         if let Some(&bad) = blocks.iter().find(|b| b.0 as usize >= num_blocks) {
             self.metrics.guardrails_mut().unknown_blocks += 1;
             return Err(ProviderError::UnknownBlock { block: bad });
         }
+        let mut clamped = false;
         if blocks.len() as u64 > limit {
             let requested = blocks.len() as u32;
             blocks.truncate(limit as usize);
+            clamped = true;
             self.metrics.guardrails_mut().grab_limit_clamps += 1;
             self.record(TraceKind::GrabLimitClamped {
                 job: id,
@@ -943,7 +1121,11 @@ impl MrRuntime {
         }
         let added = fresh.len() as u32;
         self.add_input(id, fresh);
-        Ok(added)
+        Ok(AddOutcome {
+            granted: added,
+            clamped,
+            duplicates: dupes,
+        })
     }
 
     /// Absorb or escalate a provider failure: with retry budget left the
@@ -972,6 +1154,7 @@ impl MrRuntime {
     }
 
     fn add_input(&mut self, id: JobId, blocks: Vec<BlockId>) {
+        let now = self.sim.now();
         let added = blocks.len() as u32;
         if added > 0 {
             self.record(TraceKind::InputAdded {
@@ -1005,6 +1188,9 @@ impl MrRuntime {
             let task = TaskId(job.tasks.len() as u32);
             job.tasks.push(TaskEntry {
                 block,
+                added_at: now,
+                enqueued_at: now,
+                first_dispatched: false,
                 queued: true,
                 done: false,
                 merged: false,
@@ -1040,29 +1226,73 @@ impl MrRuntime {
         // that re-select a policy inside `evaluate` are clamped against
         // the limit their provider actually saw.
         let limit = self.job(id).driver.grab_limit(&status);
-        let productive = match outcome {
+        let now = self.sim.now();
+        if let Some(last) = self.job(id).last_eval_at {
+            let interval = (now - last).as_millis();
+            self.obs_record(id, |r| r.record_provider_eval_interval(interval));
+        }
+        self.job_mut(id).last_eval_at = Some(now);
+        let (productive, directive, added, retried) = match outcome {
             Ok(GrowthDirective::EndOfInput) => {
                 self.job_mut(id).end_of_input = true;
                 self.record(TraceKind::EndOfInput { job: id });
                 self.maybe_begin_reduce(id);
-                true
+                (
+                    true,
+                    AuditDirective::EndOfInput,
+                    AddOutcome::default(),
+                    false,
+                )
             }
             Ok(GrowthDirective::AddInput(blocks)) => {
+                let requested = blocks.len() as u32;
                 // New tasks launch at upcoming node heartbeats.
                 match self.validate_and_add_input(id, blocks, limit) {
-                    Ok(fresh) => fresh > 0,
+                    Ok(added) => (
+                        added.granted > 0,
+                        AuditDirective::AddInput { requested },
+                        added,
+                        false,
+                    ),
                     Err(e) => {
+                        let retried = self.job(id).provider_retries_left > 0;
                         self.provider_failed(id, e);
-                        false
+                        (
+                            false,
+                            AuditDirective::Fault { fatal: !retried },
+                            AddOutcome::default(),
+                            retried,
+                        )
                     }
                 }
             }
-            Ok(GrowthDirective::Wait) => false,
+            Ok(GrowthDirective::Wait) => {
+                (false, AuditDirective::Wait, AddOutcome::default(), false)
+            }
             Err(e) => {
+                let retried = self.job(id).provider_retries_left > 0;
                 self.provider_failed(id, e);
-                false
+                (
+                    false,
+                    AuditDirective::Fault { fatal: !retried },
+                    AddOutcome::default(),
+                    retried,
+                )
             }
         };
+        self.audit_push(AuditRecord {
+            time: now,
+            job: id,
+            stage: ProviderStage::Evaluate,
+            progress,
+            cluster: status,
+            grab_limit: limit,
+            directive,
+            granted: added.granted,
+            clamped: added.clamped,
+            duplicates_dropped: added.duplicates,
+            retried,
+        });
         // Livelock watchdog: a driver that keeps producing nothing while
         // the job has nothing running or pending can never make progress
         // on its own — count such evaluations and cut the job loose at the
@@ -1242,7 +1472,7 @@ impl MrRuntime {
         // The map function's work is already queued on the data plane (see
         // `schedule_with`); its result is claimed when the modelled stages
         // complete.
-        let attempt = {
+        let (attempt, queue_wait, split_wait) = {
             let job = self.job_mut(id);
             if !speculative {
                 // Invariant, not user-reachable: the scheduler was offered
@@ -1259,11 +1489,24 @@ impl MrRuntime {
             let entry = &mut job.tasks[task.0 as usize];
             debug_assert_eq!(entry.queued, !speculative);
             entry.queued = false;
+            // Queue wait covers every pass through the pending queue
+            // (speculative backups never queued); split wait is measured
+            // once, admission to first dispatch.
+            let queue_wait = (!speculative).then(|| (now - entry.enqueued_at).as_millis());
+            let split_wait = (!entry.first_dispatched).then(|| (now - entry.added_at).as_millis());
+            entry.first_dispatched = true;
             let aid = entry.attempts_started;
             entry.attempts_started += 1;
             job.running += 1;
-            aid
+            (aid, queue_wait, split_wait)
         };
+        let sched = self.scheduler.name();
+        if let Some(ms) = queue_wait {
+            self.obs_record(id, |reg| reg.record_queue_wait(sched, ms));
+        }
+        if let Some(ms) = split_wait {
+            self.obs_record(id, |reg| reg.record_split_wait(ms));
+        }
         let n = &mut self.nodes[node.0 as usize];
         // Invariants: `schedule_node`/`maybe_speculate` only offer slots
         // on alive nodes with free capacity (proptested in scheduler.rs).
@@ -1471,6 +1714,10 @@ impl MrRuntime {
         // and the handle is only taken here, at its single completion.
         let handle = a.result.expect("work submitted at dispatch");
         let attempt_ms = (now - a.started).as_millis();
+        self.obs_record(id, |reg| reg.record_map_attempt(attempt_ms));
+        if self.job(id).first_merge_at.is_none() {
+            self.job_mut(id).first_merge_at = Some(now);
+        }
         let already_merged = {
             let job = self.job_mut(id);
             let entry = &mut job.tasks[task.0 as usize];
@@ -1602,6 +1849,7 @@ impl MrRuntime {
     /// Put a task with no attempts in flight back in the pending queue and
     /// the per-node locality indexes.
     fn requeue_task(&mut self, id: JobId, task: TaskId) {
+        let now = self.sim.now();
         let block = self.job(id).tasks[task.0 as usize].block;
         let replica_nodes: Vec<NodeId> = self
             .namespace
@@ -1614,6 +1862,7 @@ impl MrRuntime {
         let entry = &mut job.tasks[task.0 as usize];
         debug_assert!(!entry.queued && !entry.done && entry.running.is_empty() && !entry.abandoned);
         entry.queued = true;
+        entry.enqueued_at = now;
         job.pending.push(task);
         for n in replica_nodes {
             job.pending_by_node[n.0 as usize].push(task);
@@ -1861,6 +2110,7 @@ impl MrRuntime {
             failed: true,
             error: Some(error),
             output: Vec::new(),
+            histograms: job.hist.clone(),
         });
         self.record(TraceKind::JobCompleted {
             job: id,
@@ -1897,6 +2147,7 @@ impl MrRuntime {
             .into_iter()
             .map(|buffer| ReduceEntry {
                 state: ReduceState::Pending,
+                started_at: SimTime::ZERO,
                 buffer,
                 pending: None,
                 timer: None,
@@ -1935,6 +2186,14 @@ impl MrRuntime {
             max_partition_bytes,
             min_partition_bytes,
         );
+        // Shuffle-merge window: first map completion to shuffle-ready
+        // (zero for a job that never ran a map).
+        let merge_ms = self
+            .job(id)
+            .first_merge_at
+            .map(|t0| (self.sim.now() - t0).as_millis())
+            .unwrap_or(0);
+        self.obs_record(id, |reg| reg.record_shuffle_merge(merge_ms));
         self.record(TraceKind::ShuffleReady {
             job: id,
             partitions: r,
@@ -1966,6 +2225,7 @@ impl MrRuntime {
             }
         };
         self.nodes[node as usize].free_reduce_slots -= 1;
+        let now = self.sim.now();
         let cost = self.cost;
         let keep_backup = self.cluster_faults.is_some();
         // Submit the partition's record work (the user reducer over its
@@ -1977,6 +2237,7 @@ impl MrRuntime {
             let entry = &mut job.reduces[r as usize];
             debug_assert_eq!(entry.state, ReduceState::Pending);
             entry.state = ReduceState::Running { node: NodeId(node) };
+            entry.started_at = now;
             let duration =
                 cost.reduce_duration_ms(entry.buffer.shuffle_bytes, entry.buffer.input_records);
             // Under the cluster fault model the buffer keeps its data (a
@@ -2071,15 +2332,19 @@ impl MrRuntime {
         }
         let result = handle.join();
         self.metrics.add_host_reduce_ns(result.host_ns);
-        let job = self.job_mut(id);
-        let entry = &mut job.reduces[r as usize];
-        entry.state = ReduceState::Done;
-        entry.output = result.output;
-        // Release the re-execution backup the fault model retained.
-        entry.buffer.key_order = Default::default();
-        entry.buffer.groups = Default::default();
-        job.reduces_done += 1;
-        let all_done = job.reduces_done == job.reduce_tasks;
+        let (reduce_ms, all_done) = {
+            let job = self.job_mut(id);
+            let entry = &mut job.reduces[r as usize];
+            entry.state = ReduceState::Done;
+            entry.output = result.output;
+            // Release the re-execution backup the fault model retained.
+            entry.buffer.key_order = Default::default();
+            entry.buffer.groups = Default::default();
+            let reduce_ms = (now - entry.started_at).as_millis();
+            job.reduces_done += 1;
+            (reduce_ms, job.reduces_done == job.reduce_tasks)
+        };
+        self.obs_record(id, |reg| reg.record_reduce(reduce_ms));
         self.record(TraceKind::ReduceFinished { job: id, reduce: r });
         if all_done {
             self.finalize_job(id, now);
@@ -2113,6 +2378,7 @@ impl MrRuntime {
             failed: false,
             error: None,
             output,
+            histograms: job.hist.clone(),
         });
         if let Some((found, requested)) = partial {
             self.metrics.guardrails_mut().partial_samples += 1;

@@ -147,7 +147,11 @@ pub struct Assignment {
 
 /// A task-scheduling policy.
 pub trait TaskScheduler {
-    /// Human-readable name (for reports).
+    /// Human-readable name. Besides reports, this keys the runtime's
+    /// per-scheduler queue-wait histograms
+    /// ([`MetricsRegistry::queue_wait`](crate::obs::MetricsRegistry::queue_wait)),
+    /// so two runs are comparable only if their schedulers report stable
+    /// names.
     fn name(&self) -> &'static str;
     /// Decide assignments for this scheduling point.
     fn assign(&mut self, view: &SchedView) -> Vec<Assignment>;

@@ -241,6 +241,13 @@ impl ShuffleState {
         self.parked.is_empty()
     }
 
+    /// Completed-but-early task outputs currently parked behind the
+    /// in-order frontier (observability: a large value means stragglers
+    /// are holding up the streaming merge).
+    pub fn parked_tasks(&self) -> usize {
+        self.parked.len()
+    }
+
     /// Materialised pairs merged so far (≤ the cap).
     pub fn materialized_records(&self) -> u64 {
         self.materialized
@@ -345,9 +352,11 @@ mod tests {
         state.merge_task(1, PartitionedPairs::build(vec![pair("b", 1)], 1));
         assert_eq!(state.merged_tasks(), 0, "frontier blocked on task 0");
         assert!(!state.is_settled());
+        assert_eq!(state.parked_tasks(), 2);
         state.merge_task(0, PartitionedPairs::build(vec![pair("a", 0)], 1));
         assert_eq!(state.merged_tasks(), 3, "frontier drained the parked tasks");
         assert!(state.is_settled());
+        assert_eq!(state.parked_tasks(), 0);
         let buffers = state.into_buffers();
         let keys: Vec<&str> = buffers[0].key_order.iter().map(|k| &**k).collect();
         assert_eq!(

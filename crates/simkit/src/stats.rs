@@ -239,6 +239,140 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds values whose bit length is `i`, i.e. the range
+/// `[2^(i-1), 2^i - 1]`. 65 buckets cover the whole `u64` domain.
+pub const LOG_HISTOGRAM_BUCKETS: usize = 65;
+
+/// A latency histogram over `u64` observations (simulated milliseconds)
+/// with a *fixed* logarithmic bucket layout, so two histograms are always
+/// mergeable bucket-by-bucket and every derived statistic is a pure
+/// function of the integer counts — no floating-point accumulation order,
+/// no sampling, nothing that could differ across thread counts.
+///
+/// Quantiles are reported as the **upper bound of the bucket** holding the
+/// requested rank (clamped to the exact observed maximum), which makes
+/// them deterministic, monotone in `p`, and stable under merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; LOG_HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; LOG_HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index holding `v`: its bit length.
+    pub fn bucket_index(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive value range `[lo, hi]` of bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        assert!(i < LOG_HISTOGRAM_BUCKETS, "bucket out of range");
+        if i == 0 {
+            (0, 0)
+        } else {
+            (1u64 << (i - 1), (1u64 << (i - 1)) - 1 + (1u64 << (i - 1)))
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum observed value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts (fixed layout; index via [`Self::bucket_range`]).
+    pub fn buckets(&self) -> &[u64; LOG_HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// The quantile at `p ∈ [0, 100]`: the upper bound of the bucket
+    /// containing the observation of rank `ceil(p/100 · count)`, clamped
+    /// to the observed maximum. `None` if empty.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(50.0)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(95.0)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(99.0)
+    }
+
+    /// Fold another histogram into this one. Because the bucket layout is
+    /// fixed, merging is exact: `merge(a, b)` holds precisely the union of
+    /// both observation sets, in any merge order.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,5 +457,66 @@ mod tests {
     fn mean_of_slice() {
         assert_eq!(mean(&[]), 0.0);
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn log_histogram_bucket_layout() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_range(0), (0, 0));
+        assert_eq!(LogHistogram::bucket_range(1), (1, 1));
+        assert_eq!(LogHistogram::bucket_range(3), (4, 7));
+        assert_eq!(LogHistogram::bucket_range(64), (1 << 63, u64::MAX));
+        // Every value falls inside its own bucket's range.
+        for v in [0u64, 1, 2, 7, 8, 1000, u64::MAX] {
+            let (lo, hi) = LogHistogram::bucket_range(LogHistogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn log_histogram_quantiles_are_bucket_bounds_clamped_to_max() {
+        let mut h = LogHistogram::new();
+        assert_eq!(h.p50(), None);
+        for v in [3u64, 5, 9, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 117);
+        assert_eq!(h.max(), 100);
+        // rank 2 of 4 → bucket of 5 ([4,7]) → upper bound 7.
+        assert_eq!(h.p50(), Some(7));
+        // The top quantiles land in 100's bucket [64,127], clamped to 100.
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(h.quantile(100.0), Some(100));
+        // Monotone in p.
+        let qs: Vec<_> = (0..=100).map(|p| h.quantile(p as f64).unwrap()).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn log_histogram_merge_is_exact_and_commutative() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for (i, v) in [1u64, 2, 40, 9000, 0, 17, 1 << 40].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*v);
+            } else {
+                b.record(*v);
+            }
+            both.record(*v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, both);
+        assert_eq!(ab.quantile(95.0), both.quantile(95.0));
     }
 }

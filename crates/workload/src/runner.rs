@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 
 use incmr_core::{build_adaptive_sampling_job, build_sampling_job, build_scan_job};
-use incmr_mapreduce::{GrowthDriver, JobId, JobSpec, MetricsReport, MrRuntime};
+use incmr_mapreduce::{GrowthDriver, JobId, JobSpec, MetricsRegistry, MetricsReport, MrRuntime};
 use incmr_simkit::rng::splitmix64;
 use incmr_simkit::stats::OnlineStats;
 
@@ -33,6 +33,12 @@ pub struct WorkloadReport {
     pub non_sampling_response_secs: OnlineStats,
     /// Partitions processed per completed sampling job.
     pub sampling_splits_processed: OnlineStats,
+    /// Latency histograms merged over every Sampling-class job completed in
+    /// the measurement window (queue waits keyed by the scheduler's name).
+    pub sampling_hist: MetricsRegistry,
+    /// Latency histograms merged over every Non-Sampling-class job
+    /// completed in the measurement window.
+    pub non_sampling_hist: MetricsRegistry,
 }
 
 impl WorkloadReport {
@@ -127,6 +133,8 @@ pub fn run_workload(runtime: &mut MrRuntime, spec: &WorkloadSpec) -> WorkloadRep
         sampling_response_secs: OnlineStats::new(),
         non_sampling_response_secs: OnlineStats::new(),
         sampling_splits_processed: OnlineStats::new(),
+        sampling_hist: MetricsRegistry::new(),
+        non_sampling_hist: MetricsRegistry::new(),
     };
 
     loop {
@@ -153,10 +161,12 @@ pub fn run_workload(runtime: &mut MrRuntime, spec: &WorkloadSpec) -> WorkloadRep
                     report
                         .sampling_splits_processed
                         .push(result.splits_processed as f64);
+                    report.sampling_hist.merge(&result.histograms);
                 }
                 UserClass::NonSampling => {
                     report.non_sampling_completed += 1;
                     report.non_sampling_response_secs.push(response);
+                    report.non_sampling_hist.merge(&result.histograms);
                 }
             }
         }
@@ -189,14 +199,29 @@ mod tests {
     use incmr_core::Policy;
     use incmr_data::{Dataset, DatasetSpec, SkewLevel};
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
-    use incmr_mapreduce::{ClusterConfig, CostModel, FifoScheduler};
+    use incmr_mapreduce::{ClusterConfig, CostModel, FairScheduler, FifoScheduler, TaskScheduler};
     use incmr_simkit::rng::DetRng;
+    use incmr_simkit::stats::LogHistogram;
     use incmr_simkit::SimDuration;
 
     fn world_sized(
         cfg: ClusterConfig,
         n_users: usize,
         records_per_partition: u64,
+    ) -> (MrRuntime, Vec<Arc<Dataset>>) {
+        world_sched(
+            cfg,
+            n_users,
+            records_per_partition,
+            Box::new(FifoScheduler::new()),
+        )
+    }
+
+    fn world_sched(
+        cfg: ClusterConfig,
+        n_users: usize,
+        records_per_partition: u64,
+        scheduler: Box<dyn TaskScheduler>,
     ) -> (MrRuntime, Vec<Arc<Dataset>>) {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(17);
@@ -216,12 +241,7 @@ mod tests {
                 ))
             })
             .collect();
-        let rt = MrRuntime::new(
-            cfg,
-            CostModel::paper_default(),
-            ns,
-            Box::new(FifoScheduler::new()),
-        );
+        let rt = MrRuntime::new(cfg, CostModel::paper_default(), ns, scheduler);
         (rt, datasets)
     }
 
@@ -285,6 +305,78 @@ mod tests {
             "scan {}s vs sample {}s",
             report.non_sampling_response_secs.mean(),
             report.sampling_response_secs.mean()
+        );
+    }
+
+    #[test]
+    fn fair_scheduler_trades_queue_wait_for_locality_versus_fifo() {
+        // The paper's multi-user scheduler comparison (Section V-F): the
+        // Fair Scheduler's delay scheduling achieves near-perfect data
+        // locality but keeps slots idle while tasks wait for a local one
+        // (its measured low slot occupancy). FIFO is the mirror image:
+        // slots fill greedily, locality suffers. The per-class queue-wait
+        // histograms make the trade measurable — every class waits longer
+        // in queue under Fair, and in both runs the small sampling jobs
+        // out-queue the scan jobs whose deep task queues dominate the line.
+        let run = |scheduler: Box<dyn TaskScheduler>| {
+            let (mut rt, datasets) =
+                world_sched(ClusterConfig::paper_single_user(), 4, 400_000, scheduler);
+            let spec = WorkloadSpec::heterogeneous(
+                datasets,
+                2,
+                10,
+                Policy::la(),
+                SimDuration::from_mins(2),
+                SimDuration::from_mins(30),
+                2,
+            );
+            run_workload(&mut rt, &spec)
+        };
+        let fifo = run(Box::new(FifoScheduler::new()));
+        let fair = run(Box::new(FairScheduler::paper_default()));
+        assert!(fifo.sampling_completed > 0 && fair.sampling_completed > 0);
+        // Per-job histograms are keyed by the scheduler that dispatched the
+        // tasks, so each run exposes exactly its own scheduler's family.
+        assert!(fifo.sampling_hist.queue_wait("fair").is_none());
+        assert!(fair.sampling_hist.queue_wait("fifo").is_none());
+        let fifo_sample = fifo.sampling_hist.queue_wait("fifo").expect("fifo waits");
+        let fair_sample = fair.sampling_hist.queue_wait("fair").expect("fair waits");
+        let fifo_scan = fifo.non_sampling_hist.queue_wait("fifo").unwrap();
+        let fair_scan = fair.non_sampling_hist.queue_wait("fair").unwrap();
+        assert!(fifo_sample.count() > 0 && fair_sample.count() > 0);
+        let mean = |h: &LogHistogram| h.sum() as f64 / h.count() as f64;
+        assert!(
+            mean(fair_sample) > mean(fifo_sample) && mean(fair_scan) > mean(fifo_scan),
+            "delay scheduling must show up as queue wait: sampling {:.0} vs {:.0} ms, \
+             scans {:.0} vs {:.0} ms (fair vs fifo)",
+            mean(fair_sample),
+            mean(fifo_sample),
+            mean(fair_scan),
+            mean(fifo_scan)
+        );
+        assert!(
+            fair_sample.p95() > fifo_sample.p95(),
+            "the tail moves too: fair p95 {:?} vs fifo p95 {:?}",
+            fair_sample.p95(),
+            fifo_sample.p95()
+        );
+        // Within each run the sampling class, which only ever queues a
+        // handful of tasks at a time, waits less than the scan class.
+        assert!(mean(fifo_sample) < mean(fifo_scan));
+        assert!(mean(fair_sample) < mean(fair_scan));
+        // And the wait buys what the paper says it buys: locality up,
+        // occupancy down.
+        assert!(
+            fair.metrics.locality_pct > fifo.metrics.locality_pct,
+            "fair locality {:.1}% !> fifo {:.1}%",
+            fair.metrics.locality_pct,
+            fifo.metrics.locality_pct
+        );
+        assert!(
+            fair.metrics.slot_occupancy_pct < fifo.metrics.slot_occupancy_pct,
+            "fair occupancy {:.1}% !< fifo {:.1}%",
+            fair.metrics.slot_occupancy_pct,
+            fifo.metrics.slot_occupancy_pct
         );
     }
 

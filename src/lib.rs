@@ -14,7 +14,8 @@
 //!   locality);
 //! * [`data`] — TPC-H LINEITEM-style datasets with Zipf-planted matches;
 //! * [`mapreduce`] — the MapReduce framework (jobs, slots, FIFO/Fair
-//!   schedulers, cost model, metrics);
+//!   schedulers, cost model, metrics, and the observability plane: trace
+//!   export, latency histograms, decision audit, timeline rendering);
 //! * [`core`] — the paper's contribution (Input Provider, policies,
 //!   selectivity estimation, sampling operators);
 //! * [`hiveql`] — a mini HiveQL front end compiling to dynamic jobs;
@@ -72,9 +73,11 @@ pub mod prelude {
     pub use incmr_dfs::{BlockId, ClusterTopology, EvenRoundRobin, Namespace, NodeId};
     pub use incmr_hiveql::{Catalog, QueryOutput, Session};
     pub use incmr_mapreduce::{
-        ClusterConfig, ClusterStatus, Combiner, CostModel, EvalContext, FairScheduler,
-        FifoScheduler, JobConf, JobError, JobId, JobResult, JobSpec, Key, MrRuntime, Parallelism,
-        ProviderError, ScanMode,
+        audited_splits_added, encode_trace, parse_trace, render_audit, render_swimlanes,
+        AuditDirective, AuditRecord, ClusterConfig, ClusterStatus, Combiner, CostModel,
+        EvalContext, FairScheduler, FifoScheduler, JobConf, JobError, JobId, JobResult, JobSpec,
+        JsonlSink, Key, MemorySink, MetricsRegistry, MrRuntime, Parallelism, ProviderError,
+        ScanMode, TraceEvent, TraceKind, TraceSink,
     };
     pub use incmr_simkit::rng::DetRng;
     pub use incmr_simkit::{SimDuration, SimTime};

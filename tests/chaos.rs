@@ -12,10 +12,13 @@
 //!    every job that *survives* its schedule produces exactly the
 //!    fault-free output; doomed jobs fail identically everywhere.
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use incmr::mapreduce::faults::unresolved_speculations;
 use incmr::mapreduce::{
-    ClusterFaultPlan, FaultMetrics, NodeOutage, SpeculationConfig, TraceEvent, TraceKind,
+    ClusterFaultPlan, FaultMetrics, GuardrailMetrics, NodeOutage, SpeculationConfig, TaskId,
+    TraceEvent, TraceKind,
 };
 use incmr::prelude::*;
 
@@ -78,11 +81,110 @@ fn run_sized(
     };
     let id = rt.submit(job, driver);
     rt.run_until_idle();
-    (
-        rt.job_result(id).clone(),
-        rt.take_trace(),
-        rt.metrics().faults(),
-    )
+    let result = rt.job_result(id).clone();
+    let events = rt.take_trace();
+    let faults = rt.metrics().faults();
+    assert_obs_invariants(
+        &result,
+        &events,
+        &faults,
+        rt.metrics().guardrails(),
+        rt.histograms(),
+    );
+    (result, events, faults)
+}
+
+/// Observability invariants checked on *every* chaos run, whatever the
+/// schedule or thread count:
+///
+/// * trace timestamps never go backwards;
+/// * every `SpeculativeLaunch` resolves — an `AttemptKilled` on the task,
+///   the task's `MapFinished` commit, or the job's completion;
+/// * fault and guard-rail counters recomputed from the exported trace
+///   equal the runtime's live counters (restricted to the trace-derivable
+///   fields);
+/// * histogram sample counts recomputed from the trace equal the
+///   `MetricsRegistry` snapshot, and the job's own registry equals the
+///   runtime-wide one (these runs hold a single job).
+fn assert_obs_invariants(
+    result: &JobResult,
+    events: &[TraceEvent],
+    faults: &FaultMetrics,
+    guards: GuardrailMetrics,
+    registry: &MetricsRegistry,
+) {
+    for w in events.windows(2) {
+        assert!(
+            w[0].time <= w[1].time,
+            "trace timestamps must be nondecreasing: {:?} then {:?}",
+            w[0],
+            w[1]
+        );
+    }
+    assert_eq!(
+        unresolved_speculations(events),
+        Vec::new(),
+        "an exported trace must leave no speculative race unresolved"
+    );
+    assert_eq!(
+        FaultMetrics::from_trace(events),
+        faults.derivable(),
+        "fault counters recomputed from the trace must match the runtime"
+    );
+    assert_eq!(
+        GuardrailMetrics::from_trace(events),
+        guards.derivable(),
+        "guard-rail counters recomputed from the trace must match the runtime"
+    );
+
+    let mut map_started = 0u64;
+    let mut map_finished = 0u64;
+    let mut speculative = 0u64;
+    let mut shuffles = 0u64;
+    let mut reduce_finished = 0u64;
+    let mut started_tasks: BTreeSet<(JobId, TaskId)> = BTreeSet::new();
+    for e in events {
+        match e.kind {
+            TraceKind::MapStarted { job, task, .. } => {
+                map_started += 1;
+                started_tasks.insert((job, task));
+            }
+            TraceKind::MapFinished { .. } => map_finished += 1,
+            TraceKind::SpeculativeLaunch { .. } => speculative += 1,
+            TraceKind::ShuffleReady { .. } => shuffles += 1,
+            TraceKind::ReduceFinished { .. } => reduce_finished += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(
+        registry.map_attempt().count(),
+        map_finished,
+        "one map-attempt latency sample per MapFinished commit"
+    );
+    assert_eq!(
+        registry.queue_wait_total().count(),
+        map_started - speculative,
+        "one queue-wait sample per non-speculative dispatch"
+    );
+    assert_eq!(
+        registry.split_wait().count(),
+        started_tasks.len() as u64,
+        "one split-wait sample per task's first dispatch"
+    );
+    assert_eq!(
+        registry.shuffle_merge().count(),
+        shuffles,
+        "one shuffle-merge latency sample per ShuffleReady"
+    );
+    assert_eq!(
+        registry.reduce().count(),
+        reduce_finished,
+        "one reduce latency sample per ReduceFinished commit"
+    );
+    assert_eq!(
+        &result.histograms, registry,
+        "a single-job run's per-job registry must equal the runtime's"
+    );
 }
 
 fn run(
@@ -355,6 +457,52 @@ fn doomed_schedules_fail_identically_at_every_thread_count() {
         assert_eq!(t, t1, "failure timeline diverged at {threads} threads");
         assert_eq!(m, m1);
     }
+}
+
+/// The observability invariants (`assert_obs_invariants`, run inside every
+/// chaos execution above — all 50 schedules at 1/4/8 threads for both job
+/// kinds) are only worth their keep if the schedules actually exercise
+/// them. This directed schedule guarantees the interesting paths fire:
+/// speculation (so the race-resolution scan has races to settle), map and
+/// reduce faults (so re-dispatch hits the queue-wait and attempt-latency
+/// accounting), and it restates the headline counter equalities visibly.
+#[test]
+fn obs_invariants_are_not_vacuous_under_an_eventful_schedule() {
+    let plan = ClusterFaultPlan {
+        node_speed: vec![1.0, 1.0, 0.25],
+        map_fault_probability: 0.2,
+        reduce_fault_probability: 0.5,
+        max_attempts: 8,
+        speculation: Some(SpeculationConfig::default()),
+        blacklist_threshold: Some(2),
+        seed: 9,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, trace, m) = run_sized(Kind::Scan, 1, Some(&plan), 48, 200_000);
+    assert!(!r.failed);
+    assert!(
+        m.speculative_launched > 0,
+        "the straggler must draw speculative attempts: {m:?}"
+    );
+    let count = |f: &dyn Fn(&TraceKind) -> bool| trace.iter().filter(|e| f(&e.kind)).count() as u64;
+    assert!(count(&|k| matches!(k, TraceKind::SpeculativeLaunch { .. })) > 0);
+    assert!(count(&|k| matches!(k, TraceKind::MapFailed { .. })) > 0);
+    assert!(count(&|k| matches!(k, TraceKind::ReduceFailed { .. })) > 0);
+    // The headline equalities, restated on the returned per-job registry:
+    // latency samples are recomputable from the exported trace alone.
+    assert_eq!(
+        r.histograms.map_attempt().count(),
+        count(&|k| matches!(k, TraceKind::MapFinished { .. }))
+    );
+    assert_eq!(
+        r.histograms.queue_wait_total().count(),
+        count(&|k| matches!(k, TraceKind::MapStarted { .. }))
+            - count(&|k| matches!(k, TraceKind::SpeculativeLaunch { .. }))
+    );
+    assert_eq!(
+        r.histograms.reduce().count(),
+        count(&|k| matches!(k, TraceKind::ReduceFinished { .. }))
+    );
 }
 
 /// An Input Provider's view of the cluster must track node death: dead

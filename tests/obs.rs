@@ -1,0 +1,381 @@
+//! Observability-plane invariants: lossless trace round-trips, histogram
+//! algebra, and byte-identical output across data-plane thread counts.
+//!
+//! The round-trip suite leans on two build-time exhaustiveness guards:
+//! `obs::kind_name`/`obs::encode_event` match every [`TraceKind`] without
+//! a wildcard arm (encoder side), and [`kind_index`] below does the same
+//! (generator side) — adding a variant without extending both the codec
+//! and this suite's generator refuses to compile.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use incmr::mapreduce::{encode_event, kind_name, parse_event, TaskId, TraceParseError};
+use incmr::prelude::*;
+use incmr::simkit::stats::LogHistogram;
+
+/// Keep in sync with [`kind_index`]'s exhaustive match (which is what
+/// actually enforces the count at build time).
+const NUM_KINDS: usize = 22;
+
+/// Generator-side build guard: exhaustive, no wildcard. A new `TraceKind`
+/// variant fails compilation here until [`kind_from`] can produce it.
+fn kind_index(kind: &TraceKind) -> usize {
+    match kind {
+        TraceKind::JobSubmitted { .. } => 0,
+        TraceKind::InputAdded { .. } => 1,
+        TraceKind::EndOfInput { .. } => 2,
+        TraceKind::MapStarted { .. } => 3,
+        TraceKind::MapFinished { .. } => 4,
+        TraceKind::MapFailed { .. } => 5,
+        TraceKind::ShuffleReady { .. } => 6,
+        TraceKind::ReduceStarted { .. } => 7,
+        TraceKind::ReduceFinished { .. } => 8,
+        TraceKind::JobCompleted { .. } => 9,
+        TraceKind::ReduceFailed { .. } => 10,
+        TraceKind::NodeLost { .. } => 11,
+        TraceKind::NodeRejoined { .. } => 12,
+        TraceKind::SpeculativeLaunch { .. } => 13,
+        TraceKind::AttemptKilled { .. } => 14,
+        TraceKind::NodeBlacklisted { .. } => 15,
+        TraceKind::ProviderFault { .. } => 16,
+        TraceKind::GrabLimitClamped { .. } => 17,
+        TraceKind::DuplicateInputDropped { .. } => 18,
+        TraceKind::JobWedged { .. } => 19,
+        TraceKind::DeadlineExceeded { .. } => 20,
+        TraceKind::PartialSample { .. } => 21,
+    }
+}
+
+/// Build the `which`-th kind with payloads drawn from four arbitrary
+/// words, covering every field's full width.
+fn kind_from(which: usize, a: u64, b: u64, c: u64, d: u64) -> TraceKind {
+    let job = JobId(a as u32);
+    let task = TaskId(b as u32);
+    let node = NodeId(c as u16);
+    let flag = d.is_multiple_of(2);
+    match which % NUM_KINDS {
+        0 => TraceKind::JobSubmitted { job },
+        1 => TraceKind::InputAdded {
+            job,
+            splits: b as u32,
+        },
+        2 => TraceKind::EndOfInput { job },
+        3 => TraceKind::MapStarted {
+            job,
+            task,
+            node,
+            local: flag,
+        },
+        4 => TraceKind::MapFinished { job, task },
+        5 => TraceKind::MapFailed {
+            job,
+            task,
+            attempt: c as u32,
+        },
+        6 => TraceKind::ShuffleReady {
+            job,
+            partitions: b as u32,
+            combiner_in: c,
+            combiner_out: d,
+            max_partition_bytes: a ^ b,
+            min_partition_bytes: c ^ d,
+        },
+        7 => TraceKind::ReduceStarted {
+            job,
+            reduce: b as u32,
+            node,
+        },
+        8 => TraceKind::ReduceFinished {
+            job,
+            reduce: b as u32,
+        },
+        9 => TraceKind::JobCompleted { job, failed: flag },
+        10 => TraceKind::ReduceFailed {
+            job,
+            reduce: b as u32,
+            attempt: c as u32,
+        },
+        11 => TraceKind::NodeLost { node },
+        12 => TraceKind::NodeRejoined { node },
+        13 => TraceKind::SpeculativeLaunch { job, task, node },
+        14 => TraceKind::AttemptKilled { job, task, node },
+        15 => TraceKind::NodeBlacklisted { job, node },
+        16 => TraceKind::ProviderFault { job, fatal: flag },
+        17 => TraceKind::GrabLimitClamped {
+            job,
+            requested: b as u32,
+            granted: c as u32,
+        },
+        18 => TraceKind::DuplicateInputDropped {
+            job,
+            splits: b as u32,
+        },
+        19 => TraceKind::JobWedged {
+            job,
+            idle_evaluations: b as u32,
+        },
+        20 => TraceKind::DeadlineExceeded {
+            job,
+            graceful: flag,
+        },
+        21 => TraceKind::PartialSample {
+            job,
+            found: c,
+            requested: d,
+        },
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn all_kinds_are_generated_distinct_and_round_trip() {
+    let mut names = HashSet::new();
+    for which in 0..NUM_KINDS {
+        let kind = kind_from(which, 7, 11, 3, 2);
+        assert_eq!(kind_index(&kind), which, "generator covers index {which}");
+        assert!(
+            names.insert(kind_name(&kind)),
+            "duplicate wire name {}",
+            kind_name(&kind)
+        );
+        let event = TraceEvent {
+            time: SimTime::from_millis(1_000 * which as u64 + 1),
+            kind,
+        };
+        let line = encode_event(&event);
+        assert_eq!(parse_event(&line).unwrap(), event, "kind {which}: {line}");
+    }
+    assert_eq!(names.len(), NUM_KINDS);
+}
+
+#[test]
+fn parse_rejects_garbage_and_unknown_kinds() {
+    assert!(matches!(
+        parse_event("not json at all"),
+        Err(TraceParseError::Malformed(_))
+    ));
+    assert!(matches!(
+        parse_event("{\"t\":3,\"kind\":\"NoSuchKind\",\"job\":1}"),
+        Err(TraceParseError::UnknownKind(_))
+    ));
+    // A known kind with a missing payload field.
+    assert!(parse_event("{\"t\":3,\"kind\":\"InputAdded\",\"job\":1}").is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// TraceEvent → JSONL line → TraceEvent is the identity for every
+    /// kind and arbitrary payloads.
+    #[test]
+    fn any_event_round_trips(
+        which in 0usize..NUM_KINDS,
+        t in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        c in any::<u64>(),
+        d in any::<u64>(),
+    ) {
+        let event = TraceEvent {
+            time: SimTime::from_millis(t),
+            kind: kind_from(which, a, b, c, d),
+        };
+        prop_assert_eq!(parse_event(&encode_event(&event)).unwrap(), event);
+    }
+
+    /// Whole traces survive encode → parse with ordering intact.
+    #[test]
+    fn whole_traces_round_trip(
+        raws in prop::collection::vec(
+            (0usize..NUM_KINDS, any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            0..64,
+        ),
+    ) {
+        let events: Vec<TraceEvent> = raws
+            .iter()
+            .map(|&(w, t, a, b, c, d)| TraceEvent {
+                time: SimTime::from_millis(t),
+                kind: kind_from(w, a, b, c, d),
+            })
+            .collect();
+        prop_assert_eq!(parse_trace(&encode_trace(&events)).unwrap(), events);
+    }
+
+    /// Merging histograms is exact (same multiset as recording everything
+    /// into one) and commutative, bucket for bucket.
+    #[test]
+    fn histogram_merge_is_exact_and_commutative(
+        xs in prop::collection::vec(any::<u64>(), 0..200),
+        ys in prop::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let fill = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            vals.iter().for_each(|&v| h.record(v));
+            h
+        };
+        let (a, b) = (fill(&xs), fill(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "merge order must not matter");
+        let all: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        prop_assert_eq!(&ab, &fill(&all), "merge must equal one-shot recording");
+        prop_assert_eq!(ab.count(), (xs.len() + ys.len()) as u64);
+    }
+
+    /// Quantiles never decrease in `p`, every quantile is bounded by the
+    /// observed maximum, and p100 *is* the exact maximum.
+    #[test]
+    fn histogram_quantiles_are_monotone(xs in prop::collection::vec(any::<u64>(), 1..300)) {
+        let mut h = LogHistogram::new();
+        xs.iter().for_each(|&v| h.record(v));
+        let ps = [0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0];
+        let qs: Vec<u64> = ps.iter().map(|&p| h.quantile(p).unwrap()).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        prop_assert!(qs.iter().all(|&q| q <= h.max()));
+        prop_assert_eq!(h.quantile(100.0), Some(h.max()));
+        prop_assert_eq!(h.p50(), h.quantile(50.0));
+        // Merging an empty histogram is the identity.
+        let before = h.clone();
+        h.merge(&LogHistogram::new());
+        prop_assert_eq!(h, before);
+    }
+
+    /// Registry merging commutes across all six families, including the
+    /// scheduler-keyed queue-wait map.
+    #[test]
+    fn registry_merge_is_commutative(
+        xs in prop::collection::vec((0u8..6, any::<u64>(), any::<bool>()), 0..120),
+        ys in prop::collection::vec((0u8..6, any::<u64>(), any::<bool>()), 0..120),
+    ) {
+        let fill = |entries: &[(u8, u64, bool)]| {
+            let mut r = MetricsRegistry::new();
+            for &(family, v, sched) in entries {
+                match family {
+                    0 => r.record_map_attempt(v),
+                    1 => r.record_shuffle_merge(v),
+                    2 => r.record_reduce(v),
+                    3 => r.record_provider_eval_interval(v),
+                    4 => r.record_queue_wait(if sched { "fifo" } else { "fair" }, v),
+                    _ => r.record_split_wait(v),
+                }
+            }
+            r
+        };
+        let (a, b) = (fill(&xs), fill(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.render(), ba.render(), "rendered snapshots agree too");
+        let count = |r: &MetricsRegistry| -> u64 {
+            r.families().iter().map(|(_, h)| h.count()).sum()
+        };
+        prop_assert_eq!(count(&ab), count(&a) + count(&b));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integration: sinks and determinism on a real run
+// ---------------------------------------------------------------------------
+
+fn sampling_world(threads: u32) -> (MrRuntime, Arc<Dataset>) {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(29);
+    let spec = DatasetSpec::small("obs", 24, 20_000, SkewLevel::Moderate, 29);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let rt = MrRuntime::new(
+        ClusterConfig::paper_single_user().with_parallelism(Parallelism::threads(threads)),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    (rt, ds)
+}
+
+fn run_sampling(rt: &mut MrRuntime, ds: &Arc<Dataset>, sink: Option<&str>) -> JobId {
+    let (mut job, driver) = incmr::core::build_sampling_job(
+        ds,
+        40,
+        Policy::ma(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        5,
+    );
+    if let Some(s) = sink {
+        job.conf.set(incmr::mapreduce::keys::TRACE_SINK, s);
+    }
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    assert!(!rt.job_result(id).failed);
+    id
+}
+
+/// The conf-selected JSONL sink streams exactly what the in-memory trace
+/// records, and the text parses back into the identical event sequence.
+#[test]
+fn jsonl_sink_agrees_with_memory_trace() {
+    let (mut rt, ds) = sampling_world(1);
+    rt.enable_tracing(); // memory path
+    run_sampling(&mut rt, &ds, Some("jsonl")); // installs JsonlSink via conf
+    let events = rt.take_trace();
+    assert!(!events.is_empty());
+    let jsonl = rt
+        .take_trace_sink()
+        .expect("conf installed a sink")
+        .drain_jsonl();
+    assert_eq!(jsonl, encode_trace(&events));
+    assert_eq!(parse_trace(&jsonl).unwrap(), events);
+}
+
+/// Traces, histogram quantiles, and the audit log are byte-identical at
+/// 1, 4, and 8 data-plane threads.
+#[test]
+fn obs_output_is_byte_identical_across_thread_counts() {
+    let outputs: Vec<(String, String, String)> = [1u32, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let (mut rt, ds) = sampling_world(threads);
+            rt.enable_tracing();
+            rt.enable_audit();
+            run_sampling(&mut rt, &ds, None);
+            let trace = encode_trace(&rt.take_trace());
+            let hist = rt.histograms().render();
+            let audit = incmr::mapreduce::render_audit(rt.audit_log());
+            (trace, hist, audit)
+        })
+        .collect();
+    assert!(!outputs[0].0.is_empty() && !outputs[0].2.is_empty());
+    assert!(outputs[0].1.contains("map_attempt_ms"));
+    for (i, other) in outputs.iter().enumerate().skip(1) {
+        assert_eq!(
+            outputs[0].0,
+            other.0,
+            "trace differs at {} threads",
+            [1, 4, 8][i]
+        );
+        assert_eq!(
+            outputs[0].1,
+            other.1,
+            "histograms differ at {} threads",
+            [1, 4, 8][i]
+        );
+        assert_eq!(
+            outputs[0].2,
+            other.2,
+            "audit differs at {} threads",
+            [1, 4, 8][i]
+        );
+    }
+}

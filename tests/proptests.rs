@@ -1,16 +1,64 @@
 //! Property-based tests of the stack's core invariants.
 
 use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use incmr::core::policy_file::{parse_grab_limit, parse_policy_file};
 use incmr::data::generator::{RecordFactory, SplitGenerator, SplitSpec};
 use incmr::data::lineitem::{col, LineItemFactory};
 use incmr::data::skew::assign_matching;
+use incmr::mapreduce::{TaskScheduler, TraceEvent, TraceKind};
 use incmr::prelude::*;
 use incmr::simkit::dist::Zipf;
 use incmr::simkit::resource::PsResource;
 use incmr::simkit::Sim;
+
+/// Run one fault-free dynamic sampling job with tracing on; the exported
+/// trace is the oracle for the scheduler properties below.
+fn traced_sampling_run(
+    partitions: u32,
+    records: u64,
+    k: u64,
+    policy_idx: usize,
+    fair: bool,
+    seed: u64,
+) -> (Vec<TraceEvent>, JobResult) {
+    let policy = Policy::table1()[policy_idx].clone();
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(seed);
+    let spec = DatasetSpec::small("t", partitions, records, SkewLevel::Moderate, seed);
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let scheduler: Box<dyn TaskScheduler> = if fair {
+        Box::new(FairScheduler::paper_default())
+    } else {
+        Box::new(FifoScheduler::new())
+    };
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        scheduler,
+    );
+    rt.enable_tracing();
+    let (job, driver) = build_sampling_job(
+        &ds,
+        k,
+        policy,
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        seed ^ 1,
+    );
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    let result = rt.job_result(id).clone();
+    (rt.take_trace(), result)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -160,5 +208,145 @@ proptest! {
         prop_assert_eq!(parsed.len(), 1);
         prop_assert_eq!(parsed[0].work_threshold_pct, wt);
         prop_assert_eq!(parsed[0].evaluation_interval.as_millis(), interval);
+    }
+
+    /// The exported trace as a causal oracle: whatever the dataset, policy,
+    /// or scheduler, no event precedes its cause — tasks only start after
+    /// the provider added their splits, the shuffle only closes once every
+    /// started map committed, reduces only run after the shuffle, and the
+    /// job completes exactly once, at the very end.
+    #[test]
+    fn trace_has_no_event_before_its_cause(
+        partitions in 2u32..20,
+        records in 500u64..3_000,
+        k in 1u64..120,
+        policy_idx in 0usize..5,
+        fair in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (trace, _) = traced_sampling_run(partitions, records, k, policy_idx, fair, seed);
+        prop_assert!(matches!(trace.first().map(|e| &e.kind), Some(TraceKind::JobSubmitted { .. })));
+        prop_assert!(matches!(trace.last().map(|e| &e.kind), Some(TraceKind::JobCompleted { .. })));
+        let mut splits_added = 0u64;
+        let mut started = BTreeSet::new();
+        let mut finished = BTreeSet::new();
+        let mut reduces_started = BTreeSet::new();
+        let mut shuffle_ready_at: Option<SimTime> = None;
+        let mut completions = 0usize;
+        for w in trace.windows(2) {
+            prop_assert!(w[0].time <= w[1].time, "timestamps must be nondecreasing");
+        }
+        for e in &trace {
+            prop_assert_eq!(completions, 0, "no event may follow JobCompleted");
+            match e.kind {
+                TraceKind::InputAdded { splits, .. } => {
+                    prop_assert!(
+                        shuffle_ready_at.is_none(),
+                        "input added after the shuffle closed"
+                    );
+                    splits_added += splits as u64;
+                }
+                TraceKind::MapStarted { task, .. } => {
+                    prop_assert!(
+                        (task.0 as u64) < splits_added,
+                        "task {} started before its split was added ({} known)",
+                        task.0,
+                        splits_added
+                    );
+                    started.insert(task);
+                }
+                TraceKind::MapFinished { task, .. } => {
+                    prop_assert!(started.contains(&task), "finish before start");
+                    finished.insert(task);
+                }
+                TraceKind::ShuffleReady { .. } => {
+                    prop_assert_eq!(
+                        &started, &finished,
+                        "the shuffle closed with maps still in flight"
+                    );
+                    prop_assert!(!finished.is_empty());
+                    shuffle_ready_at = Some(e.time);
+                }
+                TraceKind::ReduceStarted { reduce, .. } => {
+                    let ready = shuffle_ready_at.expect("reduce before ShuffleReady");
+                    prop_assert!(e.time >= ready);
+                    reduces_started.insert(reduce);
+                }
+                TraceKind::ReduceFinished { reduce, .. } => {
+                    prop_assert!(reduces_started.contains(&reduce), "commit before start");
+                }
+                TraceKind::JobCompleted { .. } => completions += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(completions, 1);
+    }
+
+    /// Slot discipline, with the trace as the oracle: at no simulated
+    /// instant does a node host more concurrent map attempts than its map
+    /// slots or more reduces than its reduce slots — attempt spans never
+    /// overlap on one slot — and the per-job queue-wait histogram carries
+    /// exactly one sample per dispatch, keyed by the scheduler that made it.
+    #[test]
+    fn no_node_overcommits_its_slots(
+        partitions in 2u32..20,
+        records in 500u64..3_000,
+        k in 1u64..120,
+        policy_idx in 0usize..5,
+        fair in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (trace, result) = traced_sampling_run(partitions, records, k, policy_idx, fair, seed);
+        // `paper_single_user()`: 4 map + 2 reduce slots per node; a clean
+        // run has exactly one attempt per task (asserted below), so spans
+        // are delimited by Started/Finished pairs.
+        let mut maps_on: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut task_node = BTreeMap::new();
+        let mut reduces_on: BTreeMap<u16, u32> = BTreeMap::new();
+        let mut reduce_node = BTreeMap::new();
+        let mut dispatches = 0u64;
+        for e in &trace {
+            match e.kind {
+                TraceKind::MapStarted { task, node, .. } => {
+                    dispatches += 1;
+                    prop_assert!(
+                        task_node.insert(task, node).is_none(),
+                        "a fault-free run re-ran task {}",
+                        task.0
+                    );
+                    let n = maps_on.entry(node.0).or_insert(0);
+                    *n += 1;
+                    prop_assert!(*n <= 4, "node {} over its 4 map slots", node.0);
+                }
+                TraceKind::MapFinished { task, .. } => {
+                    let node = task_node.get(&task).expect("finish before start");
+                    *maps_on.get_mut(&node.0).unwrap() -= 1;
+                }
+                TraceKind::ReduceStarted { reduce, node, .. } => {
+                    prop_assert!(reduce_node.insert(reduce, node).is_none());
+                    let n = reduces_on.entry(node.0).or_insert(0);
+                    *n += 1;
+                    prop_assert!(*n <= 2, "node {} over its 2 reduce slots", node.0);
+                }
+                TraceKind::ReduceFinished { reduce, .. } => {
+                    let node = reduce_node.get(&reduce).expect("commit before start");
+                    *reduces_on.get_mut(&node.0).unwrap() -= 1;
+                }
+                TraceKind::MapFailed { .. }
+                | TraceKind::ReduceFailed { .. }
+                | TraceKind::AttemptKilled { .. }
+                | TraceKind::SpeculativeLaunch { .. }
+                | TraceKind::NodeLost { .. } => {
+                    prop_assert!(false, "fault event in a fault-free run: {:?}", e.kind);
+                }
+                _ => {}
+            }
+        }
+        prop_assert!(maps_on.values().all(|&n| n == 0), "a map span never closed");
+        prop_assert!(reduces_on.values().all(|&n| n == 0), "a reduce span never closed");
+        let expected = if fair { "fair" } else { "fifo" };
+        let waits = result.histograms.queue_wait(expected).expect("scheduler-keyed waits");
+        prop_assert_eq!(waits.count(), dispatches, "one queue-wait sample per dispatch");
+        prop_assert_eq!(result.histograms.queue_wait_total().count(), dispatches);
     }
 }
