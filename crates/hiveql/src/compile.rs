@@ -130,6 +130,15 @@ impl fmt::Debug for CompiledQuery {
 }
 
 impl CompiledQuery {
+    /// The requested sample size for dynamic sampling plans (`None` for
+    /// static scans and aggregates).
+    pub fn requested_k(&self) -> Option<u64> {
+        match &self.plan {
+            JobPlan::DynamicSampling { k, .. } => Some(*k),
+            _ => None,
+        }
+    }
+
     /// Human-readable plan description (the `EXPLAIN` output).
     pub fn explain(&self) -> String {
         match &self.plan {

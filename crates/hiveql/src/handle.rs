@@ -1,0 +1,124 @@
+//! Non-blocking query submission: [`QueryHandle`] names a submitted job
+//! and can be polled or awaited; [`QueryResult`] is the typed completion
+//! record, carrying the [`SampleOutcome`] and per-query latency
+//! histograms instead of the monolithic blocking `QueryOutput`.
+
+use incmr_core::SampleOutcome;
+use incmr_data::Record;
+use incmr_mapreduce::{JobId, MetricsRegistry, MrRuntime};
+use incmr_simkit::{SimDuration, SimTime};
+
+use crate::session::{QueryOutput, Session};
+
+/// What [`Session::submit`](crate::Session::submit) produced.
+#[derive(Debug)]
+pub enum Submitted {
+    /// A `SELECT` entered the job queue; poll or await the handle.
+    Pending(QueryHandle),
+    /// The statement completed immediately (`SET` / `SHOW` / `EXPLAIN`).
+    Done(QueryOutput),
+}
+
+/// A submitted query: a typed name for an in-flight job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHandle {
+    job: JobId,
+    requested_k: Option<u64>,
+    submitted_at: SimTime,
+}
+
+impl QueryHandle {
+    pub(crate) fn new(job: JobId, requested_k: Option<u64>, submitted_at: SimTime) -> Self {
+        QueryHandle {
+            job,
+            requested_k,
+            submitted_at,
+        }
+    }
+
+    /// The underlying job.
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    /// The requested sample size `k` (dynamic sampling plans only).
+    pub fn requested_k(&self) -> Option<u64> {
+        self.requested_k
+    }
+
+    /// Simulated time at submission.
+    pub fn submitted_at(&self) -> SimTime {
+        self.submitted_at
+    }
+
+    /// Whether the job has completed (does not advance the runtime).
+    pub fn poll(&self, session: &Session) -> bool {
+        session.job_is_complete(self.job)
+    }
+
+    /// The result, if the job has completed (does not advance the
+    /// runtime).
+    pub fn try_result(&self, session: &Session) -> Option<QueryResult> {
+        self.poll(session)
+            .then(|| collect_result(session.runtime(), self.job, self.requested_k))
+    }
+
+    /// Drive the runtime until this job completes and collect its
+    /// result (the awaiting shape of the API).
+    pub fn wait(self, session: &mut Session) -> QueryResult {
+        session.drive_to_completion(&self)
+    }
+}
+
+/// Typed completion record for one query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The completed job.
+    pub job: JobId,
+    /// Result rows (values only; the dummy key is dropped).
+    pub rows: Vec<Record>,
+    /// Input partitions actually processed.
+    pub splits_processed: u32,
+    /// Records scanned across all map tasks.
+    pub records_processed: u64,
+    /// Map tasks that read their split from a local disk.
+    pub local_tasks: u32,
+    /// Submission-to-completion latency in simulated time.
+    pub response_time: SimDuration,
+    /// Whether the requested sample size was reached (`None` for
+    /// non-sampling plans and failed jobs).
+    pub outcome: Option<SampleOutcome>,
+    /// This query's latency histograms (mergeable across queries).
+    pub histograms: MetricsRegistry,
+    /// True if the job was aborted.
+    pub failed: bool,
+}
+
+/// Build a [`QueryResult`] from a completed job. Shared by
+/// [`QueryHandle`] and the multi-tenant query service (which drives its
+/// own runtime).
+pub fn collect_result(runtime: &MrRuntime, job: JobId, requested_k: Option<u64>) -> QueryResult {
+    let result = runtime.job_result(job);
+    let outcome = match requested_k {
+        Some(requested) if !result.failed => {
+            let found = result.output.len() as u64;
+            Some(if found < requested {
+                SampleOutcome::Partial { found, requested }
+            } else {
+                SampleOutcome::Full { requested }
+            })
+        }
+        _ => None,
+    };
+    QueryResult {
+        job,
+        rows: result.output.iter().map(|(_, r)| r.clone()).collect(),
+        splits_processed: result.splits_processed,
+        records_processed: result.records_processed,
+        local_tasks: result.local_tasks,
+        response_time: result.response_time(),
+        outcome,
+        histograms: result.histograms.clone(),
+        failed: result.failed,
+    }
+}

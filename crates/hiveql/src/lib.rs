@@ -20,16 +20,20 @@
 
 pub mod agg;
 pub mod ast;
+pub mod builder;
 pub mod catalog;
 pub mod compile;
+pub mod handle;
 pub mod lexer;
 pub mod parser;
 pub mod session;
 
 pub use agg::{AggMapper, AggReducer, ResolvedAgg};
 pub use ast::{AggExpr, AggFunc, Expr, Literal, Projection, Query, Statement};
+pub use builder::{SessionBuilder, SessionConfigError, TenantProfile};
 pub use catalog::Catalog;
 pub use compile::{compile_query, CompileError, CompiledQuery, JobPlan};
+pub use handle::{collect_result, QueryHandle, QueryResult, Submitted};
 pub use lexer::{lex, LexError, Token};
 pub use parser::{parse, ParseError};
-pub use session::{QueryOutput, Session, SessionError};
+pub use session::{Prepared, QueryOutput, Session, SessionError, SessionState};

@@ -10,6 +10,18 @@
 //! SET dynamic.job.policy = LA;
 //! SELECT L_ORDERKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10000;
 //! ```
+//!
+//! Two layers live here:
+//!
+//! * [`SessionState`] — per-client settings (policy registry, active
+//!   policy, scan/sample mode, seed counter) plus statement preparation.
+//!   It owns **no runtime**, so a multi-tenant service can keep one state
+//!   per tenant over a single shared cluster.
+//! * [`Session`] — a state bound to its own [`MrRuntime`] and catalog:
+//!   the single-user CLI shape. Build one with [`Session::builder`];
+//!   submit with [`Session::submit`] (non-blocking, returns a
+//!   [`QueryHandle`]) or [`Session::execute`]
+//!   (blocking shim).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -20,8 +32,10 @@ use incmr_mapreduce::{keys, JobId, MrRuntime, ScanMode};
 use incmr_simkit::SimDuration;
 
 use crate::ast::{ShowKind, Statement};
+use crate::builder::{SessionBuilder, TenantProfile};
 use crate::catalog::Catalog;
-use crate::compile::{compile_query, CompileError};
+use crate::compile::{compile_query, CompileError, CompiledQuery};
+use crate::handle::{collect_result, QueryHandle, Submitted};
 use crate::parser::{parse, ParseError};
 
 /// Errors surfaced to the session user.
@@ -102,10 +116,24 @@ pub enum QueryOutput {
     },
 }
 
-/// A session: catalog + runtime + settings.
-pub struct Session {
-    runtime: MrRuntime,
-    catalog: Catalog,
+/// What a prepared statement turned into: a job that still needs runtime
+/// submission, or an answer computed locally from session state.
+#[derive(Debug)]
+pub enum Prepared {
+    /// A `SELECT` compiled to a submit-ready job.
+    Submit(CompiledQuery),
+    /// `SET` / `SHOW` / `EXPLAIN` completed against the session state.
+    Immediate(QueryOutput),
+}
+
+/// Per-client session settings, independent of any runtime: policy
+/// registry, active policy, scan/sample mode, `SET` bag, and the seed
+/// counter that differentiates successive sampling jobs.
+///
+/// A [`Session`] owns one; a multi-tenant query service owns one **per
+/// tenant** over a single shared runtime.
+#[derive(Debug, Clone)]
+pub struct SessionState {
     policies: Vec<Policy>,
     policy: Policy,
     scan_mode: ScanMode,
@@ -114,13 +142,17 @@ pub struct Session {
     next_seed: u64,
 }
 
-impl Session {
-    /// A session over a runtime and catalog, with the built-in Table I
-    /// policies registered and `LA` (the paper's best all-rounder) active.
-    pub fn new(runtime: MrRuntime, catalog: Catalog) -> Self {
-        Session {
-            runtime,
-            catalog,
+impl Default for SessionState {
+    fn default() -> Self {
+        SessionState::new()
+    }
+}
+
+impl SessionState {
+    /// Fresh state: the built-in Table I policies registered, `LA` (the
+    /// paper's best all-rounder) active, planted scan mode.
+    pub fn new() -> Self {
+        SessionState {
             policies: Policy::table1(),
             policy: Policy::la(),
             scan_mode: ScanMode::Planted,
@@ -128,13 +160,6 @@ impl Session {
             settings: HashMap::new(),
             next_seed: 0x5E55_10F1,
         }
-    }
-
-    /// Use `Full` scan mode: every record is materialised and arbitrary
-    /// predicates are evaluable (small datasets / examples).
-    pub fn with_full_scan(mut self) -> Self {
-        self.scan_mode = ScanMode::Full;
-        self
     }
 
     /// Replace the policy registry from a policy-file text (the
@@ -147,9 +172,190 @@ impl Session {
         Ok(())
     }
 
+    /// Activate a registered policy by name.
+    pub fn set_active_policy(&mut self, name: &str) -> Result<(), SessionError> {
+        match self.policies.iter().find(|p| p.name == name).cloned() {
+            Some(p) => {
+                self.policy = p;
+                Ok(())
+            }
+            None => Err(SessionError::UnknownPolicy {
+                requested: name.to_string(),
+                available: self.policies.iter().map(|p| p.name.clone()).collect(),
+            }),
+        }
+    }
+
     /// The currently active policy.
     pub fn active_policy(&self) -> &Policy {
         &self.policy
+    }
+
+    /// Set the scan mode (`Planted` = experiment predicates only, `Full`
+    /// = materialise records, arbitrary predicates).
+    pub fn set_scan_mode(&mut self, mode: ScanMode) {
+        self.scan_mode = mode;
+    }
+
+    /// Set the sample-selection mode.
+    pub fn set_sample_mode(&mut self, mode: SampleMode) {
+        self.sample_mode = mode;
+    }
+
+    /// Seed the per-query RNG counter (each `SELECT` increments it).
+    pub fn set_seed(&mut self, seed: u64) {
+        self.next_seed = seed;
+    }
+
+    /// Prepare one statement against a catalog: `SELECT` compiles to a
+    /// submit-ready job; everything else resolves immediately from
+    /// session state.
+    pub fn prepare(&mut self, sql: &str, catalog: &Catalog) -> Result<Prepared, SessionError> {
+        match parse(sql)? {
+            Statement::Set { key, value } => {
+                if key.eq_ignore_ascii_case(keys::DYNAMIC_JOB_POLICY) {
+                    self.set_active_policy(&value)?;
+                }
+                self.settings.insert(key.clone(), value.clone());
+                Ok(Prepared::Immediate(QueryOutput::SetOk { key, value }))
+            }
+            Statement::Show(kind) => {
+                let items = match kind {
+                    ShowKind::Tables => catalog.table_names(),
+                    ShowKind::Policies => self
+                        .policies
+                        .iter()
+                        .map(|p| {
+                            format!(
+                                "{p}{}",
+                                if p.name == self.policy.name {
+                                    "  (active)"
+                                } else {
+                                    ""
+                                }
+                            )
+                        })
+                        .collect(),
+                };
+                Ok(Prepared::Immediate(QueryOutput::Listing(items)))
+            }
+            Statement::Explain(query) => {
+                let compiled = compile_query(
+                    &query,
+                    catalog,
+                    &self.policy,
+                    self.scan_mode,
+                    self.sample_mode,
+                    self.next_seed,
+                )?;
+                Ok(Prepared::Immediate(QueryOutput::Explained(
+                    compiled.explain(),
+                )))
+            }
+            Statement::Select(query) => {
+                self.next_seed = self.next_seed.wrapping_add(1);
+                let compiled = compile_query(
+                    &query,
+                    catalog,
+                    &self.policy,
+                    self.scan_mode,
+                    self.sample_mode,
+                    self.next_seed,
+                )?;
+                Ok(Prepared::Submit(compiled))
+            }
+        }
+    }
+}
+
+/// A session: catalog + runtime + per-client [`SessionState`].
+pub struct Session {
+    runtime: MrRuntime,
+    catalog: Catalog,
+    state: SessionState,
+    tenant: TenantProfile,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("tenant", &self.tenant)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Start configuring a session: runtime, catalog/tables, policy file,
+    /// scan mode, tenant identity, and quota knobs, with typed
+    /// validation via `try_build`.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::new()
+    }
+
+    pub(crate) fn from_parts(
+        runtime: MrRuntime,
+        catalog: Catalog,
+        state: SessionState,
+        tenant: TenantProfile,
+    ) -> Self {
+        Session {
+            runtime,
+            catalog,
+            state,
+            tenant,
+        }
+    }
+
+    /// A session over a runtime and catalog, with the built-in Table I
+    /// policies registered and `LA` (the paper's best all-rounder) active.
+    #[deprecated(since = "0.2.0", note = "use `Session::builder()`")]
+    pub fn new(runtime: MrRuntime, catalog: Catalog) -> Self {
+        Session::from_parts(
+            runtime,
+            catalog,
+            SessionState::new(),
+            TenantProfile::default(),
+        )
+    }
+
+    /// Use `Full` scan mode: every record is materialised and arbitrary
+    /// predicates are evaluable (small datasets / examples).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::builder().scan_mode(ScanMode::Full)`"
+    )]
+    pub fn with_full_scan(mut self) -> Self {
+        self.state.set_scan_mode(ScanMode::Full);
+        self
+    }
+
+    /// Replace the policy registry from a policy-file text (the
+    /// `policy.xml` equivalent). The active policy is reset to the first
+    /// entry.
+    pub fn load_policies(&mut self, file_text: &str) -> Result<(), incmr_core::PolicyFileError> {
+        self.state.load_policies(file_text)
+    }
+
+    /// The currently active policy.
+    pub fn active_policy(&self) -> &Policy {
+        self.state.active_policy()
+    }
+
+    /// This session's per-client state (policy registry, modes, seed).
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// Mutable access to the per-client state.
+    pub fn state_mut(&mut self) -> &mut SessionState {
+        &mut self.state
+    }
+
+    /// The tenant identity and quota knobs this session was built with
+    /// (consumed by the multi-tenant query service on registration).
+    pub fn tenant(&self) -> &TenantProfile {
+        &self.tenant
     }
 
     /// Mutable access to the underlying runtime (metrics, clock).
@@ -167,79 +373,51 @@ impl Session {
         &self.catalog
     }
 
-    /// Execute one statement to completion.
-    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, SessionError> {
-        match parse(sql)? {
-            Statement::Set { key, value } => {
-                if key.eq_ignore_ascii_case(keys::DYNAMIC_JOB_POLICY) {
-                    let found = self.policies.iter().find(|p| p.name == value).cloned();
-                    match found {
-                        Some(p) => self.policy = p,
-                        None => {
-                            return Err(SessionError::UnknownPolicy {
-                                requested: value,
-                                available: self.policies.iter().map(|p| p.name.clone()).collect(),
-                            })
-                        }
-                    }
-                }
-                self.settings.insert(key.clone(), value.clone());
-                Ok(QueryOutput::SetOk { key, value })
-            }
-            Statement::Show(kind) => {
-                let items = match kind {
-                    ShowKind::Tables => self.catalog.table_names(),
-                    ShowKind::Policies => self
-                        .policies
-                        .iter()
-                        .map(|p| {
-                            format!(
-                                "{p}{}",
-                                if p.name == self.policy.name {
-                                    "  (active)"
-                                } else {
-                                    ""
-                                }
-                            )
-                        })
-                        .collect(),
-                };
-                Ok(QueryOutput::Listing(items))
-            }
-            Statement::Explain(query) => {
-                let compiled = compile_query(
-                    &query,
-                    &self.catalog,
-                    &self.policy,
-                    self.scan_mode,
-                    self.sample_mode,
-                    self.next_seed,
-                )?;
-                Ok(QueryOutput::Explained(compiled.explain()))
-            }
-            Statement::Select(query) => {
-                self.next_seed = self.next_seed.wrapping_add(1);
-                let compiled = compile_query(
-                    &query,
-                    &self.catalog,
-                    &self.policy,
-                    self.scan_mode,
-                    self.sample_mode,
-                    self.next_seed,
-                )?;
+    /// Submit one statement **without blocking**. `SELECT` statements
+    /// enter the runtime's job queue and return a [`QueryHandle`] to
+    /// poll or await; everything else completes immediately.
+    pub fn submit(&mut self, sql: &str) -> Result<Submitted, SessionError> {
+        match self.state.prepare(sql, &self.catalog)? {
+            Prepared::Immediate(out) => Ok(Submitted::Done(out)),
+            Prepared::Submit(compiled) => {
+                let requested_k = compiled.requested_k();
+                let submitted_at = self.runtime.now();
                 let job = self.runtime.submit(compiled.spec, compiled.driver);
-                // Block until this job (and anything ahead of it) completes.
-                while !self.runtime.is_complete(job) {
-                    assert!(self.runtime.step(), "runtime drained before job completion");
-                }
-                let result = self.runtime.job_result(job);
-                let rows = result.output.iter().map(|(_, r)| r.clone()).collect();
-                Ok(QueryOutput::Rows {
+                Ok(Submitted::Pending(QueryHandle::new(
                     job,
-                    rows,
+                    requested_k,
+                    submitted_at,
+                )))
+            }
+        }
+    }
+
+    /// Whether a submitted query's job has completed.
+    pub(crate) fn job_is_complete(&self, job: JobId) -> bool {
+        self.runtime.is_complete(job)
+    }
+
+    /// Drive the runtime until `job` completes, then collect its result.
+    pub(crate) fn drive_to_completion(&mut self, handle: &QueryHandle) -> crate::QueryResult {
+        while !self.runtime.is_complete(handle.job()) {
+            assert!(self.runtime.step(), "runtime drained before job completion");
+        }
+        collect_result(&self.runtime, handle.job(), handle.requested_k())
+    }
+
+    /// Execute one statement to completion (blocking shim over
+    /// [`Session::submit`] + [`QueryHandle::wait`]).
+    pub fn execute(&mut self, sql: &str) -> Result<QueryOutput, SessionError> {
+        match self.submit(sql)? {
+            Submitted::Done(out) => Ok(out),
+            Submitted::Pending(handle) => {
+                let result = handle.wait(self);
+                Ok(QueryOutput::Rows {
+                    job: result.job,
+                    rows: result.rows,
                     splits_processed: result.splits_processed,
                     records_processed: result.records_processed,
-                    response_time: result.response_time(),
+                    response_time: result.response_time,
                 })
             }
         }
@@ -251,12 +429,13 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    use incmr_core::SampleOutcome;
     use incmr_data::{Dataset, DatasetSpec, SkewLevel};
     use incmr_dfs::{ClusterTopology, EvenRoundRobin, Namespace};
     use incmr_mapreduce::{ClusterConfig, CostModel, FifoScheduler};
     use incmr_simkit::rng::DetRng;
 
-    fn session(skew: SkewLevel) -> Session {
+    fn session_with(skew: SkewLevel, full_scan: bool) -> Session {
         let mut ns = Namespace::new(ClusterTopology::paper_cluster());
         let mut rng = DetRng::seed_from(9);
         let ds = Arc::new(Dataset::build(
@@ -265,15 +444,21 @@ mod tests {
             &mut EvenRoundRobin::new(),
             &mut rng,
         ));
-        let mut catalog = Catalog::new();
-        catalog.register("lineitem", ds);
         let rt = MrRuntime::new(
             ClusterConfig::paper_single_user(),
             CostModel::paper_default(),
             ns,
             Box::new(FifoScheduler::new()),
         );
-        Session::new(rt, catalog)
+        let mut b = Session::builder().runtime(rt).table("lineitem", ds);
+        if full_scan {
+            b = b.scan_mode(ScanMode::Full);
+        }
+        b.try_build().unwrap()
+    }
+
+    fn session(skew: SkewLevel) -> Session {
+        session_with(skew, false)
     }
 
     #[test]
@@ -290,6 +475,103 @@ mod tests {
         };
         assert_eq!(rows.len(), 10);
         assert!(rows.iter().all(|r| r.arity() == 3), "projection applied");
+    }
+
+    #[test]
+    fn submit_returns_a_pollable_handle() {
+        let mut s = session(SkewLevel::High);
+        let Submitted::Pending(handle) = s
+            .submit(
+                "SELECT L_ORDERKEY, L_PARTKEY, L_SUPPKEY FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 10",
+            )
+            .unwrap()
+        else {
+            panic!("SELECT must be pending")
+        };
+        assert_eq!(handle.requested_k(), Some(10));
+        assert!(!handle.poll(&s), "job cannot be complete before stepping");
+        assert!(handle.try_result(&s).is_none());
+        // Step the runtime to completion by hand.
+        while !handle.poll(&s) {
+            assert!(s.runtime_mut().step());
+        }
+        let result = handle.try_result(&s).expect("complete");
+        assert_eq!(result.rows.len(), 10);
+        assert!(!result.failed);
+        assert_eq!(result.outcome, Some(SampleOutcome::Full { requested: 10 }));
+        assert!(result.response_time > SimDuration::ZERO);
+        assert!(
+            result
+                .histograms
+                .families()
+                .iter()
+                .any(|(_, h)| h.count() > 0),
+            "per-query histograms recorded"
+        );
+    }
+
+    #[test]
+    fn handle_wait_reports_partial_samples() {
+        // Zero skew plants 0.002% → only 0.8 expected matches in 40k;
+        // asking for 1000 must come back Partial.
+        let mut s = session(SkewLevel::Zero);
+        let Submitted::Pending(handle) = s
+            .submit("SELECT * FROM LINEITEM WHERE L_QUANTITY = 200 LIMIT 1000")
+            .unwrap()
+        else {
+            panic!()
+        };
+        let result = handle.wait(&mut s);
+        let Some(SampleOutcome::Partial { found, requested }) = result.outcome else {
+            panic!("expected a partial sample: {:?}", result.outcome)
+        };
+        assert_eq!(requested, 1000);
+        assert_eq!(found, result.rows.len() as u64);
+        assert!(found < requested);
+    }
+
+    #[test]
+    fn non_select_statements_complete_immediately() {
+        let mut s = session(SkewLevel::High);
+        assert!(matches!(
+            s.submit("SET a.b = c").unwrap(),
+            Submitted::Done(QueryOutput::SetOk { .. })
+        ));
+        assert!(matches!(
+            s.submit("SHOW TABLES").unwrap(),
+            Submitted::Done(QueryOutput::Listing(_))
+        ));
+        assert!(matches!(
+            s.submit("EXPLAIN SELECT * FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 5")
+                .unwrap(),
+            Submitted::Done(QueryOutput::Explained(_))
+        ));
+    }
+
+    #[test]
+    fn deprecated_constructor_still_works() {
+        #![allow(deprecated)]
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(9);
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            DatasetSpec::small("lineitem", 20, 2_000, SkewLevel::High, 9),
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
+        let mut catalog = Catalog::new();
+        catalog.register("lineitem", ds);
+        let rt = MrRuntime::new(
+            ClusterConfig::paper_single_user(),
+            CostModel::paper_default(),
+            ns,
+            Box::new(FifoScheduler::new()),
+        );
+        let mut s = Session::new(rt, catalog).with_full_scan();
+        let out = s
+            .execute("SELECT L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY <= 25 LIMIT 3")
+            .unwrap();
+        assert!(matches!(out, QueryOutput::Rows { .. }));
     }
 
     #[test]
@@ -320,7 +602,7 @@ mod tests {
 
     #[test]
     fn full_mode_supports_ad_hoc_predicates() {
-        let mut s = session(SkewLevel::High).with_full_scan();
+        let mut s = session_with(SkewLevel::High, true);
         let out = s
             .execute("SELECT L_ORDERKEY FROM LINEITEM WHERE L_QUANTITY <= 25 AND L_SHIPMODE = 'AIR' LIMIT 7")
             .unwrap();

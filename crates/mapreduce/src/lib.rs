@@ -69,7 +69,10 @@ pub use parallel::{
     MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle, WorkUnit,
 };
 pub use runtime::{FaultPlan, MrRuntime, DEFAULT_MAX_IDLE_EVALUATIONS, MATERIALIZE_CAP_KEY};
-pub use scheduler::{FairScheduler, FifoScheduler, TaskScheduler};
+pub use scheduler::{
+    Assignment, Claims, FairScheduler, FifoScheduler, IndexedFairScheduler, IndexedFifoScheduler,
+    SchedJob, SchedView, TaskScheduler, ViewPolicy,
+};
 pub use shuffle::{fnv1a, partition_of, PartitionBuffer, PartitionedPairs, ShuffleState};
 pub use trace::{job_timeline, render_timeline, JobTimeline, TraceEvent, TraceKind};
 

@@ -69,6 +69,9 @@ pub fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::JobWedged { .. } => "JobWedged",
         TraceKind::DeadlineExceeded { .. } => "DeadlineExceeded",
         TraceKind::PartialSample { .. } => "PartialSample",
+        TraceKind::QueryAdmitted { .. } => "QueryAdmitted",
+        TraceKind::QueryRejected { .. } => "QueryRejected",
+        TraceKind::QuotaDeferred { .. } => "QuotaDeferred",
     }
 }
 
@@ -203,6 +206,18 @@ pub fn encode_event(event: &TraceEvent) -> String {
                 field("job", job.0 as u64);
                 field("found", *found);
                 field("requested", *requested);
+            }
+            TraceKind::QueryAdmitted { tenant, job } => {
+                field("tenant", *tenant as u64);
+                field("job", job.0 as u64);
+            }
+            TraceKind::QueryRejected { tenant, queued } => {
+                field("tenant", *tenant as u64);
+                field("queued", *queued as u64);
+            }
+            TraceKind::QuotaDeferred { tenant, depth } => {
+                field("tenant", *tenant as u64);
+                field("depth", *depth as u64);
             }
         }
     }
@@ -490,6 +505,18 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, TraceParseError> {
             job: r.job()?,
             found: r.num("found")?,
             requested: r.num("requested")?,
+        },
+        "QueryAdmitted" => TraceKind::QueryAdmitted {
+            tenant: r.num("tenant")? as u32,
+            job: r.job()?,
+        },
+        "QueryRejected" => TraceKind::QueryRejected {
+            tenant: r.num("tenant")? as u32,
+            queued: r.num("queued")? as u32,
+        },
+        "QuotaDeferred" => TraceKind::QuotaDeferred {
+            tenant: r.num("tenant")? as u32,
+            depth: r.num("depth")? as u32,
         },
         other => return Err(TraceParseError::UnknownKind(other.to_string())),
     };

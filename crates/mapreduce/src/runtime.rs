@@ -45,7 +45,7 @@
 //! output is a pure function of the task set — identical across thread
 //! counts and, for completed jobs, identical to the fault-free run.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use incmr_dfs::{BlockId, Namespace, NodeId};
@@ -68,7 +68,7 @@ use crate::obs::{AuditDirective, AuditRecord, JsonlSink, MetricsRegistry, TraceS
 use crate::parallel::{
     MapTaskResult, MapUnit, ParallelExecutor, ReduceTaskResult, ReduceUnit, UnitHandle,
 };
-use crate::scheduler::{SchedJob, SchedView, TaskScheduler};
+use crate::scheduler::{SchedJob, SchedView, TaskScheduler, ViewPolicy};
 use crate::shuffle::ShuffleState;
 use crate::trace::{TraceEvent, TraceKind};
 use incmr_data::Record;
@@ -89,6 +89,13 @@ pub const DEFAULT_MAX_IDLE_EVALUATIONS: u32 = 256;
 /// Interval at which resource counters are folded into metrics series (the
 /// paper samples at 30 s).
 const METRICS_INTERVAL: SimDuration = SimDuration::from_secs(30);
+
+/// Extra jobs (beyond the free-slot count) included in a prefix scheduling
+/// view (see [`ViewPolicy`]). One heartbeat launches at most `free_total`
+/// tasks, so a prefix this deep decides identically to the full walk in
+/// all but pathological blacklist patterns — while keeping the per-
+/// heartbeat view cost independent of the total queued-job count.
+const VIEW_JOB_SLACK: usize = 64;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
@@ -198,6 +205,9 @@ struct TaskEntry {
     /// Dropped by a graceful deadline: never (re)queued again. The split's
     /// output, if any was merged, stays in the shuffle.
     abandoned: bool,
+    /// Key under which this task sits in the job's `spec_candidates` index
+    /// (`None` = not a speculation candidate right now).
+    spec_key: Option<SimTime>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -247,8 +257,9 @@ struct JobEntry {
     known_blocks: HashSet<BlockId>,
     pending: Vec<TaskId>,
     /// Per-node index of pending tasks whose split has a replica on that
-    /// node (lazily cleaned — entries may reference dispatched tasks).
-    pending_by_node: Vec<Vec<TaskId>>,
+    /// node (lazily cleaned — entries may reference dispatched tasks;
+    /// stale entries are popped from the front as they surface).
+    pending_by_node: Vec<VecDeque<TaskId>>,
     running: u32,
     completed: u32,
     end_of_input: bool,
@@ -299,6 +310,15 @@ struct JobEntry {
     /// First map completion — start of the streaming shuffle-merge window
     /// closed at `ShuffleReady`.
     first_merge_at: Option<SimTime>,
+    /// The `running` value under which this job sits in the runtime's
+    /// runnable indexes (`None` = not runnable: no pending map work).
+    share_key: Option<u32>,
+    /// This job's contribution to the runtime's `queued_map_tasks`
+    /// counter (pending map tasks while in the map phase, else 0).
+    counted_pending: u32,
+    /// Speculation candidates — tasks with exactly one non-speculative
+    /// attempt in flight — keyed by attempt start time (oldest first).
+    spec_candidates: BTreeSet<(SimTime, u32)>,
     result: Option<JobResult>,
 }
 
@@ -349,6 +369,17 @@ pub struct MrRuntime {
     nodes: Vec<NodeState>,
     disks: Vec<DiskState>,
     completed: VecDeque<JobId>,
+    /// Runnable jobs (map phase, pending work) by `(submit_seq, index)` —
+    /// the FIFO dispatch order. Maintained by `refresh_sched_index`.
+    runnable_by_seq: BTreeSet<(u64, u32)>,
+    /// The same jobs by `(running, submit_seq, index)` — the fair-share
+    /// deficit order the Fair scheduler dispatches in.
+    runnable_by_share: BTreeSet<(u32, u64, u32)>,
+    /// Jobs worth offering speculative backups: map phase, no pending
+    /// work, at least one speculation candidate.
+    spec_jobs: BTreeSet<u32>,
+    /// Cluster-wide pending map tasks, kept O(1) for `cluster_status`.
+    queued_map_tasks: u64,
     /// Reduce tasks waiting for a reduce slot, in creation order.
     pending_reduces: VecDeque<(JobId, u32)>,
     metrics: ClusterMetrics,
@@ -423,6 +454,10 @@ impl MrRuntime {
             nodes,
             disks,
             completed: VecDeque::new(),
+            runnable_by_seq: BTreeSet::new(),
+            runnable_by_share: BTreeSet::new(),
+            spec_jobs: BTreeSet::new(),
+            queued_map_tasks: 0,
             pending_reduces: VecDeque::new(),
             metrics,
             metrics_base: (0.0, 0.0),
@@ -504,6 +539,15 @@ impl MrRuntime {
     /// so the cost is a few integer increments per task).
     pub fn histograms(&self) -> &MetricsRegistry {
         &self.obs_registry
+    }
+
+    /// Record a trace event on behalf of an embedding layer (a query
+    /// service front end, a workload harness): the event lands in the
+    /// runtime's trace buffer and structured sink exactly like the
+    /// runtime's own, so admission decisions interleave with task events
+    /// in one timeline.
+    pub fn record_event(&mut self, kind: TraceKind) {
+        self.record(kind);
     }
 
     fn record(&mut self, kind: TraceKind) {
@@ -628,12 +672,10 @@ impl MrRuntime {
             .filter(|n| n.alive)
             .map(|n| n.free_slots)
             .sum();
-        let queued = self
-            .jobs
-            .iter()
-            .filter(|j| j.phase == JobPhase::Map)
-            .map(|j| j.pending.len() as u32)
-            .sum();
+        // O(1): maintained by `refresh_sched_index` at every mutation of a
+        // job's pending queue or phase (Input Providers call this on every
+        // evaluation, so a per-job walk would be quadratic at scale).
+        let queued = self.queued_map_tasks.min(u32::MAX as u64) as u32;
         ClusterStatus {
             total_map_slots: total,
             occupied_map_slots: total.saturating_sub(free),
@@ -732,7 +774,7 @@ impl MrRuntime {
             tasks: Vec::new(),
             known_blocks: HashSet::new(),
             pending: Vec::new(),
-            pending_by_node: vec![Vec::new(); num_nodes],
+            pending_by_node: vec![VecDeque::new(); num_nodes],
             running: 0,
             completed: 0,
             end_of_input: false,
@@ -763,6 +805,9 @@ impl MrRuntime {
             hist_enabled,
             last_eval_at: None,
             first_merge_at: None,
+            share_key: None,
+            counted_pending: 0,
+            spec_candidates: BTreeSet::new(),
             result: None,
         };
         self.jobs.push(entry);
@@ -913,6 +958,9 @@ impl MrRuntime {
         job.known_blocks = HashSet::new();
         job.reduces = Vec::new();
         job.shuffle = ShuffleState::default();
+        // The task table is gone; the speculation index over it goes too
+        // (a Done job is already absent from every runnable index).
+        job.spec_candidates = BTreeSet::new();
     }
 
     /// Live progress for a job (any phase).
@@ -962,6 +1010,124 @@ impl MrRuntime {
         &mut self.jobs[id.0 as usize]
     }
 
+    /// Re-key one job in the runnable indexes, the queued-task counter,
+    /// and the speculation job set after any mutation of its pending
+    /// queue, running count, or phase. O(log jobs); idempotent.
+    fn refresh_sched_index(&mut self, id: JobId) {
+        let idx = id.0;
+        let (seq, new_key, new_counted, spec_live) = {
+            let job = &self.jobs[idx as usize];
+            let runnable = job.phase == JobPhase::Map && !job.pending.is_empty();
+            let counted = if job.phase == JobPhase::Map {
+                job.pending.len() as u32
+            } else {
+                0
+            };
+            let spec_live = job.phase == JobPhase::Map
+                && job.pending.is_empty()
+                && !job.spec_candidates.is_empty();
+            (
+                job.submit_seq,
+                runnable.then_some(job.running),
+                counted,
+                spec_live,
+            )
+        };
+        let old_key = self.jobs[idx as usize].share_key;
+        match (old_key, new_key) {
+            (None, None) => {}
+            (None, Some(r)) => {
+                self.runnable_by_seq.insert((seq, idx));
+                self.runnable_by_share.insert((r, seq, idx));
+            }
+            (Some(r), None) => {
+                self.runnable_by_seq.remove(&(seq, idx));
+                self.runnable_by_share.remove(&(r, seq, idx));
+            }
+            (Some(r0), Some(r1)) if r0 != r1 => {
+                self.runnable_by_share.remove(&(r0, seq, idx));
+                self.runnable_by_share.insert((r1, seq, idx));
+            }
+            _ => {}
+        }
+        let job = &mut self.jobs[idx as usize];
+        job.share_key = new_key;
+        self.queued_map_tasks =
+            self.queued_map_tasks - job.counted_pending as u64 + new_counted as u64;
+        job.counted_pending = new_counted;
+        if spec_live {
+            self.spec_jobs.insert(idx);
+        } else {
+            self.spec_jobs.remove(&idx);
+        }
+    }
+
+    /// Re-key one task in its job's speculation-candidate index after any
+    /// change to its attempt list or `done` flag. A candidate is a task
+    /// with exactly one non-speculative attempt in flight, keyed by that
+    /// attempt's start time.
+    fn refresh_spec_candidate(&mut self, id: JobId, task: TaskId) {
+        let spec_live = {
+            let job = &mut self.jobs[id.0 as usize];
+            let t = &mut job.tasks[task.0 as usize];
+            let new_key = (!t.done && t.running.len() == 1 && !t.running[0].speculative)
+                .then(|| t.running[0].started);
+            if t.spec_key != new_key {
+                if let Some(k) = t.spec_key {
+                    job.spec_candidates.remove(&(k, task.0));
+                }
+                if let Some(k) = new_key {
+                    job.spec_candidates.insert((k, task.0));
+                }
+                t.spec_key = new_key;
+            }
+            job.phase == JobPhase::Map && job.pending.is_empty() && !job.spec_candidates.is_empty()
+        };
+        if spec_live {
+            self.spec_jobs.insert(id.0);
+        } else {
+            self.spec_jobs.remove(&id.0);
+        }
+    }
+
+    /// Ground-truth check of every incremental index against a recompute.
+    /// Debug builds only, and skipped for large fleets (it is O(total
+    /// tasks) — exactly the walk the indexes exist to avoid).
+    #[cfg(debug_assertions)]
+    fn debug_check_indexes(&self) {
+        let mut by_seq = BTreeSet::new();
+        let mut by_share = BTreeSet::new();
+        let mut spec_jobs = BTreeSet::new();
+        let mut queued = 0u64;
+        for (i, job) in self.jobs.iter().enumerate() {
+            let i = i as u32;
+            if job.phase == JobPhase::Map {
+                queued += job.pending.len() as u64;
+            }
+            if job.phase == JobPhase::Map && !job.pending.is_empty() {
+                by_seq.insert((job.submit_seq, i));
+                by_share.insert((job.running, job.submit_seq, i));
+            }
+            let mut cands = BTreeSet::new();
+            for (t, entry) in job.tasks.iter().enumerate() {
+                if !entry.done && entry.running.len() == 1 && !entry.running[0].speculative {
+                    cands.insert((entry.running[0].started, t as u32));
+                }
+            }
+            assert_eq!(cands, job.spec_candidates, "job {i} spec candidates");
+            if job.phase == JobPhase::Map && job.pending.is_empty() && !cands.is_empty() {
+                spec_jobs.insert(i);
+            }
+        }
+        assert_eq!(by_seq, self.runnable_by_seq, "runnable_by_seq diverged");
+        assert_eq!(
+            by_share, self.runnable_by_share,
+            "runnable_by_share diverged"
+        );
+        assert_eq!(spec_jobs, self.spec_jobs, "spec_jobs diverged");
+        assert_eq!(queued, self.queued_map_tasks, "queued counter diverged");
+    }
+
     fn handle(&mut self, ev: Event) {
         match ev {
             Event::Heartbeat { node } => self.on_heartbeat(node),
@@ -1009,6 +1175,7 @@ impl MrRuntime {
         for list in &mut job.pending_by_node {
             list.clear();
         }
+        self.refresh_sched_index(id);
         // Running attempts are left to finish — their output is already
         // paid for; the job reduces once the last one lands.
         self.maybe_begin_reduce(id);
@@ -1199,12 +1366,14 @@ impl MrRuntime {
                 failures: 0,
                 running: Vec::new(),
                 abandoned: false,
+                spec_key: None,
             });
             job.pending.push(task);
             for node in nodes {
-                job.pending_by_node[node.0 as usize].push(task);
+                job.pending_by_node[node.0 as usize].push_back(task);
             }
         }
+        self.refresh_sched_index(id);
     }
 
     fn evaluate_job(&mut self, id: JobId) {
@@ -1359,15 +1528,50 @@ impl MrRuntime {
         if free_total == 0 {
             return;
         }
+        #[cfg(debug_assertions)]
+        if self.jobs.len() <= 512 {
+            self.debug_check_indexes();
+        }
+        // Pick which runnable jobs the scheduler sees. A `Complete` policy
+        // gets every runnable job (submission order, as before); prefix
+        // policies get the `free_total + slack` front of the matching
+        // index — O(prefix), independent of the total queued-job count.
+        let runnable_total = self.runnable_by_seq.len();
+        if runnable_total == 0 {
+            return;
+        }
+        let cap = free_total as usize + VIEW_JOB_SLACK;
+        let selected: Vec<u32> = match self.scheduler.view_policy() {
+            ViewPolicy::Complete => self.runnable_by_seq.iter().map(|&(_, i)| i).collect(),
+            ViewPolicy::SubmitOrder => self
+                .runnable_by_seq
+                .iter()
+                .take(cap)
+                .map(|&(_, i)| i)
+                .collect(),
+            ViewPolicy::ShareOrder => {
+                let mut v: Vec<u32> = self
+                    .runnable_by_share
+                    .iter()
+                    .take(cap)
+                    .map(|&(_, _, i)| i)
+                    .collect();
+                // Present the prefix in submission order — the order the
+                // full walk offered jobs in (schedulers re-sort anyway).
+                v.sort_unstable();
+                v
+            }
+        };
+        let complete = selected.len() == runnable_total;
         // The head window only needs enough tasks to fill every free slot;
         // the small margin keeps behaviour stable when lists race.
         let head_cap = free_total as usize + 8;
-        let mut sched_jobs = Vec::new();
+        let mut sched_jobs = Vec::with_capacity(selected.len());
         let namespace = &self.namespace;
-        for job in &mut self.jobs {
-            if job.phase != JobPhase::Map || job.pending.is_empty() {
-                continue;
-            }
+        let jobs = &mut self.jobs;
+        for &idx in &selected {
+            let job = &mut jobs[idx as usize];
+            debug_assert!(job.phase == JobPhase::Map && !job.pending.is_empty());
             let head: Vec<TaskId> = job.pending.iter().copied().take(head_cap).collect();
             let head_replica_less: Vec<bool> = head
                 .iter()
@@ -1383,11 +1587,27 @@ impl MrRuntime {
                 if free == 0 {
                     continue;
                 }
-                // Lazily drop dispatched tasks from this node's index, then
-                // expose enough local candidates to fill its slots.
+                // Pop dispatched tasks off the front of this node's index,
+                // then scan (skipping mid-list stale entries) just far
+                // enough to fill its slots.
                 let list = &mut job.pending_by_node[node_idx];
-                list.retain(|t| job.tasks[t.0 as usize].queued);
-                local_by_node[node_idx] = list.iter().copied().take(free as usize + 4).collect();
+                while let Some(&t) = list.front() {
+                    if job.tasks[t.0 as usize].queued {
+                        break;
+                    }
+                    list.pop_front();
+                }
+                let want = free as usize + 4;
+                let mut locals = Vec::with_capacity(want.min(list.len()));
+                for &t in list.iter() {
+                    if locals.len() == want {
+                        break;
+                    }
+                    if job.tasks[t.0 as usize].queued {
+                        locals.push(t);
+                    }
+                }
+                local_by_node[node_idx] = locals;
             }
             sched_jobs.push(SchedJob {
                 job: job.id,
@@ -1404,13 +1624,11 @@ impl MrRuntime {
                 },
             });
         }
-        if sched_jobs.is_empty() {
-            return;
-        }
         let view = SchedView {
             now: self.sim.now(),
             free_slots,
             jobs: sched_jobs,
+            complete,
         };
         let assignments = self.scheduler.assign(&view);
         #[cfg(debug_assertions)]
@@ -1500,6 +1718,7 @@ impl MrRuntime {
             job.running += 1;
             (aid, queue_wait, split_wait)
         };
+        self.refresh_sched_index(id);
         let sched = self.scheduler.name();
         if let Some(ms) = queue_wait {
             self.obs_record(id, |reg| reg.record_queue_wait(sched, ms));
@@ -1540,6 +1759,7 @@ impl MrRuntime {
                 stage: AttemptStage::Overhead(ev),
                 result: Some(handle),
             });
+        self.refresh_spec_candidate(id, task);
     }
 
     fn on_overhead_done(&mut self, id: JobId, task: TaskId, attempt: u32) {
@@ -1703,6 +1923,7 @@ impl MrRuntime {
             return;
         }
         let a = self.job_mut(id).tasks[task.0 as usize].running.remove(idx);
+        self.refresh_spec_candidate(id, task);
         self.nodes[a.node.0 as usize].free_slots += 1;
         self.metrics.slots_delta(now, -1.0);
         if self.job(id).phase == JobPhase::Done {
@@ -1729,6 +1950,8 @@ impl MrRuntime {
             job.map_ms_count += 1;
             entry.merged
         };
+        self.refresh_spec_candidate(id, task);
+        self.refresh_sched_index(id);
         if already_merged {
             // Node-loss re-execution: map output is a pure function of the
             // block, so the shuffle already holds byte-identical output.
@@ -1779,6 +2002,7 @@ impl MrRuntime {
     fn fail_map_attempt(&mut self, id: JobId, task: TaskId, idx: usize, max_attempts: u32) {
         let now = self.sim.now();
         let a = self.job_mut(id).tasks[task.0 as usize].running.remove(idx);
+        self.refresh_spec_candidate(id, task);
         self.nodes[a.node.0 as usize].free_slots += 1;
         self.metrics.slots_delta(now, -1.0);
         self.record(TraceKind::MapFailed {
@@ -1797,6 +2021,7 @@ impl MrRuntime {
             entry.failures += 1;
             entry.failures
         };
+        self.refresh_sched_index(id);
         if failures >= max_attempts {
             self.fail_job(id, JobError::TaskAttemptsExhausted { task });
             return;
@@ -1865,8 +2090,9 @@ impl MrRuntime {
         entry.enqueued_at = now;
         job.pending.push(task);
         for n in replica_nodes {
-            job.pending_by_node[n.0 as usize].push(task);
+            job.pending_by_node[n.0 as usize].push_back(task);
         }
+        self.refresh_sched_index(id);
     }
 
     /// Cancel a running attempt mid-stage (speculative-race loser or node
@@ -1905,6 +2131,8 @@ impl MrRuntime {
             node: a.node,
         });
         self.job_mut(id).running -= 1;
+        self.refresh_spec_candidate(id, task);
+        self.refresh_sched_index(id);
         // `a.result` drops here: the claim is abandoned, never joined.
     }
 
@@ -2036,30 +2264,29 @@ impl MrRuntime {
         }
         let now = self.sim.now();
         let mut launch = None;
-        for job in &self.jobs {
-            if job.phase != JobPhase::Map
-                || !job.pending.is_empty()
-                || job.banned_nodes[node as usize]
-                || job.map_ms_count < cfg.min_completed
-            {
+        // Only jobs that have drained their pending queue and still have a
+        // solo non-speculative attempt in flight are scanned — `spec_jobs`
+        // is maintained incrementally, so an idle heartbeat costs O(1)
+        // instead of a walk over every job's whole task table.
+        for &idx in &self.spec_jobs {
+            let job = &self.jobs[idx as usize];
+            debug_assert!(job.phase == JobPhase::Map && job.pending.is_empty());
+            if job.banned_nodes[node as usize] || job.map_ms_count < cfg.min_completed {
                 continue;
             }
             let mean = job.map_ms_sum as f64 / job.map_ms_count as f64;
+            // Membership in `spec_candidates` already guarantees exactly
+            // one non-speculative attempt; only the per-heartbeat "not on
+            // this node" filter remains.
             let candidates: Vec<SpecCandidate> = job
-                .tasks
+                .spec_candidates
                 .iter()
-                .enumerate()
-                .filter(|(_, t)| {
-                    !t.done
-                        && t.running.len() == 1
-                        && !t.running[0].speculative
-                        && t.running[0].node.0 != node
-                })
-                .map(|(i, t)| SpecCandidate {
-                    task: i as u32,
+                .filter(|&&(_, t)| job.tasks[t as usize].running[0].node.0 != node)
+                .map(|&(started, t)| SpecCandidate {
+                    task: t,
                     attempts_in_flight: 1,
                     speculative_in_flight: false,
-                    started: t.running[0].started,
+                    started,
                 })
                 .collect();
             if let Some(task) = pick_speculative(&candidates, now, mean, job.map_ms_count, &cfg) {
@@ -2116,6 +2343,10 @@ impl MrRuntime {
             job: id,
             failed: true,
         });
+        // Late attempts of a failed job keep their spec-index entries
+        // consistent through `kill_attempt`/`finish_map_task`; the job
+        // itself leaves every runnable index now.
+        self.refresh_sched_index(id);
         self.active_jobs -= 1;
         self.completed.push_back(id);
     }

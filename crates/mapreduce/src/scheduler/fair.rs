@@ -14,14 +14,14 @@
 //! overall throughput — the trend Figure 8 documents and our Figure 8
 //! regenerator reproduces.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use incmr_dfs::NodeId;
 use incmr_simkit::{SimDuration, SimTime};
 
 use crate::job::JobId;
 
-use super::{Assignment, SchedJob, SchedView, TaskScheduler};
+use super::{Assignment, Claims, SchedJob, SchedView, TaskScheduler, ViewPolicy};
 
 /// The Fair Scheduler.
 #[derive(Debug, Clone)]
@@ -60,20 +60,28 @@ impl TaskScheduler for FairScheduler {
         Some(1)
     }
 
+    fn view_policy(&self) -> ViewPolicy {
+        ViewPolicy::ShareOrder
+    }
+
     // The index is also used to mutate `free` mid-loop; an iterator would
     // fight the borrow checker for no clarity gain.
     #[allow(clippy::needless_range_loop)]
     fn assign(&mut self, view: &SchedView) -> Vec<Assignment> {
         // Drop wait clocks for jobs no longer contending (completed, or
         // momentarily without pending work) — otherwise the map grows with
-        // every job a long workload ever ran.
-        self.waiting_since
-            .retain(|j, _| view.jobs.iter().any(|sj| sj.job == *j));
+        // every job a long workload ever ran. Only a complete view can
+        // prove absence; a share-order prefix omits well-fed jobs that are
+        // still very much contending.
+        if view.complete {
+            self.waiting_since
+                .retain(|j, _| view.jobs.iter().any(|sj| sj.job == *j));
+        }
         let mut assignments = Vec::new();
         let mut free = view.free_slots.clone();
         let mut running: HashMap<JobId, u32> =
             view.jobs.iter().map(|j| (j.job, j.running)).collect();
-        let mut taken: HashSet<_> = HashSet::new();
+        let mut claims = Claims::new();
 
         // One pass over the nodes; each slot is offered to jobs in fairness
         // order. Wait clocks only mature between scheduling points, so a
@@ -86,7 +94,7 @@ impl TaskScheduler for FairScheduler {
                 let mut order: Vec<&SchedJob> = view
                     .jobs
                     .iter()
-                    .filter(|j| j.unclaimed(&taken) > 0)
+                    .filter(|j| j.unclaimed(&claims) > 0)
                     .collect();
                 if order.is_empty() {
                     return assignments;
@@ -103,11 +111,11 @@ impl TaskScheduler for FairScheduler {
                     // Local launch when possible; non-local only for
                     // replica-less head tasks or once the wait clock has
                     // exceeded the configured delay.
-                    let local = job.local_candidate(node, &taken);
+                    let local = job.local_candidate(node, &claims);
                     let task = match local {
                         Some(t) => Some(t),
                         None => {
-                            let head = job.head_candidate_flagged(&taken);
+                            let head = job.head_candidate_flagged(&claims);
                             let waited = self
                                 .waiting_since
                                 .get(&job.job)
@@ -120,7 +128,7 @@ impl TaskScheduler for FairScheduler {
                         }
                     };
                     if let Some(task) = task {
-                        taken.insert((job.job, task));
+                        claims.claim(job.job, task);
                         assignments.push(Assignment {
                             job: job.job,
                             task,
@@ -157,6 +165,7 @@ mod tests {
             now,
             free_slots: free,
             jobs,
+            complete: true,
         }
     }
 

@@ -7,11 +7,9 @@
 //! idle — which is why its locality is mediocre (the paper measured 57%)
 //! while its slot occupancy is high (44%).
 
-use std::collections::HashSet;
-
 use incmr_dfs::NodeId;
 
-use super::{Assignment, SchedView, TaskScheduler};
+use super::{Assignment, Claims, SchedView, TaskScheduler, ViewPolicy};
 
 /// The FIFO scheduler.
 #[derive(Debug, Clone, Copy, Default)]
@@ -29,13 +27,17 @@ impl TaskScheduler for FifoScheduler {
         "fifo"
     }
 
+    fn view_policy(&self) -> ViewPolicy {
+        ViewPolicy::SubmitOrder
+    }
+
     // The index is also used to mutate `free` mid-loop; an iterator would
     // fight the borrow checker for no clarity gain.
     #[allow(clippy::needless_range_loop)]
     fn assign(&mut self, view: &SchedView) -> Vec<Assignment> {
         let mut assignments = Vec::new();
         let mut free = view.free_slots.clone();
-        let mut taken: HashSet<_> = HashSet::new();
+        let mut claims = Claims::new();
         let mut order: Vec<usize> = (0..view.jobs.len()).collect();
         order.sort_by_key(|&i| view.jobs[i].submit_seq);
 
@@ -47,29 +49,29 @@ impl TaskScheduler for FifoScheduler {
                     continue;
                 }
                 let node = NodeId(node_idx as u16);
-                if order.iter().all(|&i| view.jobs[i].unclaimed(&taken) == 0) {
+                if order.iter().all(|&i| view.jobs[i].unclaimed(&claims) == 0) {
                     return assignments;
                 }
                 // Earliest job with unclaimed pending work that has not
                 // blacklisted this node (a banned job may still be served
                 // by other nodes, so only skip it here).
                 let Some(&job_idx) = order.iter().find(|&&i| {
-                    view.jobs[i].unclaimed(&taken) > 0 && !view.jobs[i].banned_on(node)
+                    view.jobs[i].unclaimed(&claims) > 0 && !view.jobs[i].banned_on(node)
                 }) else {
                     continue;
                 };
                 let job = &view.jobs[job_idx];
                 // Prefer a task local to this node; otherwise take the head.
                 let Some(task) = job
-                    .local_candidate(node, &taken)
-                    .or_else(|| job.head_candidate(&taken))
+                    .local_candidate(node, &claims)
+                    .or_else(|| job.head_candidate(&claims))
                 else {
                     // The view's capped indexes are exhausted for this job
                     // even though more tasks pend; stop this round — the
                     // next scheduling point sees a fresh view.
                     return assignments;
                 };
-                taken.insert((job.job, task));
+                claims.claim(job.job, task);
                 assignments.push(Assignment {
                     job: job.job,
                     task,
@@ -98,6 +100,7 @@ mod tests {
             now: SimTime::ZERO,
             free_slots: free,
             jobs,
+            complete: true,
         }
     }
 

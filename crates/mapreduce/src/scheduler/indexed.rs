@@ -1,0 +1,400 @@
+//! Indexed re-implementations of the FIFO and Fair dispatch rules.
+//!
+//! The linear schedulers re-derive their dispatch order from scratch at
+//! every decision: FIFO re-sorts jobs by submission sequence, Fair
+//! re-filters and re-sorts by `(running, submit_seq)` once per free slot.
+//! At the multi-tenant service's scale — thousands of queued dynamic jobs
+//! — that per-slot re-sort dominates heartbeat cost.
+//!
+//! The indexed variants keep the dispatch order in a `BTreeSet` run-queue
+//! instead:
+//!
+//! * [`IndexedFifoScheduler`] — keyed by `(submit_seq, view index)`; a job
+//!   leaves the queue the moment its last offered task is claimed.
+//! * [`IndexedFairScheduler`] — keyed by `(running, submit_seq, view
+//!   index)`, the fair-share deficit order; a launch re-keys the job in
+//!   O(log n) rather than re-sorting everything.
+//!
+//! Both are **assignment-for-assignment equivalent** to their linear
+//! counterparts on every view — pinned by the equivalence proptests in
+//! `scheduler::proptests`, with the linear implementations as oracle. They
+//! also report the same [`TaskScheduler::name`] (the policy is identical;
+//! only the data structure differs), so queue-wait histograms stay
+//! comparable across implementations.
+
+use std::collections::{BTreeSet, HashMap};
+
+use incmr_dfs::NodeId;
+use incmr_simkit::{SimDuration, SimTime};
+
+use crate::job::JobId;
+
+use super::{Assignment, Claims, SchedView, TaskScheduler, ViewPolicy};
+
+/// FIFO dispatch over an indexed run-queue.
+///
+/// Same policy as [`super::FifoScheduler`] — earliest-submitted job with
+/// unclaimed pending work wins each slot, local task preferred — but the
+/// "earliest with work" lookup is the head of a `BTreeSet` rather than a
+/// scan over every job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndexedFifoScheduler;
+
+impl IndexedFifoScheduler {
+    /// Create an indexed FIFO scheduler.
+    pub fn new() -> Self {
+        IndexedFifoScheduler
+    }
+}
+
+impl TaskScheduler for IndexedFifoScheduler {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn view_policy(&self) -> ViewPolicy {
+        ViewPolicy::SubmitOrder
+    }
+
+    // The index is also used to mutate `free` mid-loop; an iterator would
+    // fight the borrow checker for no clarity gain.
+    #[allow(clippy::needless_range_loop)]
+    fn assign(&mut self, view: &SchedView) -> Vec<Assignment> {
+        let mut assignments = Vec::new();
+        let mut free = view.free_slots.clone();
+        let mut claims = Claims::new();
+        // Jobs with unclaimed work, in (submit_seq, view index) order —
+        // the same order the linear scheduler's stable sort produces.
+        let mut live: BTreeSet<(u64, usize)> = view
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.pending_total > 0)
+            .map(|(i, j)| (j.submit_seq, i))
+            .collect();
+
+        // Round-robin the nodes so one node does not soak up a whole job.
+        loop {
+            let mut assigned_any = false;
+            for node_idx in 0..free.len() {
+                if free[node_idx] == 0 {
+                    continue;
+                }
+                let node = NodeId(node_idx as u16);
+                if live.is_empty() {
+                    return assignments;
+                }
+                // Earliest live job that has not blacklisted this node.
+                let Some(&(seq, job_idx)) =
+                    live.iter().find(|&&(_, i)| !view.jobs[i].banned_on(node))
+                else {
+                    continue;
+                };
+                let job = &view.jobs[job_idx];
+                let Some(task) = job
+                    .local_candidate(node, &claims)
+                    .or_else(|| job.head_candidate(&claims))
+                else {
+                    // Capped indexes exhausted for this job — stop the
+                    // round, exactly as the linear implementation does.
+                    return assignments;
+                };
+                claims.claim(job.job, task);
+                if job.unclaimed(&claims) == 0 {
+                    live.remove(&(seq, job_idx));
+                }
+                assignments.push(Assignment {
+                    job: job.job,
+                    task,
+                    node,
+                });
+                free[node_idx] -= 1;
+                assigned_any = true;
+            }
+            if !assigned_any {
+                return assignments;
+            }
+        }
+    }
+}
+
+/// Fair dispatch with delay scheduling over an indexed run-queue.
+///
+/// Same policy as [`super::FairScheduler`] — slots go to the most-starved
+/// job, non-local launches wait out the locality delay — but the fairness
+/// order lives in a `BTreeSet` keyed by `(running, submit_seq, view
+/// index)`: a launch removes and re-inserts one key instead of re-sorting
+/// the whole contender list per slot.
+#[derive(Debug, Clone)]
+pub struct IndexedFairScheduler {
+    locality_delay: SimDuration,
+    /// When each job first declined a non-local slot (cleared on any
+    /// launch).
+    waiting_since: HashMap<JobId, SimTime>,
+}
+
+impl IndexedFairScheduler {
+    /// An indexed fair scheduler that waits at most `locality_delay` for a
+    /// local slot before accepting a non-local one.
+    pub fn new(locality_delay: SimDuration) -> Self {
+        IndexedFairScheduler {
+            locality_delay,
+            waiting_since: HashMap::new(),
+        }
+    }
+
+    /// The paper-shaped configuration (15 s delay), matching
+    /// [`super::FairScheduler::paper_default`].
+    pub fn paper_default() -> Self {
+        IndexedFairScheduler::new(SimDuration::from_secs(15))
+    }
+}
+
+impl TaskScheduler for IndexedFairScheduler {
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+
+    fn maps_per_heartbeat(&self) -> Option<u32> {
+        // `mapred.fairscheduler.assignmultiple = false` in the 0.20 era.
+        Some(1)
+    }
+
+    fn view_policy(&self) -> ViewPolicy {
+        ViewPolicy::ShareOrder
+    }
+
+    // The index is also used to mutate `free` mid-loop; an iterator would
+    // fight the borrow checker for no clarity gain.
+    #[allow(clippy::needless_range_loop)]
+    fn assign(&mut self, view: &SchedView) -> Vec<Assignment> {
+        // Wait-clock GC needs proof of absence, which only a complete view
+        // gives (see `FairScheduler::assign`).
+        if view.complete {
+            self.waiting_since
+                .retain(|j, _| view.jobs.iter().any(|sj| sj.job == *j));
+        }
+        let mut assignments = Vec::new();
+        let mut free = view.free_slots.clone();
+        let mut running: Vec<u32> = view.jobs.iter().map(|j| j.running).collect();
+        let mut claims = Claims::new();
+        // The fairness run-queue: jobs with unclaimed work keyed by
+        // (running, submit_seq, view index) — identical order to the
+        // linear scheduler's per-slot stable sort.
+        let mut queue: BTreeSet<(u32, u64, usize)> = view
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.pending_total > 0)
+            .map(|(i, j)| (j.running, j.submit_seq, i))
+            .collect();
+
+        for node_idx in 0..free.len() {
+            while free[node_idx] > 0 {
+                if queue.is_empty() {
+                    return assignments;
+                }
+                let node = NodeId(node_idx as u16);
+                // Offer the slot in fairness order; remember the first
+                // launchable (key, task) pair, touching the wait clock of
+                // every decliner before it — exactly the linear walk.
+                let mut launch: Option<((u32, u64, usize), crate::job::TaskId)> = None;
+                for &(r, seq, i) in queue.iter() {
+                    let job = &view.jobs[i];
+                    // A blacklisted node is not a locality decline: skip
+                    // without touching the wait clock.
+                    if job.banned_on(node) {
+                        continue;
+                    }
+                    let local = job.local_candidate(node, &claims);
+                    let task = match local {
+                        Some(t) => Some(t),
+                        None => {
+                            let head = job.head_candidate_flagged(&claims);
+                            let waited = self
+                                .waiting_since
+                                .get(&job.job)
+                                .map(|&since| view.now - since >= self.locality_delay)
+                                .unwrap_or(false);
+                            match head {
+                                Some((t, replica_less)) if replica_less || waited => Some(t),
+                                _ => None,
+                            }
+                        }
+                    };
+                    if let Some(task) = task {
+                        launch = Some(((r, seq, i), task));
+                        break;
+                    }
+                    // Decline: start (or continue) the wait clock.
+                    self.waiting_since.entry(job.job).or_insert(view.now);
+                }
+                let Some(((r, seq, i), task)) = launch else {
+                    // Every job declined this node; try the next one.
+                    break;
+                };
+                let job = &view.jobs[i];
+                claims.claim(job.job, task);
+                assignments.push(Assignment {
+                    job: job.job,
+                    task,
+                    node,
+                });
+                free[node_idx] -= 1;
+                queue.remove(&(r, seq, i));
+                running[i] += 1;
+                if job.unclaimed(&claims) > 0 {
+                    queue.insert((running[i], seq, i));
+                }
+                self.waiting_since.remove(&job.job);
+            }
+        }
+        assignments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::{sched_job, validate};
+    use super::super::SchedView;
+    use super::*;
+    use crate::job::TaskId;
+
+    fn view(now: SimTime, free: Vec<u32>, jobs: Vec<super::super::SchedJob>) -> SchedView {
+        SchedView {
+            now,
+            free_slots: free,
+            jobs,
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn indexed_fifo_serves_earliest_job_first() {
+        let v = view(
+            SimTime::ZERO,
+            vec![1],
+            vec![
+                sched_job(1, 10, 0, &[(0, &[0])], 1),
+                sched_job(0, 5, 0, &[(0, &[0])], 1),
+            ],
+        );
+        let a = IndexedFifoScheduler::new().assign(&v);
+        validate(&v, &a);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].job, JobId(0), "lower submit_seq wins");
+    }
+
+    #[test]
+    fn indexed_fifo_prefers_local_tasks() {
+        let v = view(
+            SimTime::ZERO,
+            vec![0, 1],
+            vec![sched_job(0, 0, 0, &[(0, &[0]), (1, &[1])], 2)],
+        );
+        let a = IndexedFifoScheduler::new().assign(&v);
+        validate(&v, &a);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].task, TaskId(1));
+        assert_eq!(a[0].node, NodeId(1));
+    }
+
+    #[test]
+    fn indexed_fair_starved_job_wins() {
+        let v = view(
+            SimTime::ZERO,
+            vec![1],
+            vec![
+                sched_job(0, 0, 5, &[(0, &[0])], 1),
+                sched_job(1, 1, 0, &[(0, &[0])], 1),
+            ],
+        );
+        let a = IndexedFairScheduler::paper_default().assign(&v);
+        validate(&v, &a);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].job, JobId(1), "fewest running tasks wins the slot");
+    }
+
+    #[test]
+    fn indexed_fair_declines_then_accepts_after_delay() {
+        let mut s = IndexedFairScheduler::paper_default();
+        let v0 = view(
+            SimTime::ZERO,
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
+        assert!(s.assign(&v0).is_empty(), "first offer is declined");
+        let v1 = view(
+            SimTime::from_secs(16),
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
+        let a = s.assign(&v1);
+        validate(&v1, &a);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].node, NodeId(0), "non-local launch after the delay");
+    }
+
+    #[test]
+    fn indexed_fair_rekeys_launched_jobs() {
+        // Two jobs, four replica-less tasks each, four slots on one node:
+        // fair share must alternate 2/2, which requires the launched job
+        // to be re-keyed behind its rival after every launch.
+        let tasks: Vec<(u32, &[u16])> = (0..4).map(|i| (i, &[][..])).collect();
+        let v = view(
+            SimTime::ZERO,
+            vec![4],
+            vec![sched_job(0, 0, 0, &tasks, 1), sched_job(1, 1, 0, &tasks, 1)],
+        );
+        let a = IndexedFairScheduler::paper_default().assign(&v);
+        validate(&v, &a);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.iter().filter(|x| x.job == JobId(0)).count(), 2);
+        assert_eq!(a.iter().filter(|x| x.job == JobId(1)).count(), 2);
+    }
+
+    #[test]
+    fn incomplete_view_keeps_wait_clocks_alive() {
+        let mut s = IndexedFairScheduler::paper_default();
+        // Decline at t=0 starts job 0's wait clock.
+        let v0 = view(
+            SimTime::ZERO,
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
+        assert!(s.assign(&v0).is_empty());
+        // An incomplete prefix view that omits job 0 must NOT drop its
+        // clock...
+        let mut v1 = view(
+            SimTime::from_secs(5),
+            vec![0, 0],
+            vec![sched_job(7, 7, 0, &[(0, &[0])], 2)],
+        );
+        v1.complete = false;
+        let _ = s.assign(&v1);
+        // ...so at t=16 the matured clock still launches non-locally.
+        let v2 = view(
+            SimTime::from_secs(16),
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
+        let a = s.assign(&v2);
+        assert_eq!(a.len(), 1, "wait clock survived the incomplete view");
+    }
+
+    #[test]
+    fn complete_view_gcs_departed_jobs() {
+        let mut s = IndexedFairScheduler::paper_default();
+        let v0 = view(
+            SimTime::ZERO,
+            vec![1, 0],
+            vec![sched_job(0, 0, 0, &[(0, &[1])], 2)],
+        );
+        assert!(s.assign(&v0).is_empty());
+        assert_eq!(s.waiting_since.len(), 1);
+        // A complete view without job 0 proves it left; the clock is GCed.
+        let v1 = view(SimTime::from_secs(5), vec![0], vec![]);
+        let _ = s.assign(&v1);
+        assert!(s.waiting_since.is_empty(), "departed job's clock dropped");
+    }
+}

@@ -30,16 +30,80 @@
 
 pub mod fair;
 pub mod fifo;
+pub mod indexed;
 #[cfg(test)]
 mod proptests;
 
 pub use fair::FairScheduler;
 pub use fifo::FifoScheduler;
+pub use indexed::{IndexedFairScheduler, IndexedFifoScheduler};
+
+use std::collections::{HashMap, HashSet};
 
 use incmr_dfs::NodeId;
 use incmr_simkit::SimTime;
 
 use crate::job::{JobId, TaskId};
+
+/// Tasks claimed so far within one scheduling point, with a per-job count
+/// so [`SchedJob::unclaimed`] is O(1) instead of a scan over every claim.
+///
+/// At 10k queued jobs the old `HashSet<(JobId, TaskId)>`-only bookkeeping
+/// made `unclaimed` — called once per job per free slot — an O(claims)
+/// filter, which dominated dispatch cost. `Claims` keeps the same
+/// membership set plus a per-job counter, both updated in O(1).
+#[derive(Debug, Clone, Default)]
+pub struct Claims {
+    taken: HashSet<(JobId, TaskId)>,
+    per_job: HashMap<JobId, u32>,
+}
+
+impl Claims {
+    /// An empty claim set.
+    pub fn new() -> Self {
+        Claims::default()
+    }
+
+    /// Claim `task` of `job`. Returns `false` (and changes nothing) if it
+    /// was already claimed.
+    pub fn claim(&mut self, job: JobId, task: TaskId) -> bool {
+        let fresh = self.taken.insert((job, task));
+        if fresh {
+            *self.per_job.entry(job).or_insert(0) += 1;
+        }
+        fresh
+    }
+
+    /// Whether `task` of `job` has been claimed this round.
+    pub fn contains(&self, job: JobId, task: TaskId) -> bool {
+        self.taken.contains(&(job, task))
+    }
+
+    /// How many tasks of `job` have been claimed this round (O(1)).
+    pub fn claimed(&self, job: JobId) -> u32 {
+        self.per_job.get(&job).copied().unwrap_or(0)
+    }
+}
+
+/// What subset of runnable jobs a scheduler needs in its [`SchedView`].
+///
+/// The runtime keeps every runnable job in ordered indexes; at a
+/// scheduling point it materialises only a *prefix* of the matching order
+/// — enough jobs to fill every free slot plus slack for bans — instead of
+/// the whole queue. Which order the prefix is cut from depends on the
+/// scheduler's dispatch rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewPolicy {
+    /// Offer every runnable job (custom or test schedulers; no prefix
+    /// optimisation).
+    Complete,
+    /// A prefix in submission order (FIFO-family: only the oldest jobs
+    /// with pending work can win a slot).
+    SubmitOrder,
+    /// A prefix in (running tasks, submission order) — fair-share order:
+    /// only the most-starved jobs can win a slot.
+    ShareOrder,
+}
 
 /// Scheduler-visible state of one job.
 #[derive(Debug, Clone)]
@@ -74,45 +138,36 @@ impl SchedJob {
             .unwrap_or(false)
     }
 
-    /// A pending task local to `node`, excluding those in `taken`.
-    pub fn local_candidate(
-        &self,
-        node: NodeId,
-        taken: &std::collections::HashSet<(JobId, TaskId)>,
-    ) -> Option<TaskId> {
+    /// A pending task local to `node`, excluding those already claimed.
+    /// Allocation-free: a bounded walk over the capped per-node index with
+    /// O(1) membership checks.
+    pub fn local_candidate(&self, node: NodeId, claims: &Claims) -> Option<TaskId> {
         self.local_by_node
             .get(node.0 as usize)?
             .iter()
             .copied()
-            .find(|t| !taken.contains(&(self.job, *t)))
+            .find(|t| !claims.contains(self.job, *t))
     }
 
-    /// The first head task not yet taken this round, with its
+    /// The first head task not yet claimed this round, with its
     /// replica-less flag.
-    pub fn head_candidate_flagged(
-        &self,
-        taken: &std::collections::HashSet<(JobId, TaskId)>,
-    ) -> Option<(TaskId, bool)> {
+    pub fn head_candidate_flagged(&self, claims: &Claims) -> Option<(TaskId, bool)> {
         self.head
             .iter()
             .zip(&self.head_replica_less)
-            .find(|(t, _)| !taken.contains(&(self.job, **t)))
+            .find(|(t, _)| !claims.contains(self.job, **t))
             .map(|(t, r)| (*t, *r))
     }
 
-    /// The first head task not yet taken this round.
-    pub fn head_candidate(
-        &self,
-        taken: &std::collections::HashSet<(JobId, TaskId)>,
-    ) -> Option<TaskId> {
-        self.head_candidate_flagged(taken).map(|(t, _)| t)
+    /// The first head task not yet claimed this round.
+    pub fn head_candidate(&self, claims: &Claims) -> Option<TaskId> {
+        self.head_candidate_flagged(claims).map(|(t, _)| t)
     }
 
-    /// Pending tasks not yet claimed this round (upper bound: claimed tasks
-    /// of this job reduce it).
-    pub fn unclaimed(&self, taken: &std::collections::HashSet<(JobId, TaskId)>) -> u32 {
-        let claimed = taken.iter().filter(|(j, _)| *j == self.job).count() as u32;
-        self.pending_total.saturating_sub(claimed)
+    /// Pending tasks not yet claimed this round. O(1): the per-job claim
+    /// counter replaces the old scan over every claim of every job.
+    pub fn unclaimed(&self, claims: &Claims) -> u32 {
+        self.pending_total.saturating_sub(claims.claimed(self.job))
     }
 }
 
@@ -125,6 +180,11 @@ pub struct SchedView {
     pub free_slots: Vec<u32>,
     /// Jobs with pending work, in submission order.
     pub jobs: Vec<SchedJob>,
+    /// Whether `jobs` holds **every** runnable job, or only the prefix the
+    /// scheduler's [`ViewPolicy`] asked for. Stateful schedulers must not
+    /// garbage-collect per-job state (e.g. delay-scheduling wait clocks)
+    /// based on absence from an incomplete view.
+    pub complete: bool,
 }
 
 impl SchedView {
@@ -162,12 +222,19 @@ pub trait TaskScheduler {
     fn maps_per_heartbeat(&self) -> Option<u32> {
         None
     }
+    /// Which subset of runnable jobs this scheduler needs offered in its
+    /// view. The default — every runnable job — is always correct; the
+    /// built-in schedulers declare the order their dispatch rule consumes
+    /// so the runtime can hand them an O(free slots) prefix instead of the
+    /// whole queue.
+    fn view_policy(&self) -> ViewPolicy {
+        ViewPolicy::Complete
+    }
 }
 
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
-    use std::collections::HashSet;
 
     /// Build a `SchedJob` from `(task, local_nodes)` pairs, computing the
     /// head and per-node indexes the way the runtime does.
@@ -233,26 +300,39 @@ pub(crate) mod testutil {
 mod tests {
     use super::testutil::sched_job;
     use super::*;
-    use std::collections::HashSet;
 
     #[test]
-    fn candidates_respect_taken_set() {
+    fn candidates_respect_claims() {
         let j = sched_job(0, 0, 0, &[(1, &[2]), (2, &[2])], 4);
-        let mut taken = HashSet::new();
-        assert_eq!(j.local_candidate(NodeId(2), &taken), Some(TaskId(1)));
-        taken.insert((JobId(0), TaskId(1)));
-        assert_eq!(j.local_candidate(NodeId(2), &taken), Some(TaskId(2)));
-        assert_eq!(j.head_candidate(&taken), Some(TaskId(2)));
-        assert_eq!(j.unclaimed(&taken), 1);
-        taken.insert((JobId(0), TaskId(2)));
-        assert_eq!(j.local_candidate(NodeId(2), &taken), None);
-        assert_eq!(j.unclaimed(&taken), 0);
+        let mut claims = Claims::new();
+        assert_eq!(j.local_candidate(NodeId(2), &claims), Some(TaskId(1)));
+        assert!(claims.claim(JobId(0), TaskId(1)));
+        assert!(!claims.claim(JobId(0), TaskId(1)), "double claim rejected");
+        assert_eq!(j.local_candidate(NodeId(2), &claims), Some(TaskId(2)));
+        assert_eq!(j.head_candidate(&claims), Some(TaskId(2)));
+        assert_eq!(j.unclaimed(&claims), 1);
+        claims.claim(JobId(0), TaskId(2));
+        assert_eq!(j.local_candidate(NodeId(2), &claims), None);
+        assert_eq!(j.unclaimed(&claims), 0);
+    }
+
+    #[test]
+    fn claims_count_per_job() {
+        let mut claims = Claims::new();
+        claims.claim(JobId(3), TaskId(0));
+        claims.claim(JobId(3), TaskId(1));
+        claims.claim(JobId(4), TaskId(0));
+        assert_eq!(claims.claimed(JobId(3)), 2);
+        assert_eq!(claims.claimed(JobId(4)), 1);
+        assert_eq!(claims.claimed(JobId(5)), 0);
+        assert!(claims.contains(JobId(3), TaskId(1)));
+        assert!(!claims.contains(JobId(4), TaskId(1)));
     }
 
     #[test]
     fn local_candidate_out_of_range_node_is_none() {
         let j = sched_job(0, 0, 0, &[(1, &[0])], 2);
-        assert_eq!(j.local_candidate(NodeId(7), &HashSet::new()), None);
+        assert_eq!(j.local_candidate(NodeId(7), &Claims::new()), None);
     }
 
     #[test]
@@ -271,6 +351,7 @@ mod tests {
             now: SimTime::ZERO,
             free_slots: vec![2, 0, 3],
             jobs: vec![],
+            complete: true,
         };
         assert_eq!(v.total_free(), 5);
     }

@@ -210,6 +210,31 @@ pub enum TraceKind {
         /// The configured sample size `k`.
         requested: u64,
     },
+    /// A query service admitted a tenant's query to the cluster (recorded
+    /// by the front end via [`crate::MrRuntime::record_event`]).
+    QueryAdmitted {
+        /// The tenant that submitted the query.
+        tenant: u32,
+        /// The job it became.
+        job: JobId,
+    },
+    /// Admission control rejected a tenant's query: its per-tenant queue
+    /// was already at its depth cap.
+    QueryRejected {
+        /// The tenant whose query bounced.
+        tenant: u32,
+        /// Queue depth observed at rejection (the cap).
+        queued: u32,
+    },
+    /// A tenant's query was accepted but parked in its queue — the tenant
+    /// is at its in-flight quota (or the service at its global cap) and
+    /// must wait for the weighted-fair release.
+    QuotaDeferred {
+        /// The tenant whose query waits.
+        tenant: u32,
+        /// Queue depth after parking this query.
+        depth: u32,
+    },
 }
 
 impl TraceKind {
@@ -236,8 +261,12 @@ impl TraceKind {
             | TraceKind::DuplicateInputDropped { job, .. }
             | TraceKind::JobWedged { job, .. }
             | TraceKind::DeadlineExceeded { job, .. }
-            | TraceKind::PartialSample { job, .. } => Some(*job),
-            TraceKind::NodeLost { .. } | TraceKind::NodeRejoined { .. } => None,
+            | TraceKind::PartialSample { job, .. }
+            | TraceKind::QueryAdmitted { job, .. } => Some(*job),
+            TraceKind::NodeLost { .. }
+            | TraceKind::NodeRejoined { .. }
+            | TraceKind::QueryRejected { .. }
+            | TraceKind::QuotaDeferred { .. } => None,
         }
     }
 }
@@ -341,6 +370,15 @@ impl fmt::Display for TraceEvent {
                 requested,
             } => {
                 write!(f, "{job} partial sample {found}/{requested}")
+            }
+            TraceKind::QueryAdmitted { tenant, job } => {
+                write!(f, "tenant{tenant} admitted -> {job}")
+            }
+            TraceKind::QueryRejected { tenant, queued } => {
+                write!(f, "tenant{tenant} REJECTED (queue at {queued})")
+            }
+            TraceKind::QuotaDeferred { tenant, depth } => {
+                write!(f, "tenant{tenant} deferred (queue depth {depth})")
             }
         }
     }

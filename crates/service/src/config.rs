@@ -1,0 +1,83 @@
+//! Service-level configuration, identities, and typed errors.
+
+use std::fmt;
+
+use incmr_hiveql::SessionError;
+
+/// A registered tenant, by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u16);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// A submitted statement: redeem it for a
+/// [`QueryResult`](incmr_hiveql::QueryResult) once complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ticket {
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// Service-wide submission sequence number.
+    pub seq: u64,
+}
+
+/// Service-wide admission knobs (per-tenant knobs live on each
+/// [`TenantProfile`](incmr_hiveql::TenantProfile)).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Jobs the service will keep running on the cluster at once,
+    /// across all tenants.
+    pub max_in_flight_jobs: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_in_flight_jobs: 64,
+        }
+    }
+}
+
+/// Typed submission failures.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The tenant id was never registered.
+    UnknownTenant(TenantId),
+    /// Admission control refused the statement: the tenant's queue is at
+    /// its depth cap.
+    Rejected {
+        /// Who was refused.
+        tenant: TenantId,
+        /// Statements already waiting.
+        queued: u32,
+        /// The tenant's configured cap.
+        cap: u32,
+    },
+    /// The statement failed to parse or compile.
+    Session(SessionError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownTenant(t) => write!(f, "unknown tenant: {t}"),
+            ServiceError::Rejected {
+                tenant,
+                queued,
+                cap,
+            } => write!(f, "{tenant} rejected: queue at depth cap ({queued}/{cap})"),
+            ServiceError::Session(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<SessionError> for ServiceError {
+    fn from(e: SessionError) -> Self {
+        ServiceError::Session(e)
+    }
+}

@@ -14,8 +14,10 @@
 //! throughput is completed jobs per hour within the window, reported per
 //! class (Sampling / Non-Sampling) alongside the cluster resource metrics.
 
+pub mod open_loop;
 pub mod runner;
 pub mod spec;
 
+pub use open_loop::{run_open_loop, OpenLoopClass, OpenLoopReport, OpenLoopSpec, TenantReport};
 pub use runner::{run_workload, WorkloadReport};
 pub use spec::{UserClass, UserSpec, WorkloadSpec};

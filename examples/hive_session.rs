@@ -60,15 +60,17 @@ fn main() {
         &mut EvenRoundRobin::new(),
         &mut rng,
     ));
-    let mut catalog = Catalog::new();
-    catalog.register("lineitem", dataset);
     let rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
         ns,
         Box::new(FifoScheduler::new()),
     );
-    let mut session = Session::new(rt, catalog).with_full_scan();
+    let mut session = Session::builder()
+        .runtime(rt)
+        .table("lineitem", dataset)
+        .scan_mode(ScanMode::Full)
+        .build();
 
     // Inspect the plan first, then pick a policy, then sample.
     show(

@@ -136,10 +136,11 @@ fn main() {
         ns,
         Box::new(FifoScheduler::new()),
     );
-    let mut session = Session::new(rt, catalog);
+    let mut builder = Session::builder().runtime(rt).catalog(catalog);
     if opts.full_scan {
-        session = session.with_full_scan();
+        builder = builder.scan_mode(ScanMode::Full);
     }
+    let mut session = builder.try_build().expect("valid session configuration");
 
     if !opts.statements.is_empty() {
         let mut ok = true;

@@ -59,6 +59,7 @@ pub use incmr_dfs as dfs;
 pub use incmr_experiments as experiments;
 pub use incmr_hiveql as hiveql;
 pub use incmr_mapreduce as mapreduce;
+pub use incmr_service as service;
 pub use incmr_simkit as simkit;
 pub use incmr_workload as workload;
 
@@ -71,13 +72,19 @@ pub mod prelude {
     };
     pub use incmr_data::{Dataset, DatasetSpec, Predicate, Record, SkewLevel, Value};
     pub use incmr_dfs::{BlockId, ClusterTopology, EvenRoundRobin, Namespace, NodeId};
-    pub use incmr_hiveql::{Catalog, QueryOutput, Session};
+    pub use incmr_hiveql::{
+        Catalog, QueryHandle, QueryOutput, QueryResult, Session, SessionBuilder, SessionState,
+        Submitted, TenantProfile,
+    };
     pub use incmr_mapreduce::{
         audited_splits_added, encode_trace, parse_trace, render_audit, render_swimlanes,
         AuditDirective, AuditRecord, ClusterConfig, ClusterStatus, Combiner, CostModel,
         EvalContext, FairScheduler, FifoScheduler, JobConf, JobError, JobId, JobResult, JobSpec,
         JsonlSink, Key, MemorySink, MetricsRegistry, MrRuntime, Parallelism, ProviderError,
         ScanMode, TraceEvent, TraceKind, TraceSink,
+    };
+    pub use incmr_service::{
+        QueryService, ServiceConfig, ServiceError, ServiceReply, TenantId, Ticket,
     };
     pub use incmr_simkit::rng::DetRng;
     pub use incmr_simkit::{SimDuration, SimTime};

@@ -16,20 +16,17 @@ fn make_session(partitions: u32, records: u64, skew: SkewLevel, full_scan: bool)
         &mut EvenRoundRobin::new(),
         &mut rng,
     ));
-    let mut catalog = Catalog::new();
-    catalog.register("lineitem", ds);
     let rt = MrRuntime::new(
         ClusterConfig::paper_single_user(),
         CostModel::paper_default(),
         ns,
         Box::new(FifoScheduler::new()),
     );
-    let s = Session::new(rt, catalog);
+    let mut builder = Session::builder().runtime(rt).table("lineitem", ds);
     if full_scan {
-        s.with_full_scan()
-    } else {
-        s
+        builder = builder.scan_mode(ScanMode::Full);
     }
+    builder.try_build().unwrap()
 }
 
 #[test]

@@ -17,7 +17,7 @@ use incmr::simkit::stats::LogHistogram;
 
 /// Keep in sync with [`kind_index`]'s exhaustive match (which is what
 /// actually enforces the count at build time).
-const NUM_KINDS: usize = 22;
+const NUM_KINDS: usize = 25;
 
 /// Generator-side build guard: exhaustive, no wildcard. A new `TraceKind`
 /// variant fails compilation here until [`kind_from`] can produce it.
@@ -45,6 +45,9 @@ fn kind_index(kind: &TraceKind) -> usize {
         TraceKind::JobWedged { .. } => 19,
         TraceKind::DeadlineExceeded { .. } => 20,
         TraceKind::PartialSample { .. } => 21,
+        TraceKind::QueryAdmitted { .. } => 22,
+        TraceKind::QueryRejected { .. } => 23,
+        TraceKind::QuotaDeferred { .. } => 24,
     }
 }
 
@@ -124,6 +127,18 @@ fn kind_from(which: usize, a: u64, b: u64, c: u64, d: u64) -> TraceKind {
             job,
             found: c,
             requested: d,
+        },
+        22 => TraceKind::QueryAdmitted {
+            tenant: b as u32,
+            job,
+        },
+        23 => TraceKind::QueryRejected {
+            tenant: b as u32,
+            queued: c as u32,
+        },
+        24 => TraceKind::QuotaDeferred {
+            tenant: b as u32,
+            depth: c as u32,
         },
         _ => unreachable!(),
     }
