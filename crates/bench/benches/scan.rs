@@ -1,13 +1,23 @@
 //! Data-plane scan micro-benchmark: how fast the host computes a batch of
-//! `ScanMode::Full` map tasks at different worker-pool sizes.
+//! scan map tasks at different worker-pool sizes, on both record paths.
+//!
+//! Two variants of the same 40 × 20k workload:
+//!
+//! * `scan/full_batch_40x20k` — `ScanMode::Full`, the columnar path: each
+//!   split is a shared `Arc<RecordBatch>` (generated once, cached by the
+//!   input format) and the mapper runs the vectorised `eval_batch` kernel
+//!   over the column vectors.
+//! * `scan/full_rows_40x20k` — `ScanMode::FullRows`, the legacy reference
+//!   path: every read materialises `Vec<Record>` and the predicate is
+//!   evaluated record by record.
 //!
 //! This measures the *host* wall clock of the two-plane split (see
 //! `incmr-mapreduce::parallel`): simulated results are identical at every
-//! thread count, so the only thing parallelism can buy is wall time — and
-//! heavy full-materialisation scans are where it shows. Results are written
-//! to `BENCH_scan.json` (name, mean_ns, iterations) so speedups can be
-//! compared across machines; no speedup is asserted here because the ratio
-//! is a property of the host's core count, not of the code.
+//! thread count, so the only thing parallelism can buy is wall time.
+//! Results are written to `BENCH_scan.json` (name, mean_ns, iterations)
+//! so speedups can be compared across machines; records/sec per variant
+//! is printed for quick reading. No speedup is asserted here because the
+//! ratio is a property of the host's core count, not of the code.
 
 use std::sync::Arc;
 
@@ -22,27 +32,35 @@ use incmr_mapreduce::{
 use incmr_simkit::rng::DetRng;
 
 /// The paper's scan-side map logic in miniature: evaluate the planted
-/// predicate over every materialised record.
+/// predicate over every record — vectorised when the split arrives
+/// columnar, record-at-a-time on the row reference path.
 struct PredicateCountMapper {
     predicate: incmr_data::Predicate,
 }
 
 impl Mapper for PredicateCountMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
-        let SplitData::Records(records) = data else {
-            panic!("scan bench uses ScanMode::Full");
+    fn run(&self, data: SplitData) -> MapResult {
+        let (records_read, matches) = match data {
+            SplitData::Batch(batch) => (
+                batch.len() as u64,
+                self.predicate.eval_batch(&batch).len() as u64,
+            ),
+            SplitData::Records(records) => (
+                records.len() as u64,
+                records.iter().filter(|r| self.predicate.eval(r)).count() as u64,
+            ),
+            other => panic!("scan bench uses full modes, got {other:?}"),
         };
-        let matches = records.iter().filter(|r| self.predicate.eval(r)).count() as u64;
         MapResult {
-            pairs: Vec::new(),
-            records_read: records.len() as u64,
+            records_read,
             unmaterialized_outputs: matches,
             unmaterialized_bytes: matches * 24,
+            ..MapResult::default()
         }
     }
 }
 
-fn scan_units(partitions: u32, records: u64) -> Vec<MapUnit> {
+fn scan_units(partitions: u32, records: u64, mode: ScanMode) -> Vec<MapUnit> {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(42);
     let spec = DatasetSpec::small("scanbench", partitions, records, SkewLevel::Moderate, 42);
@@ -53,8 +71,7 @@ fn scan_units(partitions: u32, records: u64) -> Vec<MapUnit> {
         &mut rng,
     ));
     let predicate = ds.factory().predicate();
-    let input: Arc<dyn InputFormat> =
-        Arc::new(DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full));
+    let input: Arc<dyn InputFormat> = Arc::new(DatasetInputFormat::new(Arc::clone(&ds), mode));
     let mapper: Arc<dyn Mapper> = Arc::new(PredicateCountMapper { predicate });
     ds.splits()
         .iter()
@@ -68,13 +85,13 @@ fn scan_units(partitions: u32, records: u64) -> Vec<MapUnit> {
         .collect()
 }
 
-fn bench_scan_batch(c: &mut Criterion) {
+fn bench_scan_wave(c: &mut Criterion, group: &str, mode: ScanMode) {
     // 40 splits × 20k records: one full scheduling wave on the paper's
     // 40-slot cluster, heavy enough for per-batch thread dispatch to be
-    // noise (each unit materialises and filters 20k records).
-    let units = scan_units(40, 20_000);
+    // noise.
+    let units = scan_units(40, 20_000, mode);
     let records_total: u64 = 40 * 20_000;
-    let mut g = c.benchmark_group("scan/full_batch_40x20k");
+    let mut g = c.benchmark_group(group);
     g.throughput(Throughput::Elements(records_total));
     for threads in [1u32, 2, 4, 8] {
         let mut executor = ParallelExecutor::new(Parallelism::threads(threads));
@@ -87,11 +104,17 @@ fn bench_scan_batch(c: &mut Criterion) {
 
 fn main() {
     let mut c = Criterion::default().configure_from_args();
-    bench_scan_batch(&mut c);
+    bench_scan_wave(&mut c, "scan/full_batch_40x20k", ScanMode::Full);
+    bench_scan_wave(&mut c, "scan/full_rows_40x20k", ScanMode::FullRows);
     let host_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!("host parallelism: {host_threads} (speedup is bounded by this)");
+    let records_total = 40u64 * 20_000;
+    for r in c.results() {
+        let recs_per_sec = records_total as f64 / (r.mean_ns / 1e9);
+        println!("{:<56} {:>12.0} records/sec", r.name, recs_per_sec);
+    }
     // Cargo runs benches from the package dir; anchor the report at the
     // workspace root where tooling expects it.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scan.json");

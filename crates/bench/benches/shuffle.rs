@@ -40,20 +40,25 @@ struct FanOutMapper {
 }
 
 impl Mapper for FanOutMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
-        let SplitData::Records(records) = data else {
-            panic!("shuffle bench uses ScanMode::Full");
+    fn run(&self, data: SplitData) -> MapResult {
+        let (SplitData::Records(records)
+        | SplitData::Planted {
+            matches: records, ..
+        }) = data.into_rows()
+        else {
+            unreachable!()
         };
         let keys: Vec<Key> = (0..self.distinct_keys)
             .map(|i| Key::from(format!("k{i}")))
             .collect();
+        let records_read = records.len() as u64;
         MapResult {
             pairs: records
-                .iter()
+                .into_iter()
                 .enumerate()
-                .map(|(i, r)| (Key::clone(&keys[i % keys.len()]), r.clone()))
+                .map(|(i, r)| (Key::clone(&keys[i % keys.len()]), r))
                 .collect(),
-            records_read: records.len() as u64,
+            records_read,
             ..MapResult::default()
         }
     }

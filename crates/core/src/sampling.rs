@@ -12,8 +12,8 @@
 //!   results" variant is [`SampleMode::RandomK`], implemented as a
 //!   reservoir sample.
 
-use incmr_data::{Predicate, Record};
-use incmr_mapreduce::{Combiner, Key, MapResult, Mapper, Reducer, SplitData};
+use incmr_data::{BatchSelection, Predicate, Record, RecordBatch};
+use incmr_mapreduce::{Combiner, Key, KeyedBatch, MapResult, Mapper, Reducer, SplitData};
 use incmr_simkit::rng::DetRng;
 use rand::Rng;
 
@@ -38,7 +38,7 @@ pub enum SampleMode {
 pub struct SamplingMapper {
     predicate: Predicate,
     k: u64,
-    projection: Vec<usize>,
+    projection: std::sync::Arc<[usize]>,
     dummy: Key,
 }
 
@@ -57,7 +57,7 @@ impl SamplingMapper {
         SamplingMapper {
             predicate,
             k,
-            projection,
+            projection: projection.into(),
             dummy: Key::from(DUMMY_KEY),
         }
     }
@@ -67,35 +67,76 @@ impl SamplingMapper {
         &self.predicate
     }
 
-    fn emit(&self, r: &Record) -> (Key, Record) {
+    fn emit(&self, r: Record) -> (Key, Record) {
         let value = if self.projection.is_empty() {
-            r.clone()
+            r
         } else {
             r.project(&self.projection)
         };
         (Key::clone(&self.dummy), value)
     }
+
+    /// Wrap a capped selection over `batch` into the single keyed batch
+    /// this mapper emits — zero row materialisation.
+    fn emit_batch(&self, batch: std::sync::Arc<RecordBatch>, mut sel: Vec<u32>) -> MapResult {
+        let records_read = batch.len() as u64;
+        sel.truncate(self.k as usize);
+        MapResult {
+            batches: vec![KeyedBatch {
+                key: Key::clone(&self.dummy),
+                rows: BatchSelection::new(batch, sel, std::sync::Arc::clone(&self.projection)),
+            }],
+            records_read,
+            ..MapResult::default()
+        }
+    }
 }
 
 impl Mapper for SamplingMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
+    fn run(&self, data: SplitData) -> MapResult {
         match data {
-            // Full mode: the real Algorithm 1 loop — scan everything,
-            // evaluate the predicate, emit while found < k.
+            // Full batch mode: the real Algorithm 1 loop, vectorised —
+            // one branch-free predicate pass fills the selection vector,
+            // then the per-task cap truncates it. The emitted payload is
+            // an `Arc` bump plus the selection indices; no `Record` is
+            // built until the reduce boundary.
+            SplitData::Batch(batch) => {
+                let sel = self.predicate.eval_batch(&batch);
+                self.emit_batch(batch, sel)
+            }
+            // Planted batch mode: every row matches by construction, so
+            // the selection is the identity prefix of length min(k, n).
+            SplitData::PlantedBatch {
+                total_records,
+                matches,
+            } => {
+                debug_assert_eq!(
+                    self.predicate.eval_batch(&matches).len(),
+                    matches.len(),
+                    "planted contract violated"
+                );
+                let keep = (self.k as usize).min(matches.len());
+                let mut out = self.emit_batch(matches, (0..keep as u32).collect());
+                out.records_read = total_records;
+                out
+            }
+            // Row reference path: scan everything, evaluate the predicate
+            // scalar, emit while found < k. Records are moved, not cloned.
             SplitData::Records(records) => {
+                let records_read = records.len() as u64;
                 let mut pairs = Vec::new();
                 for record in records {
-                    if (pairs.len() as u64) < self.k && self.predicate.eval(record) {
+                    if (pairs.len() as u64) < self.k && self.predicate.eval(&record) {
                         pairs.push(self.emit(record));
                     }
                 }
                 MapResult {
                     pairs,
-                    records_read: records.len() as u64,
+                    records_read,
                     ..MapResult::default()
                 }
             }
-            // Planted mode: `matches` are by construction exactly the
+            // Planted rows: `matches` are by construction exactly the
             // records the predicate accepts, in scan order; the cap and the
             // counters behave identically. Overflow beyond k is accounted
             // (it would be shuffled in Hadoop) but not materialised.
@@ -108,10 +149,14 @@ impl Mapper for SamplingMapper {
                     "planted contract violated"
                 );
                 let keep = (self.k as usize).min(matches.len());
-                let pairs = matches[..keep].iter().map(|r| self.emit(r)).collect();
+                let pairs = matches
+                    .into_iter()
+                    .take(keep)
+                    .map(|r| self.emit(r))
+                    .collect();
                 MapResult {
                     pairs,
-                    records_read: *total_records,
+                    records_read: total_records,
                     ..MapResult::default()
                 }
             }
@@ -186,6 +231,22 @@ impl Combiner for SampleCombiner {
         pairs.truncate(self.k as usize);
         pairs
     }
+
+    /// LIMIT push-down stays columnar: truncating a selection vector is
+    /// the whole combine, so batches never need materialising.
+    fn combine_batches(
+        &self,
+        mut batches: Vec<KeyedBatch>,
+    ) -> Result<Vec<KeyedBatch>, Vec<KeyedBatch>> {
+        let mut budget = self.k as usize;
+        batches.retain_mut(|b| {
+            let take = budget.min(b.rows.len());
+            b.rows.truncate(take);
+            budget -= take;
+            take > 0
+        });
+        Ok(batches)
+    }
 }
 
 #[cfg(test)]
@@ -219,10 +280,36 @@ mod tests {
         }
     }
 
+    fn batch_split(records: u64, matching: u64, seed: u64) -> SplitData {
+        let f = factory();
+        SplitData::Batch(std::sync::Arc::new(
+            SplitGenerator::new(&f, SplitSpec::new(records, matching, seed)).full_batch(),
+        ))
+    }
+
+    fn planted_batch_split(records: u64, matching: u64, seed: u64) -> SplitData {
+        let f = factory();
+        SplitData::PlantedBatch {
+            total_records: records,
+            matches: std::sync::Arc::new(
+                SplitGenerator::new(&f, SplitSpec::new(records, matching, seed)).planted_batch(),
+            ),
+        }
+    }
+
+    /// Flatten a MapResult (pairs then batch rows) into concrete pairs.
+    fn all_pairs(out: &MapResult) -> Vec<(Key, Record)> {
+        let mut pairs = out.pairs.clone();
+        for b in &out.batches {
+            pairs.extend(b.rows.iter_records().map(|r| (Key::clone(&b.key), r)));
+        }
+        pairs
+    }
+
     #[test]
     fn full_mode_emits_matches_under_dummy_key() {
         let m = SamplingMapper::new(factory().predicate(), 100);
-        let out = m.run(&full_split(1_000, 17, 3));
+        let out = m.run(full_split(1_000, 17, 3));
         assert_eq!(out.pairs.len(), 17);
         assert_eq!(out.records_read, 1_000, "Algorithm 1 scans the whole split");
         assert!(out.pairs.iter().all(|(k, _)| &**k == DUMMY_KEY));
@@ -232,7 +319,7 @@ mod tests {
     #[test]
     fn map_output_caps_at_k_per_task() {
         let m = SamplingMapper::new(factory().predicate(), 5);
-        let out = m.run(&full_split(1_000, 17, 3));
+        let out = m.run(full_split(1_000, 17, 3));
         assert_eq!(out.pairs.len(), 5);
         assert_eq!(out.records_read, 1_000);
     }
@@ -245,7 +332,7 @@ mod tests {
             vec![col::ORDERKEY, col::SUPPKEY],
         );
         for data in [full_split(1_000, 9, 4), planted_split(1_000, 9, 4)] {
-            let out = m.run(&data);
+            let out = m.run(data);
             assert_eq!(out.pairs.len(), 9);
             assert!(out.pairs.iter().all(|(_, r)| r.arity() == 2));
         }
@@ -254,10 +341,72 @@ mod tests {
     #[test]
     fn planted_mode_matches_full_mode() {
         let m = SamplingMapper::new(factory().predicate(), 8);
-        let a = m.run(&full_split(2_000, 30, 7));
-        let b = m.run(&planted_split(2_000, 30, 7));
+        let a = m.run(full_split(2_000, 30, 7));
+        let b = m.run(planted_split(2_000, 30, 7));
         assert_eq!(a.records_read, b.records_read);
         assert_eq!(a.pairs, b.pairs);
+    }
+
+    #[test]
+    fn batch_modes_match_row_modes_exactly() {
+        // The vectorised map over a columnar split must agree with the
+        // scalar row path pair-for-pair, including the per-task cap and
+        // the shuffle-byte accounting, in both scan modes.
+        for (m, label) in [
+            (SamplingMapper::new(factory().predicate(), 8), "capped"),
+            (
+                SamplingMapper::new(factory().predicate(), 1_000),
+                "uncapped",
+            ),
+            (
+                SamplingMapper::with_projection(
+                    factory().predicate(),
+                    8,
+                    vec![col::ORDERKEY, col::SUPPKEY],
+                ),
+                "projected",
+            ),
+        ] {
+            let rows = m.run(full_split(2_000, 30, 7));
+            let batch = m.run(batch_split(2_000, 30, 7));
+            assert_eq!(all_pairs(&batch), all_pairs(&rows), "full/{label}");
+            assert_eq!(batch.records_read, rows.records_read, "full/{label}");
+            assert_eq!(
+                batch.materialized_bytes(),
+                rows.materialized_bytes(),
+                "full/{label}"
+            );
+
+            let rows = m.run(planted_split(2_000, 30, 7));
+            let batch = m.run(planted_batch_split(2_000, 30, 7));
+            assert_eq!(all_pairs(&batch), all_pairs(&rows), "planted/{label}");
+            assert_eq!(batch.records_read, rows.records_read, "planted/{label}");
+            assert_eq!(
+                batch.materialized_bytes(),
+                rows.materialized_bytes(),
+                "planted/{label}"
+            );
+        }
+    }
+
+    #[test]
+    fn combiner_batch_path_truncates_without_materialising() {
+        let m = SamplingMapper::new(factory().predicate(), 1_000);
+        let out = m.run(batch_split(2_000, 30, 7));
+        let c = SampleCombiner::new(9);
+        let combined = c
+            .combine_batches(out.batches)
+            .expect("sampling combiner keeps batches columnar");
+        let total: usize = combined.iter().map(|b| b.rows.len()).sum();
+        assert_eq!(total, 9);
+        // Same survivors the row combine would keep: the selection prefix.
+        let rows = m.run(full_split(2_000, 30, 7));
+        let expect = c.combine(rows.pairs);
+        let got: Vec<(Key, Record)> = combined
+            .iter()
+            .flat_map(|b| b.rows.iter_records().map(|r| (Key::clone(&b.key), r)))
+            .collect();
+        assert_eq!(got, expect[..9].to_vec());
     }
 
     fn recs(n: u64) -> Vec<Record> {

@@ -8,7 +8,9 @@
 //! reported unmaterialised — which is what lets a 600M-row scan job run in
 //! the simulator without holding 300k records in memory.
 
-use incmr_data::{Predicate, Record};
+use std::sync::Arc;
+
+use incmr_data::{Predicate, Record, RecordBatch};
 use incmr_mapreduce::{Key, MapResult, Mapper, SplitData};
 
 /// A select-project mapper: `SELECT columns FROM t WHERE predicate`.
@@ -53,18 +55,64 @@ impl ScanMapper {
         } else {
             let bytes: u64 = matches.iter().map(|r| self.project(r).width() + 8).sum();
             MapResult {
-                pairs: Vec::new(),
                 records_read: total,
                 unmaterialized_outputs: matches.len() as u64,
                 unmaterialized_bytes: bytes,
+                ..MapResult::default()
+            }
+        }
+    }
+
+    /// The columnar scan: widths and counts come straight off the column
+    /// vectors. Records are only built in the (small-job) materialised
+    /// path, where per-row keys force real pairs; the simulated-load path
+    /// never constructs a `Record` at all.
+    fn emit_batch(&self, batch: &Arc<RecordBatch>, sel: &[u32], total: u64) -> MapResult {
+        if self.materialize {
+            MapResult {
+                pairs: sel
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &row)| {
+                        (
+                            Key::from(format!("r{i}")),
+                            batch.record(row as usize, &self.projection),
+                        )
+                    })
+                    .collect(),
+                records_read: total,
+                ..MapResult::default()
+            }
+        } else {
+            let bytes: u64 = sel
+                .iter()
+                .map(|&row| batch.row_width(row as usize, &self.projection) + 8)
+                .sum();
+            MapResult {
+                records_read: total,
+                unmaterialized_outputs: sel.len() as u64,
+                unmaterialized_bytes: bytes,
+                ..MapResult::default()
             }
         }
     }
 }
 
 impl Mapper for ScanMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
+    fn run(&self, data: SplitData) -> MapResult {
         match data {
+            SplitData::Batch(batch) => {
+                let sel = self.predicate.eval_batch(&batch);
+                self.emit_batch(&batch, &sel, batch.len() as u64)
+            }
+            SplitData::PlantedBatch {
+                total_records,
+                matches,
+            } => {
+                debug_assert_eq!(self.predicate.eval_batch(&matches).len(), matches.len());
+                let sel: Vec<u32> = (0..matches.len() as u32).collect();
+                self.emit_batch(&matches, &sel, total_records)
+            }
             SplitData::Records(records) => {
                 let matches: Vec<&Record> =
                     records.iter().filter(|r| self.predicate.eval(r)).collect();
@@ -76,7 +124,7 @@ impl Mapper for ScanMapper {
             } => {
                 debug_assert!(matches.iter().all(|r| self.predicate.eval(r)));
                 let refs: Vec<&Record> = matches.iter().collect();
-                self.emit(&refs, *total_records)
+                self.emit(&refs, total_records)
             }
         }
     }
@@ -99,7 +147,7 @@ mod tests {
         let g = SplitGenerator::new(&f, SplitSpec::new(500, 9, 2));
         let data = SplitData::Records(g.full_iter().collect());
         let m = ScanMapper::new(f.predicate(), vec![col::ORDERKEY, col::PARTKEY], true);
-        let out = m.run(&data);
+        let out = m.run(data);
         assert_eq!(out.pairs.len(), 9);
         assert_eq!(out.records_read, 500);
         assert_eq!(out.unmaterialized_outputs, 0);
@@ -118,7 +166,7 @@ mod tests {
             matches: g.planted_matches(),
         };
         let m = ScanMapper::new(f.predicate(), vec![col::ORDERKEY], false);
-        let out = m.run(&data);
+        let out = m.run(data);
         assert!(out.pairs.is_empty());
         assert_eq!(out.unmaterialized_outputs, 9);
         assert!(out.unmaterialized_bytes > 0);
@@ -135,10 +183,39 @@ mod tests {
             matches: g.planted_matches(),
         };
         let m = ScanMapper::new(f.predicate(), vec![], false);
-        let a = m.run(&full);
-        let b = m.run(&planted);
+        let a = m.run(full);
+        let b = m.run(planted);
         assert_eq!(a.total_outputs(), b.total_outputs());
         assert_eq!(a.unmaterialized_bytes, b.unmaterialized_bytes);
+    }
+
+    #[test]
+    fn batch_scan_matches_row_scan_in_both_modes() {
+        let f = factory();
+        let g = SplitGenerator::new(&f, SplitSpec::new(800, 13, 5));
+        for projection in [vec![], vec![col::ORDERKEY, col::PARTKEY]] {
+            for materialize in [false, true] {
+                let m = ScanMapper::new(f.predicate(), projection.clone(), materialize);
+                let rows = m.run(SplitData::Records(g.full_iter().collect()));
+                let batch = m.run(SplitData::Batch(Arc::new(g.full_batch())));
+                assert_eq!(batch.pairs, rows.pairs);
+                assert_eq!(batch.records_read, rows.records_read);
+                assert_eq!(batch.total_outputs(), rows.total_outputs());
+                assert_eq!(batch.unmaterialized_bytes, rows.unmaterialized_bytes);
+
+                let rows = m.run(SplitData::Planted {
+                    total_records: 800,
+                    matches: g.planted_matches(),
+                });
+                let pbatch = m.run(SplitData::PlantedBatch {
+                    total_records: 800,
+                    matches: Arc::new(g.planted_batch()),
+                });
+                assert_eq!(pbatch.pairs, rows.pairs);
+                assert_eq!(pbatch.total_outputs(), rows.total_outputs());
+                assert_eq!(pbatch.unmaterialized_bytes, rows.unmaterialized_bytes);
+            }
+        }
     }
 
     #[test]
@@ -147,7 +224,7 @@ mod tests {
         let g = SplitGenerator::new(&f, SplitSpec::new(100, 5, 1));
         let data = SplitData::Records(g.full_iter().collect());
         let m = ScanMapper::new(f.predicate(), vec![], true);
-        let out = m.run(&data);
+        let out = m.run(data);
         assert!(out
             .pairs
             .iter()

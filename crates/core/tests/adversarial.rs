@@ -21,21 +21,16 @@ use incmr_mapreduce::{
 struct MatchAllMapper;
 
 impl Mapper for MatchAllMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
-        let SplitData::Planted {
-            total_records,
-            matches,
-        } = data
+    fn run(&self, data: SplitData) -> MapResult {
+        let total_records = data.total_records();
+        let (SplitData::Planted { matches, .. } | SplitData::Records(matches)) = data.into_rows()
         else {
-            panic!("expected planted mode")
+            unreachable!()
         };
         let key = Key::from("k");
         MapResult {
-            pairs: matches
-                .iter()
-                .map(|r| (Key::clone(&key), r.clone()))
-                .collect(),
-            records_read: *total_records,
+            pairs: matches.into_iter().map(|r| (Key::clone(&key), r)).collect(),
+            records_read: total_records,
             ..MapResult::default()
         }
     }

@@ -24,6 +24,7 @@ use std::collections::HashSet;
 use incmr_simkit::rng::DetRng;
 use rand::Rng;
 
+use crate::batch::{BatchBuilder, RecordBatch};
 use crate::predicate::Predicate;
 use crate::schema::Schema;
 use crate::value::Record;
@@ -38,6 +39,19 @@ pub trait RecordFactory {
     fn matching(&self, rng: &mut DetRng) -> Record;
     /// Generate one record guaranteed not to match.
     fn filler(&self, rng: &mut DetRng) -> Record;
+
+    /// Append one matching record to a columnar builder. Must consume the
+    /// RNG exactly as [`RecordFactory::matching`] does and append the same
+    /// values; factories override it to skip the `Record` materialisation.
+    fn append_matching(&self, rng: &mut DetRng, out: &mut BatchBuilder) {
+        out.push_record(&self.matching(rng));
+    }
+
+    /// Append one filler record to a columnar builder (same contract as
+    /// [`RecordFactory::append_matching`], against `filler`).
+    fn append_filler(&self, rng: &mut DetRng, out: &mut BatchBuilder) {
+        out.push_record(&self.filler(rng));
+    }
 }
 
 /// Size and seed of one split's contents.
@@ -120,6 +134,38 @@ impl<'f, F: RecordFactory> SplitGenerator<'f, F> {
                 self.factory.filler(&mut fill_rng)
             }
         })
+    }
+
+    /// The whole split as one columnar batch, rows in position order.
+    /// Consumes the RNG streams exactly as [`SplitGenerator::full_iter`]
+    /// does, so `full_batch().to_records() == full_iter().collect()`
+    /// byte-for-byte (pinned by a test below).
+    pub fn full_batch(&self) -> RecordBatch {
+        let schema = self.factory.schema();
+        let mut out = BatchBuilder::new(&schema, self.spec.records as usize);
+        let positions: HashSet<u64> = self.matching_positions().into_iter().collect();
+        let mut match_rng = self.root().fork_named("matching");
+        let mut fill_rng = self.root().fork_named("filler");
+        for pos in 0..self.spec.records {
+            if positions.contains(&pos) {
+                self.factory.append_matching(&mut match_rng, &mut out);
+            } else {
+                self.factory.append_filler(&mut fill_rng, &mut out);
+            }
+        }
+        out.finish()
+    }
+
+    /// Only the matching records as a columnar batch — the batched
+    /// counterpart of [`SplitGenerator::planted_matches`].
+    pub fn planted_batch(&self) -> RecordBatch {
+        let schema = self.factory.schema();
+        let mut out = BatchBuilder::new(&schema, self.spec.matching as usize);
+        let mut match_rng = self.root().fork_named("matching");
+        for _ in 0..self.spec.matching {
+            self.factory.append_matching(&mut match_rng, &mut out);
+        }
+        out.finish()
     }
 
     /// Only the matching records, in the same order the full scan would
@@ -208,5 +254,36 @@ mod tests {
     #[should_panic(expected = "cannot plant")]
     fn overfull_split_panics() {
         let _ = SplitSpec::new(10, 11, 0);
+    }
+
+    #[test]
+    fn full_batch_equals_full_iter_byte_for_byte() {
+        let f = factory();
+        let g = SplitGenerator::new(&f, SplitSpec::new(1_200, 31, 42));
+        let rows: Vec<Record> = g.full_iter().collect();
+        let batch = g.full_batch();
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(batch.to_records(), rows);
+    }
+
+    #[test]
+    fn planted_batch_equals_planted_matches() {
+        for sentinel in [
+            LineItemFactory::new(col::QUANTITY, Value::Int(200)),
+            LineItemFactory::new(col::SHIPMODE, Value::Str("WARP".into())),
+        ] {
+            let g = SplitGenerator::new(&sentinel, SplitSpec::new(800, 40, 9));
+            assert_eq!(g.planted_batch().to_records(), g.planted_matches());
+        }
+    }
+
+    #[test]
+    fn batched_scan_predicate_agrees_with_planted_positions() {
+        let f = factory();
+        let g = SplitGenerator::new(&f, SplitSpec::new(2_000, 55, 17));
+        let batch = g.full_batch();
+        let sel = f.predicate().eval_batch(&batch);
+        let expect: Vec<u32> = g.matching_positions().iter().map(|&p| p as u32).collect();
+        assert_eq!(sel, expect);
     }
 }

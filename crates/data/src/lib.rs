@@ -9,6 +9,9 @@
 //! Key pieces:
 //!
 //! * [`schema`] / [`value`] — a small column-typed record model,
+//! * [`batch`] — columnar (SoA) record batches with dictionary-encoded
+//!   strings and selection vectors: the zero-copy hot-path representation
+//!   (rows remain the boundary format),
 //! * [`lineitem`] — the LINEITEM schema and natural column generators,
 //! * [`predicate`] — a predicate AST with an evaluator (what the sampling
 //!   mapper runs against every record),
@@ -23,6 +26,7 @@
 //! * [`queries`] — the experiment predicates, one per skew level
 //!   (Table III).
 
+pub mod batch;
 pub mod dataset;
 pub mod generator;
 pub mod lineitem;
@@ -32,6 +36,9 @@ pub mod schema;
 pub mod skew;
 pub mod value;
 
+pub use batch::{
+    BatchBuilder, BatchSelection, ColumnData, RecordBatch, SelectionVector, StrColumn,
+};
 pub use dataset::{
     Dataset, DatasetSpec, SplitPlan, Table2Row, PARTITIONS_PER_SCALE, ROWS_PER_SCALE, ROW_BYTES,
 };

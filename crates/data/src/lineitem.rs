@@ -14,6 +14,7 @@
 use incmr_simkit::rng::DetRng;
 use rand::Rng;
 
+use crate::batch::BatchBuilder;
 use crate::generator::RecordFactory;
 use crate::predicate::Predicate;
 use crate::schema::{ColumnType, Schema};
@@ -71,25 +72,88 @@ const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
 const LINE_STATUS: [&str; 2] = ["O", "F"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
+/// One natural LINEITEM row before materialisation — the single source of
+/// truth both the row and the columnar generation paths build from, so
+/// their RNG streams are identical by construction.
+struct NaturalRow<'a> {
+    orderkey: i64,
+    partkey: i64,
+    suppkey: i64,
+    linenumber: i64,
+    quantity: i64,
+    extendedprice: f64,
+    discount: f64,
+    tax: f64,
+    returnflag: &'a str,
+    linestatus: &'a str,
+    shipdate: u32,
+    shipmode: &'a str,
+}
+
 /// Natural value domains: quantity 1–50, discount 0.00–0.10, tax 0.00–0.08,
 /// dates within 7 years of the epoch (all per the TPC-H spec).
-fn natural_record(rng: &mut DetRng) -> Record {
+///
+/// The RNG draw order (quantity, unit price, then the fields in struct
+/// order) is load-bearing: committed golden traces and planted splits
+/// depend on it byte-for-byte.
+fn draw_natural(rng: &mut DetRng) -> NaturalRow<'static> {
     let quantity = rng.gen_range(1..=50i64);
     let price_per_unit = rng.gen_range(900.0..=105_000.0f64) / 100.0;
-    Record::new(vec![
-        Value::Int(rng.gen_range(1..=6_000_000)),
-        Value::Int(rng.gen_range(1..=200_000)),
-        Value::Int(rng.gen_range(1..=10_000)),
-        Value::Int(rng.gen_range(1..=7)),
-        Value::Int(quantity),
-        Value::Float((quantity as f64 * price_per_unit * 100.0).round() / 100.0),
-        Value::Float(rng.gen_range(0..=10i64) as f64 / 100.0),
-        Value::Float(rng.gen_range(0..=8i64) as f64 / 100.0),
-        Value::Str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())].to_string()),
-        Value::Str(LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())].to_string()),
-        Value::Date(rng.gen_range(0..2557)),
-        Value::Str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].to_string()),
-    ])
+    NaturalRow {
+        orderkey: rng.gen_range(1..=6_000_000),
+        partkey: rng.gen_range(1..=200_000),
+        suppkey: rng.gen_range(1..=10_000),
+        linenumber: rng.gen_range(1..=7),
+        quantity,
+        extendedprice: (quantity as f64 * price_per_unit * 100.0).round() / 100.0,
+        discount: rng.gen_range(0..=10i64) as f64 / 100.0,
+        tax: rng.gen_range(0..=8i64) as f64 / 100.0,
+        returnflag: RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())],
+        linestatus: LINE_STATUS[rng.gen_range(0..LINE_STATUS.len())],
+        shipdate: rng.gen_range(0..2557),
+        shipmode: SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())],
+    }
+}
+
+impl NaturalRow<'_> {
+    fn into_record(self) -> Record {
+        Record::new(vec![
+            Value::Int(self.orderkey),
+            Value::Int(self.partkey),
+            Value::Int(self.suppkey),
+            Value::Int(self.linenumber),
+            Value::Int(self.quantity),
+            Value::Float(self.extendedprice),
+            Value::Float(self.discount),
+            Value::Float(self.tax),
+            Value::Str(self.returnflag.to_string()),
+            Value::Str(self.linestatus.to_string()),
+            Value::Date(self.shipdate),
+            Value::Str(self.shipmode.to_string()),
+        ])
+    }
+
+    /// Append as one columnar row: typed pushes plus dictionary codes for
+    /// the three string columns — no per-row heap allocation at all.
+    fn append(&self, out: &mut BatchBuilder) {
+        out.push_int(col::ORDERKEY, self.orderkey);
+        out.push_int(col::PARTKEY, self.partkey);
+        out.push_int(col::SUPPKEY, self.suppkey);
+        out.push_int(col::LINENUMBER, self.linenumber);
+        out.push_int(col::QUANTITY, self.quantity);
+        out.push_float(col::EXTENDEDPRICE, self.extendedprice);
+        out.push_float(col::DISCOUNT, self.discount);
+        out.push_float(col::TAX, self.tax);
+        out.push_str(col::RETURNFLAG, self.returnflag);
+        out.push_str(col::LINESTATUS, self.linestatus);
+        out.push_date(col::SHIPDATE, self.shipdate);
+        out.push_str(col::SHIPMODE, self.shipmode);
+        out.finish_row();
+    }
+}
+
+fn natural_record(rng: &mut DetRng) -> Record {
+    draw_natural(rng).into_record()
 }
 
 /// A record factory that plants matches by overriding one sentinel column
@@ -147,6 +211,26 @@ impl RecordFactory for LineItemFactory {
 
     fn filler(&self, rng: &mut DetRng) -> Record {
         natural_record(rng)
+    }
+
+    fn append_matching(&self, rng: &mut DetRng, out: &mut BatchBuilder) {
+        let mut row = draw_natural(rng);
+        // Same construction as `matching`: draw the full natural row (so
+        // the RNG stream is byte-identical to the row path, and
+        // extendedprice keeps the *natural* quantity), then override the
+        // sentinel column in place.
+        match (self.sentinel_column, &self.sentinel_value) {
+            (col::QUANTITY, Value::Int(v)) => row.quantity = *v,
+            (col::DISCOUNT, Value::Float(v)) => row.discount = *v,
+            (col::TAX, Value::Float(v)) => row.tax = *v,
+            (col::SHIPMODE, Value::Str(v)) => row.shipmode = v.as_str(),
+            _ => unreachable!("sentinel validated in LineItemFactory::new"),
+        }
+        row.append(out);
+    }
+
+    fn append_filler(&self, rng: &mut DetRng, out: &mut BatchBuilder) {
+        draw_natural(rng).append(out);
     }
 }
 

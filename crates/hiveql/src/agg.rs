@@ -15,7 +15,7 @@
 //! would silently drop partials. The compiler never sets it on aggregate
 //! plans.
 
-use incmr_data::{Predicate, Record, Value};
+use incmr_data::{ColumnData, Predicate, Record, RecordBatch, Value};
 use incmr_mapreduce::{Key, MapResult, Mapper, Reducer, SplitData};
 
 use crate::ast::AggFunc;
@@ -140,17 +140,59 @@ impl AggMapper {
             }
         }
     }
+
+    /// Columnar absorb: one pass per aggregate over its column vector,
+    /// reading numeric values straight out of the batch — no `Record` is
+    /// ever built.
+    fn absorb_batch(&self, partials: &mut [Partial], batch: &RecordBatch, sel: &[u32]) {
+        for (p, agg) in partials.iter_mut().zip(&self.aggs) {
+            match agg.column {
+                None => {
+                    for _ in sel {
+                        p.absorb_value(agg.func, 0.0);
+                    }
+                }
+                Some(c) => match batch.column(c) {
+                    ColumnData::Int(v) => {
+                        for &row in sel {
+                            p.absorb_value(agg.func, v[row as usize] as f64);
+                        }
+                    }
+                    ColumnData::Float(v) => {
+                        for &row in sel {
+                            p.absorb_value(agg.func, v[row as usize]);
+                        }
+                    }
+                    ColumnData::Date(v) => {
+                        for &row in sel {
+                            p.absorb_value(agg.func, v[row as usize] as f64);
+                        }
+                    }
+                    ColumnData::Str(_) => unreachable!("compiler rejects string aggregates"),
+                },
+            }
+        }
+    }
 }
 
 impl Mapper for AggMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
+    fn run(&self, data: SplitData) -> MapResult {
         let mut partials: Vec<Partial> = self
             .aggs
             .iter()
             .map(|a| Partial::identity(a.func))
             .collect();
         let records_read = data.total_records();
-        match data {
+        match &data {
+            SplitData::Batch(batch) => {
+                let sel = self.predicate.eval_batch(batch);
+                self.absorb_batch(&mut partials, batch, &sel);
+            }
+            SplitData::PlantedBatch { matches, .. } => {
+                debug_assert_eq!(self.predicate.eval_batch(matches).len(), matches.len());
+                let sel: Vec<u32> = (0..matches.len() as u32).collect();
+                self.absorb_batch(&mut partials, matches, &sel);
+            }
             SplitData::Records(records) => {
                 for r in records.iter().filter(|r| self.predicate.eval(r)) {
                     self.absorb(&mut partials, r);
@@ -248,8 +290,8 @@ mod tests {
     #[test]
     fn map_reduce_agg_round_trip() {
         let mapper = AggMapper::new(Predicate::True, aggs());
-        let out_a = mapper.run(&SplitData::Records(vec![rec(2, 10.0), rec(4, 20.0)]));
-        let out_b = mapper.run(&SplitData::Records(vec![rec(6, 30.0)]));
+        let out_a = mapper.run(SplitData::Records(vec![rec(2, 10.0), rec(4, 20.0)]));
+        let out_b = mapper.run(SplitData::Records(vec![rec(6, 30.0)]));
         assert_eq!(out_a.pairs.len(), 1);
         let reducer = AggReducer::new(aggs());
         let mut rows = Vec::new();
@@ -278,7 +320,7 @@ mod tests {
                 column: None,
             }],
         );
-        let out = mapper.run(&SplitData::Records(vec![
+        let out = mapper.run(SplitData::Records(vec![
             rec(2, 1.0),
             rec(4, 1.0),
             rec(9, 1.0),
@@ -296,7 +338,7 @@ mod tests {
     #[test]
     fn zero_matches_produce_zeros() {
         let mapper = AggMapper::new(Predicate::Not(Box::new(Predicate::True)), aggs());
-        let out = mapper.run(&SplitData::Records(vec![rec(1, 1.0)]));
+        let out = mapper.run(SplitData::Records(vec![rec(1, 1.0)]));
         let reducer = AggReducer::new(aggs());
         let mut rows = Vec::new();
         reducer.reduce(&Key::from(AGG_KEY), &[out.pairs[0].1.clone()], &mut rows);
@@ -324,8 +366,8 @@ mod tests {
                 column: None,
             }],
         );
-        let full = mapper.run(&SplitData::Records(gen.full_iter().collect()));
-        let planted = mapper.run(&SplitData::Planted {
+        let full = mapper.run(SplitData::Records(gen.full_iter().collect()));
+        let planted = mapper.run(SplitData::Planted {
             total_records: 2_000,
             matches: gen.planted_matches(),
         });
@@ -333,5 +375,37 @@ mod tests {
             full.pairs[0].1, planted.pairs[0].1,
             "identical partials in both modes"
         );
+    }
+
+    #[test]
+    fn batch_aggregation_matches_row_aggregation() {
+        use incmr_data::generator::{RecordFactory, SplitGenerator, SplitSpec};
+        use incmr_data::lineitem::LineItemFactory;
+        use std::sync::Arc;
+        let factory = LineItemFactory::new(col::QUANTITY, Value::Int(200));
+        let gen = SplitGenerator::new(&factory, SplitSpec::new(2_000, 13, 5));
+        let mut all = vec![ResolvedAgg {
+            func: AggFunc::Count,
+            column: None,
+        }];
+        for func in [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max] {
+            all.push(ResolvedAgg {
+                func,
+                column: Some(col::EXTENDEDPRICE),
+            });
+        }
+        let mapper = AggMapper::new(factory.predicate(), all);
+        let rows = mapper.run(SplitData::Records(gen.full_iter().collect()));
+        let batch = mapper.run(SplitData::Batch(Arc::new(gen.full_batch())));
+        assert_eq!(batch.pairs, rows.pairs, "full batch ≡ full rows");
+        let rows = mapper.run(SplitData::Planted {
+            total_records: 2_000,
+            matches: gen.planted_matches(),
+        });
+        let pbatch = mapper.run(SplitData::PlantedBatch {
+            total_records: 2_000,
+            matches: Arc::new(gen.planted_batch()),
+        });
+        assert_eq!(pbatch.pairs, rows.pairs, "planted batch ≡ planted rows");
     }
 }

@@ -291,8 +291,8 @@ pub fn compile_query(
         Some(expr) => lower_expr(&schema, expr)?,
         None => predicate::Predicate::True,
     };
-    // Planted-mode evaluability check.
-    if scan_mode == ScanMode::Planted {
+    // Planted-mode evaluability check (batch or row reference flavour).
+    if matches!(scan_mode, ScanMode::Planted | ScanMode::PlantedRows) {
         let planted = dataset.factory().predicate();
         if predicate != planted {
             return Err(CompileError::PredicateNotPlanted {
@@ -355,7 +355,7 @@ pub fn compile_query(
             })
         }
         None => {
-            let materialize = scan_mode == ScanMode::Full;
+            let materialize = matches!(scan_mode, ScanMode::Full | ScanMode::FullRows);
             let spec = JobSpec::builder()
                 .set(keys::JOB_NAME, format!("scan-{}", query.table))
                 .input(incmr_mapreduce::DatasetInputFormat::new(

@@ -23,9 +23,10 @@
 //! dummy key), so sharing one allocation per distinct key instead of one
 //! `String` per pair removes the dominant allocation on the shuffle path.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use incmr_data::{Dataset, Record, SplitGenerator};
+use incmr_data::{BatchSelection, Dataset, Record, RecordBatch, SplitGenerator};
 use incmr_dfs::BlockId;
 
 /// An interned map-output key. Cloning is a reference-count bump, so a
@@ -33,9 +34,16 @@ use incmr_dfs::BlockId;
 pub type Key = Arc<str>;
 
 /// The contents of one input split as handed to a mapper.
+///
+/// The batch variants are the hot path: the split travels as a shared
+/// columnar [`RecordBatch`] (an `Arc` bump per read once cached), and a
+/// batch-aware mapper answers with selection vectors into it instead of
+/// materialised records. The row variants remain for exotic mappers and as
+/// the reference path equivalence tests compare against; a legacy mapper
+/// handed a batch can fall back through [`SplitData::into_rows`].
 #[derive(Debug, Clone)]
 pub enum SplitData {
-    /// Every record, in position order.
+    /// Every record, in position order (row-materialised reference path).
     Records(Vec<Record>),
     /// Only the records known to match the dataset's planted predicate,
     /// plus the total count the split holds.
@@ -45,6 +53,15 @@ pub enum SplitData {
         /// The matching records, in scan order.
         matches: Vec<Record>,
     },
+    /// Every record, columnar — shared, never copied per read.
+    Batch(Arc<RecordBatch>),
+    /// Only the planted matches, columnar.
+    PlantedBatch {
+        /// Total records in the split (matching + filler).
+        total_records: u64,
+        /// The matching records, in scan order.
+        matches: Arc<RecordBatch>,
+    },
 }
 
 impl SplitData {
@@ -53,6 +70,25 @@ impl SplitData {
         match self {
             SplitData::Records(rs) => rs.len() as u64,
             SplitData::Planted { total_records, .. } => *total_records,
+            SplitData::Batch(b) => b.len() as u64,
+            SplitData::PlantedBatch { total_records, .. } => *total_records,
+        }
+    }
+
+    /// Collapse to the row-oriented variants, materialising batch contents.
+    /// The compatibility shim for mappers without a batch arm — costs one
+    /// `Record` per row, exactly what the batched path avoids.
+    pub fn into_rows(self) -> SplitData {
+        match self {
+            SplitData::Batch(b) => SplitData::Records(b.to_records()),
+            SplitData::PlantedBatch {
+                total_records,
+                matches,
+            } => SplitData::Planted {
+                total_records,
+                matches: matches.to_records(),
+            },
+            rows => rows,
         }
     }
 }
@@ -60,10 +96,17 @@ impl SplitData {
 /// How a [`DatasetInputFormat`] materialises split contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanMode {
-    /// Generate and hand over every record (tests, small examples).
+    /// Hand over every record as a shared columnar batch (the default
+    /// full-scan path).
     Full,
-    /// Generate only the planted matches (large simulated runs).
+    /// Only the planted matches, as a shared columnar batch (large
+    /// simulated runs).
     Planted,
+    /// Every record, row-materialised on each read — the legacy reference
+    /// path the determinism suite compares `Full` against.
+    FullRows,
+    /// Only the planted matches, row-materialised on each read.
+    PlantedRows,
 }
 
 /// Source of split contents, keyed by DFS block. `Send + Sync` so reads can
@@ -74,20 +117,45 @@ pub trait InputFormat: Send + Sync {
 }
 
 /// Reads splits from a planned [`Dataset`].
+///
+/// Batch scan modes cache each block's generated [`RecordBatch`]: the first
+/// read generates columnar data (zero per-record allocation), and every
+/// subsequent read of the same block — re-executions, speculative backups,
+/// repeated bench iterations — is a reference-count bump. Generation is a
+/// pure function of the block, so a cache hit is byte-identical to a
+/// regeneration; the row modes stay uncached to remain the plain reference
+/// path.
 pub struct DatasetInputFormat {
     dataset: Arc<Dataset>,
     mode: ScanMode,
+    cache: Mutex<HashMap<BlockId, Arc<RecordBatch>>>,
 }
 
 impl DatasetInputFormat {
     /// Bind to a dataset with the given scan mode.
     pub fn new(dataset: Arc<Dataset>, mode: ScanMode) -> Self {
-        DatasetInputFormat { dataset, mode }
+        DatasetInputFormat {
+            dataset,
+            mode,
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The underlying dataset.
     pub fn dataset(&self) -> &Arc<Dataset> {
         &self.dataset
+    }
+
+    fn cached_batch(&self, block: BlockId, generate: impl Fn() -> RecordBatch) -> Arc<RecordBatch> {
+        if let Some(hit) = self.cache.lock().expect("batch cache").get(&block) {
+            return Arc::clone(hit);
+        }
+        // Generate outside the lock: concurrent workers may race to build
+        // the same block, but generation is pure, so the loser's copy is
+        // identical and simply dropped.
+        let built = Arc::new(generate());
+        let mut cache = self.cache.lock().expect("batch cache");
+        Arc::clone(cache.entry(block).or_insert(built))
     }
 }
 
@@ -97,13 +165,55 @@ impl InputFormat for DatasetInputFormat {
         let factory = self.dataset.factory();
         let generator = SplitGenerator::new(&factory, plan.spec);
         match self.mode {
-            ScanMode::Full => SplitData::Records(generator.full_iter().collect()),
-            ScanMode::Planted => SplitData::Planted {
+            ScanMode::Full => SplitData::Batch(self.cached_batch(block, || generator.full_batch())),
+            ScanMode::Planted => SplitData::PlantedBatch {
+                total_records: plan.spec.records,
+                matches: self.cached_batch(block, || generator.planted_batch()),
+            },
+            ScanMode::FullRows => SplitData::Records(generator.full_iter().collect()),
+            ScanMode::PlantedRows => SplitData::Planted {
                 total_records: plan.spec.records,
                 matches: generator.planted_matches(),
             },
         }
     }
+}
+
+/// A keyed run of batch rows: the zero-copy counterpart of a run of
+/// `(Key, Record)` pairs sharing one key. Emitting one of these costs a
+/// selection vector — no per-record clones, no per-record key interning.
+#[derive(Debug, Clone)]
+pub struct KeyedBatch {
+    /// The key every selected row is emitted under.
+    pub key: Key,
+    /// The selected (optionally projected) rows.
+    pub rows: BatchSelection,
+}
+
+impl KeyedBatch {
+    /// Serialized bytes this run contributes to shuffle volume — identical
+    /// to the row path's per-record `key.len() + record.width()` sum.
+    pub fn shuffle_bytes(&self) -> u64 {
+        self.rows.len() as u64 * self.key.len() as u64 + self.rows.total_width()
+    }
+
+    /// Materialise into classic pairs (the compatibility boundary).
+    pub fn into_pairs(self, out: &mut Vec<(Key, Record)>) {
+        out.reserve(self.rows.len());
+        for i in 0..self.rows.len() {
+            out.push((Key::clone(&self.key), self.rows.record(i)));
+        }
+    }
+}
+
+/// Materialise a batch-emitting map output into classic pairs, in emission
+/// order.
+pub fn batches_to_pairs(batches: Vec<KeyedBatch>) -> Vec<(Key, Record)> {
+    let mut out = Vec::with_capacity(batches.iter().map(|b| b.rows.len()).sum());
+    for b in batches {
+        b.into_pairs(&mut out);
+    }
+    out
 }
 
 /// Output of one map task.
@@ -118,6 +228,10 @@ impl InputFormat for DatasetInputFormat {
 pub struct MapResult {
     /// Emitted `(key, value)` pairs.
     pub pairs: Vec<(Key, Record)>,
+    /// Emitted zero-copy batch-row runs. Emission order is defined as all
+    /// of `pairs` first, then every batch's rows in batch order — mappers
+    /// emit one kind or the other in practice.
+    pub batches: Vec<KeyedBatch>,
     /// Records scanned (feeds selectivity estimation).
     pub records_read: u64,
     /// Output records accounted but not materialised.
@@ -127,27 +241,52 @@ pub struct MapResult {
 }
 
 impl MapResult {
-    /// Total output records, materialised or not.
-    pub fn total_outputs(&self) -> u64 {
-        self.pairs.len() as u64 + self.unmaterialized_outputs
+    /// Materialised output records (pairs plus batch rows).
+    pub fn materialized_records(&self) -> u64 {
+        self.pairs.len() as u64
+            + self
+                .batches
+                .iter()
+                .map(|b| b.rows.len() as u64)
+                .sum::<u64>()
     }
 
-    /// Total output bytes, materialised or not.
-    pub fn total_output_bytes(&self) -> u64 {
-        let materialized: u64 = self
+    /// Materialised output bytes (pairs plus batch rows), computed with
+    /// the same per-record `key.len() + width` model either way.
+    pub fn materialized_bytes(&self) -> u64 {
+        let pair_bytes: u64 = self
             .pairs
             .iter()
             .map(|(k, v)| k.len() as u64 + v.width())
             .sum();
-        materialized + self.unmaterialized_bytes
+        pair_bytes
+            + self
+                .batches
+                .iter()
+                .map(KeyedBatch::shuffle_bytes)
+                .sum::<u64>()
+    }
+
+    /// Total output records, materialised or not.
+    pub fn total_outputs(&self) -> u64 {
+        self.materialized_records() + self.unmaterialized_outputs
+    }
+
+    /// Total output bytes, materialised or not.
+    pub fn total_output_bytes(&self) -> u64 {
+        self.materialized_bytes() + self.unmaterialized_bytes
     }
 }
 
 /// User map logic. Invoked once per split, potentially from a worker
 /// thread — implementations must be pure with respect to `&self`.
+///
+/// `run` takes the split data *by value*: a batch-aware mapper keeps the
+/// shared `Arc<RecordBatch>` and emits selections into it, and even a
+/// row-oriented mapper can move records it emits instead of cloning them.
 pub trait Mapper: Send + Sync {
     /// Process a split and return emitted pairs plus counters.
-    fn run(&self, data: &SplitData) -> MapResult;
+    fn run(&self, data: SplitData) -> MapResult;
 }
 
 /// Optional map-side aggregation, Hadoop's classic combiner: folds one map
@@ -164,6 +303,19 @@ pub trait Combiner: Send + Sync {
     /// Fold one map task's output. Called at most once per map attempt,
     /// with pairs in emission order; returns the pairs to shuffle.
     fn combine(&self, pairs: Vec<(Key, Record)>) -> Vec<(Key, Record)>;
+
+    /// Batch-native fold of a map task's zero-copy output. Return
+    /// `Ok(folded)` to keep the output columnar; the default hands the
+    /// batches back via `Err`, telling the framework to materialise them
+    /// into pairs and fall back to [`Combiner::combine`]. An `Ok` result
+    /// must represent the same logical record stream the pair path would
+    /// produce.
+    fn combine_batches(
+        &self,
+        batches: Vec<KeyedBatch>,
+    ) -> Result<Vec<KeyedBatch>, Vec<KeyedBatch>> {
+        Err(batches)
+    }
 }
 
 /// User reduce logic. Invoked once per distinct key with all of that key's
@@ -207,13 +359,13 @@ mod tests {
         use incmr_data::generator::RecordFactory;
         let p = pred.predicate();
         for plan in ds.splits() {
-            let SplitData::Records(all) = full.read(plan.block) else {
+            let SplitData::Records(all) = full.read(plan.block).into_rows() else {
                 panic!()
             };
             let SplitData::Planted {
                 total_records,
                 matches,
-            } = planted.read(plan.block)
+            } = planted.read(plan.block).into_rows()
             else {
                 panic!()
             };
@@ -225,6 +377,58 @@ mod tests {
     }
 
     #[test]
+    fn batch_modes_match_row_reference_modes() {
+        let (_, ds) = small_dataset();
+        for (batch_mode, row_mode) in [
+            (ScanMode::Full, ScanMode::FullRows),
+            (ScanMode::Planted, ScanMode::PlantedRows),
+        ] {
+            let batched = DatasetInputFormat::new(Arc::clone(&ds), batch_mode);
+            let rows = DatasetInputFormat::new(Arc::clone(&ds), row_mode);
+            for plan in ds.splits() {
+                let a = batched.read(plan.block);
+                assert!(
+                    matches!(a, SplitData::Batch(_) | SplitData::PlantedBatch { .. }),
+                    "batch modes hand out columnar splits"
+                );
+                let a = a.into_rows();
+                let b = rows.read(plan.block);
+                match (a, b) {
+                    (SplitData::Records(x), SplitData::Records(y)) => assert_eq!(x, y),
+                    (
+                        SplitData::Planted {
+                            total_records: tx,
+                            matches: x,
+                        },
+                        SplitData::Planted {
+                            total_records: ty,
+                            matches: y,
+                        },
+                    ) => {
+                        assert_eq!(tx, ty);
+                        assert_eq!(x, y);
+                    }
+                    other => panic!("variant mismatch: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reads_share_one_generation() {
+        let (_, ds) = small_dataset();
+        let input = DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full);
+        let block = ds.splits()[0].block;
+        let SplitData::Batch(a) = input.read(block) else {
+            panic!()
+        };
+        let SplitData::Batch(b) = input.read(block) else {
+            panic!()
+        };
+        assert!(Arc::ptr_eq(&a, &b), "second read is a cache hit");
+    }
+
+    #[test]
     fn split_data_total_records() {
         let d = SplitData::Records(vec![Record::new(vec![Value::Int(1)])]);
         assert_eq!(d.total_records(), 1);
@@ -233,6 +437,30 @@ mod tests {
             matches: vec![],
         };
         assert_eq!(d.total_records(), 99);
+        let d = SplitData::PlantedBatch {
+            total_records: 7,
+            matches: Arc::new(incmr_data::RecordBatch::default()),
+        };
+        assert_eq!(d.total_records(), 7);
+    }
+
+    #[test]
+    fn keyed_batch_accounting_matches_materialised_pairs() {
+        let (_, ds) = small_dataset();
+        let input = DatasetInputFormat::new(Arc::clone(&ds), ScanMode::Full);
+        let SplitData::Batch(batch) = input.read(ds.splits()[0].block) else {
+            panic!()
+        };
+        let kb = KeyedBatch {
+            key: Key::from("__k__"),
+            rows: BatchSelection::all(batch),
+        };
+        let expect: u64 = {
+            let mut pairs = Vec::new();
+            kb.clone().into_pairs(&mut pairs);
+            pairs.iter().map(|(k, v)| k.len() as u64 + v.width()).sum()
+        };
+        assert_eq!(kb.shuffle_bytes(), expect);
     }
 
     #[test]

@@ -633,7 +633,7 @@ mod tests {
         }
         struct NullMapper;
         impl Mapper for NullMapper {
-            fn run(&self, _data: &crate::exec::SplitData) -> crate::exec::MapResult {
+            fn run(&self, _data: crate::exec::SplitData) -> crate::exec::MapResult {
                 crate::exec::MapResult::default()
             }
         }
@@ -663,7 +663,7 @@ mod tests {
         }
         struct NullMapper;
         impl Mapper for NullMapper {
-            fn run(&self, _data: &crate::exec::SplitData) -> crate::exec::MapResult {
+            fn run(&self, _data: crate::exec::SplitData) -> crate::exec::MapResult {
                 crate::exec::MapResult::default()
             }
         }
@@ -706,7 +706,7 @@ mod tests {
     }
     struct NullMapper2;
     impl Mapper for NullMapper2 {
-        fn run(&self, _data: &crate::exec::SplitData) -> crate::exec::MapResult {
+        fn run(&self, _data: crate::exec::SplitData) -> crate::exec::MapResult {
             crate::exec::MapResult::default()
         }
     }

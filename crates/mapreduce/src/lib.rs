@@ -23,7 +23,14 @@
 //! * the fault-tolerance plane ([`faults`]): TaskTracker death and rejoin
 //!   on a simulated schedule, map/reduce attempt faults, stragglers,
 //!   speculative execution, per-job blacklisting — with Hadoop's
-//!   re-execution semantics, deterministically (see DESIGN.md §8).
+//!   re-execution semantics, deterministically (see DESIGN.md §8);
+//! * a **columnar data plane** (DESIGN.md §12): `ScanMode::Full`/
+//!   `Planted` splits arrive as shared `Arc<RecordBatch>`es
+//!   ([`exec::SplitData`]), mappers may emit [`exec::KeyedBatch`]
+//!   selection-vector handles instead of pairs, and the shuffle carries
+//!   them unmaterialised ([`shuffle::ValueSeq`]) until the reduce
+//!   boundary; `FullRows`/`PlantedRows` keep the row-at-a-time
+//!   reference path.
 //!
 //! What is deliberately not modelled: multi-wave reduces (the paper's jobs
 //! use a single reduce) and rack topology (the testbed is a single rack).
@@ -46,8 +53,8 @@ pub use cluster::{ClusterConfig, ClusterStatus, Parallelism};
 pub use conf::{keys, JobConf};
 pub use cost::CostModel;
 pub use exec::{
-    Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, MapResult, Mapper, Reducer,
-    ScanMode, SplitData,
+    batches_to_pairs, Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, KeyedBatch,
+    MapResult, Mapper, Reducer, ScanMode, SplitData,
 };
 pub use faults::{
     ClusterFaultPlan, FaultConfigError, NodeOutage, SpecCandidate, SpeculationConfig,
@@ -73,7 +80,7 @@ pub use scheduler::{
     Assignment, Claims, FairScheduler, FifoScheduler, IndexedFairScheduler, IndexedFifoScheduler,
     SchedJob, SchedView, TaskScheduler, ViewPolicy,
 };
-pub use shuffle::{fnv1a, partition_of, PartitionBuffer, PartitionedPairs, ShuffleState};
+pub use shuffle::{fnv1a, partition_of, PartitionBuffer, PartitionedPairs, ShuffleState, ValueSeq};
 pub use trace::{job_timeline, render_timeline, JobTimeline, TraceEvent, TraceKind};
 
 /// One-line import for framework users: `use incmr_mapreduce::prelude::*;`
@@ -83,8 +90,8 @@ pub mod prelude {
     pub use crate::conf::{keys, JobConf};
     pub use crate::cost::CostModel;
     pub use crate::exec::{
-        Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, MapResult, Mapper,
-        Reducer, ScanMode, SplitData,
+        Combiner, DatasetInputFormat, IdentityReducer, InputFormat, Key, KeyedBatch, MapResult,
+        Mapper, Reducer, ScanMode, SplitData,
     };
     pub use crate::job::{
         EvalContext, GrowthDirective, GrowthDriver, GrowthOutcome, JobError, JobId, JobProgress,
@@ -115,29 +122,37 @@ mod tests {
     use crate::ClusterStatus;
     use incmr_dfs::BlockId;
 
-    /// A mapper that emits every matching record under one dummy key.
+    /// A mapper that emits every matching record under one dummy key —
+    /// zero-copy when the split arrives as a batch, rows otherwise.
     struct MatchAllMapper;
 
     impl Mapper for MatchAllMapper {
-        fn run(&self, data: &SplitData) -> MapResult {
+        fn run(&self, data: SplitData) -> MapResult {
             match data {
+                SplitData::PlantedBatch {
+                    total_records,
+                    matches,
+                } => MapResult {
+                    batches: vec![crate::exec::KeyedBatch {
+                        key: Key::from("k"),
+                        rows: incmr_data::BatchSelection::all(matches),
+                    }],
+                    records_read: total_records,
+                    ..MapResult::default()
+                },
                 SplitData::Planted {
                     total_records,
                     matches,
                 } => {
                     let key = Key::from("k");
                     MapResult {
-                        pairs: matches
-                            .iter()
-                            .map(|r| (Key::clone(&key), r.clone()))
-                            .collect(),
-                        records_read: *total_records,
+                        pairs: matches.into_iter().map(|r| (Key::clone(&key), r)).collect(),
+                        records_read: total_records,
                         ..MapResult::default()
                     }
                 }
-                SplitData::Records(rs) => MapResult {
-                    pairs: vec![],
-                    records_read: rs.len() as u64,
+                full => MapResult {
+                    records_read: full.total_records(),
                     ..MapResult::default()
                 },
             }
@@ -386,18 +401,18 @@ mod tests {
             pred: incmr_data::Predicate,
         }
         impl Mapper for FilterMapper {
-            fn run(&self, data: &SplitData) -> MapResult {
-                let SplitData::Records(rs) = data else {
-                    panic!("expected full mode")
+            fn run(&self, data: SplitData) -> MapResult {
+                let SplitData::Batch(batch) = data else {
+                    panic!("expected full batch mode")
                 };
-                let key = Key::from("k");
+                let records_read = batch.len() as u64;
+                let sel = self.pred.eval_batch(&batch);
                 MapResult {
-                    pairs: rs
-                        .iter()
-                        .filter(|r| self.pred.eval(r))
-                        .map(|r| (Key::clone(&key), r.clone()))
-                        .collect(),
-                    records_read: rs.len() as u64,
+                    batches: vec![crate::exec::KeyedBatch {
+                        key: Key::from("k"),
+                        rows: incmr_data::BatchSelection::new(batch, sel, Arc::from([])),
+                    }],
+                    records_read,
                     ..MapResult::default()
                 }
             }
@@ -536,21 +551,20 @@ mod tests {
     /// A mapper spreading outputs over many keys (for multi-reduce tests).
     struct ManyKeyMapper;
     impl Mapper for ManyKeyMapper {
-        fn run(&self, data: &SplitData) -> MapResult {
-            let SplitData::Planted {
-                total_records,
-                matches,
-            } = data
+        fn run(&self, data: SplitData) -> MapResult {
+            let records_read = data.total_records();
+            let (SplitData::Planted { matches, .. } | SplitData::Records(matches)) =
+                data.into_rows()
             else {
-                panic!()
+                unreachable!()
             };
             MapResult {
                 pairs: matches
-                    .iter()
+                    .into_iter()
                     .enumerate()
-                    .map(|(i, r)| (Key::from(format!("key{}", i % 7)), r.clone()))
+                    .map(|(i, r)| (Key::from(format!("key{}", i % 7)), r))
                     .collect(),
-                records_read: *total_records,
+                records_read,
                 ..MapResult::default()
             }
         }
@@ -721,7 +735,7 @@ mod tests {
     fn reducer_sees_groups_in_first_seen_key_order() {
         struct TwoKeyMapper;
         impl Mapper for TwoKeyMapper {
-            fn run(&self, data: &SplitData) -> MapResult {
+            fn run(&self, data: SplitData) -> MapResult {
                 MapResult {
                     pairs: vec![
                         ("b".into(), Record::new(vec![Value::Int(1)])),

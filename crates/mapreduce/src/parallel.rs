@@ -51,8 +51,8 @@ use incmr_data::Record;
 use incmr_dfs::BlockId;
 
 use crate::cluster::Parallelism;
-use crate::exec::{Combiner, InputFormat, Key, Mapper, Reducer};
-use crate::shuffle::PartitionedPairs;
+use crate::exec::{batches_to_pairs, Combiner, InputFormat, Key, Mapper, Reducer};
+use crate::shuffle::{PartitionedPairs, ValueSeq};
 
 /// A self-contained piece of data-plane work: consumed once, produces a
 /// sendable result. Implementations must be pure functions of their
@@ -135,23 +135,41 @@ impl WorkUnit for MapUnit {
     fn compute(self) -> MapTaskResult {
         let start = Instant::now();
         let data = self.input_format.read(self.block);
-        let mut result = self.mapper.run(&data);
+        let mut result = self.mapper.run(data);
         let (combiner_input_records, combiner_output_records) = match &self.combiner {
             Some(combiner) => {
-                let before = result.pairs.len() as u64;
-                result.pairs = combiner.combine(std::mem::take(&mut result.pairs));
-                (before, result.pairs.len() as u64)
+                let before = result.materialized_records();
+                if result.pairs.is_empty() && !result.batches.is_empty() {
+                    // Pure batch output: try the combiner's zero-copy fold
+                    // first; a combiner without one hands the batches back
+                    // and we materialise into the classic pair path.
+                    match combiner.combine_batches(std::mem::take(&mut result.batches)) {
+                        Ok(folded) => result.batches = folded,
+                        Err(batches) => {
+                            result.pairs = combiner.combine(batches_to_pairs(batches));
+                        }
+                    }
+                } else {
+                    // Row (or mixed) output: flatten any batches into the
+                    // pair stream in emission order and fold once.
+                    let mut pairs = std::mem::take(&mut result.pairs);
+                    if !result.batches.is_empty() {
+                        pairs.extend(batches_to_pairs(std::mem::take(&mut result.batches)));
+                    }
+                    result.pairs = combiner.combine(pairs);
+                }
+                (before, result.materialized_records())
             }
             None => (0, 0),
         };
-        let materialized_records = result.pairs.len() as u64;
-        let materialized_bytes = result
-            .pairs
-            .iter()
-            .map(|(k, v)| k.len() as u64 + v.width())
-            .sum();
+        let materialized_records = result.materialized_records();
+        let materialized_bytes = result.materialized_bytes();
         MapTaskResult {
-            pairs: PartitionedPairs::build(result.pairs, self.reduce_tasks),
+            pairs: PartitionedPairs::build_with_batches(
+                result.pairs,
+                result.batches,
+                self.reduce_tasks,
+            ),
             records_read: result.records_read,
             materialized_records,
             materialized_bytes,
@@ -171,8 +189,10 @@ pub struct ReduceUnit {
     pub reducer: Arc<dyn Reducer>,
     /// Distinct keys in first-seen order.
     pub key_order: Vec<Key>,
-    /// Values per key, in arrival order.
-    pub groups: HashMap<Key, Vec<Record>>,
+    /// Values per key, in arrival order. Batch segments stay zero-copy
+    /// until this unit materialises them — the reduce boundary is where
+    /// rows come back into existence.
+    pub groups: HashMap<Key, ValueSeq>,
 }
 
 /// What a finished reduce task hands back.
@@ -191,8 +211,8 @@ impl WorkUnit for ReduceUnit {
         let start = Instant::now();
         let mut output = Vec::new();
         for key in &self.key_order {
-            let values = &self.groups[key];
-            self.reducer.reduce(key, values, &mut output);
+            let values = self.groups[key].to_rows();
+            self.reducer.reduce(key, &values, &mut output);
         }
         ReduceTaskResult {
             output,
@@ -377,16 +397,16 @@ mod tests {
     struct CountMapper;
 
     impl Mapper for CountMapper {
-        fn run(&self, data: &SplitData) -> MapResult {
+        fn run(&self, data: SplitData) -> MapResult {
             let SplitData::Records(rs) = data else {
                 panic!()
             };
             let key = Key::from(format!("n{}", rs.len()));
+            let records_read = rs.len() as u64;
             MapResult {
-                pairs: rs.iter().map(|r| (Key::clone(&key), r.clone())).collect(),
-                records_read: rs.len() as u64,
-                unmaterialized_outputs: 0,
-                unmaterialized_bytes: 0,
+                pairs: rs.into_iter().map(|r| (Key::clone(&key), r)).collect(),
+                records_read,
+                ..MapResult::default()
             }
         }
     }
@@ -423,7 +443,7 @@ mod tests {
         for buffer in state.into_buffers() {
             let mut groups = buffer.groups;
             for key in buffer.key_order {
-                for v in groups.remove(&key).unwrap() {
+                for v in groups.remove(&key).unwrap().to_rows() {
                     out.push((Key::clone(&key), v));
                 }
             }
@@ -495,15 +515,20 @@ mod tests {
     fn reduce_unit_runs_groups_in_key_order() {
         let key_b = Key::from("b");
         let key_a = Key::from("a");
-        let mut groups: HashMap<Key, Vec<Record>> = HashMap::new();
+        let mut groups: HashMap<Key, ValueSeq> = HashMap::new();
         groups.insert(
             Key::clone(&key_b),
             vec![
                 Record::new(vec![Value::Int(1)]),
                 Record::new(vec![Value::Int(2)]),
-            ],
+            ]
+            .into_iter()
+            .collect(),
         );
-        groups.insert(Key::clone(&key_a), vec![Record::new(vec![Value::Int(3)])]);
+        groups.insert(
+            Key::clone(&key_a),
+            std::iter::once(Record::new(vec![Value::Int(3)])).collect(),
+        );
         let unit = ReduceUnit {
             reducer: Arc::new(crate::exec::IdentityReducer),
             key_order: vec![key_b, key_a],

@@ -39,9 +39,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use incmr_data::Record;
+use incmr_data::{BatchSelection, Record};
 
-use crate::exec::Key;
+use crate::exec::{Key, KeyedBatch};
 
 /// FNV-1a, the key-partitioning hash (Hadoop uses `key.hashCode() % R`;
 /// any stable hash serves, and FNV-1a is deterministic across platforms).
@@ -60,38 +60,64 @@ pub fn partition_of(key: &str, reduce_tasks: u32) -> usize {
 }
 
 /// One map task's output, pre-partitioned by reduce task on the data-plane
-/// worker.
+/// worker. Holds classic pairs and/or zero-copy [`KeyedBatch`] runs; the
+/// task's emission order is all pairs first, then every batch's rows in
+/// batch order (matching `MapResult`'s contract).
 #[derive(Debug, Clone, Default)]
 pub struct PartitionedPairs {
     /// `partitions[p]` holds the pairs destined for reduce task `p`, in
     /// emission order.
     partitions: Vec<Vec<(Key, Record)>>,
-    /// Partition index of each emitted pair, in emission order. Only
-    /// needed to replay a mid-task materialise-cap cut when there is more
-    /// than one partition, so it stays empty for the common
-    /// single-reducer case.
+    /// `batch_partitions[p]` holds the keyed batch runs destined for
+    /// reduce task `p`, in emission order. A run is never split across
+    /// partitions — all its rows share one key.
+    batch_partitions: Vec<Vec<KeyedBatch>>,
+    /// Partition index of each emitted record (pairs first, then each
+    /// batch row), in emission order. Only needed to replay a mid-task
+    /// materialise-cap cut when there is more than one partition, so it
+    /// stays empty for the common single-reducer case.
     emission_order: Vec<u32>,
 }
 
 impl PartitionedPairs {
     /// Partition `pairs` (in emission order) across `reduce_tasks` buckets.
     pub fn build(pairs: Vec<(Key, Record)>, reduce_tasks: u32) -> Self {
+        Self::build_with_batches(pairs, Vec::new(), reduce_tasks)
+    }
+
+    /// Partition pairs and batch runs (in emission order: pairs first)
+    /// across `reduce_tasks` buckets. Batch runs move as selection-vector
+    /// handles — their rows are never materialised here.
+    pub fn build_with_batches(
+        pairs: Vec<(Key, Record)>,
+        batches: Vec<KeyedBatch>,
+        reduce_tasks: u32,
+    ) -> Self {
         let r = reduce_tasks.max(1);
         if r == 1 {
             return PartitionedPairs {
                 partitions: vec![pairs],
+                batch_partitions: vec![batches],
                 emission_order: Vec::new(),
             };
         }
         let mut partitions: Vec<Vec<(Key, Record)>> = (0..r).map(|_| Vec::new()).collect();
-        let mut emission_order = Vec::with_capacity(pairs.len());
+        let mut batch_partitions: Vec<Vec<KeyedBatch>> = (0..r).map(|_| Vec::new()).collect();
+        let total: usize = pairs.len() + batches.iter().map(|b| b.rows.len()).sum::<usize>();
+        let mut emission_order = Vec::with_capacity(total);
         for (key, value) in pairs {
             let p = partition_of(&key, r);
             emission_order.push(p as u32);
             partitions[p].push((key, value));
         }
+        for batch in batches {
+            let p = partition_of(&batch.key, r);
+            emission_order.extend(std::iter::repeat_n(p as u32, batch.rows.len()));
+            batch_partitions[p].push(batch);
+        }
         PartitionedPairs {
             partitions,
+            batch_partitions,
             emission_order,
         }
     }
@@ -101,21 +127,35 @@ impl PartitionedPairs {
         self.partitions.len()
     }
 
-    /// Total pairs across all partitions.
+    /// Total records (pairs plus batch rows) across all partitions.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(Vec::len).sum()
+        let pairs: usize = self.partitions.iter().map(Vec::len).sum();
+        let rows: usize = self
+            .batch_partitions
+            .iter()
+            .flatten()
+            .map(|b| b.rows.len())
+            .sum();
+        pairs + rows
     }
 
     /// True when the task emitted nothing.
     pub fn is_empty(&self) -> bool {
-        self.partitions.iter().all(Vec::is_empty)
+        self.len() == 0
     }
 
-    /// How many of each partition's pairs fall within the first `room`
-    /// pairs of the task in emission order.
+    /// How many of each partition's records fall within the first `room`
+    /// records of the task in emission order.
     fn take_counts(&self, room: usize) -> Vec<usize> {
         if room >= self.len() {
-            return self.partitions.iter().map(Vec::len).collect();
+            return self
+                .partitions
+                .iter()
+                .zip(&self.batch_partitions)
+                .map(|(pairs, batches)| {
+                    pairs.len() + batches.iter().map(|b| b.rows.len()).sum::<usize>()
+                })
+                .collect();
         }
         let mut counts = vec![0usize; self.partitions.len()];
         if self.partitions.len() == 1 {
@@ -129,6 +169,87 @@ impl PartitionedPairs {
     }
 }
 
+/// One shuffle segment of a key group: either materialised rows or a
+/// zero-copy batch selection. Segments keep arrival order; the batch kind
+/// is only materialised at the reduce boundary.
+#[derive(Debug, Clone)]
+enum ValueSeg {
+    /// Individually materialised records (the classic pair path).
+    Rows(Vec<Record>),
+    /// A shared-batch selection (the zero-copy path).
+    Batch(BatchSelection),
+}
+
+/// One key group's values: an ordered run of segments totalling `len`
+/// records. Grows row-by-row from classic pairs and run-at-a-time from
+/// [`KeyedBatch`]es; [`ValueSeq::to_rows`] materialises at the reduce
+/// boundary. Equality (used by the shuffle equivalence proptests) compares
+/// the materialised record streams, so a batch segment equals the rows it
+/// would produce.
+#[derive(Debug, Clone, Default)]
+pub struct ValueSeq {
+    segs: Vec<ValueSeg>,
+    len: usize,
+}
+
+impl ValueSeq {
+    /// Append one materialised record.
+    pub fn push(&mut self, value: Record) {
+        if let Some(ValueSeg::Rows(rows)) = self.segs.last_mut() {
+            rows.push(value);
+        } else {
+            self.segs.push(ValueSeg::Rows(vec![value]));
+        }
+        self.len += 1;
+    }
+
+    /// Append a whole batch selection without materialising it.
+    pub fn push_batch(&mut self, rows: BatchSelection) {
+        self.len += rows.len();
+        self.segs.push(ValueSeg::Batch(rows));
+    }
+
+    /// Records in the group.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no records have arrived.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Materialise every record, in arrival order — the row boundary where
+    /// the reduce phase leaves columnar-land.
+    pub fn to_rows(&self) -> Vec<Record> {
+        let mut out = Vec::with_capacity(self.len);
+        for seg in &self.segs {
+            match seg {
+                ValueSeg::Rows(rows) => out.extend(rows.iter().cloned()),
+                ValueSeg::Batch(sel) => out.extend(sel.iter_records()),
+            }
+        }
+        out
+    }
+}
+
+impl PartialEq for ValueSeq {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.to_rows() == other.to_rows()
+    }
+}
+
+impl FromIterator<Record> for ValueSeq {
+    fn from_iter<I: IntoIterator<Item = Record>>(iter: I) -> Self {
+        let rows: Vec<Record> = iter.into_iter().collect();
+        let len = rows.len();
+        ValueSeq {
+            segs: vec![ValueSeg::Rows(rows)],
+            len,
+        }
+    }
+}
+
 /// One reduce task's accumulated input: the framework-side half of the
 /// shuffle, grown incrementally as maps complete.
 #[derive(Debug, Clone, Default)]
@@ -136,8 +257,9 @@ pub struct PartitionBuffer {
     /// Distinct keys in first-seen order (reducers iterate groups in this
     /// order, as the old monolithic partitioner did).
     pub key_order: Vec<Key>,
-    /// Values per key, in arrival order.
-    pub groups: HashMap<Key, Vec<Record>>,
+    /// Values per key, in arrival order — batch runs stay zero-copy until
+    /// the reduce boundary.
+    pub groups: HashMap<Key, ValueSeq>,
     /// Exact bytes of materialised input merged into this partition.
     pub shuffle_bytes: u64,
     /// Exact count of materialised input records merged in.
@@ -157,6 +279,32 @@ impl PartitionBuffer {
                 self.key_order.push(key);
             }
             group.push(value);
+        }
+    }
+
+    /// Absorb up to `budget` batch rows of one map's share, run by run in
+    /// emission order, truncating the run that straddles the cap. Byte and
+    /// record accounting matches what `absorb` would charge for the
+    /// materialised pairs.
+    fn absorb_batches(&mut self, batches: Vec<KeyedBatch>, mut budget: usize) {
+        for mut kb in batches {
+            if budget == 0 {
+                return;
+            }
+            if kb.rows.len() > budget {
+                kb.rows.truncate(budget);
+            }
+            if kb.rows.is_empty() {
+                continue;
+            }
+            budget -= kb.rows.len();
+            self.shuffle_bytes += kb.shuffle_bytes();
+            self.input_records += kb.rows.len() as u64;
+            let group = self.groups.entry(Key::clone(&kb.key)).or_default();
+            if group.is_empty() {
+                self.key_order.push(Key::clone(&kb.key));
+            }
+            group.push_batch(kb.rows);
         }
     }
 }
@@ -197,12 +345,20 @@ impl ShuffleState {
         let room = self.cap.saturating_sub(self.materialized);
         let take = room.min(pairs.len() as u64) as usize;
         let counts = pairs.take_counts(take);
-        for (buffer, (part, count)) in self
-            .buffers
-            .iter_mut()
-            .zip(pairs.partitions.into_iter().zip(counts))
-        {
-            buffer.absorb(part, count);
+        for (buffer, ((part, batches), count)) in self.buffers.iter_mut().zip(
+            pairs
+                .partitions
+                .into_iter()
+                .zip(pairs.batch_partitions)
+                .zip(counts),
+        ) {
+            // Within a partition, emission order is pairs first, then
+            // batch rows (the task-level contract), so a mid-partition cap
+            // cut takes whole pairs before any batch rows.
+            let pair_take = count.min(part.len());
+            let batch_take = count - pair_take;
+            buffer.absorb(part, pair_take);
+            buffer.absorb_batches(batches, batch_take);
         }
         self.materialized += take as u64;
     }
@@ -381,6 +537,65 @@ mod tests {
         assert_eq!(keys, ["x", "y"], "cap prefix follows task ids");
     }
 
+    /// Build a keyed batch over a one-column Int schema, one row per value.
+    fn keyed_batch(key: &str, vals: &[i64]) -> KeyedBatch {
+        use incmr_data::schema::{ColumnType, Schema};
+        use incmr_data::{BatchSelection, RecordBatch};
+        let schema = Schema::new(vec![("v", ColumnType::Int)]);
+        let records: Vec<Record> = vals
+            .iter()
+            .map(|&v| Record::new(vec![Value::Int(v)]))
+            .collect();
+        KeyedBatch {
+            key: Key::from(key),
+            rows: BatchSelection::all(std::sync::Arc::new(RecordBatch::from_records(
+                &schema, &records,
+            ))),
+        }
+    }
+
+    #[test]
+    fn batch_runs_group_identically_to_their_flattened_pairs() {
+        // One shuffle fed batches, one fed the equivalent pairs: the
+        // buffers must agree on key order, groups, byte and record counts.
+        let tasks: Vec<Vec<KeyedBatch>> = vec![
+            vec![keyed_batch("b", &[1, 2]), keyed_batch("a", &[3])],
+            vec![keyed_batch("a", &[4]), keyed_batch("c", &[])],
+        ];
+        for r in [1u32, 2, 3] {
+            let mut batched = ShuffleState::new(r, u64::MAX);
+            let mut rows = ShuffleState::new(r, u64::MAX);
+            for task in &tasks {
+                batched.merge(PartitionedPairs::build_with_batches(
+                    Vec::new(),
+                    task.clone(),
+                    r,
+                ));
+                rows.merge(PartitionedPairs::build(
+                    crate::exec::batches_to_pairs(task.clone()),
+                    r,
+                ));
+            }
+            assert_buffers_equal(&batched.into_buffers(), &rows.into_buffers());
+        }
+    }
+
+    #[test]
+    fn cap_truncates_the_straddling_batch_run() {
+        // Task emits 2 pairs then a 3-row batch; cap 4 keeps the pairs and
+        // the batch's first 2 rows, and an empty batch never registers its
+        // key.
+        let pairs = vec![pair("p", 0), pair("p", 1)];
+        let batches = vec![keyed_batch("b", &[10, 11, 12]), keyed_batch("z", &[])];
+        let mut state = ShuffleState::new(1, 4);
+        state.merge(PartitionedPairs::build_with_batches(pairs, batches, 1));
+        let buffers = state.into_buffers();
+        let keys: Vec<&str> = buffers[0].key_order.iter().map(|k| &**k).collect();
+        assert_eq!(keys, ["p", "b"], "empty/overflow runs add no keys");
+        assert_eq!(buffers[0].groups[&Key::from("b")].len(), 2);
+        assert_eq!(buffers[0].input_records, 4);
+    }
+
     #[test]
     fn zero_reduce_tasks_is_clamped_to_one() {
         let state = ShuffleState::new(0, u64::MAX);
@@ -428,6 +643,54 @@ mod tests {
             let materialized: u64 = streamed.iter().map(|b| b.input_records).sum();
             let emitted: u64 = tasks.iter().map(|t| t.len() as u64).sum();
             prop_assert_eq!(materialized, emitted.min(cap));
+        }
+
+        /// Batch-run shuffling is byte-identical to shuffling the same
+        /// rows as pairs, under arbitrary task shapes, caps, and partition
+        /// counts — the invariant that lets mappers emit selection-vector
+        /// handles without perturbing anything downstream.
+        #[test]
+        fn batched_merge_matches_pair_merge(
+            tasks in prop::collection::vec(
+                prop::collection::vec(
+                    (0u8..6, prop::collection::vec(any::<i64>(), 0..6)),
+                    0..6,
+                ),
+                0..8,
+            ),
+            reduce_tasks in 1u32..6,
+            cap in prop::option::of(0u64..60),
+        ) {
+            let cap = cap.unwrap_or(u64::MAX);
+            let tasks: Vec<Vec<KeyedBatch>> = tasks
+                .iter()
+                .map(|t| {
+                    t.iter()
+                        .map(|(k, vals)| keyed_batch(&format!("key-{k}"), vals))
+                        .collect()
+                })
+                .collect();
+            let mut batched = ShuffleState::new(reduce_tasks, cap);
+            let mut rows = ShuffleState::new(reduce_tasks, cap);
+            for task in &tasks {
+                batched.merge(PartitionedPairs::build_with_batches(
+                    Vec::new(),
+                    task.clone(),
+                    reduce_tasks,
+                ));
+                rows.merge(PartitionedPairs::build(
+                    crate::exec::batches_to_pairs(task.clone()),
+                    reduce_tasks,
+                ));
+            }
+            let a = batched.into_buffers();
+            let b = rows.into_buffers();
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!(&x.key_order, &y.key_order);
+                prop_assert_eq!(&x.groups, &y.groups);
+                prop_assert_eq!(x.shuffle_bytes, y.shuffle_bytes);
+                prop_assert_eq!(x.input_records, y.input_records);
+            }
         }
 
         /// The frontier merge is completion-order invariant: feeding tasks

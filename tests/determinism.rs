@@ -118,9 +118,14 @@ fn workload_runs_are_reproducible() {
 }
 
 /// Run the same dynamic sampling job with a given data-plane thread count
-/// and return everything observable about the simulated run: the result
-/// scalars, the full reduce output, and the complete trace timeline.
-fn parallel_fingerprint(threads: u32, faults: Option<FaultPlan>) -> (JobResult, Vec<TraceEvent>) {
+/// and scan mode; return everything observable about the simulated run:
+/// the result scalars, the full reduce output, and the complete trace
+/// timeline.
+fn scan_mode_fingerprint(
+    threads: u32,
+    faults: Option<FaultPlan>,
+    mode: ScanMode,
+) -> (JobResult, Vec<TraceEvent>) {
     let mut ns = Namespace::new(ClusterTopology::paper_cluster());
     let mut rng = DetRng::seed_from(17);
     let spec = DatasetSpec::small("t", 32, 4_000, SkewLevel::Moderate, 17);
@@ -140,17 +145,44 @@ fn parallel_fingerprint(threads: u32, faults: Option<FaultPlan>) -> (JobResult, 
     if let Some(plan) = faults {
         rt.inject_faults(plan).expect("valid plan");
     }
-    let (job, driver) = build_sampling_job(
-        &ds,
-        15,
-        Policy::ma(),
-        ScanMode::Planted,
-        SampleMode::FirstK,
-        23,
-    );
+    let (job, driver) = build_sampling_job(&ds, 15, Policy::ma(), mode, SampleMode::FirstK, 23);
     let id = rt.submit(job, driver);
     rt.run_until_idle();
     (rt.job_result(id).clone(), rt.take_trace())
+}
+
+fn parallel_fingerprint(threads: u32, faults: Option<FaultPlan>) -> (JobResult, Vec<TraceEvent>) {
+    scan_mode_fingerprint(threads, faults, ScanMode::Planted)
+}
+
+/// The columnar scan path is an *implementation* of the same scan, not a
+/// different scan: switching a job from the row reference modes to the
+/// batch modes must leave every observable — sampled output, counters,
+/// and the full trace timeline — byte-identical, at every thread count.
+/// Batch boundaries must not leak into sampling decisions.
+#[test]
+fn columnar_scan_modes_reproduce_row_reference_modes() {
+    for (batch, rows) in [
+        (ScanMode::Planted, ScanMode::PlantedRows),
+        (ScanMode::Full, ScanMode::FullRows),
+    ] {
+        let (ref_result, ref_trace) = scan_mode_fingerprint(1, None, rows);
+        assert!(!ref_trace.is_empty());
+        for threads in [1, 4, 8] {
+            let (result, trace) = scan_mode_fingerprint(threads, None, batch);
+            assert_eq!(
+                result.output, ref_result.output,
+                "{batch:?}@{threads} threads diverged from {rows:?}"
+            );
+            assert_eq!(result.response_time(), ref_result.response_time());
+            assert_eq!(result.records_processed, ref_result.records_processed);
+            assert_eq!(result.splits_processed, ref_result.splits_processed);
+            assert_eq!(
+                trace, ref_trace,
+                "{batch:?}@{threads} threads: timeline diverged from {rows:?}"
+            );
+        }
+    }
 }
 
 /// The two-plane contract: data-plane parallelism must never leak into
@@ -210,21 +242,19 @@ fn fault_injection_is_thread_count_invariant() {
 struct FanOutMapper;
 
 impl Mapper for FanOutMapper {
-    fn run(&self, data: &SplitData) -> MapResult {
-        let SplitData::Planted {
-            total_records,
-            matches,
-        } = data
+    fn run(&self, data: SplitData) -> MapResult {
+        let total_records = data.total_records();
+        let (SplitData::Planted { matches, .. } | SplitData::Records(matches)) = data.into_rows()
         else {
-            panic!("fingerprint uses ScanMode::Planted");
+            unreachable!()
         };
         MapResult {
             pairs: matches
-                .iter()
+                .into_iter()
                 .enumerate()
-                .map(|(i, r)| (Key::from(format!("g{}", i % 5)), r.clone()))
+                .map(|(i, r)| (Key::from(format!("g{}", i % 5)), r))
                 .collect(),
-            records_read: *total_records,
+            records_read: total_records,
             ..MapResult::default()
         }
     }
