@@ -96,10 +96,13 @@ impl GrowthDriver for DynamicDriver {
         // The gate applies between invocations, not before the first one —
         // and never blocks once the target could already be met (checking
         // that is the provider's job, which is cheap; the paper's gate
-        // exists to avoid pointless re-estimation).
+        // exists to avoid pointless re-estimation). Newly arrived blocks
+        // bypass it too: the runtime delivers them exactly once, so a
+        // gated skip here would drop them on the floor.
         if self.invocations > 0
             && new_work < threshold
             && progress.splits_running + progress.splits_pending > 0
+            && ctx.arrived.is_empty()
         {
             self.gated += 1;
             return GrowthDirective::Wait;

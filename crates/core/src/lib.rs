@@ -19,6 +19,9 @@
 //!   (Section IV's "expected output from pending map tasks" arithmetic);
 //! * [`sampling_provider::SamplingInputProvider`] — the Input Provider for
 //!   predicate-based sampling;
+//! * [`continuous::ContinuousSampling`] — its standing-query variant:
+//!   instead of ending input when the pool drains short of `k`, the job
+//!   parks and is re-awoken when new blocks land (`MrRuntime::evolve`);
 //! * [`dynamic_driver::DynamicDriver`] — the JobClient-side evaluation loop
 //!   that gates provider invocations by the work threshold and caps intake
 //!   by the grab limit;
@@ -30,6 +33,7 @@
 //!   sampling job from a dataset, a policy, and `k`.
 
 pub mod adaptive;
+pub mod continuous;
 pub mod dynamic_driver;
 pub mod estimator;
 pub mod input_provider;
@@ -41,6 +45,7 @@ pub mod sampling_provider;
 pub mod scan;
 
 pub use adaptive::{AdaptiveDriver, AdaptiveThresholds};
+pub use continuous::ContinuousSampling;
 pub use dynamic_driver::DynamicDriver;
 pub use estimator::{ProgressEstimate, SelectivityEstimator};
 pub use input_provider::{InputProvider, InputResponse};

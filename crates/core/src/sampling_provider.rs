@@ -63,6 +63,12 @@ impl SamplingInputProvider {
         self.granted
     }
 
+    /// Add newly arrived splits to the unprocessed pool (the evolve path:
+    /// blocks appended to the namespace while the query stands).
+    pub fn extend_pool(&mut self, blocks: impl IntoIterator<Item = BlockId>) {
+        self.pool.extend(blocks);
+    }
+
     /// Draw up to `n` splits uniformly at random from the unprocessed pool.
     fn draw(&mut self, n: u64) -> Vec<BlockId> {
         let take = (n.min(self.pool.len() as u64)) as usize;

@@ -7,6 +7,7 @@
 //! rows in 40 partitions, 100× → 600 M rows in 800 partitions.
 
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 use incmr_dfs::{BlockId, BlockSpec, FileId, Namespace, PlacementPolicy};
 use incmr_simkit::rng::DetRng;
@@ -95,15 +96,45 @@ pub struct SplitPlan {
     pub block: BlockId,
     /// Its contents (records, planted matches, seed).
     pub spec: SplitSpec,
+    /// Content version, mirroring the DFS block's counter: 0 as built,
+    /// bumped by every [`Dataset::mutate`]. The memoization plane keys
+    /// cached map output on this.
+    pub version: u32,
+}
+
+/// The evolving half of a dataset: per-split plans, indexed by block.
+/// Behind a lock because [`Dataset`] is shared as `Arc<Dataset>` with the
+/// data plane while append/mutate schedules rewrite it between jobs.
+#[derive(Debug)]
+struct PlanState {
+    plans: Vec<SplitPlan>,
+    by_block: HashMap<BlockId, usize>,
 }
 
 /// A materialised (planned) dataset: the DFS file plus per-split plans.
-#[derive(Debug, Clone)]
+///
+/// Plans are interior-mutable so an `Arc<Dataset>` handed to the runtime's
+/// input format stays valid while the dataset evolves ([`Dataset::append`] /
+/// [`Dataset::mutate`]) between job runs.
+#[derive(Debug)]
 pub struct Dataset {
     spec: DatasetSpec,
     file: FileId,
-    plans: Vec<SplitPlan>,
-    by_block: HashMap<BlockId, usize>,
+    state: RwLock<PlanState>,
+}
+
+impl Clone for Dataset {
+    fn clone(&self) -> Self {
+        let state = self.state.read().expect("dataset plans");
+        Dataset {
+            spec: self.spec.clone(),
+            file: self.file,
+            state: RwLock::new(PlanState {
+                plans: state.plans.clone(),
+                by_block: state.by_block.clone(),
+            }),
+        }
+    }
 }
 
 impl Dataset {
@@ -152,6 +183,7 @@ impl Dataset {
                     counts[i],
                     seed_root.fork(i as u64).seed(),
                 ),
+                version: 0,
             })
             .collect();
         let by_block = plans
@@ -162,9 +194,91 @@ impl Dataset {
         Dataset {
             spec,
             file,
-            plans,
-            by_block,
+            state: RwLock::new(PlanState { plans, by_block }),
         }
+    }
+
+    /// Append `partitions` fresh splits to the dataset's DFS file.
+    ///
+    /// Appended splits carry the same record count and bytes as the
+    /// original partitions, plant `records_per_partition × selectivity`
+    /// matches each (arriving data is unskewed), and derive their content
+    /// seed from the file-local index by the same formula as
+    /// [`Dataset::build`]. Every field is a pure function of the spec and
+    /// the split's index, so replaying an identical append/mutate
+    /// schedule against a fresh build reproduces the plans exactly — the
+    /// determinism contract the warm-vs-cold replay suite leans on.
+    /// Returns the new block ids.
+    pub fn append(
+        &self,
+        namespace: &mut Namespace,
+        partitions: u32,
+        placement: &mut dyn PlacementPolicy,
+        rng: &mut DetRng,
+    ) -> Vec<BlockId> {
+        let block_specs: Vec<BlockSpec> = (0..partitions)
+            .map(|_| BlockSpec {
+                bytes: self.spec.records_per_partition * ROW_BYTES,
+                records: self.spec.records_per_partition,
+            })
+            .collect();
+        let new = namespace.append_blocks(self.file, &block_specs, placement, rng);
+        let matching =
+            (self.spec.records_per_partition as f64 * self.spec.selectivity).round() as u64;
+        let seed_root = DetRng::seed_from(self.spec.seed);
+        let mut state = self.state.write().expect("dataset plans");
+        for &block in &new {
+            let index = namespace.block(block).index as u64;
+            let plan = SplitPlan {
+                block,
+                spec: SplitSpec::new(
+                    self.spec.records_per_partition,
+                    matching,
+                    seed_root.fork(index).seed(),
+                ),
+                version: 0,
+            };
+            let slot = state.plans.len();
+            state.by_block.insert(block, slot);
+            state.plans.push(plan);
+        }
+        new
+    }
+
+    /// Rewrite the given blocks in place: bump each block's DFS version,
+    /// re-place its replicas, and re-seed its contents.
+    ///
+    /// The rewritten split keeps its record and matching counts (total
+    /// matching stays invariant across mutations) but draws a fresh
+    /// content seed forked from `(index, version)`, so version `v ≥ 1` of
+    /// a split generates different rows than version `v−1` — which is
+    /// what makes stale memoized map output observably wrong if it were
+    /// ever reused. Returns the new versions, in argument order.
+    ///
+    /// # Panics
+    /// Panics if a block does not belong to this dataset.
+    pub fn mutate(
+        &self,
+        namespace: &mut Namespace,
+        blocks: &[BlockId],
+        placement: &mut dyn PlacementPolicy,
+        rng: &mut DetRng,
+    ) -> Vec<u32> {
+        let versions = namespace.mutate_blocks(blocks, placement, rng);
+        let seed_root = DetRng::seed_from(self.spec.seed);
+        let mut state = self.state.write().expect("dataset plans");
+        for (&block, &version) in blocks.iter().zip(&versions) {
+            let index = namespace.block(block).index as u64;
+            let slot = state.by_block[&block];
+            let plan = &mut state.plans[slot];
+            plan.version = version;
+            plan.spec = SplitSpec::new(
+                plan.spec.records,
+                plan.spec.matching,
+                seed_root.fork(index).fork(version as u64).seed(),
+            );
+        }
+        versions
     }
 
     /// The spec this dataset was built from.
@@ -177,32 +291,49 @@ impl Dataset {
         self.file
     }
 
-    /// All split plans, in block order.
-    pub fn splits(&self) -> &[SplitPlan] {
-        &self.plans
+    /// A snapshot of all split plans, in block order.
+    pub fn splits(&self) -> Vec<SplitPlan> {
+        self.state.read().expect("dataset plans").plans.clone()
     }
 
-    /// The plan for a specific block.
+    /// The current plan for a specific block.
     ///
     /// # Panics
     /// Panics if the block does not belong to this dataset.
-    pub fn plan(&self, block: BlockId) -> &SplitPlan {
-        &self.plans[self.by_block[&block]]
+    pub fn plan(&self, block: BlockId) -> SplitPlan {
+        let state = self.state.read().expect("dataset plans");
+        state.plans[state.by_block[&block]]
     }
 
     /// Whether a block belongs to this dataset.
     pub fn contains(&self, block: BlockId) -> bool {
-        self.by_block.contains_key(&block)
+        self.state
+            .read()
+            .expect("dataset plans")
+            .by_block
+            .contains_key(&block)
     }
 
     /// Matching-record count per partition (Figure 4's series).
     pub fn matching_counts(&self) -> Vec<u64> {
-        self.plans.iter().map(|p| p.spec.matching).collect()
+        self.state
+            .read()
+            .expect("dataset plans")
+            .plans
+            .iter()
+            .map(|p| p.spec.matching)
+            .collect()
     }
 
     /// Total planted matching records.
     pub fn total_matching(&self) -> u64 {
-        self.plans.iter().map(|p| p.spec.matching).sum()
+        self.state
+            .read()
+            .expect("dataset plans")
+            .plans
+            .iter()
+            .map(|p| p.spec.matching)
+            .sum()
     }
 
     /// The record factory for this dataset's experiment predicate.
@@ -327,5 +458,57 @@ mod tests {
         let (_, c) = build(SkewLevel::High, 8);
         assert_eq!(a.matching_counts(), b.matching_counts());
         assert_ne!(a.matching_counts(), c.matching_counts());
+    }
+
+    #[test]
+    fn append_extends_plans_with_fresh_versioned_splits() {
+        let (mut ns, ds) = build(SkewLevel::Zero, 9);
+        let mut rng = DetRng::seed_from(9);
+        let new = ds.append(&mut ns, 3, &mut EvenRoundRobin::starting_at(40), &mut rng);
+        assert_eq!(new.len(), 3);
+        assert_eq!(ds.splits().len(), 43);
+        for &b in &new {
+            let p = ds.plan(b);
+            assert_eq!(p.version, 0);
+            assert_eq!(p.spec.records, ds.spec().records_per_partition);
+            assert_eq!(p.spec.matching, 375, "unskewed arrival: 750k × 0.05%");
+            assert!(ds.contains(b));
+        }
+        // Appended seeds follow the build formula for their indexes.
+        let root = DetRng::seed_from(9);
+        assert_eq!(ds.plan(new[0]).spec.seed, root.fork(40).seed());
+    }
+
+    #[test]
+    fn mutate_reseeds_and_bumps_plan_version() {
+        let (mut ns, ds) = build(SkewLevel::Zero, 10);
+        let target = ds.splits()[5].block;
+        let before = ds.plan(target);
+        let mut rng = DetRng::seed_from(10);
+        let versions = ds.mutate(&mut ns, &[target], &mut EvenRoundRobin::new(), &mut rng);
+        assert_eq!(versions, vec![1]);
+        let after = ds.plan(target);
+        assert_eq!(after.version, 1);
+        assert_eq!(after.spec.records, before.spec.records);
+        assert_eq!(after.spec.matching, before.spec.matching);
+        assert_ne!(after.spec.seed, before.spec.seed, "rewrite draws new rows");
+        assert_eq!(ds.total_matching(), 15_000, "matching total is invariant");
+        assert_eq!(ns.version_of(target), 1, "DFS counter stays in lockstep");
+    }
+
+    #[test]
+    fn replayed_evolve_schedule_reproduces_plans_exactly() {
+        let run = || {
+            let (mut ns, ds) = build(SkewLevel::Moderate, 11);
+            let mut rng = DetRng::seed_from(77);
+            ds.append(&mut ns, 2, &mut EvenRoundRobin::starting_at(40), &mut rng);
+            let blocks: Vec<BlockId> = vec![ds.splits()[3].block, ds.splits()[41].block];
+            ds.mutate(&mut ns, &blocks, &mut EvenRoundRobin::new(), &mut rng);
+            ds.splits()
+                .iter()
+                .map(|p| (p.block, p.spec.seed, p.spec.matching, p.version))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

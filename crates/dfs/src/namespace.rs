@@ -59,6 +59,11 @@ pub struct Block {
     pub records: u64,
     /// Disks holding a replica (never empty).
     pub locations: Vec<DiskId>,
+    /// Content version: 0 at creation, bumped by every
+    /// [`Namespace::mutate_blocks`] rewrite. The memoization plane keys
+    /// cached map output on `(job signature, block, version)`, so a bump
+    /// invalidates exactly this block's cache entries.
+    pub version: u32,
 }
 
 /// A file: a name and an ordered list of blocks.
@@ -141,6 +146,7 @@ impl Namespace {
                 bytes: spec.bytes,
                 records: spec.records,
                 locations,
+                version: 0,
             });
             block_ids.push(id);
         }
@@ -151,6 +157,85 @@ impl Namespace {
         });
         self.by_name.insert(name.to_string(), file_id);
         Ok(file_id)
+    }
+
+    /// Append new blocks to an existing file (the evolve API's "new data
+    /// arrived" half). Each block is placed with `policy` at its file-local
+    /// index, continuing where `create_file` left off, so an append under
+    /// the same policy/rng state lays out exactly like a larger initial
+    /// file. Appended blocks start at version 0.
+    ///
+    /// Returns the new block ids in file order.
+    ///
+    /// # Panics
+    /// Panics on a `file` id not issued by this namespace.
+    pub fn append_blocks(
+        &mut self,
+        file: FileId,
+        specs: &[BlockSpec],
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut DetRng,
+    ) -> Vec<BlockId> {
+        let base = self.files[file.0 as usize].blocks.len();
+        let mut block_ids = Vec::with_capacity(specs.len());
+        for (offset, spec) in specs.iter().enumerate() {
+            let index = base + offset;
+            let locations = policy.place(index, &self.topology, rng);
+            assert!(!locations.is_empty(), "placement returned no replicas");
+            let id = BlockId(self.blocks.len() as u32);
+            self.blocks.push(Block {
+                id,
+                file,
+                index: index as u32,
+                bytes: spec.bytes,
+                records: spec.records,
+                locations,
+                version: 0,
+            });
+            block_ids.push(id);
+        }
+        self.files[file.0 as usize]
+            .blocks
+            .extend_from_slice(&block_ids);
+        block_ids
+    }
+
+    /// Rewrite existing blocks in place (the evolve API's "data changed"
+    /// half): each block's version counter is bumped and the block is
+    /// re-placed with `policy` at its file-local index — a rewrite lands
+    /// wherever the placement policy's current state puts it, exactly as a
+    /// real DFS rewrite allocates fresh extents. Sizes are unchanged.
+    ///
+    /// Returns the new version of each block, in argument order.
+    ///
+    /// # Panics
+    /// Panics on a block id not issued by this namespace.
+    pub fn mutate_blocks(
+        &mut self,
+        blocks: &[BlockId],
+        policy: &mut dyn PlacementPolicy,
+        rng: &mut DetRng,
+    ) -> Vec<u32> {
+        blocks
+            .iter()
+            .map(|&id| {
+                let index = self.blocks[id.0 as usize].index as usize;
+                let locations = policy.place(index, &self.topology, rng);
+                assert!(!locations.is_empty(), "placement returned no replicas");
+                let b = &mut self.blocks[id.0 as usize];
+                b.version += 1;
+                b.locations = locations;
+                b.version
+            })
+            .collect()
+    }
+
+    /// A block's current content version (0 until first mutated).
+    ///
+    /// # Panics
+    /// Panics on an id not issued by this namespace.
+    pub fn version_of(&self, id: BlockId) -> u32 {
+        self.blocks[id.0 as usize].version
     }
 
     /// Look up a file by name.
@@ -301,6 +386,63 @@ mod tests {
     fn even_layout_balances_disks() {
         let (ns, _) = ns_with_file(80);
         assert!(ns.blocks_per_disk().iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn append_extends_file_and_continues_layout() {
+        let (mut ns, id) = ns_with_file(3);
+        let mut rng = DetRng::seed_from(9);
+        let mut policy = EvenRoundRobin::new();
+        // Advance the policy past the original 3 blocks so appends continue
+        // the round-robin where creation left off.
+        for i in 0..3 {
+            policy.place(i, ns.topology(), &mut rng);
+        }
+        let new = ns.append_blocks(id, &specs(2), &mut policy, &mut rng);
+        assert_eq!(new, vec![BlockId(3), BlockId(4)]);
+        assert_eq!(ns.num_blocks(), 5);
+        assert_eq!(ns.blocks_of(id).len(), 5);
+        let b = ns.block(BlockId(3));
+        assert_eq!(b.index, 3);
+        assert_eq!(b.version, 0);
+        assert_eq!(b.locations, vec![DiskId(3)]);
+    }
+
+    #[test]
+    fn mutate_bumps_versions_monotonically() {
+        let (mut ns, _) = ns_with_file(4);
+        let mut rng = DetRng::seed_from(9);
+        assert_eq!(ns.version_of(BlockId(2)), 0);
+        let v1 = ns.mutate_blocks(&[BlockId(2)], &mut EvenRoundRobin::new(), &mut rng);
+        assert_eq!(v1, vec![1]);
+        let v2 = ns.mutate_blocks(
+            &[BlockId(2), BlockId(0)],
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        );
+        assert_eq!(v2, vec![2, 1]);
+        assert_eq!(ns.version_of(BlockId(2)), 2);
+        assert_eq!(ns.version_of(BlockId(0)), 1);
+        assert_eq!(ns.version_of(BlockId(1)), 0, "untouched blocks keep v0");
+    }
+
+    #[test]
+    fn mutate_replaces_locations_but_keeps_sizes() {
+        let (mut ns, _) = ns_with_file(4);
+        let before = ns.block(BlockId(1)).clone();
+        let mut rng = DetRng::seed_from(9);
+        // A fresh round-robin places file index 1 on disk 1 again — use a
+        // pinned policy to force a visible move.
+        ns.mutate_blocks(
+            &[BlockId(1)],
+            &mut crate::placement::PinnedPlacement::new(DiskId(7)),
+            &mut rng,
+        );
+        let after = ns.block(BlockId(1));
+        assert_eq!(after.locations, vec![DiskId(7)]);
+        assert_eq!(after.bytes, before.bytes);
+        assert_eq!(after.records, before.records);
+        assert_eq!(after.index, before.index);
     }
 
     #[test]

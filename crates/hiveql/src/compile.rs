@@ -334,7 +334,12 @@ pub fn compile_query(
 
     match query.limit {
         Some(k) => {
-            let (spec, driver) = build_sampling_job_with(
+            // Memoization plane: a semantic signature over the query's
+            // computation — table, predicate, projection, k. Re-running
+            // the same query (however the submission-level conf varies)
+            // shares cached per-split map output under this identity.
+            let pred_rendered = predicate.display(&schema).to_string();
+            let (mut spec, driver) = build_sampling_job_with(
                 dataset,
                 predicate,
                 projection.clone(),
@@ -344,6 +349,19 @@ pub fn compile_query(
                 sample_mode,
                 seed,
             );
+            let k_rendered = k.to_string();
+            let proj_rendered = format!("{projection:?}");
+            let signature = incmr_mapreduce::signature_of_conf(
+                [
+                    ("query.table", query.table.as_str()),
+                    ("query.predicate", pred_rendered.as_str()),
+                    ("query.projection", proj_rendered.as_str()),
+                    ("query.k", k_rendered.as_str()),
+                ]
+                .into_iter(),
+                1,
+            );
+            spec.conf.set(keys::JOB_SIGNATURE, signature);
             Ok(CompiledQuery {
                 spec,
                 driver,

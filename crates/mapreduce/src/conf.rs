@@ -48,6 +48,19 @@ pub mod keys {
     ///
     /// [`TraceEvent`]: crate::trace::TraceEvent
     pub const TRACE_SINK: &str = "mapred.job.trace.sink";
+    /// Memoization plane: stable identity of the job's *computation*
+    /// (mapper, predicate, projection, `k` — not the submission). Jobs
+    /// sharing a signature share memoized per-split map output. Absent,
+    /// the runtime derives one by hashing the full conf, so distinct
+    /// queries never collide by default.
+    pub const JOB_SIGNATURE: &str = "mapred.job.signature";
+    /// Memoization plane: boolean — run this dynamic job as a standing
+    /// query. Instead of declaring end-of-input when the provider's pool
+    /// drains, the job parks and is re-awoken when new blocks arrive
+    /// (`Namespace` evolve through [`MrRuntime::evolve`]).
+    ///
+    /// [`MrRuntime::evolve`]: crate::MrRuntime::evolve
+    pub const CONTINUOUS: &str = "dynamic.job.continuous";
     /// Observability plane: boolean (default **true**) — record this
     /// job's latencies into the runtime's histogram
     /// [`MetricsRegistry`](crate::obs::MetricsRegistry). Set false to

@@ -122,13 +122,13 @@ pub trait InputFormat: Send + Sync {
 /// read generates columnar data (zero per-record allocation), and every
 /// subsequent read of the same block — re-executions, speculative backups,
 /// repeated bench iterations — is a reference-count bump. Generation is a
-/// pure function of the block, so a cache hit is byte-identical to a
-/// regeneration; the row modes stay uncached to remain the plain reference
-/// path.
+/// pure function of the block *version*, so a cache hit is byte-identical
+/// to a regeneration and a mutated block (new version) misses cleanly; the
+/// row modes stay uncached to remain the plain reference path.
 pub struct DatasetInputFormat {
     dataset: Arc<Dataset>,
     mode: ScanMode,
-    cache: Mutex<HashMap<BlockId, Arc<RecordBatch>>>,
+    cache: Mutex<HashMap<(BlockId, u32), Arc<RecordBatch>>>,
 }
 
 impl DatasetInputFormat {
@@ -146,8 +146,14 @@ impl DatasetInputFormat {
         &self.dataset
     }
 
-    fn cached_batch(&self, block: BlockId, generate: impl Fn() -> RecordBatch) -> Arc<RecordBatch> {
-        if let Some(hit) = self.cache.lock().expect("batch cache").get(&block) {
+    fn cached_batch(
+        &self,
+        block: BlockId,
+        version: u32,
+        generate: impl Fn() -> RecordBatch,
+    ) -> Arc<RecordBatch> {
+        let key = (block, version);
+        if let Some(hit) = self.cache.lock().expect("batch cache").get(&key) {
             return Arc::clone(hit);
         }
         // Generate outside the lock: concurrent workers may race to build
@@ -155,7 +161,7 @@ impl DatasetInputFormat {
         // identical and simply dropped.
         let built = Arc::new(generate());
         let mut cache = self.cache.lock().expect("batch cache");
-        Arc::clone(cache.entry(block).or_insert(built))
+        Arc::clone(cache.entry(key).or_insert(built))
     }
 }
 
@@ -165,10 +171,12 @@ impl InputFormat for DatasetInputFormat {
         let factory = self.dataset.factory();
         let generator = SplitGenerator::new(&factory, plan.spec);
         match self.mode {
-            ScanMode::Full => SplitData::Batch(self.cached_batch(block, || generator.full_batch())),
+            ScanMode::Full => {
+                SplitData::Batch(self.cached_batch(block, plan.version, || generator.full_batch()))
+            }
             ScanMode::Planted => SplitData::PlantedBatch {
                 total_records: plan.spec.records,
-                matches: self.cached_batch(block, || generator.planted_batch()),
+                matches: self.cached_batch(block, plan.version, || generator.planted_batch()),
             },
             ScanMode::FullRows => SplitData::Records(generator.full_iter().collect()),
             ScanMode::PlantedRows => SplitData::Planted {

@@ -450,6 +450,11 @@ pub struct EvalContext<'a> {
     /// policy layers such as `DynamicDriver` tighten it before delegating to
     /// their Input Provider.
     pub grab_limit: u64,
+    /// Blocks that landed in the namespace since the last consultation
+    /// (`MrRuntime::evolve` growth, delivered exactly once). Standing
+    /// queries fold these into their candidate pool; ordinary drivers may
+    /// ignore them. Empty outside the evolve path.
+    pub arrived: &'a [BlockId],
 }
 
 impl<'a> EvalContext<'a> {
@@ -459,12 +464,18 @@ impl<'a> EvalContext<'a> {
             progress,
             cluster,
             grab_limit: u64::MAX,
+            arrived: &[],
         }
     }
 
     /// The same context with a tightened grab limit.
     pub fn with_grab_limit(self, grab_limit: u64) -> Self {
         EvalContext { grab_limit, ..self }
+    }
+
+    /// The same context carrying newly arrived blocks.
+    pub fn with_arrived(self, arrived: &'a [BlockId]) -> Self {
+        EvalContext { arrived, ..self }
     }
 }
 

@@ -41,6 +41,7 @@ pub mod cost;
 pub mod exec;
 pub mod faults;
 pub mod job;
+pub mod memo;
 pub mod metrics;
 pub mod obs;
 pub mod parallel;
@@ -64,8 +65,10 @@ pub use job::{
     JobProgress, JobResult, JobSpec, JobSpecBuilder, ProviderError, ProviderStage, StaticDriver,
     TaskId,
 };
+pub use memo::{signature_of_conf, MemoEntry, MemoProbe, MemoStore};
 pub use metrics::{
-    ClusterMetrics, FaultMetrics, GuardrailMetrics, HostPhaseNanos, MetricsReport, ShuffleMetrics,
+    ClusterMetrics, FaultMetrics, GuardrailMetrics, HostPhaseNanos, MemoMetrics, MetricsReport,
+    ShuffleMetrics,
 };
 pub use obs::{
     audited_splits_added, encode_event, encode_trace, kind_name, parse_event, parse_trace,

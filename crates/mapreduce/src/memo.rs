@@ -1,0 +1,231 @@
+//! The memoization plane: per-split map-output caching keyed by
+//! `(job signature, block, version)`, the machinery behind incremental
+//! recomputation over evolving data (DESIGN.md §13).
+//!
+//! A [`MemoStore`] remembers, for each `(signature, block)` pair, the
+//! [`MapTaskResult`] the data plane produced at a specific block version,
+//! plus the node whose local disk notionally holds that map output. A
+//! re-submitted job with the same signature probes the store per split:
+//!
+//! * **hit** — same version: the attempt keeps its full simulated schedule
+//!   (slot, overhead, disk, CPU stages) but skips host recomputation and
+//!   merges the cached output through the shuffle's idempotent
+//!   `merge_task` path, so warm results stay byte-identical to cold ones;
+//! * **stale** — the block was rewritten since caching: the entry is dead,
+//!   the split recomputes, and the trace records `SplitDirty`;
+//! * **miss** — never computed under this signature: plain execution.
+//!
+//! Invalidation is by node death: cached map output lives on the node
+//! that produced it (Hadoop semantics — completed-map output dies with
+//! the TaskTracker), so [`MemoStore::invalidate_node`] drops every entry
+//! the dead node held and the next probe recomputes.
+
+use std::collections::HashMap;
+
+use incmr_dfs::{BlockId, NodeId};
+
+use crate::parallel::MapTaskResult;
+
+/// One cached map output: the result, the block version it was computed
+/// at, and the node holding it.
+#[derive(Debug, Clone)]
+pub struct MemoEntry {
+    /// The block version the mapper saw.
+    pub version: u32,
+    /// The node whose local disk holds the cached map output.
+    pub node: NodeId,
+    /// The complete map-task result (pairs, counters) to replay.
+    pub result: MapTaskResult,
+}
+
+/// Outcome of probing the store for one split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoProbe {
+    /// Cached at the probed version — reusable.
+    Hit,
+    /// Cached, but at an older version: the split is dirty.
+    Stale,
+    /// Never cached under this signature.
+    Miss,
+}
+
+/// Map-output memo store, shared across jobs of one runtime.
+#[derive(Debug, Clone, Default)]
+pub struct MemoStore {
+    entries: HashMap<(u64, BlockId), MemoEntry>,
+}
+
+impl MemoStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoStore::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Classify a probe for `block` at `version` under `signature`.
+    pub fn probe(&self, signature: u64, block: BlockId, version: u32) -> MemoProbe {
+        match self.entries.get(&(signature, block)) {
+            Some(e) if e.version == version => MemoProbe::Hit,
+            Some(_) => MemoProbe::Stale,
+            None => MemoProbe::Miss,
+        }
+    }
+
+    /// The cached entry for `block` at exactly `version`, if any.
+    pub fn get(&self, signature: u64, block: BlockId, version: u32) -> Option<&MemoEntry> {
+        self.entries
+            .get(&(signature, block))
+            .filter(|e| e.version == version)
+    }
+
+    /// Cache (or refresh) the map output for `block` at `version`,
+    /// held by `node`. A newer version replaces an older entry.
+    pub fn insert(
+        &mut self,
+        signature: u64,
+        block: BlockId,
+        version: u32,
+        node: NodeId,
+        result: MapTaskResult,
+    ) {
+        self.entries.insert(
+            (signature, block),
+            MemoEntry {
+                version,
+                node,
+                result,
+            },
+        );
+    }
+
+    /// Record that a cached entry was replayed by `node`: the replaying
+    /// attempt's node now holds a live copy of the map output, so
+    /// subsequent invalidation tracks the most recent holder.
+    pub fn rehome(&mut self, signature: u64, block: BlockId, node: NodeId) {
+        if let Some(e) = self.entries.get_mut(&(signature, block)) {
+            e.node = node;
+        }
+    }
+
+    /// Drop every entry whose holding node died (its stored map output is
+    /// gone). Returns how many entries were invalidated.
+    pub fn invalidate_node(&mut self, node: NodeId) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.node != node);
+        (before - self.entries.len()) as u64
+    }
+}
+
+/// 64-bit FNV-1a over a byte stream — the same stable hash the shuffle
+/// partitioner uses, applied here to job configurations.
+fn fnv1a(init: u64, bytes: &[u8]) -> u64 {
+    let mut h = init;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// Derive a job signature by hashing every conf `(key, value)` pair in
+/// key order plus the reduce count. Deterministic across runs and
+/// processes; two submissions with identical configuration collide by
+/// construction, which is exactly the memo-sharing contract. Jobs wanting
+/// a semantic identity set [`crate::conf::keys::JOB_SIGNATURE`] instead.
+pub fn signature_of_conf<'a>(
+    pairs: impl Iterator<Item = (&'a str, &'a str)>,
+    reduce_tasks: u32,
+) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (k, v) in pairs {
+        h = fnv1a(h, k.as_bytes());
+        h = fnv1a(h, &[0xFF]);
+        h = fnv1a(h, v.as_bytes());
+        h = fnv1a(h, &[0xFE]);
+    }
+    fnv1a(h, &reduce_tasks.to_le_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(records: u64) -> MapTaskResult {
+        MapTaskResult {
+            records_read: records,
+            ..MapTaskResult::default()
+        }
+    }
+
+    #[test]
+    fn probe_classifies_hit_stale_miss() {
+        let mut store = MemoStore::new();
+        assert_eq!(store.probe(1, BlockId(0), 0), MemoProbe::Miss);
+        store.insert(1, BlockId(0), 0, NodeId(2), result(10));
+        assert_eq!(store.probe(1, BlockId(0), 0), MemoProbe::Hit);
+        assert_eq!(store.probe(1, BlockId(0), 1), MemoProbe::Stale);
+        assert_eq!(
+            store.probe(2, BlockId(0), 0),
+            MemoProbe::Miss,
+            "per-signature"
+        );
+        assert!(store.get(1, BlockId(0), 1).is_none());
+        assert_eq!(store.get(1, BlockId(0), 0).unwrap().result.records_read, 10);
+    }
+
+    #[test]
+    fn newer_version_replaces_older_entry() {
+        let mut store = MemoStore::new();
+        store.insert(1, BlockId(3), 0, NodeId(0), result(10));
+        store.insert(1, BlockId(3), 2, NodeId(1), result(20));
+        assert_eq!(store.len(), 1, "one live entry per (signature, block)");
+        assert_eq!(store.probe(1, BlockId(3), 0), MemoProbe::Stale);
+        assert_eq!(store.probe(1, BlockId(3), 2), MemoProbe::Hit);
+    }
+
+    #[test]
+    fn node_death_invalidates_exactly_its_entries() {
+        let mut store = MemoStore::new();
+        store.insert(1, BlockId(0), 0, NodeId(0), result(1));
+        store.insert(1, BlockId(1), 0, NodeId(1), result(2));
+        store.insert(2, BlockId(2), 0, NodeId(0), result(3));
+        assert_eq!(store.invalidate_node(NodeId(0)), 2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.probe(1, BlockId(0), 0), MemoProbe::Miss);
+        assert_eq!(store.probe(1, BlockId(1), 0), MemoProbe::Hit);
+        assert_eq!(store.invalidate_node(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn rehome_moves_the_invalidation_target() {
+        let mut store = MemoStore::new();
+        store.insert(1, BlockId(0), 0, NodeId(0), result(1));
+        store.rehome(1, BlockId(0), NodeId(5));
+        assert_eq!(store.invalidate_node(NodeId(0)), 0, "old holder irrelevant");
+        assert_eq!(store.invalidate_node(NodeId(5)), 1);
+    }
+
+    #[test]
+    fn conf_signature_is_stable_and_sensitive() {
+        let pairs = [("a", "1"), ("b", "2")];
+        let sig = |ps: &[(&'static str, &'static str)], r| {
+            signature_of_conf(ps.iter().map(|&(k, v)| (k, v)), r)
+        };
+        assert_eq!(sig(&pairs, 1), sig(&pairs, 1));
+        assert_ne!(sig(&pairs, 1), sig(&pairs, 2), "reduce count matters");
+        assert_ne!(sig(&pairs, 1), sig(&[("a", "1"), ("b", "3")], 1));
+        // Separators keep ("ab","c") distinct from ("a","bc").
+        assert_ne!(sig(&[("ab", "c")], 1), sig(&[("a", "bc")], 1));
+    }
+}

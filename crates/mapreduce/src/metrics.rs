@@ -186,6 +186,63 @@ impl GuardrailMetrics {
     }
 }
 
+/// Deterministic memoization-plane counters: how the incremental
+/// recomputation machinery classified splits and what reuse saved. Driven
+/// purely by simulated scheduling, so they are identical across thread
+/// counts for a fixed evolve schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoMetrics {
+    /// Map attempts satisfied from the memo store (host recomputation
+    /// skipped; the simulated schedule was preserved).
+    pub splits_reused: u64,
+    /// Splits whose memo entry existed at a stale block version and were
+    /// recomputed.
+    pub splits_dirty: u64,
+    /// Map attempts that ran the mapper for real while memoization was
+    /// enabled (new splits, dirty splits, and invalidated entries).
+    pub splits_computed: u64,
+    /// Evolve steps that delivered new blocks while jobs were live.
+    pub input_arrivals: u64,
+    /// Input records whose re-scan a memo hit avoided.
+    pub records_saved: u64,
+    /// Memo entries discarded because the node holding the cached map
+    /// output died.
+    pub entries_invalidated: u64,
+}
+
+impl MemoMetrics {
+    /// Recompute the trace-derivable counters from an exported trace.
+    /// `splits_computed` and `entries_invalidated` have no dedicated
+    /// trace event (computation is visible only as the *absence* of
+    /// `SplitReused` on a finished map) and stay zero; compare against
+    /// [`MemoMetrics::derivable`] of the live counters.
+    pub fn from_trace(events: &[TraceEvent]) -> MemoMetrics {
+        let mut m = MemoMetrics::default();
+        for e in events {
+            match e.kind {
+                TraceKind::SplitReused { .. } => m.splits_reused += 1,
+                TraceKind::SplitDirty { .. } => m.splits_dirty += 1,
+                TraceKind::InputArrived { .. } => m.input_arrivals += 1,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// This counter set restricted to the fields [`MemoMetrics::from_trace`]
+    /// can recompute (the rest zeroed), for direct equality checks.
+    pub fn derivable(&self) -> MemoMetrics {
+        MemoMetrics {
+            splits_reused: self.splits_reused,
+            splits_dirty: self.splits_dirty,
+            splits_computed: 0,
+            input_arrivals: self.input_arrivals,
+            records_saved: 0,
+            entries_invalidated: 0,
+        }
+    }
+}
+
 /// Host-side wall-clock nanoseconds spent on data-plane work, by phase.
 /// Pure observability: these depend on the host and thread count, so they
 /// are kept out of traces and all simulated accounting.
@@ -217,6 +274,7 @@ pub struct ClusterMetrics {
     host: HostPhaseNanos,
     faults: FaultMetrics,
     guardrails: GuardrailMetrics,
+    memo: MemoMetrics,
 }
 
 /// Aggregated report at the end of a run.
@@ -256,6 +314,7 @@ impl ClusterMetrics {
             host: HostPhaseNanos::default(),
             faults: FaultMetrics::default(),
             guardrails: GuardrailMetrics::default(),
+            memo: MemoMetrics::default(),
         }
     }
 
@@ -352,6 +411,17 @@ impl ClusterMetrics {
     /// Guard-rail counters accumulated so far.
     pub fn guardrails(&self) -> GuardrailMetrics {
         self.guardrails
+    }
+
+    /// Mutable memoization counters (the runtime bumps these as the memo
+    /// store classifies splits).
+    pub fn memo_mut(&mut self) -> &mut MemoMetrics {
+        &mut self.memo
+    }
+
+    /// Memoization counters accumulated so far.
+    pub fn memo(&self) -> MemoMetrics {
+        self.memo
     }
 
     /// Produce the aggregate report as of `now`.
@@ -549,6 +619,55 @@ mod tests {
         live.provider_panics = 3;
         live.unknown_blocks = 1;
         assert_eq!(live.derivable(), g);
+    }
+
+    #[test]
+    fn memo_counters_accumulate_and_recompute_from_trace() {
+        use crate::job::{JobId, TaskId};
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        assert_eq!(m.memo(), MemoMetrics::default());
+        m.memo_mut().splits_reused += 2;
+        m.memo_mut().records_saved += 500;
+        assert_eq!(m.memo().splits_reused, 2);
+        assert_eq!(m.memo().records_saved, 500);
+
+        let at = |s: u64, kind: TraceKind| TraceEvent {
+            time: SimTime::from_secs(s),
+            kind,
+        };
+        let events = vec![
+            at(1, TraceKind::InputArrived { splits: 3 }),
+            at(
+                2,
+                TraceKind::SplitReused {
+                    job: JobId(0),
+                    task: TaskId(0),
+                },
+            ),
+            at(
+                2,
+                TraceKind::SplitReused {
+                    job: JobId(0),
+                    task: TaskId(1),
+                },
+            ),
+            at(
+                3,
+                TraceKind::SplitDirty {
+                    job: JobId(0),
+                    task: TaskId(2),
+                },
+            ),
+        ];
+        let t = MemoMetrics::from_trace(&events);
+        assert_eq!(t.splits_reused, 2);
+        assert_eq!(t.splits_dirty, 1);
+        assert_eq!(t.input_arrivals, 1);
+        let mut live = t;
+        live.splits_computed = 4;
+        live.records_saved = 99;
+        live.entries_invalidated = 1;
+        assert_eq!(live.derivable(), t);
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::QueryAdmitted { .. } => "QueryAdmitted",
         TraceKind::QueryRejected { .. } => "QueryRejected",
         TraceKind::QuotaDeferred { .. } => "QuotaDeferred",
+        TraceKind::SplitReused { .. } => "SplitReused",
+        TraceKind::SplitDirty { .. } => "SplitDirty",
+        TraceKind::InputArrived { .. } => "InputArrived",
     }
 }
 
@@ -218,6 +221,17 @@ pub fn encode_event(event: &TraceEvent) -> String {
             TraceKind::QuotaDeferred { tenant, depth } => {
                 field("tenant", *tenant as u64);
                 field("depth", *depth as u64);
+            }
+            TraceKind::SplitReused { job, task } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+            }
+            TraceKind::SplitDirty { job, task } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+            }
+            TraceKind::InputArrived { splits } => {
+                field("splits", *splits as u64);
             }
         }
     }
@@ -517,6 +531,17 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, TraceParseError> {
         "QuotaDeferred" => TraceKind::QuotaDeferred {
             tenant: r.num("tenant")? as u32,
             depth: r.num("depth")? as u32,
+        },
+        "SplitReused" => TraceKind::SplitReused {
+            job: r.job()?,
+            task: r.task()?,
+        },
+        "SplitDirty" => TraceKind::SplitDirty {
+            job: r.job()?,
+            task: r.task()?,
+        },
+        "InputArrived" => TraceKind::InputArrived {
+            splits: r.num("splits")? as u32,
         },
         other => return Err(TraceParseError::UnknownKind(other.to_string())),
     };

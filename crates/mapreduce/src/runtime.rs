@@ -63,6 +63,7 @@ use crate::job::{
     EvalContext, GrowthDirective, GrowthDriver, JobConfigError, JobError, JobId, JobProgress,
     JobResult, JobSpec, ProviderError, ProviderStage, TaskId,
 };
+use crate::memo::{signature_of_conf, MemoProbe, MemoStore};
 use crate::metrics::ClusterMetrics;
 use crate::obs::{AuditDirective, AuditRecord, JsonlSink, MetricsRegistry, TraceSink};
 use crate::parallel::{
@@ -159,6 +160,16 @@ enum AttemptStage {
     Cpu { flow: FlowId },
 }
 
+/// Where a map attempt's output comes from: freshly submitted data-plane
+/// work, or a result replayed from the memo store. A memoized attempt
+/// keeps its *full* simulated schedule (slot, overhead, disk, CPU) so warm
+/// runs stay byte-identical to cold ones; only the host recomputation is
+/// skipped.
+enum MapWork {
+    Computed(UnitHandle<MapTaskResult>),
+    Cached(MapTaskResult),
+}
+
 /// One in-flight attempt of a map task. Ordinarily a task has at most one;
 /// speculative execution adds a second racing attempt on another node.
 struct MapAttempt {
@@ -170,10 +181,11 @@ struct MapAttempt {
     /// Dispatch instant (drives the laggard test for speculation).
     started: SimTime,
     stage: AttemptStage,
-    /// Claim on the attempt's data-plane result: submitted at dispatch,
-    /// joined at simulated completion. Dropped (not joined) on a failed or
-    /// killed attempt — the next attempt submits afresh.
-    result: Option<UnitHandle<MapTaskResult>>,
+    /// Claim on the attempt's data-plane result: submitted (or replayed
+    /// from the memo store) at dispatch, consumed at simulated completion.
+    /// Dropped (not joined) on a failed or killed attempt — the next
+    /// attempt submits afresh.
+    result: Option<MapWork>,
 }
 
 struct TaskEntry {
@@ -319,6 +331,17 @@ struct JobEntry {
     /// Speculation candidates — tasks with exactly one non-speculative
     /// attempt in flight — keyed by attempt start time (oldest first).
     spec_candidates: BTreeSet<(SimTime, u32)>,
+    /// Stable identity of the job's computation (memo-sharing key):
+    /// `mapred.job.signature` when set, else a hash of the full conf.
+    signature: u64,
+    /// Standing query (`dynamic.job.continuous`): instead of wedging when
+    /// its provider has nothing to do, the job parks and `evolve` wakes it.
+    continuous: bool,
+    /// A parked standing query: no EvalTick in flight; `evolve` re-arms.
+    parked: bool,
+    /// Blocks that arrived via `evolve` since the last driver consultation
+    /// (delivered once through `EvalContext::arrived`).
+    arrived: Vec<BlockId>,
     result: Option<JobResult>,
 }
 
@@ -403,6 +426,13 @@ pub struct MrRuntime {
     /// Data-plane worker pool (see [`crate::parallel`]); serial at
     /// `Parallelism::SERIAL`. Never touches simulated time.
     executor: ParallelExecutor,
+    /// The memoization plane (`None` until `enable_memoization`): cached
+    /// per-split map output keyed by `(job signature, block, version)`.
+    memo: Option<MemoStore>,
+    /// Standing queries currently parked (no EvalTick in flight). When
+    /// every active job is parked, heartbeat chains expire so the event
+    /// queue can drain; `evolve` restarts them.
+    parked_jobs: u32,
 }
 
 impl MrRuntime {
@@ -470,7 +500,26 @@ impl MrRuntime {
             obs_registry: MetricsRegistry::new(),
             audit: None,
             executor: ParallelExecutor::new(cfg.parallelism),
+            memo: None,
+            parked_jobs: 0,
         }
+    }
+
+    /// Turn on the memoization plane: completed map tasks cache their
+    /// output keyed by `(job signature, block, version)`, and later jobs
+    /// with the same signature replay cached splits instead of recomputing
+    /// them (the attempt keeps its full simulated schedule, so results and
+    /// traces stay byte-identical to a cold run). See DESIGN.md §13.
+    pub fn enable_memoization(&mut self) {
+        if self.memo.is_none() {
+            self.memo = Some(MemoStore::new());
+        }
+    }
+
+    /// The memo store, when memoization is enabled (read access for tests
+    /// and tooling).
+    pub fn memo_store(&self) -> Option<&MemoStore> {
+        self.memo.as_ref()
     }
 
     /// Start recording a [`TraceEvent`] timeline (see [`crate::trace`]).
@@ -650,6 +699,52 @@ impl MrRuntime {
         &self.namespace
     }
 
+    /// The evolve API: mutate the namespace in place — append blocks,
+    /// rewrite blocks ([`Namespace::append_blocks`] /
+    /// [`Namespace::mutate_blocks`], typically via `Dataset::append` /
+    /// `Dataset::mutate`) — at the current simulated time.
+    ///
+    /// If new blocks appeared, the runtime records a job-less
+    /// [`TraceKind::InputArrived`] event, hands the new block ids to every
+    /// live standing query (`dynamic.job.continuous`) through
+    /// [`EvalContext::arrived`], and wakes parked ones with an immediate
+    /// re-evaluation. In-place mutations need no wakeup: they bump block
+    /// versions, and the memo plane's next probe sees the staleness.
+    pub fn evolve<R>(&mut self, f: impl FnOnce(&mut Namespace) -> R) -> R {
+        let before = self.namespace.num_blocks();
+        let out = f(&mut self.namespace);
+        let after = self.namespace.num_blocks();
+        if after > before {
+            let arrived: Vec<BlockId> = (before as u32..after as u32).map(BlockId).collect();
+            self.record(TraceKind::InputArrived {
+                splits: arrived.len() as u32,
+            });
+            self.metrics.memo_mut().input_arrivals += 1;
+            let ids: Vec<JobId> = self
+                .jobs
+                .iter()
+                .filter(|j| j.continuous && j.phase == JobPhase::Map && !j.end_of_input)
+                .map(|j| j.id)
+                .collect();
+            let mut woke = false;
+            for id in ids {
+                self.job_mut(id).arrived.extend(arrived.iter().copied());
+                if self.job(id).parked {
+                    self.unpark(id);
+                    self.sim
+                        .schedule_after(SimDuration::ZERO, Event::EvalTick { job: id });
+                    woke = true;
+                }
+            }
+            if woke {
+                // Chains may have expired while every active job was
+                // parked; the woken query's AddInputs need them back.
+                self.ensure_heartbeats();
+            }
+        }
+        out
+    }
+
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.cfg
@@ -762,6 +857,20 @@ impl MrRuntime {
             .get(keys::HISTOGRAM_ENABLED)
             .map(|v| v.eq_ignore_ascii_case("true"))
             .unwrap_or(true);
+        // Memoization plane: a semantic signature when the submitter set
+        // one, else a hash of the full conf (so distinct queries never
+        // share cached map output by accident).
+        let signature = match spec.conf.get(keys::JOB_SIGNATURE) {
+            Some(v) => v.parse().map_err(|_| {
+                JobConfigError::BadConf(ConfError {
+                    key: keys::JOB_SIGNATURE.to_string(),
+                    value: v.to_string(),
+                    wanted: "u64",
+                })
+            })?,
+            None => signature_of_conf(spec.conf.iter(), reduce_tasks),
+        };
+        let continuous = spec.conf.get_bool(keys::CONTINUOUS);
         // Snapshot before this job is registered, so the provider's first
         // look at the cluster excludes its own (not yet running) job.
         let status = self.cluster_status();
@@ -808,6 +917,10 @@ impl MrRuntime {
             share_key: None,
             counted_pending: 0,
             spec_candidates: BTreeSet::new(),
+            signature,
+            continuous,
+            parked: false,
+            arrived: Vec::new(),
             result: None,
         };
         self.jobs.push(entry);
@@ -1010,6 +1123,17 @@ impl MrRuntime {
         &mut self.jobs[id.0 as usize]
     }
 
+    /// Leave the parked state (no-op when not parked). Every transition
+    /// out of parked — evolve wakeup, deadline, failure — goes through
+    /// here so the parked-jobs counter stays exact.
+    fn unpark(&mut self, id: JobId) {
+        let job = &mut self.jobs[id.0 as usize];
+        if job.parked {
+            job.parked = false;
+            self.parked_jobs -= 1;
+        }
+    }
+
     /// Re-key one job in the runnable indexes, the queued-task counter,
     /// and the speculation job set after any mutation of its pending
     /// queue, running count, or phase. O(log jobs); idempotent.
@@ -1152,6 +1276,9 @@ impl MrRuntime {
         if self.job(id).phase == JobPhase::Done {
             return;
         }
+        // A deadline is the one event that can reach a parked standing
+        // query; leaving the parked state here keeps the counter exact.
+        self.unpark(id);
         let graceful = self.job(id).allow_partial;
         self.metrics.guardrails_mut().deadlines_exceeded += 1;
         self.record(TraceKind::DeadlineExceeded { job: id, graceful });
@@ -1179,6 +1306,9 @@ impl MrRuntime {
         // Running attempts are left to finish — their output is already
         // paid for; the job reduces once the last one lands.
         self.maybe_begin_reduce(id);
+        // A formerly parked job may have let the heartbeat chains expire;
+        // its queued reduces need them back.
+        self.ensure_heartbeats();
     }
 
     /// Start a self-perpetuating heartbeat chain on every live node that
@@ -1223,7 +1353,9 @@ impl MrRuntime {
     }
 
     fn on_heartbeat(&mut self, node: u16) {
-        if self.active_jobs == 0 || !self.nodes[node as usize].alive {
+        // Chains expire when nothing needs them: no active jobs, or every
+        // active job is a parked standing query (`evolve` restarts them).
+        if self.active_jobs == self.parked_jobs || !self.nodes[node as usize].alive {
             self.nodes[node as usize].chain_live = false;
             self.heartbeats_live -= 1;
             return;
@@ -1383,11 +1515,15 @@ impl MrRuntime {
         }
         let progress = job.progress();
         let status = self.cluster_status();
+        // Blocks that landed via `evolve` since the last consultation are
+        // delivered exactly once, then the buffer resets.
+        let arrived = std::mem::take(&mut self.job_mut(id).arrived);
         // Sandboxed evaluation: panics become typed provider errors.
         let outcome = {
             let driver = &mut self.job_mut(id).driver;
             catch_unwind(AssertUnwindSafe(|| {
-                driver.try_evaluate(EvalContext::unlimited(&progress, &status))
+                driver
+                    .try_evaluate(EvalContext::unlimited(&progress, &status).with_arrived(&arrived))
             }))
             .unwrap_or_else(|p| Err(ProviderError::from_panic(ProviderStage::Evaluate, p)))
         };
@@ -1474,6 +1610,12 @@ impl MrRuntime {
             job.idle_evaluations = 0;
             return;
         }
+        if job.continuous {
+            // A standing query with nothing to do is idle by design, not
+            // wedged: it parks at the next tick and `evolve` wakes it.
+            job.idle_evaluations = 0;
+            return;
+        }
         job.idle_evaluations += 1;
         let idle = job.idle_evaluations;
         if job.max_idle_evaluations > 0 && idle >= job.max_idle_evaluations {
@@ -1497,11 +1639,21 @@ impl MrRuntime {
         }
         self.evaluate_job(id);
         let job = self.job(id);
-        if job.phase == JobPhase::Map && !job.end_of_input {
-            let interval = job.driver.evaluation_interval();
-            self.sim
-                .schedule_after(interval, Event::EvalTick { job: id });
+        if job.phase != JobPhase::Map || job.end_of_input {
+            return;
         }
+        if job.continuous && job.running == 0 && job.pending.is_empty() && job.arrived.is_empty() {
+            // Standing query with nothing outstanding: park instead of
+            // spinning the tick. `evolve` re-arms the tick when input
+            // lands; with every active job parked, heartbeat chains
+            // expire too, so the event queue can drain.
+            self.job_mut(id).parked = true;
+            self.parked_jobs += 1;
+            return;
+        }
+        let interval = job.driver.evaluation_interval();
+        self.sim
+            .schedule_after(interval, Event::EvalTick { job: id });
     }
 
     /// Offer one node's heartbeat to the scheduler: at most
@@ -1660,19 +1812,67 @@ impl MrRuntime {
         // event loop overlaps with host computation; results are pure
         // functions of the unit, so simulated state and event ordering are
         // identical at any thread count.
+        //
+        // Memoization probe: with the memo plane on, a split whose cached
+        // output matches the block's current version replays the cached
+        // result instead of submitting host work. The attempt's simulated
+        // schedule is untouched either way, so warm runs stay
+        // byte-identical to cold ones.
         for a in assignments {
-            let unit = {
+            let (block, signature) = {
                 let job = self.job(a.job);
-                MapUnit {
-                    input_format: std::sync::Arc::clone(&job.spec.input_format),
-                    mapper: std::sync::Arc::clone(&job.spec.mapper),
-                    combiner: job.spec.combiner.clone(),
-                    block: job.tasks[a.task.0 as usize].block,
-                    reduce_tasks: job.reduce_tasks,
+                (job.tasks[a.task.0 as usize].block, job.signature)
+            };
+            let version = self.namespace.version_of(block);
+            let probe = self
+                .memo
+                .as_ref()
+                .map(|m| m.probe(signature, block, version))
+                .unwrap_or(MemoProbe::Miss);
+            let work = match probe {
+                MemoProbe::Hit => {
+                    let result = self
+                        .memo
+                        .as_ref()
+                        .expect("probe hit implies a store")
+                        .get(signature, block, version)
+                        .expect("probe hit implies an entry")
+                        .result
+                        .clone();
+                    self.record(TraceKind::SplitReused {
+                        job: a.job,
+                        task: a.task,
+                    });
+                    let memo = self.metrics.memo_mut();
+                    memo.splits_reused += 1;
+                    memo.records_saved += result.records_read;
+                    MapWork::Cached(result)
+                }
+                probe => {
+                    if probe == MemoProbe::Stale {
+                        self.record(TraceKind::SplitDirty {
+                            job: a.job,
+                            task: a.task,
+                        });
+                        self.metrics.memo_mut().splits_dirty += 1;
+                    }
+                    if self.memo.is_some() {
+                        self.metrics.memo_mut().splits_computed += 1;
+                    }
+                    let unit = {
+                        let job = self.job(a.job);
+                        MapUnit {
+                            input_format: std::sync::Arc::clone(&job.spec.input_format),
+                            mapper: std::sync::Arc::clone(&job.spec.mapper),
+                            combiner: job.spec.combiner.clone(),
+                            block,
+                            reduce_tasks: job.reduce_tasks,
+                        }
+                    };
+                    MapWork::Computed(self.executor.submit(unit))
                 }
             };
-            let handle = self.executor.submit(unit);
-            self.dispatch(a.job, a.task, a.node, handle, false);
+            self.dispatch(a.job, a.task, a.node, work, false);
         }
     }
 
@@ -1681,7 +1881,7 @@ impl MrRuntime {
         id: JobId,
         task: TaskId,
         node: NodeId,
-        handle: UnitHandle<MapTaskResult>,
+        work: MapWork,
         speculative: bool,
     ) {
         let now = self.sim.now();
@@ -1757,7 +1957,7 @@ impl MrRuntime {
                 speculative,
                 started: now,
                 stage: AttemptStage::Overhead(ev),
-                result: Some(handle),
+                result: Some(work),
             });
         self.refresh_spec_candidate(id, task);
     }
@@ -1931,9 +2131,9 @@ impl MrRuntime {
             // (dropping the handle — nobody wants the result).
             return;
         }
-        // Invariant: every attempt is created with `result: Some(handle)`
-        // and the handle is only taken here, at its single completion.
-        let handle = a.result.expect("work submitted at dispatch");
+        // Invariant: every attempt is created with `result: Some(work)`
+        // and the work is only taken here, at its single completion.
+        let work = a.result.expect("work submitted at dispatch");
         let attempt_ms = (now - a.started).as_millis();
         self.obs_record(id, |reg| reg.record_map_attempt(attempt_ms));
         if self.job(id).first_merge_at.is_none() {
@@ -1957,15 +2157,41 @@ impl MrRuntime {
             // block, so the shuffle already holds byte-identical output.
             // Drop the duplicate and skip the job counters — counting the
             // records twice would fool drivers into an early EndOfInput.
-            drop(handle);
+            drop(work);
         } else {
-            // Claim the data-plane result (blocks only if a worker is still
-            // on it) and merge its pre-partitioned output into the
-            // per-reduce shuffle buffers — the streaming half of the
-            // shuffle. Merging by task id keeps the merged content a pure
-            // function of the task set, whatever order faults impose.
-            let result = handle.join();
-            self.metrics.add_host_map_ns(result.host_ns);
+            // Claim the result — joined from the data plane (blocks only
+            // if a worker is still on it), or replayed from the memo store
+            // (the attempt kept its full simulated schedule; only the host
+            // recomputation was skipped) — and merge its pre-partitioned
+            // output into the per-reduce shuffle buffers — the streaming
+            // half of the shuffle. Merging by task id keeps the merged
+            // content a pure function of the task set, whatever order
+            // faults impose.
+            let (result, replayed) = match work {
+                MapWork::Computed(handle) => {
+                    let result = handle.join();
+                    self.metrics.add_host_map_ns(result.host_ns);
+                    (result, false)
+                }
+                MapWork::Cached(result) => (result, true),
+            };
+            if let Some(memo) = &mut self.memo {
+                let job = &self.jobs[id.0 as usize];
+                let block = job.tasks[task.0 as usize].block;
+                if replayed {
+                    // The replaying node now holds a live copy of the map
+                    // output; invalidation tracks the latest holder.
+                    memo.rehome(job.signature, block, a.node);
+                } else {
+                    memo.insert(
+                        job.signature,
+                        block,
+                        self.namespace.version_of(block),
+                        a.node,
+                        result.clone(),
+                    );
+                }
+            }
             let merge_start = std::time::Instant::now();
             {
                 let job = self.job_mut(id);
@@ -2148,6 +2374,13 @@ impl MrRuntime {
         self.nodes[node as usize].alive = false;
         self.record(TraceKind::NodeLost { node: NodeId(node) });
         self.metrics.faults_mut().nodes_lost += 1;
+        // Cached map output lives on the node that produced (or last
+        // replayed) it and dies with the tracker — drop its memo entries
+        // so later probes recompute instead of replaying lost output.
+        if let Some(memo) = &mut self.memo {
+            let dropped = memo.invalidate_node(NodeId(node));
+            self.metrics.memo_mut().entries_invalidated += dropped;
+        }
         let job_ids: Vec<JobId> = self.jobs.iter().map(|j| j.id).collect();
         for id in job_ids {
             let ntasks = self.job(id).tasks.len();
@@ -2307,6 +2540,9 @@ impl MrRuntime {
                 reduce_tasks: job.reduce_tasks,
             }
         };
+        // Speculative backups always submit real work (no memo probe): a
+        // backup exists because the primary is suspect, and the dup-merge
+        // guard absorbs whichever copy loses.
         let handle = self.executor.submit(unit);
         self.record(TraceKind::SpeculativeLaunch {
             job: id,
@@ -2314,11 +2550,12 @@ impl MrRuntime {
             node: NodeId(node),
         });
         self.metrics.faults_mut().speculative_launched += 1;
-        self.dispatch(id, task, NodeId(node), handle, true);
+        self.dispatch(id, task, NodeId(node), MapWork::Computed(handle), true);
     }
 
     fn fail_job(&mut self, id: JobId, error: JobError) {
         let now = self.sim.now();
+        self.unpark(id);
         let job = self.job_mut(id);
         debug_assert!(job.phase != JobPhase::Done);
         job.phase = JobPhase::Done;

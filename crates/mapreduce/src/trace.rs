@@ -235,6 +235,29 @@ pub enum TraceKind {
         /// Queue depth after parking this query.
         depth: u32,
     },
+    /// The memo store satisfied a map task from cached output: the attempt
+    /// kept its simulated schedule but skipped host recomputation.
+    SplitReused {
+        /// The job.
+        job: JobId,
+        /// The reused task.
+        task: TaskId,
+    },
+    /// A memo entry for this split existed but at a stale block version —
+    /// the split was rewritten since it was cached and must recompute.
+    SplitDirty {
+        /// The job.
+        job: JobId,
+        /// The dirty task.
+        task: TaskId,
+    },
+    /// New blocks landed on the DFS while the cluster was live; parked
+    /// standing queries were woken to consider them. Cluster-level: the
+    /// arrival precedes any job claiming the splits.
+    InputArrived {
+        /// Number of blocks that arrived in this evolve step.
+        splits: u32,
+    },
 }
 
 impl TraceKind {
@@ -262,11 +285,14 @@ impl TraceKind {
             | TraceKind::JobWedged { job, .. }
             | TraceKind::DeadlineExceeded { job, .. }
             | TraceKind::PartialSample { job, .. }
-            | TraceKind::QueryAdmitted { job, .. } => Some(*job),
+            | TraceKind::QueryAdmitted { job, .. }
+            | TraceKind::SplitReused { job, .. }
+            | TraceKind::SplitDirty { job, .. } => Some(*job),
             TraceKind::NodeLost { .. }
             | TraceKind::NodeRejoined { .. }
             | TraceKind::QueryRejected { .. }
-            | TraceKind::QuotaDeferred { .. } => None,
+            | TraceKind::QuotaDeferred { .. }
+            | TraceKind::InputArrived { .. } => None,
         }
     }
 }
@@ -379,6 +405,15 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::QuotaDeferred { tenant, depth } => {
                 write!(f, "tenant{tenant} deferred (queue depth {depth})")
+            }
+            TraceKind::SplitReused { job, task } => {
+                write!(f, "{job}/{task} reused from memo")
+            }
+            TraceKind::SplitDirty { job, task } => {
+                write!(f, "{job}/{task} dirty (stale memo version)")
+            }
+            TraceKind::InputArrived { splits } => {
+                write!(f, "+{splits} blocks arrived")
             }
         }
     }

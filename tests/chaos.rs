@@ -17,8 +17,8 @@ use std::sync::Arc;
 
 use incmr::mapreduce::faults::unresolved_speculations;
 use incmr::mapreduce::{
-    ClusterFaultPlan, FaultMetrics, GuardrailMetrics, NodeOutage, SpeculationConfig, TaskId,
-    TraceEvent, TraceKind,
+    ClusterFaultPlan, FaultMetrics, GuardrailMetrics, MemoMetrics, NodeOutage, SpeculationConfig,
+    TaskId, TraceEvent, TraceKind,
 };
 use incmr::prelude::*;
 
@@ -626,5 +626,220 @@ fn provider_observes_only_alive_node_capacity_after_a_node_dies() {
     assert!(
         seen.iter().any(|s| s.total_map_slots == 36),
         "at least one consultation must see the shrunken cluster"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Incremental mode under chaos
+// ---------------------------------------------------------------------------
+
+/// A sample target no dataset here can satisfy, so the requery consumes
+/// every split (the Hadoop policy grabs the whole pool upfront) and
+/// materialises every matching row — output that actually reflects split
+/// content, unlike the unmaterialised scan.
+fn sample_everything(ds: &Arc<Dataset>) -> (JobSpec, Box<dyn incmr::mapreduce::GrowthDriver>) {
+    let (job, driver) = build_sampling_job(
+        ds,
+        1 << 40,
+        Policy::hadoop(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        23,
+    );
+    (job, driver)
+}
+
+/// The fixed evolve schedule for the incremental chaos runs: rewrite a
+/// spread of initial splits, then append fresh ones.
+fn evolve_world(
+    rt: &mut MrRuntime,
+    ds: &Arc<Dataset>,
+    placement: &mut EvenRoundRobin,
+    rng: &mut DetRng,
+) {
+    let splits = ds.splits();
+    let blocks: Vec<BlockId> = [1usize, 5, 9, 14]
+        .iter()
+        .map(|&i| splits[i].block)
+        .collect();
+    rt.evolve(|ns| ds.mutate(ns, &blocks, placement, rng));
+    rt.evolve(|ns| ds.append(ns, 3, placement, rng));
+}
+
+/// One incremental session under one fault schedule: a priming run to
+/// populate the memo store, the evolve schedule, then the warm requery.
+/// Returns the warm result, whether the priming run survived, and
+/// everything observable about the whole session.
+fn run_incremental(
+    threads: u32,
+    plan: Option<&ClusterFaultPlan>,
+) -> (JobResult, bool, Vec<TraceEvent>, FaultMetrics, MemoMetrics) {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(17);
+    let mut placement = EvenRoundRobin::new();
+    let spec = DatasetSpec::small("t", 24, 3_000, SkewLevel::Moderate, 17);
+    let ds = Arc::new(Dataset::build(&mut ns, spec, &mut placement, &mut rng));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user().with_parallelism(Parallelism::threads(threads)),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    rt.enable_tracing();
+    rt.enable_memoization();
+    if let Some(plan) = plan {
+        rt.inject_cluster_faults(plan.clone())
+            .expect("valid chaos plan");
+    }
+    let (job, driver) = sample_everything(&ds);
+    let prime = rt.submit(job, driver);
+    rt.run_until_idle();
+    evolve_world(&mut rt, &ds, &mut placement, &mut rng);
+    let (job, driver) = sample_everything(&ds);
+    let warm = rt.submit(job, driver);
+    rt.run_until_idle();
+    let result = rt.job_result(warm).clone();
+    let primed = !rt.job_result(prime).failed;
+    (
+        result,
+        primed,
+        rt.take_trace(),
+        rt.metrics().faults(),
+        rt.metrics().memo(),
+    )
+}
+
+/// The fault-free cold truth on the *final* dataset state: same build,
+/// same evolve schedule, one job, no memoization anywhere.
+fn incremental_baseline() -> JobResult {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(17);
+    let mut placement = EvenRoundRobin::new();
+    let spec = DatasetSpec::small("t", 24, 3_000, SkewLevel::Moderate, 17);
+    let ds = Arc::new(Dataset::build(&mut ns, spec, &mut placement, &mut rng));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    evolve_world(&mut rt, &ds, &mut placement, &mut rng);
+    let (job, driver) = sample_everything(&ds);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    rt.job_result(id).clone()
+}
+
+/// Seeded chaos schedules against incremental sessions: the whole session
+/// (priming run, evolve, warm requery) is byte-identical at 1/4/8 threads
+/// — traces, fault counters, *and memo counters* — and every warm requery
+/// that survives its schedule produces exactly the fault-free cold output
+/// on the final dataset state, cached entries or not.
+#[test]
+fn incremental_warm_runs_survive_chaos_schedules_exactly() {
+    let baseline = incremental_baseline();
+    assert!(!baseline.failed, "the fault-free baseline must complete");
+    let (free, _, free_trace, _, free_memo) = run_incremental(1, None);
+    assert!(!free.failed);
+    assert_eq!(
+        free.output, baseline.output,
+        "fault-free warm requery must equal the cold baseline"
+    );
+    assert!(
+        free_memo.splits_reused > 0,
+        "the fault-free warm run must actually reuse: {free_memo:?}"
+    );
+    let horizon = (free_trace.last().expect("nonempty trace").time - SimTime::ZERO).as_millis();
+    let mut survived = 0u32;
+    for seed in 0..10u64 {
+        let plan = chaos_plan(seed, horizon);
+        let (r1, p1, t1, f1, m1) = run_incremental(1, Some(&plan));
+        for threads in [4, 8] {
+            let (r, p, t, f, m) = run_incremental(threads, Some(&plan));
+            assert_eq!(
+                (r.failed, p),
+                (r1.failed, p1),
+                "job fates diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                r.output, r1.output,
+                "warm output diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                t, t1,
+                "event timeline diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                f, f1,
+                "fault counters diverged at {threads} threads (schedule {seed})"
+            );
+            assert_eq!(
+                m, m1,
+                "memo counters diverged at {threads} threads (schedule {seed})"
+            );
+        }
+        if !r1.failed {
+            survived += 1;
+            assert_eq!(
+                r1.output, baseline.output,
+                "a surviving warm requery diverged from the fault-free cold \
+                 output (schedule {seed})"
+            );
+        }
+    }
+    assert!(
+        survived > 0,
+        "every schedule doomed its warm requery — the matrix proves nothing"
+    );
+}
+
+/// The headline invalidation semantic: cached map output lives on the
+/// node that computed it, so killing that node mid-requery destroys its
+/// entries and the affected splits must fall back to real recomputation —
+/// and the requery still commits the exact fault-free output.
+#[test]
+fn node_death_destroys_cached_output_and_the_warm_requery_recomputes() {
+    let (free, _, free_trace, _, free_memo) = run_incremental(1, None);
+    assert!(!free.failed);
+    let at = |pred: &dyn Fn(&TraceKind) -> bool| {
+        free_trace
+            .iter()
+            .find(|e| pred(&e.kind))
+            .expect("event present in the fault-free trace")
+            .time
+    };
+    let submit = at(&|k| matches!(k, TraceKind::JobSubmitted { job } if *job == JobId(1)));
+    let done = at(&|k| matches!(k, TraceKind::JobCompleted { job, .. } if *job == JobId(1)));
+    // A quarter of the way into the warm window: reused splits are still
+    // being replayed when the node dies.
+    let s_ms = (submit - SimTime::ZERO).as_millis();
+    let d_ms = (done - SimTime::ZERO).as_millis();
+    let plan = ClusterFaultPlan {
+        outages: vec![NodeOutage {
+            node: NodeId(3),
+            down_at: SimTime::from_millis(s_ms + (d_ms - s_ms) / 4),
+            up_at: None,
+        }],
+        seed: 11,
+        ..ClusterFaultPlan::default()
+    };
+    let (r, primed, _, faults, memo) = run_incremental(1, Some(&plan));
+    assert!(primed, "the outage must postdate the priming run");
+    assert!(!r.failed, "nine surviving nodes must finish the requery");
+    assert_eq!(faults.nodes_lost, 1);
+    assert!(
+        memo.entries_invalidated > 0,
+        "the dead node's cached map output must be discarded: {memo:?}"
+    );
+    assert!(
+        memo.splits_computed > free_memo.splits_computed,
+        "invalidated splits must fall back to recomputation \
+         (fault-free computed {}, got {:?})",
+        free_memo.splits_computed,
+        memo
+    );
+    assert_eq!(
+        r.output, free.output,
+        "recomputation must reproduce the fault-free output exactly"
     );
 }

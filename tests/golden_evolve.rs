@@ -1,0 +1,167 @@
+//! Golden evolve-trace regression: one fixed-seed timeline over an
+//! evolving dataset — cold requery, append, warm requery, in-place
+//! mutation, warm requery, then a parked standing query woken by arriving
+//! data — committed to the repository line for line.
+//!
+//! Any change to the memoization plane (probe order, invalidation,
+//! wakeup scheduling) or to the evolve path shows up here as a readable
+//! diff instead of a silent drift. After an *intentional* behaviour
+//! change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_evolve
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use incmr::core::ContinuousSampling;
+use incmr::mapreduce::keys;
+use incmr::prelude::*;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/evolve_trace.txt")
+}
+
+/// A full-consumption requery: `k` equal to the dataset's total planted
+/// matches under the Hadoop policy grabs every split upfront and
+/// completes exactly at the target — no partial-sample tail in the trace.
+fn requery(ds: &Arc<Dataset>, rt: &mut MrRuntime) -> JobId {
+    let (mut job, driver) = build_sampling_job(
+        ds,
+        ds.total_matching(),
+        Policy::hadoop(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        23,
+    );
+    // `k` grows with the dataset, which would shift the conf-derived
+    // signature — but per-split map output is independent of `k`, so the
+    // requeries pin a shared semantic signature (the override hiveql uses
+    // for its compiled queries).
+    job.conf.set(keys::JOB_SIGNATURE, 7_001u64);
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    assert!(!rt.job_result(id).failed, "golden requery must complete");
+    id
+}
+
+/// The fixed-seed evolve timeline.
+fn render_run() -> String {
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(23);
+    let mut placement = EvenRoundRobin::new();
+    let spec = DatasetSpec::small("e", 10, 3_000, SkewLevel::Zero, 23);
+    let ds = Arc::new(Dataset::build(&mut ns, spec, &mut placement, &mut rng));
+    let mut rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    rt.enable_tracing();
+    rt.enable_memoization();
+
+    // Job 0: the cold requery — populates the memo store.
+    requery(&ds, &mut rt);
+
+    // Four fresh splits arrive; job 1 reuses the original ten and
+    // computes only the arrivals.
+    rt.evolve(|ns| ds.append(ns, 4, &mut placement, &mut rng));
+    requery(&ds, &mut rt);
+
+    // Three splits are rewritten in place; job 2 sees them dirty at the
+    // bumped block version and recomputes exactly those.
+    let splits = ds.splits();
+    let rewritten: Vec<BlockId> = [0usize, 3, 7].iter().map(|&i| splits[i].block).collect();
+    rt.evolve(|ns| ds.mutate(ns, &rewritten, &mut placement, &mut rng));
+    requery(&ds, &mut rt);
+
+    // Job 3: a standing query targeting one more match than the dataset
+    // holds — it drains its pool, parks, and is woken by the arrival of
+    // two more splits, completing with the full sample.
+    let k = ds.total_matching() + 1;
+    let (mut job, _) = build_sampling_job(
+        &ds,
+        k,
+        Policy::ma(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        23,
+    );
+    job.conf.set(keys::CONTINUOUS, true);
+    let blocks: Vec<BlockId> = ds.splits().iter().map(|p| p.block).collect();
+    let total = blocks.len() as u32;
+    let driver = Box::new(DynamicDriver::new(
+        Box::new(ContinuousSampling::new(blocks, k, 23)),
+        Policy::ma(),
+        total,
+    ));
+    let id = rt.submit(job, driver);
+    rt.run_until_idle();
+    assert!(!rt.is_complete(id), "the standing query must park");
+    rt.evolve(|ns| ds.append(ns, 2, &mut placement, &mut rng));
+    rt.run_until_idle();
+    assert!(rt.is_complete(id), "arriving data must wake the query");
+    assert!(!rt.job_result(id).failed);
+    assert_eq!(rt.job_result(id).output.len() as u64, k);
+
+    let mut out = String::new();
+    for event in rt.take_trace() {
+        out.push_str(&event.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn evolve_trace_matches_golden_file() {
+    let got = render_run();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&path, &got).expect("write golden evolve trace");
+        return;
+    }
+    let want = fs::read_to_string(&path)
+        .expect("tests/golden/evolve_trace.txt missing — generate it with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "evolve trace diverged from tests/golden/evolve_trace.txt; \
+         if the behaviour change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         and review the diff"
+    );
+}
+
+/// Coverage guard: the golden timeline must keep producing every event
+/// kind the incremental plane emits — split reuse, staleness, and data
+/// arrival — plus the wakeup arrival that un-parks the standing query.
+/// Without this the trace could quietly stop exercising the memo plane
+/// while still "matching".
+#[test]
+fn golden_timeline_exercises_every_incremental_event_kind() {
+    let got = render_run();
+    for needle in [
+        "reused from memo",
+        "dirty (stale memo version)",
+        "+4 blocks arrived",
+        "+2 blocks arrived",
+    ] {
+        assert!(
+            got.contains(needle),
+            "golden evolve timeline no longer produces a \"{needle}\" event"
+        );
+    }
+    let reused = got.matches("reused from memo").count();
+    let dirty = got.matches("dirty (stale memo version)").count();
+    assert_eq!(
+        dirty, 3,
+        "job 2 must see exactly the three rewritten splits as dirty"
+    );
+    assert!(
+        reused >= 10 + 11,
+        "jobs 1 and 2 must reuse the bulk of their splits, got {reused}"
+    );
+}

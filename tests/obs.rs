@@ -17,7 +17,7 @@ use incmr::simkit::stats::LogHistogram;
 
 /// Keep in sync with [`kind_index`]'s exhaustive match (which is what
 /// actually enforces the count at build time).
-const NUM_KINDS: usize = 25;
+const NUM_KINDS: usize = 28;
 
 /// Generator-side build guard: exhaustive, no wildcard. A new `TraceKind`
 /// variant fails compilation here until [`kind_from`] can produce it.
@@ -48,6 +48,9 @@ fn kind_index(kind: &TraceKind) -> usize {
         TraceKind::QueryAdmitted { .. } => 22,
         TraceKind::QueryRejected { .. } => 23,
         TraceKind::QuotaDeferred { .. } => 24,
+        TraceKind::SplitReused { .. } => 25,
+        TraceKind::SplitDirty { .. } => 26,
+        TraceKind::InputArrived { .. } => 27,
     }
 }
 
@@ -140,6 +143,9 @@ fn kind_from(which: usize, a: u64, b: u64, c: u64, d: u64) -> TraceKind {
             tenant: b as u32,
             depth: c as u32,
         },
+        25 => TraceKind::SplitReused { job, task },
+        26 => TraceKind::SplitDirty { job, task },
+        27 => TraceKind::InputArrived { splits: b as u32 },
         _ => unreachable!(),
     }
 }
