@@ -24,5 +24,8 @@ pub mod placement;
 pub mod topology;
 
 pub use namespace::{Block, BlockId, BlockSpec, DfsError, DfsFile, FileId, Namespace};
-pub use placement::{EvenRoundRobin, PinnedPlacement, PlacementPolicy, RandomPlacement};
-pub use topology::{ClusterTopology, DiskId, NodeId};
+pub use placement::{
+    EvenRoundRobin, PinnedPlacement, PlacementConfigError, PlacementPolicy, RandomPlacement,
+    ReplicatedPlacement,
+};
+pub use topology::{ClusterTopology, DiskId, NodeId, RackId};

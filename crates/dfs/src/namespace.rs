@@ -6,7 +6,7 @@
 //! records-per-split estimate need), plus its replica locations (what the
 //! scheduler's locality logic needs).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use incmr_simkit::rng::DetRng;
@@ -57,8 +57,14 @@ pub struct Block {
     pub bytes: u64,
     /// Number of records.
     pub records: u64,
-    /// Disks holding a replica (never empty).
+    /// Disks holding a replica. Never empty at creation; node deaths (via
+    /// [`Namespace::drop_node_replicas`]) can drain it to empty — the block
+    /// is then *lost* until re-replicated from nowhere (it cannot be), so
+    /// readers must check [`Namespace::live_replicas`] first.
     pub locations: Vec<DiskId>,
+    /// Replication factor this block was placed with — the target the
+    /// re-replication daemon restores towards after replica loss.
+    pub replication: u8,
     /// Content version: 0 at creation, bumped by every
     /// [`Namespace::mutate_blocks`] rewrite. The memoization plane keys
     /// cached map output on `(job signature, block, version)`, so a bump
@@ -84,6 +90,9 @@ pub enum DfsError {
     DuplicateName(String),
     /// Lookup of an unknown file name.
     NoSuchFile(String),
+    /// Every replica of the block is on a dead node — the data is
+    /// unavailable (and, unless a holder rejoins, lost).
+    NoLiveReplica(BlockId),
 }
 
 impl fmt::Display for DfsError {
@@ -91,6 +100,7 @@ impl fmt::Display for DfsError {
         match self {
             DfsError::DuplicateName(n) => write!(f, "file already exists: {n}"),
             DfsError::NoSuchFile(n) => write!(f, "no such file: {n}"),
+            DfsError::NoLiveReplica(b) => write!(f, "no live replica of {b}"),
         }
     }
 }
@@ -145,6 +155,7 @@ impl Namespace {
                 index: index as u32,
                 bytes: spec.bytes,
                 records: spec.records,
+                replication: locations.len() as u8,
                 locations,
                 version: 0,
             });
@@ -189,6 +200,7 @@ impl Namespace {
                 index: index as u32,
                 bytes: spec.bytes,
                 records: spec.records,
+                replication: locations.len() as u8,
                 locations,
                 version: 0,
             });
@@ -224,6 +236,7 @@ impl Namespace {
                 assert!(!locations.is_empty(), "placement returned no replicas");
                 let b = &mut self.blocks[id.0 as usize];
                 b.version += 1;
+                b.replication = locations.len() as u8;
                 b.locations = locations;
                 b.version
             })
@@ -285,10 +298,87 @@ impl Namespace {
             .find(|&d| self.topology.node_of(d) == node)
     }
 
-    /// The first replica (used for remote reads — with replication 1 it is
-    /// the only copy).
-    pub fn primary_replica(&self, block: BlockId) -> DiskId {
-        self.block(block).locations[0]
+    /// The first *live* replica — the disk a remote read targets. With an
+    /// empty `dead_nodes` set this is simply the first replica (with
+    /// replication 1, the only copy).
+    ///
+    /// # Errors
+    /// [`DfsError::NoLiveReplica`] when every holder of the block is dead.
+    pub fn primary_replica(
+        &self,
+        block: BlockId,
+        dead_nodes: &BTreeSet<NodeId>,
+    ) -> Result<DiskId, DfsError> {
+        self.block(block)
+            .locations
+            .iter()
+            .copied()
+            .find(|&d| !dead_nodes.contains(&self.topology.node_of(d)))
+            .ok_or(DfsError::NoLiveReplica(block))
+    }
+
+    /// Replica disks of `block` on nodes *not* in `dead_nodes`, in
+    /// placement order — the locations a scheduler or failover read may
+    /// actually use. Empty when the block is unavailable.
+    pub fn live_replicas(&self, block: BlockId, dead_nodes: &BTreeSet<NodeId>) -> Vec<DiskId> {
+        self.block(block)
+            .locations
+            .iter()
+            .copied()
+            .filter(|&d| !dead_nodes.contains(&self.topology.node_of(d)))
+            .collect()
+    }
+
+    /// Permanently remove every replica hosted on `node`'s disks — the
+    /// data-loss half of a node death (the node's storage is gone; if it
+    /// rejoins later it comes back empty). Returns the ids of blocks that
+    /// lost a replica, in id order. Blocks whose `locations` drain to empty
+    /// are *lost* until a holder is restored externally.
+    pub fn drop_node_replicas(&mut self, node: NodeId) -> Vec<BlockId> {
+        let mut affected = Vec::new();
+        for b in &mut self.blocks {
+            let before = b.locations.len();
+            b.locations
+                .retain(|&d| self.topology.node_of(d) != node);
+            if b.locations.len() < before {
+                affected.push(b.id);
+            }
+        }
+        affected
+    }
+
+    /// Add a replica of `block` on `disk` (re-replication). No-op guard:
+    /// panics if the disk already holds the block — the caller picks fresh
+    /// holders.
+    ///
+    /// # Panics
+    /// Panics on an id not issued by this namespace or a duplicate replica.
+    pub fn add_replica(&mut self, block: BlockId, disk: DiskId) {
+        assert!(disk.0 < self.topology.num_disks(), "disk {disk} out of range");
+        let b = &mut self.blocks[block.0 as usize];
+        assert!(
+            !b.locations.contains(&disk),
+            "{disk} already holds {block}"
+        );
+        b.locations.push(disk);
+    }
+
+    /// Blocks with fewer live replicas than their placement-time target,
+    /// given the current dead set — the re-replication daemon's work queue,
+    /// in block-id order.
+    pub fn under_replicated(&self, dead_nodes: &BTreeSet<NodeId>) -> Vec<BlockId> {
+        self.blocks
+            .iter()
+            .filter(|b| {
+                let live = b
+                    .locations
+                    .iter()
+                    .filter(|&&d| !dead_nodes.contains(&self.topology.node_of(d)))
+                    .count();
+                live < b.replication as usize
+            })
+            .map(|b| b.id)
+            .collect()
     }
 
     /// Total number of blocks across all files.
@@ -379,7 +469,10 @@ mod tests {
         assert!(ns.is_local(blocks[7], NodeId(1)));
         assert_eq!(ns.local_replica(blocks[7], NodeId(1)), Some(DiskId(7)));
         assert_eq!(ns.local_replica(blocks[7], NodeId(2)), None);
-        assert_eq!(ns.primary_replica(blocks[7]), DiskId(7));
+        assert_eq!(
+            ns.primary_replica(blocks[7], &BTreeSet::new()),
+            Ok(DiskId(7))
+        );
     }
 
     #[test]
@@ -443,6 +536,89 @@ mod tests {
         assert_eq!(after.bytes, before.bytes);
         assert_eq!(after.records, before.records);
         assert_eq!(after.index, before.index);
+    }
+
+    #[test]
+    fn primary_replica_fails_over_to_first_live_holder() {
+        let topo = ClusterTopology::new(4, 2, 1).with_racks(2);
+        let mut ns = Namespace::new(topo);
+        let mut rng = DetRng::seed_from(1);
+        let mut policy = crate::placement::ReplicatedPlacement::try_new(2, &topo).unwrap();
+        ns.create_file("t", &specs(1), &mut policy, &mut rng).unwrap();
+        let b = BlockId(0);
+        let locs = ns.block(b).locations.clone();
+        assert_eq!(locs.len(), 2);
+        let first_node = topo.node_of(locs[0]);
+        let mut dead = BTreeSet::new();
+        assert_eq!(ns.primary_replica(b, &dead), Ok(locs[0]));
+        dead.insert(first_node);
+        assert_eq!(ns.primary_replica(b, &dead), Ok(locs[1]));
+        assert_eq!(ns.live_replicas(b, &dead), vec![locs[1]]);
+        dead.insert(topo.node_of(locs[1]));
+        assert_eq!(ns.primary_replica(b, &dead), Err(DfsError::NoLiveReplica(b)));
+        assert!(ns.live_replicas(b, &dead).is_empty());
+    }
+
+    #[test]
+    fn drop_node_replicas_strips_and_reports() {
+        let topo = ClusterTopology::new(4, 2, 1).with_racks(2);
+        let mut ns = Namespace::new(topo);
+        let mut rng = DetRng::seed_from(1);
+        let mut policy = crate::placement::ReplicatedPlacement::try_new(2, &topo).unwrap();
+        ns.create_file("t", &specs(8), &mut policy, &mut rng).unwrap();
+        let held: Vec<BlockId> = (0..8)
+            .map(BlockId)
+            .filter(|&b| ns.is_local(b, NodeId(1)))
+            .collect();
+        assert!(!held.is_empty());
+        let affected = ns.drop_node_replicas(NodeId(1));
+        assert_eq!(affected, held);
+        for b in affected {
+            assert!(!ns.is_local(b, NodeId(1)));
+            assert_eq!(ns.block(b).replication, 2, "target survives the loss");
+            assert_eq!(ns.block(b).locations.len(), 1);
+        }
+        assert_eq!(
+            ns.under_replicated(&BTreeSet::new()),
+            held,
+            "stripped blocks are below their placement-time target"
+        );
+        assert!(ns.drop_node_replicas(NodeId(1)).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn add_replica_restores_target() {
+        let topo = ClusterTopology::new(2, 1, 1);
+        let mut ns = Namespace::new(topo);
+        let mut rng = DetRng::seed_from(1);
+        let mut policy = crate::placement::ReplicatedPlacement::try_new(2, &topo).unwrap();
+        ns.create_file("t", &specs(1), &mut policy, &mut rng).unwrap();
+        ns.drop_node_replicas(NodeId(0));
+        assert_eq!(ns.under_replicated(&BTreeSet::new()), vec![BlockId(0)]);
+        ns.add_replica(BlockId(0), DiskId(0));
+        assert!(ns.under_replicated(&BTreeSet::new()).is_empty());
+        assert_eq!(ns.block(BlockId(0)).locations, vec![DiskId(1), DiskId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds")]
+    fn duplicate_replica_panics() {
+        let (mut ns, _) = ns_with_file(1);
+        let d = ns.block(BlockId(0)).locations[0];
+        ns.add_replica(BlockId(0), d);
+    }
+
+    #[test]
+    fn dead_holders_count_as_under_replicated() {
+        let (ns, _) = ns_with_file(4);
+        // r = 1 round-robin: block i on disk i, node i/4 — killing node 0
+        // makes blocks 0..4 under-replicated without mutating the namespace.
+        let mut dead = BTreeSet::new();
+        dead.insert(NodeId(0));
+        assert_eq!(
+            ns.under_replicated(&dead),
+            vec![BlockId(0), BlockId(1), BlockId(2), BlockId(3)]
+        );
     }
 
     #[test]

@@ -7,9 +7,11 @@
 //! (Section V-B) — that is [`EvenRoundRobin`]. [`RandomPlacement`] (with
 //! optional replication) is provided for ablations.
 
+use std::fmt;
+
 use incmr_simkit::rng::DetRng;
 
-use crate::topology::{ClusterTopology, DiskId};
+use crate::topology::{ClusterTopology, DiskId, NodeId};
 
 /// Chooses the disks that will hold each block of a file.
 pub trait PlacementPolicy {
@@ -100,6 +102,154 @@ impl RandomPlacement {
     }
 }
 
+/// Rejected replication configuration (user input — typed errors, no
+/// panics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementConfigError {
+    /// `replication = 0` stores no copy at all.
+    ZeroReplication,
+    /// More replicas requested than the cluster has nodes — the "never two
+    /// replicas on one node" invariant would be unsatisfiable.
+    ReplicationExceedsNodes {
+        /// Requested replication factor.
+        replication: u8,
+        /// Nodes available to hold distinct replicas.
+        nodes: u16,
+    },
+    /// Rack-aware placement needs at least two racks to spread across.
+    NotEnoughRacks {
+        /// Racks in the topology.
+        racks: u16,
+    },
+}
+
+impl fmt::Display for PlacementConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementConfigError::ZeroReplication => {
+                write!(f, "replication factor must be at least 1")
+            }
+            PlacementConfigError::ReplicationExceedsNodes { replication, nodes } => write!(
+                f,
+                "replication {replication} exceeds the {nodes} node(s) available"
+            ),
+            PlacementConfigError::NotEnoughRacks { racks } => {
+                write!(f, "rack-aware placement needs >= 2 racks, topology has {racks}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementConfigError {}
+
+/// HDFS-style replicated placement with factor `r`: every block gets exactly
+/// `r` replicas on `r` *distinct nodes*, and when the topology has more than
+/// one rack the replica set spans at least two racks. Fully deterministic —
+/// the layout depends only on the block index and the topology, never on the
+/// RNG, so two namespaces built with the same policy are byte-identical
+/// regardless of seed.
+///
+/// Primary replicas round-robin across nodes (block `i` is homed on node
+/// `i % nodes`), which keeps map locality balanced exactly like
+/// [`EvenRoundRobin`] does at `r = 1`; the remaining replicas walk the
+/// following nodes, preferring ones in racks not yet covered.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplicatedPlacement {
+    replication: u8,
+}
+
+impl ReplicatedPlacement {
+    /// Placement with `replication` replicas, validated against `topology`.
+    /// Spreads across racks when the topology has more than one, but does
+    /// not require it.
+    pub fn try_new(
+        replication: u8,
+        topology: &ClusterTopology,
+    ) -> Result<Self, PlacementConfigError> {
+        if replication == 0 {
+            return Err(PlacementConfigError::ZeroReplication);
+        }
+        if replication as u16 > topology.num_nodes() {
+            return Err(PlacementConfigError::ReplicationExceedsNodes {
+                replication,
+                nodes: topology.num_nodes(),
+            });
+        }
+        Ok(ReplicatedPlacement { replication })
+    }
+
+    /// Like [`ReplicatedPlacement::try_new`] but additionally requires the
+    /// topology to have at least two racks, so the rack-spread invariant is
+    /// guaranteed rather than best-effort.
+    pub fn try_rack_aware(
+        replication: u8,
+        topology: &ClusterTopology,
+    ) -> Result<Self, PlacementConfigError> {
+        if topology.num_racks() < 2 {
+            return Err(PlacementConfigError::NotEnoughRacks {
+                racks: topology.num_racks(),
+            });
+        }
+        ReplicatedPlacement::try_new(replication, topology)
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> u8 {
+        self.replication
+    }
+
+    /// The deterministic replica nodes for block `index`: primary on
+    /// `index % nodes`, then the following nodes in id order, except that
+    /// while only one rack is covered a node in a *new* rack is preferred.
+    fn replica_nodes(&self, index: usize, topology: &ClusterTopology) -> Vec<NodeId> {
+        let n = topology.num_nodes();
+        let primary = NodeId((index % n as usize) as u16);
+        let mut chosen = vec![primary];
+        let mut offset = 1u16;
+        while chosen.len() < self.replication as usize {
+            let candidate = NodeId((primary.0 + offset) % n);
+            offset += 1;
+            if chosen.contains(&candidate) {
+                continue;
+            }
+            // Until a second rack is covered, skip candidates that would
+            // keep all replicas in the primary's rack — unless no such
+            // candidate exists at all (single-rack topologies).
+            let one_rack_so_far = chosen
+                .iter()
+                .all(|&c| topology.rack_of(c) == topology.rack_of(primary));
+            if one_rack_so_far
+                && topology.num_racks() > 1
+                && topology.rack_of(candidate) == topology.rack_of(primary)
+            {
+                continue;
+            }
+            chosen.push(candidate);
+        }
+        chosen
+    }
+}
+
+impl PlacementPolicy for ReplicatedPlacement {
+    fn place(
+        &mut self,
+        index: usize,
+        topology: &ClusterTopology,
+        _rng: &mut DetRng,
+    ) -> Vec<DiskId> {
+        // Within each node, stripe successive visits of the round-robin
+        // across that node's disks so replicas balance per-disk too.
+        let spin = (index / topology.num_nodes() as usize) as u32;
+        self.replica_nodes(index, topology)
+            .into_iter()
+            .map(|node| {
+                let disks: Vec<DiskId> = topology.disks_of(node).collect();
+                disks[(spin as usize) % disks.len()]
+            })
+            .collect()
+    }
+}
+
 impl PlacementPolicy for RandomPlacement {
     fn place(
         &mut self,
@@ -174,6 +324,76 @@ mod tests {
     #[should_panic(expected = "at least one replica")]
     fn zero_replication_panics() {
         let _ = RandomPlacement::new(0);
+    }
+
+    #[test]
+    fn replicated_placement_spreads_nodes_and_racks() {
+        let topo = ClusterTopology::paper_cluster().with_racks(2);
+        let mut policy = ReplicatedPlacement::try_rack_aware(3, &topo).unwrap();
+        let mut rng = DetRng::seed_from(1);
+        for i in 0..80 {
+            let locs = policy.place(i, &topo, &mut rng);
+            assert_eq!(locs.len(), 3);
+            let mut nodes: Vec<_> = locs.iter().map(|&d| topo.node_of(d)).collect();
+            nodes.sort();
+            nodes.dedup();
+            assert_eq!(nodes.len(), 3, "never two replicas on one node");
+            let mut racks: Vec<_> = nodes.iter().map(|&n| topo.rack_of(n)).collect();
+            racks.sort();
+            racks.dedup();
+            assert!(racks.len() >= 2, "replicas span at least two racks");
+        }
+    }
+
+    #[test]
+    fn replicated_placement_ignores_rng_seed() {
+        let topo = ClusterTopology::paper_cluster().with_racks(2);
+        let run = |seed| {
+            let mut policy = ReplicatedPlacement::try_new(3, &topo).unwrap();
+            let mut rng = DetRng::seed_from(seed);
+            (0..40)
+                .map(|i| policy.place(i, &topo, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(12345), "layout is seed-independent");
+    }
+
+    #[test]
+    fn replicated_placement_balances_primaries_round_robin() {
+        let topo = ClusterTopology::paper_cluster();
+        let mut policy = ReplicatedPlacement::try_new(2, &topo).unwrap();
+        let mut rng = DetRng::seed_from(1);
+        for i in 0..20 {
+            let locs = policy.place(i, &topo, &mut rng);
+            assert_eq!(
+                topo.node_of(locs[0]),
+                crate::topology::NodeId((i % 10) as u16),
+                "primary homes round-robin across nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_config_is_validated_not_asserted() {
+        let topo = ClusterTopology::new(3, 2, 1);
+        assert_eq!(
+            ReplicatedPlacement::try_new(0, &topo).unwrap_err(),
+            PlacementConfigError::ZeroReplication
+        );
+        assert_eq!(
+            ReplicatedPlacement::try_new(4, &topo).unwrap_err(),
+            PlacementConfigError::ReplicationExceedsNodes {
+                replication: 4,
+                nodes: 3
+            }
+        );
+        assert_eq!(
+            ReplicatedPlacement::try_rack_aware(2, &topo).unwrap_err(),
+            PlacementConfigError::NotEnoughRacks { racks: 1 }
+        );
+        assert!(ReplicatedPlacement::try_rack_aware(2, &topo.with_racks(2)).is_ok());
+        // Errors render for operators.
+        assert!(PlacementConfigError::ZeroReplication.to_string().contains("at least 1"));
     }
 
     #[test]

@@ -28,16 +28,29 @@ impl fmt::Display for DiskId {
     }
 }
 
-/// Shape of the cluster hardware: how many nodes, and disks/cores per node.
+/// A failure-domain rack (0-based). Node `n` lives in rack `n % racks`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RackId(pub u16);
+
+impl fmt::Display for RackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rack{}", self.0)
+    }
+}
+
+/// Shape of the cluster hardware: how many nodes, disks/cores per node, and
+/// how the nodes are striped across failure-domain racks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ClusterTopology {
     nodes: u16,
     disks_per_node: u8,
     cores_per_node: u8,
+    racks: u16,
 }
 
 impl ClusterTopology {
-    /// A topology with the given shape.
+    /// A single-rack topology with the given shape (the paper's testbed is
+    /// one rack).
     ///
     /// # Panics
     /// Panics if any dimension is zero.
@@ -47,7 +60,23 @@ impl ClusterTopology {
             nodes,
             disks_per_node,
             cores_per_node,
+            racks: 1,
         }
+    }
+
+    /// The same topology with its nodes striped across `racks` racks
+    /// (node `n` lands in rack `n % racks`).
+    ///
+    /// # Panics
+    /// Panics if `racks` is zero or exceeds the node count (a rack with no
+    /// node in it is not a failure domain).
+    pub fn with_racks(self, racks: u16) -> Self {
+        assert!(
+            racks > 0 && racks <= self.nodes,
+            "racks must be in 1..=nodes ({} nodes, {racks} racks)",
+            self.nodes
+        );
+        ClusterTopology { racks, ..self }
     }
 
     /// The paper's 10-node, 4-disk, 4-core testbed (Section V-A).
@@ -68,6 +97,21 @@ impl ClusterTopology {
     /// CPU cores per node.
     pub fn cores_per_node(&self) -> u8 {
         self.cores_per_node
+    }
+
+    /// Number of failure-domain racks (1 unless set via
+    /// [`ClusterTopology::with_racks`]).
+    pub fn num_racks(&self) -> u16 {
+        self.racks
+    }
+
+    /// The rack a node lives in.
+    ///
+    /// # Panics
+    /// Panics if the node id is out of range.
+    pub fn rack_of(&self, node: NodeId) -> RackId {
+        assert!(node.0 < self.nodes, "node {node} out of range");
+        RackId(node.0 % self.racks)
     }
 
     /// Total disks in the cluster.
@@ -152,5 +196,40 @@ mod tests {
     #[should_panic]
     fn out_of_range_disk_panics() {
         ClusterTopology::new(1, 1, 1).node_of(DiskId(5));
+    }
+
+    #[test]
+    fn default_topology_is_one_rack() {
+        let t = ClusterTopology::paper_cluster();
+        assert_eq!(t.num_racks(), 1);
+        for n in t.nodes() {
+            assert_eq!(t.rack_of(n), RackId(0));
+        }
+    }
+
+    #[test]
+    fn racks_stripe_nodes_round_robin() {
+        let t = ClusterTopology::paper_cluster().with_racks(3);
+        assert_eq!(t.num_racks(), 3);
+        assert_eq!(t.rack_of(NodeId(0)), RackId(0));
+        assert_eq!(t.rack_of(NodeId(1)), RackId(1));
+        assert_eq!(t.rack_of(NodeId(2)), RackId(2));
+        assert_eq!(t.rack_of(NodeId(3)), RackId(0));
+        // Every rack is non-empty.
+        for r in 0..3 {
+            assert!(t.nodes().any(|n| t.rack_of(n) == RackId(r)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "racks must be in 1..=nodes")]
+    fn more_racks_than_nodes_panics() {
+        ClusterTopology::new(2, 1, 1).with_racks(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "racks must be in 1..=nodes")]
+    fn zero_racks_panics() {
+        ClusterTopology::new(2, 1, 1).with_racks(0);
     }
 }

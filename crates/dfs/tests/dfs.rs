@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use incmr_dfs::{
     BlockId, BlockSpec, ClusterTopology, DiskId, EvenRoundRobin, Namespace, NodeId,
-    PinnedPlacement, RandomPlacement,
+    PinnedPlacement, RandomPlacement, ReplicatedPlacement,
 };
 use incmr_simkit::rng::DetRng;
 
@@ -90,7 +90,10 @@ fn locality_tracks_mutation_induced_moves() {
     );
     assert!(!ns.is_local(BlockId(0), NodeId(0)), "replica moved away");
     assert!(ns.is_local(BlockId(0), NodeId(9)), "now on the last node");
-    assert_eq!(ns.primary_replica(BlockId(0)), DiskId(39));
+    assert_eq!(
+        ns.primary_replica(BlockId(0), &std::collections::BTreeSet::new()),
+        Ok(DiskId(39))
+    );
     assert_eq!(ns.local_replica(BlockId(0), NodeId(9)), Some(DiskId(39)));
 }
 
@@ -181,6 +184,50 @@ proptest! {
         }
         for i in 0..8u32 {
             prop_assert_eq!(ns.version_of(BlockId(i)), expected[i as usize]);
+        }
+    }
+
+    /// Replicated placement holds all four invariants across arbitrary
+    /// shapes: exactly r replicas, no node holds two, rack-spread whenever
+    /// the topology has >= 2 racks, and a layout independent of the RNG
+    /// seed.
+    #[test]
+    fn replicated_placement_invariants(
+        nodes in 2u16..12,
+        disks_per_node in 1u8..4,
+        racks in 1u16..5,
+        r in 1u8..5,
+        n_blocks in 1usize..60,
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+    ) {
+        let racks = racks.min(nodes);
+        let r = r.min(nodes as u8);
+        let topo = ClusterTopology::new(nodes, disks_per_node, 1).with_racks(racks);
+        let layout = |seed: u64| {
+            let mut policy = ReplicatedPlacement::try_new(r, &topo).unwrap();
+            let mut rng = DetRng::seed_from(seed);
+            (0..n_blocks)
+                .map(|i| {
+                    use incmr_dfs::PlacementPolicy;
+                    policy.place(i, &topo, &mut rng)
+                })
+                .collect::<Vec<Vec<DiskId>>>()
+        };
+        let a = layout(seed_a);
+        prop_assert_eq!(&a, &layout(seed_b), "layout must not depend on seed");
+        for locs in &a {
+            prop_assert_eq!(locs.len(), r as usize, "exactly r replicas");
+            let mut holders: Vec<NodeId> = locs.iter().map(|&d| topo.node_of(d)).collect();
+            holders.sort();
+            holders.dedup();
+            prop_assert_eq!(holders.len(), r as usize, "no node holds two replicas");
+            if racks >= 2 && r >= 2 {
+                let mut rs: Vec<_> = holders.iter().map(|&n| topo.rack_of(n)).collect();
+                rs.sort();
+                rs.dedup();
+                prop_assert!(rs.len() >= 2, "replicas must span racks");
+            }
         }
     }
 

@@ -9,7 +9,8 @@
 //! Artefact names: `table1 table2 table3 fig4 fig5 fig6 fig7 fig8`.
 
 use incmr_experiments::{
-    ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, table1, table2, table3,
+    ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, replication, table1,
+    table2, table3,
 };
 
 fn main() {
@@ -36,6 +37,7 @@ fn main() {
         "fig8",
         "ablations",
         "estimator",
+        "replication",
     ];
     let chosen: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -80,6 +82,15 @@ fn main() {
                 eprintln!("[fig8] heterogeneous workload (Fair + FIFO baseline)…");
                 let r = fig8::run(&cal);
                 println!("{}", fig8::render_figure(&r));
+            }
+            "replication" => {
+                eprintln!(
+                    "[replication] survival grid: {} scales x r=1/2/3 x {} seeds…",
+                    cal.scales.len(),
+                    cal.seeds.len()
+                );
+                let r = replication::run(&cal);
+                println!("{}", replication::render_figure(&cal, &r));
             }
             "ablations" => {
                 eprintln!("[ablations] design-choice sweeps…");

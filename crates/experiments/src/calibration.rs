@@ -134,16 +134,17 @@ impl Calibration {
 
     /// Like [`Calibration::build_copies`], with an optional replication
     /// factor: `None` uses the paper's even, unreplicated layout;
-    /// `Some(r)` places `r` random replicas per block (the replication
-    /// ablation).
+    /// `Some(r)` uses the deterministic HDFS-style [`ReplicatedPlacement`]
+    /// (exactly `r` replicas, distinct nodes) — the replication ablation.
     pub fn build_copies_with(
         &self,
         skew: SkewLevel,
         seed: u64,
         replication: Option<u8>,
     ) -> (Namespace, Vec<Arc<Dataset>>) {
-        use incmr_dfs::{PlacementPolicy, RandomPlacement};
-        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        use incmr_dfs::{PlacementPolicy, ReplicatedPlacement};
+        let topology = ClusterTopology::paper_cluster();
+        let mut ns = Namespace::new(topology);
         let root = DetRng::seed_from(seed);
         let copies = (0..self.users)
             .map(|u| {
@@ -158,12 +159,45 @@ impl Calibration {
                 };
                 let mut placement: Box<dyn PlacementPolicy> = match replication {
                     None => Box::new(EvenRoundRobin::starting_at((u * 13) as u32)),
-                    Some(r) => Box::new(RandomPlacement::new(r)),
+                    Some(r) => Box::new(
+                        ReplicatedPlacement::try_new(r, &topology)
+                            .expect("calibration replication factor fits the paper cluster"),
+                    ),
                 };
                 Arc::new(Dataset::build(&mut ns, spec, placement.as_mut(), &mut rng))
             })
             .collect();
         (ns, copies)
+    }
+
+    /// Build a single-dataset world under rack-aware replication: a 2-rack
+    /// paper cluster with exactly `replication` replicas per block on
+    /// distinct nodes, spanning both racks when `replication >= 2`. The
+    /// replication-grid experiments drive this through fig5-style response
+    /// grids with a mid-run DataNode death.
+    pub fn build_world_replicated(
+        &self,
+        scale: u32,
+        skew: SkewLevel,
+        seed: u64,
+        replication: u8,
+    ) -> (Namespace, Arc<Dataset>) {
+        use incmr_dfs::ReplicatedPlacement;
+        let topology = ClusterTopology::paper_cluster().with_racks(2);
+        let mut placement = ReplicatedPlacement::try_rack_aware(replication, &topology)
+            .expect("replication factor fits the 2-rack paper cluster");
+        let mut ns = Namespace::new(topology);
+        let mut rng = DetRng::seed_from(seed);
+        let spec = DatasetSpec {
+            name: format!("lineitem_{scale}x_{skew:?}_{seed}_r{replication}"),
+            partitions: scale * self.partitions_per_scale,
+            records_per_partition: self.records_per_partition,
+            skew,
+            selectivity: incmr_data::queries::PAPER_SELECTIVITY,
+            seed,
+        };
+        let ds = Arc::new(Dataset::build(&mut ns, spec, &mut placement, &mut rng));
+        (ns, ds)
     }
 }
 

@@ -19,6 +19,10 @@
 //! fig6/fig7 cell with the runtime's observability plane on (trace,
 //! decision audit, latency histograms) and renders the full story.
 //!
+//! [`replication`] re-runs the single-user response grid with the
+//! replication plane armed (rack-aware r = 1/2/3, a DataNode death
+//! mid-run, background re-replication) and reports the survival cliff.
+//!
 //! Every experiment takes a [`calibration::Calibration`]: `paper()` mirrors
 //! the paper's parameters (scales 5–100, k = 10 000, 10 users, …);
 //! `quick()` shrinks datasets and windows so the whole suite runs in
@@ -36,6 +40,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod render;
+pub mod replication;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,299 @@
+//! Replication grid — the single-user response grid (Figure 5 shape)
+//! re-run with the replication plane armed: `r` = 1/2/3 rack-aware
+//! replicas per block on a 2-rack paper cluster, a DataNode death partway
+//! through every run (data-loss semantics on, so the dead node's replicas
+//! vanish), and the re-replication daemon repairing under-replicated
+//! blocks in the background.
+//!
+//! Expected shape: `r = 1` loses input blocks with the node and the job
+//! fails with the typed `InputLost` error; `r >= 2` survives the same
+//! death — in-flight reads fail over to a surviving replica, completed
+//! maps whose block survives elsewhere are *not* re-executed, and the
+//! daemon restores the missing copies — at a response time close to the
+//! fault-free run. The survival cliff sits between `r = 1` and `r = 2`;
+//! raising `r` to 3 buys durability headroom, not speed.
+
+use incmr_core::{build_sampling_job, Policy, SampleMode};
+use incmr_data::SkewLevel;
+use incmr_mapreduce::{
+    ClusterFaultPlan, FifoScheduler, JobError, JobResult, MrRuntime, NodeOutage, ScanMode,
+};
+use incmr_simkit::rng::splitmix64;
+use incmr_simkit::{SimDuration, SimTime};
+
+use crate::calibration::Calibration;
+use crate::render;
+
+/// Replication factors the grid sweeps.
+pub const FACTORS: [u8; 3] = [1, 2, 3];
+
+/// The node the grid kills (holds every `block % 10 == 0` primary under
+/// `ReplicatedPlacement` on the 10-node paper cluster).
+const VICTIM: u16 = 0;
+
+/// Fraction of the fault-free response time at which the victim dies —
+/// late enough that earlier map waves have completed (so the replica
+/// fast path has completed work to spare), early enough that the
+/// victim's remaining blocks are still pending at every scale.
+const DEATH_FRACTION: f64 = 0.6;
+
+/// How often the re-replication daemon wakes.
+const REPAIR_INTERVAL: SimDuration = SimDuration::from_secs(5);
+
+/// One measured point (averaged over the calibration's seeds).
+#[derive(Debug, Clone)]
+pub struct ReplicationCell {
+    /// Dataset scale.
+    pub scale: u32,
+    /// Replicas per block.
+    pub replication: u8,
+    /// Runs (out of the calibration's seeds) that completed despite the
+    /// death.
+    pub survived: u32,
+    /// Runs that failed with the typed [`JobError::InputLost`].
+    pub input_lost: u32,
+    /// Fault-free response time, seconds (same for every seed — the
+    /// simulation is deterministic given the world).
+    pub baseline_secs: f64,
+    /// Mean response time over surviving runs, seconds (0 when none
+    /// survived).
+    pub response_secs: f64,
+    /// Mean map re-executions forced by the death.
+    pub maps_reexecuted: f64,
+    /// Mean re-executions avoided because the block survived on another
+    /// replica.
+    pub reexecutions_avoided: f64,
+    /// Mean dispatched reads failed over to a surviving replica.
+    pub read_failovers: f64,
+    /// Mean replicas restored by the re-replication daemon.
+    pub replicas_restored: f64,
+}
+
+/// The complete grid.
+#[derive(Debug, Clone)]
+pub struct ReplicationResult {
+    /// All measured cells.
+    pub cells: Vec<ReplicationCell>,
+}
+
+impl ReplicationResult {
+    /// Look up one cell.
+    ///
+    /// # Panics
+    /// Panics if the combination was not part of the run.
+    pub fn get(&self, scale: u32, replication: u8) -> &ReplicationCell {
+        self.cells
+            .iter()
+            .find(|c| c.scale == scale && c.replication == replication)
+            .unwrap_or_else(|| panic!("no cell for {scale}x/r{replication}"))
+    }
+}
+
+/// One run of the full-scan sampling job on a replicated world, with an
+/// optional scheduled death of the victim node. Returns the job result,
+/// the runtime's replica counters, and the map re-executions forced.
+fn run_one(
+    cal: &Calibration,
+    scale: u32,
+    seed: u64,
+    replication: u8,
+    death_at: Option<SimTime>,
+) -> (JobResult, incmr_mapreduce::ReplicaMetrics, u64) {
+    let (ns, ds) = cal.build_world_replicated(scale, SkewLevel::Moderate, seed, replication);
+    // The replicated world is laid out on a 2-rack variant of the paper
+    // cluster; the runtime's config must agree with the namespace.
+    let mut cfg = cal.cluster_single;
+    cfg.topology = *ns.topology();
+    let mut rt = MrRuntime::new(cfg, cal.cost, ns, Box::new(FifoScheduler::new()));
+    rt.enable_data_loss();
+    rt.enable_re_replication(REPAIR_INTERVAL)
+        .expect("nonzero repair interval");
+    if let Some(down_at) = death_at {
+        rt.inject_cluster_faults(ClusterFaultPlan {
+            outages: vec![NodeOutage {
+                node: incmr_dfs::NodeId(VICTIM),
+                down_at,
+                up_at: None,
+            }],
+            seed,
+            ..ClusterFaultPlan::default()
+        })
+        .expect("valid outage plan");
+    }
+    let job_seed = splitmix64(seed ^ splitmix64(scale as u64) ^ replication as u64);
+    let (spec, driver) = build_sampling_job(
+        &ds,
+        cal.k,
+        Policy::hadoop(),
+        ScanMode::Planted,
+        SampleMode::FirstK,
+        job_seed,
+    );
+    let id = rt.submit(spec, driver);
+    rt.run_until_idle();
+    (
+        rt.job_result(id).clone(),
+        rt.metrics().replica(),
+        rt.metrics().faults().maps_reexecuted,
+    )
+}
+
+/// Run the grid: scales × replication factors, averaged over seeds. Each
+/// cell first measures the fault-free response time, then kills the
+/// victim node at [`DEATH_FRACTION`] of it in every seeded run.
+pub fn run(cal: &Calibration) -> ReplicationResult {
+    let mut cells = Vec::new();
+    for &scale in &cal.scales {
+        for r in FACTORS {
+            let seed0 = *cal.seeds.first().expect("calibration has seeds");
+            let (baseline, _, _) = run_one(cal, scale, seed0, r, None);
+            let horizon = baseline.response_time();
+            let death_at = baseline.submit_time
+                + SimDuration::from_secs_f64(horizon.as_secs_f64() * DEATH_FRACTION);
+
+            let mut survived = 0u32;
+            let mut input_lost = 0u32;
+            let mut resp = 0.0;
+            let mut reexec = 0.0;
+            let mut avoided = 0.0;
+            let mut failovers = 0.0;
+            let mut restored = 0.0;
+            for &seed in &cal.seeds {
+                let (result, replica, reexecuted) = run_one(cal, scale, seed, r, Some(death_at));
+                if result.failed {
+                    assert!(
+                        matches!(result.error, Some(JobError::InputLost { .. })),
+                        "the only expected failure mode is lost input, got {:?}",
+                        result.error
+                    );
+                    input_lost += 1;
+                } else {
+                    survived += 1;
+                    resp += result.response_time().as_secs_f64();
+                }
+                reexec += reexecuted as f64;
+                avoided += replica.reexecutions_avoided as f64;
+                failovers += replica.read_failovers as f64;
+                restored += replica.replicas_restored as f64;
+            }
+            let n = cal.seeds.len() as f64;
+            cells.push(ReplicationCell {
+                scale,
+                replication: r,
+                survived,
+                input_lost,
+                baseline_secs: horizon.as_secs_f64(),
+                response_secs: if survived > 0 {
+                    resp / survived as f64
+                } else {
+                    0.0
+                },
+                maps_reexecuted: reexec / n,
+                reexecutions_avoided: avoided / n,
+                read_failovers: failovers / n,
+                replicas_restored: restored / n,
+            });
+        }
+    }
+    ReplicationResult { cells }
+}
+
+/// Render the grid: survival, response vs baseline, and the replica
+/// counters that explain the difference.
+pub fn render_figure(cal: &Calibration, result: &ReplicationResult) -> String {
+    let mut out = String::from("REPLICATION GRID — DATANODE DEATH MID-RUN (r = 1/2/3)\n");
+    let header = [
+        "scale", "r", "survived", "lost", "base(s)", "resp(s)", "reexec", "avoided", "failover",
+        "restored",
+    ];
+    let rows: Vec<Vec<String>> = cal
+        .scales
+        .iter()
+        .flat_map(|&scale| {
+            FACTORS.iter().map(move |&r| (scale, r))
+        })
+        .map(|(scale, r)| {
+            let c = result.get(scale, r);
+            vec![
+                format!("{scale}x"),
+                format!("{r}"),
+                format!("{}/{}", c.survived, c.survived + c.input_lost),
+                format!("{}", c.input_lost),
+                render::f1(c.baseline_secs),
+                render::f1(c.response_secs),
+                render::f1(c.maps_reexecuted),
+                render::f1(c.reexecutions_avoided),
+                render::f1(c.read_failovers),
+                render::f1(c.replicas_restored),
+            ]
+        })
+        .collect();
+    out.push('\n');
+    out.push_str(&render::table(
+        "survival and recovery work by replication factor",
+        &header,
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_result() -> (Calibration, ReplicationResult) {
+        // Scale 10 = 80 splits on 40 slots: two map waves, so the death
+        // at 60% of the horizon lands after wave one completed.
+        let mut cal = Calibration::quick();
+        cal.scales = vec![10];
+        cal.seeds = vec![401];
+        let r = run(&cal);
+        (cal, r)
+    }
+
+    #[test]
+    fn survival_cliff_sits_between_r1_and_r2() {
+        let (cal, r) = quick_result();
+        let scale = cal.scales[0];
+        let r1 = r.get(scale, 1);
+        assert_eq!(r1.survived, 0, "r=1 cannot survive losing a DataNode");
+        assert_eq!(r1.input_lost, cal.seeds.len() as u32);
+        for factor in [2, 3] {
+            let c = r.get(scale, factor);
+            assert_eq!(
+                c.survived,
+                cal.seeds.len() as u32,
+                "r={factor} must survive the same death"
+            );
+            assert_eq!(c.input_lost, 0);
+        }
+    }
+
+    #[test]
+    fn surviving_runs_avoid_reexecution_and_repair_in_background() {
+        let (cal, r) = quick_result();
+        let c = r.get(cal.scales[0], 2);
+        assert!(
+            c.reexecutions_avoided > 0.0,
+            "completed maps on the dead node should be spared: {c:?}"
+        );
+        assert!(
+            c.replicas_restored > 0.0,
+            "the daemon should restore lost replicas: {c:?}"
+        );
+        assert!(
+            c.response_secs > 0.0 && c.baseline_secs > 0.0,
+            "both measured: {c:?}"
+        );
+    }
+
+    #[test]
+    fn rendering_includes_every_factor() {
+        let (cal, r) = quick_result();
+        let out = render_figure(&cal, &r);
+        assert!(out.contains("REPLICATION GRID"));
+        for needle in ["survived", "avoided", "restored"] {
+            assert!(out.contains(needle), "missing column {needle}");
+        }
+    }
+}

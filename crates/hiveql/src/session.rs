@@ -52,6 +52,11 @@ pub enum SessionError {
         /// Names that are registered.
         available: Vec<String>,
     },
+    /// `SET dfs.replication` had a malformed or zero value.
+    BadReplication {
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -67,6 +72,12 @@ impl fmt::Display for SessionError {
                     f,
                     "unknown policy {requested:?}; available: {}",
                     available.join(", ")
+                )
+            }
+            SessionError::BadReplication { value } => {
+                write!(
+                    f,
+                    "dfs.replication must be an integer in 1..=255, got {value:?}"
                 )
             }
         }
@@ -216,6 +227,13 @@ impl SessionState {
                 if key.eq_ignore_ascii_case(keys::DYNAMIC_JOB_POLICY) {
                     self.set_active_policy(&value)?;
                 }
+                // Replication is validated at SET time — a bad value is a
+                // typed session error, never a panic at submission.
+                if key.eq_ignore_ascii_case(keys::DFS_REPLICATION)
+                    && !matches!(value.parse::<u8>(), Ok(r) if r > 0)
+                {
+                    return Err(SessionError::BadReplication { value });
+                }
                 self.settings.insert(key.clone(), value.clone());
                 Ok(Prepared::Immediate(QueryOutput::SetOk { key, value }))
             }
@@ -254,7 +272,7 @@ impl SessionState {
             }
             Statement::Select(query) => {
                 self.next_seed = self.next_seed.wrapping_add(1);
-                let compiled = compile_query(
+                let mut compiled = compile_query(
                     &query,
                     catalog,
                     &self.policy,
@@ -262,6 +280,12 @@ impl SessionState {
                     self.sample_mode,
                     self.next_seed,
                 )?;
+                // Plumb the session's replication setting onto the job
+                // conf *after* compilation: the semantic JOB_SIGNATURE is
+                // already fixed, so memo identity is unaffected.
+                if let Some(r) = self.settings.get(keys::DFS_REPLICATION) {
+                    compiled.spec.conf.set(keys::DFS_REPLICATION, r);
+                }
                 Ok(Prepared::Submit(compiled))
             }
         }
@@ -598,6 +622,46 @@ mod tests {
             panic!()
         };
         assert!(available.contains(&"Hadoop".into()));
+    }
+
+    #[test]
+    fn set_replication_is_validated_and_plumbed_onto_jobs() {
+        let mut s = session(SkewLevel::High);
+        for bad in ["0", "banana", "300"] {
+            let err = s.execute(&format!("SET dfs.replication = {bad}")).unwrap_err();
+            assert!(
+                matches!(err, SessionError::BadReplication { ref value } if value == bad),
+                "{bad}: {err}"
+            );
+        }
+        s.execute("SET dfs.replication = 3;").unwrap();
+        // Plumbing: the setting lands on the compiled spec's conf while
+        // the semantic memo signature stays untouched.
+        let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+        let mut rng = DetRng::seed_from(9);
+        let ds = Arc::new(Dataset::build(
+            &mut ns,
+            DatasetSpec::small("lineitem", 20, 2_000, SkewLevel::High, 9),
+            &mut EvenRoundRobin::new(),
+            &mut rng,
+        ));
+        let mut catalog = Catalog::new();
+        catalog.register("lineitem", ds);
+        let mut state = SessionState::new();
+        state
+            .prepare("SET dfs.replication = 2", &catalog)
+            .unwrap();
+        let prepared = state
+            .prepare("SELECT * FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 5", &catalog)
+            .unwrap();
+        let Prepared::Submit(compiled) = prepared else {
+            panic!()
+        };
+        assert_eq!(compiled.spec.conf.get(keys::DFS_REPLICATION), Some("2"));
+        assert!(
+            compiled.spec.conf.get(keys::JOB_SIGNATURE).is_some(),
+            "semantic signature still present"
+        );
     }
 
     #[test]

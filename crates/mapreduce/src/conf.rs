@@ -61,6 +61,12 @@ pub mod keys {
     ///
     /// [`MrRuntime::evolve`]: crate::MrRuntime::evolve
     pub const CONTINUOUS: &str = "dynamic.job.continuous";
+    /// Replication plane: target replica count for the job's input
+    /// dataset (mirrors Hadoop's `dfs.replication`). Informational at
+    /// job level — placement itself happens when the dataset is built
+    /// (see `incmr_dfs`'s `ReplicatedPlacement`) — but a malformed or
+    /// zero value is rejected at build/submit time.
+    pub const DFS_REPLICATION: &str = "dfs.replication";
     /// Observability plane: boolean (default **true**) — record this
     /// job's latencies into the runtime's histogram
     /// [`MetricsRegistry`](crate::obs::MetricsRegistry). Set false to

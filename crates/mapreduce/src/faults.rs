@@ -222,6 +222,9 @@ pub enum FaultConfigError {
     },
     /// A blacklist threshold of zero (every node banned up front).
     ZeroBlacklistThreshold,
+    /// A re-replication interval of zero (the repair tick would spin the
+    /// event loop without advancing simulated time).
+    ZeroRepairInterval,
 }
 
 impl fmt::Display for FaultConfigError {
@@ -247,6 +250,9 @@ impl fmt::Display for FaultConfigError {
             }
             FaultConfigError::ZeroBlacklistThreshold => {
                 write!(f, "blacklist threshold must be at least 1")
+            }
+            FaultConfigError::ZeroRepairInterval => {
+                write!(f, "re-replication interval must be positive")
             }
         }
     }

@@ -180,6 +180,14 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Target replica count for the job's input dataset (sets
+    /// [`keys::DFS_REPLICATION`]; must be nonzero). Informational at the
+    /// job level — placement happens when the dataset is built.
+    pub fn replication(mut self, r: u8) -> Self {
+        self.conf.set(keys::DFS_REPLICATION, r);
+        self
+    }
+
     /// Trace sink to enable at submission: `"memory"` (buffered events,
     /// the `enable_tracing` behaviour) or `"jsonl"` (eager JSONL text).
     /// Any other value is rejected at build/submit time (sets
@@ -226,6 +234,15 @@ impl JobSpecBuilder {
                     key: keys::TRACE_SINK.to_string(),
                     value: sink.to_string(),
                     wanted: "trace sink (\"memory\" or \"jsonl\")",
+                }));
+            }
+        }
+        if let Some(v) = self.conf.get(keys::DFS_REPLICATION) {
+            if !matches!(v.parse::<u8>(), Ok(r) if r > 0) {
+                return Err(JobConfigError::BadConf(crate::conf::ConfError {
+                    key: keys::DFS_REPLICATION.to_string(),
+                    value: v.to_string(),
+                    wanted: "replication factor (1..=255)",
                 }));
             }
         }
@@ -376,6 +393,13 @@ pub enum JobError {
     },
     /// Every node in the cluster is blacklisted for this job.
     AllNodesBlacklisted,
+    /// Under DataNode-death semantics every replica of one or more of the
+    /// job's input blocks was lost, and the job does not allow a partial
+    /// result (`mapred.job.allow.partial`).
+    InputLost {
+        /// The unreadable blocks, in ascending id order.
+        blocks: Vec<BlockId>,
+    },
 }
 
 impl fmt::Display for JobError {
@@ -393,6 +417,9 @@ impl fmt::Display for JobError {
                 write!(f, "reduce task r{reduce} exhausted its attempts")
             }
             JobError::AllNodesBlacklisted => write!(f, "every node is blacklisted for this job"),
+            JobError::InputLost { blocks } => {
+                write!(f, "{} input block(s) lost every replica", blocks.len())
+            }
         }
     }
 }
@@ -806,6 +833,32 @@ mod tests {
                 .try_build(),
             Err(JobConfigError::BadConf(_))
         ));
+    }
+
+    #[test]
+    fn replication_knob_lands_in_conf_and_validates() {
+        let spec = JobSpec::builder()
+            .input(NullInput2)
+            .mapper(NullMapper2)
+            .replication(3)
+            .build();
+        assert_eq!(spec.conf.get(keys::DFS_REPLICATION), Some("3"));
+        for bad in ["0", "-1", "300", "lots"] {
+            let err = JobSpec::builder()
+                .input(NullInput2)
+                .mapper(NullMapper2)
+                .set(keys::DFS_REPLICATION, bad)
+                .try_build()
+                .err()
+                .expect("bad replication must be rejected");
+            match err {
+                JobConfigError::BadConf(e) => {
+                    assert_eq!(e.key, keys::DFS_REPLICATION);
+                    assert_eq!(e.value, bad);
+                }
+                other => panic!("expected BadConf, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -30,10 +30,15 @@
 //!   selection-vector handles instead of pairs, and the shuffle carries
 //!   them unmaterialised ([`shuffle::ValueSeq`]) until the reduce
 //!   boundary; `FullRows`/`PlantedRows` keep the row-at-a-time
-//!   reference path.
+//!   reference path;
+//! * the **replication plane** (DESIGN.md §14): opt-in DataNode-death
+//!   semantics ([`runtime::MrRuntime::enable_data_loss`]) over rack-aware
+//!   replica placement, read failover, typed input-loss handling
+//!   ([`job::JobError::InputLost`]), and a simulated-time re-replication
+//!   daemon ([`runtime::MrRuntime::enable_re_replication`]).
 //!
 //! What is deliberately not modelled: multi-wave reduces (the paper's jobs
-//! use a single reduce) and rack topology (the testbed is a single rack).
+//! use a single reduce).
 
 pub mod cluster;
 pub mod conf;
@@ -68,7 +73,7 @@ pub use job::{
 pub use memo::{signature_of_conf, MemoEntry, MemoProbe, MemoStore};
 pub use metrics::{
     ClusterMetrics, FaultMetrics, GuardrailMetrics, HostPhaseNanos, MemoMetrics, MetricsReport,
-    ShuffleMetrics,
+    ReplicaMetrics, ShuffleMetrics,
 };
 pub use obs::{
     audited_splits_added, encode_event, encode_trace, kind_name, parse_event, parse_trace,

@@ -123,6 +123,38 @@ impl MemoStore {
         self.entries.retain(|_, e| e.node != node);
         (before - self.entries.len()) as u64
     }
+
+    /// Node death under DataNode-death semantics: each entry the dead node
+    /// held either moves to a surviving replica holder of its input block
+    /// (`new_home(block)` — the holder can re-derive the cached output
+    /// from its local replica) or, when no replica survives, is dropped.
+    /// Returns `(rehomed, dropped)` counts; per-entry and therefore
+    /// independent of iteration order.
+    pub fn rehome_or_drop_node(
+        &mut self,
+        node: NodeId,
+        mut new_home: impl FnMut(BlockId) -> Option<NodeId>,
+    ) -> (u64, u64) {
+        let mut rehomed = 0;
+        let mut dropped = 0;
+        self.entries.retain(|&(_, block), e| {
+            if e.node != node {
+                return true;
+            }
+            match new_home(block) {
+                Some(survivor) => {
+                    e.node = survivor;
+                    rehomed += 1;
+                    true
+                }
+                None => {
+                    dropped += 1;
+                    false
+                }
+            }
+        });
+        (rehomed, dropped)
+    }
 }
 
 /// 64-bit FNV-1a over a byte stream — the same stable hash the shuffle
@@ -214,6 +246,22 @@ mod tests {
         store.rehome(1, BlockId(0), NodeId(5));
         assert_eq!(store.invalidate_node(NodeId(0)), 0, "old holder irrelevant");
         assert_eq!(store.invalidate_node(NodeId(5)), 1);
+    }
+
+    #[test]
+    fn rehome_or_drop_moves_survivors_and_drops_the_rest() {
+        let mut store = MemoStore::new();
+        store.insert(1, BlockId(0), 0, NodeId(0), result(1)); // replica survives
+        store.insert(1, BlockId(1), 0, NodeId(0), result(2)); // last replica lost
+        store.insert(1, BlockId(2), 0, NodeId(3), result(3)); // other holder
+        let (rehomed, dropped) = store.rehome_or_drop_node(NodeId(0), |b| {
+            (b == BlockId(0)).then_some(NodeId(7))
+        });
+        assert_eq!((rehomed, dropped), (1, 1));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.probe(1, BlockId(0), 0), MemoProbe::Hit);
+        assert_eq!(store.probe(1, BlockId(1), 0), MemoProbe::Miss);
+        assert_eq!(store.invalidate_node(NodeId(7)), 1, "entry moved home");
     }
 
     #[test]

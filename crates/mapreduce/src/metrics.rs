@@ -243,6 +243,69 @@ impl MemoMetrics {
     }
 }
 
+/// Deterministic replication-plane counters: replica loss under
+/// DataNode-death semantics, read failover, re-replication repair, and the
+/// survival accounting the chaos suite asserts on. Driven purely by
+/// simulated time and the fault schedule, so they are identical across
+/// thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaMetrics {
+    /// Individual replicas stripped because their DataNode died.
+    pub replicas_lost: u64,
+    /// Replicas recreated by the re-replication daemon.
+    pub replicas_restored: u64,
+    /// Map reads that failed over from their intended replica to a
+    /// surviving one.
+    pub read_failovers: u64,
+    /// Blocks that lost their *last* replica (unreadable until rewritten).
+    pub blocks_lost: u64,
+    /// Jobs that hit the input-lost path (failed, or degraded to a partial
+    /// result under `mapred.job.allow.partial`).
+    pub input_lost_jobs: u64,
+    /// Completed maps on a dead node whose re-execution was skipped
+    /// because a live replica of their input block survives (the merged
+    /// shuffle output is retained).
+    pub reexecutions_avoided: u64,
+    /// Memo entries moved from a dead holder to a surviving replica holder
+    /// instead of being invalidated.
+    pub memo_rehomed: u64,
+}
+
+impl ReplicaMetrics {
+    /// Recompute the trace-derivable counters from an exported trace.
+    /// `blocks_lost`, `reexecutions_avoided`, and `memo_rehomed` have no
+    /// dedicated trace event and stay zero; compare against
+    /// [`ReplicaMetrics::derivable`] of the live counters.
+    pub fn from_trace(events: &[TraceEvent]) -> ReplicaMetrics {
+        let mut m = ReplicaMetrics::default();
+        for e in events {
+            match e.kind {
+                TraceKind::ReplicaLost { .. } => m.replicas_lost += 1,
+                TraceKind::ReplicaRestored { .. } => m.replicas_restored += 1,
+                TraceKind::ReadFailover { .. } => m.read_failovers += 1,
+                TraceKind::InputLost { .. } => m.input_lost_jobs += 1,
+                _ => {}
+            }
+        }
+        m
+    }
+
+    /// This counter set restricted to the fields
+    /// [`ReplicaMetrics::from_trace`] can recompute (the rest zeroed), for
+    /// direct equality checks.
+    pub fn derivable(&self) -> ReplicaMetrics {
+        ReplicaMetrics {
+            replicas_lost: self.replicas_lost,
+            replicas_restored: self.replicas_restored,
+            read_failovers: self.read_failovers,
+            blocks_lost: 0,
+            input_lost_jobs: self.input_lost_jobs,
+            reexecutions_avoided: 0,
+            memo_rehomed: 0,
+        }
+    }
+}
+
 /// Host-side wall-clock nanoseconds spent on data-plane work, by phase.
 /// Pure observability: these depend on the host and thread count, so they
 /// are kept out of traces and all simulated accounting.
@@ -275,6 +338,7 @@ pub struct ClusterMetrics {
     faults: FaultMetrics,
     guardrails: GuardrailMetrics,
     memo: MemoMetrics,
+    replica: ReplicaMetrics,
 }
 
 /// Aggregated report at the end of a run.
@@ -315,6 +379,7 @@ impl ClusterMetrics {
             faults: FaultMetrics::default(),
             guardrails: GuardrailMetrics::default(),
             memo: MemoMetrics::default(),
+            replica: ReplicaMetrics::default(),
         }
     }
 
@@ -422,6 +487,17 @@ impl ClusterMetrics {
     /// Memoization counters accumulated so far.
     pub fn memo(&self) -> MemoMetrics {
         self.memo
+    }
+
+    /// Mutable replication-plane counters (the runtime bumps these as
+    /// replicas are lost, reads fail over, and repairs land).
+    pub fn replica_mut(&mut self) -> &mut ReplicaMetrics {
+        &mut self.replica
+    }
+
+    /// Replication-plane counters accumulated so far.
+    pub fn replica(&self) -> ReplicaMetrics {
+        self.replica
     }
 
     /// Produce the aggregate report as of `now`.
@@ -667,6 +743,73 @@ mod tests {
         live.splits_computed = 4;
         live.records_saved = 99;
         live.entries_invalidated = 1;
+        assert_eq!(live.derivable(), t);
+    }
+
+    #[test]
+    fn replica_counters_accumulate_and_recompute_from_trace() {
+        use crate::job::{JobId, TaskId};
+        use incmr_dfs::{BlockId, DiskId, NodeId};
+        let mut m = ClusterMetrics::new(SimTime::ZERO, 4, 4, 4, SimDuration::from_secs(30));
+        assert_eq!(m.replica(), ReplicaMetrics::default());
+        m.replica_mut().replicas_lost += 2;
+        m.replica_mut().reexecutions_avoided += 1;
+        assert_eq!(m.replica().replicas_lost, 2);
+        assert_eq!(m.replica().reexecutions_avoided, 1);
+
+        let at = |s: u64, kind: TraceKind| TraceEvent {
+            time: SimTime::from_secs(s),
+            kind,
+        };
+        let events = vec![
+            at(
+                1,
+                TraceKind::ReplicaLost {
+                    block: BlockId(0),
+                    node: NodeId(1),
+                },
+            ),
+            at(
+                1,
+                TraceKind::ReplicaLost {
+                    block: BlockId(1),
+                    node: NodeId(1),
+                },
+            ),
+            at(
+                2,
+                TraceKind::ReadFailover {
+                    job: JobId(0),
+                    task: TaskId(3),
+                    from: DiskId(4),
+                    to: DiskId(0),
+                },
+            ),
+            at(
+                3,
+                TraceKind::ReplicaRestored {
+                    block: BlockId(0),
+                    node: NodeId(2),
+                },
+            ),
+            at(
+                4,
+                TraceKind::InputLost {
+                    job: JobId(1),
+                    blocks: 2,
+                    graceful: false,
+                },
+            ),
+        ];
+        let t = ReplicaMetrics::from_trace(&events);
+        assert_eq!(t.replicas_lost, 2);
+        assert_eq!(t.replicas_restored, 1);
+        assert_eq!(t.read_failovers, 1);
+        assert_eq!(t.input_lost_jobs, 1);
+        let mut live = t;
+        live.blocks_lost = 1;
+        live.reexecutions_avoided = 3;
+        live.memo_rehomed = 2;
         assert_eq!(live.derivable(), t);
     }
 

@@ -75,6 +75,10 @@ pub fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::SplitReused { .. } => "SplitReused",
         TraceKind::SplitDirty { .. } => "SplitDirty",
         TraceKind::InputArrived { .. } => "InputArrived",
+        TraceKind::ReplicaLost { .. } => "ReplicaLost",
+        TraceKind::ReplicaRestored { .. } => "ReplicaRestored",
+        TraceKind::ReadFailover { .. } => "ReadFailover",
+        TraceKind::InputLost { .. } => "InputLost",
     }
 }
 
@@ -232,6 +236,34 @@ pub fn encode_event(event: &TraceEvent) -> String {
             }
             TraceKind::InputArrived { splits } => {
                 field("splits", *splits as u64);
+            }
+            TraceKind::ReplicaLost { block, node } => {
+                field("block", block.0 as u64);
+                field("node", node.0 as u64);
+            }
+            TraceKind::ReplicaRestored { block, node } => {
+                field("block", block.0 as u64);
+                field("node", node.0 as u64);
+            }
+            TraceKind::ReadFailover {
+                job,
+                task,
+                from,
+                to,
+            } => {
+                field("job", job.0 as u64);
+                field("task", task.0 as u64);
+                field("from", from.0 as u64);
+                field("to", to.0 as u64);
+            }
+            TraceKind::InputLost {
+                job,
+                blocks,
+                graceful,
+            } => {
+                field("job", job.0 as u64);
+                field("blocks", *blocks as u64);
+                s.push_str(&format!(",\"graceful\":{graceful}"));
             }
         }
     }
@@ -542,6 +574,25 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, TraceParseError> {
         },
         "InputArrived" => TraceKind::InputArrived {
             splits: r.num("splits")? as u32,
+        },
+        "ReplicaLost" => TraceKind::ReplicaLost {
+            block: incmr_dfs::BlockId(r.num("block")? as u32),
+            node: r.node()?,
+        },
+        "ReplicaRestored" => TraceKind::ReplicaRestored {
+            block: incmr_dfs::BlockId(r.num("block")? as u32),
+            node: r.node()?,
+        },
+        "ReadFailover" => TraceKind::ReadFailover {
+            job: r.job()?,
+            task: r.task()?,
+            from: incmr_dfs::DiskId(r.num("from")? as u32),
+            to: incmr_dfs::DiskId(r.num("to")? as u32),
+        },
+        "InputLost" => TraceKind::InputLost {
+            job: r.job()?,
+            blocks: r.num("blocks")? as u32,
+            graceful: r.boolean("graceful")?,
         },
         other => return Err(TraceParseError::UnknownKind(other.to_string())),
     };
@@ -1221,6 +1272,48 @@ mod tests {
         ];
         let jsonl = encode_trace(&events);
         assert_eq!(parse_trace(&jsonl).unwrap(), events);
+    }
+
+    #[test]
+    fn replication_events_round_trip() {
+        use incmr_dfs::{BlockId, DiskId};
+        let events = vec![
+            ev(
+                10,
+                TraceKind::ReplicaLost {
+                    block: BlockId(7),
+                    node: NodeId(1),
+                },
+            ),
+            ev(
+                20,
+                TraceKind::ReadFailover {
+                    job: JobId(0),
+                    task: TaskId(3),
+                    from: DiskId(4),
+                    to: DiskId(9),
+                },
+            ),
+            ev(
+                30,
+                TraceKind::ReplicaRestored {
+                    block: BlockId(7),
+                    node: NodeId(2),
+                },
+            ),
+            ev(
+                40,
+                TraceKind::InputLost {
+                    job: JobId(1),
+                    blocks: 3,
+                    graceful: false,
+                },
+            ),
+        ];
+        let jsonl = encode_trace(&events);
+        assert_eq!(parse_trace(&jsonl).unwrap(), events);
+        assert!(jsonl.contains("\"kind\":\"ReplicaLost\",\"block\":7,\"node\":1"));
+        assert!(jsonl.contains("\"kind\":\"InputLost\",\"job\":1,\"blocks\":3,\"graceful\":false"));
     }
 
     #[test]

@@ -48,7 +48,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use incmr_dfs::{BlockId, Namespace, NodeId};
+use incmr_dfs::{BlockId, DiskId, Namespace, NodeId, RackId};
 use incmr_simkit::resource::{FlowId, PsResource};
 use incmr_simkit::rng::DetRng;
 use incmr_simkit::{EventId, Sim, SimDuration, SimTime};
@@ -135,6 +135,7 @@ enum Event {
     Deadline {
         job: JobId,
     },
+    RepairTick,
 }
 
 /// What the guard rails did to one validated `AddInput` batch (the audit
@@ -186,6 +187,10 @@ struct MapAttempt {
     /// Dropped (not joined) on a failed or killed attempt — the next
     /// attempt submits afresh.
     result: Option<MapWork>,
+    /// The replica this attempt intends to read, fixed at dispatch —
+    /// only under DataNode-death semantics, where a death before the
+    /// read starts is an observable failover (`None` otherwise).
+    read_disk: Option<DiskId>,
 }
 
 struct TaskEntry {
@@ -433,6 +438,20 @@ pub struct MrRuntime {
     /// every active job is parked, heartbeat chains expire so the event
     /// queue can drain; `evolve` restarts them.
     parked_jobs: u32,
+    /// DataNode-death semantics armed (`enable_data_loss`): a node outage
+    /// strips its replicas from the namespace instead of leaving its
+    /// disks serving. Off by default — the PR-3 fault model is
+    /// TaskTracker death, where only stored map output dies.
+    data_loss: bool,
+    /// Re-replication daemon period (`enable_re_replication`); `None`
+    /// leaves lost replicas lost.
+    repair_interval: Option<SimDuration>,
+    /// A `RepairTick` is in flight. Ticks are armed only while
+    /// under-replicated blocks exist, so `run_until_idle` can drain.
+    repair_scheduled: bool,
+    /// Blocks below their placement-time replication target that still
+    /// have a live replica to copy from.
+    under_replicated: BTreeSet<BlockId>,
 }
 
 impl MrRuntime {
@@ -502,7 +521,46 @@ impl MrRuntime {
             executor: ParallelExecutor::new(cfg.parallelism),
             memo: None,
             parked_jobs: 0,
+            data_loss: false,
+            repair_interval: None,
+            repair_scheduled: false,
+            under_replicated: BTreeSet::new(),
         }
+    }
+
+    /// Arm DataNode-death semantics: a node outage permanently strips the
+    /// dead node's replicas from the namespace (recording a
+    /// [`TraceKind::ReplicaLost`] per block), reads fail over to surviving
+    /// replicas, and a block that loses its last replica makes dependent
+    /// jobs fail with [`JobError::InputLost`] — or degrade to a partial
+    /// result under `mapred.job.allow.partial`. A rejoining node comes
+    /// back *empty*; only re-replication restores its data. Off by
+    /// default: the stock fault model is TaskTracker death, where disks
+    /// keep serving (see DESIGN.md §14).
+    pub fn enable_data_loss(&mut self) {
+        assert!(
+            self.jobs.is_empty(),
+            "arm data-loss semantics before submitting jobs"
+        );
+        self.data_loss = true;
+    }
+
+    /// Arm the re-replication daemon (implies [`MrRuntime::enable_data_loss`]):
+    /// every `interval` of simulated time while under-replicated blocks
+    /// exist, one pass restores at most one replica per block towards its
+    /// placement-time target, preferring racks the block does not cover
+    /// yet. A zero interval is rejected (the tick would livelock the
+    /// event loop).
+    pub fn enable_re_replication(
+        &mut self,
+        interval: SimDuration,
+    ) -> Result<(), FaultConfigError> {
+        if interval == SimDuration::ZERO {
+            return Err(FaultConfigError::ZeroRepairInterval);
+        }
+        self.enable_data_loss();
+        self.repair_interval = Some(interval);
+        Ok(())
     }
 
     /// Turn on the memoization plane: completed map tasks cache their
@@ -832,6 +890,19 @@ impl MrRuntime {
             .map_err(JobConfigError::BadConf)?;
         if deadline_ms == 0 {
             return Err(JobConfigError::ZeroDeadline);
+        }
+        // Replication plane: `dfs.replication` is informational at the
+        // job level (placement happened at dataset build), but a
+        // malformed or zero value is rejected here, not discovered
+        // mid-chaos.
+        if let Some(v) = spec.conf.get(keys::DFS_REPLICATION) {
+            if !matches!(v.parse::<u8>(), Ok(r) if r > 0) {
+                return Err(JobConfigError::BadConf(ConfError {
+                    key: keys::DFS_REPLICATION.to_string(),
+                    value: v.to_string(),
+                    wanted: "replication factor (1..=255)",
+                }));
+            }
         }
         let allow_partial = spec.conf.get_bool(keys::ALLOW_PARTIAL);
         // Observability knobs: the trace-sink request is honoured before
@@ -1264,6 +1335,7 @@ impl MrRuntime {
             Event::NodeDown { node } => self.on_node_down(node),
             Event::NodeUp { node } => self.on_node_up(node),
             Event::Deadline { job } => self.on_deadline(job),
+            Event::RepairTick => self.on_repair_tick(),
         }
     }
 
@@ -1506,6 +1578,13 @@ impl MrRuntime {
             }
         }
         self.refresh_sched_index(id);
+        // A provider can hand over a block that already lost every replica
+        // (e.g. a split grabbed after the death that stripped it): settle
+        // the job's fate immediately rather than wedging on a replica-less
+        // pending task.
+        if self.data_loss {
+            self.handle_lost_input(id);
+        }
     }
 
     fn evaluate_job(&mut self, id: JobId) {
@@ -1887,6 +1966,19 @@ impl MrRuntime {
         let now = self.sim.now();
         let block = self.job(id).tasks[task.0 as usize].block;
         let local = self.namespace.is_local(block, node);
+        // Under DataNode-death semantics the read source is fixed here, so
+        // a death before the read starts is an observable failover. (The
+        // dead-node set is empty by construction: `on_node_down` strips
+        // dead holders from the namespace, so `locations` is the live set.)
+        let read_disk = if self.data_loss {
+            if local {
+                self.namespace.local_replica(block, node)
+            } else {
+                self.namespace.primary_replica(block, &BTreeSet::new()).ok()
+            }
+        } else {
+            None
+        };
         // The map function's work is already queued on the data plane (see
         // `schedule_with`); its result is claimed when the modelled stages
         // complete.
@@ -1958,27 +2050,70 @@ impl MrRuntime {
                 started: now,
                 stage: AttemptStage::Overhead(ev),
                 result: Some(work),
+                read_disk,
             });
         self.refresh_spec_candidate(id, task);
     }
 
     fn on_overhead_done(&mut self, id: JobId, task: TaskId, attempt: u32) {
         let now = self.sim.now();
-        let (block, node, local) = {
+        let (block, node, local, read_disk) = {
             let entry = &self.job(id).tasks[task.0 as usize];
             let Some(a) = entry.running.iter().find(|a| a.id == attempt) else {
                 return; // attempt was killed; its timer raced the cancel
             };
-            (entry.block, a.node, a.local)
+            (entry.block, a.node, a.local, a.read_disk)
         };
-        let disk = if local {
-            // Invariant: `local` was computed by `Namespace::is_local` at
-            // dispatch and the namespace never drops replicas mid-run.
-            self.namespace
-                .local_replica(block, node)
-                .expect("local task has a local replica")
+        let disk = if !self.data_loss {
+            if local {
+                // Invariant: `local` was computed by `Namespace::is_local`
+                // at dispatch and, without DataNode-death semantics, the
+                // namespace never drops replicas mid-run.
+                self.namespace
+                    .local_replica(block, node)
+                    .expect("local task has a local replica")
+            } else {
+                // TaskTracker-death semantics: disks of dead nodes keep
+                // serving, so the head replica is always readable.
+                self.namespace
+                    .primary_replica(block, &BTreeSet::new())
+                    .expect("block has a replica")
+            }
         } else {
-            self.namespace.primary_replica(block)
+            // The intended replica still exists iff it survived every
+            // death since dispatch (`locations` is the live set).
+            let intended =
+                read_disk.filter(|d| self.namespace.block(block).locations.contains(d));
+            match intended {
+                Some(d) => d,
+                None => match self.namespace.primary_replica(block, &BTreeSet::new()) {
+                    Ok(to) => {
+                        if let Some(from) = read_disk {
+                            self.record(TraceKind::ReadFailover {
+                                job: id,
+                                task,
+                                from,
+                                to,
+                            });
+                            self.metrics.replica_mut().read_failovers += 1;
+                        }
+                        to
+                    }
+                    Err(_) => {
+                        // Every replica is gone: the attempt cannot read its
+                        // input. Kill it; `handle_lost_input` (invoked from
+                        // the death that stripped the last replica) settles
+                        // the job's fate.
+                        let idx = self.job(id).tasks[task.0 as usize]
+                            .running
+                            .iter()
+                            .position(|a| a.id == attempt)
+                            .expect("attempt checked above");
+                        self.kill_attempt(id, task, idx, true);
+                        return;
+                    }
+                },
+            }
         };
         let bytes = self.namespace.block(block).bytes as f64;
         let d = &mut self.disks[disk.0 as usize];
@@ -2374,12 +2509,51 @@ impl MrRuntime {
         self.nodes[node as usize].alive = false;
         self.record(TraceKind::NodeLost { node: NodeId(node) });
         self.metrics.faults_mut().nodes_lost += 1;
-        // Cached map output lives on the node that produced (or last
-        // replayed) it and dies with the tracker — drop its memo entries
-        // so later probes recompute instead of replaying lost output.
+        // DataNode-death semantics: the node's replicas die with it. Strip
+        // them from the namespace (keeping `locations` the live set), tally
+        // blocks now under-replicated or gone, and arm the repair daemon.
+        let mut any_block_lost = false;
+        if self.data_loss {
+            let affected = self.namespace.drop_node_replicas(NodeId(node));
+            for &block in &affected {
+                self.record(TraceKind::ReplicaLost {
+                    block,
+                    node: NodeId(node),
+                });
+                self.metrics.replica_mut().replicas_lost += 1;
+                let b = self.namespace.block(block);
+                if b.locations.is_empty() {
+                    self.metrics.replica_mut().blocks_lost += 1;
+                    any_block_lost = true;
+                } else if (b.locations.len() as u8) < b.replication {
+                    self.under_replicated.insert(block);
+                }
+            }
+            self.schedule_repair();
+        }
         if let Some(memo) = &mut self.memo {
-            let dropped = memo.invalidate_node(NodeId(node));
-            self.metrics.memo_mut().entries_invalidated += dropped;
+            if self.data_loss {
+                // A cached map output can be re-derived by any surviving
+                // holder of its input block: re-home the entry instead of
+                // recomputing; drop it only when no replica survives.
+                let namespace = &self.namespace;
+                let (rehomed, dropped) = memo.rehome_or_drop_node(NodeId(node), |b| {
+                    namespace
+                        .block(b)
+                        .locations
+                        .first()
+                        .map(|&d| namespace.topology().node_of(d))
+                });
+                self.metrics.replica_mut().memo_rehomed += rehomed;
+                self.metrics.memo_mut().entries_invalidated += dropped;
+            } else {
+                // Cached map output lives on the node that produced (or
+                // last replayed) it and dies with the tracker — drop its
+                // memo entries so later probes recompute instead of
+                // replaying lost output.
+                let dropped = memo.invalidate_node(NodeId(node));
+                self.metrics.memo_mut().entries_invalidated += dropped;
+            }
         }
         let job_ids: Vec<JobId> = self.jobs.iter().map(|j| j.id).collect();
         for id in job_ids {
@@ -2419,16 +2593,30 @@ impl MrRuntime {
                     // reducing, the merged buffers model output the
                     // reducers already fetched — no re-execution, as in
                     // Hadoop once all reducers pass the copy phase.)
-                    {
-                        let job = self.job_mut(id);
-                        let e = &mut job.tasks[t];
-                        e.done = false;
-                        e.completed_node = None;
-                        job.completed -= 1;
+                    if self.data_loss && !self.namespace.block(entry.block).locations.is_empty() {
+                        // Replica fast path: the task's output is already
+                        // merged (the shuffle is job state), and a re-run
+                        // from a surviving replica would only reproduce
+                        // bytes the dup-merge guard drops — skip it.
+                        self.metrics.replica_mut().reexecutions_avoided += 1;
+                    } else {
+                        {
+                            let job = self.job_mut(id);
+                            let e = &mut job.tasks[t];
+                            e.done = false;
+                            e.completed_node = None;
+                            job.completed -= 1;
+                        }
+                        self.metrics.faults_mut().maps_reexecuted += 1;
+                        self.requeue_task(id, task);
                     }
-                    self.metrics.faults_mut().maps_reexecuted += 1;
-                    self.requeue_task(id, task);
                 }
+            }
+            // A block that lost its last replica makes some not-yet-done
+            // splits unreadable: settle the job's fate now (typed failure,
+            // or graceful partial under `allow_partial`).
+            if any_block_lost {
+                self.handle_lost_input(id);
             }
             // Reduce attempts running on the node restart elsewhere; their
             // input buffers are intact (the shuffle is job state, and
@@ -2475,9 +2663,165 @@ impl MrRuntime {
         n.free_reduce_slots = self.cfg.reduce_slots_per_node;
         self.record(TraceKind::NodeRejoined { node: NodeId(node) });
         self.metrics.faults_mut().nodes_rejoined += 1;
+        // A rejoined DataNode comes back empty but is a fresh placement
+        // candidate for blocks the repair daemon previously had no home
+        // for (e.g. replication target > alive nodes).
+        self.schedule_repair();
         if self.active_jobs > 0 {
             self.ensure_heartbeats();
         }
+    }
+
+    /// Arm the re-replication daemon: at most one `RepairTick` is in
+    /// flight, and only while some block sits below its replication
+    /// target. No-op unless `enable_re_replication` configured a period.
+    fn schedule_repair(&mut self) {
+        let Some(interval) = self.repair_interval else {
+            return;
+        };
+        if self.repair_scheduled || self.under_replicated.is_empty() {
+            return;
+        }
+        self.repair_scheduled = true;
+        self.sim.schedule_after(interval, Event::RepairTick);
+    }
+
+    /// One pass of the re-replication daemon: every under-replicated block
+    /// gains at most one replica per tick, copied from a surviving holder
+    /// onto the lowest-numbered live node not already holding it, with
+    /// uncovered racks preferred (the same spread rule as initial
+    /// placement). Restored replicas re-enter the locality indexes of
+    /// still-mapping jobs. The daemon re-arms only when a pass made
+    /// progress; otherwise it waits for a rejoin to supply candidates.
+    fn on_repair_tick(&mut self) {
+        self.repair_scheduled = false;
+        let blocks: Vec<BlockId> = self.under_replicated.iter().copied().collect();
+        let mut restored: Vec<(BlockId, NodeId)> = Vec::new();
+        for block in blocks {
+            let b = self.namespace.block(block);
+            let target = b.replication;
+            let live = b.locations.len() as u8;
+            if live >= target || live == 0 {
+                // Back at target, or gone entirely — repair cannot
+                // resurrect a block with zero surviving sources.
+                self.under_replicated.remove(&block);
+                continue;
+            }
+            let topo = self.namespace.topology();
+            let holders: BTreeSet<NodeId> =
+                b.locations.iter().map(|&d| topo.node_of(d)).collect();
+            let covered: BTreeSet<RackId> = holders.iter().map(|&n| topo.rack_of(n)).collect();
+            let pick = topo
+                .nodes()
+                .filter(|n| self.nodes[n.0 as usize].alive && !holders.contains(n))
+                .min_by_key(|&n| (covered.contains(&topo.rack_of(n)), n.0));
+            let Some(node) = pick else {
+                continue; // every live node already holds one: wait for a rejoin
+            };
+            let disk = topo
+                .disks_of(node)
+                .nth(block.0 as usize % topo.disks_per_node() as usize)
+                .expect("node has at least one disk");
+            self.namespace.add_replica(block, disk);
+            self.record(TraceKind::ReplicaRestored { block, node });
+            self.metrics.replica_mut().replicas_restored += 1;
+            if self.namespace.block(block).locations.len() as u8 >= target {
+                self.under_replicated.remove(&block);
+            }
+            restored.push((block, node));
+        }
+        if restored.is_empty() {
+            return;
+        }
+        // A restored replica makes its block local to a new node: refresh
+        // the per-node locality lists of every job still mapping it, so
+        // the schedulers can win back data-local dispatches.
+        let njobs = self.jobs.len();
+        for j in 0..njobs {
+            let id = self.jobs[j].id;
+            if self.job(id).phase != JobPhase::Map {
+                continue;
+            }
+            for &(block, node) in &restored {
+                let to_add: Vec<TaskId> = {
+                    let job = self.job(id);
+                    job.pending
+                        .iter()
+                        .copied()
+                        .filter(|&t| {
+                            job.tasks[t.0 as usize].block == block
+                                && !job.pending_by_node[node.0 as usize].contains(&t)
+                        })
+                        .collect()
+                };
+                let job = self.job_mut(id);
+                for t in to_add {
+                    job.pending_by_node[node.0 as usize].push_back(t);
+                }
+            }
+            self.refresh_sched_index(id);
+        }
+        self.schedule_repair();
+    }
+
+    /// Settle a job some of whose input blocks have no surviving replica:
+    /// fail it with the typed [`JobError::InputLost`], or — under
+    /// `mapred.job.allow.partial` — abandon exactly the unreadable splits
+    /// (the graceful-deadline machinery) and let the rest commit.
+    fn handle_lost_input(&mut self, id: JobId) {
+        if self.job(id).phase == JobPhase::Done {
+            return;
+        }
+        let lost: Vec<TaskId> = self
+            .job(id)
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                !e.done && !e.abandoned && self.namespace.block(e.block).locations.is_empty()
+            })
+            .map(|(t, _)| TaskId(t as u32))
+            .collect();
+        if lost.is_empty() {
+            return;
+        }
+        let mut blocks: Vec<BlockId> = lost
+            .iter()
+            .map(|&t| self.job(id).tasks[t.0 as usize].block)
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        // Kill surviving attempts of unreadable tasks (attempts on the
+        // dead node itself were already killed, slotless, by the caller).
+        for &t in &lost {
+            while !self.job(id).tasks[t.0 as usize].running.is_empty() {
+                self.kill_attempt(id, t, 0, true);
+            }
+        }
+        let graceful = self.job(id).allow_partial;
+        self.metrics.replica_mut().input_lost_jobs += 1;
+        self.record(TraceKind::InputLost {
+            job: id,
+            blocks: blocks.len() as u32,
+            graceful,
+        });
+        if !graceful {
+            self.fail_job(id, JobError::InputLost { blocks });
+            return;
+        }
+        let lost_set: HashSet<TaskId> = lost.iter().copied().collect();
+        let job = self.job_mut(id);
+        for &t in &lost {
+            let e = &mut job.tasks[t.0 as usize];
+            e.queued = false;
+            e.abandoned = true;
+        }
+        // Per-node lists are cleaned lazily through the `queued` flag.
+        job.pending.retain(|t| !lost_set.contains(t));
+        self.refresh_sched_index(id);
+        // Abandonment can leave end-of-input with nothing running or
+        // pending; enter the reduce phase rather than wedging.
+        self.maybe_begin_reduce(id);
     }
 
     /// At a node's heartbeat, consider launching one speculative backup of

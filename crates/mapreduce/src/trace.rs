@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use incmr_dfs::NodeId;
+use incmr_dfs::{BlockId, DiskId, NodeId};
 use incmr_simkit::{SimDuration, SimTime};
 
 use crate::job::{JobId, TaskId};
@@ -258,6 +258,46 @@ pub enum TraceKind {
         /// Number of blocks that arrived in this evolve step.
         splits: u32,
     },
+    /// A node death destroyed a stored replica of a block (data-loss mode).
+    /// Cluster-level: replica loss precedes any job-level consequence.
+    ReplicaLost {
+        /// The block that lost a copy.
+        block: BlockId,
+        /// The dead node that hosted it.
+        node: NodeId,
+    },
+    /// The re-replication daemon restored a copy of an under-replicated
+    /// block onto a live node. Cluster-level.
+    ReplicaRestored {
+        /// The block that regained a copy.
+        block: BlockId,
+        /// The node now hosting the new replica.
+        node: NodeId,
+    },
+    /// A dispatched map attempt's intended replica died before the read
+    /// began; the read failed over to a surviving replica.
+    ReadFailover {
+        /// The job.
+        job: JobId,
+        /// The task whose read moved.
+        task: TaskId,
+        /// The (now dead) disk the attempt was dispatched against.
+        from: DiskId,
+        /// The live replica the read failed over to.
+        to: DiskId,
+    },
+    /// Every replica of one or more of the job's input blocks is gone. The
+    /// job either fails with `JobError::InputLost` or, with
+    /// `mapred.job.allow.partial`, abandons those splits and degrades to a
+    /// partial sample.
+    InputLost {
+        /// The job.
+        job: JobId,
+        /// Number of distinct lost blocks.
+        blocks: u32,
+        /// True if the job degrades to a partial result instead of failing.
+        graceful: bool,
+    },
 }
 
 impl TraceKind {
@@ -287,12 +327,16 @@ impl TraceKind {
             | TraceKind::PartialSample { job, .. }
             | TraceKind::QueryAdmitted { job, .. }
             | TraceKind::SplitReused { job, .. }
-            | TraceKind::SplitDirty { job, .. } => Some(*job),
+            | TraceKind::SplitDirty { job, .. }
+            | TraceKind::ReadFailover { job, .. }
+            | TraceKind::InputLost { job, .. } => Some(*job),
             TraceKind::NodeLost { .. }
             | TraceKind::NodeRejoined { .. }
             | TraceKind::QueryRejected { .. }
             | TraceKind::QuotaDeferred { .. }
-            | TraceKind::InputArrived { .. } => None,
+            | TraceKind::InputArrived { .. }
+            | TraceKind::ReplicaLost { .. }
+            | TraceKind::ReplicaRestored { .. } => None,
         }
     }
 }
@@ -414,6 +458,26 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::InputArrived { splits } => {
                 write!(f, "+{splits} blocks arrived")
+            }
+            TraceKind::ReplicaLost { block, node } => {
+                write!(f, "{block} replica on {node} LOST")
+            }
+            TraceKind::ReplicaRestored { block, node } => {
+                write!(f, "{block} re-replicated -> {node}")
+            }
+            TraceKind::ReadFailover { job, task, from, to } => {
+                write!(f, "{job}/{task} read failover {from} -> {to}")
+            }
+            TraceKind::InputLost {
+                job,
+                blocks,
+                graceful,
+            } => {
+                write!(
+                    f,
+                    "{job} input lost: {blocks} block(s){}",
+                    if *graceful { " (partial)" } else { " (FATAL)" }
+                )
             }
         }
     }

@@ -15,9 +15,11 @@ use incmr::mapreduce::{encode_event, kind_name, parse_event, TaskId, TraceParseE
 use incmr::prelude::*;
 use incmr::simkit::stats::LogHistogram;
 
+use incmr::dfs::DiskId;
+
 /// Keep in sync with [`kind_index`]'s exhaustive match (which is what
 /// actually enforces the count at build time).
-const NUM_KINDS: usize = 28;
+const NUM_KINDS: usize = 32;
 
 /// Generator-side build guard: exhaustive, no wildcard. A new `TraceKind`
 /// variant fails compilation here until [`kind_from`] can produce it.
@@ -51,6 +53,10 @@ fn kind_index(kind: &TraceKind) -> usize {
         TraceKind::SplitReused { .. } => 25,
         TraceKind::SplitDirty { .. } => 26,
         TraceKind::InputArrived { .. } => 27,
+        TraceKind::ReplicaLost { .. } => 28,
+        TraceKind::ReplicaRestored { .. } => 29,
+        TraceKind::ReadFailover { .. } => 30,
+        TraceKind::InputLost { .. } => 31,
     }
 }
 
@@ -146,6 +152,25 @@ fn kind_from(which: usize, a: u64, b: u64, c: u64, d: u64) -> TraceKind {
         25 => TraceKind::SplitReused { job, task },
         26 => TraceKind::SplitDirty { job, task },
         27 => TraceKind::InputArrived { splits: b as u32 },
+        28 => TraceKind::ReplicaLost {
+            block: BlockId(b as u32),
+            node,
+        },
+        29 => TraceKind::ReplicaRestored {
+            block: BlockId(b as u32),
+            node,
+        },
+        30 => TraceKind::ReadFailover {
+            job,
+            task,
+            from: DiskId(c as u32),
+            to: DiskId(d as u32),
+        },
+        31 => TraceKind::InputLost {
+            job,
+            blocks: b as u32,
+            graceful: flag,
+        },
         _ => unreachable!(),
     }
 }
