@@ -35,6 +35,7 @@
 pub mod adaptive;
 pub mod continuous;
 pub mod dynamic_driver;
+pub mod estimating_provider;
 pub mod estimator;
 pub mod input_provider;
 pub mod policy;
@@ -47,6 +48,7 @@ pub mod scan;
 pub use adaptive::{AdaptiveDriver, AdaptiveThresholds};
 pub use continuous::ContinuousSampling;
 pub use dynamic_driver::DynamicDriver;
+pub use estimating_provider::{EstimatingInputProvider, INITIAL_AGG_SPLITS};
 pub use estimator::{ProgressEstimate, SelectivityEstimator};
 pub use input_provider::{InputProvider, InputResponse};
 pub use policy::{GrabLimit, Policy};

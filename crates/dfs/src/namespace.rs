@@ -338,8 +338,7 @@ impl Namespace {
         let mut affected = Vec::new();
         for b in &mut self.blocks {
             let before = b.locations.len();
-            b.locations
-                .retain(|&d| self.topology.node_of(d) != node);
+            b.locations.retain(|&d| self.topology.node_of(d) != node);
             if b.locations.len() < before {
                 affected.push(b.id);
             }
@@ -354,12 +353,12 @@ impl Namespace {
     /// # Panics
     /// Panics on an id not issued by this namespace or a duplicate replica.
     pub fn add_replica(&mut self, block: BlockId, disk: DiskId) {
-        assert!(disk.0 < self.topology.num_disks(), "disk {disk} out of range");
-        let b = &mut self.blocks[block.0 as usize];
         assert!(
-            !b.locations.contains(&disk),
-            "{disk} already holds {block}"
+            disk.0 < self.topology.num_disks(),
+            "disk {disk} out of range"
         );
+        let b = &mut self.blocks[block.0 as usize];
+        assert!(!b.locations.contains(&disk), "{disk} already holds {block}");
         b.locations.push(disk);
     }
 
@@ -544,7 +543,8 @@ mod tests {
         let mut ns = Namespace::new(topo);
         let mut rng = DetRng::seed_from(1);
         let mut policy = crate::placement::ReplicatedPlacement::try_new(2, &topo).unwrap();
-        ns.create_file("t", &specs(1), &mut policy, &mut rng).unwrap();
+        ns.create_file("t", &specs(1), &mut policy, &mut rng)
+            .unwrap();
         let b = BlockId(0);
         let locs = ns.block(b).locations.clone();
         assert_eq!(locs.len(), 2);
@@ -555,7 +555,10 @@ mod tests {
         assert_eq!(ns.primary_replica(b, &dead), Ok(locs[1]));
         assert_eq!(ns.live_replicas(b, &dead), vec![locs[1]]);
         dead.insert(topo.node_of(locs[1]));
-        assert_eq!(ns.primary_replica(b, &dead), Err(DfsError::NoLiveReplica(b)));
+        assert_eq!(
+            ns.primary_replica(b, &dead),
+            Err(DfsError::NoLiveReplica(b))
+        );
         assert!(ns.live_replicas(b, &dead).is_empty());
     }
 
@@ -565,7 +568,8 @@ mod tests {
         let mut ns = Namespace::new(topo);
         let mut rng = DetRng::seed_from(1);
         let mut policy = crate::placement::ReplicatedPlacement::try_new(2, &topo).unwrap();
-        ns.create_file("t", &specs(8), &mut policy, &mut rng).unwrap();
+        ns.create_file("t", &specs(8), &mut policy, &mut rng)
+            .unwrap();
         let held: Vec<BlockId> = (0..8)
             .map(BlockId)
             .filter(|&b| ns.is_local(b, NodeId(1)))
@@ -592,7 +596,8 @@ mod tests {
         let mut ns = Namespace::new(topo);
         let mut rng = DetRng::seed_from(1);
         let mut policy = crate::placement::ReplicatedPlacement::try_new(2, &topo).unwrap();
-        ns.create_file("t", &specs(1), &mut policy, &mut rng).unwrap();
+        ns.create_file("t", &specs(1), &mut policy, &mut rng)
+            .unwrap();
         ns.drop_node_replicas(NodeId(0));
         assert_eq!(ns.under_replicated(&BTreeSet::new()), vec![BlockId(0)]);
         ns.add_replica(BlockId(0), DiskId(0));

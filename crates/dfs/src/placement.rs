@@ -134,7 +134,10 @@ impl fmt::Display for PlacementConfigError {
                 "replication {replication} exceeds the {nodes} node(s) available"
             ),
             PlacementConfigError::NotEnoughRacks { racks } => {
-                write!(f, "rack-aware placement needs >= 2 racks, topology has {racks}")
+                write!(
+                    f,
+                    "rack-aware placement needs >= 2 racks, topology has {racks}"
+                )
             }
         }
     }
@@ -393,7 +396,9 @@ mod tests {
         );
         assert!(ReplicatedPlacement::try_rack_aware(2, &topo.with_racks(2)).is_ok());
         // Errors render for operators.
-        assert!(PlacementConfigError::ZeroReplication.to_string().contains("at least 1"));
+        assert!(PlacementConfigError::ZeroReplication
+            .to_string()
+            .contains("at least 1"));
     }
 
     #[test]

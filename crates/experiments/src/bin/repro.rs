@@ -6,11 +6,11 @@
 //! cargo run --release -p incmr-experiments --bin repro -- fig5    # one artefact
 //! ```
 //!
-//! Artefact names: `table1 table2 table3 fig4 fig5 fig6 fig7 fig8`.
+//! Artefact names: `table1 table2 table3 fig4 fig5 fig6 fig7 fig8 fig_earl`.
 
 use incmr_experiments::{
-    ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, replication, table1,
-    table2, table3,
+    ablations, calibration::Calibration, fig4, fig5, fig6, fig7, fig8, fig_earl, replication,
+    table1, table2, table3,
 };
 
 fn main() {
@@ -35,6 +35,7 @@ fn main() {
         "fig6",
         "fig7",
         "fig8",
+        "fig_earl",
         "ablations",
         "estimator",
         "replication",
@@ -82,6 +83,14 @@ fn main() {
                 eprintln!("[fig8] heterogeneous workload (Fair + FIFO baseline)…");
                 let r = fig8::run(&cal);
                 println!("{}", fig8::render_figure(&r));
+            }
+            "fig_earl" => {
+                eprintln!(
+                    "[fig_earl] error-bounded aggregation: 2 families x 3 skews x {} seeds…",
+                    cal.seeds.len()
+                );
+                let r = fig_earl::run(&cal);
+                println!("{}", fig_earl::render_figure(&r));
             }
             "replication" => {
                 eprintln!(

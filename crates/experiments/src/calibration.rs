@@ -134,7 +134,7 @@ impl Calibration {
 
     /// Like [`Calibration::build_copies`], with an optional replication
     /// factor: `None` uses the paper's even, unreplicated layout;
-    /// `Some(r)` uses the deterministic HDFS-style [`ReplicatedPlacement`]
+    /// `Some(r)` uses the deterministic HDFS-style [`incmr_dfs::ReplicatedPlacement`]
     /// (exactly `r` replicas, distinct nodes) — the replication ablation.
     pub fn build_copies_with(
         &self,

@@ -14,6 +14,7 @@
 //! | [`fig6`]   | Figure 6 — homogeneous multi-user throughput and resource usage |
 //! | [`fig7`]   | Figure 7 — heterogeneous workload, default (FIFO) scheduler |
 //! | [`fig8`]   | Figure 8 — heterogeneous workload, Fair Scheduler (+ locality) |
+//! | [`fig_earl`] | error-bounded approximate aggregation: scan fraction and achieved error vs skew |
 //!
 //! When an aggregate needs explaining, [`explain`] re-runs a single
 //! fig6/fig7 cell with the runtime's observability plane on (trace,
@@ -39,6 +40,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fig_earl;
 pub mod render;
 pub mod replication;
 pub mod table1;

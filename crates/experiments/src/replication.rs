@@ -140,7 +140,7 @@ fn run_one(
 
 /// Run the grid: scales × replication factors, averaged over seeds. Each
 /// cell first measures the fault-free response time, then kills the
-/// victim node at [`DEATH_FRACTION`] of it in every seeded run.
+/// victim node at `DEATH_FRACTION` of it in every seeded run.
 pub fn run(cal: &Calibration) -> ReplicationResult {
     let mut cells = Vec::new();
     for &scale in &cal.scales {
@@ -209,9 +209,7 @@ pub fn render_figure(cal: &Calibration, result: &ReplicationResult) -> String {
     let rows: Vec<Vec<String>> = cal
         .scales
         .iter()
-        .flat_map(|&scale| {
-            FACTORS.iter().map(move |&r| (scale, r))
-        })
+        .flat_map(|&scale| FACTORS.iter().map(move |&r| (scale, r)))
         .map(|(scale, r)| {
             let c = result.get(scale, r);
             vec![

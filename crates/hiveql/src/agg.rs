@@ -15,8 +15,10 @@
 //! would silently drop partials. The compiler never sets it on aggregate
 //! plans.
 
+use std::collections::BTreeMap;
+
 use incmr_data::{ColumnData, Predicate, Record, RecordBatch, Value};
-use incmr_mapreduce::{Key, MapResult, Mapper, Reducer, SplitData};
+use incmr_mapreduce::{encode_group_part, Key, MapResult, Mapper, Reducer, SplitData};
 
 use crate::ast::AggFunc;
 
@@ -251,6 +253,249 @@ impl Reducer for AggReducer {
     }
 }
 
+/// Render a group value as its map-output key. Strings stay as-is
+/// (unquoted); everything else uses a canonical numeric rendering, so
+/// the row and batch arms produce byte-identical keys.
+fn group_key(v: &Value) -> Key {
+    match v {
+        Value::Str(s) => Key::from(s.as_str()),
+        Value::Int(i) => Key::from(i.to_string()),
+        Value::Float(f) => Key::from(f.to_string()),
+        Value::Date(d) => Key::from(d.to_string()),
+    }
+}
+
+/// Per-group observation accumulated over one split: the record count and
+/// one running sum per aggregate (`COUNT` contributes 1.0 per record, so
+/// its sum *is* the count).
+struct GroupObs {
+    n: u64,
+    sums: Vec<f64>,
+}
+
+impl GroupObs {
+    fn new(n_aggs: usize) -> GroupObs {
+        GroupObs {
+            n: 0,
+            sums: vec![0.0; n_aggs],
+        }
+    }
+}
+
+/// Map side of grouped (and error-bounded) aggregation: emit **one
+/// observation record per group per split**, keyed by the rendered group
+/// value — the wire format `incmr_mapreduce::encode_group_part` defines
+/// (`[Int n, Float sum_0, …]`), which the runtime's estimator decodes
+/// into its per-group accumulator plane.
+///
+/// Only `COUNT`/`SUM`/`AVG` are supported: the accumulator plane carries
+/// running moments, which have no MIN/MAX analogue. The compiler rejects
+/// the rest with a typed error.
+#[derive(Debug, Clone)]
+pub struct GroupAggMapper {
+    predicate: Predicate,
+    group: Option<usize>,
+    aggs: Vec<ResolvedAgg>,
+}
+
+impl GroupAggMapper {
+    /// Aggregate `aggs` per `group` column (`None` = one whole-table
+    /// group under [`AGG_KEY`]) over records matching `predicate`.
+    pub fn new(predicate: Predicate, group: Option<usize>, aggs: Vec<ResolvedAgg>) -> Self {
+        assert!(!aggs.is_empty());
+        assert!(
+            aggs.iter()
+                .all(|a| matches!(a.func, AggFunc::Count | AggFunc::Sum | AggFunc::Avg)),
+            "grouped aggregation supports COUNT/SUM/AVG only"
+        );
+        GroupAggMapper {
+            predicate,
+            group,
+            aggs,
+        }
+    }
+
+    fn absorb(&self, groups: &mut BTreeMap<Key, GroupObs>, record: &Record) {
+        let key = match self.group {
+            Some(g) => group_key(record.get(g)),
+            None => Key::from(AGG_KEY),
+        };
+        let obs = groups
+            .entry(key)
+            .or_insert_with(|| GroupObs::new(self.aggs.len()));
+        obs.n += 1;
+        for (j, agg) in self.aggs.iter().enumerate() {
+            obs.sums[j] += match (agg.func, agg.column) {
+                (AggFunc::Count, _) => 1.0,
+                (_, Some(c)) => numeric(record.get(c)),
+                (_, None) => unreachable!("SUM/AVG always have a column"),
+            };
+        }
+    }
+
+    /// Columnar absorb: materialise the selected rows' group keys once,
+    /// then sweep each aggregate's column vector — values come straight
+    /// out of the batch, no `Record` is ever built.
+    fn absorb_batch(&self, groups: &mut BTreeMap<Key, GroupObs>, batch: &RecordBatch, sel: &[u32]) {
+        let keys: Vec<Key> = match self.group {
+            None => sel.iter().map(|_| Key::from(AGG_KEY)).collect(),
+            Some(g) => match batch.column(g) {
+                ColumnData::Int(v) => sel
+                    .iter()
+                    .map(|&r| group_key(&Value::Int(v[r as usize])))
+                    .collect(),
+                ColumnData::Float(v) => sel
+                    .iter()
+                    .map(|&r| group_key(&Value::Float(v[r as usize])))
+                    .collect(),
+                ColumnData::Date(v) => sel
+                    .iter()
+                    .map(|&r| group_key(&Value::Date(v[r as usize])))
+                    .collect(),
+                // Dictionary-encoded strings: the dict entry is already an
+                // `Arc<str>` — exactly a `Key` — so this is a refcount bump.
+                ColumnData::Str(v) => sel.iter().map(|&r| Key::clone(v.get(r as usize))).collect(),
+            },
+        };
+        for key in &keys {
+            groups
+                .entry(Key::clone(key))
+                .or_insert_with(|| GroupObs::new(self.aggs.len()))
+                .n += 1;
+        }
+        for (j, agg) in self.aggs.iter().enumerate() {
+            if agg.func == AggFunc::Count {
+                for key in &keys {
+                    groups.get_mut(key).expect("seeded above").sums[j] += 1.0;
+                }
+                continue;
+            }
+            let c = agg.column.expect("SUM/AVG always have a column");
+            match batch.column(c) {
+                ColumnData::Int(v) => {
+                    for (key, &r) in keys.iter().zip(sel) {
+                        groups.get_mut(key).expect("seeded above").sums[j] += v[r as usize] as f64;
+                    }
+                }
+                ColumnData::Float(v) => {
+                    for (key, &r) in keys.iter().zip(sel) {
+                        groups.get_mut(key).expect("seeded above").sums[j] += v[r as usize];
+                    }
+                }
+                ColumnData::Date(v) => {
+                    for (key, &r) in keys.iter().zip(sel) {
+                        groups.get_mut(key).expect("seeded above").sums[j] += v[r as usize] as f64;
+                    }
+                }
+                ColumnData::Str(_) => unreachable!("compiler rejects string aggregates"),
+            }
+        }
+    }
+}
+
+impl Mapper for GroupAggMapper {
+    fn run(&self, data: SplitData) -> MapResult {
+        let mut groups: BTreeMap<Key, GroupObs> = BTreeMap::new();
+        let records_read = data.total_records();
+        match &data {
+            SplitData::Batch(batch) => {
+                let sel = self.predicate.eval_batch(batch);
+                self.absorb_batch(&mut groups, batch, &sel);
+            }
+            SplitData::PlantedBatch { matches, .. } => {
+                debug_assert_eq!(self.predicate.eval_batch(matches).len(), matches.len());
+                let sel: Vec<u32> = (0..matches.len() as u32).collect();
+                self.absorb_batch(&mut groups, matches, &sel);
+            }
+            SplitData::Records(records) => {
+                for r in records.iter().filter(|r| self.predicate.eval(r)) {
+                    self.absorb(&mut groups, r);
+                }
+            }
+            SplitData::Planted { matches, .. } => {
+                debug_assert!(matches.iter().all(|r| self.predicate.eval(r)));
+                for r in matches {
+                    self.absorb(&mut groups, r);
+                }
+            }
+        }
+        // BTreeMap iteration: pairs come out key-sorted, so the map output
+        // is a pure function of the split's contents.
+        MapResult {
+            pairs: groups
+                .into_iter()
+                .map(|(key, obs)| (key, encode_group_part(obs.n, &obs.sums)))
+                .collect(),
+            records_read,
+            ..MapResult::default()
+        }
+    }
+}
+
+/// Reduce side of grouped aggregation: merge each group's per-split
+/// observation records and emit one output row per group. When `grouped`,
+/// the row leads with the group value (as a string — the key rendering);
+/// whole-table rows carry the aggregates only.
+///
+/// For error-bounded jobs the emitted totals cover only the **sampled**
+/// splits; the session layer scales SUM/COUNT by the expansion factor
+/// from the job's [`incmr_mapreduce::AggReport`] (AVG is a ratio and
+/// needs no scaling).
+#[derive(Debug, Clone)]
+pub struct GroupAggReducer {
+    aggs: Vec<ResolvedAgg>,
+    grouped: bool,
+}
+
+impl GroupAggReducer {
+    /// Reducer matching a [`GroupAggMapper`]'s aggregate list.
+    pub fn new(aggs: Vec<ResolvedAgg>, grouped: bool) -> Self {
+        assert!(!aggs.is_empty());
+        GroupAggReducer { aggs, grouped }
+    }
+}
+
+impl Reducer for GroupAggReducer {
+    fn reduce(&self, key: &Key, values: &[Record], output: &mut Vec<(Key, Record)>) {
+        let mut n_total = 0u64;
+        let mut sums = vec![0.0; self.aggs.len()];
+        for record in values {
+            if record.arity() != 1 + self.aggs.len() {
+                panic!("corrupt group part: arity {}", record.arity());
+            }
+            let Value::Int(n) = record.get(0) else {
+                panic!("corrupt group part: non-int count")
+            };
+            n_total += *n as u64;
+            for (j, s) in sums.iter_mut().enumerate() {
+                let Value::Float(v) = record.get(1 + j) else {
+                    panic!("corrupt group part: non-float sum")
+                };
+                *s += *v;
+            }
+        }
+        let mut row = Vec::with_capacity(self.grouped as usize + self.aggs.len());
+        if self.grouped {
+            row.push(Value::Str(key.to_string()));
+        }
+        for (j, agg) in self.aggs.iter().enumerate() {
+            row.push(match agg.func {
+                AggFunc::Count => Value::Int(sums[j].round() as i64),
+                AggFunc::Sum => Value::Float(sums[j]),
+                AggFunc::Avg => Value::Float(if n_total == 0 {
+                    0.0
+                } else {
+                    sums[j] / n_total as f64
+                }),
+                AggFunc::Min | AggFunc::Max => {
+                    unreachable!("grouped aggregation supports COUNT/SUM/AVG only")
+                }
+            });
+        }
+        output.push((Key::clone(key), Record::new(row)));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,5 +652,124 @@ mod tests {
             matches: Arc::new(gen.planted_batch()),
         });
         assert_eq!(pbatch.pairs, rows.pairs, "planted batch ≡ planted rows");
+    }
+
+    fn grouped_aggs() -> Vec<ResolvedAgg> {
+        vec![
+            ResolvedAgg {
+                func: AggFunc::Count,
+                column: None,
+            },
+            ResolvedAgg {
+                func: AggFunc::Sum,
+                column: Some(1),
+            },
+            ResolvedAgg {
+                func: AggFunc::Avg,
+                column: Some(1),
+            },
+        ]
+    }
+
+    fn grec(g: &str, price: f64) -> Record {
+        Record::new(vec![Value::Str(g.into()), Value::Float(price)])
+    }
+
+    #[test]
+    fn grouped_map_emits_one_part_per_group_in_key_order() {
+        let mapper = GroupAggMapper::new(Predicate::True, Some(0), grouped_aggs());
+        let out = mapper.run(SplitData::Records(vec![
+            grec("b", 2.0),
+            grec("a", 1.0),
+            grec("b", 4.0),
+        ]));
+        assert_eq!(out.pairs.len(), 2);
+        assert_eq!(&*out.pairs[0].0, "a");
+        assert_eq!(&*out.pairs[1].0, "b");
+        // Part format: [Int n, Float sum_count, Float sum_sum, Float sum_avg].
+        assert_eq!(out.pairs[1].1.get(0), &Value::Int(2));
+        assert_eq!(out.pairs[1].1.get(1), &Value::Float(2.0));
+        assert_eq!(out.pairs[1].1.get(2), &Value::Float(6.0));
+    }
+
+    #[test]
+    fn grouped_map_reduce_round_trip() {
+        let mapper = GroupAggMapper::new(Predicate::True, Some(0), grouped_aggs());
+        let a = mapper.run(SplitData::Records(vec![grec("x", 1.0), grec("y", 10.0)]));
+        let b = mapper.run(SplitData::Records(vec![grec("x", 3.0)]));
+        let reducer = GroupAggReducer::new(grouped_aggs(), true);
+        let mut rows = Vec::new();
+        let x_parts = vec![a.pairs[0].1.clone(), b.pairs[0].1.clone()];
+        reducer.reduce(&Key::from("x"), &x_parts, &mut rows);
+        reducer.reduce(&Key::from("y"), &[a.pairs[1].1.clone()], &mut rows);
+        assert_eq!(rows.len(), 2);
+        let x = &rows[0].1;
+        assert_eq!(x.get(0), &Value::Str("x".into()), "group value leads");
+        assert_eq!(x.get(1), &Value::Int(2));
+        assert_eq!(x.get(2), &Value::Float(4.0));
+        assert_eq!(x.get(3), &Value::Float(2.0));
+        let y = &rows[1].1;
+        assert_eq!(y.get(1), &Value::Int(1));
+        assert_eq!(y.get(2), &Value::Float(10.0));
+    }
+
+    #[test]
+    fn ungrouped_mapper_uses_the_shared_key_and_reducer_omits_it() {
+        let mapper = GroupAggMapper::new(Predicate::True, None, grouped_aggs());
+        let out = mapper.run(SplitData::Records(vec![grec("x", 1.0), grec("y", 2.0)]));
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(&*out.pairs[0].0, AGG_KEY);
+        let reducer = GroupAggReducer::new(grouped_aggs(), false);
+        let mut rows = Vec::new();
+        reducer.reduce(&Key::from(AGG_KEY), &[out.pairs[0].1.clone()], &mut rows);
+        assert_eq!(rows[0].1.arity(), 3, "no group column");
+        assert_eq!(rows[0].1.get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn grouped_batch_matches_grouped_rows() {
+        use incmr_data::generator::{RecordFactory, SplitGenerator, SplitSpec};
+        use incmr_data::lineitem::LineItemFactory;
+        use std::sync::Arc;
+        let factory = LineItemFactory::new(col::QUANTITY, Value::Int(200));
+        let gen = SplitGenerator::new(&factory, SplitSpec::new(2_000, 13, 5));
+        let aggs = vec![
+            ResolvedAgg {
+                func: AggFunc::Count,
+                column: None,
+            },
+            ResolvedAgg {
+                func: AggFunc::Sum,
+                column: Some(col::EXTENDEDPRICE),
+            },
+            ResolvedAgg {
+                func: AggFunc::Avg,
+                column: Some(col::QUANTITY),
+            },
+        ];
+        let mapper = GroupAggMapper::new(factory.predicate(), Some(col::RETURNFLAG), aggs);
+        let rows = mapper.run(SplitData::Records(gen.full_iter().collect()));
+        let batch = mapper.run(SplitData::Batch(Arc::new(gen.full_batch())));
+        assert_eq!(batch.pairs, rows.pairs, "full batch ≡ full rows");
+        let planted_rows = mapper.run(SplitData::Planted {
+            total_records: 2_000,
+            matches: gen.planted_matches(),
+        });
+        let planted_batch = mapper.run(SplitData::PlantedBatch {
+            total_records: 2_000,
+            matches: Arc::new(gen.planted_batch()),
+        });
+        assert_eq!(planted_batch.pairs, planted_rows.pairs);
+    }
+
+    #[test]
+    fn group_parts_decode_into_the_estimator_plane() {
+        let mapper = GroupAggMapper::new(Predicate::True, Some(0), grouped_aggs());
+        let out = mapper.run(SplitData::Records(vec![grec("g", 5.0), grec("g", 7.0)]));
+        let part = incmr_mapreduce::decode_group_part(&out.pairs[0].0, &out.pairs[0].1, 3)
+            .expect("mapper output is the estimator wire format");
+        assert_eq!(&*part.group, "g");
+        assert_eq!(part.n, 2);
+        assert_eq!(part.sums, vec![2.0, 12.0, 12.0]);
     }
 }

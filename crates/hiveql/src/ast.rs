@@ -167,8 +167,26 @@ pub enum Projection {
     Star,
     /// Explicit columns, in order.
     Columns(Vec<String>),
-    /// Aggregates (whole-table; no GROUP BY in this subset).
+    /// Aggregates (whole-table, or per-group with `GROUP BY`).
     Aggregates(Vec<AggExpr>),
+}
+
+/// The `WITH ERROR e CONFIDENCE c` clause: request an approximate answer
+/// whose per-group relative error is at most `error` with probability at
+/// least `confidence`. Both are in the open interval (0, 1); the parser
+/// rejects anything else.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBound {
+    /// Maximum relative error, e.g. `0.05`.
+    pub error: f64,
+    /// Confidence level, e.g. `0.95` (the default when the clause omits
+    /// `CONFIDENCE`).
+    pub confidence: f64,
+}
+
+impl ErrorBound {
+    /// Confidence used when the clause names only the error.
+    pub const DEFAULT_CONFIDENCE: f64 = 0.95;
 }
 
 /// A parsed `SELECT` query.
@@ -180,6 +198,11 @@ pub struct Query {
     pub table: String,
     /// Optional `WHERE` clause.
     pub predicate: Option<Expr>,
+    /// Optional `GROUP BY` column (single-column grouping in this subset).
+    pub group_by: Option<String>,
+    /// Optional `WITH ERROR e CONFIDENCE c` — the approximate-answer
+    /// trigger.
+    pub error_bound: Option<ErrorBound>,
     /// Optional `LIMIT k` — the sample size trigger.
     pub limit: Option<u64>,
 }
@@ -226,6 +249,12 @@ impl fmt::Display for Query {
         if let Some(p) = &self.predicate {
             write!(f, " WHERE {p}")?;
         }
+        if let Some(g) = &self.group_by {
+            write!(f, " GROUP BY {g}")?;
+        }
+        if let Some(b) = &self.error_bound {
+            write!(f, " WITH ERROR {} CONFIDENCE {}", b.error, b.confidence)?;
+        }
         if let Some(k) = self.limit {
             write!(f, " LIMIT {k}")?;
         }
@@ -254,6 +283,8 @@ mod tests {
                     literal: Literal::Str("x".into()),
                 }))),
             )),
+            group_by: None,
+            error_bound: None,
             limit: Some(10),
         };
         assert_eq!(
@@ -268,8 +299,32 @@ mod tests {
             projection: Projection::Star,
             table: "t".into(),
             predicate: None,
+            group_by: None,
+            error_bound: None,
             limit: None,
         };
         assert_eq!(q.to_string(), "SELECT * FROM t");
+    }
+
+    #[test]
+    fn grouped_error_bound_displays() {
+        let q = Query {
+            projection: Projection::Aggregates(vec![AggExpr {
+                func: AggFunc::Sum,
+                column: Some("qty".into()),
+            }]),
+            table: "t".into(),
+            predicate: None,
+            group_by: Some("flag".into()),
+            error_bound: Some(ErrorBound {
+                error: 0.05,
+                confidence: 0.95,
+            }),
+            limit: None,
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT SUM(qty) FROM t GROUP BY flag WITH ERROR 0.05 CONFIDENCE 0.95"
+        );
     }
 }

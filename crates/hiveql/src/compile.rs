@@ -22,10 +22,16 @@ use std::fmt;
 use std::sync::Arc;
 
 use incmr_core::scan::ScanMapper;
-use incmr_core::{build_sampling_job_with, Policy, SampleMode};
+use incmr_core::{
+    build_sampling_job_with, DynamicDriver, EstimatingInputProvider, Policy, SampleMode,
+};
 use incmr_data::generator::RecordFactory;
 use incmr_data::{predicate, ColumnType, Dataset, Schema, Value};
-use incmr_mapreduce::{keys, GrowthDriver, JobSpec, ScanMode, StaticDriver};
+use incmr_mapreduce::{
+    encode_funcs, keys, AggKind, GrowthDriver, JobConf, JobSpec, ScanMode, StaticDriver,
+};
+
+use crate::ast::AggFunc;
 
 use crate::ast::{CmpOp, Expr, Literal, Projection, Query};
 use crate::catalog::Catalog;
@@ -60,6 +66,16 @@ pub enum CompileError {
     /// `LIMIT` with aggregates is meaningless in this subset (the result
     /// is always a single row).
     AggregateWithLimit,
+    /// `GROUP BY` on a non-aggregate projection.
+    GroupByWithoutAggregates,
+    /// `WITH ERROR` on a non-aggregate projection.
+    ErrorBoundWithoutAggregates,
+    /// `MIN`/`MAX` cannot run grouped or under an error bound: the
+    /// estimator's accumulator plane carries running moments only.
+    UnsupportedGroupedAggregate {
+        /// The offending aggregate expression.
+        agg: String,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -82,6 +98,18 @@ impl fmt::Display for CompileError {
             }
             CompileError::AggregateWithLimit => {
                 write!(f, "LIMIT with aggregates is not supported (the result is one row)")
+            }
+            CompileError::GroupByWithoutAggregates => {
+                write!(f, "GROUP BY requires an aggregate SELECT list")
+            }
+            CompileError::ErrorBoundWithoutAggregates => {
+                write!(f, "WITH ERROR requires an aggregate SELECT list")
+            }
+            CompileError::UnsupportedGroupedAggregate { agg } => {
+                write!(
+                    f,
+                    "{agg} cannot run grouped or error-bounded; only COUNT/SUM/AVG"
+                )
             }
         }
     }
@@ -106,6 +134,37 @@ pub enum JobPlan {
         /// Rendered aggregate list, e.g. `COUNT(*), AVG(L_QUANTITY)`.
         aggregates: String,
     },
+    /// A full-input scan feeding per-group aggregates.
+    GroupedAggregateScan {
+        /// Rendered aggregate list.
+        aggregates: String,
+        /// The grouping column.
+        group_by: String,
+    },
+    /// Error-bounded approximate aggregation: a dynamic job growing its
+    /// input in rounds until the CLT bound holds (EARL-style early
+    /// results).
+    ApproxAggregate {
+        /// Rendered aggregate list.
+        aggregates: String,
+        /// The grouping column, if any.
+        group_by: Option<String>,
+        /// Target relative error.
+        error: f64,
+        /// Target confidence.
+        confidence: f64,
+    },
+}
+
+/// Result-shaping metadata for approximate-aggregation plans: what the
+/// session layer needs to scale the sampled totals by the job's expansion
+/// factor (SUM/COUNT scale by M/m; AVG is a ratio and does not).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApproxInfo {
+    /// Aggregate functions, in output-column order.
+    pub funcs: Vec<crate::ast::AggFunc>,
+    /// Whether rows lead with a group-value column.
+    pub grouped: bool,
 }
 
 /// A compiled, ready-to-submit job.
@@ -118,6 +177,8 @@ pub struct CompiledQuery {
     pub plan: JobPlan,
     /// Resolved projection column indices (empty = all columns).
     pub projection: Vec<usize>,
+    /// Present on `ApproxAggregate` plans: how to scale result rows.
+    pub approx: Option<ApproxInfo>,
 }
 
 impl fmt::Debug for CompiledQuery {
@@ -148,6 +209,21 @@ impl CompiledQuery {
             JobPlan::StaticScan => "Static MapReduce job: full select-project scan\n  map: ScanMapper\n  reduce: identity".to_string(),
             JobPlan::AggregateScan { aggregates } => format!(
                 "Static MapReduce job: whole-table aggregation\n  aggregates: {aggregates}\n  map: AggMapper (one partial per split)\n  reduce: AggReducer (merge partials, emit one row)"
+            ),
+            JobPlan::GroupedAggregateScan {
+                aggregates,
+                group_by,
+            } => format!(
+                "Static MapReduce job: grouped aggregation\n  aggregates: {aggregates}\n  group by: {group_by}\n  map: GroupAggMapper (one observation per group per split)\n  reduce: GroupAggReducer (merge observations, emit one row per group)"
+            ),
+            JobPlan::ApproxAggregate {
+                aggregates,
+                group_by,
+                error,
+                confidence,
+            } => format!(
+                "Dynamic MapReduce job: error-bounded approximate aggregation\n  aggregates: {aggregates}\n  group by: {}\n  error bound: {error} at confidence {confidence}\n  input provider: EstimatingInputProvider (random splits, grown in rounds)\n  map: GroupAggMapper (one observation per group per split)\n  reduce: GroupAggReducer (merge observations; session scales by M/m)",
+                group_by.as_deref().unwrap_or("(whole table)")
             ),
         }
     }
@@ -240,11 +316,21 @@ fn resolve_projection(
     }
 }
 
+/// Map a surface aggregate onto the estimator plane's function kind
+/// (`None` for MIN/MAX, which have no moment-based estimator).
+fn agg_kind(func: AggFunc) -> Option<AggKind> {
+    match func {
+        AggFunc::Count => Some(AggKind::Count),
+        AggFunc::Sum => Some(AggKind::Sum),
+        AggFunc::Avg => Some(AggKind::Avg),
+        AggFunc::Min | AggFunc::Max => None,
+    }
+}
+
 fn resolve_aggregates(
     schema: &Schema,
     aggs: &[crate::ast::AggExpr],
 ) -> Result<Vec<crate::agg::ResolvedAgg>, CompileError> {
-    use crate::ast::AggFunc;
     aggs.iter()
         .map(|a| {
             let column = match &a.column {
@@ -270,8 +356,11 @@ fn resolve_aggregates(
 }
 
 /// Compile a query against a catalog under the session's policy, scan mode,
-/// and sample mode. `seed` drives the sampling provider's random split
-/// selection.
+/// and sample mode. `seed` drives the sampling/estimating provider's random
+/// split selection; `agg_rounds` bounds the growth loop of error-bounded
+/// aggregate plans (`SET mapred.agg.rounds`, default
+/// [`incmr_mapreduce::DEFAULT_AGG_ROUNDS`]).
+#[allow(clippy::too_many_arguments)]
 pub fn compile_query(
     query: &Query,
     catalog: &Catalog,
@@ -279,6 +368,7 @@ pub fn compile_query(
     scan_mode: ScanMode,
     sample_mode: SampleMode,
     seed: u64,
+    agg_rounds: u64,
 ) -> Result<CompiledQuery, CompileError> {
     let dataset: &Arc<Dataset> = catalog
         .resolve(&query.table)
@@ -301,7 +391,18 @@ pub fn compile_query(
         }
     }
 
-    // Aggregate queries compile to a static scan-aggregate job.
+    // GROUP BY / WITH ERROR only make sense over an aggregate SELECT list.
+    if !matches!(query.projection, Projection::Aggregates(_)) {
+        if query.group_by.is_some() {
+            return Err(CompileError::GroupByWithoutAggregates);
+        }
+        if query.error_bound.is_some() {
+            return Err(CompileError::ErrorBoundWithoutAggregates);
+        }
+    }
+
+    // Aggregate queries: a static scan-aggregate job, its grouped
+    // variant, or (under WITH ERROR) a dynamic estimating job.
     if let Projection::Aggregates(aggs) = &query.projection {
         if query.limit.is_some() {
             return Err(CompileError::AggregateWithLimit);
@@ -312,25 +413,170 @@ pub fn compile_query(
             .map(|a| a.to_string())
             .collect::<Vec<_>>()
             .join(", ");
-        let spec = JobSpec::builder()
-            .set(keys::JOB_NAME, format!("agg-{}", query.table))
-            .input(incmr_mapreduce::DatasetInputFormat::new(
-                Arc::clone(dataset),
-                scan_mode,
-            ))
-            .mapper(crate::agg::AggMapper::new(predicate, resolved.clone()))
-            .reducer(crate::agg::AggReducer::new(resolved))
-            .build();
-        let blocks = dataset.splits().iter().map(|p| p.block).collect();
-        return Ok(CompiledQuery {
-            spec,
-            driver: Box::new(StaticDriver::new(blocks)),
-            plan: JobPlan::AggregateScan {
-                aggregates: rendered,
-            },
+
+        // Whole-table exact aggregation keeps the one-partial-per-split
+        // shape (MIN/MAX supported).
+        if query.group_by.is_none() && query.error_bound.is_none() {
+            let spec = JobSpec::builder()
+                .set(keys::JOB_NAME, format!("agg-{}", query.table))
+                .input(incmr_mapreduce::DatasetInputFormat::new(
+                    Arc::clone(dataset),
+                    scan_mode,
+                ))
+                .mapper(crate::agg::AggMapper::new(predicate, resolved.clone()))
+                .reducer(crate::agg::AggReducer::new(resolved))
+                .build();
+            let blocks = dataset.splits().iter().map(|p| p.block).collect();
+            return Ok(CompiledQuery {
+                spec,
+                driver: Box::new(StaticDriver::new(blocks)),
+                plan: JobPlan::AggregateScan {
+                    aggregates: rendered,
+                },
+                projection,
+                approx: None,
+            });
+        }
+
+        // Grouped / error-bounded: the per-group observation plane. Only
+        // COUNT/SUM/AVG have moment-based estimators.
+        let funcs: Vec<AggKind> = aggs
+            .iter()
+            .map(|a| {
+                agg_kind(a.func)
+                    .ok_or_else(|| CompileError::UnsupportedGroupedAggregate { agg: a.to_string() })
+            })
+            .collect::<Result<_, _>>()?;
+        let group_idx = match &query.group_by {
+            Some(g) => Some(resolve_column(&schema, g)?),
+            None => None,
+        };
+        let blocks: Vec<_> = dataset.splits().iter().map(|p| p.block).collect();
+        let total = blocks.len() as u64;
+        let mapper =
+            crate::agg::GroupAggMapper::new(predicate.clone(), group_idx, resolved.clone());
+        let reducer = crate::agg::GroupAggReducer::new(resolved, group_idx.is_some());
+
+        // NOTE: no MATERIALIZE_CAP on any aggregate plan — the per-split
+        // observation records ARE the result; a cap would drop them.
+        match &query.error_bound {
+            None => {
+                let conf = JobConf::new()
+                    .with(keys::JOB_NAME, format!("groupagg-{}", query.table))
+                    .with(keys::AGG_FUNCS, encode_funcs(&funcs))
+                    .with(keys::AGG_TOTAL_SPLITS, total);
+                let spec = JobSpec::builder()
+                    .conf(conf)
+                    .reduces(1)
+                    .input(incmr_mapreduce::DatasetInputFormat::new(
+                        Arc::clone(dataset),
+                        scan_mode,
+                    ))
+                    .mapper(mapper)
+                    .reducer(reducer)
+                    .build();
+                Ok(CompiledQuery {
+                    spec,
+                    driver: Box::new(StaticDriver::new(blocks)),
+                    plan: JobPlan::GroupedAggregateScan {
+                        aggregates: rendered,
+                        group_by: query.group_by.clone().expect("grouped-exact path"),
+                    },
+                    projection,
+                    approx: None,
+                })
+            }
+            Some(bound) => {
+                // Memo identity: the semantic computation — table,
+                // predicate, grouping, aggregate list, and the bound
+                // itself. Warm re-runs share cached per-split map output.
+                let pred_rendered = predicate.display(&schema).to_string();
+                let bound_rendered = format!("{}@{}", bound.error, bound.confidence);
+                let group_rendered = query.group_by.clone().unwrap_or_default();
+                let funcs_rendered = encode_funcs(&funcs);
+                let signature = incmr_mapreduce::signature_of_conf(
+                    [
+                        ("query.table", query.table.as_str()),
+                        ("query.predicate", pred_rendered.as_str()),
+                        ("query.group", group_rendered.as_str()),
+                        ("query.aggs", funcs_rendered.as_str()),
+                        ("query.bound", bound_rendered.as_str()),
+                    ]
+                    .into_iter(),
+                    1,
+                );
+                let conf = JobConf::new()
+                    .with(keys::JOB_NAME, format!("approx-{}", query.table))
+                    .with(keys::DYNAMIC_JOB, true)
+                    .with(keys::DYNAMIC_JOB_POLICY, &policy.name)
+                    .with(keys::DYNAMIC_INPUT_PROVIDER, "EstimatingInputProvider")
+                    .with(keys::AGG_ERROR, bound.error)
+                    .with(keys::AGG_CONFIDENCE, bound.confidence)
+                    .with(keys::AGG_ROUNDS, agg_rounds)
+                    .with(keys::AGG_FUNCS, encode_funcs(&funcs))
+                    .with(keys::AGG_TOTAL_SPLITS, total)
+                    .with(keys::JOB_SIGNATURE, signature);
+                let spec = JobSpec::builder()
+                    .conf(conf)
+                    .reduces(1)
+                    .input(incmr_mapreduce::DatasetInputFormat::new(
+                        Arc::clone(dataset),
+                        scan_mode,
+                    ))
+                    .mapper(mapper)
+                    .reducer(reducer)
+                    .build();
+                let provider = EstimatingInputProvider::new(blocks.clone(), agg_rounds, seed);
+                let driver = Box::new(DynamicDriver::new(
+                    Box::new(provider),
+                    policy.clone(),
+                    total as u32,
+                ));
+                Ok(CompiledQuery {
+                    spec,
+                    driver,
+                    plan: JobPlan::ApproxAggregate {
+                        aggregates: rendered,
+                        group_by: query.group_by.clone(),
+                        error: bound.error,
+                        confidence: bound.confidence,
+                    },
+                    projection,
+                    approx: Some(ApproxInfo {
+                        funcs: aggs.iter().map(|a| a.func).collect(),
+                        grouped: query.group_by.is_some(),
+                    }),
+                })
+            }
+        }
+    } else {
+        compile_scan_or_sample(
+            query,
+            dataset,
+            predicate,
             projection,
-        });
+            policy,
+            scan_mode,
+            sample_mode,
+            seed,
+        )
     }
+}
+
+/// The non-aggregate plans: dynamic predicate-based sampling (`LIMIT k`)
+/// or a static select-project scan.
+#[allow(clippy::too_many_arguments)]
+fn compile_scan_or_sample(
+    query: &Query,
+    dataset: &Arc<Dataset>,
+    predicate: predicate::Predicate,
+    projection: Vec<usize>,
+    policy: &Policy,
+    scan_mode: ScanMode,
+    sample_mode: SampleMode,
+    seed: u64,
+) -> Result<CompiledQuery, CompileError> {
+    let schema = dataset.factory().schema();
 
     match query.limit {
         Some(k) => {
@@ -370,6 +616,7 @@ pub fn compile_query(
                     policy: policy.name.clone(),
                 },
                 projection,
+                approx: None,
             })
         }
         None => {
@@ -388,6 +635,7 @@ pub fn compile_query(
                 driver: Box::new(StaticDriver::new(blocks)),
                 plan: JobPlan::StaticScan,
                 projection,
+                approx: None,
             })
         }
     }
@@ -432,6 +680,7 @@ mod tests {
             mode,
             SampleMode::FirstK,
             1,
+            incmr_mapreduce::DEFAULT_AGG_ROUNDS,
         )
     }
 
@@ -558,5 +807,121 @@ mod tests {
             ScanMode::Full
         )
         .is_err());
+    }
+
+    #[test]
+    fn grouped_aggregate_compiles_to_exact_grouped_scan() {
+        let c = compile(
+            "SELECT SUM(L_QUANTITY), COUNT(*) FROM lineitem GROUP BY L_RETURNFLAG",
+            ScanMode::Full,
+        )
+        .unwrap();
+        assert_eq!(
+            c.plan,
+            JobPlan::GroupedAggregateScan {
+                aggregates: "SUM(L_QUANTITY), COUNT(*)".into(),
+                group_by: "L_RETURNFLAG".into(),
+            }
+        );
+        assert!(!c.spec.conf.get_bool(keys::DYNAMIC_JOB));
+        assert_eq!(c.spec.conf.get(keys::AGG_FUNCS), Some("sum,count"));
+        assert_eq!(c.spec.conf.get(keys::AGG_TOTAL_SPLITS), Some("8"));
+        // Exact grouped runs never scale their rows.
+        assert!(c.approx.is_none());
+        assert!(c.explain().contains("group by: L_RETURNFLAG"));
+    }
+
+    #[test]
+    fn error_bound_compiles_to_estimating_provider() {
+        let c = compile(
+            "SELECT AVG(L_TAX) FROM lineitem GROUP BY L_RETURNFLAG \
+             WITH ERROR 0.05 CONFIDENCE 0.9",
+            ScanMode::Full,
+        )
+        .unwrap();
+        assert_eq!(
+            c.plan,
+            JobPlan::ApproxAggregate {
+                aggregates: "AVG(L_TAX)".into(),
+                group_by: Some("L_RETURNFLAG".into()),
+                error: 0.05,
+                confidence: 0.9,
+            }
+        );
+        assert!(c.spec.conf.get_bool(keys::DYNAMIC_JOB));
+        assert_eq!(
+            c.spec.conf.get(keys::DYNAMIC_INPUT_PROVIDER),
+            Some("EstimatingInputProvider")
+        );
+        assert_eq!(c.spec.conf.get(keys::AGG_ERROR), Some("0.05"));
+        assert_eq!(c.spec.conf.get(keys::AGG_CONFIDENCE), Some("0.9"));
+        assert!(c.spec.conf.get(keys::JOB_SIGNATURE).is_some());
+        assert!(c.explain().contains("EstimatingInputProvider"));
+    }
+
+    #[test]
+    fn error_bound_signature_is_semantic() {
+        let sql = "SELECT SUM(L_QUANTITY) FROM lineitem WITH ERROR 0.1";
+        let a = compile(sql, ScanMode::Full).unwrap();
+        let b = compile(sql, ScanMode::Full).unwrap();
+        assert_eq!(
+            a.spec.conf.get(keys::JOB_SIGNATURE),
+            b.spec.conf.get(keys::JOB_SIGNATURE),
+        );
+        let c = compile(
+            "SELECT SUM(L_QUANTITY) FROM lineitem WITH ERROR 0.2",
+            ScanMode::Full,
+        )
+        .unwrap();
+        assert_ne!(
+            a.spec.conf.get(keys::JOB_SIGNATURE),
+            c.spec.conf.get(keys::JOB_SIGNATURE),
+        );
+    }
+
+    #[test]
+    fn grouped_and_bounded_plans_reject_min_max() {
+        for sql in [
+            "SELECT MIN(L_TAX) FROM lineitem GROUP BY L_RETURNFLAG",
+            "SELECT MAX(L_TAX) FROM lineitem WITH ERROR 0.05",
+        ] {
+            let err = compile(sql, ScanMode::Full).unwrap_err();
+            assert!(
+                matches!(err, CompileError::UnsupportedGroupedAggregate { .. }),
+                "{sql}: {err:?}"
+            );
+            assert!(err.to_string().contains("COUNT/SUM/AVG"));
+        }
+    }
+
+    #[test]
+    fn group_by_and_error_bound_require_aggregates() {
+        assert_eq!(
+            compile(
+                "SELECT L_ORDERKEY FROM lineitem GROUP BY L_RETURNFLAG",
+                ScanMode::Full
+            )
+            .unwrap_err(),
+            CompileError::GroupByWithoutAggregates
+        );
+        assert_eq!(
+            compile("SELECT * FROM lineitem WITH ERROR 0.05", ScanMode::Full).unwrap_err(),
+            CompileError::ErrorBoundWithoutAggregates
+        );
+    }
+
+    #[test]
+    fn agg_rounds_flows_into_the_estimating_conf() {
+        let c = compile_query(
+            &query("SELECT COUNT(*) FROM lineitem WITH ERROR 0.05"),
+            &catalog(),
+            &Policy::la(),
+            ScanMode::Full,
+            SampleMode::FirstK,
+            1,
+            3,
+        )
+        .unwrap();
+        assert_eq!(c.spec.conf.get(keys::AGG_ROUNDS), Some("3"));
     }
 }

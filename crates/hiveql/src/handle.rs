@@ -4,8 +4,8 @@
 //! histograms instead of the monolithic blocking `QueryOutput`.
 
 use incmr_core::SampleOutcome;
-use incmr_data::Record;
-use incmr_mapreduce::{JobId, MetricsRegistry, MrRuntime};
+use incmr_data::{Record, Value};
+use incmr_mapreduce::{decode_funcs, keys, AggKind, AggReport, JobId, MetricsRegistry, MrRuntime};
 use incmr_simkit::{SimDuration, SimTime};
 
 use crate::session::{QueryOutput, Session};
@@ -88,6 +88,10 @@ pub struct QueryResult {
     /// Whether the requested sample size was reached (`None` for
     /// non-sampling plans and failed jobs).
     pub outcome: Option<SampleOutcome>,
+    /// For aggregate plans: how the estimator classified the finish
+    /// (bound met / budget exhausted / exact) plus the coverage counters.
+    /// `None` for non-aggregate plans and failed jobs.
+    pub agg: Option<AggReport>,
     /// This query's latency histograms (mergeable across queries).
     pub histograms: MetricsRegistry,
     /// True if the job was aborted.
@@ -110,15 +114,61 @@ pub fn collect_result(runtime: &MrRuntime, job: JobId, requested_k: Option<u64>)
         }
         _ => None,
     };
+    let mut rows: Vec<Record> = result.output.iter().map(|(_, r)| r.clone()).collect();
+    // Aggregate estimates cover only the sampled splits: expand SUM/COUNT
+    // by the report's M/m scale (AVG is a ratio estimate and is already
+    // unbiased). Exact finishes have scale 1.0, so this is a no-op there.
+    if let Some(report) = &result.agg {
+        if let Some(funcs) = runtime
+            .job_conf(job)
+            .get(keys::AGG_FUNCS)
+            .and_then(decode_funcs)
+        {
+            scale_estimates(&mut rows, report, &funcs);
+        }
+    }
     QueryResult {
         job,
-        rows: result.output.iter().map(|(_, r)| r.clone()).collect(),
+        rows,
         splits_processed: result.splits_processed,
         records_processed: result.records_processed,
         local_tasks: result.local_tasks,
         response_time: result.response_time(),
         outcome,
+        agg: result.agg,
         histograms: result.histograms.clone(),
         failed: result.failed,
+    }
+}
+
+/// Expand sampled aggregate rows to whole-table estimates: SUM scales by
+/// `M/m`, COUNT scales and rounds back to an integer, AVG stays as-is.
+/// Grouped rows lead with the group value; the offset is inferred from
+/// the row arity against the aggregate list.
+fn scale_estimates(rows: &mut [Record], report: &AggReport, funcs: &[AggKind]) {
+    let scale = report.scale();
+    if scale == 1.0 {
+        return;
+    }
+    for row in rows.iter_mut() {
+        let offset = row.arity().saturating_sub(funcs.len());
+        let values: Vec<Value> = row
+            .values()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let scaled = i
+                    .checked_sub(offset)
+                    .and_then(|j| funcs.get(j))
+                    .map(|f| matches!(f, AggKind::Count | AggKind::Sum))
+                    .unwrap_or(false);
+                match (scaled, v) {
+                    (true, Value::Float(x)) => Value::Float(x * scale),
+                    (true, Value::Int(x)) => Value::Int((*x as f64 * scale).round() as i64),
+                    _ => v.clone(),
+                }
+            })
+            .collect();
+        *row = Record::new(values);
     }
 }

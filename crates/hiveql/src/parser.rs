@@ -4,7 +4,10 @@
 //!
 //! ```text
 //! statement := select | "SET" ident "=" value | "EXPLAIN" select
-//! select    := "SELECT" projection "FROM" ident [ "WHERE" or_expr ] [ "LIMIT" int ] [";"]
+//! select    := "SELECT" projection "FROM" ident [ "WHERE" or_expr ]
+//!              [ "GROUP" "BY" ident ]
+//!              [ "WITH" "ERROR" number [ "CONFIDENCE" number ] ]
+//!              [ "LIMIT" int ] [";"]
 //! projection:= "*" | ident ("," ident)*
 //! or_expr   := and_expr ("OR" and_expr)*
 //! and_expr  := not_expr ("AND" not_expr)*
@@ -14,7 +17,9 @@
 
 use std::fmt;
 
-use crate::ast::{AggExpr, AggFunc, CmpOp, Expr, Literal, Projection, Query, ShowKind, Statement};
+use crate::ast::{
+    AggExpr, AggFunc, CmpOp, ErrorBound, Expr, Literal, Projection, Query, ShowKind, Statement,
+};
 use crate::lexer::{lex, LexError, Token};
 
 enum SelectItem {
@@ -199,7 +204,7 @@ impl Parser {
                             SelectItem::Aggregate(a) => aggs.push(a),
                             SelectItem::Column(c) => {
                                 return Err(ParseError::new(format!(
-                                    "cannot mix aggregates and columns (saw {c}); GROUP BY is not supported"
+                                    "cannot mix aggregates and columns (saw {c}); group with GROUP BY instead"
                                 )))
                             }
                         }
@@ -212,6 +217,24 @@ impl Parser {
         let table = self.ident()?;
         let predicate = if self.eat_kw("WHERE") {
             Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let error_bound = if self.eat_kw("WITH") {
+            self.expect_kw("ERROR")?;
+            let error = self.open_unit_fraction("WITH ERROR")?;
+            let confidence = if self.eat_kw("CONFIDENCE") {
+                self.open_unit_fraction("CONFIDENCE")?
+            } else {
+                ErrorBound::DEFAULT_CONFIDENCE
+            };
+            Some(ErrorBound { error, confidence })
         } else {
             None
         };
@@ -231,8 +254,30 @@ impl Parser {
             projection,
             table,
             predicate,
+            group_by,
+            error_bound,
             limit,
         })
+    }
+
+    /// A numeric literal strictly inside (0, 1) — the shared domain of
+    /// `WITH ERROR` and `CONFIDENCE` operands.
+    fn open_unit_fraction(&mut self, clause: &str) -> Result<f64, ParseError> {
+        let v = match self.next() {
+            Some(Token::Float(v)) => v,
+            Some(Token::Int(v)) => v as f64,
+            other => {
+                return Err(ParseError::new(format!(
+                    "{clause} needs a number, found {other:?}"
+                )))
+            }
+        };
+        if !(v > 0.0 && v < 1.0) {
+            return Err(ParseError::new(format!(
+                "{clause} must be strictly between 0 and 1, got {v}"
+            )));
+        }
+        Ok(v)
     }
 
     /// One SELECT-list item: a bare column, or `FUNC(col)` / `COUNT(*)`.
@@ -450,6 +495,67 @@ mod tests {
             "no mixing either way"
         );
         assert!(parse("SELECT COUNT( FROM t").is_err());
+    }
+
+    #[test]
+    fn group_by_and_error_bound_parse() {
+        let query = q("SELECT SUM(L_QUANTITY) FROM lineitem WHERE L_TAX = 0.77 \
+             GROUP BY L_RETURNFLAG WITH ERROR 0.05 CONFIDENCE 0.9");
+        assert_eq!(query.group_by.as_deref(), Some("L_RETURNFLAG"));
+        assert_eq!(
+            query.error_bound,
+            Some(ErrorBound {
+                error: 0.05,
+                confidence: 0.9
+            })
+        );
+    }
+
+    #[test]
+    fn confidence_defaults_when_omitted() {
+        let query = q("SELECT COUNT(*) FROM t WITH ERROR 0.1");
+        assert_eq!(
+            query.error_bound,
+            Some(ErrorBound {
+                error: 0.1,
+                confidence: ErrorBound::DEFAULT_CONFIDENCE
+            })
+        );
+        assert_eq!(query.group_by, None);
+    }
+
+    #[test]
+    fn error_bound_display_round_trips() {
+        let sql = "SELECT SUM(q) FROM t GROUP BY g WITH ERROR 0.05 CONFIDENCE 0.95";
+        let query = q(sql);
+        assert_eq!(query.to_string(), sql);
+        assert_eq!(q(&query.to_string()), query);
+    }
+
+    #[test]
+    fn error_bound_operands_must_be_open_unit_fractions() {
+        for bad in [
+            "SELECT COUNT(*) FROM t WITH ERROR 0",
+            "SELECT COUNT(*) FROM t WITH ERROR 0.0",
+            "SELECT COUNT(*) FROM t WITH ERROR 1",
+            "SELECT COUNT(*) FROM t WITH ERROR 1.5",
+            "SELECT COUNT(*) FROM t WITH ERROR -0.1",
+            "SELECT COUNT(*) FROM t WITH ERROR 0.05 CONFIDENCE 0",
+            "SELECT COUNT(*) FROM t WITH ERROR 0.05 CONFIDENCE 1",
+            "SELECT COUNT(*) FROM t WITH ERROR 0.05 CONFIDENCE 2.5",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(
+                err.message.contains("strictly between 0 and 1")
+                    || err.message.contains("needs a number"),
+                "{bad}: {err}"
+            );
+        }
+        assert!(parse("SELECT COUNT(*) FROM t WITH ERROR").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WITH ERROR x").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t WITH 0.05").is_err());
+        assert!(parse("SELECT * FROM t GROUP BY").is_err());
+        assert!(parse("SELECT * FROM t GROUP x").is_err());
     }
 
     #[test]

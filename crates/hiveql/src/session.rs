@@ -57,6 +57,11 @@ pub enum SessionError {
         /// The rejected value.
         value: String,
     },
+    /// `SET mapred.agg.rounds` had a malformed or zero value.
+    BadAggRounds {
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -78,6 +83,12 @@ impl fmt::Display for SessionError {
                 write!(
                     f,
                     "dfs.replication must be an integer in 1..=255, got {value:?}"
+                )
+            }
+            SessionError::BadAggRounds { value } => {
+                write!(
+                    f,
+                    "mapred.agg.rounds must be a positive integer, got {value:?}"
                 )
             }
         }
@@ -218,6 +229,16 @@ impl SessionState {
         self.next_seed = seed;
     }
 
+    /// The growth-round budget error-bounded aggregate plans compile
+    /// with: `SET mapred.agg.rounds` (validated at SET time), or the
+    /// framework default.
+    pub fn agg_rounds(&self) -> u64 {
+        self.settings
+            .get(keys::AGG_ROUNDS)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(incmr_mapreduce::DEFAULT_AGG_ROUNDS)
+    }
+
     /// Prepare one statement against a catalog: `SELECT` compiles to a
     /// submit-ready job; everything else resolves immediately from
     /// session state.
@@ -233,6 +254,12 @@ impl SessionState {
                     && !matches!(value.parse::<u8>(), Ok(r) if r > 0)
                 {
                     return Err(SessionError::BadReplication { value });
+                }
+                // Same for the approximate-aggregation round budget.
+                if key.eq_ignore_ascii_case(keys::AGG_ROUNDS)
+                    && !matches!(value.parse::<u64>(), Ok(r) if r > 0)
+                {
+                    return Err(SessionError::BadAggRounds { value });
                 }
                 self.settings.insert(key.clone(), value.clone());
                 Ok(Prepared::Immediate(QueryOutput::SetOk { key, value }))
@@ -265,6 +292,7 @@ impl SessionState {
                     self.scan_mode,
                     self.sample_mode,
                     self.next_seed,
+                    self.agg_rounds(),
                 )?;
                 Ok(Prepared::Immediate(QueryOutput::Explained(
                     compiled.explain(),
@@ -279,6 +307,7 @@ impl SessionState {
                     self.scan_mode,
                     self.sample_mode,
                     self.next_seed,
+                    self.agg_rounds(),
                 )?;
                 // Plumb the session's replication setting onto the job
                 // conf *after* compilation: the semantic JOB_SIGNATURE is
@@ -628,7 +657,9 @@ mod tests {
     fn set_replication_is_validated_and_plumbed_onto_jobs() {
         let mut s = session(SkewLevel::High);
         for bad in ["0", "banana", "300"] {
-            let err = s.execute(&format!("SET dfs.replication = {bad}")).unwrap_err();
+            let err = s
+                .execute(&format!("SET dfs.replication = {bad}"))
+                .unwrap_err();
             assert!(
                 matches!(err, SessionError::BadReplication { ref value } if value == bad),
                 "{bad}: {err}"
@@ -648,11 +679,12 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register("lineitem", ds);
         let mut state = SessionState::new();
-        state
-            .prepare("SET dfs.replication = 2", &catalog)
-            .unwrap();
+        state.prepare("SET dfs.replication = 2", &catalog).unwrap();
         let prepared = state
-            .prepare("SELECT * FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 5", &catalog)
+            .prepare(
+                "SELECT * FROM LINEITEM WHERE L_TAX = 0.77 LIMIT 5",
+                &catalog,
+            )
             .unwrap();
         let Prepared::Submit(compiled) = prepared else {
             panic!()
@@ -763,6 +795,119 @@ mod tests {
             .execute("SELECT SUM(L_SHIPMODE) FROM lineitem WHERE L_TAX = 0.77")
             .unwrap_err();
         assert!(err.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn grouped_aggregate_returns_one_row_per_group() {
+        let mut s = session_with(SkewLevel::High, true);
+        let out = s
+            .execute("SELECT COUNT(*), SUM(L_QUANTITY) FROM lineitem GROUP BY L_RETURNFLAG")
+            .unwrap();
+        let QueryOutput::Rows {
+            rows,
+            splits_processed,
+            ..
+        } = out
+        else {
+            panic!()
+        };
+        assert_eq!(splits_processed, 20, "exact grouped plans scan everything");
+        assert_eq!(rows.len(), 3, "R/A/N return flags");
+        let mut groups = Vec::new();
+        let mut total = 0i64;
+        for row in &rows {
+            let incmr_data::Value::Str(g) = row.get(0) else {
+                panic!("grouped rows lead with the group value: {row:?}")
+            };
+            groups.push(g.clone());
+            let incmr_data::Value::Int(n) = row.get(1) else {
+                panic!()
+            };
+            total += n;
+            let incmr_data::Value::Float(sum_q) = row.get(2) else {
+                panic!()
+            };
+            assert!(*sum_q >= *n as f64, "quantity is at least 1 per record");
+        }
+        assert_eq!(total, 40_000, "group counts partition the table");
+        let mut sorted = groups.clone();
+        sorted.sort();
+        assert_eq!(groups, sorted, "rows arrive in group-key order");
+    }
+
+    #[test]
+    fn error_bounded_aggregate_reports_and_scales() {
+        let mut s = session_with(SkewLevel::High, true);
+        // Exact ground truth from the whole-table plan.
+        let QueryOutput::Rows { rows: exact, .. } = s
+            .execute("SELECT SUM(L_QUANTITY), COUNT(*) FROM lineitem")
+            .unwrap()
+        else {
+            panic!()
+        };
+        let incmr_data::Value::Float(true_sum) = exact[0].get(0) else {
+            panic!()
+        };
+        let true_sum = *true_sum;
+
+        let Submitted::Pending(handle) = s
+            .submit("SELECT SUM(L_QUANTITY), COUNT(*) FROM lineitem WITH ERROR 0.05")
+            .unwrap()
+        else {
+            panic!()
+        };
+        let result = handle.wait(&mut s);
+        assert!(!result.failed);
+        let report = result.agg.expect("estimating plans attach a report");
+        assert_eq!(
+            report.completed, result.splits_processed,
+            "the report counts the splits that were actually folded"
+        );
+        assert!(
+            !matches!(report.outcome, incmr_mapreduce::AggOutcome::Exact),
+            "this run meets its bound well before consuming everything, so \
+             it must not classify as Exact: {report:?}"
+        );
+        // The scaled estimate lands near the truth even when the job
+        // stopped before scanning everything.
+        let incmr_data::Value::Float(est_sum) = result.rows[0].get(0) else {
+            panic!()
+        };
+        let rel = (est_sum - true_sum).abs() / true_sum;
+        assert!(rel < 0.15, "estimate off by {rel:.3} (truth {true_sum})");
+        let incmr_data::Value::Int(est_n) = result.rows[0].get(1) else {
+            panic!("scaled COUNT stays integral: {:?}", result.rows[0])
+        };
+        let rel_n = (*est_n as f64 - 40_000.0).abs() / 40_000.0;
+        assert!(rel_n < 0.15, "count estimate off by {rel_n:.3}");
+    }
+
+    #[test]
+    fn set_agg_rounds_is_validated_and_plumbed() {
+        let mut s = session_with(SkewLevel::High, true);
+        for bad in ["0", "-3", "many"] {
+            let err = s
+                .execute(&format!("SET mapred.agg.rounds = {bad}"))
+                .unwrap_err();
+            assert!(err.to_string().contains("positive integer"), "{bad}: {err}");
+        }
+        s.execute("SET mapred.agg.rounds = 5").unwrap();
+        assert_eq!(s.state().agg_rounds(), 5);
+        let Submitted::Pending(handle) = s
+            .submit("SELECT COUNT(*) FROM lineitem WITH ERROR 0.1")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            s.runtime()
+                .job_conf(handle.job())
+                .get(incmr_mapreduce::keys::AGG_ROUNDS),
+            Some("5"),
+            "the SET budget reaches the job conf"
+        );
+        let result = handle.wait(&mut s);
+        assert!(!result.failed);
     }
 
     #[test]

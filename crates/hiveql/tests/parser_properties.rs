@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use incmr_hiveql::ast::{CmpOp, Expr, Literal, Projection, Query};
+use incmr_hiveql::ast::{CmpOp, ErrorBound, Expr, Literal, Projection, Query};
 use incmr_hiveql::{parse, Statement};
 
 fn arb_literal() -> impl Strategy<Value = Literal> {
@@ -18,11 +18,40 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
 fn arb_ident() -> impl Strategy<Value = String> {
     "[a-zA-Z_][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
         ![
-            "select", "from", "where", "limit", "and", "or", "not", "between", "set", "explain",
-            "count", "sum", "avg", "min", "max",
+            "select",
+            "from",
+            "where",
+            "limit",
+            "and",
+            "or",
+            "not",
+            "between",
+            "set",
+            "explain",
+            "count",
+            "sum",
+            "avg",
+            "min",
+            "max",
+            "group",
+            "by",
+            "with",
+            "error",
+            "confidence",
         ]
         .contains(&s.to_ascii_lowercase().as_str())
     })
+}
+
+/// Bound fractions that survive Display → parse exactly (two decimals,
+/// strictly inside the open unit interval).
+fn arb_unit_fraction() -> impl Strategy<Value = f64> {
+    (1i32..100).prop_map(|v| v as f64 / 100.0)
+}
+
+fn arb_error_bound() -> impl Strategy<Value = ErrorBound> {
+    (arb_unit_fraction(), arb_unit_fraction())
+        .prop_map(|(error, confidence)| ErrorBound { error, confidence })
 }
 
 fn arb_expr() -> impl Strategy<Value = Expr> {
@@ -55,14 +84,20 @@ fn arb_query() -> impl Strategy<Value = Query> {
         ],
         arb_ident(),
         prop::option::of(arb_expr()),
+        prop::option::of(arb_ident()),
+        prop::option::of(arb_error_bound()),
         prop::option::of(1u64..100_000),
     )
-        .prop_map(|(projection, table, predicate, limit)| Query {
-            projection,
-            table,
-            predicate,
-            limit,
-        })
+        .prop_map(
+            |(projection, table, predicate, group_by, error_bound, limit)| Query {
+                projection,
+                table,
+                predicate,
+                group_by,
+                error_bound,
+                limit,
+            },
+        )
 }
 
 proptest! {
@@ -88,6 +123,99 @@ proptest! {
                 prop_assert_eq!(q2.to_string(), rendered);
             }
             other => prop_assert!(false, "round-trip produced {other:?}"),
+        }
+    }
+
+    /// `WITH ERROR` / `CONFIDENCE` values outside the open unit interval
+    /// are typed parse errors — never panics, never silent acceptance.
+    #[test]
+    fn out_of_range_bounds_are_rejected(
+        v in prop_oneof![
+            Just(0.0), Just(1.0),
+            (-1000i32..=0).prop_map(|v| v as f64 / 100.0),
+            (100i32..2000).prop_map(|v| v as f64 / 100.0),
+        ],
+        as_confidence in any::<bool>(),
+    ) {
+        let sql = if as_confidence {
+            format!("SELECT SUM(x) FROM t WITH ERROR 0.05 CONFIDENCE {v}")
+        } else {
+            format!("SELECT SUM(x) FROM t WITH ERROR {v}")
+        };
+        let parsed = parse(&sql);
+        prop_assert!(parsed.is_err(), "accepted out-of-range bound: {sql}");
+        let msg = parsed.unwrap_err().to_string();
+        prop_assert!(
+            msg.contains("strictly between 0 and 1"),
+            "untyped rejection for {sql}: {msg}"
+        );
+    }
+
+    /// In-range bound clauses always parse and carry the exact values.
+    #[test]
+    fn in_range_bounds_parse(bound in arb_error_bound()) {
+        let sql = format!(
+            "SELECT SUM(x) FROM t WITH ERROR {} CONFIDENCE {}",
+            bound.error, bound.confidence
+        );
+        let parsed = parse(&sql).unwrap();
+        let Statement::Select(q) = parsed else {
+            panic!("not a select: {sql}")
+        };
+        prop_assert_eq!(q.error_bound, Some(bound));
+    }
+
+    /// The estimator's per-group accumulator merge is order-invariant:
+    /// folding the same split observations in any permutation produces
+    /// identical accumulators (integer-valued observations make the
+    /// floating-point sums exact, so equality is byte-exact).
+    #[test]
+    fn accumulator_fold_is_permutation_invariant(
+        parts in prop::collection::vec(
+            (0u32..8, 0u64..100, prop::collection::vec(-50i64..50, 2))
+                .prop_map(|(g, n, sums)| {
+                    (g, n, sums.into_iter().map(|s| s as f64).collect::<Vec<f64>>())
+                }),
+            1..20,
+        ),
+        seed in any::<u64>(),
+    ) {
+        use std::collections::BTreeMap;
+        use incmr_mapreduce::{fold_parts, SplitAggPart};
+
+        let build = |order: &[usize]| {
+            let mut m: BTreeMap<u32, Vec<SplitAggPart>> = BTreeMap::new();
+            for &i in order {
+                let (g, n, sums) = &parts[i];
+                m.entry(i as u32).or_default().push(SplitAggPart {
+                    group: format!("g{g}").into(),
+                    n: *n,
+                    sums: sums.clone(),
+                });
+            }
+            fold_parts(&m, 2)
+        };
+
+        let forward: Vec<usize> = (0..parts.len()).collect();
+        // A deterministic shuffle driven by the seed.
+        let mut shuffled = forward.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s >> 33) as usize % (i + 1));
+        }
+
+        let a = build(&forward);
+        let b = build(&shuffled);
+        prop_assert_eq!(a.len(), b.len());
+        for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(ka, kb);
+            prop_assert_eq!(&va.c1, &vb.c1);
+            prop_assert_eq!(&va.c2, &vb.c2);
+            prop_assert_eq!(&va.s1, &vb.s1);
+            prop_assert_eq!(&va.s2, &vb.s2);
+            prop_assert_eq!(&va.xy, &vb.xy);
+            prop_assert_eq!(&va.present, &vb.present);
         }
     }
 }

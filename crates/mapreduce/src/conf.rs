@@ -73,6 +73,26 @@ pub mod keys {
     /// exclude a job from both its per-job and the cluster-wide
     /// histograms.
     pub const HISTOGRAM_ENABLED: &str = "mapred.job.histogram.enabled";
+    /// Approximate-aggregation plane: relative error bound `e` ∈ (0, 1)
+    /// for `WITH ERROR e` queries. Presence of this key makes the job an
+    /// *estimating* aggregate job: the runtime folds per-group
+    /// accumulators from map output and probes a CLT stopping rule before
+    /// every driver evaluation (see `crate::approx`).
+    pub const AGG_ERROR: &str = "mapred.agg.error";
+    /// Approximate-aggregation plane: confidence level `c` ∈ (0, 1) for
+    /// `CONFIDENCE c` (default 0.95 when only the error bound is set).
+    pub const AGG_CONFIDENCE: &str = "mapred.agg.confidence";
+    /// Approximate-aggregation plane: growth-round budget — how many
+    /// times the estimating Input Provider may draw another batch of
+    /// splits before it must stop with `BudgetExhausted`. Must be ≥ 1.
+    pub const AGG_ROUNDS: &str = "mapred.agg.rounds";
+    /// Approximate-aggregation plane: the aggregate function list, in
+    /// projection order, as a comma list of `count|sum|avg` (written by
+    /// the compiler; the runtime's probe needs it to pick estimators).
+    pub const AGG_FUNCS: &str = "mapred.agg.funcs";
+    /// Approximate-aggregation plane: the candidate input size `M` the
+    /// expansion estimator scales against (the dataset's split count).
+    pub const AGG_TOTAL_SPLITS: &str = "mapred.agg.total.splits";
 }
 
 /// A job's configuration: an ordered string map with typed accessors.

@@ -204,6 +204,27 @@ impl JobSpecBuilder {
         self
     }
 
+    /// Error-bounded approximate aggregation: grow the job only until the
+    /// relative error bound `error` holds at `confidence` for every group
+    /// and aggregate (sets [`keys::AGG_ERROR`] and
+    /// [`keys::AGG_CONFIDENCE`]; both must lie strictly inside (0, 1)).
+    /// An estimating spec also needs [`keys::AGG_FUNCS`] and
+    /// [`keys::AGG_TOTAL_SPLITS`], which the query compiler writes.
+    pub fn error_bound(mut self, error: f64, confidence: f64) -> Self {
+        self.conf.set(keys::AGG_ERROR, error);
+        self.conf.set(keys::AGG_CONFIDENCE, confidence);
+        self
+    }
+
+    /// Growth-round budget for an estimating aggregate job: how many
+    /// input-drawing rounds the provider may spend before stopping with
+    /// `AggOutcome::BudgetExhausted` (sets [`keys::AGG_ROUNDS`]; must be
+    /// ≥ 1).
+    pub fn agg_rounds(mut self, rounds: u64) -> Self {
+        self.conf.set(keys::AGG_ROUNDS, rounds);
+        self
+    }
+
     /// Finish building, returning a typed error for incomplete or
     /// malformed specs: a missing input format or mapper, a numeric
     /// configuration key (reduce-task count, materialize cap, guard-rail
@@ -246,6 +267,7 @@ impl JobSpecBuilder {
                 }));
             }
         }
+        crate::approx::agg_plan_of(&self.conf).map_err(JobConfigError::BadConf)?;
         Ok(JobSpec {
             conf: self.conf,
             input_format: self.input_format.ok_or(JobConfigError::MissingInput)?,
@@ -482,6 +504,11 @@ pub struct EvalContext<'a> {
     /// queries fold these into their candidate pool; ordinary drivers may
     /// ignore them. Empty outside the evolve path.
     pub arrived: &'a [BlockId],
+    /// For estimating aggregate jobs: the runtime's latest error-bound
+    /// probe, folded from completed map output just before this
+    /// evaluation. `None` for ordinary jobs (and before any map task has
+    /// completed on an estimating one).
+    pub agg: Option<&'a crate::approx::AggProbe>,
 }
 
 impl<'a> EvalContext<'a> {
@@ -492,6 +519,7 @@ impl<'a> EvalContext<'a> {
             cluster,
             grab_limit: u64::MAX,
             arrived: &[],
+            agg: None,
         }
     }
 
@@ -503,6 +531,11 @@ impl<'a> EvalContext<'a> {
     /// The same context carrying newly arrived blocks.
     pub fn with_arrived(self, arrived: &'a [BlockId]) -> Self {
         EvalContext { arrived, ..self }
+    }
+
+    /// The same context carrying an error-bound probe.
+    pub fn with_agg(self, agg: Option<&'a crate::approx::AggProbe>) -> Self {
+        EvalContext { agg, ..self }
     }
 }
 
@@ -609,6 +642,10 @@ pub struct JobResult {
     /// `mapred.job.histogram.enabled=false`). Merging these across jobs
     /// reproduces the runtime-wide registry exactly.
     pub histograms: crate::obs::MetricsRegistry,
+    /// For aggregate jobs (`mapred.agg.*`): how the estimator classified
+    /// the finish — bound met early, growth budget exhausted, or exact
+    /// full scan. `None` for ordinary jobs and failed jobs.
+    pub agg: Option<crate::approx::AggReport>,
 }
 
 impl JobResult {
@@ -895,6 +932,7 @@ mod tests {
             error: None,
             output: vec![],
             histograms: crate::obs::MetricsRegistry::new(),
+            agg: None,
         };
         assert_eq!(r.response_time(), SimDuration::from_secs(60));
         assert!((r.locality() - 0.7).abs() < 1e-12);
@@ -915,6 +953,7 @@ mod tests {
             error: None,
             output: vec![],
             histograms: crate::obs::MetricsRegistry::new(),
+            agg: None,
         };
         assert_eq!(r.locality(), 0.0);
     }

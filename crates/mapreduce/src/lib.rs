@@ -40,6 +40,7 @@
 //! What is deliberately not modelled: multi-wave reduces (the paper's jobs
 //! use a single reduce).
 
+pub mod approx;
 pub mod cluster;
 pub mod conf;
 pub mod cost;
@@ -55,6 +56,11 @@ pub mod scheduler;
 pub mod shuffle;
 pub mod trace;
 
+pub use approx::{
+    agg_plan_of, decode_funcs, decode_group_part, encode_funcs, encode_group_part, evaluate_bound,
+    fold_parts, z_quantile, AggKind, AggOutcome, AggPlan, AggProbe, AggReport, BoundEval,
+    GroupAccum, SplitAggPart, DEFAULT_AGG_ROUNDS,
+};
 pub use cluster::{ClusterConfig, ClusterStatus, Parallelism};
 pub use conf::{keys, JobConf};
 pub use cost::CostModel;

@@ -254,9 +254,8 @@ mod tests {
         store.insert(1, BlockId(0), 0, NodeId(0), result(1)); // replica survives
         store.insert(1, BlockId(1), 0, NodeId(0), result(2)); // last replica lost
         store.insert(1, BlockId(2), 0, NodeId(3), result(3)); // other holder
-        let (rehomed, dropped) = store.rehome_or_drop_node(NodeId(0), |b| {
-            (b == BlockId(0)).then_some(NodeId(7))
-        });
+        let (rehomed, dropped) =
+            store.rehome_or_drop_node(NodeId(0), |b| (b == BlockId(0)).then_some(NodeId(7)));
         assert_eq!((rehomed, dropped), (1, 1));
         assert_eq!(store.len(), 2);
         assert_eq!(store.probe(1, BlockId(0), 0), MemoProbe::Hit);

@@ -79,6 +79,8 @@ pub fn kind_name(kind: &TraceKind) -> &'static str {
         TraceKind::ReplicaRestored { .. } => "ReplicaRestored",
         TraceKind::ReadFailover { .. } => "ReadFailover",
         TraceKind::InputLost { .. } => "InputLost",
+        TraceKind::ErrorBoundProbe { .. } => "ErrorBoundProbe",
+        TraceKind::BoundMet { .. } => "BoundMet",
     }
 }
 
@@ -264,6 +266,28 @@ pub fn encode_event(event: &TraceEvent) -> String {
                 field("job", job.0 as u64);
                 field("blocks", *blocks as u64);
                 s.push_str(&format!(",\"graceful\":{graceful}"));
+            }
+            TraceKind::ErrorBoundProbe {
+                job,
+                completed,
+                groups,
+                worst_ppm,
+                bound_met,
+            } => {
+                field("job", job.0 as u64);
+                field("completed", *completed as u64);
+                field("groups", *groups as u64);
+                field("worst_ppm", *worst_ppm);
+                s.push_str(&format!(",\"bound_met\":{bound_met}"));
+            }
+            TraceKind::BoundMet {
+                job,
+                completed,
+                total,
+            } => {
+                field("job", job.0 as u64);
+                field("completed", *completed as u64);
+                field("total", *total as u64);
             }
         }
     }
@@ -594,6 +618,18 @@ pub fn parse_event(line: &str) -> Result<TraceEvent, TraceParseError> {
             blocks: r.num("blocks")? as u32,
             graceful: r.boolean("graceful")?,
         },
+        "ErrorBoundProbe" => TraceKind::ErrorBoundProbe {
+            job: r.job()?,
+            completed: r.num("completed")? as u32,
+            groups: r.num("groups")? as u32,
+            worst_ppm: r.num("worst_ppm")?,
+            bound_met: r.boolean("bound_met")?,
+        },
+        "BoundMet" => TraceKind::BoundMet {
+            job: r.job()?,
+            completed: r.num("completed")? as u32,
+            total: r.num("total")? as u32,
+        },
         other => return Err(TraceParseError::UnknownKind(other.to_string())),
     };
     Ok(TraceEvent { time, kind })
@@ -696,6 +732,7 @@ impl TraceSink for JsonlSink {
 /// | `provider_eval_interval_ms` | driver evaluation after the first | gap between consecutive evaluations |
 /// | `queue_wait_ms[scheduler]` | non-speculative map dispatch | (re)queue → dispatch, keyed by scheduler |
 /// | `split_wait_ms` | split's first dispatch | split added → first attempt dispatched |
+/// | `agg_probe_ms` | error-bound probe on an estimating job | gap since the previous probe (or submission) |
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsRegistry {
     map_attempt_ms: LogHistogram,
@@ -704,6 +741,7 @@ pub struct MetricsRegistry {
     provider_eval_interval_ms: LogHistogram,
     queue_wait_ms: BTreeMap<String, LogHistogram>,
     split_wait_ms: LogHistogram,
+    agg_probe_ms: LogHistogram,
 }
 
 impl MetricsRegistry {
@@ -745,6 +783,12 @@ impl MetricsRegistry {
         self.split_wait_ms.record(ms);
     }
 
+    /// Record the gap an estimating job's error-bound probe observed since
+    /// its previous probe (or since submission, for the first one).
+    pub fn record_agg_probe(&mut self, ms: u64) {
+        self.agg_probe_ms.record(ms);
+    }
+
     /// Committed-map-attempt latencies.
     pub fn map_attempt(&self) -> &LogHistogram {
         &self.map_attempt_ms
@@ -784,6 +828,11 @@ impl MetricsRegistry {
         &self.split_wait_ms
     }
 
+    /// Error-bound probe intervals (one observation per probe).
+    pub fn agg_probe(&self) -> &LogHistogram {
+        &self.agg_probe_ms
+    }
+
     /// Every family with its stable display name, queue-wait families
     /// keyed as `queue_wait_ms[<scheduler>]`.
     pub fn families(&self) -> Vec<(String, &LogHistogram)> {
@@ -800,6 +849,7 @@ impl MetricsRegistry {
             out.push((format!("queue_wait_ms[{sched}]"), h));
         }
         out.push(("split_wait_ms".to_string(), &self.split_wait_ms));
+        out.push(("agg_probe_ms".to_string(), &self.agg_probe_ms));
         out
     }
 
@@ -822,6 +872,7 @@ impl MetricsRegistry {
                 .merge(h);
         }
         self.split_wait_ms.merge(&other.split_wait_ms);
+        self.agg_probe_ms.merge(&other.agg_probe_ms);
     }
 
     /// A stable plain-text snapshot: one line per family with count,
@@ -1381,6 +1432,7 @@ mod tests {
             "queue_wait_ms[fifo]",
             "queue_wait_ms[fair]",
             "split_wait_ms",
+            "agg_probe_ms",
         ] {
             assert!(text.contains(needle), "render lacks {needle}:\n{text}");
         }

@@ -45,7 +45,7 @@
 //! output is a pure function of the task set — identical across thread
 //! counts and, for completed jobs, identical to the fault-free run.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use incmr_dfs::{BlockId, DiskId, Namespace, NodeId, RackId};
@@ -53,6 +53,10 @@ use incmr_simkit::resource::{FlowId, PsResource};
 use incmr_simkit::rng::DetRng;
 use incmr_simkit::{EventId, Sim, SimDuration, SimTime};
 
+use crate::approx::{
+    agg_plan_of, decode_group_part, evaluate_bound, fold_parts, rel_to_ppm, AggOutcome, AggPlan,
+    AggProbe, AggReport, SplitAggPart,
+};
 use crate::cluster::{ClusterConfig, ClusterStatus};
 use crate::conf::{keys, ConfError};
 use crate::cost::CostModel;
@@ -347,6 +351,17 @@ struct JobEntry {
     /// Blocks that arrived via `evolve` since the last driver consultation
     /// (delivered once through `EvalContext::arrived`).
     arrived: Vec<BlockId>,
+    /// Approximate-aggregation plane: the parsed `mapred.agg.*` plan.
+    /// `Some` only for estimating jobs (`mapred.agg.error` set).
+    agg_plan: Option<AggPlan>,
+    /// Decoded per-split group observations, keyed by map task id so the
+    /// estimator fold visits splits in a thread-count-independent order.
+    agg_parts: BTreeMap<u32, Vec<SplitAggPart>>,
+    /// When the previous error-bound probe ran (feeds `agg_probe_ms`).
+    last_agg_probe_at: Option<SimTime>,
+    /// Latest error-bound probe, handed to the growth driver through
+    /// `EvalContext::agg`.
+    agg_probe: Option<AggProbe>,
     result: Option<JobResult>,
 }
 
@@ -551,10 +566,7 @@ impl MrRuntime {
     /// placement-time target, preferring racks the block does not cover
     /// yet. A zero interval is rejected (the tick would livelock the
     /// event loop).
-    pub fn enable_re_replication(
-        &mut self,
-        interval: SimDuration,
-    ) -> Result<(), FaultConfigError> {
+    pub fn enable_re_replication(&mut self, interval: SimDuration) -> Result<(), FaultConfigError> {
         if interval == SimDuration::ZERO {
             return Err(FaultConfigError::ZeroRepairInterval);
         }
@@ -942,6 +954,9 @@ impl MrRuntime {
             None => signature_of_conf(spec.conf.iter(), reduce_tasks),
         };
         let continuous = spec.conf.get_bool(keys::CONTINUOUS);
+        // Approximate-aggregation plane: a malformed `mapred.agg.*` set is
+        // rejected at submission, mirroring `try_build`.
+        let agg_plan = agg_plan_of(&spec.conf).map_err(JobConfigError::BadConf)?;
         // Snapshot before this job is registered, so the provider's first
         // look at the cluster excludes its own (not yet running) job.
         let status = self.cluster_status();
@@ -992,6 +1007,10 @@ impl MrRuntime {
             continuous,
             parked: false,
             arrived: Vec::new(),
+            agg_plan,
+            agg_parts: BTreeMap::new(),
+            last_agg_probe_at: None,
+            agg_probe: None,
             result: None,
         };
         self.jobs.push(entry);
@@ -1117,6 +1136,12 @@ impl MrRuntime {
     /// Panics if the job has not completed.
     pub fn job_result(&self, id: JobId) -> &JobResult {
         self.job(id).result.as_ref().expect("job not yet complete")
+    }
+
+    /// A submitted job's configuration (readable for the job's whole
+    /// lifetime, including after completion).
+    pub fn job_conf(&self, id: JobId) -> &crate::conf::JobConf {
+        &self.job(id).spec.conf
     }
 
     /// Whether a job has completed.
@@ -1597,12 +1622,64 @@ impl MrRuntime {
         // Blocks that landed via `evolve` since the last consultation are
         // delivered exactly once, then the buffer resets.
         let arrived = std::mem::take(&mut self.job_mut(id).arrived);
+        // Approximate-aggregation plane: fold the completed splits' group
+        // accumulators and probe the CLT stopping rule ahead of the driver
+        // consultation, so the estimating provider decides on fresh
+        // statistics.
+        let probe: Option<AggProbe> = {
+            let now = self.sim.now();
+            let job = self.job(id);
+            job.agg_plan.as_ref().map(|plan| {
+                let m = job.agg_parts.len() as u32;
+                let accums = fold_parts(&job.agg_parts, plan.funcs.len());
+                let eval = evaluate_bound(
+                    &accums,
+                    m,
+                    plan.total_splits,
+                    &plan.funcs,
+                    plan.error,
+                    plan.confidence,
+                );
+                AggProbe {
+                    job: id,
+                    completed: m,
+                    total: plan.total_splits,
+                    groups: eval.groups,
+                    bound_met: eval.bound_met,
+                    worst_rel: eval.worst_rel,
+                    suggested_splits: eval.suggested_splits,
+                    at: now,
+                }
+            })
+        };
+        if let Some(p) = &probe {
+            let now = self.sim.now();
+            let since = self
+                .job(id)
+                .last_agg_probe_at
+                .unwrap_or(self.job(id).submit_time);
+            let gap = (now - since).as_millis();
+            self.obs_record(id, |r| r.record_agg_probe(gap));
+            self.record(TraceKind::ErrorBoundProbe {
+                job: id,
+                completed: p.completed,
+                groups: p.groups,
+                worst_ppm: rel_to_ppm(p.worst_rel),
+                bound_met: p.bound_met,
+            });
+            let job = self.job_mut(id);
+            job.last_agg_probe_at = Some(now);
+            job.agg_probe = probe.clone();
+        }
         // Sandboxed evaluation: panics become typed provider errors.
         let outcome = {
             let driver = &mut self.job_mut(id).driver;
             catch_unwind(AssertUnwindSafe(|| {
-                driver
-                    .try_evaluate(EvalContext::unlimited(&progress, &status).with_arrived(&arrived))
+                driver.try_evaluate(
+                    EvalContext::unlimited(&progress, &status)
+                        .with_arrived(&arrived)
+                        .with_agg(probe.as_ref()),
+                )
             }))
             .unwrap_or_else(|p| Err(ProviderError::from_panic(ProviderStage::Evaluate, p)))
         };
@@ -1618,6 +1695,18 @@ impl MrRuntime {
         self.job_mut(id).last_eval_at = Some(now);
         let (productive, directive, added, retried) = match outcome {
             Ok(GrowthDirective::EndOfInput) => {
+                // An estimating job ending input with the bound met and
+                // splits left unscanned stopped *early* — the headline
+                // EARL event.
+                if let Some(p) = &probe {
+                    if p.bound_met && p.completed < p.total {
+                        self.record(TraceKind::BoundMet {
+                            job: id,
+                            completed: p.completed,
+                            total: p.total,
+                        });
+                    }
+                }
                 self.job_mut(id).end_of_input = true;
                 self.record(TraceKind::EndOfInput { job: id });
                 self.maybe_begin_reduce(id);
@@ -2082,8 +2171,7 @@ impl MrRuntime {
         } else {
             // The intended replica still exists iff it survived every
             // death since dispatch (`locations` is the live set).
-            let intended =
-                read_disk.filter(|d| self.namespace.block(block).locations.contains(d));
+            let intended = read_disk.filter(|d| self.namespace.block(block).locations.contains(d));
             match intended {
                 Some(d) => d,
                 None => match self.namespace.primary_replica(block, &BTreeSet::new()) {
@@ -2326,6 +2414,20 @@ impl MrRuntime {
                         result.clone(),
                     );
                 }
+            }
+            // Approximate-aggregation plane: lift the task's per-group
+            // accumulator parts before the shuffle consumes the pairs.
+            // Keyed by task id, so the fold is a pure function of the
+            // completed task set — identical across thread counts and
+            // fault schedules. An empty entry still counts the split as a
+            // zero observation for every group.
+            if let Some(n_aggs) = self.job(id).agg_plan.as_ref().map(|p| p.funcs.len()) {
+                let parts: Vec<SplitAggPart> = result
+                    .pairs
+                    .iter_pairs()
+                    .filter_map(|(k, r)| decode_group_part(k, r, n_aggs))
+                    .collect();
+                self.job_mut(id).agg_parts.insert(task.0, parts);
             }
             let merge_start = std::time::Instant::now();
             {
@@ -2708,8 +2810,7 @@ impl MrRuntime {
                 continue;
             }
             let topo = self.namespace.topology();
-            let holders: BTreeSet<NodeId> =
-                b.locations.iter().map(|&d| topo.node_of(d)).collect();
+            let holders: BTreeSet<NodeId> = b.locations.iter().map(|&d| topo.node_of(d)).collect();
             let covered: BTreeSet<RackId> = holders.iter().map(|&n| topo.rack_of(n)).collect();
             let pick = topo
                 .nodes()
@@ -2919,6 +3020,7 @@ impl MrRuntime {
             error: Some(error),
             output: Vec::new(),
             histograms: job.hist.clone(),
+            agg: None,
         });
         self.record(TraceKind::JobCompleted {
             job: id,
@@ -3178,6 +3280,49 @@ impl MrRuntime {
         let partial = sample_size_of(&job.spec.conf)
             .map(|k| (output.len() as u64, k))
             .filter(|&(found, k)| found < k);
+        // Approximate-aggregation plane: classify the finish. Estimating
+        // jobs re-fold at the final task set (deterministic, so a warm
+        // re-run reports byte-identical statistics); exact grouped
+        // aggregates (`mapred.agg.total.splits` without an error bound)
+        // are always `Exact`.
+        let agg = if let Some(plan) = &job.agg_plan {
+            let m = job.agg_parts.len() as u32;
+            let accums = fold_parts(&job.agg_parts, plan.funcs.len());
+            let eval = evaluate_bound(
+                &accums,
+                m,
+                plan.total_splits,
+                &plan.funcs,
+                plan.error,
+                plan.confidence,
+            );
+            let outcome = if m >= plan.total_splits {
+                AggOutcome::Exact
+            } else if eval.bound_met {
+                AggOutcome::BoundMet
+            } else {
+                AggOutcome::BudgetExhausted
+            };
+            Some(AggReport {
+                outcome,
+                completed: m,
+                total: plan.total_splits,
+                groups: eval.groups,
+                worst_rel: eval.worst_rel,
+            })
+        } else {
+            job.spec
+                .conf
+                .get(keys::AGG_TOTAL_SPLITS)
+                .and_then(|v| v.parse::<u32>().ok())
+                .map(|total| AggReport {
+                    outcome: AggOutcome::Exact,
+                    completed: job.completed,
+                    total,
+                    groups: output.len() as u32,
+                    worst_rel: 0.0,
+                })
+        };
         job.result = Some(JobResult {
             job: id,
             submit_time: job.submit_time,
@@ -3191,6 +3336,7 @@ impl MrRuntime {
             error: None,
             output,
             histograms: job.hist.clone(),
+            agg,
         });
         if let Some((found, requested)) = partial {
             self.metrics.guardrails_mut().partial_samples += 1;

@@ -127,6 +127,15 @@ impl PartitionedPairs {
         self.partitions.len()
     }
 
+    /// Visit every materialised pair across all partitions, in partition
+    /// order then emission order within a partition. Zero-copy batch runs
+    /// are not visited. This is how the runtime's approximate-aggregation
+    /// plane reads a map task's per-group accumulator parts without
+    /// consuming the output before the shuffle merge.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = &(Key, Record)> {
+        self.partitions.iter().flatten()
+    }
+
     /// Total records (pairs plus batch rows) across all partitions.
     pub fn len(&self) -> usize {
         let pairs: usize = self.partitions.iter().map(Vec::len).sum();

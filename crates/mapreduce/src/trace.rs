@@ -298,6 +298,32 @@ pub enum TraceKind {
         /// True if the job degrades to a partial result instead of failing.
         graceful: bool,
     },
+    /// Estimating aggregate job: the runtime folded per-group accumulators
+    /// from completed map output and probed the CLT stopping rule ahead of
+    /// a driver evaluation.
+    ErrorBoundProbe {
+        /// The job.
+        job: JobId,
+        /// Completed splits folded into this probe.
+        completed: u32,
+        /// Distinct groups observed so far.
+        groups: u32,
+        /// Worst per-group/per-aggregate relative half-width, in parts
+        /// per million (`u64::MAX` when a group is still unresolved).
+        worst_ppm: u64,
+        /// True if every group and aggregate met the error bound.
+        bound_met: bool,
+    },
+    /// Estimating aggregate job: the error bound held at the requested
+    /// confidence, so the provider stopped growing the job early.
+    BoundMet {
+        /// The job.
+        job: JobId,
+        /// Splits processed when the bound was met.
+        completed: u32,
+        /// Candidate splits a full scan would have processed.
+        total: u32,
+    },
 }
 
 impl TraceKind {
@@ -329,7 +355,9 @@ impl TraceKind {
             | TraceKind::SplitReused { job, .. }
             | TraceKind::SplitDirty { job, .. }
             | TraceKind::ReadFailover { job, .. }
-            | TraceKind::InputLost { job, .. } => Some(*job),
+            | TraceKind::InputLost { job, .. }
+            | TraceKind::ErrorBoundProbe { job, .. }
+            | TraceKind::BoundMet { job, .. } => Some(*job),
             TraceKind::NodeLost { .. }
             | TraceKind::NodeRejoined { .. }
             | TraceKind::QueryRejected { .. }
@@ -465,7 +493,12 @@ impl fmt::Display for TraceEvent {
             TraceKind::ReplicaRestored { block, node } => {
                 write!(f, "{block} re-replicated -> {node}")
             }
-            TraceKind::ReadFailover { job, task, from, to } => {
+            TraceKind::ReadFailover {
+                job,
+                task,
+                from,
+                to,
+            } => {
                 write!(f, "{job}/{task} read failover {from} -> {to}")
             }
             TraceKind::InputLost {
@@ -478,6 +511,26 @@ impl fmt::Display for TraceEvent {
                     "{job} input lost: {blocks} block(s){}",
                     if *graceful { " (partial)" } else { " (FATAL)" }
                 )
+            }
+            TraceKind::ErrorBoundProbe {
+                job,
+                completed,
+                groups,
+                worst_ppm,
+                bound_met,
+            } => {
+                write!(
+                    f,
+                    "{job} error-bound probe: {completed} splits, {groups} groups, worst {worst_ppm} ppm{}",
+                    if *bound_met { " (met)" } else { "" }
+                )
+            }
+            TraceKind::BoundMet {
+                job,
+                completed,
+                total,
+            } => {
+                write!(f, "{job} bound met at {completed}/{total} splits")
             }
         }
     }

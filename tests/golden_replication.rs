@@ -51,7 +51,10 @@ fn render_run() -> String {
         &mut PinnedPlacement::new(DiskId(0)),
         &mut rng,
     ));
-    let node1_disk = topology.disks_of(NodeId(1)).next().expect("node 1 has disks");
+    let node1_disk = topology
+        .disks_of(NodeId(1))
+        .next()
+        .expect("node 1 has disks");
     for split in ds_a.splits() {
         ns.add_replica(split.block, node1_disk);
     }

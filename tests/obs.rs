@@ -19,7 +19,7 @@ use incmr::dfs::DiskId;
 
 /// Keep in sync with [`kind_index`]'s exhaustive match (which is what
 /// actually enforces the count at build time).
-const NUM_KINDS: usize = 32;
+const NUM_KINDS: usize = 34;
 
 /// Generator-side build guard: exhaustive, no wildcard. A new `TraceKind`
 /// variant fails compilation here until [`kind_from`] can produce it.
@@ -57,6 +57,8 @@ fn kind_index(kind: &TraceKind) -> usize {
         TraceKind::ReplicaRestored { .. } => 29,
         TraceKind::ReadFailover { .. } => 30,
         TraceKind::InputLost { .. } => 31,
+        TraceKind::ErrorBoundProbe { .. } => 32,
+        TraceKind::BoundMet { .. } => 33,
     }
 }
 
@@ -170,6 +172,18 @@ fn kind_from(which: usize, a: u64, b: u64, c: u64, d: u64) -> TraceKind {
             job,
             blocks: b as u32,
             graceful: flag,
+        },
+        32 => TraceKind::ErrorBoundProbe {
+            job,
+            completed: b as u32,
+            groups: c as u32,
+            worst_ppm: d,
+            bound_met: flag,
+        },
+        33 => TraceKind::BoundMet {
+            job,
+            completed: b as u32,
+            total: c as u32,
         },
         _ => unreachable!(),
     }
@@ -292,12 +306,12 @@ proptest! {
         prop_assert_eq!(h, before);
     }
 
-    /// Registry merging commutes across all six families, including the
+    /// Registry merging commutes across all seven families, including the
     /// scheduler-keyed queue-wait map.
     #[test]
     fn registry_merge_is_commutative(
-        xs in prop::collection::vec((0u8..6, any::<u64>(), any::<bool>()), 0..120),
-        ys in prop::collection::vec((0u8..6, any::<u64>(), any::<bool>()), 0..120),
+        xs in prop::collection::vec((0u8..7, any::<u64>(), any::<bool>()), 0..120),
+        ys in prop::collection::vec((0u8..7, any::<u64>(), any::<bool>()), 0..120),
     ) {
         let fill = |entries: &[(u8, u64, bool)]| {
             let mut r = MetricsRegistry::new();
@@ -308,6 +322,7 @@ proptest! {
                     2 => r.record_reduce(v),
                     3 => r.record_provider_eval_interval(v),
                     4 => r.record_queue_wait(if sched { "fifo" } else { "fair" }, v),
+                    5 => r.record_agg_probe(v),
                     _ => r.record_split_wait(v),
                 }
             }
@@ -383,6 +398,67 @@ fn jsonl_sink_agrees_with_memory_trace() {
         .drain_jsonl();
     assert_eq!(jsonl, encode_trace(&events));
     assert_eq!(parse_trace(&jsonl).unwrap(), events);
+}
+
+/// Every error-bound probe leaves exactly one trace event and one
+/// `agg_probe_ms` observation — and the pair survives the JSONL codec.
+#[test]
+fn probe_trace_events_reconcile_with_the_metrics_registry() {
+    use incmr::hiveql::{Session, Submitted};
+
+    let mut ns = Namespace::new(ClusterTopology::paper_cluster());
+    let mut rng = DetRng::seed_from(31);
+    let mut spec = DatasetSpec::small("lineitem", 24, 1_000, SkewLevel::Moderate, 31);
+    spec.selectivity = 0.05;
+    let ds = Arc::new(Dataset::build(
+        &mut ns,
+        spec,
+        &mut EvenRoundRobin::new(),
+        &mut rng,
+    ));
+    let rt = MrRuntime::new(
+        ClusterConfig::paper_single_user(),
+        CostModel::paper_default(),
+        ns,
+        Box::new(FifoScheduler::new()),
+    );
+    let mut s = Session::builder()
+        .runtime(rt)
+        .table("lineitem", ds)
+        .scan_mode(ScanMode::Full)
+        .try_build()
+        .expect("session");
+    s.runtime_mut().enable_tracing();
+    let Submitted::Pending(handle) = s
+        .submit(
+            "SELECT SUM(L_QUANTITY) FROM lineitem GROUP BY L_RETURNFLAG \
+             WITH ERROR 0.05 CONFIDENCE 0.95",
+        )
+        .expect("estimating plan")
+    else {
+        panic!("estimating plan must submit a job")
+    };
+    let result = handle.wait(&mut s);
+    assert!(!result.failed);
+
+    let events = s.runtime_mut().take_trace();
+    let probes = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::ErrorBoundProbe { .. }))
+        .count();
+    let met = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceKind::BoundMet { .. }))
+        .count();
+    assert!(probes > 0, "an estimating run must probe at least once");
+    assert_eq!(
+        s.runtime().histograms().agg_probe().count(),
+        probes as u64,
+        "one agg_probe_ms observation per probe event"
+    );
+    assert!(met <= 1, "the bound is met at most once");
+    // The new kinds also survive the JSONL codec on a real trace.
+    assert_eq!(parse_trace(&encode_trace(&events)).unwrap(), events);
 }
 
 /// Traces, histogram quantiles, and the audit log are byte-identical at

@@ -125,17 +125,20 @@ fn survival_cliff_sits_between_r1_and_r2() {
         faults1.maps_reexecuted > 0,
         "completed maps on the dead node re-execute before the loss is fatal: {faults1:?}"
     );
-    assert!(trace1
-        .iter()
-        .any(|e| matches!(e.kind, TraceKind::InputLost { graceful: false, .. })));
+    assert!(trace1.iter().any(|e| matches!(
+        e.kind,
+        TraceKind::InputLost {
+            graceful: false,
+            ..
+        }
+    )));
 
     // r = 2 and r = 3: the same death is survivable, byte-identically to
     // the fault-free run, at every thread count.
     for replication in [2, 3] {
         let (baseline, _, _, _) = run_replicated(replication, 1, None, false);
         assert!(!baseline.failed);
-        let (survivor, _, replica, faults) =
-            run_replicated(replication, 1, Some(outage), false);
+        let (survivor, _, replica, faults) = run_replicated(replication, 1, Some(outage), false);
         assert!(!survivor.failed, "r={replication} must survive the death");
         assert_eq!(
             survivor.output, baseline.output,
@@ -240,10 +243,8 @@ fn a_rejoined_datanode_comes_back_empty_and_is_repaired() {
         .map(|e| e.time)
         .expect("rejoin must be traced");
     assert!(
-        trace
-            .iter()
-            .any(|e| e.time >= rejoined_at
-                && matches!(e.kind, TraceKind::ReplicaRestored { node, .. } if node == NodeId(0))),
+        trace.iter().any(|e| e.time >= rejoined_at
+            && matches!(e.kind, TraceKind::ReplicaRestored { node, .. } if node == NodeId(0))),
         "the empty rejoined node is a valid re-replication target"
     );
 }
